@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablations beyond the paper's figures, probing the design choices
+ * DESIGN.md calls out:
+ *   (a) DVR lane count {32, 64, 128, 256} -- the paper argues 256
+ *       lanes would close the Oracle gap on NAS-CG/IS;
+ *   (b) L1-D MSHR count {12, 24, 48} -- the resource that bounds the
+ *       achievable MLP;
+ *   (c) GPU-style reconvergence vs VR-style lane invalidation inside
+ *       the DVR subthread (insight #5).
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+
+int
+main()
+{
+    using namespace dvr;
+    printBenchHeader(std::cout, "Ablation",
+                     "lanes / MSHRs / reconvergence in DVR");
+
+    WorkloadParams wp;
+    wp.scaleShift = SimConfig::defaultScaleShift();
+
+    const std::vector<std::pair<std::string, std::string>> bms = {
+        {"bfs", "KR"}, {"sssp", "KR"}, {"camel", ""},
+        {"hj8", ""},   {"nas_cg", ""}, {"nas_is", ""},
+    };
+
+    const std::vector<std::string> cols = {
+        "lanes32", "lanes64", "lanes128", "lanes256",
+        "mshr12",  "mshr48",  "no-reconv"};
+
+    std::vector<TableRow> rows;
+    for (const auto &[kernel, input] : bms) {
+        PreparedWorkload pw(kernel, input, wp,
+                            SimConfig().memoryBytes);
+        const double ref =
+            pw.run(SimConfig::baseline(Technique::kBase)).ipc();
+        TableRow row{pw.label(), {}};
+
+        for (unsigned lanes : {32u, 64u, 128u, 256u}) {
+            SimConfig cfg = SimConfig::baseline(Technique::kDvr);
+            cfg.dvr.subthread.maxLanes = lanes;
+            cfg.dvr.subthread.vecPhysFree =
+                lanes;  // phys regs scale with lane count
+            row.values.push_back(pw.run(cfg).ipc() / ref);
+        }
+        for (unsigned mshrs : {12u, 48u}) {
+            SimConfig cfg = SimConfig::baseline(Technique::kDvr);
+            cfg.mem.mshrs = mshrs;
+            row.values.push_back(pw.run(cfg).ipc() / ref);
+        }
+        {
+            SimConfig cfg = SimConfig::baseline(Technique::kDvr);
+            cfg.dvr.subthread.gpuReconvergence = false;
+            row.values.push_back(pw.run(cfg).ipc() / ref);
+        }
+        rows.push_back(std::move(row));
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n";
+
+    printTable(std::cout,
+               "Ablation: DVR speedup over baseline per configuration",
+               cols, rows);
+    std::cout << "\nexpected: speedup grows with lanes (NAS kernels"
+                 " benefit most from 256);\nmore MSHRs lift the MLP"
+                 " ceiling; disabling reconvergence hurts divergent\n"
+                 "kernels (bfs, sssp) but not straight chains"
+                 " (camel, hj8).\n";
+    return 0;
+}

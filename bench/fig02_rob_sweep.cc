@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Figure 2: performance of the OoO baseline and Vector Runahead as a
+ * function of ROB size (128..512), normalized to the 350-entry OoO
+ * baseline, together with the fraction of time the processor stalls
+ * on a full ROB. Also reports VR's delayed-termination commit stall
+ * (Section 3, insight 2: 7.1% average / 11.8% max in the paper).
+ *
+ * Paper-expected shape: VR's gain shrinks as the ROB grows; the
+ * full-ROB stall fraction collapses (51% at 128 entries -> 5% at 512
+ * in the paper); for some benchmarks VR's absolute performance drops
+ * with a bigger ROB.
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+
+int
+main()
+{
+    using namespace dvr;
+    printBenchHeader(std::cout, "Figure 2",
+                     "OoO and VR vs ROB size + full-ROB stall time");
+
+    const unsigned robs[] = {128, 192, 224, 350, 512};
+    WorkloadParams wp;
+    wp.scaleShift = SimConfig::defaultScaleShift();
+
+    // A representative subset keeps the sweep tractable: one GAP
+    // kernel per behaviour class plus the hpc-db set.
+    const std::vector<std::pair<std::string, std::string>> bms = {
+        {"bfs", "KR"}, {"bfs", "UR"}, {"cc", "KR"},
+        {"pr", "KR"},  {"sssp", "KR"},
+        {"camel", ""}, {"hj8", ""},   {"nas_is", ""},
+    };
+
+    std::vector<std::string> cols;
+    for (unsigned r : robs)
+        cols.push_back("OoO-" + std::to_string(r));
+    for (unsigned r : robs)
+        cols.push_back("VR-" + std::to_string(r));
+    cols.push_back("stall%128");
+    cols.push_back("stall%512");
+    cols.push_back("VRdly%350");
+
+    std::vector<TableRow> rows;
+    std::vector<std::vector<double>> agg(cols.size());
+    for (const auto &[kernel, input] : bms) {
+        PreparedWorkload pw(kernel, input, wp,
+                            SimConfig().memoryBytes);
+        SimConfig base = SimConfig::baseline(Technique::kBase);
+        const double ref = pw.run(base).ipc();
+
+        TableRow row{pw.label(), {}};
+        double stall128 = 0, stall512 = 0, vr_dly = 0;
+        for (Technique t : {Technique::kBase, Technique::kVr}) {
+            for (unsigned r : robs) {
+                SimConfig cfg = SimConfig::baseline(t);
+                cfg.core = CoreConfig::withRob(r);
+                const SimResult res = pw.run(cfg);
+                row.values.push_back(res.ipc() / ref);
+                const double stall =
+                    res.stats.get("core.rob_stall_cycles") /
+                    double(res.core.cycles);
+                if (t == Technique::kBase && r == 128)
+                    stall128 = 100.0 * stall;
+                if (t == Technique::kBase && r == 512)
+                    stall512 = 100.0 * stall;
+                if (t == Technique::kVr && r == 350) {
+                    vr_dly = 100.0 *
+                             res.stats.get("core.runahead_extra_stall") /
+                             double(res.core.cycles);
+                }
+            }
+        }
+        row.values.push_back(stall128);
+        row.values.push_back(stall512);
+        row.values.push_back(vr_dly);
+        for (size_t i = 0; i < row.values.size(); ++i)
+            agg[i].push_back(row.values[i]);
+        rows.push_back(std::move(row));
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n";
+    TableRow mean{"h-mean/avg", {}};
+    for (size_t i = 0; i < cols.size(); ++i) {
+        mean.values.push_back(i < 10 ? harmonicMean(agg[i])
+                                     : arithmeticMean(agg[i]));
+    }
+    rows.push_back(std::move(mean));
+
+    printTable(std::cout,
+               "Figure 2: IPC normalized to OoO-350 + stall fractions",
+               cols, rows);
+    std::cout << "\npaper shape: OoO IPC grows with ROB; VR's edge over"
+                 " OoO shrinks as ROB grows;\nfull-ROB stall% drops"
+                 " steeply from 128 to 512 entries (51% -> 5% in the"
+                 " paper);\nVR delayed termination stalls commit ~7%"
+                 " of cycles at 350 entries.\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 12: DVR performance as a function of ROB size, normalized to
+ * the 350-entry OoO baseline -- including the variant where all
+ * back-end queues scale with the ROB.
+ *
+ * Paper-expected shape: unlike VR (Figure 2), DVR's gains hold or
+ * grow with ROB size because it never waits for a full-ROB stall
+ * (1.9x/2.2x/2.2x/2.4x/2.5x at 128/192/224/350/512 in the paper).
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+
+int
+main()
+{
+    using namespace dvr;
+    printBenchHeader(std::cout, "Figure 12",
+                     "DVR vs ROB size (gains persist at large ROBs)");
+
+    const unsigned robs[] = {128, 192, 224, 350, 512};
+    WorkloadParams wp;
+    wp.scaleShift = SimConfig::defaultScaleShift();
+
+    const std::vector<std::pair<std::string, std::string>> bms = {
+        {"bfs", "KR"}, {"bfs", "UR"}, {"cc", "KR"},
+        {"pr", "KR"},  {"sssp", "KR"},
+        {"camel", ""}, {"hj8", ""},   {"nas_is", ""},
+    };
+
+    std::vector<std::string> cols;
+    for (unsigned r : robs)
+        cols.push_back("OoO-" + std::to_string(r));
+    for (unsigned r : robs)
+        cols.push_back("DVR-" + std::to_string(r));
+
+    std::vector<TableRow> rows;
+    std::vector<std::vector<double>> agg(cols.size());
+    for (const auto &[kernel, input] : bms) {
+        PreparedWorkload pw(kernel, input, wp,
+                            SimConfig().memoryBytes);
+        const double ref =
+            pw.run(SimConfig::baseline(Technique::kBase)).ipc();
+        TableRow row{pw.label(), {}};
+        for (Technique t : {Technique::kBase, Technique::kDvr}) {
+            for (unsigned r : robs) {
+                SimConfig cfg = SimConfig::baseline(t);
+                cfg.core = CoreConfig::withRob(r, true);
+                row.values.push_back(pw.run(cfg).ipc() / ref);
+            }
+        }
+        for (size_t i = 0; i < cols.size(); ++i)
+            agg[i].push_back(row.values[i]);
+        rows.push_back(std::move(row));
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n";
+    TableRow hmean{"h-mean", {}};
+    for (auto &a : agg)
+        hmean.values.push_back(harmonicMean(a));
+    rows.push_back(std::move(hmean));
+
+    printTable(std::cout,
+               "Figure 12: IPC normalized to OoO-350 (queues scaled)",
+               cols, rows);
+    std::cout << "\npaper shape: DVR's speedup over the same-size OoO"
+                 " core holds or grows with ROB size\n(1.9x at 128"
+                 " entries up to 2.5x at 512 in the paper).\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Database-probe walkthrough: hash-join chains of increasing depth.
+ * Shows how the baseline core collapses as the dependent chain
+ * deepens while DVR sustains throughput by overlapping 128 future
+ * probes -- and prints the memory-side evidence (MLP, DRAM split,
+ * timeliness).
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+
+int
+main()
+{
+    using namespace dvr;
+    WorkloadParams wp;
+    wp.scaleShift = 2;  // quick demo size
+
+    std::printf("hash-join probe: dependent chain depth 2 vs 8\n\n");
+    std::printf("%-6s %10s %10s %10s %8s %8s\n", "bench", "base-IPC",
+                "DVR-IPC", "speedup", "baseMLP", "dvrMLP");
+    for (const char *kernel : {"hj2", "hj8"}) {
+        PreparedWorkload pw(kernel, "", wp, 192ULL << 20);
+        SimConfig base = SimConfig::baseline(Technique::kBase);
+        base.maxInstructions = 300'000;
+        SimConfig dvr_cfg = SimConfig::baseline(Technique::kDvr);
+        dvr_cfg.maxInstructions = base.maxInstructions;
+        const SimResult rb = pw.run(base);
+        const SimResult rd = pw.run(dvr_cfg);
+        std::printf("%-6s %10.3f %10.3f %9.2fx %8.2f %8.2f\n", kernel,
+                    rb.ipc(), rd.ipc(), rd.ipc() / rb.ipc(),
+                    rb.mshrOccupancy(), rd.mshrOccupancy());
+    }
+
+    // Deep dive on hj8's memory behaviour under DVR.
+    PreparedWorkload pw("hj8", "", wp, 192ULL << 20);
+    SimConfig cfg = SimConfig::baseline(Technique::kDvr);
+    cfg.maxInstructions = 300'000;
+    const SimResult r = pw.run(cfg);
+    const double l1 = r.stats.get("mem.ra_found_l1");
+    const double l2 = r.stats.get("mem.ra_found_l2");
+    const double l3 = r.stats.get("mem.ra_found_l3");
+    const double late = r.stats.get("mem.ra_found_late");
+    std::printf("\nhj8 under DVR:\n");
+    std::printf("  demand loads served by DRAM: %.0f (baseline had "
+                "every probe miss)\n",
+                r.stats.get("mem.demand_dram"));
+    std::printf("  prefetched lines found at L1/L2/L3/late: "
+                "%.0f/%.0f/%.0f/%.0f\n", l1, l2, l3, late);
+    std::printf("  runahead DRAM fetches: %.0f, episodes: %.0f\n",
+                r.stats.get("mem.dram_runahead"),
+                r.stats.get("dvr.episodes"));
+    return 0;
+}

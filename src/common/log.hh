@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit: panic() for simulator
+ * bugs (aborts), fatal() for user/configuration errors (clean exit).
+ */
+
+#ifndef DVR_COMMON_LOG_HH
+#define DVR_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace dvr {
+
+/** Abort with a message: something that should never happen happened. */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Terminate with a message: the user asked for something impossible. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw std::runtime_error("fatal: " + msg);
+}
+
+/** Non-fatal warning to stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** panic() unless the condition holds. */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+} // namespace dvr
+
+#endif // DVR_COMMON_LOG_HH

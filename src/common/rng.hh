@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**) and the
+ * hash functions the workloads use. Simulation results must be exactly
+ * reproducible across runs, so nothing here depends on global state.
+ */
+
+#ifndef DVR_COMMON_RNG_HH
+#define DVR_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace dvr {
+
+/**
+ * xoshiro256** 1.0 generator. Small, fast, and deterministic; quality
+ * is more than sufficient for synthetic data-set generation.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound), bound > 0. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+  private:
+    uint64_t s_[4];
+};
+
+/** splitmix64: used for seeding and as the workloads' hash function. */
+uint64_t splitmix64(uint64_t x);
+
+/**
+ * The hash the Figure-1-style kernels (camel, hashjoin) compute in
+ * simulated code; kept here so golden models match the ISA kernels.
+ */
+constexpr uint64_t
+kernelHash(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace dvr
+
+#endif // DVR_COMMON_RNG_HH

@@ -1,0 +1,115 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace dvr {
+
+void
+StatSet::add(const std::string &name, double v)
+{
+    vals_[name] += v;
+}
+
+void
+StatSet::set(const std::string &name, double v)
+{
+    vals_[name] = v;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = vals_.find(name);
+    return it == vals_.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return vals_.count(name) != 0;
+}
+
+void
+StatSet::merge(const std::string &prefix, const StatSet &other)
+{
+    for (const auto &[k, v] : other.vals_)
+        vals_[prefix + k] = v;
+}
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[k, v] : vals_)
+        os << k << " " << v << "\n";
+    return os.str();
+}
+
+std::string
+StatSet::toJson(int indent) const
+{
+    std::ostringstream os;
+    const std::string pad(static_cast<size_t>(indent), ' ');
+    os << "{\n";
+    bool first = true;
+    for (const auto &[k, v] : vals_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << pad << "\"" << k << "\": " << v;
+    }
+    os << "\n}\n";
+    return os.str();
+}
+
+std::string
+StatSet::toCsv() const
+{
+    std::ostringstream os;
+    os << "stat,value\n";
+    for (const auto &[k, v] : vals_)
+        os << k << "," << v << "\n";
+    return os.str();
+}
+
+double
+harmonicMean(const std::vector<double> &xs)
+{
+    double inv = 0.0;
+    size_t n = 0;
+    for (double x : xs) {
+        if (x > 0.0) {
+            inv += 1.0 / x;
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : static_cast<double>(n) / inv;
+}
+
+double
+geometricMean(const std::vector<double> &xs)
+{
+    double logsum = 0.0;
+    size_t n = 0;
+    for (double x : xs) {
+        if (x > 0.0) {
+            logsum += std::log(x);
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : std::exp(logsum / static_cast<double>(n));
+}
+
+double
+arithmeticMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+} // namespace dvr

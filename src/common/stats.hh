@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Lightweight named-statistics support plus the aggregation helpers
+ * (harmonic mean, normalization) the evaluation benches use.
+ */
+
+#ifndef DVR_COMMON_STATS_HH
+#define DVR_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dvr {
+
+/**
+ * A flat, ordered collection of named scalar statistics. Components
+ * expose their counters through one of these so tests and benches can
+ * read any value by name without coupling to component internals.
+ */
+class StatSet
+{
+  public:
+    /** Add (or create) a named counter. */
+    void add(const std::string &name, double v);
+
+    /** Overwrite a named value. */
+    void set(const std::string &name, double v);
+
+    /** Read a value; returns 0 when absent. */
+    double get(const std::string &name) const;
+
+    /** True when the stat exists. */
+    bool has(const std::string &name) const;
+
+    /** Merge all stats from another set, prefixing their names. */
+    void merge(const std::string &prefix, const StatSet &other);
+
+    /** All (name, value) pairs, sorted by name. */
+    const std::map<std::string, double> &all() const { return vals_; }
+
+    /** Render as "name value" lines. */
+    std::string toString() const;
+
+    /** Render as a flat JSON object (names are valid identifiers). */
+    std::string toJson(int indent = 2) const;
+
+    /** Render as a two-column CSV with a header row. */
+    std::string toCsv() const;
+
+  private:
+    std::map<std::string, double> vals_;
+};
+
+/** Harmonic mean; ignores non-positive entries (they would be bugs). */
+double harmonicMean(const std::vector<double> &xs);
+
+/** Geometric mean of positive values. */
+double geometricMean(const std::vector<double> &xs);
+
+/** Arithmetic mean. */
+double arithmeticMean(const std::vector<double> &xs);
+
+} // namespace dvr
+
+#endif // DVR_COMMON_STATS_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module in the simulator.
+ */
+
+#ifndef DVR_COMMON_TYPES_HH
+#define DVR_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dvr {
+
+/** Simulated core clock cycle. */
+using Cycle = uint64_t;
+
+/** Simulated byte address in the flat functional memory. */
+using Addr = uint64_t;
+
+/** Program counter: index of an instruction within a Program. */
+using InstPc = uint32_t;
+
+/** Architectural register identifier (0..kNumArchRegs-1). */
+using RegId = uint8_t;
+
+/** Number of architectural integer registers (the VTT is 16 bits). */
+inline constexpr int kNumArchRegs = 16;
+
+/** Cache-line size in bytes, used throughout the memory hierarchy. */
+inline constexpr uint32_t kLineBytes = 64;
+
+/** Sentinel for "no cycle"/"never". */
+inline constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for an invalid instruction PC. */
+inline constexpr InstPc kInvalidPc = std::numeric_limits<InstPc>::max();
+
+/** Align an address down to its cache-line base. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+} // namespace dvr
+
+#endif // DVR_COMMON_TYPES_HH

@@ -1,0 +1,178 @@
+#include "core/branch_predictor.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace dvr {
+
+std::unique_ptr<BranchPredictor>
+makePredictor(const std::string &kind)
+{
+    if (kind == "tage")
+        return std::make_unique<TagePredictor>();
+    if (kind == "gshare")
+        return std::make_unique<GsharePredictor>();
+    if (kind == "taken")
+        return std::make_unique<TakenPredictor>();
+    fatal("makePredictor: unknown predictor '" + kind + "'");
+}
+
+// --- TAGE ------------------------------------------------------------
+
+TagePredictor::TagePredictor()
+    : bimodal_(1u << 13, 0)
+{
+    for (auto &t : tables_)
+        t.resize(1u << kTableBits);
+}
+
+namespace {
+
+uint64_t
+foldHistory(uint64_t hist, int len, int bits)
+{
+    const uint64_t masked =
+        len >= 64 ? hist : (hist & ((1ULL << len) - 1));
+    uint64_t folded = 0;
+    for (int i = 0; i < len; i += bits)
+        folded ^= (masked >> i);
+    return folded & ((1ULL << bits) - 1);
+}
+
+} // namespace
+
+uint32_t
+TagePredictor::tableIndex(int t, InstPc pc) const
+{
+    const uint64_t h = foldHistory(history_, kHistLens[t], kTableBits);
+    return static_cast<uint32_t>(
+        (pc ^ (pc >> kTableBits) ^ h) & ((1u << kTableBits) - 1));
+}
+
+uint16_t
+TagePredictor::tableTag(int t, InstPc pc) const
+{
+    const uint64_t h = foldHistory(history_, kHistLens[t], kTagBits);
+    const uint64_t h2 = foldHistory(history_, kHistLens[t], kTagBits - 1);
+    return static_cast<uint16_t>(
+        (pc ^ h ^ (h2 << 1)) & ((1u << kTagBits) - 1));
+}
+
+bool
+TagePredictor::predict(InstPc pc)
+{
+    ++lookups;
+    providerTable_ = -1;
+    // Bimodal counters are 0..3; >= 2 means taken.
+    altPred_ = bimodal_[pc & (bimodal_.size() - 1)] >= 2;
+    bool pred = altPred_;
+    bool have_provider = false;
+    for (int t = kNumTables - 1; t >= 0; --t) {
+        const uint32_t idx = tableIndex(t, pc);
+        const Entry &e = tables_[t][idx];
+        if (e.tag == tableTag(t, pc)) {
+            if (!have_provider) {
+                providerTable_ = t;
+                providerIdx_ = idx;
+                providerPred_ = e.ctr >= 0;
+                pred = providerPred_;
+                have_provider = true;
+            } else {
+                // First match below the provider is the alternate.
+                altPred_ = e.ctr >= 0;
+                break;
+            }
+        }
+    }
+    lastPred_ = pred;
+    lastPc_ = pc;
+    return pred;
+}
+
+void
+TagePredictor::update(InstPc pc, bool taken)
+{
+    // predict() must have been called for this pc immediately before.
+    if (pc != lastPc_)
+        predict(pc);
+    if (lastPred_ != taken)
+        ++mispredicts;
+
+    auto bump = [](int8_t &c, bool up, int lo, int hi) {
+        if (up && c < hi)
+            ++c;
+        else if (!up && c > lo)
+            --c;
+    };
+
+    if (providerTable_ >= 0) {
+        Entry &e = tables_[providerTable_][providerIdx_];
+        bump(e.ctr, taken, -4, 3);
+        if (providerPred_ != altPred_) {
+            if (providerPred_ == taken) {
+                if (e.useful < 3)
+                    ++e.useful;
+            } else if (e.useful > 0) {
+                --e.useful;
+            }
+        }
+    } else {
+        int8_t &c = bimodal_[pc & (bimodal_.size() - 1)];
+        if (taken && c < 3)
+            ++c;
+        else if (!taken && c > 0)
+            --c;
+    }
+
+    // Allocate a new entry in a longer-history table on a mispredict.
+    if (lastPred_ != taken && providerTable_ < kNumTables - 1) {
+        rng_ = splitmix64(rng_);
+        const int start = providerTable_ + 1;
+        for (int t = start; t < kNumTables; ++t) {
+            Entry &e = tables_[t][tableIndex(t, pc)];
+            if (e.useful == 0) {
+                e.tag = tableTag(t, pc);
+                e.ctr = taken ? 0 : -1;
+                break;
+            }
+            // Decay a useful entry occasionally so tables don't clog.
+            if ((rng_ & 7) == 0 && e.useful > 0)
+                --e.useful;
+        }
+    }
+
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+    lastPc_ = kInvalidPc;
+}
+
+// --- gshare ------------------------------------------------------------
+
+GsharePredictor::GsharePredictor(unsigned bits)
+    : bits_(bits), table_(1u << bits, 1)
+{
+}
+
+bool
+GsharePredictor::predict(InstPc pc)
+{
+    ++lookups;
+    const uint64_t idx = (pc ^ history_) & ((1ULL << bits_) - 1);
+    return table_[idx] >= 2;
+}
+
+void
+GsharePredictor::update(InstPc pc, bool taken)
+{
+    const uint64_t idx = (pc ^ history_) & ((1ULL << bits_) - 1);
+    const bool pred = table_[idx] >= 2;
+    if (pred != taken)
+        ++mispredicts;
+    int8_t &c = table_[idx];
+    if (taken && c < 3)
+        ++c;
+    else if (!taken && c > 0)
+        --c;
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+} // namespace dvr

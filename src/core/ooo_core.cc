@@ -1,0 +1,375 @@
+#include "core/ooo_core.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "mem/sim_memory.hh"
+
+namespace dvr {
+
+namespace {
+
+/** FU counts per class (Table 1). */
+constexpr unsigned kFuCount[kNumFuClasses] = {
+    4,  // IntAlu
+    1,  // IntMul
+    1,  // IntDiv
+    1,  // FpAdd
+    1,  // FpMul
+    1,  // FpDiv
+    2,  // Mem (AGU/cache ports)
+    2,  // Branch
+    1,  // None (unused)
+};
+
+/** Execution latency per class. */
+constexpr Cycle kFuLat[kNumFuClasses] = {
+    1,   // IntAlu
+    3,   // IntMul
+    18,  // IntDiv
+    3,   // FpAdd
+    5,   // FpMul
+    6,   // FpDiv
+    1,   // Mem: AGU; cache latency added on top
+    1,   // Branch
+    1,   // None
+};
+
+/** Unpipelined units occupy their port for the full latency. */
+constexpr bool kFuUnpipelined[kNumFuClasses] = {
+    false, false, true, false, false, true, false, false, false,
+};
+
+} // namespace
+
+CoreConfig
+CoreConfig::withRob(unsigned rob, bool scale_queues)
+{
+    CoreConfig c;
+    c.robSize = rob;
+    if (scale_queues) {
+        const double f = double(rob) / 350.0;
+        c.iqSize = std::max(16u, unsigned(128 * f));
+        c.lqSize = std::max(16u, unsigned(128 * f));
+        c.sqSize = std::max(16u, unsigned(72 * f));
+    }
+    return c;
+}
+
+StatSet
+CoreStats::toStatSet() const
+{
+    StatSet s;
+    s.set("instructions", double(instructions));
+    s.set("cycles", double(cycles));
+    s.set("ipc", ipc());
+    s.set("loads", double(loads));
+    s.set("stores", double(stores));
+    s.set("loads_l1", double(loadsL1));
+    s.set("loads_l2", double(loadsL2));
+    s.set("loads_l3", double(loadsL3));
+    s.set("loads_dram", double(loadsDram));
+    s.set("branches", double(branches));
+    s.set("mispredicts", double(mispredicts));
+    s.set("rob_stall_cycles", robStallCycles);
+    s.set("runahead_extra_stall", runaheadExtraStall);
+    s.set("full_rob_stall_events", double(fullRobStallEvents));
+    return s;
+}
+
+OooCore::PortTracker::PortTracker(unsigned slots_per_cycle,
+                                  Cycle occupancy)
+    : slots_(slots_per_cycle), occupancy_(occupancy),
+      used_(kWindow, 0)
+{
+}
+
+Cycle
+OooCore::PortTracker::reserve(Cycle want)
+{
+    // Requests before the tracked window are granted immediately:
+    // the sliding window follows the latest (memory-delayed) issue
+    // times, and slots that far in the past are never saturated.
+    if (want < base_)
+        return want;
+    Cycle c = want;
+    while (true) {
+        // Slide the window forward when the request is beyond it.
+        if (c >= base_ + kWindow) {
+            const Cycle new_base = c - kWindow / 2;
+            if (new_base - base_ >= kWindow) {
+                std::fill(used_.begin(), used_.end(), 0);
+            } else {
+                for (Cycle b = base_; b < new_base; ++b)
+                    used_[b % kWindow] = 0;
+            }
+            base_ = new_base;
+        }
+        if (used_[c % kWindow] < slots_)
+            break;
+        ++c;
+    }
+    // An unpipelined unit blocks its slot for the full latency.
+    for (Cycle o = 0; o < occupancy_; ++o) {
+        if (c + o >= base_ + kWindow)
+            break;
+        ++used_[(c + o) % kWindow];
+    }
+    return c;
+}
+
+OooCore::OooCore(const CoreConfig &cfg, const Program &prog,
+                 SimMemory &mem, MemorySystem &memsys, CoreClient *client)
+    : cfg_(cfg), prog_(prog), mem_(mem), memsys_(memsys),
+      client_(client), bpred_(makePredictor(cfg.predictor)),
+      commitRing_(cfg.robSize, 0), robHeadDramLoad_(cfg.robSize, false),
+      loadRing_(cfg.lqSize, 0), storeRing_(cfg.sqSize, 0)
+{
+    for (int c = 0; c < kNumFuClasses; ++c) {
+        fu_.emplace_back(kFuCount[c],
+                         kFuUnpipelined[c] ? kFuLat[c] : 1);
+    }
+}
+
+Cycle
+OooCore::reserveFu(FuClass cls, Cycle earliest)
+{
+    return fu_[static_cast<int>(cls)].reserve(earliest);
+}
+
+void
+OooCore::run(uint64_t max_insts)
+{
+    uint64_t seq = stats_.instructions;
+
+    while (seq < max_insts) {
+        if (!prog_.valid(pc_))
+            panic("OooCore: fell off the end of the program");
+        const Instruction &inst = prog_.at(pc_);
+        if (inst.op == Opcode::kHalt) {
+            stats_.halted = true;
+            break;
+        }
+
+        // ---- functional execution ---------------------------------
+        const uint64_t s1 = regs_.value[inst.rs1];
+        const uint64_t s2 = regs_.value[inst.rs2];
+        uint64_t result = 0;
+        Addr eff_addr = 0;
+        uint64_t load_value = 0;
+        bool taken = false;
+        InstPc next_pc = pc_ + 1;
+
+        if (inst.isLoad()) {
+            eff_addr = s1 + static_cast<Addr>(inst.imm);
+            load_value = mem_.read(eff_addr, inst.memBytes());
+            result = load_value;
+        } else if (inst.isStore()) {
+            eff_addr = s1 + static_cast<Addr>(inst.imm);
+            mem_.write(eff_addr, inst.memBytes(), s2);
+        } else if (inst.isBranch()) {
+            taken = branchTaken(inst.op, s1);
+            if (taken)
+                next_pc = inst.target;
+        } else if (inst.hasDest()) {
+            result = evalOp(inst.op, s1, s2, inst.imm);
+        }
+
+        // ---- timing -----------------------------------------------
+        // Fetch: width instructions per cycle.
+        if (fetchedThisCycle_ >= cfg_.width) {
+            ++nextFetchCycle_;
+            fetchedThisCycle_ = 0;
+        }
+        const Cycle fetch = nextFetchCycle_;
+        ++fetchedThisCycle_;
+
+        // Dispatch constraints.
+        const Cycle frontend = fetch + cfg_.frontendDepth;
+        const size_t rob_slot = seq % cfg_.robSize;
+        const Cycle rob_free = commitRing_[rob_slot];
+        const bool rob_head_dram = robHeadDramLoad_[rob_slot];
+        // Issue-queue entries free at issue, in any order: dispatch
+        // is constrained by the earliest-issuing in-flight entry only
+        // when all iqSize entries are still waiting.
+        Cycle iq_free = 0;
+        if (cfg_.modelIqOccupancy) {
+            const Cycle iq_horizon = std::max(frontend, rob_free);
+            while (!iqIssueTimes_.empty() &&
+                   iqIssueTimes_.top() <= iq_horizon) {
+                iqIssueTimes_.pop();
+            }
+            if (iqIssueTimes_.size() >= cfg_.iqSize) {
+                iq_free = iqIssueTimes_.top();
+                iqIssueTimes_.pop();
+            }
+        }
+        Cycle lsq_free = 0;
+        if (inst.isLoad())
+            lsq_free = loadRing_[loadCount_ % cfg_.lqSize];
+        else if (inst.isStore())
+            lsq_free = storeRing_[storeCount_ % cfg_.sqSize];
+
+        const Cycle others = std::max({frontend, iq_free, lsq_free});
+        Cycle dispatch = std::max(others, rob_free);
+
+        if (rob_free > others) {
+            // Model time when the ROB actually filled: dispatch was
+            // proceeding until the previous instruction, so the stall
+            // begins no earlier than that dispatch. Attributing only
+            // the increment past that point counts each stalled cycle
+            // once (not once per blocked instruction).
+            const Cycle stall_start = std::max(others, lastDispatch_);
+            if (rob_free > stall_start)
+                stats_.robStallCycles += double(rob_free - stall_start);
+            // Full-ROB stall: fire the runahead hook when the ROB
+            // head is a DRAM-bound load and no episode is already
+            // covering this stall.
+            if (client_ && rob_head_dram &&
+                stall_start >= runaheadBusyUntil_ &&
+                rob_free > stall_start) {
+                ++stats_.fullRobStallEvents;
+                StallInfo si;
+                si.seq = seq;
+                si.nextPc = pc_;
+                si.stallStart = stall_start;
+                si.headLoadDone = rob_free;
+                const Cycle extra = client_->onFullRobStall(si);
+                // After runahead ends the pipeline refills the window
+                // before the next full-ROB stall can begin.
+                runaheadBusyUntil_ = std::max(rob_free, extra) +
+                                     cfg_.robSize / cfg_.width;
+                if (extra > dispatch) {
+                    stats_.runaheadExtraStall += double(extra - dispatch);
+                    dispatch = extra;
+                }
+            }
+        }
+
+        // Operand readiness.
+        Cycle ready = dispatch + 1;
+        const int nsrcs = inst.numSrcs();
+        if (nsrcs >= 1)
+            ready = std::max(ready, regs_.ready[inst.rs1]);
+        if (nsrcs >= 2)
+            ready = std::max(ready, regs_.ready[inst.rs2]);
+        if (inst.isLoad()) {
+            auto it = storeReady_.find(eff_addr >> 3);
+            if (it != storeReady_.end())
+                ready = std::max(ready, it->second);
+        }
+
+        // Issue on a free unit of the right class.
+        const FuClass cls = inst.fuClass();
+        Cycle issue = ready;
+        Cycle complete = ready;
+        HitLevel level = HitLevel::kL1;
+        if (cls != FuClass::kNone) {
+            issue = reserveFu(cls, ready);
+            complete = issue + kFuLat[static_cast<int>(cls)];
+        }
+
+        if (inst.isLoad()) {
+            const MemAccess ma = memsys_.access(
+                eff_addr, inst.memBytes(), issue + 1, false,
+                Requester::kMain, pc_, load_value);
+            complete = ma.done;
+            level = ma.level;
+            ++stats_.loads;
+            switch (level) {
+              case HitLevel::kL1: ++stats_.loadsL1; break;
+              case HitLevel::kL2: ++stats_.loadsL2; break;
+              case HitLevel::kL3: ++stats_.loadsL3; break;
+              case HitLevel::kDram: ++stats_.loadsDram; break;
+            }
+        }
+
+        // Branch resolution and redirect.
+        if (inst.isBranch()) {
+            ++stats_.branches;
+            bool mispredict = false;
+            if (inst.isCondBranch()) {
+                const bool pred = bpred_->predict(pc_);
+                bpred_->update(pc_, taken);
+                mispredict = pred != taken;
+            }
+            if (mispredict) {
+                ++stats_.mispredicts;
+                // Redirect: correct-path fetch restarts after resolve.
+                nextFetchCycle_ = std::max(nextFetchCycle_, complete + 1);
+                fetchedThisCycle_ = 0;
+            }
+        }
+
+        // In-order, width-limited commit.
+        Cycle commit = std::max(complete + 1, lastCommitCycle_);
+        if (commit == lastCommitCycle_ &&
+            committedThisCycle_ >= cfg_.width) {
+            ++commit;
+        }
+        if (commit != lastCommitCycle_) {
+            lastCommitCycle_ = commit;
+            committedThisCycle_ = 1;
+        } else {
+            ++committedThisCycle_;
+        }
+
+        // Stores access the memory system at commit (traffic only;
+        // they never stall the requester).
+        if (inst.isStore()) {
+            memsys_.access(eff_addr, inst.memBytes(), commit, true,
+                           Requester::kMain, pc_, 0);
+            storeReady_[eff_addr >> 3] = complete + 1;
+            storeRing_[storeCount_ % cfg_.sqSize] = commit;
+            ++storeCount_;
+            ++stats_.stores;
+        }
+        if (inst.isLoad()) {
+            // LQ entries are reclaimed at commit (in order).
+            loadRing_[loadCount_ % cfg_.lqSize] = commit;
+            ++loadCount_;
+        }
+
+        // Update occupancy rings and register state.
+        commitRing_[rob_slot] = commit;
+        // The runahead trigger needs "the ROB head is blocked on
+        // DRAM": either the head is a DRAM-bound load itself, or it
+        // is chained behind one (its completion trails dispatch by a
+        // DRAM round trip).
+        robHeadDramLoad_[rob_slot] =
+            (inst.isLoad() && level == HitLevel::kDram) ||
+            complete > dispatch + 150;
+        if (cfg_.modelIqOccupancy)
+            iqIssueTimes_.push(issue);
+        if (inst.hasDest()) {
+            regs_.value[inst.rd] = result;
+            regs_.ready[inst.rd] = complete;
+        }
+
+        ++seq;
+        stats_.instructions = seq;
+        stats_.cycles = std::max(stats_.cycles, commit);
+
+        if (client_) {
+            RetireInfo ri;
+            ri.seq = seq - 1;
+            ri.pc = pc_;
+            ri.inst = &inst;
+            ri.effAddr = eff_addr;
+            ri.loadValue = load_value;
+            ri.result = result;
+            ri.taken = taken;
+            ri.dispatchCycle = dispatch;
+            ri.issueCycle = issue;
+            ri.completeCycle = complete;
+            ri.commitCycle = commit;
+            ri.level = level;
+            client_->onRetire(ri);
+        }
+
+        lastDispatch_ = dispatch;
+        pc_ = next_pc;
+    }
+}
+
+} // namespace dvr

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Execution-driven, dependence-based out-of-order core timing model
+ * (Sniper-lineage). Each dynamic instruction is functionally executed
+ * and timed exactly once, in program order; out-of-order behaviour is
+ * captured through per-register ready times, per-FU port reservation,
+ * ROB/IQ/LSQ occupancy constraints, and in-order width-limited commit.
+ *
+ * The model exposes the two integration points runahead techniques
+ * need: a retire hook observing every dynamic instruction (with
+ * functional values and timestamps) and a full-ROB-stall hook fired
+ * when dispatch blocks behind a DRAM-bound load at the ROB head.
+ */
+
+#ifndef DVR_CORE_OOO_CORE_HH
+#define DVR_CORE_OOO_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/branch_predictor.hh"
+#include "isa/program.hh"
+#include "mem/memory_system.hh"
+
+namespace dvr {
+
+class SimMemory;
+
+/** Core parameters; defaults follow Table 1 of the paper. */
+struct CoreConfig
+{
+    unsigned width = 5;             ///< fetch/dispatch/commit width
+    unsigned robSize = 350;
+    unsigned iqSize = 128;
+    unsigned lqSize = 128;
+    unsigned sqSize = 72;
+    unsigned frontendDepth = 15;    ///< redirect penalty, cycles
+    std::string predictor = "tage";
+    unsigned memPorts = 2;          ///< load/store AGU ports
+    /**
+     * Model issue-queue occupancy as a dispatch constraint. Off by
+     * default: the paper's Sniper model is ROB/window-centric, and
+     * its full-ROB-stall phenomenology (Figure 2) requires the ROB to
+     * be the binding in-flight structure.
+     */
+    bool modelIqOccupancy = false;
+
+    /** Scale ROB and queue sizes together (core-size sweeps). */
+    static CoreConfig withRob(unsigned rob, bool scale_queues = false);
+};
+
+/** Architectural register state plus per-register readiness times. */
+struct RegState
+{
+    std::array<uint64_t, kNumArchRegs> value{};
+    std::array<Cycle, kNumArchRegs> ready{};
+};
+
+/** Everything a retire-stream observer gets per dynamic instruction. */
+struct RetireInfo
+{
+    uint64_t seq = 0;
+    InstPc pc = 0;
+    const Instruction *inst = nullptr;
+    Addr effAddr = 0;           ///< memory ops only
+    uint64_t loadValue = 0;     ///< loads only
+    uint64_t result = 0;        ///< destination value written
+    bool taken = false;         ///< branches only
+    Cycle dispatchCycle = 0;
+    Cycle issueCycle = 0;
+    Cycle completeCycle = 0;
+    Cycle commitCycle = 0;
+    HitLevel level = HitLevel::kL1;     ///< loads only
+};
+
+/** Context handed to the full-ROB-stall hook. */
+struct StallInfo
+{
+    uint64_t seq = 0;           ///< instruction blocked at dispatch
+    InstPc nextPc = 0;          ///< its PC (start of the future stream)
+    Cycle stallStart = 0;       ///< when dispatch would otherwise run
+    Cycle headLoadDone = 0;     ///< when the blocking load returns
+};
+
+/**
+ * Observer/participant interface for runahead techniques. onRetire is
+ * called for every dynamic instruction in program order; the stall
+ * hook may return a cycle dispatch must additionally wait for
+ * (Vector Runahead's delayed termination).
+ */
+class CoreClient
+{
+  public:
+    virtual ~CoreClient() = default;
+    virtual void onRetire(const RetireInfo &) {}
+    virtual Cycle onFullRobStall(const StallInfo &) { return 0; }
+};
+
+/** Aggregate run statistics. */
+struct CoreStats
+{
+    uint64_t instructions = 0;
+    Cycle cycles = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t loadsL1 = 0;
+    uint64_t loadsL2 = 0;
+    uint64_t loadsL3 = 0;
+    uint64_t loadsDram = 0;
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+    double robStallCycles = 0;      ///< dispatch blocked on full ROB
+    double runaheadExtraStall = 0;  ///< VR delayed-termination stall
+    uint64_t fullRobStallEvents = 0;
+    bool halted = false;
+
+    double ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : double(instructions) / double(cycles);
+    }
+    StatSet toStatSet() const;
+};
+
+class OooCore
+{
+  public:
+    OooCore(const CoreConfig &cfg, const Program &prog, SimMemory &mem,
+            MemorySystem &memsys, CoreClient *client = nullptr);
+
+    /** Execute from entry until halt or max_insts retire. */
+    void run(uint64_t max_insts);
+
+    void setEntry(InstPc pc) { pc_ = pc; }
+
+    const CoreStats &stats() const { return stats_; }
+    const RegState &regs() const { return regs_; }
+    const Program &program() const { return prog_; }
+    const BranchPredictor &predictor() const { return *bpred_; }
+    BranchPredictor &predictor() { return *bpred_; }
+    const CoreConfig &config() const { return cfg_; }
+
+    /**
+     * Issue-slot tracker for one FU class: a sliding window of
+     * per-cycle slot counts, so a younger ready instruction can
+     * backfill an earlier free slot (out-of-order issue) instead of
+     * queueing behind older instructions' reservations.
+     */
+    class PortTracker
+    {
+      public:
+        PortTracker(unsigned slots_per_cycle, Cycle occupancy);
+
+        /** Earliest cycle >= want with a free slot; reserves it. */
+        Cycle reserve(Cycle want);
+
+      private:
+        static constexpr size_t kWindow = 16384;
+        unsigned slots_;
+        Cycle occupancy_;       ///< cycles a reservation blocks
+        Cycle base_ = 0;        ///< window start
+        std::vector<uint8_t> used_;
+    };
+
+  private:
+    /** Reserve the earliest slot on a unit of the given class. */
+    Cycle reserveFu(FuClass cls, Cycle earliest);
+
+    const CoreConfig cfg_;
+    const Program &prog_;
+    SimMemory &mem_;
+    MemorySystem &memsys_;
+    CoreClient *client_;
+    std::unique_ptr<BranchPredictor> bpred_;
+
+    RegState regs_;
+    InstPc pc_ = 0;
+    CoreStats stats_;
+
+    // Occupancy rings (see .cc for the dispatch constraints). The
+    // ROB, LQ and SQ free in order (commit), so FIFO rings are exact;
+    // the issue queue frees out of order (at issue), so it is tracked
+    // with a min-heap of issue times instead.
+    std::vector<Cycle> commitRing_;     // robSize
+    std::vector<bool> robHeadDramLoad_; // robSize
+    std::priority_queue<Cycle, std::vector<Cycle>,
+                        std::greater<Cycle>> iqIssueTimes_;
+    std::vector<Cycle> loadRing_;       // lqSize
+    std::vector<Cycle> storeRing_;      // sqSize
+    uint64_t loadCount_ = 0;
+    uint64_t storeCount_ = 0;
+
+    // Per-FU-class issue-slot trackers.
+    std::vector<PortTracker> fu_;
+
+    // Front-end state.
+    Cycle nextFetchCycle_ = 0;
+    unsigned fetchedThisCycle_ = 0;
+
+    // Commit state.
+    Cycle lastCommitCycle_ = 0;
+    unsigned committedThisCycle_ = 0;
+
+    // Store-to-load dependence: 8-byte-granule address -> data-ready.
+    std::unordered_map<Addr, Cycle> storeReady_;
+
+    // Runahead re-trigger guard.
+    Cycle runaheadBusyUntil_ = 0;
+    Cycle lastDispatch_ = 0;
+};
+
+} // namespace dvr
+
+#endif // DVR_CORE_OOO_CORE_HH

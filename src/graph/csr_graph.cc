@@ -1,0 +1,50 @@
+#include "graph/csr_graph.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "mem/sim_memory.hh"
+
+namespace dvr {
+
+uint64_t
+CsrGraph::maxDegree() const
+{
+    uint64_t m = 0;
+    for (uint64_t v = 0; v < numNodes; ++v)
+        m = std::max(m, degree(v));
+    return m;
+}
+
+CsrGraph
+buildCsr(SimMemory &mem, uint64_t num_nodes, const EdgeList &edges)
+{
+    CsrGraph g;
+    g.numNodes = num_nodes;
+    g.numEdges = edges.size();
+    g.hOffsets.assign(num_nodes + 1, 0);
+    g.hEdges.resize(edges.size());
+
+    for (const auto &[u, v] : edges) {
+        panicIf(u >= num_nodes || v >= num_nodes,
+                "buildCsr: edge endpoint out of range");
+        ++g.hOffsets[u + 1];
+    }
+    for (uint64_t i = 0; i < num_nodes; ++i)
+        g.hOffsets[i + 1] += g.hOffsets[i];
+
+    std::vector<uint64_t> cursor(g.hOffsets.begin(),
+                                 g.hOffsets.end() - 1);
+    for (const auto &[u, v] : edges)
+        g.hEdges[cursor[u]++] = v;
+
+    g.offsets = mem.alloc((num_nodes + 1) * 8);
+    g.edges = mem.alloc(std::max<uint64_t>(edges.size(), 1) * 8);
+    for (uint64_t i = 0; i <= num_nodes; ++i)
+        mem.write64(g.offsets, i, g.hOffsets[i]);
+    for (uint64_t i = 0; i < g.hEdges.size(); ++i)
+        mem.write64(g.edges, i, g.hEdges[i]);
+    return g;
+}
+
+} // namespace dvr

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Compressed-sparse-row graphs living in simulated memory, plus
+ * host-side mirrors for golden-model verification.
+ */
+
+#ifndef DVR_GRAPH_CSR_GRAPH_HH
+#define DVR_GRAPH_CSR_GRAPH_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dvr {
+
+class SimMemory;
+
+using EdgeList = std::vector<std::pair<uint32_t, uint32_t>>;
+
+/**
+ * A CSR graph: `offsets` (numNodes+1 u64 entries) and `edges`
+ * (numEdges u64 node ids) are addresses in simulated memory; the
+ * `h*` vectors are host-side mirrors used by golden models.
+ */
+struct CsrGraph
+{
+    uint64_t numNodes = 0;
+    uint64_t numEdges = 0;
+    Addr offsets = 0;
+    Addr edges = 0;
+    std::vector<uint64_t> hOffsets;
+    std::vector<uint64_t> hEdges;
+
+    uint64_t degree(uint64_t v) const
+    {
+        return hOffsets[v + 1] - hOffsets[v];
+    }
+    double avgDegree() const
+    {
+        return numNodes == 0 ? 0.0
+                             : double(numEdges) / double(numNodes);
+    }
+    uint64_t maxDegree() const;
+};
+
+/** Build a CSR graph in simulated memory from an edge list. */
+CsrGraph buildCsr(SimMemory &mem, uint64_t num_nodes,
+                  const EdgeList &edges);
+
+} // namespace dvr
+
+#endif // DVR_GRAPH_CSR_GRAPH_HH

@@ -1,0 +1,64 @@
+#include "graph/edge_list_io.hh"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "common/log.hh"
+
+namespace dvr {
+
+LoadedEdgeList
+readEdgeList(std::istream &in)
+{
+    LoadedEdgeList out;
+    std::unordered_map<uint64_t, uint32_t> remap;
+    auto compact = [&](uint64_t raw) -> uint32_t {
+        auto [it, fresh] =
+            remap.emplace(raw, uint32_t(remap.size()));
+        (void)fresh;
+        return it->second;
+    };
+
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Strip comments and blank lines.
+        const size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#' ||
+            line[first] == '%') {
+            continue;
+        }
+        std::istringstream ls(line);
+        uint64_t u, v;
+        if (!(ls >> u >> v)) {
+            fatal("readEdgeList: malformed edge at line " +
+                  std::to_string(lineno) + ": '" + line + "'");
+        }
+        const uint32_t cu = compact(u);
+        const uint32_t cv = compact(v);
+        out.edges.emplace_back(cu, cv);
+    }
+    out.numNodes = remap.size();
+    return out;
+}
+
+LoadedEdgeList
+readEdgeListFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("readEdgeListFile: cannot open '" + path + "'");
+    return readEdgeList(f);
+}
+
+void
+writeEdgeList(std::ostream &out, const EdgeList &edges)
+{
+    for (const auto &[u, v] : edges)
+        out << u << " " << v << "\n";
+}
+
+} // namespace dvr

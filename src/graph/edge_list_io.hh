@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Edge-list file I/O, so users can run the GAP kernels on real graphs
+ * (e.g. SNAP data sets) instead of the synthetic Table-2 stand-ins.
+ *
+ * Format: whitespace-separated "src dst" pairs, one edge per line;
+ * lines starting with '#' or '%' are comments (SNAP/Matrix-Market
+ * headers). Node ids are compacted to a dense [0, n) range.
+ */
+
+#ifndef DVR_GRAPH_EDGE_LIST_IO_HH
+#define DVR_GRAPH_EDGE_LIST_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr_graph.hh"
+
+namespace dvr {
+
+/** A parsed edge list plus its (compacted) node count. */
+struct LoadedEdgeList
+{
+    uint64_t numNodes = 0;
+    EdgeList edges;
+};
+
+/** Parse an edge-list stream; fatal() on malformed lines. */
+LoadedEdgeList readEdgeList(std::istream &in);
+
+/** Parse an edge-list file; fatal() if it cannot be opened. */
+LoadedEdgeList readEdgeListFile(const std::string &path);
+
+/** Write an edge list in the same format (round-trip tested). */
+void writeEdgeList(std::ostream &out, const EdgeList &edges);
+
+} // namespace dvr
+
+#endif // DVR_GRAPH_EDGE_LIST_IO_HH

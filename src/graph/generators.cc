@@ -1,0 +1,100 @@
+#include "graph/generators.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace dvr {
+
+EdgeList
+rmatEdges(unsigned scale, unsigned edge_factor, const RmatParams &p,
+          uint64_t seed)
+{
+    panicIf(scale == 0 || scale > 28, "rmatEdges: bad scale");
+    const uint64_t nodes = 1ULL << scale;
+    const uint64_t count = nodes * edge_factor;
+    EdgeList edges;
+    edges.reserve(count);
+    Rng rng(seed);
+    for (uint64_t e = 0; e < count; ++e) {
+        uint64_t u = 0, v = 0;
+        for (unsigned bit = 0; bit < scale; ++bit) {
+            const double r = rng.nextDouble();
+            u <<= 1;
+            v <<= 1;
+            if (r < p.a) {
+                // top-left quadrant
+            } else if (r < p.a + p.b) {
+                v |= 1;
+            } else if (r < p.a + p.b + p.c) {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        edges.emplace_back(uint32_t(u), uint32_t(v));
+    }
+    return edges;
+}
+
+EdgeList
+uniformEdges(uint64_t nodes, uint64_t num_edges, uint64_t seed)
+{
+    EdgeList edges;
+    edges.reserve(num_edges);
+    Rng rng(seed);
+    for (uint64_t e = 0; e < num_edges; ++e) {
+        edges.emplace_back(uint32_t(rng.nextBelow(nodes)),
+                           uint32_t(rng.nextBelow(nodes)));
+    }
+    return edges;
+}
+
+const std::vector<GraphInputSpec> &
+graphInputs()
+{
+    // Scaled stand-ins for Table 2. Degrees and skew are chosen to
+    // mirror the originals' structure: KR and TW are heavily skewed
+    // power-law graphs, ORK is dense, LJN moderate, UR uniform with
+    // small per-vertex degree (the paper notes UR vertices are
+    // uniformly smaller than DVR's 128-edge target).
+    static const std::vector<GraphInputSpec> specs = {
+        {"KR", 17, 16, true, {0.57, 0.19, 0.19}, 0x4b52},
+        {"LJN", 17, 14, true, {0.52, 0.22, 0.22}, 0x4c4a},
+        {"ORK", 15, 48, true, {0.50, 0.23, 0.23}, 0x4f52},
+        {"TW", 16, 24, true, {0.60, 0.18, 0.18}, 0x5457},
+        {"UR", 17, 16, false, {}, 0x5552},
+    };
+    return specs;
+}
+
+const GraphInputSpec &
+graphInput(const std::string &name)
+{
+    for (const auto &s : graphInputs()) {
+        if (s.name == name)
+            return s;
+    }
+    fatal("graphInput: unknown input '" + name + "'");
+}
+
+uint64_t
+inputNodes(const GraphInputSpec &spec, unsigned scale_shift)
+{
+    const unsigned s =
+        spec.scale > scale_shift ? spec.scale - scale_shift : 4;
+    return 1ULL << s;
+}
+
+EdgeList
+makeInputEdges(const GraphInputSpec &spec, unsigned scale_shift)
+{
+    const unsigned s =
+        spec.scale > scale_shift ? spec.scale - scale_shift : 4;
+    if (spec.powerLaw)
+        return rmatEdges(s, spec.edgeFactor, spec.rmat, spec.seed);
+    return uniformEdges(1ULL << s, (1ULL << s) * spec.edgeFactor,
+                        spec.seed);
+}
+
+} // namespace dvr

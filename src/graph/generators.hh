@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Synthetic graph generators standing in for the paper's Table 2
+ * inputs: RMAT (Kronecker, power-law degree distribution, like the
+ * paper's Kron/Twitter/Orkut/LiveJournal graphs) and uniform-random
+ * (like Urand). Scaled down from billions of edges to ~1M edges so a
+ * laptop-scale simulation still has a working set far beyond the LLC.
+ */
+
+#ifndef DVR_GRAPH_GENERATORS_HH
+#define DVR_GRAPH_GENERATORS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hh"
+
+namespace dvr {
+
+/** RMAT partition probabilities. */
+struct RmatParams
+{
+    double a = 0.57;
+    double b = 0.19;
+    double c = 0.19;
+};
+
+/** Generate 2^scale-node RMAT edges (Graph500-style). */
+EdgeList rmatEdges(unsigned scale, unsigned edge_factor,
+                   const RmatParams &p, uint64_t seed);
+
+/** Uniform-random edges over `nodes` vertices. */
+EdgeList uniformEdges(uint64_t nodes, uint64_t num_edges,
+                      uint64_t seed);
+
+/** The paper's five GAP inputs, as scaled synthetic stand-ins. */
+struct GraphInputSpec
+{
+    std::string name;       ///< KR, LJN, ORK, TW, UR
+    unsigned scale;         ///< log2(number of nodes)
+    unsigned edgeFactor;
+    bool powerLaw;          ///< RMAT (true) vs uniform (false)
+    RmatParams rmat;
+    uint64_t seed;
+};
+
+/** All five inputs (KR, LJN, ORK, TW, UR). */
+const std::vector<GraphInputSpec> &graphInputs();
+
+/** Look up a named input; fatal() on an unknown name. */
+const GraphInputSpec &graphInput(const std::string &name);
+
+/**
+ * Generate the edge list for an input, scaled by `scale_shift` (the
+ * node count is divided by 2^scale_shift for quick tests).
+ */
+EdgeList makeInputEdges(const GraphInputSpec &spec,
+                        unsigned scale_shift = 0);
+
+/** Number of nodes for an input at a scale shift. */
+uint64_t inputNodes(const GraphInputSpec &spec,
+                    unsigned scale_shift = 0);
+
+} // namespace dvr
+
+#endif // DVR_GRAPH_GENERATORS_HH

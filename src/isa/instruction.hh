@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The micro-op ISA the simulated workloads are written in.
+ *
+ * The ISA is deliberately RISC-like and small: loads/stores with a
+ * base-register + immediate addressing mode, three-operand ALU ops,
+ * compares that write a register, and conditional branches that read
+ * one. This is exactly the shape DVR's hardware analyses expect:
+ * striding loads, register dataflow for taint tracking, and compare ->
+ * backward-branch pairs for loop-bound inference.
+ */
+
+#ifndef DVR_ISA_INSTRUCTION_HH
+#define DVR_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dvr {
+
+enum class Opcode : uint8_t {
+    kNop,
+    kHalt,
+
+    // Register moves / immediates.
+    kLoadImm,   ///< rd = imm
+    kMov,       ///< rd = rs1
+
+    // Integer ALU, register-register.
+    kAdd, kSub, kMul, kDivU, kRemU,
+    kAnd, kOr, kXor, kShl, kShr,
+    kMin, kMax,
+
+    // Integer ALU, register-immediate.
+    kAddI, kMulI, kAndI, kOrI, kXorI, kShlI, kShrI,
+
+    // One-cycle-per-stage hash used by the database kernels.
+    kHash,      ///< rd = kernelHash(rs1)
+
+    // Floating point on double bit patterns held in integer registers.
+    kFAdd, kFSub, kFMul, kFDiv,
+    kI2F,       ///< rd = double(rs1 as unsigned)
+    kF2I,       ///< rd = uint64(trunc(rs1 as double))
+    kFCmpLt,    ///< rd = (rs1 as double) < (rs2 as double)
+
+    // Compares write 0/1 into rd.
+    kCmpLt,     ///< signed rs1 < rs2
+    kCmpLtU,    ///< unsigned rs1 < rs2
+    kCmpEq, kCmpNe,
+    kCmpLtI,    ///< signed rs1 < imm
+    kCmpLtUI,   ///< unsigned rs1 < imm
+    kCmpEqI,
+
+    // Memory. Effective address = rs1 + imm.
+    kLoad,      ///< rd = mem64[rs1 + imm]
+    kLoad32,    ///< rd = zext(mem32[rs1 + imm])
+    kLoad8,     ///< rd = zext(mem8[rs1 + imm])
+    kStore,     ///< mem64[rs1 + imm] = rs2
+    kStore32,   ///< mem32[rs1 + imm] = low32(rs2)
+    kStore8,    ///< mem8[rs1 + imm] = low8(rs2)
+
+    // Control flow. Branch targets are instruction indices.
+    kBeqz,      ///< if (rs1 == 0) goto target
+    kBnez,      ///< if (rs1 != 0) goto target
+    kJmp,       ///< goto target
+};
+
+/** Functional-unit classes mirroring Table 1 of the paper. */
+enum class FuClass : uint8_t {
+    kIntAlu,    ///< 4 units, 1 cycle
+    kIntMul,    ///< 1 unit, 3 cycles
+    kIntDiv,    ///< 1 unit, 18 cycles
+    kFpAdd,     ///< 1 unit, 3 cycles
+    kFpMul,     ///< 1 unit, 5 cycles
+    kFpDiv,     ///< 1 unit, 6 cycles
+    kMem,       ///< load/store pipe
+    kBranch,    ///< resolved on an ALU port
+    kNone,      ///< nop/halt
+};
+inline constexpr int kNumFuClasses = 9;
+
+/**
+ * A static instruction. Branch targets are resolved to instruction
+ * indices by the ProgramBuilder before execution.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::kNop;
+    RegId rd = 0;
+    RegId rs1 = 0;
+    RegId rs2 = 0;
+    int64_t imm = 0;
+    InstPc target = kInvalidPc;
+
+    bool isLoad() const;
+    bool isStore() const;
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isBranch() const;
+    bool isCondBranch() const;
+    bool isCompare() const;
+    bool hasDest() const;
+    /** Number of register sources actually read (0..2). */
+    int numSrcs() const;
+    /** True when rs2 is a real source (reg-reg forms, stores). */
+    bool readsRs2() const;
+    FuClass fuClass() const;
+    /** Memory access size in bytes (loads/stores only). */
+    uint32_t memBytes() const;
+
+    std::string toString() const;
+};
+
+/**
+ * Functionally evaluate a non-memory, non-branch opcode. Shared by the
+ * out-of-order core model and the vector-runahead subthread so the two
+ * can never diverge in semantics.
+ */
+uint64_t evalOp(Opcode op, uint64_t s1, uint64_t s2, int64_t imm);
+
+/** True when the conditional branch with source value v is taken. */
+bool branchTaken(Opcode op, uint64_t v);
+
+const char *opcodeName(Opcode op);
+
+} // namespace dvr
+
+#endif // DVR_ISA_INSTRUCTION_HH

@@ -1,0 +1,42 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dvr {
+
+Program::Program(std::vector<Instruction> insts,
+                 std::map<std::string, InstPc> labels)
+    : insts_(std::move(insts)), labels_(std::move(labels))
+{
+}
+
+InstPc
+Program::label(const std::string &name) const
+{
+    auto it = labels_.find(name);
+    if (it == labels_.end())
+        fatal("Program: unknown label '" + name + "'");
+    return it->second;
+}
+
+std::string
+Program::disassemble() const
+{
+    // Invert the label map for printing.
+    std::map<InstPc, std::string> by_pc;
+    for (const auto &[name, pc] : labels_)
+        by_pc[pc] = by_pc.count(pc) ? by_pc[pc] + "," + name : name;
+
+    std::ostringstream os;
+    for (InstPc pc = 0; pc < size(); ++pc) {
+        auto it = by_pc.find(pc);
+        if (it != by_pc.end())
+            os << it->second << ":\n";
+        os << "  " << pc << ": " << insts_[pc].toString() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace dvr

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * A Program is an immutable sequence of micro-ops plus debug metadata.
+ */
+
+#ifndef DVR_ISA_PROGRAM_HH
+#define DVR_ISA_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace dvr {
+
+/** An assembled program: instructions addressed by InstPc indices. */
+class Program
+{
+  public:
+    Program() = default;
+    Program(std::vector<Instruction> insts,
+            std::map<std::string, InstPc> labels);
+
+    const Instruction &at(InstPc pc) const { return insts_[pc]; }
+    InstPc size() const { return static_cast<InstPc>(insts_.size()); }
+    bool valid(InstPc pc) const { return pc < insts_.size(); }
+
+    /** Resolve a label to its PC; fatal() when absent. */
+    InstPc label(const std::string &name) const;
+
+    /** Full disassembly with labels, for debugging and docs. */
+    std::string disassemble() const;
+
+  private:
+    std::vector<Instruction> insts_;
+    std::map<std::string, InstPc> labels_;
+};
+
+} // namespace dvr
+
+#endif // DVR_ISA_PROGRAM_HH

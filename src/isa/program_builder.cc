@@ -1,0 +1,203 @@
+#include "isa/program_builder.hh"
+
+#include "common/log.hh"
+
+namespace dvr {
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &name)
+{
+    if (labels_.count(name))
+        fatal("ProgramBuilder: duplicate label '" + name + "'");
+    labels_[name] = here();
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::emit(Instruction inst)
+{
+    if (inst.rd >= kNumArchRegs || inst.rs1 >= kNumArchRegs ||
+        inst.rs2 >= kNumArchRegs) {
+        fatal("ProgramBuilder: register id out of range");
+    }
+    insts_.push_back(inst);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::emitRRR(Opcode op, RegId rd, RegId a, RegId b)
+{
+    return emit({.op = op, .rd = rd, .rs1 = a, .rs2 = b});
+}
+
+ProgramBuilder &
+ProgramBuilder::emitRRI(Opcode op, RegId rd, RegId a, int64_t imm)
+{
+    return emit({.op = op, .rd = rd, .rs1 = a, .imm = imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::emitBranch(Opcode op, RegId rs, const std::string &target)
+{
+    fixups_.emplace_back(here(), target);
+    return emit({.op = op, .rs1 = rs});
+}
+
+ProgramBuilder &
+ProgramBuilder::li(RegId rd, int64_t imm)
+{
+    return emit({.op = Opcode::kLoadImm, .rd = rd, .imm = imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::mov(RegId rd, RegId rs)
+{
+    return emit({.op = Opcode::kMov, .rd = rd, .rs1 = rs});
+}
+
+#define DVR_RRR(NAME, OP) \
+    ProgramBuilder &ProgramBuilder::NAME(RegId rd, RegId a, RegId b) \
+    { return emitRRR(Opcode::OP, rd, a, b); }
+
+DVR_RRR(add, kAdd)
+DVR_RRR(sub, kSub)
+DVR_RRR(mul, kMul)
+DVR_RRR(divu, kDivU)
+DVR_RRR(remu, kRemU)
+DVR_RRR(and_, kAnd)
+DVR_RRR(or_, kOr)
+DVR_RRR(xor_, kXor)
+DVR_RRR(shl, kShl)
+DVR_RRR(shr, kShr)
+DVR_RRR(min, kMin)
+DVR_RRR(max, kMax)
+DVR_RRR(fadd, kFAdd)
+DVR_RRR(fsub, kFSub)
+DVR_RRR(fmul, kFMul)
+DVR_RRR(fdiv, kFDiv)
+DVR_RRR(fcmplt, kFCmpLt)
+DVR_RRR(cmplt, kCmpLt)
+DVR_RRR(cmpltu, kCmpLtU)
+DVR_RRR(cmpeq, kCmpEq)
+DVR_RRR(cmpne, kCmpNe)
+#undef DVR_RRR
+
+#define DVR_RRI(NAME, OP) \
+    ProgramBuilder &ProgramBuilder::NAME(RegId rd, RegId a, int64_t imm) \
+    { return emitRRI(Opcode::OP, rd, a, imm); }
+
+DVR_RRI(addi, kAddI)
+DVR_RRI(muli, kMulI)
+DVR_RRI(andi, kAndI)
+DVR_RRI(ori, kOrI)
+DVR_RRI(xori, kXorI)
+DVR_RRI(shli, kShlI)
+DVR_RRI(shri, kShrI)
+DVR_RRI(cmplti, kCmpLtI)
+DVR_RRI(cmpltui, kCmpLtUI)
+DVR_RRI(cmpeqi, kCmpEqI)
+#undef DVR_RRI
+
+ProgramBuilder &
+ProgramBuilder::hash(RegId rd, RegId a)
+{
+    return emit({.op = Opcode::kHash, .rd = rd, .rs1 = a});
+}
+
+ProgramBuilder &
+ProgramBuilder::i2f(RegId rd, RegId a)
+{
+    return emit({.op = Opcode::kI2F, .rd = rd, .rs1 = a});
+}
+
+ProgramBuilder &
+ProgramBuilder::f2i(RegId rd, RegId a)
+{
+    return emit({.op = Opcode::kF2I, .rd = rd, .rs1 = a});
+}
+
+ProgramBuilder &
+ProgramBuilder::ld(RegId rd, RegId base, int64_t off)
+{
+    return emit({.op = Opcode::kLoad, .rd = rd, .rs1 = base, .imm = off});
+}
+
+ProgramBuilder &
+ProgramBuilder::ldw(RegId rd, RegId base, int64_t off)
+{
+    return emit({.op = Opcode::kLoad32, .rd = rd, .rs1 = base,
+                 .imm = off});
+}
+
+ProgramBuilder &
+ProgramBuilder::ldb(RegId rd, RegId base, int64_t off)
+{
+    return emit({.op = Opcode::kLoad8, .rd = rd, .rs1 = base, .imm = off});
+}
+
+ProgramBuilder &
+ProgramBuilder::st(RegId base, int64_t off, RegId src)
+{
+    return emit({.op = Opcode::kStore, .rs1 = base, .rs2 = src,
+                 .imm = off});
+}
+
+ProgramBuilder &
+ProgramBuilder::stw(RegId base, int64_t off, RegId src)
+{
+    return emit({.op = Opcode::kStore32, .rs1 = base, .rs2 = src,
+                 .imm = off});
+}
+
+ProgramBuilder &
+ProgramBuilder::stb(RegId base, int64_t off, RegId src)
+{
+    return emit({.op = Opcode::kStore8, .rs1 = base, .rs2 = src,
+                 .imm = off});
+}
+
+ProgramBuilder &
+ProgramBuilder::beqz(RegId rs, const std::string &target)
+{
+    return emitBranch(Opcode::kBeqz, rs, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::bnez(RegId rs, const std::string &target)
+{
+    return emitBranch(Opcode::kBnez, rs, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::jmp(const std::string &target)
+{
+    fixups_.emplace_back(here(), target);
+    return emit({.op = Opcode::kJmp});
+}
+
+ProgramBuilder &
+ProgramBuilder::nop()
+{
+    return emit({.op = Opcode::kNop});
+}
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    return emit({.op = Opcode::kHalt});
+}
+
+Program
+ProgramBuilder::build()
+{
+    for (const auto &[idx, name] : fixups_) {
+        auto it = labels_.find(name);
+        if (it == labels_.end())
+            fatal("ProgramBuilder: unresolved label '" + name + "'");
+        insts_[idx].target = it->second;
+    }
+    fixups_.clear();
+    return Program(insts_, labels_);
+}
+
+} // namespace dvr

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fluent assembler for the micro-op ISA: labels with forward
+ * references, one emit method per opcode family. All workloads are
+ * authored through this class.
+ */
+
+#ifndef DVR_ISA_PROGRAM_BUILDER_HH
+#define DVR_ISA_PROGRAM_BUILDER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace dvr {
+
+/**
+ * Builds a Program. Branch targets may name labels defined later;
+ * build() resolves them and fails loudly on dangling references.
+ */
+class ProgramBuilder
+{
+  public:
+    /** Define a label at the current position. */
+    ProgramBuilder &label(const std::string &name);
+
+    // --- moves -----------------------------------------------------
+    ProgramBuilder &li(RegId rd, int64_t imm);
+    ProgramBuilder &mov(RegId rd, RegId rs);
+
+    // --- integer ALU -----------------------------------------------
+    ProgramBuilder &add(RegId rd, RegId a, RegId b);
+    ProgramBuilder &sub(RegId rd, RegId a, RegId b);
+    ProgramBuilder &mul(RegId rd, RegId a, RegId b);
+    ProgramBuilder &divu(RegId rd, RegId a, RegId b);
+    ProgramBuilder &remu(RegId rd, RegId a, RegId b);
+    ProgramBuilder &and_(RegId rd, RegId a, RegId b);
+    ProgramBuilder &or_(RegId rd, RegId a, RegId b);
+    ProgramBuilder &xor_(RegId rd, RegId a, RegId b);
+    ProgramBuilder &shl(RegId rd, RegId a, RegId b);
+    ProgramBuilder &shr(RegId rd, RegId a, RegId b);
+    ProgramBuilder &min(RegId rd, RegId a, RegId b);
+    ProgramBuilder &max(RegId rd, RegId a, RegId b);
+    ProgramBuilder &addi(RegId rd, RegId a, int64_t imm);
+    ProgramBuilder &muli(RegId rd, RegId a, int64_t imm);
+    ProgramBuilder &andi(RegId rd, RegId a, int64_t imm);
+    ProgramBuilder &ori(RegId rd, RegId a, int64_t imm);
+    ProgramBuilder &xori(RegId rd, RegId a, int64_t imm);
+    ProgramBuilder &shli(RegId rd, RegId a, int64_t imm);
+    ProgramBuilder &shri(RegId rd, RegId a, int64_t imm);
+    ProgramBuilder &hash(RegId rd, RegId a);
+
+    // --- floating point (double bit patterns) -----------------------
+    ProgramBuilder &fadd(RegId rd, RegId a, RegId b);
+    ProgramBuilder &fsub(RegId rd, RegId a, RegId b);
+    ProgramBuilder &fmul(RegId rd, RegId a, RegId b);
+    ProgramBuilder &fdiv(RegId rd, RegId a, RegId b);
+    ProgramBuilder &i2f(RegId rd, RegId a);
+    ProgramBuilder &f2i(RegId rd, RegId a);
+    ProgramBuilder &fcmplt(RegId rd, RegId a, RegId b);
+
+    // --- compares ---------------------------------------------------
+    ProgramBuilder &cmplt(RegId rd, RegId a, RegId b);
+    ProgramBuilder &cmpltu(RegId rd, RegId a, RegId b);
+    ProgramBuilder &cmpeq(RegId rd, RegId a, RegId b);
+    ProgramBuilder &cmpne(RegId rd, RegId a, RegId b);
+    ProgramBuilder &cmplti(RegId rd, RegId a, int64_t imm);
+    ProgramBuilder &cmpltui(RegId rd, RegId a, int64_t imm);
+    ProgramBuilder &cmpeqi(RegId rd, RegId a, int64_t imm);
+
+    // --- memory -----------------------------------------------------
+    ProgramBuilder &ld(RegId rd, RegId base, int64_t off = 0);
+    ProgramBuilder &ldw(RegId rd, RegId base, int64_t off = 0);
+    ProgramBuilder &ldb(RegId rd, RegId base, int64_t off = 0);
+    ProgramBuilder &st(RegId base, int64_t off, RegId src);
+    ProgramBuilder &stw(RegId base, int64_t off, RegId src);
+    ProgramBuilder &stb(RegId base, int64_t off, RegId src);
+
+    // --- control ----------------------------------------------------
+    ProgramBuilder &beqz(RegId rs, const std::string &target);
+    ProgramBuilder &bnez(RegId rs, const std::string &target);
+    ProgramBuilder &jmp(const std::string &target);
+    ProgramBuilder &nop();
+    ProgramBuilder &halt();
+
+    /** Current position (PC the next emitted instruction will get). */
+    InstPc here() const { return static_cast<InstPc>(insts_.size()); }
+
+    /** Resolve label references and produce the Program. */
+    Program build();
+
+  private:
+    ProgramBuilder &emit(Instruction inst);
+    ProgramBuilder &emitBranch(Opcode op, RegId rs,
+                               const std::string &target);
+    ProgramBuilder &emitRRR(Opcode op, RegId rd, RegId a, RegId b);
+    ProgramBuilder &emitRRI(Opcode op, RegId rd, RegId a, int64_t imm);
+
+    std::vector<Instruction> insts_;
+    std::map<std::string, InstPc> labels_;
+    /** (instruction index, label name) pending fixups. */
+    std::vector<std::pair<InstPc, std::string>> fixups_;
+};
+
+} // namespace dvr
+
+#endif // DVR_ISA_PROGRAM_BUILDER_HH

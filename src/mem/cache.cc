@@ -1,0 +1,110 @@
+#include "mem/cache.hh"
+
+#include "common/log.hh"
+
+namespace dvr {
+
+Cache::Cache(std::string name, uint32_t size_bytes, uint32_t assoc)
+    : name_(std::move(name)), assoc_(assoc)
+{
+    panicIf(assoc == 0 || size_bytes % (assoc * kLineBytes) != 0,
+            "Cache: size must be a multiple of assoc * line size");
+    numSets_ = size_bytes / (assoc * kLineBytes);
+    panicIf((numSets_ & (numSets_ - 1)) != 0,
+            "Cache: number of sets must be a power of two");
+    lines_.resize(static_cast<size_t>(numSets_) * assoc_);
+}
+
+uint32_t
+Cache::setIndex(Addr line_addr) const
+{
+    return static_cast<uint32_t>((line_addr / kLineBytes) &
+                                 (numSets_ - 1));
+}
+
+CacheLine *
+Cache::lookup(Addr line_addr)
+{
+    CacheLine *base = &lines_[size_t(setIndex(line_addr)) * assoc_];
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        CacheLine &l = base[w];
+        if (l.valid && l.lineAddr == line_addr) {
+            l.lruStamp = nextStamp_++;
+            ++hits;
+            return &l;
+        }
+    }
+    ++misses;
+    return nullptr;
+}
+
+const CacheLine *
+Cache::peek(Addr line_addr) const
+{
+    const CacheLine *base = &lines_[size_t(setIndex(line_addr)) * assoc_];
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].lineAddr == line_addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+Cache::Victim
+Cache::insert(Addr line_addr, Cycle fill_time, Requester who, bool dirty)
+{
+    CacheLine *base = &lines_[size_t(setIndex(line_addr)) * assoc_];
+    CacheLine *slot = nullptr;
+
+    // Hit (re-fill): update in place.
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].lineAddr == line_addr) {
+            slot = &base[w];
+            break;
+        }
+    }
+
+    Victim victim;
+    if (!slot) {
+        // Prefer an invalid way; otherwise evict the LRU way.
+        for (uint32_t w = 0; w < assoc_; ++w) {
+            if (!base[w].valid) {
+                slot = &base[w];
+                break;
+            }
+        }
+        if (!slot) {
+            slot = &base[0];
+            for (uint32_t w = 1; w < assoc_; ++w) {
+                if (base[w].lruStamp < slot->lruStamp)
+                    slot = &base[w];
+            }
+            victim.valid = true;
+            victim.lineAddr = slot->lineAddr;
+            victim.dirty = slot->dirty;
+        }
+    }
+
+    const bool refill = slot->valid && slot->lineAddr == line_addr;
+    slot->lineAddr = line_addr;
+    slot->fillTime = fill_time;
+    slot->lruStamp = nextStamp_++;
+    slot->valid = true;
+    slot->dirty = refill ? (slot->dirty || dirty) : dirty;
+    slot->filledBy = who;
+    slot->demandTouched = (who == Requester::kMain);
+    return victim;
+}
+
+void
+Cache::invalidate(Addr line_addr)
+{
+    CacheLine *base = &lines_[size_t(setIndex(line_addr)) * assoc_];
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].lineAddr == line_addr) {
+            base[w].valid = false;
+            return;
+        }
+    }
+}
+
+} // namespace dvr

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Set-associative cache with LRU replacement and time-aware lines.
+ * Lines carry their fill time so a prefetch issued by a runahead
+ * episode becomes a full hit, a partial (in-flight) hit, or a miss for
+ * the main thread depending on when the main thread arrives.
+ */
+
+#ifndef DVR_MEM_CACHE_HH
+#define DVR_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/dram.hh"
+
+namespace dvr {
+
+struct CacheLine
+{
+    Addr lineAddr = 0;
+    Cycle fillTime = 0;
+    uint64_t lruStamp = 0;
+    bool valid = false;
+    bool dirty = false;
+    /** Who brought the line in (demand, runahead, hw prefetch). */
+    Requester filledBy = Requester::kMain;
+    /** Set on the first demand touch after a prefetch fill. */
+    bool demandTouched = false;
+};
+
+class Cache
+{
+  public:
+    /** What insert() displaced, for writebacks and stats. */
+    struct Victim
+    {
+        bool valid = false;
+        Addr lineAddr = 0;
+        bool dirty = false;
+    };
+
+    Cache(std::string name, uint32_t size_bytes, uint32_t assoc);
+
+    /** Find a line and update LRU; nullptr on miss. */
+    CacheLine *lookup(Addr line_addr);
+
+    /** Find a line without touching LRU state. */
+    const CacheLine *peek(Addr line_addr) const;
+
+    /** Insert (or overwrite) a line; returns the victim if any. */
+    Victim insert(Addr line_addr, Cycle fill_time, Requester who,
+                  bool dirty);
+
+    /** Drop a line if present (used by eviction propagation). */
+    void invalidate(Addr line_addr);
+
+    uint32_t numSets() const { return numSets_; }
+    uint32_t assoc() const { return assoc_; }
+    const std::string &name() const { return name_; }
+
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+  private:
+    uint32_t setIndex(Addr line_addr) const;
+
+    std::string name_;
+    uint32_t assoc_;
+    uint32_t numSets_;
+    uint64_t nextStamp_ = 1;
+    std::vector<CacheLine> lines_;  // numSets_ * assoc_, set-major
+};
+
+} // namespace dvr
+
+#endif // DVR_MEM_CACHE_HH

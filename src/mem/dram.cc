@@ -1,0 +1,32 @@
+#include "mem/dram.hh"
+
+namespace dvr {
+
+DramModel::DramModel(Cycle min_latency, Cycle cycles_per_line)
+    : minLatency_(min_latency), cyclesPerLine_(cycles_per_line)
+{
+}
+
+Cycle
+DramModel::access(Cycle want, Requester who)
+{
+    // The dependence-based core model can present requests slightly
+    // out of time order; the channel simply serializes transfers from
+    // the later of (request time, channel free time).
+    Cycle start = want > nextFree_ ? want : nextFree_;
+    nextFree_ = start + cyclesPerLine_;
+    queueDelay_ += static_cast<double>(start - want);
+    ++count_[static_cast<int>(who)];
+    return start + minLatency_;
+}
+
+uint64_t
+DramModel::totalAccesses() const
+{
+    uint64_t t = 0;
+    for (auto c : count_)
+        t += c;
+    return t;
+}
+
+} // namespace dvr

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * DRAM channel model: fixed minimum latency plus a request-based
+ * bandwidth contention queue, matching the paper's "50 ns min.
+ * latency, 51.2 GB/s bandwidth, request-based contention model".
+ */
+
+#ifndef DVR_MEM_DRAM_HH
+#define DVR_MEM_DRAM_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dvr {
+
+/** Who generated a DRAM access; drives the Figure 10 split. */
+enum class Requester : uint8_t {
+    kMain,      ///< demand access from the main thread
+    kRunahead,  ///< runahead subthread / runahead-mode prefetch
+    kHwPrefetch,///< stride/IMP/oracle hardware prefetcher
+    kWriteback, ///< dirty eviction
+};
+inline constexpr int kNumRequesters = 4;
+
+class DramModel
+{
+  public:
+    /**
+     * @param min_latency cycles from channel issue to data return
+     * @param cycles_per_line channel occupancy per 64-byte transfer
+     */
+    DramModel(Cycle min_latency, Cycle cycles_per_line);
+
+    /**
+     * Issue a line transfer wanting to start at `want`.
+     * @return the completion cycle (queueing delay + fixed latency).
+     */
+    Cycle access(Cycle want, Requester who);
+
+    uint64_t accesses(Requester who) const
+    {
+        return count_[static_cast<int>(who)];
+    }
+    uint64_t totalAccesses() const;
+    Cycle minLatency() const { return minLatency_; }
+    double totalQueueDelay() const { return queueDelay_; }
+
+  private:
+    Cycle minLatency_;
+    Cycle cyclesPerLine_;
+    Cycle nextFree_ = 0;
+    uint64_t count_[kNumRequesters] = {};
+    double queueDelay_ = 0.0;
+};
+
+} // namespace dvr
+
+#endif // DVR_MEM_DRAM_HH

@@ -1,0 +1,134 @@
+#include "mem/imp_prefetcher.hh"
+
+#include "mem/sim_memory.hh"
+
+namespace dvr {
+
+ImpPrefetcher::ImpPrefetcher(const SimMemory &mem, unsigned distance)
+    : mem_(mem), distance_(distance),
+      streams_(kNumStreams), patterns_(kNumPatterns)
+{
+}
+
+ImpPrefetcher::IndexStream *
+ImpPrefetcher::findStream(InstPc pc)
+{
+    for (auto &s : streams_) {
+        if (s.pc == pc)
+            return &s;
+    }
+    return nullptr;
+}
+
+void
+ImpPrefetcher::observe(InstPc pc, Addr addr, uint64_t value,
+                       uint32_t bytes, bool missed,
+                       std::vector<Addr> &out)
+{
+    IndexStream *s = findStream(pc);
+    if (s) {
+        // Train the stride of this (potential) index stream.
+        const int64_t delta = static_cast<int64_t>(addr) -
+                              static_cast<int64_t>(s->lastAddr);
+        if (delta != 0) {
+            if (delta == s->stride) {
+                if (s->confidence < 3)
+                    ++s->confidence;
+            } else {
+                s->stride = delta;
+                s->confidence = 0;
+            }
+            s->lastAddr = addr;
+        }
+        s->bytes = bytes;
+        s->lastValue = value;
+        s->hasValue = true;
+    } else {
+        // Track unseen PCs: replace the least-confident entry.
+        IndexStream *victim = &streams_[0];
+        for (auto &st : streams_) {
+            if (st.pc == kInvalidPc) {
+                victim = &st;
+                break;
+            }
+            if (st.confidence < victim->confidence)
+                victim = &st;
+        }
+        if (victim->confidence == 0) {
+            *victim = IndexStream();
+            victim->pc = pc;
+            victim->lastAddr = addr;
+            victim->bytes = bytes;
+            victim->lastValue = value;
+            victim->hasValue = true;
+        }
+    }
+
+    const bool is_strider = s && s->confidence >= 2 && s->stride != 0;
+
+    if (is_strider) {
+        // Prefetch: for each active pattern anchored at this stream,
+        // read future index values and prefetch their targets (the
+        // hardware IMP reads them from already-prefetched lines).
+        for (const auto &p : patterns_) {
+            if (p.indexPc != pc || p.confidence < 2)
+                continue;
+            for (unsigned d = 1; d <= distance_; ++d) {
+                Addr idx_addr =
+                    addr + static_cast<Addr>(s->stride * int64_t(d));
+                uint64_t future = 0;
+                if (!mem_.tryRead(idx_addr, bytes, future))
+                    break;
+                Addr target = p.base + (future << p.shift);
+                if (mem_.validRange(target, 1)) {
+                    out.push_back(lineAlign(target));
+                    ++issued_;
+                }
+            }
+        }
+        return;
+    }
+
+    // Correlation: this miss may be the indirect target of one of the
+    // confident index streams. Test addr == base + (value << shift)
+    // for the plausible element sizes; a base seen twice for the same
+    // (stream, target PC, shift) becomes an active pattern.
+    if (!missed)
+        return;
+    for (auto &is : streams_) {
+        if (is.pc == kInvalidPc || is.pc == pc || !is.hasValue ||
+            is.confidence < 2) {
+            continue;
+        }
+        // Candidate element-size shifts: byte, u64, and the padded
+        // 64/128-byte records the workloads use.
+        for (uint8_t shift : {0, 3, 6, 7}) {
+            const Addr base = addr - (is.lastValue << shift);
+            if (base > addr)    // underflow: implausible
+                continue;
+            Pattern *free_slot = nullptr;
+            bool matched = false;
+            for (auto &p : patterns_) {
+                if (p.indexPc == kInvalidPc) {
+                    if (!free_slot)
+                        free_slot = &p;
+                    continue;
+                }
+                if (p.indexPc == is.pc && p.targetPc == pc &&
+                    p.shift == shift && p.base == base) {
+                    if (p.confidence < 3) {
+                        ++p.confidence;
+                        if (p.confidence == 2)
+                            ++learned_;
+                    }
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched && free_slot)
+                *free_slot = Pattern{is.pc, pc, base, shift, 1};
+        }
+    }
+}
+
+} // namespace dvr

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Indirect Memory Prefetcher (IMP) baseline, after Yu et al.
+ * (MICRO 2015). Detects `A[B[i]]`-style patterns at the L1-D level:
+ * it correlates the *values* loaded by a striding (index) stream with
+ * the *addresses* of subsequent misses, learning `addr = base +
+ * (value << shift)` candidates, then prefetches ahead of the index
+ * stream by reading future index values.
+ */
+
+#ifndef DVR_MEM_IMP_PREFETCHER_HH
+#define DVR_MEM_IMP_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dvr {
+
+class SimMemory;
+
+class ImpPrefetcher
+{
+  public:
+    /**
+     * @param mem functional memory, used to read future index values
+     *            (hardware IMP reads them from prefetched lines)
+     * @param distance how many iterations ahead to prefetch
+     */
+    ImpPrefetcher(const SimMemory &mem, unsigned distance);
+
+    /**
+     * Observe a demand load; may append prefetch line addresses.
+     * @param pc static PC of the load
+     * @param addr accessed address
+     * @param value value the load returned (index candidate)
+     * @param bytes access size of the load
+     * @param missed true when the access missed in L1-D
+     */
+    void observe(InstPc pc, Addr addr, uint64_t value, uint32_t bytes,
+                 bool missed, std::vector<Addr> &out);
+
+    uint64_t patternsLearned() const { return learned_; }
+    uint64_t issued() const { return issued_; }
+
+  private:
+    /** Striding index streams (small private RPT). */
+    struct IndexStream
+    {
+        InstPc pc = kInvalidPc;
+        Addr lastAddr = 0;
+        int64_t stride = 0;
+        uint8_t confidence = 0;
+        uint32_t bytes = 8;
+        uint64_t lastValue = 0;
+        bool hasValue = false;
+    };
+
+    /** A learned (or candidate) indirect pattern. */
+    struct Pattern
+    {
+        InstPc indexPc = kInvalidPc;  ///< the striding index stream
+        InstPc targetPc = kInvalidPc; ///< the indirect load PC
+        Addr base = 0;
+        uint8_t shift = 0;
+        uint8_t confidence = 0;       ///< >=2 means active
+    };
+
+    IndexStream *findStream(InstPc pc);
+
+    static constexpr unsigned kNumStreams = 8;
+    static constexpr unsigned kNumPatterns = 16;
+
+    const SimMemory &mem_;
+    unsigned distance_;
+    std::vector<IndexStream> streams_;
+    std::vector<Pattern> patterns_;
+    uint64_t learned_ = 0;
+    uint64_t issued_ = 0;
+};
+
+} // namespace dvr
+
+#endif // DVR_MEM_IMP_PREFETCHER_HH

@@ -1,0 +1,256 @@
+#include "mem/memory_system.hh"
+
+#include "common/log.hh"
+#include "mem/sim_memory.hh"
+
+namespace dvr {
+
+MemorySystem::MemorySystem(const MemConfig &cfg, const SimMemory &mem)
+    : cfg_(cfg), mem_(mem),
+      l1_("L1D", cfg.l1Size, cfg.l1Assoc),
+      l2_("L2", cfg.l2Size, cfg.l2Assoc),
+      l3_("L3", cfg.l3Size, cfg.l3Assoc),
+      mshrs_(cfg.mshrs),
+      dram_(cfg.dramLat, cfg.dramCyclesPerLine)
+{
+    if (cfg.stridePrefetcher) {
+        stride_ = std::make_unique<StridePrefetcher>(cfg.strideStreams,
+                                                     cfg.strideDegree);
+    }
+    if (cfg.impPrefetcher)
+        imp_ = std::make_unique<ImpPrefetcher>(mem, cfg.impDistance);
+}
+
+void
+MemorySystem::noteRunaheadPrefetch(Addr line_addr)
+{
+    pendingRunahead_.emplace(line_addr, 0);
+}
+
+void
+MemorySystem::noteDemandTouch(Addr line_addr, Cycle observed_latency)
+{
+    auto it = pendingRunahead_.find(line_addr);
+    if (it == pendingRunahead_.end())
+        return;
+    pendingRunahead_.erase(it);
+    if (observed_latency <= cfg_.l1Lat)
+        ++raFoundL1;
+    else if (observed_latency <= cfg_.l2Lat)
+        ++raFoundL2;
+    else if (observed_latency <= cfg_.l3Lat)
+        ++raFoundL3;
+    else
+        ++raFoundLate;
+}
+
+void
+MemorySystem::fill(Addr line_addr, Cycle fill_time, Requester who,
+                   bool dirty, Cycle now)
+{
+    // Fill all three levels (mostly-inclusive hierarchy). Dirty
+    // victims propagate downward; a dirty L3 victim costs a DRAM
+    // writeback transfer.
+    auto v3 = l3_.insert(line_addr, fill_time, who, false);
+    if (v3.valid && v3.dirty) {
+        dram_.access(now, Requester::kWriteback);
+        ++writebacks;
+    }
+    auto v2 = l2_.insert(line_addr, fill_time, who, false);
+    if (v2.valid && v2.dirty) {
+        auto *l = l3_.lookup(v2.lineAddr);
+        if (l) {
+            l->dirty = true;
+        } else {
+            auto wb = l3_.insert(v2.lineAddr, now, who, true);
+            if (wb.valid && wb.dirty) {
+                dram_.access(now, Requester::kWriteback);
+                ++writebacks;
+            }
+        }
+    }
+    auto v1 = l1_.insert(line_addr, fill_time, who, dirty);
+    if (v1.valid && v1.dirty) {
+        auto *l = l2_.lookup(v1.lineAddr);
+        if (l)
+            l->dirty = true;
+    }
+}
+
+MemAccess
+MemorySystem::access(Addr addr, uint32_t bytes, Cycle cycle,
+                     bool is_store, Requester who, InstPc pc,
+                     uint64_t load_value)
+{
+    const Addr line = lineAlign(addr);
+    const bool main_demand = (who == Requester::kMain);
+    if (main_demand)
+        ++demandAccesses;
+
+    MemAccess res;
+
+    if (CacheLine *l = l1_.lookup(line)) {
+        const bool complete = l->fillTime <= cycle;
+        res.level = HitLevel::kL1;
+        res.inFlightHit = !complete;
+        res.done = (complete ? cycle : l->fillTime) + cfg_.l1Lat;
+        if (is_store)
+            l->dirty = true;
+        if (main_demand) {
+            ++demandHitsL1;
+            noteDemandTouch(line, res.done - cycle);
+            l->demandTouched = true;
+        }
+    } else if (const CacheLine *l2l = l2_.lookup(line)) {
+        const bool complete = l2l->fillTime <= cycle;
+        res.level = HitLevel::kL2;
+        res.inFlightHit = !complete;
+        // An L1 miss holds an MSHR even when it hits in L2/L3.
+        const Cycle start =
+            mshrs_.acquire(complete ? cycle : l2l->fillTime,
+                           who == Requester::kRunahead);
+        res.done = start + cfg_.l2Lat;
+        mshrs_.commit(start, res.done);
+        // Promote into L1.
+        l1_.insert(line, res.done, who, is_store);
+        if (main_demand) {
+            ++demandHitsL2;
+            noteDemandTouch(line, res.done - cycle);
+        }
+    } else if (const CacheLine *l3l = l3_.lookup(line)) {
+        const bool complete = l3l->fillTime <= cycle;
+        res.level = HitLevel::kL3;
+        res.inFlightHit = !complete;
+        const Cycle start =
+            mshrs_.acquire(complete ? cycle : l3l->fillTime,
+                           who == Requester::kRunahead);
+        res.done = start + cfg_.l3Lat;
+        mshrs_.commit(start, res.done);
+        l2_.insert(line, res.done, who, false);
+        l1_.insert(line, res.done, who, is_store);
+        if (main_demand) {
+            ++demandHitsL3;
+            noteDemandTouch(line, res.done - cycle);
+        }
+    } else {
+        // Full miss: allocate an MSHR (may delay the request when all
+        // 24 are busy), then queue on the DRAM channel.
+        res.level = HitLevel::kDram;
+        const Cycle mshr_start =
+            mshrs_.acquire(cycle, who == Requester::kRunahead);
+        const Cycle done = dram_.access(mshr_start + cfg_.l3Lat, who);
+        mshrs_.commit(mshr_start, done);
+        res.done = done;
+        fill(line, done, who, is_store, cycle);
+        if (main_demand) {
+            ++demandDram;
+            ++llcMisses;
+            noteDemandTouch(line, res.done - cycle);
+        }
+    }
+
+    if (who == Requester::kRunahead && !is_store &&
+        res.level == HitLevel::kDram) {
+        noteRunaheadPrefetch(line);
+    }
+
+
+    // Train the L1-D prefetchers on main-thread demand loads only.
+    if (main_demand && !is_store) {
+        demandLatSum += double(res.done - cycle);
+        pfQueue_.clear();
+        if (stride_)
+            stride_->train(pc, addr, pfQueue_);
+        if (imp_) {
+            imp_->observe(pc, addr, load_value, bytes,
+                          res.level != HitLevel::kL1, pfQueue_);
+        }
+        for (Addr p : pfQueue_)
+            prefetchLine(p, res.done, Requester::kHwPrefetch);
+    }
+
+    return res;
+}
+
+Cycle
+MemorySystem::prefetchLine(Addr line_addr, Cycle cycle, Requester who,
+                           bool best_effort)
+{
+    line_addr = lineAlign(line_addr);
+    if (const CacheLine *l = l1_.peek(line_addr))
+        return l->fillTime;
+
+    Cycle done;
+    if (const CacheLine *l2l = l2_.lookup(line_addr)) {
+        const Cycle start = l2l->fillTime > cycle ? l2l->fillTime : cycle;
+        done = start + cfg_.l2Lat;
+        l1_.insert(line_addr, done, who, false);
+    } else if (const CacheLine *l3l = l3_.lookup(line_addr)) {
+        const Cycle start = l3l->fillTime > cycle ? l3l->fillTime : cycle;
+        done = start + cfg_.l3Lat;
+        l2_.insert(line_addr, done, who, false);
+        l1_.insert(line_addr, done, who, false);
+    } else {
+        // Hardware prefetches are best-effort: dropped when the MSHRs
+        // are all busy rather than queueing behind demand misses. The
+        // Oracle instead waits for an MSHR (it never loses a line).
+        Cycle start = cycle;
+        if (best_effort) {
+            if (!mshrs_.tryAcquire(cycle))
+                return kCycleNever;
+        } else {
+            start = mshrs_.acquire(cycle);
+        }
+        done = dram_.access(start + cfg_.l3Lat, who);
+        mshrs_.commit(start, done);
+        fill(line_addr, done, who, false, cycle);
+        if (who == Requester::kRunahead)
+            noteRunaheadPrefetch(line_addr);
+    }
+    return done;
+}
+
+bool
+MemorySystem::present(Addr line_addr) const
+{
+    line_addr = lineAlign(line_addr);
+    return l1_.peek(line_addr) || l2_.peek(line_addr) ||
+           l3_.peek(line_addr);
+}
+
+StatSet
+MemorySystem::stats() const
+{
+    StatSet s;
+    s.set("demand_accesses", double(demandAccesses));
+    s.set("demand_lat_sum", demandLatSum);
+    s.set("demand_hits_l1", double(demandHitsL1));
+    s.set("demand_hits_l2", double(demandHitsL2));
+    s.set("demand_hits_l3", double(demandHitsL3));
+    s.set("demand_dram", double(demandDram));
+    s.set("llc_misses", double(llcMisses));
+    s.set("writebacks", double(writebacks));
+    s.set("dram_main", double(dram_.accesses(Requester::kMain)));
+    s.set("dram_runahead", double(dram_.accesses(Requester::kRunahead)));
+    s.set("dram_hw_prefetch",
+          double(dram_.accesses(Requester::kHwPrefetch)));
+    s.set("dram_writeback",
+          double(dram_.accesses(Requester::kWriteback)));
+    s.set("dram_total", double(dram_.totalAccesses()));
+    s.set("ra_found_l1", double(raFoundL1));
+    s.set("ra_found_l2", double(raFoundL2));
+    s.set("ra_found_l3", double(raFoundL3));
+    s.set("ra_found_late", double(raFoundLate));
+    s.set("ra_unused", double(pendingRunahead_.size()));
+    s.set("mshr_acquires", double(mshrs_.acquires()));
+    s.set("mshr_prefetch_drops", double(mshrs_.prefetchDrops()));
+    if (stride_)
+        s.set("stride_pf_issued", double(stride_->issued()));
+    if (imp_) {
+        s.set("imp_pf_issued", double(imp_->issued()));
+        s.set("imp_patterns", double(imp_->patternsLearned()));
+    }
+    return s;
+}
+
+} // namespace dvr

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The composed memory hierarchy: L1-D / L2 / L3 / DRAM with MSHRs, an
+ * always-on stride prefetcher, the optional IMP baseline prefetcher,
+ * and the bookkeeping the evaluation figures need (DRAM traffic split
+ * by requester, runahead-prefetch timeliness, MSHR occupancy).
+ */
+
+#ifndef DVR_MEM_MEMORY_SYSTEM_HH
+#define DVR_MEM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/imp_prefetcher.hh"
+#include "mem/mshr.hh"
+#include "mem/stride_prefetcher.hh"
+
+namespace dvr {
+
+class SimMemory;
+
+/** Memory-hierarchy parameters (Table 1 of the paper by default). */
+struct MemConfig
+{
+    uint32_t l1Size = 32 * 1024;
+    uint32_t l1Assoc = 8;
+    Cycle l1Lat = 4;
+    uint32_t l2Size = 256 * 1024;
+    uint32_t l2Assoc = 8;
+    Cycle l2Lat = 12;       ///< cumulative from issue
+    uint32_t l3Size = 8 * 1024 * 1024;
+    uint32_t l3Assoc = 16;
+    Cycle l3Lat = 34;       ///< cumulative from issue
+    unsigned mshrs = 24;
+    Cycle dramLat = 200;    ///< 50 ns at 4 GHz
+    Cycle dramCyclesPerLine = 5;    ///< 51.2 GB/s at 4 GHz
+    bool stridePrefetcher = true;
+    unsigned strideStreams = 16;
+    unsigned strideDegree = 4;
+    bool impPrefetcher = false;
+    unsigned impDistance = 32;
+};
+
+/** Which level served a demand access. */
+enum class HitLevel : uint8_t { kL1, kL2, kL3, kDram };
+
+/** Result of a timed access. */
+struct MemAccess
+{
+    Cycle done = 0;             ///< cycle the data is available
+    HitLevel level = HitLevel::kL1;
+    bool inFlightHit = false;   ///< hit on a line still being filled
+};
+
+class MemorySystem
+{
+  public:
+    MemorySystem(const MemConfig &cfg, const SimMemory &mem);
+
+    /**
+     * Timed demand access (load or store) from the main thread or a
+     * runahead episode.
+     *
+     * @param addr byte address
+     * @param bytes access size
+     * @param cycle cycle the access is issued
+     * @param is_store stores allocate but never stall the requester
+     * @param who requester class (main thread vs runahead)
+     * @param pc static PC, used for prefetcher training
+     * @param load_value functional value returned (IMP training)
+     */
+    MemAccess access(Addr addr, uint32_t bytes, Cycle cycle,
+                     bool is_store, Requester who, InstPc pc,
+                     uint64_t load_value);
+
+    /**
+     * Full-line prefetch. Best-effort prefetches (hardware stride /
+     * IMP) are dropped when no MSHR is available; non-best-effort
+     * (the Oracle) queue behind the MSHRs instead.
+     * @return cycle the line will be filled, or kCycleNever if dropped
+     *         or already present in L1.
+     */
+    Cycle prefetchLine(Addr line_addr, Cycle cycle, Requester who,
+                       bool best_effort = true);
+
+    /** Probe without side effects: is the line in any cache level? */
+    bool present(Addr line_addr) const;
+
+    MshrTracker &mshrs() { return mshrs_; }
+    const MemConfig &config() const { return cfg_; }
+    DramModel &dram() { return dram_; }
+    const DramModel &dram() const { return dram_; }
+    ImpPrefetcher *imp() { return imp_.get(); }
+
+    /** Count prefetched-but-never-used lines and export counters. */
+    StatSet stats() const;
+
+    // --- public counters (read by figures/tests) --------------------
+    uint64_t demandAccesses = 0;
+    double demandLatSum = 0;  ///< total demand-load latency (cycles)
+    uint64_t demandHitsL1 = 0;
+    uint64_t demandHitsL2 = 0;
+    uint64_t demandHitsL3 = 0;
+    uint64_t demandDram = 0;
+    uint64_t llcMisses = 0;     ///< demand LLC misses (for MPKI)
+    uint64_t writebacks = 0;
+    /** Timeliness of runahead-prefetched lines on first demand use. */
+    uint64_t raFoundL1 = 0;
+    uint64_t raFoundL2 = 0;
+    uint64_t raFoundL3 = 0;
+    uint64_t raFoundLate = 0;   ///< in flight or refetched from DRAM
+
+  private:
+    /** Fill a line into levels up to L1 and handle writebacks. */
+    void fill(Addr line_addr, Cycle fill_time, Requester who,
+              bool dirty, Cycle now);
+
+    void noteRunaheadPrefetch(Addr line_addr);
+    /**
+     * First demand touch of a runahead-prefetched line: classify its
+     * timeliness by the latency the main thread observed (Figure 11's
+     * bands: L1/L2/L3, or off-chip when the wait exceeds the LLC).
+     */
+    void noteDemandTouch(Addr line_addr, Cycle observed_latency);
+
+    const MemConfig cfg_;
+    const SimMemory &mem_;
+    Cache l1_;
+    Cache l2_;
+    Cache l3_;
+    MshrTracker mshrs_;
+    DramModel dram_;
+    std::unique_ptr<StridePrefetcher> stride_;
+    std::unique_ptr<ImpPrefetcher> imp_;
+    std::vector<Addr> pfQueue_;  ///< scratch for prefetcher output
+    /** Runahead-prefetched lines not yet demand-touched. */
+    std::unordered_map<Addr, char> pendingRunahead_;
+};
+
+} // namespace dvr
+
+#endif // DVR_MEM_MEMORY_SYSTEM_HH

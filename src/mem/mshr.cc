@@ -1,0 +1,70 @@
+#include "mem/mshr.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dvr {
+
+MshrTracker::MshrTracker(unsigned capacity)
+    : capacity_(capacity)
+{
+    panicIf(capacity == 0, "MshrTracker: zero capacity");
+}
+
+void
+MshrTracker::expire(Cycle now)
+{
+    while (!ends_.empty() && ends_.top() <= now)
+        ends_.pop();
+}
+
+Cycle
+MshrTracker::acquire(Cycle want, bool low_priority)
+{
+    expire(want);
+    const unsigned cap =
+        low_priority && capacity_ > kDemandReserve
+            ? capacity_ - kDemandReserve
+            : capacity_;
+    Cycle start = want;
+    while (ends_.size() >= cap) {
+        // MSHRs busy: wait for the earliest outstanding miss to
+        // complete. Requests can arrive slightly out of time order in
+        // the dependence-based model, so this is an approximation of
+        // a strict per-cycle allocator.
+        start = std::max(start, ends_.top());
+        ends_.pop();
+    }
+    ++acquires_;
+    return start;
+}
+
+void
+MshrTracker::commit(Cycle start, Cycle end)
+{
+    panicIf(end < start, "MshrTracker: negative interval");
+    ends_.push(end);
+    busyIntegral_ += static_cast<double>(end - start);
+}
+
+bool
+MshrTracker::tryAcquire(Cycle want)
+{
+    expire(want);
+    if (ends_.size() >= capacity_) {
+        ++prefetchDrops_;
+        return false;
+    }
+    ++acquires_;
+    return true;
+}
+
+double
+MshrTracker::avgOccupancy(Cycle total) const
+{
+    return total == 0 ? 0.0
+                      : busyIntegral_ / static_cast<double>(total);
+}
+
+} // namespace dvr

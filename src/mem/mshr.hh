@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Miss-status-holding-register occupancy model. Limits the number of
+ * concurrently outstanding L1-D misses and integrates occupancy over
+ * time so the MLP figure (MSHRs used per cycle on average) can be
+ * reported directly.
+ */
+
+#ifndef DVR_MEM_MSHR_HH
+#define DVR_MEM_MSHR_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dvr {
+
+/**
+ * Tracks outstanding miss intervals. acquire() finds the earliest
+ * cycle at or after the requested start at which an MSHR is free;
+ * release happens implicitly when the returned interval ends.
+ */
+class MshrTracker
+{
+  public:
+    explicit MshrTracker(unsigned capacity);
+
+    /**
+     * Reserve an MSHR for a miss wanting to start at `want`.
+     * @param low_priority runahead/prefetch requests leave a few
+     *        MSHRs free for demand misses (the main thread has
+     *        priority on shared resources).
+     * @return the actual start cycle (>= want; delayed when all MSHRs
+     *         are busy at `want`).
+     * The caller must then call commit() with the completion time.
+     */
+    Cycle acquire(Cycle want, bool low_priority = false);
+
+    /** MSHRs kept free for demand when low-priority requests queue. */
+    static constexpr unsigned kDemandReserve = 4;
+
+    /** Record the completion time of the most recent acquire(). */
+    void commit(Cycle start, Cycle end);
+
+    /**
+     * Best-effort reservation for hardware prefetches: returns false
+     * (drop the prefetch) instead of delaying when no MSHR is free.
+     */
+    bool tryAcquire(Cycle want);
+
+    unsigned capacity() const { return capacity_; }
+
+    /** Sum over all miss intervals of their length, in cycles. */
+    double busyIntegral() const { return busyIntegral_; }
+
+    /** Average occupancy given the total elapsed cycles. */
+    double avgOccupancy(Cycle total) const;
+
+    uint64_t acquires() const { return acquires_; }
+    uint64_t prefetchDrops() const { return prefetchDrops_; }
+
+  private:
+    /** Drop intervals that have completed by `now`. */
+    void expire(Cycle now);
+
+    unsigned capacity_;
+    /** Min-heap of end cycles of in-flight misses. */
+    std::priority_queue<Cycle, std::vector<Cycle>,
+                        std::greater<Cycle>> ends_;
+    double busyIntegral_ = 0.0;
+    uint64_t acquires_ = 0;
+    uint64_t prefetchDrops_ = 0;
+};
+
+} // namespace dvr
+
+#endif // DVR_MEM_MSHR_HH

@@ -1,0 +1,90 @@
+#include "mem/sim_memory.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace dvr {
+
+SimMemory::SimMemory(size_t bytes)
+    : data_(bytes, 0), brk_(kLineBytes)
+{
+    panicIf(bytes < 2 * kLineBytes, "SimMemory: capacity too small");
+}
+
+Addr
+SimMemory::alloc(size_t bytes, size_t align)
+{
+    panicIf(align == 0 || (align & (align - 1)) != 0,
+            "SimMemory::alloc: alignment not a power of two");
+    Addr base = (brk_ + align - 1) & ~static_cast<Addr>(align - 1);
+    if (base + bytes > data_.size())
+        fatal("SimMemory: out of simulated memory");
+    brk_ = base + bytes;
+    return base;
+}
+
+void
+SimMemory::compact()
+{
+    data_.resize(brk_);
+    data_.shrink_to_fit();
+}
+
+bool
+SimMemory::validRange(Addr a, uint32_t n) const
+{
+    return a >= kLineBytes && a + n <= brk_ && a + n >= a;
+}
+
+uint64_t
+SimMemory::read(Addr a, uint32_t bytes) const
+{
+    panicIf(!validRange(a, bytes), "SimMemory: invalid demand read");
+    uint64_t v = 0;
+    std::memcpy(&v, data_.data() + a, bytes);
+    return v;
+}
+
+bool
+SimMemory::tryRead(Addr a, uint32_t bytes, uint64_t &out) const
+{
+    if (!validRange(a, bytes))
+        return false;
+    out = 0;
+    std::memcpy(&out, data_.data() + a, bytes);
+    return true;
+}
+
+void
+SimMemory::write(Addr a, uint32_t bytes, uint64_t v)
+{
+    panicIf(!validRange(a, bytes), "SimMemory: invalid write");
+    std::memcpy(data_.data() + a, &v, bytes);
+}
+
+uint64_t
+SimMemory::read64(Addr base, uint64_t idx) const
+{
+    return read(base + idx * 8, 8);
+}
+
+void
+SimMemory::write64(Addr base, uint64_t idx, uint64_t v)
+{
+    write(base + idx * 8, 8, v);
+}
+
+uint32_t
+SimMemory::read32(Addr base, uint64_t idx) const
+{
+    return static_cast<uint32_t>(read(base + idx * 4, 4));
+}
+
+void
+SimMemory::write32(Addr base, uint64_t idx, uint32_t v)
+{
+    write(base + idx * 4, 4, v);
+}
+
+} // namespace dvr

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Flat functional memory backing the simulated workloads, with a bump
+ * allocator for data-set construction and bounds-checked access so
+ * speculative (runahead) lanes can fault cleanly.
+ */
+
+#ifndef DVR_MEM_SIM_MEMORY_HH
+#define DVR_MEM_SIM_MEMORY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dvr {
+
+/**
+ * Byte-addressable functional memory. Address 0 is kept unmapped so a
+ * null-ish pointer always faults; allocations start at 64 bytes.
+ */
+class SimMemory
+{
+  public:
+    explicit SimMemory(size_t bytes);
+
+    /** Bump-allocate a region; alignment must be a power of two. */
+    Addr alloc(size_t bytes, size_t align = kLineBytes);
+
+    /** True when [a, a+n) is inside an allocated region. */
+    bool validRange(Addr a, uint32_t n) const;
+
+    /**
+     * Read `bytes` (1/4/8) zero-extended. Panics on invalid access:
+     * the architectural path must never fault.
+     */
+    uint64_t read(Addr a, uint32_t bytes) const;
+
+    /**
+     * Speculative read for runahead lanes: returns false instead of
+     * panicking when the range is invalid.
+     */
+    bool tryRead(Addr a, uint32_t bytes, uint64_t &out) const;
+
+    /** Write `bytes` (1/4/8) of v. */
+    void write(Addr a, uint32_t bytes, uint64_t v);
+
+    // Convenience element accessors used by data-set builders and
+    // golden models.
+    uint64_t read64(Addr base, uint64_t idx) const;
+    void write64(Addr base, uint64_t idx, uint64_t v);
+    uint32_t read32(Addr base, uint64_t idx) const;
+    void write32(Addr base, uint64_t idx, uint32_t v);
+
+    size_t capacity() const { return data_.size(); }
+    Addr brk() const { return brk_; }
+
+    /**
+     * Shrink the backing store to the allocated size. Called once a
+     * data set is fully built so per-run pristine copies only touch
+     * live bytes; further alloc() calls fail after compaction.
+     */
+    void compact();
+
+  private:
+    std::vector<uint8_t> data_;
+    Addr brk_;
+};
+
+} // namespace dvr
+
+#endif // DVR_MEM_SIM_MEMORY_HH

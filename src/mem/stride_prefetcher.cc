@@ -1,0 +1,65 @@
+#include "mem/stride_prefetcher.hh"
+
+namespace dvr {
+
+StridePrefetcher::StridePrefetcher(unsigned streams, unsigned degree)
+    : streams_(streams), degree_(degree)
+{
+}
+
+void
+StridePrefetcher::train(InstPc pc, Addr addr, std::vector<Addr> &out)
+{
+    // Find the stream for this PC, or the LRU stream to reallocate.
+    Stream *s = nullptr;
+    Stream *lru = &streams_[0];
+    for (auto &st : streams_) {
+        if (st.pc == pc) {
+            s = &st;
+            break;
+        }
+        if (st.lruStamp < lru->lruStamp)
+            lru = &st;
+    }
+    if (!s) {
+        s = lru;
+        *s = Stream();
+        s->pc = pc;
+        s->lastAddr = addr;
+        s->lruStamp = nextStamp_++;
+        return;
+    }
+    s->lruStamp = nextStamp_++;
+
+    const int64_t delta = static_cast<int64_t>(addr) -
+                          static_cast<int64_t>(s->lastAddr);
+    if (delta == 0)
+        return;
+    if (delta == s->stride) {
+        if (s->confidence < 3)
+            ++s->confidence;
+    } else {
+        s->stride = delta;
+        s->confidence = s->confidence > 0 ? s->confidence - 1 : 0;
+        s->lastAddr = addr;
+        return;
+    }
+    s->lastAddr = addr;
+
+    if (s->confidence < 2)
+        return;
+
+    // Prefetch up to `degree_` lines ahead, skipping lines already
+    // requested for this stream.
+    for (unsigned d = 1; d <= degree_; ++d) {
+        Addr target = lineAlign(addr +
+                                static_cast<Addr>(s->stride * int64_t(d)));
+        if (target == lineAlign(addr) || target == s->lastPrefetched)
+            continue;
+        out.push_back(target);
+        s->lastPrefetched = target;
+        ++issued_;
+    }
+}
+
+} // namespace dvr

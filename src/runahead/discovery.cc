@@ -1,0 +1,77 @@
+#include "runahead/discovery.hh"
+
+namespace dvr {
+
+DiscoveryMode::DiscoveryMode(StrideDetector &detector)
+    : detector_(detector)
+{
+}
+
+void
+DiscoveryMode::begin(const StrideEntry &entry, const Instruction &inst,
+                     const RegState &regs)
+{
+    result_ = DiscoveryResult();
+    result_.stridePc = entry.pc;
+    result_.stride = entry.stride;
+    result_.strideDest = inst.rd;
+    result_.strideBytes = inst.memBytes();
+
+    taint_.reset(inst.rd);
+    loopBound_.begin(entry.pc, regs);
+    detector_.clearDiscoveryBits();
+    detector_.markSeenInDiscovery(entry.pc);
+    active_ = true;
+    observed_ = 0;
+}
+
+DiscoveryMode::Status
+DiscoveryMode::observe(const RetireInfo &ri, const RegState &regs)
+{
+    if (!active_)
+        return Status::kInactive;
+    if (++observed_ > kTimeout) {
+        active_ = false;
+        return Status::kAborted;
+    }
+
+    const Instruction &inst = *ri.inst;
+
+    // Closing the loop: the trigger striding load came around again.
+    if (ri.pc == result_.stridePc) {
+        result_.flr = loopBound_.flr();
+        result_.divergentChain = loopBound_.divergentChain();
+        result_.taintMask = taint_.mask();
+        result_.bound = loopBound_.finish(regs);
+        result_.lcr = loopBound_.lcr();
+        result_.backwardBranchPc = loopBound_.backwardBranchPc();
+        result_.spawnAddr = ri.effAddr;
+        active_ = false;
+        return Status::kDone;
+    }
+
+    // Innermost-stride switching: a different confident striding load
+    // seen twice before the trigger returns is more inner; restart
+    // discovery on it (resetting the VTT, FLR, and the seen bits).
+    if (inst.isLoad()) {
+        const StrideEntry *e = detector_.find(ri.pc);
+        if (e && e->confident() &&
+            detector_.markSeenInDiscovery(ri.pc)) {
+            begin(*e, inst, regs);
+            // The new trigger instance has just retired: its address
+            // is the reference point.
+            return Status::kSwitched;
+        }
+    }
+
+    // Dependent-load checking: a load whose address base is tainted
+    // extends the chain; record it in the FLR.
+    if (inst.isLoad() && taint_.isTainted(inst.rs1))
+        loopBound_.noteFinalLoad(ri.pc);
+
+    taint_.observe(inst);
+    loopBound_.observe(ri.pc, inst);
+    return Status::kRunning;
+}
+
+} // namespace dvr

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Discovery Mode (paper Section 4.1): follows one iteration of the
+ * main thread's loop after a confident striding load triggers, to
+ * (i) switch to the innermost striding load when one is found,
+ * (ii) find the dependent-load chain via the taint tracker (FLR),
+ * (iii) infer the loop bound, and (iv) capture everything the
+ * subthread needs to spawn when the striding load comes around again.
+ */
+
+#ifndef DVR_RUNAHEAD_DISCOVERY_HH
+#define DVR_RUNAHEAD_DISCOVERY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "core/ooo_core.hh"
+#include "runahead/loop_bound.hh"
+#include "runahead/stride_detector.hh"
+#include "runahead/taint_tracker.hh"
+
+namespace dvr {
+
+/** Everything learned by a completed Discovery Mode pass. */
+struct DiscoveryResult
+{
+    InstPc stridePc = kInvalidPc;
+    int64_t stride = 0;
+    RegId strideDest = 0;
+    uint32_t strideBytes = 8;
+    Addr spawnAddr = 0;     ///< stride-load address at the spawn point
+    InstPc flr = kInvalidPc;
+    bool divergentChain = false;
+    uint16_t taintMask = 0;
+    LoopBoundResult bound;
+    LcrInfo lcr;
+    InstPc backwardBranchPc = kInvalidPc;
+};
+
+class DiscoveryMode
+{
+  public:
+    enum class Status : uint8_t {
+        kInactive,
+        kRunning,
+        kDone,      ///< result() is valid; spawn the subthread now
+        kSwitched,  ///< restarted on a more-inner striding load
+        kAborted,   ///< timed out without closing the loop
+    };
+
+    explicit DiscoveryMode(StrideDetector &detector);
+
+    /** Arm on the just-retired confident striding load. */
+    void begin(const StrideEntry &entry, const Instruction &inst,
+               const RegState &regs);
+
+    /**
+     * Feed the next retired instruction. `regs` must be the core's
+     * register state after this retire (used for the exit checkpoint
+     * and the spawn copy).
+     */
+    Status observe(const RetireInfo &ri, const RegState &regs);
+
+    bool active() const { return active_; }
+    void abort() { active_ = false; }
+    const DiscoveryResult &result() const { return result_; }
+
+    /** Instruction budget before an unclosed loop aborts discovery. */
+    static constexpr unsigned kTimeout = 512;
+
+  private:
+    StrideDetector &detector_;
+    TaintTracker taint_;
+    LoopBoundDetector loopBound_;
+    DiscoveryResult result_;
+    bool active_ = false;
+    unsigned observed_ = 0;
+};
+
+} // namespace dvr
+
+#endif // DVR_RUNAHEAD_DISCOVERY_HH

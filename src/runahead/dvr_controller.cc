@@ -1,0 +1,169 @@
+#include "runahead/dvr_controller.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dvr {
+
+StatSet
+DvrStats::toStatSet() const
+{
+    StatSet s;
+    s.set("discoveries", double(discoveries));
+    s.set("discovery_switches", double(discoverySwitches));
+    s.set("discovery_aborts", double(discoveryAborts));
+    s.set("no_chain_skips", double(noChainSkips));
+    s.set("episodes", double(episodes));
+    s.set("nested_episodes", double(nestedEpisodes));
+    s.set("vector_ops", double(vectorOps));
+    s.set("lane_loads", double(laneLoads));
+    s.set("lanes_spawned", double(lanesSpawned));
+    s.set("lanes_faulted", double(lanesFaulted));
+    s.set("lanes_dropped", double(lanesDropped));
+    s.set("reconv_pushes", double(reconvPushes));
+    s.set("vrat_exhausts", double(vratExhausts));
+    s.set("timeouts", double(timeouts));
+    if (episodes > 0) {
+        s.set("avg_lanes", double(lanesSpawned) / double(episodes));
+        s.set("avg_lane_loads",
+              double(laneLoads) / double(episodes));
+    }
+    return s;
+}
+
+DvrController::DvrController(const DvrConfig &cfg, const Program &prog,
+                             const SimMemory &mem, MemorySystem &memsys)
+    : cfg_(cfg), detector_(32), discovery_(detector_),
+      subthread_(cfg.subthread, prog, mem, memsys)
+{
+}
+
+void
+DvrController::accumulate(const EpisodeStats &ep)
+{
+    ++stats_.episodes;
+    if (ep.nested)
+        ++stats_.nestedEpisodes;
+    stats_.vectorOps += ep.vectorOps;
+    stats_.laneLoads += ep.laneLoads;
+    stats_.lanesSpawned += ep.lanesSpawned;
+    stats_.lanesFaulted += ep.lanesFaulted;
+    stats_.lanesDropped += ep.lanesDropped;
+    stats_.reconvPushes += ep.reconvPushes;
+    if (ep.vratExhausted)
+        ++stats_.vratExhausts;
+    if (ep.timedOut)
+        ++stats_.timeouts;
+    episodeEndCycle_ = std::max(episodeEndCycle_, ep.issueEnd);
+}
+
+void
+DvrController::spawnEpisode(const DiscoveryResult &d,
+                            const RetireInfo &ri)
+{
+    const Cycle spawn = ri.issueCycle;
+    EpisodeStats ep;
+    const bool short_loop =
+        d.bound.valid &&
+        d.bound.remaining < int64_t(cfg_.nestedThreshold);
+    if (cfg_.nestedEnabled && short_loop) {
+        ep = subthread_.runNested(d, core_->regs(), spawn, detector_,
+                                  &coverageOuter_[d.stridePc]);
+    } else {
+        const unsigned lanes =
+            d.bound.valid
+                ? unsigned(std::clamp<int64_t>(
+                      d.bound.remaining, 1,
+                      cfg_.subthread.maxLanes))
+                : cfg_.subthread.maxLanes;
+        ep = subthread_.runVectorized(d, core_->regs(), spawn, lanes,
+                                      &coverageInner_[d.stridePc]);
+    }
+    if (!ep.ran) {
+        // Frontier already covered: pause briefly before re-checking.
+        episodeEndCycle_ = std::max(episodeEndCycle_, spawn + 64);
+        return;
+    }
+    accumulate(ep);
+}
+
+void
+DvrController::spawnOffloadEpisode(const StrideEntry &e,
+                                   const RetireInfo &ri)
+{
+    // Offload-only mode (Figure 8 "Offload"): no Discovery Mode, so
+    // vectorize 128 lanes immediately and run one trip through the
+    // loop body (termination at the next stride-PC occurrence).
+    DiscoveryResult d;
+    d.stridePc = ri.pc;
+    d.stride = e.stride;
+    d.strideDest = ri.inst->rd;
+    d.strideBytes = ri.inst->memBytes();
+    d.spawnAddr = ri.effAddr;
+    EpisodeStats ep = subthread_.runVectorized(
+        d, core_->regs(), ri.issueCycle, cfg_.subthread.maxLanes,
+        &coverageInner_[d.stridePc]);
+    if (!ep.ran) {
+        episodeEndCycle_ =
+            std::max(episodeEndCycle_, ri.issueCycle + 64);
+        return;
+    }
+    accumulate(ep);
+}
+
+void
+DvrController::onRetire(const RetireInfo &ri)
+{
+    panicIf(core_ == nullptr, "DvrController: core not attached");
+
+    const StrideEntry *strider = nullptr;
+    if (ri.inst->isLoad())
+        strider = detector_.observe(ri.pc, ri.effAddr);
+
+    if (inDiscovery_) {
+        switch (discovery_.observe(ri, core_->regs())) {
+          case DiscoveryMode::Status::kDone: {
+            inDiscovery_ = false;
+            const DiscoveryResult &d = discovery_.result();
+            if (d.flr == kInvalidPc) {
+                // No dependent chain: the plain stride prefetcher
+                // already covers this load; don't waste an episode.
+                ++stats_.noChainSkips;
+                cooldown_[d.stridePc] = ri.seq + cfg_.rejectCooldown;
+                return;
+            }
+            spawnEpisode(d, ri);
+            return;
+          }
+          case DiscoveryMode::Status::kSwitched:
+            ++stats_.discoverySwitches;
+            return;
+          case DiscoveryMode::Status::kAborted:
+            ++stats_.discoveryAborts;
+            inDiscovery_ = false;
+            return;
+          default:
+            return;
+        }
+    }
+
+    if (!strider)
+        return;
+    // One episode at a time: re-arm once the subthread terminated.
+    if (ri.commitCycle < episodeEndCycle_)
+        return;
+    auto cd = cooldown_.find(ri.pc);
+    if (cd != cooldown_.end() && ri.seq < cd->second)
+        return;
+
+    if (cfg_.discoveryEnabled) {
+        discovery_.begin(*strider, *ri.inst, core_->regs());
+        inDiscovery_ = true;
+        ++stats_.discoveries;
+    } else {
+        spawnOffloadEpisode(*strider, ri);
+    }
+}
+
+} // namespace dvr

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The Decoupled Vector Runahead controller: glues the stride detector,
+ * Discovery Mode, and the vector-runahead subthread to the core's
+ * retire stream. Entirely decoupled from full-ROB stalls -- episodes
+ * spawn whenever a discovered striding load comes around again, and
+ * the main thread keeps running.
+ *
+ * Feature toggles reproduce the Figure 8 breakdown:
+ *   - discovery=false, nested=false  -> "Offload" (VR on a subthread)
+ *   - discovery=true,  nested=false  -> "+ Discovery Mode"
+ *   - discovery=true,  nested=true   -> full DVR
+ */
+
+#ifndef DVR_RUNAHEAD_DVR_CONTROLLER_HH
+#define DVR_RUNAHEAD_DVR_CONTROLLER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "core/ooo_core.hh"
+#include "runahead/discovery.hh"
+#include "runahead/stride_detector.hh"
+#include "runahead/subthread.hh"
+
+namespace dvr {
+
+struct DvrConfig
+{
+    SubthreadConfig subthread;
+    bool discoveryEnabled = true;
+    bool nestedEnabled = true;
+    /** Bound below which Nested Vector Runahead engages (Sec 4.3.1). */
+    unsigned nestedThreshold = 64;
+    /** Retire-count cooldown after a chain-less discovery. */
+    uint64_t rejectCooldown = 4096;
+};
+
+struct DvrStats
+{
+    uint64_t discoveries = 0;
+    uint64_t discoverySwitches = 0;
+    uint64_t discoveryAborts = 0;
+    uint64_t noChainSkips = 0;
+    uint64_t episodes = 0;
+    uint64_t nestedEpisodes = 0;
+    uint64_t vectorOps = 0;
+    uint64_t laneLoads = 0;
+    uint64_t lanesSpawned = 0;
+    uint64_t lanesFaulted = 0;
+    uint64_t lanesDropped = 0;
+    uint64_t reconvPushes = 0;
+    uint64_t vratExhausts = 0;
+    uint64_t timeouts = 0;
+
+    StatSet toStatSet() const;
+};
+
+class DvrController : public CoreClient
+{
+  public:
+    DvrController(const DvrConfig &cfg, const Program &prog,
+                  const SimMemory &mem, MemorySystem &memsys);
+
+    /** The core must be attached before the run starts. */
+    void attachCore(const OooCore &core) { core_ = &core; }
+
+    void onRetire(const RetireInfo &ri) override;
+
+    const DvrStats &stats() const { return stats_; }
+    const StrideDetector &detector() const { return detector_; }
+
+  private:
+    void spawnEpisode(const DiscoveryResult &d, const RetireInfo &ri);
+    void spawnOffloadEpisode(const StrideEntry &e, const RetireInfo &ri);
+    void accumulate(const EpisodeStats &ep);
+
+    const DvrConfig cfg_;
+    const OooCore *core_ = nullptr;
+    StrideDetector detector_;
+    DiscoveryMode discovery_;
+    VectorSubthread subthread_;
+    DvrStats stats_;
+    bool inDiscovery_ = false;
+    Cycle episodeEndCycle_ = 0;
+    /** PC -> retire seq before which we won't re-discover it. */
+    std::unordered_map<InstPc, uint64_t> cooldown_;
+    /** PC -> inner-seed frontier of plain vectorized episodes. */
+    std::unordered_map<InstPc, CoverageCursor> coverageInner_;
+    /** PC -> outer-stride frontier of nested episodes. */
+    std::unordered_map<InstPc, CoverageCursor> coverageOuter_;
+};
+
+} // namespace dvr
+
+#endif // DVR_RUNAHEAD_DVR_CONTROLLER_HH

@@ -1,0 +1,79 @@
+#include "runahead/hw_overhead.hh"
+
+namespace dvr {
+
+namespace {
+
+unsigned
+bitsToBytes(unsigned bits)
+{
+    return (bits + 7) / 8;
+}
+
+} // namespace
+
+std::vector<HwOverheadItem>
+computeHwOverhead(const HwOverheadParams &p)
+{
+    std::vector<HwOverheadItem> items;
+
+    // 32-entry stride detector: PC + previous address + stride +
+    // saturating counter + innermost bit per entry (460 B).
+    const unsigned stride_bits =
+        p.strideEntries * (p.pcBits + p.addrBits + p.strideBits +
+                           p.confBits + 1);
+    items.push_back({"stride_detector", bitsToBytes(stride_bits)});
+
+    // VRAT: 16 entries of 16 physical register ids of 9 bits (288 B).
+    const unsigned vrat_bits =
+        p.vratEntries * p.vratCopies * p.physRegIdBits;
+    items.push_back({"vrat", bitsToBytes(vrat_bits)});
+
+    // VIR: mask + issued + executed bits + uop/imm + dest + 2 sources
+    // with dead-source bits (86 B).
+    const unsigned vir_bits = p.lanes + p.virCopies + p.virCopies +
+                              64 + 9 * p.virCopies +
+                              10 * p.virCopies + 10 * p.virCopies;
+    items.push_back({"vir", bitsToBytes(vir_bits)});
+
+    // Front-end buffer: 8 decoded micro-ops (64 B).
+    items.push_back({"frontend_buffer",
+                     p.frontendUops * p.frontendUopBytes});
+
+    // Reconvergence stack: 8 entries of PC + lane mask (176 B).
+    const unsigned reconv_bits =
+        p.reconvDepth * (p.reconvPcBytes * 8 + p.lanes);
+    items.push_back({"reconvergence_stack", bitsToBytes(reconv_bits)});
+
+    // FLR: a load PC (6 B). LCR: two register ids (2 B). SBB: 1 bit.
+    items.push_back({"flr", p.reconvPcBytes});
+    items.push_back({"lcr", bitsToBytes(2 * p.regIdBits)});
+    items.push_back({"sbb", 0});
+
+    // Loop-bound detector: two register-id checkpoints plus the
+    // compare and branch registers (48 B).
+    const unsigned lb_bits = 2 * p.archRegs * p.regIdBits;
+    items.push_back({"loop_bound_detector",
+                     bitsToBytes(lb_bits) + 2 * p.reconvPcBytes +
+                         2 * 2});
+
+    // Taint tracker: one bit per architectural integer register.
+    items.push_back({"taint_tracker", bitsToBytes(p.archRegs)});
+
+    // NDM: Increment Register (7 bits) + Inner Load Register (6 B).
+    items.push_back({"ndm_ir", bitsToBytes(7)});
+    items.push_back({"ndm_ilr", p.reconvPcBytes});
+
+    return items;
+}
+
+unsigned
+totalHwOverheadBytes(const HwOverheadParams &p)
+{
+    unsigned total = 0;
+    for (const auto &it : computeHwOverhead(p))
+        total += it.bytes;
+    return total;
+}
+
+} // namespace dvr

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Hardware-overhead accounting for every DVR structure (paper Section
+ * 4.4). Computes per-structure storage from the same parameters the
+ * simulator uses, and reproduces the paper's 1139-byte total with the
+ * default configuration.
+ */
+
+#ifndef DVR_RUNAHEAD_HW_OVERHEAD_HH
+#define DVR_RUNAHEAD_HW_OVERHEAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dvr {
+
+struct HwOverheadParams
+{
+    unsigned strideEntries = 32;
+    unsigned pcBits = 48;
+    unsigned addrBits = 48;
+    unsigned strideBits = 16;
+    unsigned confBits = 2;
+    unsigned vratEntries = 16;      ///< architectural registers
+    unsigned vratCopies = 16;       ///< phys regs per vectorized reg
+    unsigned physRegIdBits = 9;     ///< 128 vector + 256 int phys regs
+    unsigned lanes = 128;
+    unsigned virCopies = 16;
+    unsigned frontendUops = 8;
+    unsigned frontendUopBytes = 8;
+    unsigned reconvDepth = 8;
+    unsigned reconvPcBytes = 6;
+    unsigned archRegs = 16;
+    unsigned regIdBits = 8;         ///< checkpointed mapping id width
+};
+
+struct HwOverheadItem
+{
+    std::string name;
+    unsigned bytes;
+};
+
+/** Per-structure byte costs; sums to 1139 with the defaults. */
+std::vector<HwOverheadItem> computeHwOverhead(
+    const HwOverheadParams &p = HwOverheadParams());
+
+/** Total bytes across all structures. */
+unsigned totalHwOverheadBytes(
+    const HwOverheadParams &p = HwOverheadParams());
+
+} // namespace dvr
+
+#endif // DVR_RUNAHEAD_HW_OVERHEAD_HH

@@ -1,0 +1,158 @@
+#include "runahead/loop_bound.hh"
+
+namespace dvr {
+
+void
+LoopBoundDetector::begin(InstPc stride_pc, const RegState &regs)
+{
+    stridePc_ = stride_pc;
+    flr_ = kInvalidPc;
+    lcr_ = LcrInfo();
+    sbb_ = false;
+    divergentChain_ = false;
+    backwardBranchPc_ = kInvalidPc;
+    entry_ = regs;
+}
+
+void
+LoopBoundDetector::noteFinalLoad(InstPc load_pc)
+{
+    flr_ = load_pc;
+    // Paper: "LCR and SBB ... are zeroed whenever we update the FLR".
+    lcr_ = LcrInfo();
+    sbb_ = false;
+    divergentChain_ = false;
+}
+
+void
+LoopBoundDetector::observe(InstPc pc, const Instruction &inst)
+{
+    if (inst.isCompare() && !sbb_) {
+        lcr_.valid = true;
+        lcr_.cmpOp = inst.op;
+        lcr_.rs1 = inst.rs1;
+        lcr_.rs2 = inst.rs2;
+        lcr_.rd = inst.rd;
+        lcr_.imm = inst.imm;
+        lcr_.isImmCompare = inst.numSrcs() == 1;
+        return;
+    }
+    if (inst.isCondBranch()) {
+        const bool backward = lcr_.valid && inst.rs1 == lcr_.rd &&
+                              inst.target <= stridePc_;
+        if (backward && !sbb_) {
+            sbb_ = true;
+            backwardBranchPc_ = pc;
+            lcr_.branchOp = inst.op;
+        } else if (!sbb_ && flr_ != kInvalidPc) {
+            // A non-loop-closing branch between the final load and
+            // the loop branch: the chain has divergent control flow.
+            divergentChain_ = true;
+        }
+    }
+}
+
+int64_t
+remainingIterations(const LcrInfo &lcr, uint64_t induction,
+                    uint64_t bound, int64_t increment)
+{
+    if (!lcr.valid || increment == 0)
+        return -1;
+
+    // The backward branch keeps looping while it is taken (kBnez) or
+    // not taken (kBeqz is unusual for loop-closing; handle anyway by
+    // inverting the compare sense).
+    const bool loop_while_true = lcr.branchOp == Opcode::kBnez;
+
+    const auto si = static_cast<int64_t>(induction);
+    const auto sb = static_cast<int64_t>(bound);
+
+    switch (lcr.cmpOp) {
+      case Opcode::kCmpLt:
+      case Opcode::kCmpLtI:
+        if (loop_while_true && increment > 0 && si < sb)
+            return (sb - si + increment - 1) / increment;
+        return loop_while_true ? 0 : -1;
+      case Opcode::kCmpLtU:
+      case Opcode::kCmpLtUI:
+        if (loop_while_true && increment > 0 && induction < bound) {
+            const uint64_t diff = bound - induction;
+            const auto inc = static_cast<uint64_t>(increment);
+            return static_cast<int64_t>((diff + inc - 1) / inc);
+        }
+        return loop_while_true ? 0 : -1;
+      case Opcode::kCmpNe:
+        if (loop_while_true) {
+            const int64_t diff = sb - si;
+            if (increment != 0 && diff % increment == 0 &&
+                diff / increment >= 0) {
+                return diff / increment;
+            }
+        }
+        return -1;
+      case Opcode::kCmpEq:
+      case Opcode::kCmpEqI:
+        // "loop while i != n" compiled as cmpeq + beqz.
+        if (!loop_while_true) {
+            const int64_t diff = sb - si;
+            if (increment != 0 && diff % increment == 0 &&
+                diff / increment >= 0) {
+                return diff / increment;
+            }
+        }
+        return -1;
+      default:
+        return -1;
+    }
+}
+
+LoopBoundResult
+LoopBoundDetector::finish(const RegState &exit_regs) const
+{
+    LoopBoundResult r;
+    if (!lcr_.valid || !sbb_)
+        return r;
+
+    // Identify the constant and the changing compare input across the
+    // Discovery interval.
+    RegId induction;
+    uint64_t bound;
+    if (lcr_.isImmCompare) {
+        if (entry_.value[lcr_.rs1] == exit_regs.value[lcr_.rs1])
+            return r;       // induction input did not move
+        induction = lcr_.rs1;
+        bound = static_cast<uint64_t>(lcr_.imm);
+    } else {
+        const bool c1 = entry_.value[lcr_.rs1] == exit_regs.value[lcr_.rs1];
+        const bool c2 = entry_.value[lcr_.rs2] == exit_regs.value[lcr_.rs2];
+        if (c1 == c2)
+            return r;       // both moved or both constant: no match
+        induction = c1 ? lcr_.rs2 : lcr_.rs1;
+        bound = c1 ? entry_.value[lcr_.rs1] : entry_.value[lcr_.rs2];
+        if (induction != lcr_.rs1) {
+            // Only the "induction < bound" orientation is inferred;
+            // a moving right-hand side is not a shape we can bound.
+            if (lcr_.cmpOp != Opcode::kCmpNe &&
+                lcr_.cmpOp != Opcode::kCmpEq) {
+                return r;
+            }
+        }
+    }
+
+    const int64_t increment =
+        static_cast<int64_t>(exit_regs.value[induction]) -
+        static_cast<int64_t>(entry_.value[induction]);
+    const int64_t rem = remainingIterations(
+        lcr_, exit_regs.value[induction], bound, increment);
+    if (rem < 0)
+        return r;
+
+    r.valid = true;
+    r.remaining = rem;
+    r.increment = increment;
+    r.inductionReg = induction;
+    r.boundValue = bound;
+    return r;
+}
+
+} // namespace dvr

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Loop-bound inference for Discovery Mode (paper Section 4.1.3).
+ *
+ * Tracks the Final-Load Register (FLR: last load whose address depends
+ * on the striding load), the Last-Compare Register (LCR) and the
+ * Seen-Branch Bit (SBB) to identify the loop-closing compare/branch
+ * pair, snapshots the architectural registers at Discovery entry and
+ * exit, and infers the remaining iteration count and the loop
+ * increment. Falls back to the 128-element maximum when inference
+ * fails (runahead is transient; heuristics only bound over/underfetch).
+ */
+
+#ifndef DVR_RUNAHEAD_LOOP_BOUND_HH
+#define DVR_RUNAHEAD_LOOP_BOUND_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "core/ooo_core.hh"
+#include "isa/instruction.hh"
+
+namespace dvr {
+
+/** The identified loop-closing compare (contents of the LCR). */
+struct LcrInfo
+{
+    bool valid = false;
+    Opcode cmpOp = Opcode::kNop;
+    RegId rs1 = 0;
+    RegId rs2 = 0;
+    RegId rd = 0;
+    int64_t imm = 0;            ///< bound for immediate compares
+    bool isImmCompare = false;
+    Opcode branchOp = Opcode::kNop; ///< the backward branch consuming rd
+};
+
+/** Outcome of loop-bound inference at Discovery exit. */
+struct LoopBoundResult
+{
+    bool valid = false;
+    int64_t remaining = 0;      ///< future iterations incl. the current
+    int64_t increment = 0;      ///< induction-variable step per iter
+    RegId inductionReg = 0;     ///< the changing LCR input
+    uint64_t boundValue = 0;    ///< the constant LCR input's value
+};
+
+class LoopBoundDetector
+{
+  public:
+    /** Arm at Discovery entry; snapshots the register file. */
+    void begin(InstPc stride_pc, const RegState &regs);
+
+    /** The chain's final dependent load moved: zero LCR and SBB. */
+    void noteFinalLoad(InstPc load_pc);
+
+    /** Feed one retired instruction (compares and branches matter). */
+    void observe(InstPc pc, const Instruction &inst);
+
+    /** Infer the bound from the exit register snapshot. */
+    LoopBoundResult finish(const RegState &exit_regs) const;
+
+    /** Final-Load Register; kInvalidPc when no dependent load seen. */
+    InstPc flr() const { return flr_; }
+    bool hasChain() const { return flr_ != kInvalidPc; }
+
+    /**
+     * True when other conditional branches were seen between the FLR
+     * and the loop-closing branch: per the paper's footnote, lanes
+     * then run to the next stride-PC occurrence instead of stopping
+     * at the FLR, to explore divergent paths.
+     */
+    bool divergentChain() const { return divergentChain_; }
+
+    /** PC of the identified backward branch (for Nested mode). */
+    InstPc backwardBranchPc() const { return backwardBranchPc_; }
+    const LcrInfo &lcr() const { return lcr_; }
+    bool seenBackwardBranch() const { return sbb_; }
+
+  private:
+    InstPc stridePc_ = kInvalidPc;
+    InstPc flr_ = kInvalidPc;
+    LcrInfo lcr_;
+    bool sbb_ = false;
+    bool divergentChain_ = false;
+    InstPc backwardBranchPc_ = kInvalidPc;
+    RegState entry_;
+};
+
+/**
+ * Compute the number of future loop iterations from the loop-closing
+ * compare semantics. Shared with Nested Discovery Mode, which applies
+ * it per outer lane.
+ *
+ * @param lcr the loop-closing compare/branch pair
+ * @param induction current value of the induction input
+ * @param bound current value of the constant input
+ * @param increment per-iteration step of the induction input
+ * @return iteration count, or -1 when the shape is unsupported
+ */
+int64_t remainingIterations(const LcrInfo &lcr, uint64_t induction,
+                            uint64_t bound, int64_t increment);
+
+} // namespace dvr
+
+#endif // DVR_RUNAHEAD_LOOP_BOUND_HH

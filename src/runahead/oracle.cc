@@ -1,0 +1,77 @@
+#include "runahead/oracle.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "isa/program.hh"
+#include "mem/sim_memory.hh"
+
+namespace dvr {
+
+std::vector<Addr>
+recordLoadTrace(const Program &prog, SimMemory &mem, uint64_t max_insts)
+{
+    std::vector<Addr> trace;
+    std::array<uint64_t, kNumArchRegs> r{};
+    InstPc pc = 0;
+    for (uint64_t n = 0; n < max_insts && prog.valid(pc); ++n) {
+        const Instruction &inst = prog.at(pc);
+        if (inst.op == Opcode::kHalt)
+            break;
+        InstPc next = pc + 1;
+        if (inst.isLoad()) {
+            const Addr a = r[inst.rs1] + static_cast<Addr>(inst.imm);
+            trace.push_back(lineAlign(a));
+            r[inst.rd] = mem.read(a, inst.memBytes());
+        } else if (inst.isStore()) {
+            mem.write(r[inst.rs1] + static_cast<Addr>(inst.imm),
+                      inst.memBytes(), r[inst.rs2]);
+        } else if (inst.isBranch()) {
+            if (branchTaken(inst.op, r[inst.rs1]))
+                next = inst.target;
+        } else if (inst.hasDest()) {
+            r[inst.rd] = evalOp(inst.op, r[inst.rs1], r[inst.rs2],
+                                inst.imm);
+        }
+        pc = next;
+    }
+    return trace;
+}
+
+OracleController::OracleController(const OracleConfig &cfg,
+                                   MemorySystem &memsys,
+                                   std::vector<Addr> trace)
+    : cfg_(cfg), memsys_(memsys), trace_(std::move(trace))
+{
+}
+
+void
+OracleController::onRetire(const RetireInfo &ri)
+{
+    if (!ri.inst->isLoad())
+        return;
+    ++loadIdx_;
+    const size_t target =
+        std::min(trace_.size(), loadIdx_ + cfg_.lookaheadLoads);
+    // Keep the prefetch frontier `lookaheadLoads` loads ahead of the
+    // main thread; the memory system drops requests when no MSHR is
+    // free, which bounds the oracle to realistic bandwidth.
+    while (issuedUpTo_ < target) {
+        memsys_.prefetchLine(trace_[issuedUpTo_], ri.issueCycle,
+                             Requester::kHwPrefetch,
+                             /*best_effort=*/false);
+        ++issuedUpTo_;
+        ++issued_;
+    }
+}
+
+StatSet
+OracleController::toStatSet() const
+{
+    StatSet s;
+    s.set("prefetches", double(issued_));
+    s.set("trace_loads", double(trace_.size()));
+    return s;
+}
+
+} // namespace dvr

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Oracle prefetcher: "a hypothetical technique that knows all memory
+ * accesses in advance, and prefetches them at the appropriate point in
+ * time to avoid stalling." Implemented as a recorded functional load
+ * trace prefetched a fixed number of loads ahead of the main thread,
+ * through the real memory system (so it still pays MSHR and DRAM
+ * bandwidth costs).
+ */
+
+#ifndef DVR_RUNAHEAD_ORACLE_HH
+#define DVR_RUNAHEAD_ORACLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/ooo_core.hh"
+#include "mem/memory_system.hh"
+
+namespace dvr {
+
+class SimMemory;
+class Program;
+
+/**
+ * Record the demand-load line-address trace of a program by running it
+ * functionally. `mem` is mutated (stores execute); callers pass a
+ * scratch copy of the pristine memory image.
+ */
+std::vector<Addr> recordLoadTrace(const Program &prog, SimMemory &mem,
+                                  uint64_t max_insts);
+
+struct OracleConfig
+{
+    /** How many loads ahead of the main thread to prefetch. */
+    unsigned lookaheadLoads = 192;
+};
+
+class OracleController : public CoreClient
+{
+  public:
+    OracleController(const OracleConfig &cfg, MemorySystem &memsys,
+                     std::vector<Addr> trace);
+
+    void onRetire(const RetireInfo &ri) override;
+
+    uint64_t prefetchesIssued() const { return issued_; }
+    StatSet toStatSet() const;
+
+  private:
+    const OracleConfig cfg_;
+    MemorySystem &memsys_;
+    std::vector<Addr> trace_;
+    size_t loadIdx_ = 0;    ///< demand loads retired so far
+    size_t issuedUpTo_ = 0; ///< trace position prefetched so far
+    uint64_t issued_ = 0;
+};
+
+} // namespace dvr
+
+#endif // DVR_RUNAHEAD_ORACLE_HH

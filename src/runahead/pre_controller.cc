@@ -1,0 +1,134 @@
+#include "runahead/pre_controller.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "mem/sim_memory.hh"
+
+namespace dvr {
+
+PreController::PreController(const PreConfig &cfg, const Program &prog,
+                             const SimMemory &mem, MemorySystem &memsys)
+    : cfg_(cfg), prog_(prog), mem_(mem), memsys_(memsys)
+{
+}
+
+Cycle
+PreController::onFullRobStall(const StallInfo &si)
+{
+    panicIf(core_ == nullptr, "PreController: core not attached");
+    ++episodes_;
+
+    // Runahead register state: architectural values, with anything
+    // still in flight at the stall marked invalid.
+    struct RaReg
+    {
+        uint64_t v = 0;
+        bool valid = true;
+        Cycle ready = 0;
+    };
+    std::array<RaReg, kNumArchRegs> r;
+    const RegState &regs = core_->regs();
+    for (int i = 0; i < kNumArchRegs; ++i) {
+        r[i].v = regs.value[i];
+        // Usable when the value arrives shortly after the stall
+        // begins; only DRAM-bound producers stay invalid.
+        r[i].valid = regs.ready[i] <= si.stallStart + 30;
+        r[i].ready =
+            r[i].valid ? std::max(si.stallStart, regs.ready[i])
+                       : si.stallStart;
+    }
+
+    InstPc pc = si.nextPc;
+    const Cycle interval_end = si.headLoadDone;
+    Cycle walk_cycle = si.stallStart;
+    unsigned in_cycle = 0;
+    unsigned steps = 0;
+
+    while (walk_cycle < interval_end && steps < cfg_.maxWalkInsts &&
+           prog_.valid(pc)) {
+        const Instruction &inst = prog_.at(pc);
+        if (inst.op == Opcode::kHalt)
+            break;
+        ++steps;
+        ++walkInsts_;
+        if (++in_cycle >= cfg_.walkWidth) {
+            in_cycle = 0;
+            ++walk_cycle;
+        }
+
+        const int nsrcs = inst.numSrcs();
+        const bool s1_ok = nsrcs < 1 || r[inst.rs1].valid;
+        const bool s2_ok = nsrcs < 2 || r[inst.rs2].valid;
+        Cycle ready = walk_cycle;
+        if (nsrcs >= 1)
+            ready = std::max(ready, r[inst.rs1].ready);
+        if (nsrcs >= 2)
+            ready = std::max(ready, r[inst.rs2].ready);
+        InstPc next_pc = pc + 1;
+
+        if (inst.isLoad()) {
+            if (!s1_ok) {
+                // Address depends on an unreturned load: this is the
+                // first-level-of-indirection wall PRE hits.
+                ++invalidLoadSkips_;
+                r[inst.rd] = {0, false, walk_cycle};
+            } else {
+                const Addr a = r[inst.rs1].v +
+                               static_cast<Addr>(inst.imm);
+                uint64_t v = 0;
+                if (!mem_.tryRead(a, inst.memBytes(), v)) {
+                    r[inst.rd] = {0, false, walk_cycle};
+                } else {
+                    const MemAccess ma = memsys_.access(
+                        a, inst.memBytes(), std::max(ready, walk_cycle),
+                        false, Requester::kRunahead, pc, v);
+                    ++prefetches_;
+                    // Data back within the interval can feed further
+                    // runahead work; otherwise the dest is invalid.
+                    const bool in_time = ma.done < interval_end;
+                    r[inst.rd] = {v, in_time, ma.done};
+                }
+            }
+        } else if (inst.isStore()) {
+            // Dropped in runahead.
+        } else if (inst.isBranch()) {
+            if (inst.op == Opcode::kJmp) {
+                next_pc = inst.target;
+            } else if (r[inst.rs1].valid) {
+                if (branchTaken(inst.op, r[inst.rs1].v))
+                    next_pc = inst.target;
+            } else {
+                // Branch on invalid data: runahead would follow the
+                // predictor; further prefetches are as likely to be
+                // wrong-path, so stop the walk.
+                break;
+            }
+        } else if (inst.hasDest()) {
+            const bool ok = s1_ok && s2_ok;
+            const uint64_t v =
+                ok ? evalOp(inst.op, r[inst.rs1].v, r[inst.rs2].v,
+                            inst.imm)
+                   : 0;
+            r[inst.rd] = {v, ok, ready + 1};
+        }
+        pc = next_pc;
+    }
+
+    // PRE exits runahead as soon as the blocking load returns; no
+    // extra stall beyond the interval.
+    return 0;
+}
+
+StatSet
+PreController::toStatSet() const
+{
+    StatSet s;
+    s.set("episodes", double(episodes_));
+    s.set("prefetches", double(prefetches_));
+    s.set("invalid_load_skips", double(invalidLoadSkips_));
+    s.set("walk_insts", double(walkInsts_));
+    return s;
+}
+
+} // namespace dvr

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Precise Runahead Execution (PRE) baseline (Naithani et al., HPCA
+ * 2020). On a full-ROB stall it pre-executes the future instruction
+ * stream at front-end speed for the duration of the stall, issuing
+ * prefetches for loads whose address inputs are valid. Loads whose
+ * data does not return within the runahead interval leave their
+ * destination invalid, which is why PRE cannot prefetch past the
+ * first level of indirection. PRE never flushes and never delays the
+ * return to normal mode.
+ */
+
+#ifndef DVR_RUNAHEAD_PRE_CONTROLLER_HH
+#define DVR_RUNAHEAD_PRE_CONTROLLER_HH
+
+#include <array>
+
+#include "common/stats.hh"
+#include "core/ooo_core.hh"
+#include "mem/memory_system.hh"
+
+namespace dvr {
+
+class SimMemory;
+
+struct PreConfig
+{
+    unsigned walkWidth = 5;         ///< instructions walked per cycle
+    unsigned maxWalkInsts = 2048;   ///< safety cap per episode
+};
+
+class PreController : public CoreClient
+{
+  public:
+    PreController(const PreConfig &cfg, const Program &prog,
+                  const SimMemory &mem, MemorySystem &memsys);
+
+    void attachCore(const OooCore &core) { core_ = &core; }
+
+    Cycle onFullRobStall(const StallInfo &si) override;
+
+    uint64_t episodes() const { return episodes_; }
+    uint64_t prefetchesIssued() const { return prefetches_; }
+    StatSet toStatSet() const;
+
+  private:
+    const PreConfig cfg_;
+    const Program &prog_;
+    const SimMemory &mem_;
+    MemorySystem &memsys_;
+    const OooCore *core_ = nullptr;
+    uint64_t episodes_ = 0;
+    uint64_t prefetches_ = 0;
+    uint64_t invalidLoadSkips_ = 0;
+    uint64_t walkInsts_ = 0;
+};
+
+} // namespace dvr
+
+#endif // DVR_RUNAHEAD_PRE_CONTROLLER_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * GPU-style reconvergence stack (paper Section 4.2.3). On a divergent
+ * branch the not-followed lane group is pushed with its target PC and
+ * mask; when the followed group reaches the termination point, the
+ * head is popped and execution proceeds with that PC and mask.
+ */
+
+#ifndef DVR_RUNAHEAD_RECONVERGENCE_STACK_HH
+#define DVR_RUNAHEAD_RECONVERGENCE_STACK_HH
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dvr {
+
+/** Up to 256 scalar-equivalent lanes (128 default, 256 for ablation). */
+inline constexpr unsigned kMaxLanes = 256;
+using LaneMask = std::bitset<kMaxLanes>;
+
+class ReconvergenceStack
+{
+  public:
+    struct Entry
+    {
+        InstPc pc = kInvalidPc;
+        LaneMask mask;
+    };
+
+    explicit ReconvergenceStack(unsigned depth = 8);
+
+    /**
+     * Push a diverged lane group.
+     * @return false when the stack is full (the caller drops the
+     *         group: those lanes produce no further prefetches).
+     */
+    bool push(InstPc pc, const LaneMask &mask);
+
+    /** Pop the head; undefined when empty(). */
+    Entry pop();
+
+    bool empty() const { return stack_.empty(); }
+    size_t size() const { return stack_.size(); }
+    unsigned depth() const { return depth_; }
+    void clear() { stack_.clear(); }
+
+    uint64_t pushes = 0;
+    uint64_t overflowDrops = 0;
+
+  private:
+    unsigned depth_;
+    std::vector<Entry> stack_;
+};
+
+} // namespace dvr
+
+#endif // DVR_RUNAHEAD_RECONVERGENCE_STACK_HH

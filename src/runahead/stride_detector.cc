@@ -1,0 +1,79 @@
+#include "runahead/stride_detector.hh"
+
+namespace dvr {
+
+StrideDetector::StrideDetector(unsigned entries)
+    : table_(entries)
+{
+}
+
+const StrideEntry *
+StrideDetector::observe(InstPc pc, Addr addr)
+{
+    StrideEntry *e = nullptr;
+    StrideEntry *lru = &table_[0];
+    for (auto &ent : table_) {
+        if (ent.pc == pc) {
+            e = &ent;
+            break;
+        }
+        if (ent.lruStamp < lru->lruStamp)
+            lru = &ent;
+    }
+    if (!e) {
+        e = lru;
+        *e = StrideEntry();
+        e->pc = pc;
+        e->lastAddr = addr;
+        e->lruStamp = nextStamp_++;
+        return nullptr;
+    }
+    e->lruStamp = nextStamp_++;
+
+    const int64_t delta = static_cast<int64_t>(addr) -
+                          static_cast<int64_t>(e->lastAddr);
+    e->lastAddr = addr;
+    if (delta == e->stride && delta != 0) {
+        if (e->confidence < 3)
+            ++e->confidence;
+    } else if (e->confidence > 0) {
+        // Hysteresis: a single outlier does not clobber a stable
+        // stride (classic RPT 2-bit behaviour).
+        --e->confidence;
+    } else {
+        e->stride = delta;
+    }
+    return e->confident() ? e : nullptr;
+}
+
+const StrideEntry *
+StrideDetector::find(InstPc pc) const
+{
+    for (const auto &ent : table_) {
+        if (ent.pc == pc)
+            return &ent;
+    }
+    return nullptr;
+}
+
+void
+StrideDetector::clearDiscoveryBits()
+{
+    for (auto &ent : table_)
+        ent.seenInDiscovery = false;
+}
+
+bool
+StrideDetector::markSeenInDiscovery(InstPc pc)
+{
+    for (auto &ent : table_) {
+        if (ent.pc == pc) {
+            const bool seen = ent.seenInDiscovery;
+            ent.seenInDiscovery = true;
+            return seen;
+        }
+    }
+    return false;
+}
+
+} // namespace dvr

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * 32-entry Reference Prediction Table (RPT) stride detector (Chen &
+ * Baer style), as used by DVR to find candidate striding loads. Each
+ * entry keeps the load PC, previous address, stride, a 2-bit
+ * saturating confidence counter, and the innermost/seen-in-discovery
+ * bit used by Discovery Mode's innermost-stride switching.
+ */
+
+#ifndef DVR_RUNAHEAD_STRIDE_DETECTOR_HH
+#define DVR_RUNAHEAD_STRIDE_DETECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dvr {
+
+struct StrideEntry
+{
+    InstPc pc = kInvalidPc;
+    Addr lastAddr = 0;
+    int64_t stride = 0;
+    uint8_t confidence = 0;         ///< 2-bit saturating
+    bool seenInDiscovery = false;   ///< the per-entry discovery bit
+    uint64_t lruStamp = 0;
+
+    bool confident() const { return confidence >= 2 && stride != 0; }
+};
+
+class StrideDetector
+{
+  public:
+    explicit StrideDetector(unsigned entries = 32);
+
+    /**
+     * Train on a retired load.
+     * @return the entry if the load is (now) a confident strider,
+     *         nullptr otherwise.
+     */
+    const StrideEntry *observe(InstPc pc, Addr addr);
+
+    /** Find the entry for a PC (or nullptr). */
+    const StrideEntry *find(InstPc pc) const;
+
+    /** Clear all seen-in-discovery bits (Discovery Mode entry). */
+    void clearDiscoveryBits();
+
+    /**
+     * Mark a confident strider as seen during Discovery Mode.
+     * @return true when it had already been seen (i.e. this is the
+     *         second occurrence: the stride is more inner than the
+     *         current discovery trigger).
+     */
+    bool markSeenInDiscovery(InstPc pc);
+
+    unsigned entries() const
+    {
+        return static_cast<unsigned>(table_.size());
+    }
+
+  private:
+    std::vector<StrideEntry> table_;
+    uint64_t nextStamp_ = 1;
+};
+
+} // namespace dvr
+
+#endif // DVR_RUNAHEAD_STRIDE_DETECTOR_HH

@@ -1,0 +1,844 @@
+#include "runahead/subthread.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "mem/sim_memory.hh"
+
+namespace dvr {
+
+namespace {
+
+LaneMask
+fullMask(unsigned lanes)
+{
+    LaneMask m;
+    for (unsigned i = 0; i < lanes; ++i)
+        m.set(i);
+    return m;
+}
+
+unsigned
+firstLane(const LaneMask &m)
+{
+    for (unsigned i = 0; i < kMaxLanes; ++i) {
+        if (m.test(i))
+            return i;
+    }
+    return kMaxLanes;
+}
+
+} // namespace
+
+VectorSubthread::VectorSubthread(const SubthreadConfig &cfg,
+                                 const Program &prog,
+                                 const SimMemory &mem,
+                                 MemorySystem &memsys)
+    : cfg_(cfg), prog_(prog), mem_(mem), memsys_(memsys),
+      stack_(cfg.reconvDepth),
+      vrat_(cfg.vecPhysFree, cfg.intPhysFree,
+            (cfg.maxLanes + cfg.vectorWidth - 1) / cfg.vectorWidth)
+{
+    panicIf(cfg.maxLanes == 0 || cfg.maxLanes > kMaxLanes,
+            "SubthreadConfig: bad lane count");
+}
+
+void
+VectorSubthread::initRegs(const RegState &regs, Cycle spawn,
+                          Cycle valid_after)
+{
+    for (int i = 0; i < kNumArchRegs; ++i) {
+        r_[i] = SReg();
+        r_[i].scalar = regs.value[i];
+        // A register is usable in runahead when its value arrives
+        // within the interval (ALU chains resolve in a few cycles;
+        // only DRAM-bound values stay invalid).
+        r_[i].valid = regs.ready[i] <= valid_after;
+        r_[i].ready =
+            r_[i].valid ? std::max(spawn, regs.ready[i]) : spawn;
+    }
+}
+
+void
+VectorSubthread::resetEpisode(unsigned lanes, Cycle spawn)
+{
+    st_ = EpisodeStats();
+    st_.ran = true;
+    st_.spawnCycle = spawn;
+    st_.lanesSpawned = lanes;
+    numLanes_ = lanes;
+    active_ = fullMask(lanes);
+    faulted_.reset();
+    arrived_.reset();
+    stack_.clear();
+    stack_.pushes = 0;
+    stack_.overflowDrops = 0;
+    vrat_.reset();
+    curIssue_ = spawn + cfg_.spawnOverhead;
+    dataEnd_ = spawn;
+    seed_ = Seed();
+}
+
+bool
+VectorSubthread::writeVector(RegId rd, const std::vector<uint64_t> &vals,
+                             const LaneMask &mask,
+                             const std::vector<Cycle> &ready)
+{
+    SReg &r = r_[rd];
+    if (!r.vec) {
+        if (!vrat_.vectorize(rd)) {
+            st_.vratExhausted = true;
+            return false;
+        }
+        // Broadcast the old scalar into inactive lanes.
+        r.lanes.assign(numLanes_, r.scalar);
+        r.laneReady.assign(numLanes_, r.ready);
+        r.vec = true;
+    } else if (r.lanes.size() != numLanes_) {
+        r.lanes.resize(numLanes_, r.scalar);
+        r.laneReady.resize(numLanes_, r.ready);
+    }
+    for (unsigned i = 0; i < numLanes_; ++i) {
+        if (mask.test(i)) {
+            r.lanes[i] = vals[i];
+            r.laneReady[i] = ready[i];
+        }
+    }
+    r.valid = true;
+    return true;
+}
+
+bool
+VectorSubthread::writeScalar(RegId rd, uint64_t v, bool valid,
+                             Cycle ready)
+{
+    SReg &r = r_[rd];
+    if (r.vec && !vrat_.scalarize(rd)) {
+        st_.vratExhausted = true;
+        return false;
+    }
+    r.vec = false;
+    r.lanes.clear();
+    r.laneReady.clear();
+    r.scalar = v;
+    r.valid = valid;
+    r.ready = ready;
+    return true;
+}
+
+Cycle
+VectorSubthread::issueLaneLoads(const std::vector<Addr> &addrs,
+                                const LaneMask &mask, uint32_t bytes,
+                                Cycle issue_start,
+                                const std::vector<Cycle> &earliest,
+                                std::vector<uint64_t> &vals_out,
+                                std::vector<Cycle> &done_out,
+                                LaneMask &fault_out)
+{
+    // Vectorized loads are split into scalar accesses in the LSQ and
+    // sent to the cache hierarchy individually (Section 4.2.2); the
+    // gather copies issue over the vector ports, each copy as soon as
+    // its own address input has returned (wavefront pipelining).
+    const unsigned per_cycle = cfg_.vectorWidth * cfg_.vectorPorts;
+    unsigned nth = 0;
+    Cycle max_issue = issue_start;
+    for (unsigned i = 0; i < numLanes_; ++i) {
+        if (!mask.test(i))
+            continue;
+        uint64_t v = 0;
+        if (!mem_.tryRead(addrs[i], bytes, v)) {
+            fault_out.set(i);
+            ++st_.lanesFaulted;
+            continue;
+        }
+        const Cycle at = std::max(earliest[i], issue_start) + 1 +
+                         nth / per_cycle;
+        ++nth;
+        max_issue = std::max(max_issue, at);
+        const MemAccess ma = memsys_.access(addrs[i], bytes, at, false,
+                                            Requester::kRunahead, pcv_,
+                                            v);
+        vals_out[i] = v;
+        done_out[i] = ma.done;
+        dataEnd_ = std::max(dataEnd_, ma.done);
+        ++st_.laneLoads;
+    }
+    return max_issue;
+}
+
+VectorSubthread::ChainExit
+VectorSubthread::execChain(const TermSpec &t)
+{
+    const uint64_t insts_at_entry = st_.instructions;
+    std::vector<uint64_t> vals(numLanes_);
+    std::vector<Addr> addrs(numLanes_);
+    std::vector<Cycle> lane_ready(numLanes_);
+    std::vector<Cycle> done(numLanes_);
+
+    auto pop_group = [&]() -> bool {
+        while (!stack_.empty()) {
+            auto e = stack_.pop();
+            const LaneMask m = e.mask & ~faulted_;
+            if (m.any()) {
+                pcv_ = e.pc;
+                active_ = m;
+                return true;
+            }
+        }
+        return false;
+    };
+
+    while (true) {
+        if (st_.instructions - insts_at_entry >= t.timeout) {
+            st_.timedOut = true;
+            return ChainExit::kTimeout;
+        }
+        LaneMask m = active_ & ~faulted_;
+        if (m.none()) {
+            if (!pop_group())
+                return ChainExit::kCompleted;
+            continue;
+        }
+        if (!prog_.valid(pcv_))
+            return ChainExit::kFault;
+
+        // Stop *before* re-executing the striding load (next loop
+        // iteration) -- but not on the episode's very first fetch.
+        if (pcv_ == t.stopBeforePc &&
+            st_.instructions > insts_at_entry) {
+            arrived_ |= m;
+            active_.reset();
+            if (!pop_group())
+                return ChainExit::kCompleted;
+            continue;
+        }
+
+        const Instruction &inst = prog_.at(pcv_);
+
+        if (inst.op == Opcode::kHalt)
+            return ChainExit::kHalt;
+
+        // Hunt mode (NDM / VR): stop before a confident striding load
+        // whose PC is below the limit (more outer than the inner one).
+        if (t.huntDetector && inst.isLoad() &&
+            !(seed_.pending && pcv_ == seed_.pc)) {
+            const StrideEntry *e = t.huntDetector->find(pcv_);
+            if (e && e->confident() &&
+                (t.huntLimitPc == kInvalidPc || pcv_ < t.huntLimitPc)) {
+                return ChainExit::kFoundStride;
+            }
+        }
+
+        ++st_.instructions;
+
+        const int nsrcs = inst.numSrcs();
+        const bool s1_vec = nsrcs >= 1 && r_[inst.rs1].vec;
+        const bool s2_vec = nsrcs >= 2 && r_[inst.rs2].vec;
+        const bool seeding = seed_.pending && pcv_ == seed_.pc;
+        // NDM phase 2: a further confident striding load with a
+        // scalar base gets vectorized by its own stride too.
+        bool stride_vec = false;
+        if (!seeding && t.vectorizeDetector && inst.isLoad() &&
+            !s1_vec && r_[inst.rs1].valid &&
+            (t.vectorizeLimitPc == kInvalidPc ||
+             pcv_ < t.vectorizeLimitPc)) {
+            const StrideEntry *e = t.vectorizeDetector->find(pcv_);
+            stride_vec = e && e->confident();
+            if (stride_vec)
+                strideVecStride_ = e->stride;
+        }
+        const bool vec = s1_vec || s2_vec || seeding || stride_vec;
+        const bool s1_ok = nsrcs < 1 || r_[inst.rs1].valid;
+        const bool s2_ok = nsrcs < 2 || r_[inst.rs2].valid;
+        const bool srcs_ok = s1_ok && s2_ok;
+
+        // In-order VIR issue: the instruction occupies the issue slot
+        // from when its *first* copy can go; individual copies then
+        // issue as their own lane inputs return.
+        // Readiness of purely scalar sources (used on scalar paths).
+        Cycle scalar_src_ready = 0;
+        if (nsrcs >= 1 && !s1_vec)
+            scalar_src_ready = std::max(scalar_src_ready,
+                                        r_[inst.rs1].ready);
+        if (nsrcs >= 2 && !s2_vec)
+            scalar_src_ready = std::max(scalar_src_ready,
+                                        r_[inst.rs2].ready);
+
+        std::fill(lane_ready.begin(), lane_ready.end(), Cycle(0));
+        Cycle min_src = kCycleNever;
+        for (unsigned i = 0; i < numLanes_; ++i) {
+            if (!m.test(i))
+                continue;
+            Cycle rr = 0;
+            if (nsrcs >= 1)
+                rr = std::max(rr, laneReadyOf(r_[inst.rs1], i));
+            if (nsrcs >= 2)
+                rr = std::max(rr, laneReadyOf(r_[inst.rs2], i));
+            lane_ready[i] = rr;
+            min_src = std::min(min_src, rr);
+        }
+        if (min_src == kCycleNever)
+            min_src = 0;
+
+        const unsigned copies =
+            (numLanes_ + cfg_.vectorWidth - 1) / cfg_.vectorWidth;
+        const Cycle issue_start = std::max(curIssue_, min_src);
+        const Cycle issue_len =
+            vec ? (copies + cfg_.vectorPorts - 1) / cfg_.vectorPorts
+                : 1;
+        curIssue_ = issue_start + issue_len;
+        if (vec)
+            ++st_.vectorOps;
+        else
+            ++st_.scalarOps;
+        st_.issueEnd = std::max(st_.issueEnd, curIssue_);
+
+        const FuClass cls = inst.fuClass();
+        const Cycle lat = cls == FuClass::kIntMul ? 3
+                          : cls == FuClass::kIntDiv ? 18
+                          : cls == FuClass::kFpAdd ? 3
+                          : cls == FuClass::kFpMul ? 5
+                          : cls == FuClass::kFpDiv ? 6
+                                                   : 1;
+
+        InstPc next_pc = pcv_ + 1;
+        bool flr_hit = pcv_ == t.flrPc;
+
+        if (seeding) {
+            // The vectorized striding load: lane addresses come from
+            // the stride predictor, not the address register.
+            seed_.pending = false;
+            LaneMask faults;
+            std::fill(vals.begin(), vals.end(), 0);
+            std::fill(done.begin(), done.end(), issue_start);
+            std::fill(lane_ready.begin(), lane_ready.end(),
+                      issue_start);
+            const Cycle last = issueLaneLoads(
+                seed_.addrs, m, seed_.bytes, issue_start, lane_ready,
+                vals, done, faults);
+            // In-order VIR: the next instruction is fetched only once
+            // all copies of this one have issued (Section 4.2.2).
+            curIssue_ = std::max(curIssue_, last);
+            st_.issueEnd = std::max(st_.issueEnd, curIssue_);
+            faulted_ |= faults;
+            if (!writeVector(seed_.dest, vals, m & ~faults, done))
+                return ChainExit::kVratFull;
+        } else if (inst.isLoad()) {
+            const int64_t off = inst.imm;
+            if (vec) {
+                LaneMask faults;
+                if (stride_vec) {
+                    // Secondary striding load: lane k reads the k-th
+                    // future instance, base + k * stride.
+                    const Addr base = r_[inst.rs1].scalar +
+                                      static_cast<Addr>(off);
+                    for (unsigned i = 0; i < numLanes_; ++i) {
+                        addrs[i] = base + static_cast<Addr>(
+                                              strideVecStride_ *
+                                              int64_t(i));
+                    }
+                } else {
+                    for (unsigned i = 0; i < numLanes_; ++i) {
+                        addrs[i] = laneVal(r_[inst.rs1], i) +
+                                   static_cast<Addr>(off);
+                    }
+                }
+                std::fill(vals.begin(), vals.end(), 0);
+                std::fill(done.begin(), done.end(), issue_start);
+                if (!srcs_ok) {
+                    // Vector load with an invalid scalar input: all
+                    // lanes produce garbage; skip the access.
+                    if (!writeScalar(inst.rd, 0, false, issue_start))
+                        return ChainExit::kVratFull;
+                } else {
+                    const Cycle last = issueLaneLoads(
+                        addrs, m, inst.memBytes(), issue_start,
+                        lane_ready, vals, done, faults);
+                    curIssue_ = std::max(curIssue_, last);
+                    st_.issueEnd = std::max(st_.issueEnd, curIssue_);
+                    faulted_ |= faults;
+                    if (!writeVector(inst.rd, vals, m & ~faults, done))
+                        return ChainExit::kVratFull;
+                }
+            } else {
+                // Scalar load: one access shared by all lanes.
+                const Addr a = r_[inst.rs1].scalar +
+                               static_cast<Addr>(off);
+                uint64_t v = 0;
+                if (!srcs_ok || !mem_.tryRead(a, inst.memBytes(), v)) {
+                    if (!writeScalar(inst.rd, 0, false, issue_start))
+                        return ChainExit::kVratFull;
+                } else {
+                    const MemAccess ma = memsys_.access(
+                        a, inst.memBytes(),
+                        std::max(issue_start, scalar_src_ready) + 1,
+                        false, Requester::kRunahead, pcv_, v);
+                    dataEnd_ = std::max(dataEnd_, ma.done);
+                    ++st_.laneLoads;
+                    if (!writeScalar(inst.rd, v, true, ma.done))
+                        return ChainExit::kVratFull;
+                }
+            }
+        } else if (inst.isStore()) {
+            // Runahead is transient: stores are dropped.
+        } else if (inst.isBranch()) {
+            bool forced_nt = pcv_ == t.forcedNotTakenPc;
+            if (inst.op == Opcode::kJmp) {
+                next_pc = inst.target;
+            } else if (forced_nt) {
+                next_pc = pcv_ + 1;
+            } else if (!r_[inst.rs1].vec) {
+                // Uniform branch: follow the functional direction; an
+                // invalid source falls through.
+                if (r_[inst.rs1].valid &&
+                    branchTaken(inst.op, r_[inst.rs1].scalar)) {
+                    next_pc = inst.target;
+                }
+            } else {
+                // Divergence: the reconvergence logic compares all
+                // active lanes' outcomes, so the branch resolves when
+                // the slowest lane's source has returned.
+                Cycle max_src = 0;
+                for (unsigned i = 0; i < numLanes_; ++i) {
+                    if (m.test(i))
+                        max_src = std::max(max_src, lane_ready[i]);
+                }
+                curIssue_ = std::max(curIssue_, max_src + 1);
+                st_.issueEnd = std::max(st_.issueEnd, curIssue_);
+                LaneMask taken;
+                for (unsigned i = 0; i < numLanes_; ++i) {
+                    if (m.test(i) &&
+                        branchTaken(inst.op, r_[inst.rs1].lanes[i])) {
+                        taken.set(i);
+                    }
+                }
+                const LaneMask not_taken = m & ~taken;
+                if (not_taken.none()) {
+                    next_pc = inst.target;
+                } else if (taken.none()) {
+                    next_pc = pcv_ + 1;
+                } else if (t.reconverge) {
+                    // Follow the group containing the first lane;
+                    // push the other group for later (Section 4.2.3).
+                    const bool first_taken = taken.test(firstLane(m));
+                    const LaneMask &follow =
+                        first_taken ? taken : not_taken;
+                    const LaneMask &defer =
+                        first_taken ? not_taken : taken;
+                    const InstPc defer_pc =
+                        first_taken ? pcv_ + 1 : inst.target;
+                    if (first_taken)
+                        next_pc = inst.target;
+                    if (!stack_.push(defer_pc, defer)) {
+                        st_.lanesDropped += defer.count();
+                        faulted_ |= defer;
+                    }
+                    active_ = follow;
+                } else {
+                    // VR-style: follow the first scalar-equivalent
+                    // lane; divergent lanes are invalidated.
+                    const bool first_taken = taken.test(firstLane(m));
+                    const LaneMask &follow =
+                        first_taken ? taken : not_taken;
+                    const LaneMask &dead =
+                        first_taken ? not_taken : taken;
+                    if (first_taken)
+                        next_pc = inst.target;
+                    st_.lanesInvalidated += dead.count();
+                    faulted_ |= dead;
+                    active_ = follow;
+                }
+            }
+        } else if (inst.hasDest()) {
+            if (vec) {
+                const unsigned per_cycle =
+                    cfg_.vectorWidth * cfg_.vectorPorts;
+                unsigned nth = 0;
+                Cycle max_done = issue_start;
+                for (unsigned i = 0; i < numLanes_; ++i) {
+                    vals[i] = evalOp(inst.op, laneVal(r_[inst.rs1], i),
+                                     laneVal(r_[inst.rs2], i), inst.imm);
+                    // Copy issues when its own inputs are back.
+                    const Cycle at = std::max(
+                        issue_start + nth / per_cycle, lane_ready[i]);
+                    if (m.test(i)) {
+                        ++nth;
+                        max_done = std::max(max_done, at + lat);
+                    }
+                    done[i] = at + lat;
+                }
+                // In-order VIR: all copies issued and executed before
+                // the next instruction is fetched.
+                curIssue_ = std::max(curIssue_, max_done);
+                st_.issueEnd = std::max(st_.issueEnd, curIssue_);
+                if (!writeVector(inst.rd, vals, m, done))
+                    return ChainExit::kVratFull;
+                if (!srcs_ok)
+                    r_[inst.rd].valid = false;
+            } else {
+                const uint64_t v =
+                    srcs_ok ? evalOp(inst.op, r_[inst.rs1].scalar,
+                                     r_[inst.rs2].scalar, inst.imm)
+                            : 0;
+                if (!writeScalar(inst.rd, v, srcs_ok,
+                                 std::max(issue_start + issue_len,
+                                          scalar_src_ready + lat)))
+                    return ChainExit::kVratFull;
+            }
+        }
+
+        pcv_ = next_pc;
+
+        // Terminate this lane group once the final dependent load in
+        // the chain (the FLR) has executed.
+        if (flr_hit) {
+            arrived_ |= active_ & ~faulted_;
+            active_.reset();
+            if (!pop_group())
+                return ChainExit::kCompleted;
+        }
+    }
+}
+
+uint64_t
+VectorSubthread::applyCursor(CoverageCursor *cursor, Addr base,
+                             int64_t stride, uint64_t &lanes_avail)
+{
+    if (!cursor || stride <= 0)
+        return 0;
+    if (!cursor->valid || base < cursor->from || base > cursor->to) {
+        // The stream restarted (new inner-loop invocation) or ran
+        // past the frontier: start a fresh window.
+        cursor->valid = false;
+        return 0;
+    }
+    const uint64_t skip =
+        (cursor->to - base) / static_cast<uint64_t>(stride) + 1;
+    lanes_avail = skip >= lanes_avail ? 0 : lanes_avail - skip;
+    return skip;
+}
+
+void
+VectorSubthread::advanceCursor(CoverageCursor *cursor, Addr first,
+                               int64_t stride, unsigned lanes)
+{
+    if (!cursor || stride <= 0 || lanes == 0)
+        return;
+    const Addr last =
+        first + static_cast<Addr>(stride) * (lanes - 1);
+    if (!cursor->valid) {
+        cursor->from = first;
+        cursor->valid = true;
+    }
+    cursor->to = last;
+}
+
+EpisodeStats
+VectorSubthread::runVectorized(const DiscoveryResult &d,
+                               const RegState &regs, Cycle spawn,
+                               unsigned lanes,
+                               CoverageCursor *cursor)
+{
+    uint64_t avail = std::clamp(lanes, 1u, cfg_.maxLanes);
+    const uint64_t skip =
+        applyCursor(cursor, d.spawnAddr, d.stride, avail);
+    if (avail == 0) {
+        // Whole window already covered by the previous episode.
+        EpisodeStats none;
+        none.spawnCycle = spawn;
+        none.issueEnd = spawn;
+        none.dataEnd = spawn;
+        return none;
+    }
+    const Addr first = d.spawnAddr +
+                       static_cast<Addr>(d.stride * int64_t(skip));
+    lanes = static_cast<unsigned>(avail);
+    resetEpisode(lanes, spawn);
+    initRegs(regs, spawn, kCycleNever);
+
+    seed_.pending = true;
+    seed_.pc = d.stridePc;
+    seed_.dest = d.strideDest;
+    seed_.bytes = d.strideBytes;
+    seed_.addrs.assign(numLanes_, 0);
+    for (unsigned k = 0; k < numLanes_; ++k) {
+        seed_.addrs[k] = first +
+                         static_cast<Addr>(d.stride * int64_t(k));
+    }
+    advanceCursor(cursor, first, d.stride, lanes);
+
+    TermSpec t;
+    // Per the paper's footnote: with divergent control flow in the
+    // chain, lanes run to the next stride-PC occurrence rather than
+    // stopping at the FLR.
+    t.flrPc = d.divergentChain ? kInvalidPc : d.flr;
+    t.stopBeforePc = d.stridePc;
+    t.timeout = cfg_.timeoutInsts;
+    t.reconverge = cfg_.gpuReconvergence;
+
+    pcv_ = d.stridePc;
+    execChain(t);
+    st_.issueEnd = std::max(st_.issueEnd, curIssue_);
+    st_.dataEnd = std::max(dataEnd_, st_.issueEnd);
+    st_.reconvPushes = stack_.pushes;
+    st_.peakVecRegs = vrat_.peakVecInUse();
+    return st_;
+}
+
+EpisodeStats
+VectorSubthread::runNested(const DiscoveryResult &d,
+                           const RegState &regs, Cycle spawn,
+                           const StrideDetector &detector,
+                           CoverageCursor *cursor)
+{
+    if (d.backwardBranchPc == kInvalidPc || !d.bound.valid) {
+        const unsigned lanes =
+            d.bound.valid
+                ? unsigned(std::clamp<int64_t>(d.bound.remaining, 1,
+                                               cfg_.maxLanes))
+                : cfg_.maxLanes;
+        // Fallback episodes seed from the *inner* striding load; the
+        // cursor tracks the outer frontier, so leave it untouched.
+        return runVectorized(d, regs, spawn, lanes, nullptr);
+    }
+
+    // --- Phase 1: NDM scalar walk on the not-taken path of the
+    // backward branch, hunting an outer striding load.
+    resetEpisode(1, spawn);
+    initRegs(regs, spawn, kCycleNever);
+    pcv_ = d.backwardBranchPc + 1;
+
+    TermSpec hunt;
+    hunt.forcedNotTakenPc = d.backwardBranchPc;
+    hunt.timeout = cfg_.ndmTimeout;
+    hunt.reconverge = false;
+    hunt.huntDetector = &detector;
+    hunt.huntLimitPc = d.stridePc;  // outer load: address below the ILR
+
+    const ChainExit e1 = execChain(hunt);
+    if (e1 != ChainExit::kFoundStride) {
+        // Fall back to the loop bound found during Discovery Mode.
+        const unsigned lanes = unsigned(
+            std::clamp<int64_t>(d.bound.remaining, 1, cfg_.maxLanes));
+        return runVectorized(d, regs, spawn, lanes, nullptr);
+    }
+
+    // --- Phase 2: vectorize the outer striding load by 16 and run
+    // the dependents through to the inner striding load.
+    const InstPc outer_pc = pcv_;
+    const Instruction &outer = prog_.at(outer_pc);
+    const StrideEntry *oe = detector.find(outer_pc);
+    if (!oe || !r_[outer.rs1].valid) {
+        const unsigned lanes = unsigned(
+            std::clamp<int64_t>(d.bound.remaining, 1, cfg_.maxLanes));
+        return runVectorized(d, regs, spawn, lanes, nullptr);
+    }
+    Addr outer_base = r_[outer.rs1].scalar +
+                      static_cast<Addr>(outer.imm);
+
+    // Outer-frontier tracking: skip outer iterations whose inner
+    // invocations previous nested episodes already covered.
+    uint64_t outer_avail = std::min(cfg_.nestedOuterLanes, kMaxLanes);
+    const uint64_t outer_skip =
+        applyCursor(cursor, outer_base, oe->stride, outer_avail);
+    if (outer_avail == 0) {
+        EpisodeStats none;
+        none.spawnCycle = spawn;
+        none.issueEnd = spawn;
+        none.dataEnd = spawn;
+        return none;
+    }
+    outer_base += static_cast<Addr>(oe->stride * int64_t(outer_skip));
+
+    const unsigned outer_lanes = static_cast<unsigned>(outer_avail);
+    advanceCursor(cursor, outer_base, oe->stride, outer_lanes);
+    numLanes_ = outer_lanes;
+    active_ = fullMask(outer_lanes);
+    faulted_.reset();
+    arrived_.reset();
+    st_.lanesSpawned = outer_lanes;
+
+    seed_.pending = true;
+    seed_.pc = outer_pc;
+    seed_.dest = outer.rd;
+    seed_.bytes = outer.memBytes();
+    seed_.addrs.assign(outer_lanes, 0);
+    for (unsigned k = 0; k < outer_lanes; ++k) {
+        seed_.addrs[k] = outer_base +
+                         static_cast<Addr>(oe->stride * int64_t(k));
+    }
+
+    TermSpec to_inner;
+    to_inner.stopBeforePc = d.stridePc;
+    to_inner.forcedNotTakenPc = d.backwardBranchPc;
+    to_inner.timeout = cfg_.ndmTimeout;
+    to_inner.reconverge = cfg_.gpuReconvergence;
+    to_inner.vectorizeDetector = &detector;
+    to_inner.vectorizeLimitPc = d.stridePc;
+
+    execChain(to_inner);
+    const LaneMask reached = arrived_ & ~faulted_;
+    if (reached.none()) {
+        st_.issueEnd = std::max(st_.issueEnd, curIssue_);
+        st_.dataEnd = std::max(dataEnd_, st_.issueEnd);
+        return st_;
+    }
+
+    // --- Phase 3: per outer lane, compute the inner start address
+    // and the inner trip count (LCR inputs + IR), collect up to
+    // maxLanes inner stride addresses, expand registers, and run the
+    // inner chain fully vectorized.
+    const Instruction &inner = prog_.at(d.stridePc);
+    const RegId ind = d.bound.inductionReg;
+    const RegId bound_reg =
+        d.lcr.isImmCompare ? ind
+                           : (d.lcr.rs1 == ind ? d.lcr.rs2 : d.lcr.rs1);
+
+    std::vector<Addr> inner_addrs;
+    std::vector<unsigned> outer_of;
+    inner_addrs.reserve(cfg_.maxLanes);
+    for (unsigned j = 0;
+         j < outer_lanes && inner_addrs.size() < cfg_.maxLanes; ++j) {
+        if (!reached.test(j))
+            continue;
+        const Addr base = laneVal(r_[inner.rs1], j) +
+                          static_cast<Addr>(inner.imm);
+        const uint64_t ind_v = laneVal(r_[ind], j);
+        const uint64_t bnd_v = d.lcr.isImmCompare
+                                   ? uint64_t(d.lcr.imm)
+                                   : laneVal(r_[bound_reg], j);
+        int64_t n = remainingIterations(d.lcr, ind_v, bnd_v,
+                                        d.bound.increment);
+        if (n < 0)
+            n = 1;
+        n = std::min<int64_t>(n, cfg_.maxLanes);
+        for (int64_t tt = 0;
+             tt < n && inner_addrs.size() < cfg_.maxLanes; ++tt) {
+            inner_addrs.push_back(
+                base + static_cast<Addr>(d.stride * tt));
+            outer_of.push_back(j);
+        }
+    }
+    if (inner_addrs.empty()) {
+        st_.issueEnd = std::max(st_.issueEnd, curIssue_);
+        st_.dataEnd = std::max(dataEnd_, st_.issueEnd);
+        return st_;
+    }
+
+    // Expand registers: vector-by-outer-lane values fan out to the
+    // inner lanes spawned from that outer lane.
+    const unsigned n_inner = static_cast<unsigned>(inner_addrs.size());
+    for (auto &reg : r_) {
+        if (!reg.vec)
+            continue;
+        std::vector<uint64_t> expanded(n_inner);
+        std::vector<Cycle> expanded_ready(n_inner);
+        for (unsigned i = 0; i < n_inner; ++i) {
+            expanded[i] = reg.lanes[outer_of[i]];
+            expanded_ready[i] = reg.laneReady[outer_of[i]];
+        }
+        reg.lanes = std::move(expanded);
+        reg.laneReady = std::move(expanded_ready);
+    }
+    numLanes_ = n_inner;
+    active_ = fullMask(n_inner);
+    faulted_.reset();
+    arrived_.reset();
+    stack_.clear();
+    st_.nested = true;
+    st_.nestedInnerLanes = n_inner;
+    st_.lanesSpawned = n_inner;
+
+    seed_.pending = true;
+    seed_.pc = d.stridePc;
+    seed_.dest = d.strideDest;
+    seed_.bytes = d.strideBytes;
+    seed_.addrs = std::move(inner_addrs);
+
+    TermSpec t;
+    t.flrPc = d.divergentChain ? kInvalidPc : d.flr;
+    t.stopBeforePc = d.stridePc;
+    t.timeout = cfg_.timeoutInsts;
+    t.reconverge = cfg_.gpuReconvergence;
+    pcv_ = d.stridePc;
+    execChain(t);
+
+    st_.issueEnd = std::max(st_.issueEnd, curIssue_);
+    st_.dataEnd = std::max(dataEnd_, st_.issueEnd);
+    st_.reconvPushes = stack_.pushes;
+    st_.peakVecRegs = vrat_.peakVecInUse();
+    return st_;
+}
+
+EpisodeStats
+VectorSubthread::runVrStyle(InstPc start_pc, const RegState &regs,
+                            Cycle spawn, const StrideDetector &detector,
+                            unsigned scalar_budget)
+{
+    // Scalar walk from the stall point to the first striding load.
+    resetEpisode(1, spawn);
+    // Values that will not arrive shortly after the stall begins
+    // (i.e. DRAM-bound producers) are invalid in runahead.
+    initRegs(regs, spawn, spawn + 30);
+    pcv_ = start_pc;
+
+    TermSpec hunt;
+    hunt.timeout = scalar_budget;
+    hunt.reconverge = false;
+    hunt.huntDetector = &detector;
+
+    const ChainExit e1 = execChain(hunt);
+    if (e1 != ChainExit::kFoundStride) {
+        st_.huntExit = e1 == ChainExit::kTimeout
+                           ? EpisodeStats::HuntExit::kTimeout
+                       : e1 == ChainExit::kHalt
+                           ? EpisodeStats::HuntExit::kHalt
+                       : e1 == ChainExit::kFault
+                           ? EpisodeStats::HuntExit::kFault
+                           : EpisodeStats::HuntExit::kCompleted;
+        st_.issueEnd = std::max(st_.issueEnd, curIssue_);
+        st_.dataEnd = std::max(dataEnd_, st_.issueEnd);
+        return st_;
+    }
+    st_.huntExit = EpisodeStats::HuntExit::kFound;
+
+    const InstPc stride_pc = pcv_;
+    const Instruction &ld = prog_.at(stride_pc);
+    const StrideEntry *se = detector.find(stride_pc);
+    if (!se || !r_[ld.rs1].valid) {
+        st_.huntExit = EpisodeStats::HuntExit::kInvalidBase;
+        st_.issueEnd = std::max(st_.issueEnd, curIssue_);
+        st_.dataEnd = std::max(dataEnd_, st_.issueEnd);
+        return st_;
+    }
+    const Addr base = r_[ld.rs1].scalar + static_cast<Addr>(ld.imm);
+
+    numLanes_ = cfg_.maxLanes;
+    active_ = fullMask(numLanes_);
+    faulted_.reset();
+    st_.lanesSpawned = numLanes_;
+
+    seed_.pending = true;
+    seed_.pc = stride_pc;
+    seed_.dest = ld.rd;
+    seed_.bytes = ld.memBytes();
+    seed_.addrs.assign(numLanes_, 0);
+    for (unsigned k = 0; k < numLanes_; ++k) {
+        seed_.addrs[k] = base +
+                         static_cast<Addr>(se->stride * int64_t(k));
+    }
+
+    TermSpec t;
+    t.stopBeforePc = stride_pc;     // one trip through the chain
+    t.timeout = cfg_.timeoutInsts;
+    t.reconverge = false;           // VR invalidates divergent lanes
+    pcv_ = stride_pc;
+    execChain(t);
+
+    st_.issueEnd = std::max(st_.issueEnd, curIssue_);
+    st_.dataEnd = std::max(dataEnd_, st_.issueEnd);
+    st_.peakVecRegs = vrat_.peakVecInUse();
+    return st_;
+}
+
+} // namespace dvr

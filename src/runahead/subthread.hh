@@ -1,0 +1,255 @@
+/**
+ * @file
+ * The decoupled vector-runahead subthread (paper Section 4.2): an
+ * in-order, speculative SIMT interpreter that executes the dependent
+ * chain starting at a striding load across up to 128 scalar-equivalent
+ * lanes (16 AVX-512 copies), issuing every lane's loads to the real
+ * memory hierarchy as runahead prefetches.
+ *
+ * The same engine also implements Nested Discovery Mode (Section 4.3)
+ * and the Vector Runahead baseline's episode (first-lane control flow
+ * with lane invalidation, spawned on a full-ROB stall).
+ */
+
+#ifndef DVR_RUNAHEAD_SUBTHREAD_HH
+#define DVR_RUNAHEAD_SUBTHREAD_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/ooo_core.hh"
+#include "isa/program.hh"
+#include "mem/memory_system.hh"
+#include "runahead/discovery.hh"
+#include "runahead/reconvergence_stack.hh"
+#include "runahead/stride_detector.hh"
+#include "runahead/vrat.hh"
+
+namespace dvr {
+
+class SimMemory;
+
+struct SubthreadConfig
+{
+    unsigned maxLanes = 128;        ///< scalar-equivalent lanes
+    unsigned vectorWidth = 8;       ///< lanes per AVX-512 register
+    unsigned vectorPorts = 2;       ///< vector uops issued per cycle
+    unsigned timeoutInsts = 200;    ///< per-episode instruction cap
+    unsigned reconvDepth = 8;
+    unsigned vecPhysFree = 128;     ///< vector phys regs available
+    unsigned intPhysFree = 64;      ///< spare integer phys regs
+    bool gpuReconvergence = true;   ///< false: VR-style invalidation
+    Cycle spawnOverhead = 4;        ///< VRAT init etc.
+    unsigned ndmTimeout = 200;      ///< NDM outer-stride hunt budget
+    unsigned nestedOuterLanes = 16;
+};
+
+/** Per-episode outcome and accounting. */
+struct EpisodeStats
+{
+    bool ran = false;
+    Cycle spawnCycle = 0;
+    Cycle issueEnd = 0;     ///< last subthread uop issued
+    Cycle dataEnd = 0;      ///< last lane load data returned
+    uint64_t instructions = 0;
+    uint64_t vectorOps = 0;
+    uint64_t scalarOps = 0;
+    uint64_t laneLoads = 0;         ///< scalar-equivalent loads issued
+    uint64_t lanesSpawned = 0;
+    uint64_t lanesFaulted = 0;
+    uint64_t lanesInvalidated = 0;  ///< VR-style divergence kills
+    uint64_t lanesDropped = 0;      ///< reconvergence-stack overflow
+    uint64_t reconvPushes = 0;
+    bool vratExhausted = false;
+    bool timedOut = false;
+    bool nested = false;
+    uint64_t nestedInnerLanes = 0;
+    unsigned peakVecRegs = 0;
+    /** Why the VR-style scalar hunt ended (diagnostic). */
+    enum class HuntExit : uint8_t {
+        kNone, kFound, kTimeout, kHalt, kFault, kCompleted,
+        kInvalidBase,
+    } huntExit = HuntExit::kNone;
+};
+
+/**
+ * Prefetch-frontier cursor: the address range of striding-load lanes
+ * already covered by earlier episodes of the same trigger. New
+ * episodes start their lanes past the frontier instead of re-issuing
+ * the overlap (lanes "start masked out", Section 4.2.2).
+ */
+struct CoverageCursor
+{
+    bool valid = false;
+    Addr from = 0;
+    Addr to = 0;
+};
+
+class VectorSubthread
+{
+  public:
+    VectorSubthread(const SubthreadConfig &cfg, const Program &prog,
+                    const SimMemory &mem, MemorySystem &memsys);
+
+    /**
+     * Normal DVR episode: vectorize the discovered chain across
+     * `lanes` future iterations starting at the spawn address.
+     * `cursor`, when given, suppresses lanes before the frontier and
+     * is advanced past the lanes this episode covers.
+     */
+    EpisodeStats runVectorized(const DiscoveryResult &d,
+                               const RegState &regs, Cycle spawn,
+                               unsigned lanes,
+                               CoverageCursor *cursor = nullptr);
+
+    /**
+     * Nested episode: NDM scalar walk past the inner loop, 16-lane
+     * outer vectorization, then expansion to up to 128 inner lanes.
+     * Falls back to runVectorized when no outer stride is found.
+     * `cursor` tracks the *outer* striding load's frontier.
+     */
+    EpisodeStats runNested(const DiscoveryResult &d,
+                           const RegState &regs, Cycle spawn,
+                           const StrideDetector &detector,
+                           CoverageCursor *cursor = nullptr);
+
+    /**
+     * Vector Runahead baseline episode: scalar walk from the stall
+     * point until a confident striding load is met, then 128-lane
+     * vectorization with first-lane control flow. Registers whose
+     * ready time is after `spawn` are invalid (their producers are
+     * still in flight at the stall).
+     */
+    EpisodeStats runVrStyle(InstPc start_pc, const RegState &regs,
+                            Cycle spawn, const StrideDetector &detector,
+                            unsigned scalar_budget);
+
+  private:
+    /**
+     * Subthread register: scalar or per-lane values. Vector registers
+     * carry per-lane readiness times: vector copies issue as their own
+     * inputs return (wavefront pipelining across chain levels), rather
+     * than barriering every lane on the slowest one.
+     */
+    struct SReg
+    {
+        bool vec = false;
+        bool valid = true;      ///< scalar-validity (VR invalid regs)
+        uint64_t scalar = 0;
+        std::vector<uint64_t> lanes;
+        Cycle ready = 0;        ///< scalar readiness
+        std::vector<Cycle> laneReady;
+    };
+
+    /** Chain-walk parameters. */
+    struct TermSpec
+    {
+        InstPc flrPc = kInvalidPc;          ///< stop after this pc
+        InstPc stopBeforePc = kInvalidPc;   ///< stop before this pc
+        InstPc forcedNotTakenPc = kInvalidPc;
+        unsigned timeout = 200;
+        bool reconverge = true;
+        const StrideDetector *huntDetector = nullptr;
+        InstPc huntLimitPc = kInvalidPc;    ///< loads below qualify
+        /**
+         * NDM phase 2: vectorize *every* confident striding load met
+         * on the way to the inner loop ("the process of vectorization
+         * continues for the dependents of each outer striding load",
+         * Section 4.3.1), e.g. both offs[row] and offs[row+1].
+         */
+        const StrideDetector *vectorizeDetector = nullptr;
+        InstPc vectorizeLimitPc = kInvalidPc;
+    };
+
+    enum class ChainExit : uint8_t {
+        kCompleted,
+        kTimeout,
+        kVratFull,
+        kHalt,
+        kFoundStride,   ///< hunt mode: pcv_ is the striding load
+        kFault,
+    };
+
+    void initRegs(const RegState &regs, Cycle spawn, Cycle valid_after);
+    void resetEpisode(unsigned lanes, Cycle spawn);
+
+    /**
+     * Advance a seed base past an existing coverage cursor.
+     * @return iterations to skip; lanes_avail is reduced accordingly
+     *         (0 means the whole window is already covered).
+     */
+    static uint64_t applyCursor(CoverageCursor *cursor, Addr base,
+                                int64_t stride, uint64_t &lanes_avail);
+
+    /** Record the lanes an episode covered into the cursor. */
+    static void advanceCursor(CoverageCursor *cursor, Addr first,
+                              int64_t stride, unsigned lanes);
+
+    uint64_t laneVal(const SReg &r, unsigned lane) const
+    {
+        return r.vec ? r.lanes[lane] : r.scalar;
+    }
+
+    /** Per-lane readiness of a register (scalar broadcasts). */
+    Cycle laneReadyOf(const SReg &r, unsigned lane) const
+    {
+        return r.vec ? r.laneReady[lane] : r.ready;
+    }
+
+    /** Broadcast-then-write a lane value set under a mask. */
+    bool writeVector(RegId rd, const std::vector<uint64_t> &vals,
+                     const LaneMask &mask,
+                     const std::vector<Cycle> &ready);
+    bool writeScalar(RegId rd, uint64_t v, bool valid, Cycle ready);
+
+    /** Execute from pcv_ until a termination condition; see TermSpec. */
+    ChainExit execChain(const TermSpec &t);
+
+    /**
+     * Issue per-lane loads for the instruction at pcv_. Each lane's
+     * access waits for that lane's own input readiness.
+     * @return the cycle the last copy issued (the in-order VIR
+     *         fetches the next instruction only after this).
+     */
+    Cycle issueLaneLoads(const std::vector<Addr> &addrs,
+                         const LaneMask &mask, uint32_t bytes,
+                         Cycle issue_start,
+                         const std::vector<Cycle> &earliest,
+                         std::vector<uint64_t> &vals_out,
+                         std::vector<Cycle> &done_out,
+                         LaneMask &fault_out);
+
+    const SubthreadConfig cfg_;
+    const Program &prog_;
+    const SimMemory &mem_;
+    MemorySystem &memsys_;
+
+    std::array<SReg, kNumArchRegs> r_;
+    unsigned numLanes_ = 0;
+    LaneMask active_;
+    LaneMask faulted_;
+    LaneMask arrived_;      ///< lanes that reached stopBeforePc
+    ReconvergenceStack stack_;
+    Vrat vrat_;
+    InstPc pcv_ = kInvalidPc;
+    int64_t strideVecStride_ = 0;   ///< stride of an NDM secondary seed
+    Cycle curIssue_ = 0;
+    Cycle dataEnd_ = 0;
+    EpisodeStats st_;
+
+    /** One-shot vector seed consumed at its PC (the striding load). */
+    struct Seed
+    {
+        bool pending = false;
+        InstPc pc = kInvalidPc;
+        RegId dest = 0;
+        uint32_t bytes = 8;
+        std::vector<Addr> addrs;
+    } seed_;
+};
+
+} // namespace dvr
+
+#endif // DVR_RUNAHEAD_SUBTHREAD_HH

@@ -1,0 +1,32 @@
+#include "runahead/taint_tracker.hh"
+
+namespace dvr {
+
+void
+TaintTracker::reset(RegId seed)
+{
+    mask_ = static_cast<uint16_t>(1u << seed);
+}
+
+bool
+TaintTracker::observe(const Instruction &inst)
+{
+    bool src_tainted = false;
+    const int n = inst.numSrcs();
+    if (n >= 1 && isTainted(inst.rs1))
+        src_tainted = true;
+    if (n >= 2 && isTainted(inst.rs2))
+        src_tainted = true;
+
+    if (inst.hasDest()) {
+        if (src_tainted) {
+            mask_ |= static_cast<uint16_t>(1u << inst.rd);
+        } else {
+            // Overwrite from untainted sources kills the taint.
+            mask_ &= static_cast<uint16_t>(~(1u << inst.rd));
+        }
+    }
+    return src_tainted;
+}
+
+} // namespace dvr

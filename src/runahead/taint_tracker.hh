@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Vector Taint Tracker (VTT): one bit per architectural integer
+ * register. Seeded with the striding load's destination at Discovery
+ * Mode entry; taint propagates transitively through register dataflow
+ * and is killed when a tainted register is overwritten from untainted
+ * sources. Registers tainted here are the ones the subthread will
+ * vectorize.
+ */
+
+#ifndef DVR_RUNAHEAD_TAINT_TRACKER_HH
+#define DVR_RUNAHEAD_TAINT_TRACKER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace dvr {
+
+class TaintTracker
+{
+  public:
+    /** Reset all taint and seed the given destination register. */
+    void reset(RegId seed);
+
+    /** Clear everything (no seed). */
+    void clear() { mask_ = 0; }
+
+    /**
+     * Propagate taint through one retired instruction.
+     * @return true when at least one *source* of the instruction was
+     *         tainted (i.e. the instruction is part of the dependent
+     *         chain and would be vectorized).
+     */
+    bool observe(const Instruction &inst);
+
+    bool isTainted(RegId r) const { return (mask_ >> r) & 1; }
+    uint16_t mask() const { return mask_; }
+
+  private:
+    uint16_t mask_ = 0;
+};
+
+} // namespace dvr
+
+#endif // DVR_RUNAHEAD_TAINT_TRACKER_HH

@@ -1,0 +1,62 @@
+#include "runahead/vr_controller.hh"
+
+#include "common/log.hh"
+
+namespace dvr {
+
+VrController::VrController(const VrConfig &cfg, const Program &prog,
+                           const SimMemory &mem, MemorySystem &memsys)
+    : cfg_(cfg), detector_(32),
+      subthread_(cfg.subthread, prog, mem, memsys)
+{
+}
+
+void
+VrController::onRetire(const RetireInfo &ri)
+{
+    if (ri.inst->isLoad())
+        detector_.observe(ri.pc, ri.effAddr);
+}
+
+Cycle
+VrController::onFullRobStall(const StallInfo &si)
+{
+    panicIf(core_ == nullptr, "VrController: core not attached");
+    EpisodeStats ep = subthread_.runVrStyle(
+        si.nextPc, core_->regs(), si.stallStart, detector_,
+        cfg_.scalarBudget);
+    ++huntExitCounts_[static_cast<int>(ep.huntExit)];
+    if (ep.lanesSpawned <= 1) {
+        ++triggersWithoutStride_;
+        return 0;
+    }
+    ++episodes_;
+    laneLoads_ += ep.laneLoads;
+    lanesInvalidated_ += ep.lanesInvalidated;
+    // Delayed termination: normal mode resumes only after the whole
+    // chain has issued, even when the blocking load returned earlier.
+    if (ep.issueEnd > si.headLoadDone) {
+        delayedTerminationCycles_ +=
+            double(ep.issueEnd - si.headLoadDone);
+    }
+    return ep.issueEnd;
+}
+
+StatSet
+VrController::toStatSet() const
+{
+    StatSet s;
+    s.set("episodes", double(episodes_));
+    s.set("triggers_without_stride", double(triggersWithoutStride_));
+    s.set("lane_loads", double(laneLoads_));
+    s.set("lanes_invalidated", double(lanesInvalidated_));
+    s.set("delayed_termination_cycles", delayedTerminationCycles_);
+    static const char *names[7] = {"none", "found", "timeout", "halt",
+                                   "fault", "completed", "invalid_base"};
+    for (int i = 0; i < 7; ++i)
+        s.set(std::string("hunt_") + names[i],
+              double(huntExitCounts_[i]));
+    return s;
+}
+
+} // namespace dvr

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Vector Runahead baseline (Naithani et al., ISCA 2021), modelled per
+ * the paper's description: triggered by a full-ROB stall behind a
+ * DRAM-bound load, it walks the future stream to the first striding
+ * load, vectorizes the dependent chain across 128 lanes following the
+ * first lane's control flow (divergent lanes invalidated), and only
+ * returns to normal mode when the whole chain has generated its
+ * prefetches (delayed termination, which can stall commit).
+ */
+
+#ifndef DVR_RUNAHEAD_VR_CONTROLLER_HH
+#define DVR_RUNAHEAD_VR_CONTROLLER_HH
+
+#include "common/stats.hh"
+#include "core/ooo_core.hh"
+#include "runahead/stride_detector.hh"
+#include "runahead/subthread.hh"
+
+namespace dvr {
+
+struct VrConfig
+{
+    SubthreadConfig subthread;
+    /** Scalar instructions VR may walk before finding a strider. */
+    unsigned scalarBudget = 64;
+
+    VrConfig()
+    {
+        subthread.gpuReconvergence = false;
+    }
+};
+
+class VrController : public CoreClient
+{
+  public:
+    VrController(const VrConfig &cfg, const Program &prog,
+                 const SimMemory &mem, MemorySystem &memsys);
+
+    void attachCore(const OooCore &core) { core_ = &core; }
+
+    void onRetire(const RetireInfo &ri) override;
+    Cycle onFullRobStall(const StallInfo &si) override;
+
+    uint64_t episodes() const { return episodes_; }
+    uint64_t laneLoads() const { return laneLoads_; }
+    uint64_t lanesInvalidated() const { return lanesInvalidated_; }
+    StatSet toStatSet() const;
+
+  private:
+    const VrConfig cfg_;
+    const OooCore *core_ = nullptr;
+    StrideDetector detector_;
+    VectorSubthread subthread_;
+    uint64_t episodes_ = 0;
+    uint64_t triggersWithoutStride_ = 0;
+    uint64_t huntExitCounts_[7] = {};
+    uint64_t laneLoads_ = 0;
+    uint64_t lanesInvalidated_ = 0;
+    double delayedTerminationCycles_ = 0;
+};
+
+} // namespace dvr
+
+#endif // DVR_RUNAHEAD_VR_CONTROLLER_HH

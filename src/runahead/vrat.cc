@@ -1,0 +1,69 @@
+#include "runahead/vrat.hh"
+
+namespace dvr {
+
+Vrat::Vrat(unsigned vec_phys_free, unsigned int_phys_free,
+           unsigned copies)
+    : vecFreeTotal_(vec_phys_free), intFreeTotal_(int_phys_free),
+      copies_(copies)
+{
+    reset();
+}
+
+void
+Vrat::reset()
+{
+    isVec_.fill(false);
+    mapped_.fill(false);
+    vecInUse_ = 0;
+    // Decoupling copy: every arch register gets a fresh scalar.
+    intInUse_ = kNumArchRegs;
+    peakVec_ = 0;
+    for (auto &m : mapped_)
+        m = true;
+}
+
+void
+Vrat::release(RegId r)
+{
+    if (!mapped_[r])
+        return;
+    if (isVec_[r])
+        vecInUse_ -= copies_;
+    else if (intInUse_ > 0)
+        --intInUse_;
+    mapped_[r] = false;
+    isVec_[r] = false;
+}
+
+bool
+Vrat::vectorize(RegId r)
+{
+    if (mapped_[r] && isVec_[r])
+        return true;    // in-order subthread: reuse the group
+    if (vecInUse_ + copies_ > vecFreeTotal_)
+        return false;
+    release(r);
+    isVec_[r] = true;
+    mapped_[r] = true;
+    vecInUse_ += copies_;
+    if (vecInUse_ > peakVec_)
+        peakVec_ = vecInUse_;
+    return true;
+}
+
+bool
+Vrat::scalarize(RegId r)
+{
+    if (mapped_[r] && !isVec_[r])
+        return true;
+    if (intInUse_ + 1 > intFreeTotal_)
+        return false;
+    release(r);
+    isVec_[r] = false;
+    mapped_[r] = true;
+    ++intInUse_;
+    return true;
+}
+
+} // namespace dvr

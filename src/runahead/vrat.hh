@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Vector Register Allocation Table (VRAT) bookkeeping. The subthread
+ * shares the physical scalar and vector register files with the main
+ * thread; the VRAT tracks, per architectural register, whether the
+ * subthread's mapping is a single scalar physical register or a group
+ * of vector physical registers (16 AVX-512 registers for 128 lanes).
+ * Running out of free vector physical registers terminates an episode
+ * (this is what bounds DVR at 128 lanes in the paper).
+ */
+
+#ifndef DVR_RUNAHEAD_VRAT_HH
+#define DVR_RUNAHEAD_VRAT_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dvr {
+
+class Vrat
+{
+  public:
+    /**
+     * @param vec_phys_free vector physical registers the subthread may
+     *        claim (file size minus main-thread usage)
+     * @param int_phys_free spare integer physical registers
+     * @param copies vector registers per vectorized arch register
+     */
+    Vrat(unsigned vec_phys_free, unsigned int_phys_free,
+         unsigned copies);
+
+    /** Map every architectural register to a fresh scalar phys reg. */
+    void reset();
+
+    /**
+     * Rename r to a group of vector physical registers (frees a prior
+     * mapping of r first).
+     * @return false when the free list cannot supply the group.
+     */
+    bool vectorize(RegId r);
+
+    /** WAW overwrite by a scalar: rename r back to a scalar reg. */
+    bool scalarize(RegId r);
+
+    bool isVector(RegId r) const { return isVec_[r]; }
+    unsigned vecInUse() const { return vecInUse_; }
+    unsigned peakVecInUse() const { return peakVec_; }
+    unsigned intInUse() const { return intInUse_; }
+
+  private:
+    void release(RegId r);
+
+    unsigned vecFreeTotal_;
+    unsigned intFreeTotal_;
+    unsigned copies_;
+    unsigned vecInUse_ = 0;
+    unsigned intInUse_ = 0;
+    unsigned peakVec_ = 0;
+    std::array<bool, kNumArchRegs> isVec_{};
+    std::array<bool, kNumArchRegs> mapped_{};
+};
+
+} // namespace dvr
+
+#endif // DVR_RUNAHEAD_VRAT_HH

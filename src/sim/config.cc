@@ -1,0 +1,77 @@
+#include "sim/config.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace dvr {
+
+const char *
+techniqueName(Technique t)
+{
+    switch (t) {
+      case Technique::kBase: return "base";
+      case Technique::kPre: return "pre";
+      case Technique::kImp: return "imp";
+      case Technique::kVr: return "vr";
+      case Technique::kDvr: return "dvr";
+      case Technique::kDvrOffload: return "dvr-offload";
+      case Technique::kDvrDiscovery: return "dvr-discovery";
+      case Technique::kOracle: return "oracle";
+    }
+    return "?";
+}
+
+Technique
+parseTechnique(const std::string &name)
+{
+    for (Technique t :
+         {Technique::kBase, Technique::kPre, Technique::kImp,
+          Technique::kVr, Technique::kDvr, Technique::kDvrOffload,
+          Technique::kDvrDiscovery, Technique::kOracle}) {
+        if (name == techniqueName(t))
+            return t;
+    }
+    fatal("parseTechnique: unknown technique '" + name + "'");
+}
+
+SimConfig
+SimConfig::baseline(Technique t)
+{
+    SimConfig c;
+    c.technique = t;
+    if (t == Technique::kImp)
+        c.mem.impPrefetcher = true;
+    if (t == Technique::kDvrOffload) {
+        c.dvr.discoveryEnabled = false;
+        c.dvr.nestedEnabled = false;
+        // "Offload" is Vector Runahead moved onto the subthread:
+        // first-lane control flow with lane invalidation; the GPU
+        // reconvergence stack arrives with the full DVR feature set.
+        c.dvr.subthread.gpuReconvergence = false;
+    } else if (t == Technique::kDvrDiscovery) {
+        c.dvr.nestedEnabled = false;
+    }
+    return c;
+}
+
+uint64_t
+SimConfig::defaultMaxInstructions()
+{
+    if (const char *e = std::getenv("DVR_INSTS")) {
+        const uint64_t v = std::strtoull(e, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return 500'000;
+}
+
+unsigned
+SimConfig::defaultScaleShift()
+{
+    if (const char *e = std::getenv("DVR_SCALE_SHIFT"))
+        return unsigned(std::strtoul(e, nullptr, 10));
+    return 0;
+}
+
+} // namespace dvr

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Top-level simulation configuration: the Table 1 baseline core and
+ * memory hierarchy plus the runahead technique under evaluation.
+ */
+
+#ifndef DVR_SIM_CONFIG_HH
+#define DVR_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/ooo_core.hh"
+#include "mem/memory_system.hh"
+#include "runahead/dvr_controller.hh"
+#include "runahead/oracle.hh"
+#include "runahead/pre_controller.hh"
+#include "runahead/vr_controller.hh"
+
+namespace dvr {
+
+/** The techniques evaluated in Section 6. */
+enum class Technique : uint8_t {
+    kBase,          ///< OoO baseline (stride prefetcher always on)
+    kPre,           ///< Precise Runahead Execution
+    kImp,           ///< Indirect Memory Prefetcher
+    kVr,            ///< Vector Runahead
+    kDvr,           ///< Decoupled Vector Runahead (full)
+    kDvrOffload,    ///< Fig 8: offload only (no discovery/nested)
+    kDvrDiscovery,  ///< Fig 8: + discovery, no nested
+    kOracle,        ///< perfect-knowledge prefetcher
+};
+
+const char *techniqueName(Technique t);
+Technique parseTechnique(const std::string &name);
+
+struct SimConfig
+{
+    CoreConfig core;
+    MemConfig mem;
+    Technique technique = Technique::kBase;
+    DvrConfig dvr;
+    VrConfig vr;
+    PreConfig pre;
+    OracleConfig oracle;
+    uint64_t maxInstructions = defaultMaxInstructions();
+    uint64_t memoryBytes = 192ULL << 20;
+
+    /** Table 1 baseline with the given technique. */
+    static SimConfig baseline(Technique t = Technique::kBase);
+
+    /**
+     * Default per-run dynamic instruction budget: the DVR_INSTS
+     * environment variable, or 500k (the paper simulates 500M per run;
+     * our data sets are scaled ~100-500x smaller).
+     */
+    static uint64_t defaultMaxInstructions();
+
+    /** Data-set scale shift: DVR_SCALE_SHIFT env var, default 0. */
+    static unsigned defaultScaleShift();
+};
+
+} // namespace dvr
+
+#endif // DVR_SIM_CONFIG_HH

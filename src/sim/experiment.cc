@@ -1,0 +1,73 @@
+#include "sim/experiment.hh"
+
+#include <iomanip>
+#include <ostream>
+
+namespace dvr {
+
+void
+printTable(std::ostream &os, const std::string &title,
+           const std::vector<std::string> &columns,
+           const std::vector<TableRow> &rows, int precision)
+{
+    os << "\n== " << title << " ==\n";
+    size_t label_w = 10;
+    for (const auto &r : rows)
+        label_w = std::max(label_w, r.label.size());
+    os << std::left << std::setw(int(label_w) + 2) << "benchmark";
+    for (const auto &c : columns)
+        os << std::right << std::setw(std::max<int>(12, int(c.size()) + 2))
+           << c;
+    os << "\n";
+    os << std::fixed << std::setprecision(precision);
+    for (const auto &r : rows) {
+        os << std::left << std::setw(int(label_w) + 2) << r.label;
+        for (size_t i = 0; i < columns.size(); ++i) {
+            const int w =
+                std::max<int>(12, int(columns[i].size()) + 2);
+            if (i < r.values.size())
+                os << std::right << std::setw(w) << r.values[i];
+            else
+                os << std::right << std::setw(w) << "-";
+        }
+        os << "\n";
+    }
+    os.flush();
+}
+
+PreparedWorkload::PreparedWorkload(const std::string &kernel,
+                                   const std::string &input,
+                                   const WorkloadParams &params,
+                                   uint64_t memory_bytes)
+    : memory_(memory_bytes)
+{
+    WorkloadParams wp = params;
+    if (!input.empty())
+        wp.input = input;
+    workload_ = workloadFactory(kernel)(memory_, wp);
+    memory_.compact();  // per-run copies only touch live bytes
+    label_ = input.empty() ? kernel : kernel + "_" + input;
+}
+
+SimResult
+PreparedWorkload::run(const SimConfig &cfg) const
+{
+    return Simulator::runOn(cfg, workload_, memory_);
+}
+
+void
+printBenchHeader(std::ostream &os, const std::string &figure,
+                 const std::string &what)
+{
+    os << "\n########################################################\n"
+       << "# " << figure << ": " << what << "\n"
+       << "# core: 5-wide OoO, 350-entry ROB, TAGE, L1D 32KB /\n"
+       << "#       L2 256KB / L3 8MB, 24 MSHRs, stride prefetcher\n"
+       << "# budget: " << SimConfig::defaultMaxInstructions()
+       << " instructions/run (DVR_INSTS), scale shift "
+       << SimConfig::defaultScaleShift() << " (DVR_SCALE_SHIFT)\n"
+       << "########################################################\n";
+    os.flush();
+}
+
+} // namespace dvr

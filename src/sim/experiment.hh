@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Helpers shared by the figure/table benches: aligned text tables,
+ * normalization, and run caching across techniques (one data-set
+ * build per benchmark-input, reused for every technique).
+ */
+
+#ifndef DVR_SIM_EXPERIMENT_HH
+#define DVR_SIM_EXPERIMENT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace dvr {
+
+/** One printed row: a label and one value per column. */
+struct TableRow
+{
+    std::string label;
+    std::vector<double> values;
+};
+
+/** Print an aligned text table with a title and column headers. */
+void printTable(std::ostream &os, const std::string &title,
+                const std::vector<std::string> &columns,
+                const std::vector<TableRow> &rows, int precision = 3);
+
+/**
+ * A benchmark-input with its data set built once, reusable across
+ * techniques and core configurations.
+ */
+class PreparedWorkload
+{
+  public:
+    PreparedWorkload(const std::string &kernel,
+                     const std::string &input,
+                     const WorkloadParams &params,
+                     uint64_t memory_bytes);
+
+    SimResult run(const SimConfig &cfg) const;
+
+    /** "bfs_KR" for GAP kernels, plain kernel name for hpc-db. */
+    const std::string &label() const { return label_; }
+    const Workload &workload() const { return workload_; }
+
+  private:
+    std::string label_;
+    SimMemory memory_;
+    Workload workload_;
+};
+
+/** Instruction budget and scale shift banner for bench headers. */
+void printBenchHeader(std::ostream &os, const std::string &figure,
+                      const std::string &what);
+
+} // namespace dvr
+
+#endif // DVR_SIM_EXPERIMENT_HH

@@ -1,0 +1,108 @@
+#include "sim/simulator.hh"
+
+#include <memory>
+
+#include "common/log.hh"
+
+namespace dvr {
+
+SimResult
+Simulator::run(const SimConfig &cfg, const std::string &workload,
+               const WorkloadParams &wp)
+{
+    SimMemory mem(cfg.memoryBytes);
+    Workload w = workloadFactory(workload)(mem, wp);
+    return runOn(cfg, w, mem);
+}
+
+SimResult
+Simulator::runOn(const SimConfig &cfg, const Workload &w,
+                 const SimMemory &pristine)
+{
+    SimMemory mem = pristine;   // techniques share the data set
+    MemorySystem memsys(cfg.mem, mem);
+
+    // Wire the selected technique.
+    std::unique_ptr<DvrController> dvr;
+    std::unique_ptr<VrController> vr;
+    std::unique_ptr<PreController> pre;
+    std::unique_ptr<OracleController> oracle;
+    CoreClient *client = nullptr;
+
+    switch (cfg.technique) {
+      case Technique::kBase:
+      case Technique::kImp:
+        break;
+      case Technique::kPre:
+        pre = std::make_unique<PreController>(cfg.pre, w.program, mem,
+                                              memsys);
+        client = pre.get();
+        break;
+      case Technique::kVr:
+        vr = std::make_unique<VrController>(cfg.vr, w.program, mem,
+                                            memsys);
+        client = vr.get();
+        break;
+      case Technique::kDvr:
+      case Technique::kDvrOffload:
+      case Technique::kDvrDiscovery: {
+        DvrConfig dc = cfg.dvr;
+        if (cfg.technique == Technique::kDvrOffload) {
+            dc.discoveryEnabled = false;
+            dc.nestedEnabled = false;
+            dc.subthread.gpuReconvergence = false;
+        } else if (cfg.technique == Technique::kDvrDiscovery) {
+            dc.nestedEnabled = false;
+        }
+        dvr = std::make_unique<DvrController>(dc, w.program, mem,
+                                              memsys);
+        client = dvr.get();
+        break;
+      }
+      case Technique::kOracle: {
+        SimMemory scratch = pristine;
+        auto trace = recordLoadTrace(w.program, scratch,
+                                     cfg.maxInstructions);
+        oracle = std::make_unique<OracleController>(
+            cfg.oracle, memsys, std::move(trace));
+        client = oracle.get();
+        break;
+      }
+    }
+
+    OooCore core(cfg.core, w.program, mem, memsys, client);
+    if (dvr)
+        dvr->attachCore(core);
+    if (vr)
+        vr->attachCore(core);
+    if (pre)
+        pre->attachCore(core);
+
+    core.run(cfg.maxInstructions);
+
+    SimResult r;
+    r.core = core.stats();
+    r.halted = core.stats().halted;
+    r.verified = r.halted && w.verify && w.verify(mem);
+
+    r.stats.merge("core.", core.stats().toStatSet());
+    StatSet ms = memsys.stats();
+    ms.set("mshr_occupancy",
+           memsys.mshrs().avgOccupancy(core.stats().cycles));
+    r.stats.merge("mem.", ms);
+    StatSet bp;
+    bp.set("lookups", double(core.predictor().lookups));
+    bp.set("mispredicts", double(core.predictor().mispredicts));
+    r.stats.merge("bpred.", bp);
+    if (dvr)
+        r.stats.merge("dvr.", dvr->stats().toStatSet());
+    if (vr)
+        r.stats.merge("vr.", vr->toStatSet());
+    if (pre)
+        r.stats.merge("pre.", pre->toStatSet());
+    if (oracle)
+        r.stats.merge("oracle.", oracle->toStatSet());
+    return r;
+}
+
+} // namespace dvr

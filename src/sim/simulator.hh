@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Simulator facade: builds (or reuses) a workload, wires the selected
+ * runahead technique onto the core, runs, verifies against the golden
+ * model when the program completed, and collects every statistic the
+ * evaluation figures need.
+ */
+
+#ifndef DVR_SIM_SIMULATOR_HH
+#define DVR_SIM_SIMULATOR_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "core/ooo_core.hh"
+#include "mem/sim_memory.hh"
+#include "sim/config.hh"
+#include "workloads/registry.hh"
+
+namespace dvr {
+
+struct SimResult
+{
+    CoreStats core;
+    /** All component stats, prefixed (mem., dvr., vr., pre., ...). */
+    StatSet stats;
+    bool halted = false;
+    /** Golden-model check; only meaningful when halted. */
+    bool verified = false;
+
+    double ipc() const { return core.ipc(); }
+    /** MSHR occupancy per cycle averaged over the run (Figure 9). */
+    double mshrOccupancy() const
+    {
+        return stats.get("mem.mshr_occupancy");
+    }
+    /** Demand LLC misses per kilo-instruction (Table 2). */
+    double llcMpki() const
+    {
+        return core.instructions == 0
+                   ? 0.0
+                   : 1000.0 * stats.get("mem.llc_misses") /
+                         double(core.instructions);
+    }
+};
+
+class Simulator
+{
+  public:
+    /** Build the named workload into fresh memory and run it. */
+    static SimResult run(const SimConfig &cfg,
+                         const std::string &workload,
+                         const WorkloadParams &wp);
+
+    /**
+     * Run on a pre-built workload; `pristine` is copied so the same
+     * data set can be reused across techniques.
+     */
+    static SimResult runOn(const SimConfig &cfg, const Workload &w,
+                           const SimMemory &pristine);
+};
+
+} // namespace dvr
+
+#endif // DVR_SIM_SIMULATOR_HH

@@ -1,0 +1,47 @@
+#include "workloads/dataset.hh"
+
+#include "common/rng.hh"
+#include "mem/sim_memory.hh"
+
+namespace dvr {
+
+SimArray
+makeArray(SimMemory &mem, std::vector<uint64_t> values)
+{
+    SimArray a;
+    a.host = std::move(values);
+    a.base = mem.alloc(std::max<uint64_t>(a.host.size(), 1) * 8);
+    for (uint64_t i = 0; i < a.host.size(); ++i)
+        mem.write64(a.base, i, a.host[i]);
+    return a;
+}
+
+SimArray
+makeZeroArray(SimMemory &mem, uint64_t n)
+{
+    SimArray a;
+    a.host.assign(n, 0);
+    a.base = mem.alloc(std::max<uint64_t>(n, 1) * 8);
+    return a;    // simulated memory is zero-initialized
+}
+
+std::vector<uint64_t>
+randomValues(uint64_t n, uint64_t bound, uint64_t seed)
+{
+    std::vector<uint64_t> v(n);
+    Rng rng(seed);
+    for (auto &x : v)
+        x = bound == 0 ? rng.next() : rng.nextBelow(bound);
+    return v;
+}
+
+std::vector<uint64_t>
+readArray(const SimMemory &mem, Addr base, uint64_t n)
+{
+    std::vector<uint64_t> v(n);
+    for (uint64_t i = 0; i < n; ++i)
+        v[i] = mem.read64(base, i);
+    return v;
+}
+
+} // namespace dvr

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared data-set construction helpers for the hpc-db kernels: arrays
+ * of 64-bit values in simulated memory with host-side mirrors.
+ */
+
+#ifndef DVR_WORKLOADS_DATASET_HH
+#define DVR_WORKLOADS_DATASET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dvr {
+
+class SimMemory;
+
+/** A u64 array present both in simulated memory and host-side. */
+struct SimArray
+{
+    Addr base = 0;
+    std::vector<uint64_t> host;
+
+    uint64_t size() const { return host.size(); }
+};
+
+/** Allocate + fill an array from host values. */
+SimArray makeArray(SimMemory &mem, std::vector<uint64_t> values);
+
+/** Allocate a zero-filled array of n u64 elements. */
+SimArray makeZeroArray(SimMemory &mem, uint64_t n);
+
+/** n uniform random u64 values below `bound` (bound==0: full range). */
+std::vector<uint64_t> randomValues(uint64_t n, uint64_t bound,
+                                   uint64_t seed);
+
+/** Read back a u64 array from simulated memory. */
+std::vector<uint64_t> readArray(const SimMemory &mem, Addr base,
+                                uint64_t n);
+
+} // namespace dvr
+
+#endif // DVR_WORKLOADS_DATASET_HH

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Betweenness centrality (Brandes, single source, fixed point): a
+ * forward BFS accumulating shortest-path counts (sigma), then a
+ * backward sweep over the visit order accumulating dependencies
+ * (delta). Both phases chase edges[e] -> per-node metadata chains and
+ * branch divergently per edge -- the paper's hardest control-flow
+ * case ("there may be much broader divergence").
+ */
+
+#include "workloads/gap_common.hh"
+
+#include "isa/program_builder.hh"
+#include "mem/sim_memory.hh"
+#include "workloads/registry.hh"
+
+namespace dvr {
+
+namespace {
+
+constexpr uint64_t kUnvisited = ~0ULL;
+constexpr int kFixShift = 16;
+constexpr uint64_t kOne = 1ULL << kFixShift;
+
+struct BcGolden
+{
+    std::vector<uint64_t> dist;
+    std::vector<uint64_t> sigma;
+    std::vector<uint64_t> delta;
+};
+
+/** Golden model: the exact schedule of the kernel below. */
+BcGolden
+goldenBc(const CsrGraph &g, uint64_t source)
+{
+    BcGolden r;
+    const uint64_t n = g.numNodes;
+    r.dist.assign(n, kUnvisited);
+    r.sigma.assign(n, 0);
+    r.delta.assign(n, 0);
+    std::vector<uint64_t> wl;
+    r.dist[source] = 0;
+    r.sigma[source] = 1;
+    wl.push_back(source);
+    uint64_t head = 0;
+    while (head < wl.size()) {
+        const uint64_t u = wl[head++];
+        const uint64_t du1 = r.dist[u] + 1;
+        const uint64_t su = r.sigma[u];
+        for (uint64_t e = g.hOffsets[u]; e < g.hOffsets[u + 1]; ++e) {
+            const uint64_t v = g.hEdges[e];
+            if (r.dist[v] == kUnvisited) {
+                r.dist[v] = du1;
+                r.sigma[v] = su;
+                wl.push_back(v);
+            } else if (r.dist[v] == du1) {
+                r.sigma[v] += su;
+            }
+        }
+    }
+    for (uint64_t i = wl.size(); i-- > 0;) {
+        const uint64_t u = wl[i];
+        const uint64_t du1 = r.dist[u] + 1;
+        const uint64_t su = r.sigma[u];
+        uint64_t acc = r.delta[u];
+        for (uint64_t e = g.hOffsets[u]; e < g.hOffsets[u + 1]; ++e) {
+            const uint64_t v = g.hEdges[e];
+            if (r.dist[v] == du1)
+                acc += (su * (kOne + r.delta[v])) / r.sigma[v];
+        }
+        r.delta[u] = acc;
+    }
+    return r;
+}
+
+Program
+emitBc(Addr wl, Addr off, Addr edges, Addr dist, Addr sigma,
+       Addr delta, uint64_t source)
+{
+    ProgramBuilder b;
+    // Phase 1 registers:
+    //   r0 wlBase r1 head r2 tail r3 offBase r4 edgeBase r5 distBase
+    //   r6 u r7 e r8 eEnd r9 dst r10 t r11 addr r12 du1
+    //   r13 sigmaBase r14 UNVIS r15 su
+    b.li(0, int64_t(wl)).li(3, int64_t(off)).li(4, int64_t(edges))
+        .li(5, int64_t(dist)).li(13, int64_t(sigma))
+        .li(14, int64_t(kUnvisited)).li(1, 0).li(2, 1)
+        .li(10, int64_t(source)).st(0, 0, 10);
+
+    b.label("outer")
+        .cmpltu(10, 1, 2)
+        .beqz(10, "backward_init")
+        .shli(11, 1, 3).add(11, 0, 11)
+        .ld(6, 11)                      // u = wl[head]
+        .addi(1, 1, 1)
+        .shli(11, 6, kNodeSlotShift)
+        .add(10, 5, 11)
+        .ld(12, 10)                     // dist[u]
+        .addi(12, 12, 1)                // du1
+        .add(10, 13, 11)
+        .ld(15, 10)                     // su = sigma[u]
+        .shli(11, 6, 3).add(11, 3, 11)
+        .ld(7, 11)
+        .ld(8, 11, 8)
+        .cmpltu(10, 7, 8)
+        .beqz(10, "outer");
+    b.label("inner")
+        .shli(11, 7, 3).add(11, 4, 11)
+        .ld(9, 11)                      // dst = edges[e] (strider)
+        .shli(11, 9, kNodeSlotShift)
+        .add(11, 5, 11)
+        .ld(10, 11)                     // dist[dst]      (FLR)
+        .cmpeq(10, 10, 14)
+        .beqz(10, "check_level")
+        .st(11, 0, 12)                  // dist[dst] = du1
+        .shli(11, 9, kNodeSlotShift).add(11, 13, 11)
+        .st(11, 0, 15)                  // sigma[dst] = su
+        .shli(11, 2, 3).add(11, 0, 11)
+        .st(11, 0, 9)                   // push dst
+        .addi(2, 2, 1)
+        .jmp("next_e");
+    b.label("check_level")
+        .ld(10, 11)                     // dist[dst] again
+        .cmpeq(10, 10, 12)              // on the BFS frontier level?
+        .beqz(10, "next_e")
+        .shli(11, 9, kNodeSlotShift).add(11, 13, 11)
+        .ld(10, 11)
+        .add(10, 10, 15)
+        .st(11, 0, 10);                 // sigma[dst] += su
+    b.label("next_e")
+        .addi(7, 7, 1)
+        .cmpltu(10, 7, 8)
+        .bnez(10, "inner")
+        .jmp("outer");
+
+    // Phase 2 registers:
+    //   r0 wlBase r1 i r2 deltaBase r3 offBase r4 edgeBase
+    //   r5 distBase r6 u r7 e r8 eEnd r9 v r10 t r11 addr
+    //   r12 du1 r13 sigmaBase r14 ONE r15 su ; acc kept in delta slot
+    b.label("backward_init")
+        .mov(1, 2)                      // i = tail
+        .li(2, int64_t(delta))
+        .li(14, int64_t(kOne));
+    b.label("bw_outer")
+        .beqz(1, "done")
+        .addi(1, 1, -1)
+        .shli(11, 1, 3).add(11, 0, 11)
+        .ld(6, 11)                      // u = wl[i]
+        .shli(11, 6, kNodeSlotShift)
+        .add(10, 5, 11)
+        .ld(12, 10)
+        .addi(12, 12, 1)                // du1
+        .add(10, 13, 11)
+        .ld(15, 10)                     // su
+        .shli(11, 6, 3).add(11, 3, 11)
+        .ld(7, 11)
+        .ld(8, 11, 8)
+        .cmpltu(10, 7, 8)
+        .beqz(10, "bw_outer");
+    b.label("bw_inner")
+        .shli(11, 7, 3).add(11, 4, 11)
+        .ld(9, 11)                      // v = edges[e]  (strider)
+        .shli(11, 9, kNodeSlotShift)
+        .add(11, 5, 11)
+        .ld(10, 11)                     // dist[v]       (chain)
+        .cmpeq(10, 10, 12)
+        .beqz(10, "bw_next")
+        .shli(11, 9, kNodeSlotShift)
+        .add(11, 2, 11)
+        .ld(10, 11)                     // delta[v]
+        .add(10, 10, 14)                // ONE + delta[v]
+        .mul(10, 15, 10)                // su * (...)
+        .shli(11, 9, kNodeSlotShift)
+        .add(11, 13, 11)
+        .ld(11, 11)                     // sigma[v]
+        .divu(10, 10, 11)
+        .shli(11, 6, kNodeSlotShift)
+        .add(11, 2, 11)
+        .ld(9, 11)                      // delta[u] (acc)
+        .add(10, 9, 10)
+        .st(11, 0, 10)                  // delta[u] = acc
+        .shli(11, 7, 3).add(11, 4, 11)
+        .ld(9, 11);                     // reload v (r9 was clobbered)
+    b.label("bw_next")
+        .addi(7, 7, 1)
+        .cmpltu(10, 7, 8)
+        .bnez(10, "bw_inner")
+        .jmp("bw_outer");
+
+    b.label("done").halt();
+    return b.build();
+}
+
+} // namespace
+
+Workload
+makeBc(SimMemory &mem, const WorkloadParams &p)
+{
+    CsrGraph g = buildInputGraph(mem, p);
+    const uint64_t n = g.numNodes;
+    const Addr dist = allocNodeArray(mem, n);
+    const Addr sigma = allocNodeArray(mem, n);
+    const Addr delta = allocNodeArray(mem, n);
+    const Addr wl = mem.alloc((n + 1) * 8);
+    const uint64_t source = 1 % n;
+    for (uint64_t v = 0; v < n; ++v)
+        writeNode(mem, dist, v, kUnvisited);
+    writeNode(mem, dist, source, 0);
+    writeNode(mem, sigma, source, 1);
+
+    auto golden = goldenBc(g, source);
+
+    Workload w;
+    w.name = "bc";
+    w.description = "GAP betweenness centrality (Brandes, one source)";
+    w.program = emitBc(wl, g.offsets, g.edges, dist, sigma, delta,
+                       source);
+    w.fullRunInsts = 40 * g.numEdges + 40 * n + 16;
+    w.verify = [golden = std::move(golden), dist, sigma, delta,
+                n](const SimMemory &m) {
+        for (uint64_t v = 0; v < n; ++v) {
+            if (readNode(m, dist, v) != golden.dist[v] ||
+                readNode(m, sigma, v) != golden.sigma[v] ||
+                readNode(m, delta, v) != golden.delta[v]) {
+                return false;
+            }
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace dvr

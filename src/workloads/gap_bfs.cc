@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Breadth-first search (GAP top-down step; paper Algorithm 1) plus the
+ * shared GAP helpers. The inner loop walks a vertex's edge list
+ * (striding load), checks the destination's distance (dependent
+ * indirect load -> the FLR), and conditionally visits -- the divergent
+ * branch DVR's reconvergence stack handles.
+ */
+
+#include "workloads/gap_common.hh"
+
+#include <queue>
+
+#include "common/log.hh"
+#include "isa/program_builder.hh"
+#include "mem/sim_memory.hh"
+#include "workloads/registry.hh"
+
+namespace dvr {
+
+CsrGraph
+buildInputGraph(SimMemory &mem, const WorkloadParams &p)
+{
+    const GraphInputSpec &spec = graphInput(p.input);
+    const uint64_t nodes = inputNodes(spec, p.scaleShift);
+    return buildCsr(mem, nodes, makeInputEdges(spec, p.scaleShift));
+}
+
+Addr
+allocNodeArray(SimMemory &mem, uint64_t num_nodes)
+{
+    return mem.alloc(num_nodes * kNodeSlotBytes);
+}
+
+uint64_t
+readNode(const SimMemory &mem, Addr base, uint64_t v)
+{
+    return mem.read(base + (v << kNodeSlotShift), 8);
+}
+
+void
+writeNode(SimMemory &mem, Addr base, uint64_t v, uint64_t x)
+{
+    mem.write(base + (v << kNodeSlotShift), 8, x);
+}
+
+namespace {
+
+constexpr uint64_t kUnvisited = ~0ULL;
+
+/** Host-side golden BFS over the CSR mirror. */
+std::vector<uint64_t>
+goldenBfs(const CsrGraph &g, uint64_t source)
+{
+    std::vector<uint64_t> dist(g.numNodes, kUnvisited);
+    std::queue<uint64_t> q;
+    dist[source] = 0;
+    q.push(source);
+    while (!q.empty()) {
+        const uint64_t u = q.front();
+        q.pop();
+        for (uint64_t e = g.hOffsets[u]; e < g.hOffsets[u + 1]; ++e) {
+            const uint64_t v = g.hEdges[e];
+            if (dist[v] == kUnvisited) {
+                dist[v] = dist[u] + 1;
+                q.push(v);
+            }
+        }
+    }
+    return dist;
+}
+
+/**
+ * Emit the BFS kernel. Registers:
+ *   r0 wlBase   r1 head   r2 tail     r3 offBase  r4 edgeBase
+ *   r5 distBase r6 u      r7 e        r8 eEnd     r9 dst
+ *   r10 t       r11 addr  r12 du      r14 UNVISITED
+ */
+Program
+emitBfs(Addr wl, Addr off, Addr edges, Addr dist, uint64_t source)
+{
+    ProgramBuilder b;
+    b.li(0, int64_t(wl)).li(3, int64_t(off)).li(4, int64_t(edges))
+        .li(5, int64_t(dist)).li(14, int64_t(kUnvisited))
+        .li(1, 0).li(2, 1).li(10, int64_t(source))
+        .st(0, 0, 10);  // wl[0] = source
+
+    b.label("outer")
+        .cmpltu(10, 1, 2)               // head < tail?
+        .beqz(10, "done")
+        .shli(11, 1, 3).add(11, 0, 11)
+        .ld(6, 11)                      // u = wl[head]
+        .addi(1, 1, 1)
+        .shli(11, 6, 3).add(11, 3, 11)
+        .ld(7, 11)                      // e = offsets[u]
+        .ld(8, 11, 8)                   // eEnd = offsets[u+1]
+        .shli(11, 6, kNodeSlotShift).add(11, 5, 11)
+        .ld(12, 11)                     // du = dist[u]
+        .addi(12, 12, 1)
+        .cmpltu(10, 7, 8)
+        .beqz(10, "outer");             // empty edge list
+
+    b.label("inner")
+        .shli(11, 7, 3).add(11, 4, 11)
+        .ld(9, 11)                      // dst = edges[e]  (strider)
+        .shli(11, 9, kNodeSlotShift).add(11, 5, 11)
+        .ld(10, 11)                     // d = dist[dst]   (FLR)
+        .cmpeq(10, 10, 14)              // unvisited?
+        .beqz(10, "skip")
+        .st(11, 0, 12)                  // dist[dst] = du
+        .shli(11, 2, 3).add(11, 0, 11)
+        .st(11, 0, 9)                   // wl[tail] = dst
+        .addi(2, 2, 1);
+    b.label("skip")
+        .addi(7, 7, 1)
+        .cmpltu(10, 7, 8)
+        .bnez(10, "inner")              // backward loop branch
+        .jmp("outer");
+
+    b.label("done").halt();
+    return b.build();
+}
+
+} // namespace
+
+Workload
+makeBfsWorkload(SimMemory &mem, CsrGraph g, const std::string &name,
+                const std::string &desc)
+{
+    const Addr dist = allocNodeArray(mem, g.numNodes);
+    const Addr wl = mem.alloc((g.numNodes + 1) * 8);
+    const uint64_t source = 1 % g.numNodes;
+
+    // dist[] = UNVISITED except the source.
+    for (uint64_t v = 0; v < g.numNodes; ++v)
+        writeNode(mem, dist, v, kUnvisited);
+    writeNode(mem, dist, source, 0);
+
+    auto golden = goldenBfs(g, source);
+
+    Workload w;
+    w.name = name;
+    w.description = desc;
+    w.program = emitBfs(wl, g.offsets, g.edges, dist, source);
+    w.fullRunInsts = 18 * g.numEdges + 20 * g.numNodes + 16;
+    w.verify = [golden = std::move(golden), dist,
+                n = g.numNodes](const SimMemory &m) {
+        for (uint64_t v = 0; v < n; ++v) {
+            if (readNode(m, dist, v) != golden[v])
+                return false;
+        }
+        return true;
+    };
+    return w;
+}
+
+Workload
+makeBfs(SimMemory &mem, const WorkloadParams &p)
+{
+    return makeBfsWorkload(mem, buildInputGraph(mem, p), "bfs",
+                           "GAP top-down breadth-first search");
+}
+
+} // namespace dvr

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Connected components via label propagation (Shiloach-Vishkin style
+ * sweeps, as in GAP's cc). Sweeps over all vertices in order (the
+ * offsets loads stride), walks each edge list (striding load), and
+ * lowers the destination's component label (indirect load + divergent
+ * conditional store).
+ */
+
+#include "workloads/gap_common.hh"
+
+#include "isa/program_builder.hh"
+#include "mem/sim_memory.hh"
+#include "workloads/registry.hh"
+
+namespace dvr {
+
+namespace {
+
+/** Golden model: identical sweep schedule as the kernel. */
+std::vector<uint64_t>
+goldenCc(const CsrGraph &g, unsigned sweeps)
+{
+    std::vector<uint64_t> comp(g.numNodes);
+    for (uint64_t v = 0; v < g.numNodes; ++v)
+        comp[v] = v;
+    for (unsigned s = 0; s < sweeps; ++s) {
+        for (uint64_t u = 0; u < g.numNodes; ++u) {
+            for (uint64_t e = g.hOffsets[u]; e < g.hOffsets[u + 1];
+                 ++e) {
+                const uint64_t v = g.hEdges[e];
+                if (comp[u] < comp[v])
+                    comp[v] = comp[u];
+                else if (comp[v] < comp[u])
+                    comp[u] = comp[v];
+            }
+        }
+    }
+    return comp;
+}
+
+/**
+ * Registers:
+ *   r0 sweep   r1 nSweeps r2 u       r3 offBase r4 edgeBase
+ *   r5 compBase r6 cu     r7 e       r8 eEnd    r9 dst
+ *   r10 t      r11 addr   r12 cv     r13 nNodes r15 addrU
+ */
+Program
+emitCc(Addr off, Addr edges, Addr comp, uint64_t n, unsigned sweeps)
+{
+    ProgramBuilder b;
+    b.li(3, int64_t(off)).li(4, int64_t(edges)).li(5, int64_t(comp))
+        .li(13, int64_t(n)).li(0, 0).li(1, int64_t(sweeps));
+
+    b.label("sweep")
+        .li(2, 0);
+    b.label("vertex")
+        .shli(11, 2, 3).add(11, 3, 11)
+        .ld(7, 11)                      // e = offsets[u]
+        .ld(8, 11, 8)                   // eEnd
+        .shli(15, 2, kNodeSlotShift).add(15, 5, 15)
+        .ld(6, 15)                      // cu = comp[u]
+        .cmpltu(10, 7, 8)
+        .beqz(10, "next_vertex");
+    b.label("edge")
+        .shli(11, 7, 3).add(11, 4, 11)
+        .ld(9, 11)                      // dst = edges[e]  (strider)
+        .shli(11, 9, kNodeSlotShift).add(11, 5, 11)
+        .ld(12, 11)                     // cv = comp[dst]  (FLR)
+        .cmpltu(10, 6, 12)              // cu < cv ?
+        .beqz(10, "try_up")
+        .st(11, 0, 6)                   // comp[dst] = cu
+        .jmp("edge_next");
+    b.label("try_up")
+        .cmpltu(10, 12, 6)              // cv < cu ?
+        .beqz(10, "edge_next")
+        .mov(6, 12)                     // cu = cv
+        .st(15, 0, 6);                  // comp[u] = cu
+    b.label("edge_next")
+        .addi(7, 7, 1)
+        .cmpltu(10, 7, 8)
+        .bnez(10, "edge");
+    b.label("next_vertex")
+        .addi(2, 2, 1)
+        .cmpltu(10, 2, 13)
+        .bnez(10, "vertex")
+        .addi(0, 0, 1)
+        .cmpltu(10, 0, 1)
+        .bnez(10, "sweep")
+        .halt();
+    return b.build();
+}
+
+} // namespace
+
+Workload
+makeCc(SimMemory &mem, const WorkloadParams &p)
+{
+    CsrGraph g = buildInputGraph(mem, p);
+    const Addr comp = allocNodeArray(mem, g.numNodes);
+    for (uint64_t v = 0; v < g.numNodes; ++v)
+        writeNode(mem, comp, v, v);
+
+    const unsigned sweeps = 2;
+    auto golden = goldenCc(g, sweeps);
+
+    Workload w;
+    w.name = "cc";
+    w.description = "GAP connected components (label propagation)";
+    w.program = emitCc(g.offsets, g.edges, comp, g.numNodes, sweeps);
+    w.fullRunInsts =
+        sweeps * (14 * g.numEdges + 12 * g.numNodes) + 8;
+    w.verify = [golden = std::move(golden), comp,
+                n = g.numNodes](const SimMemory &m) {
+        for (uint64_t v = 0; v < n; ++v) {
+            if (readNode(m, comp, v) != golden[v])
+                return false;
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace dvr

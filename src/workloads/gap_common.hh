@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared helpers for the GAP kernels.
+ *
+ * Footprint note: the paper's graphs have 3-134M nodes, so per-node
+ * arrays (dist, comp, ranks, ...) are far larger than the 8 MB LLC.
+ * Our scaled graphs have ~128K nodes; to preserve the defining
+ * property -- indirect per-node accesses miss the LLC -- per-node
+ * arrays use a 128-byte slot per node (a padded node record), giving
+ * them the same >LLC footprint at laptop-scale node counts. Edge
+ * arrays stay packed u64 (the striding access DVR keys on).
+ */
+
+#ifndef DVR_WORKLOADS_GAP_COMMON_HH
+#define DVR_WORKLOADS_GAP_COMMON_HH
+
+#include "graph/csr_graph.hh"
+#include "graph/generators.hh"
+#include "workloads/workload.hh"
+
+namespace dvr {
+
+class SimMemory;
+
+/** log2 bytes per node slot in per-node arrays (128-byte records). */
+inline constexpr int kNodeSlotShift = 7;
+inline constexpr uint64_t kNodeSlotBytes = 1ULL << kNodeSlotShift;
+
+/** Build the named graph input at the requested scale shift. */
+CsrGraph buildInputGraph(SimMemory &mem, const WorkloadParams &p);
+
+/** Allocate a per-node array (one slot per node), zero-initialized. */
+Addr allocNodeArray(SimMemory &mem, uint64_t num_nodes);
+
+/** Element access helpers for per-node arrays. */
+uint64_t readNode(const SimMemory &mem, Addr base, uint64_t v);
+void writeNode(SimMemory &mem, Addr base, uint64_t v, uint64_t x);
+
+/**
+ * Wire the BFS kernel onto an existing graph (shared by `bfs` and
+ * `graph500`, which is BFS on a Graph500-style Kronecker input).
+ */
+Workload makeBfsWorkload(SimMemory &mem, CsrGraph g,
+                         const std::string &name,
+                         const std::string &desc);
+
+} // namespace dvr
+
+#endif // DVR_WORKLOADS_GAP_COMMON_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * PageRank (GAP pr), pull direction, in 16.16 fixed point so the
+ * golden model matches bit-exactly. The inner loop gathers neighbour
+ * contributions: edges[e] strides, contrib[u] is the dependent
+ * indirect load. No divergence inside the inner loop -- pr is the
+ * control-regular contrast to bfs/sssp in the evaluation.
+ */
+
+#include "workloads/gap_common.hh"
+
+#include "isa/program_builder.hh"
+#include "mem/sim_memory.hh"
+#include "workloads/registry.hh"
+
+namespace dvr {
+
+namespace {
+
+constexpr int kFixShift = 16;
+constexpr uint64_t kOne = 1ULL << kFixShift;
+/** damping = 0.85 in fixed point */
+constexpr uint64_t kAlpha = (85 * kOne) / 100;
+
+/** Golden model with the identical fixed-point schedule. */
+void
+goldenPr(const CsrGraph &g, unsigned iters,
+         std::vector<uint64_t> &contrib, std::vector<uint64_t> &rank)
+{
+    const uint64_t n = g.numNodes;
+    const uint64_t base = ((kOne - kAlpha)) / n + 1;
+    contrib.assign(n, 0);
+    rank.assign(n, 0);
+    for (uint64_t v = 0; v < n; ++v) {
+        const uint64_t deg = g.degree(v);
+        rank[v] = kOne / n + 1;
+        contrib[v] = deg ? rank[v] / deg : 0;
+    }
+    for (unsigned it = 0; it < iters; ++it) {
+        for (uint64_t v = 0; v < n; ++v) {
+            uint64_t sum = 0;
+            for (uint64_t e = g.hOffsets[v]; e < g.hOffsets[v + 1];
+                 ++e) {
+                sum += contrib[g.hEdges[e]];
+            }
+            rank[v] = base + ((kAlpha * sum) >> kFixShift);
+        }
+        for (uint64_t v = 0; v < n; ++v) {
+            const uint64_t deg = g.degree(v);
+            contrib[v] = deg ? rank[v] / deg : 0;
+        }
+    }
+}
+
+/**
+ * Registers:
+ *   r0 iter    r1 nIters  r2 v       r3 offBase  r4 edgeBase
+ *   r5 contrib r6 rank    r7 e       r8 eEnd     r9 u
+ *   r10 t      r11 addr   r12 sum    r13 n       r14 alpha  r15 base
+ */
+Program
+emitPr(Addr off, Addr edges, Addr contrib, Addr rank, uint64_t n,
+       unsigned iters, uint64_t base_rank)
+{
+    ProgramBuilder b;
+    b.li(3, int64_t(off)).li(4, int64_t(edges))
+        .li(5, int64_t(contrib)).li(6, int64_t(rank))
+        .li(13, int64_t(n)).li(14, int64_t(kAlpha))
+        .li(15, int64_t(base_rank)).li(0, 0).li(1, int64_t(iters));
+
+    b.label("iter")
+        .li(2, 0);
+    b.label("vertex")
+        .shli(11, 2, 3).add(11, 3, 11)
+        .ld(7, 11)                      // e = offsets[v]
+        .ld(8, 11, 8)                   // eEnd
+        .li(12, 0)                      // sum = 0
+        .cmpltu(10, 7, 8)
+        .beqz(10, "store_rank");
+    b.label("edge")
+        .shli(11, 7, 3).add(11, 4, 11)
+        .ld(9, 11)                      // u = edges[e]   (strider)
+        .shli(11, 9, kNodeSlotShift).add(11, 5, 11)
+        .ld(10, 11)                     // contrib[u]     (FLR)
+        .add(12, 12, 10)                // sum += contrib[u]
+        .addi(7, 7, 1)
+        .cmpltu(10, 7, 8)
+        .bnez(10, "edge");
+    b.label("store_rank")
+        .mul(10, 12, 14)
+        .shri(10, 10, kFixShift)
+        .add(10, 10, 15)                // rank = base + a*sum
+        .shli(11, 2, kNodeSlotShift).add(11, 6, 11)
+        .st(11, 0, 10)
+        .addi(2, 2, 1)
+        .cmpltu(10, 2, 13)
+        .bnez(10, "vertex");
+
+    // contrib[v] = rank[v] / degree(v)
+    b.li(2, 0);
+    b.label("contrib_loop")
+        .shli(11, 2, 3).add(11, 3, 11)
+        .ld(7, 11)
+        .ld(8, 11, 8)
+        .sub(8, 8, 7)                   // deg
+        .shli(11, 2, kNodeSlotShift)
+        .add(10, 6, 11)
+        .ld(10, 10)                     // rank[v]
+        .beqz(8, "zero_deg")
+        .divu(10, 10, 8)
+        .jmp("store_contrib");
+    b.label("zero_deg")
+        .li(10, 0);
+    b.label("store_contrib")
+        .add(11, 5, 11)
+        .st(11, 0, 10)
+        .addi(2, 2, 1)
+        .cmpltu(10, 2, 13)
+        .bnez(10, "contrib_loop")
+        .addi(0, 0, 1)
+        .cmpltu(10, 0, 1)
+        .bnez(10, "iter")
+        .halt();
+    return b.build();
+}
+
+} // namespace
+
+Workload
+makePr(SimMemory &mem, const WorkloadParams &p)
+{
+    CsrGraph g = buildInputGraph(mem, p);
+    const uint64_t n = g.numNodes;
+    const Addr contrib = allocNodeArray(mem, n);
+    const Addr rank = allocNodeArray(mem, n);
+    const uint64_t base_rank = (kOne - kAlpha) / n + 1;
+
+    // Initial state matches the golden model's first lines.
+    for (uint64_t v = 0; v < n; ++v) {
+        const uint64_t deg = g.degree(v);
+        const uint64_t r0 = kOne / n + 1;
+        writeNode(mem, rank, v, r0);
+        writeNode(mem, contrib, v, deg ? r0 / deg : 0);
+    }
+
+    const unsigned iters = 2;
+    std::vector<uint64_t> gold_contrib, gold_rank;
+    goldenPr(g, iters, gold_contrib, gold_rank);
+
+    Workload w;
+    w.name = "pr";
+    w.description = "GAP PageRank (pull, fixed point)";
+    w.program = emitPr(g.offsets, g.edges, contrib, rank, n, iters,
+                       base_rank);
+    w.fullRunInsts = iters * (8 * g.numEdges + 30 * n) + 12;
+    w.verify = [gr = std::move(gold_rank), gc = std::move(gold_contrib),
+                rank, contrib, n](const SimMemory &m) {
+        for (uint64_t v = 0; v < n; ++v) {
+            if (readNode(m, rank, v) != gr[v] ||
+                readNode(m, contrib, v) != gc[v]) {
+                return false;
+            }
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace dvr

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Single-source shortest paths (worklist Bellman-Ford, a simplified
+ * stand-in for GAP's delta-stepping with the same access pattern):
+ * the inner loop strides through edges and weights and relaxes
+ * dist[dst] -- two parallel striding streams plus an indirect,
+ * divergent chain.
+ */
+
+#include "workloads/gap_common.hh"
+
+#include <queue>
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "mem/sim_memory.hh"
+#include "workloads/dataset.hh"
+#include "workloads/registry.hh"
+
+namespace dvr {
+
+namespace {
+
+constexpr uint64_t kInf = ~0ULL >> 1;
+
+/** Golden model: identical worklist schedule as the kernel. */
+std::vector<uint64_t>
+goldenSssp(const CsrGraph &g, const std::vector<uint64_t> &weights,
+           uint64_t source, uint64_t max_pushes)
+{
+    std::vector<uint64_t> dist(g.numNodes, kInf);
+    std::vector<uint64_t> wl;
+    wl.reserve(max_pushes);
+    dist[source] = 0;
+    wl.push_back(source);
+    uint64_t head = 0;
+    while (head < wl.size() && wl.size() < max_pushes) {
+        const uint64_t u = wl[head++];
+        const uint64_t du = dist[u];
+        for (uint64_t e = g.hOffsets[u]; e < g.hOffsets[u + 1]; ++e) {
+            const uint64_t v = g.hEdges[e];
+            const uint64_t nd = du + weights[e];
+            if (nd < dist[v]) {
+                dist[v] = nd;
+                if (wl.size() < max_pushes)
+                    wl.push_back(v);
+            }
+        }
+    }
+    return dist;
+}
+
+/**
+ * Registers:
+ *   r0 wlBase  r1 head    r2 tail    r3 offBase  r4 edgeBase
+ *   r5 distBase r6 wBase  r7 e       r8 eEnd     r9 dst
+ *   r10 t      r11 addr   r12 du     r13 wlCap   r14 u / nd  r15 w
+ */
+Program
+emitSssp(Addr wl, Addr off, Addr edges, Addr weights, Addr dist,
+         uint64_t source, uint64_t wl_cap)
+{
+    ProgramBuilder b;
+    b.li(0, int64_t(wl)).li(3, int64_t(off)).li(4, int64_t(edges))
+        .li(5, int64_t(dist)).li(6, int64_t(weights))
+        .li(13, int64_t(wl_cap)).li(1, 0).li(2, 1)
+        .li(10, int64_t(source)).st(0, 0, 10);
+
+    b.label("outer")
+        .cmpltu(10, 1, 2)
+        .beqz(10, "done")
+        .cmpltu(10, 2, 13)              // worklist full?
+        .beqz(10, "done")
+        .shli(11, 1, 3).add(11, 0, 11)
+        .ld(14, 11)                     // u = wl[head]
+        .addi(1, 1, 1)
+        .shli(11, 14, kNodeSlotShift).add(11, 5, 11)
+        .ld(12, 11)                     // du = dist[u]
+        .shli(11, 14, 3).add(11, 3, 11)
+        .ld(7, 11)                      // e = offsets[u]
+        .ld(8, 11, 8)                   // eEnd
+        .cmpltu(10, 7, 8)
+        .beqz(10, "outer");
+
+    b.label("inner")
+        .shli(11, 7, 3).add(11, 4, 11)
+        .ld(9, 11)                      // dst = edges[e] (strider)
+        .shli(11, 7, 3).add(11, 6, 11)
+        .ld(15, 11)                     // w = weights[e]
+        .add(14, 12, 15)                // nd = du + w
+        .shli(11, 9, kNodeSlotShift).add(11, 5, 11)
+        .ld(10, 11)                     // dist[dst]      (FLR)
+        .cmpltu(10, 14, 10)             // nd < dist[dst]?
+        .beqz(10, "skip")
+        .st(11, 0, 14)                  // dist[dst] = nd
+        .cmpltu(10, 2, 13)
+        .beqz(10, "skip")
+        .shli(11, 2, 3).add(11, 0, 11)
+        .st(11, 0, 9)                   // push dst
+        .addi(2, 2, 1);
+    b.label("skip")
+        .addi(7, 7, 1)
+        .cmpltu(10, 7, 8)
+        .bnez(10, "inner")
+        .jmp("outer");
+
+    b.label("done").halt();
+    return b.build();
+}
+
+} // namespace
+
+Workload
+makeSssp(SimMemory &mem, const WorkloadParams &p)
+{
+    CsrGraph g = buildInputGraph(mem, p);
+    auto wv = randomValues(std::max<uint64_t>(g.numEdges, 1), 255,
+                           p.seed ^ 0x55);
+    for (auto &x : wv)
+        ++x;    // weights in [1, 255]
+    SimArray weights = makeArray(mem, wv);
+
+    const Addr dist = allocNodeArray(mem, g.numNodes);
+    // The golden model caps worklist pushes exactly like the kernel.
+    const uint64_t wl_cap = 4 * g.numNodes;
+    const Addr wl = mem.alloc((wl_cap + 1) * 8);
+    const uint64_t source = 1 % g.numNodes;
+    for (uint64_t v = 0; v < g.numNodes; ++v)
+        writeNode(mem, dist, v, kInf);
+    writeNode(mem, dist, source, 0);
+
+    auto golden = goldenSssp(g, weights.host, source, wl_cap);
+
+    Workload w;
+    w.name = "sssp";
+    w.description = "GAP SSSP (worklist Bellman-Ford)";
+    w.program = emitSssp(wl, g.offsets, g.edges, weights.base, dist,
+                         source, wl_cap);
+    w.fullRunInsts = 60 * g.numEdges + 24 * g.numNodes + 16;
+    w.verify = [golden = std::move(golden), dist,
+                n = g.numNodes](const SimMemory &m) {
+        for (uint64_t v = 0; v < n; ++v) {
+            if (readNode(m, dist, v) != golden[v])
+                return false;
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace dvr

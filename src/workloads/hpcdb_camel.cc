@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Camel: the paper's Figure-1 pattern, C[hash(B[hash(A[i])])]++ -- a
+ * sequential key stream driving a two-level dependent hash chain into
+ * tables far larger than the LLC.
+ */
+
+#include "workloads/registry.hh"
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "mem/sim_memory.hh"
+#include "workloads/dataset.hh"
+
+namespace dvr {
+
+namespace {
+
+constexpr int kSlotShift = 6;   ///< 64-byte table slots
+
+uint64_t
+tableSlots(unsigned scale_shift)
+{
+    const unsigned s = scale_shift > 10 ? 7 : 18 - scale_shift;
+    return 1ULL << s;
+}
+
+} // namespace
+
+Workload
+makeCamel(SimMemory &mem, const WorkloadParams &p)
+{
+    const uint64_t slots = tableSlots(p.scaleShift);
+    const uint64_t mask = slots - 1;
+    const uint64_t n = slots * 8;
+
+    SimArray a = makeArray(mem, randomValues(n, 0, p.seed ^ 0xCA));
+    SimArray bt = makeArray(
+        mem, randomValues(slots, 0, p.seed ^ 0xCB));
+    // Padded 64-byte slots: re-layout B and C at one value per slot.
+    const Addr b_base = mem.alloc(slots << kSlotShift);
+    const Addr c_base = mem.alloc(slots << kSlotShift);
+    for (uint64_t i = 0; i < slots; ++i)
+        mem.write(b_base + (i << kSlotShift), 8, bt.host[i]);
+
+    // Golden model.
+    std::vector<uint64_t> c_gold(slots, 0);
+    for (uint64_t i = 0; i < n; ++i) {
+        const uint64_t h1 = kernelHash(a.host[i]) & mask;
+        const uint64_t h2 = kernelHash(bt.host[h1]) & mask;
+        ++c_gold[h2];
+    }
+
+    // Registers: r0 A, r1 B, r2 C, r3 i, r4 n, r6 a, r7 h, r8 b,
+    // r10 t, r11 addr.
+    ProgramBuilder b;
+    b.li(0, int64_t(a.base)).li(1, int64_t(b_base))
+        .li(2, int64_t(c_base)).li(3, 0).li(4, int64_t(n));
+    b.label("loop")
+        .shli(11, 3, 3).add(11, 0, 11)
+        .ld(6, 11)                      // a = A[i]   (strider)
+        .hash(7, 6)
+        .andi(7, 7, int64_t(mask))
+        .shli(11, 7, kSlotShift).add(11, 1, 11)
+        .ld(8, 11)                      // b = B[h1]
+        .hash(7, 8)
+        .andi(7, 7, int64_t(mask))
+        .shli(11, 7, kSlotShift).add(11, 2, 11)
+        .ld(10, 11)                     // c = C[h2]  (FLR)
+        .addi(10, 10, 1)
+        .st(11, 0, 10)                  // C[h2]++
+        .addi(3, 3, 1)
+        .cmpltu(10, 3, 4)
+        .bnez(10, "loop")
+        .halt();
+
+    Workload w;
+    w.name = "camel";
+    w.description = "two-level dependent hash chain (Figure 1)";
+    w.program = b.build();
+    w.fullRunInsts = 15 * n + 8;
+    w.verify = [c_gold = std::move(c_gold), c_base,
+                slots](const SimMemory &m) {
+        for (uint64_t i = 0; i < slots; ++i) {
+            if (m.read(c_base + (i << kSlotShift), 8) != c_gold[i])
+                return false;
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace dvr

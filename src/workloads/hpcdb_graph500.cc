@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Graph500: breadth-first search on a Graph500-style Kronecker graph
+ * (the paper's hpc-db set includes it separately from GAP bfs).
+ */
+
+#include "workloads/registry.hh"
+
+#include "graph/generators.hh"
+#include "workloads/gap_common.hh"
+
+namespace dvr {
+
+Workload
+makeGraph500(SimMemory &mem, const WorkloadParams &p)
+{
+    // Graph500 reference RMAT parameters (a=.57, b=c=.19).
+    const unsigned scale = p.scaleShift > 13 ? 4 : 17 - p.scaleShift;
+    auto edges =
+        rmatEdges(scale, 16, {0.57, 0.19, 0.19}, p.seed ^ 0x500);
+    CsrGraph g = buildCsr(mem, 1ULL << scale, edges);
+    return makeBfsWorkload(mem, std::move(g), "graph500",
+                           "BFS on a Graph500 Kronecker graph");
+}
+
+} // namespace dvr

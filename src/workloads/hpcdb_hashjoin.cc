@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Hash join probe kernels (HJ2 / HJ8): a sequential stream of probe
+ * keys each traverses a chain of N dependent hash-table lookups
+ * (k -> hash -> bucket -> k' -> hash -> ...). HJ8's depth-8 chain is
+ * the deep-MLP stress case from the paper's hpc-db set.
+ */
+
+#include "workloads/registry.hh"
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "mem/sim_memory.hh"
+#include "workloads/dataset.hh"
+
+namespace dvr {
+
+namespace {
+
+constexpr int kSlotShift = 6;
+
+Workload
+makeHashJoin(SimMemory &mem, const WorkloadParams &p, unsigned depth,
+             const char *name)
+{
+    const unsigned s = p.scaleShift > 10 ? 7 : 18 - p.scaleShift;
+    const uint64_t slots = 1ULL << s;
+    const uint64_t mask = slots - 1;
+    const uint64_t n = slots * 4;
+
+    SimArray keys = makeArray(mem, randomValues(n, 0, p.seed ^ 0x12));
+    auto table_vals = randomValues(slots, 0, p.seed ^ 0x34);
+    const Addr table = mem.alloc(slots << kSlotShift);
+    for (uint64_t i = 0; i < slots; ++i)
+        mem.write(table + (i << kSlotShift), 8, table_vals[i]);
+    const Addr acc_addr = mem.alloc(8);
+
+    // Golden model: depth dependent probes per key, summed.
+    uint64_t acc_gold = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+        uint64_t k = keys.host[i];
+        for (unsigned d = 0; d < depth; ++d)
+            k = table_vals[kernelHash(k) & mask];
+        acc_gold += k;
+    }
+
+    // Registers: r0 keys, r1 table, r3 i, r4 n, r6 k, r7 h,
+    // r9 acc, r10 t, r11 addr.
+    ProgramBuilder b;
+    b.li(0, int64_t(keys.base)).li(1, int64_t(table)).li(3, 0)
+        .li(4, int64_t(n)).li(9, 0).li(12, int64_t(acc_addr));
+    b.label("loop")
+        .shli(11, 3, 3).add(11, 0, 11)
+        .ld(6, 11);                     // k = keys[i]  (strider)
+    for (unsigned d = 0; d < depth; ++d) {
+        b.hash(7, 6)
+            .andi(7, 7, int64_t(mask))
+            .shli(11, 7, kSlotShift).add(11, 1, 11)
+            .ld(6, 11);                 // k = table[h] (chain)
+    }
+    b.add(9, 9, 6)                      // acc += k
+        .addi(3, 3, 1)
+        .cmpltu(10, 3, 4)
+        .bnez(10, "loop")
+        .st(12, 0, 9)
+        .halt();
+
+    Workload w;
+    w.name = name;
+    w.description = "hash-join probe, dependent chain depth " +
+                    std::to_string(depth);
+    w.program = b.build();
+    w.fullRunInsts = (7 + 4 * depth) * n + 10;
+    w.verify = [acc_gold, acc_addr](const SimMemory &m) {
+        return m.read(acc_addr, 8) == acc_gold;
+    };
+    return w;
+}
+
+} // namespace
+
+Workload
+makeHj2(SimMemory &mem, const WorkloadParams &p)
+{
+    return makeHashJoin(mem, p, 2, "hj2");
+}
+
+Workload
+makeHj8(SimMemory &mem, const WorkloadParams &p)
+{
+    return makeHashJoin(mem, p, 8, "hj8");
+}
+
+} // namespace dvr

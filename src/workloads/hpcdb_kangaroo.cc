@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Kangaroo: a three-level index chase with a data-dependent branch on
+ * the second hop (odd values take an extra table lookup), exercising
+ * per-lane divergence along a deep chain.
+ */
+
+#include "workloads/registry.hh"
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "mem/sim_memory.hh"
+#include "workloads/dataset.hh"
+
+namespace dvr {
+
+namespace {
+
+constexpr int kSlotShift = 6;
+
+} // namespace
+
+Workload
+makeKangaroo(SimMemory &mem, const WorkloadParams &p)
+{
+    const unsigned s = p.scaleShift > 10 ? 7 : 18 - p.scaleShift;
+    const uint64_t slots = 1ULL << s;
+    const uint64_t mask = slots - 1;
+    const uint64_t n = slots * 4;
+
+    SimArray a = makeArray(mem, randomValues(n, 0, p.seed ^ 0x71));
+    auto bv = randomValues(slots, 0, p.seed ^ 0x72);
+    auto cv = randomValues(slots, 0, p.seed ^ 0x73);
+    auto dv = randomValues(slots, 0, p.seed ^ 0x74);
+    const Addr b_t = mem.alloc(slots << kSlotShift);
+    const Addr c_t = mem.alloc(slots << kSlotShift);
+    const Addr d_t = mem.alloc(slots << kSlotShift);
+    for (uint64_t i = 0; i < slots; ++i) {
+        mem.write(b_t + (i << kSlotShift), 8, bv[i]);
+        mem.write(c_t + (i << kSlotShift), 8, cv[i]);
+        mem.write(d_t + (i << kSlotShift), 8, dv[i]);
+    }
+    const Addr acc_addr = mem.alloc(8);
+
+    uint64_t acc_gold = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+        const uint64_t x = a.host[i];
+        const uint64_t y = bv[x & mask];
+        const uint64_t z = cv[y & mask];
+        acc_gold += (z & 1) ? dv[z & mask] : z;
+    }
+
+    // Registers: r0 A, r1 B, r2 C, r5 D, r3 i, r4 n, r6 x,
+    // r9 acc, r10 t, r11 addr.
+    ProgramBuilder b;
+    b.li(0, int64_t(a.base)).li(1, int64_t(b_t)).li(2, int64_t(c_t))
+        .li(5, int64_t(d_t)).li(3, 0).li(4, int64_t(n)).li(9, 0)
+        .li(12, int64_t(acc_addr));
+    b.label("loop")
+        .shli(11, 3, 3).add(11, 0, 11)
+        .ld(6, 11)                      // x = A[i]   (strider)
+        .andi(7, 6, int64_t(mask))
+        .shli(11, 7, kSlotShift).add(11, 1, 11)
+        .ld(6, 11)                      // y = B[...]
+        .andi(7, 6, int64_t(mask))
+        .shli(11, 7, kSlotShift).add(11, 2, 11)
+        .ld(6, 11)                      // z = C[...]
+        .andi(10, 6, 1)
+        .beqz(10, "even")               // divergent branch
+        .andi(7, 6, int64_t(mask))
+        .shli(11, 7, kSlotShift).add(11, 5, 11)
+        .ld(6, 11);                     // w = D[...]  (extra hop)
+    b.label("even")
+        .add(9, 9, 6)                   // acc += value
+        .addi(3, 3, 1)
+        .cmpltu(10, 3, 4)
+        .bnez(10, "loop")
+        .st(12, 0, 9)
+        .halt();
+
+    Workload w;
+    w.name = "kangaroo";
+    w.description = "three-level index chase with divergent extra hop";
+    w.program = b.build();
+    w.fullRunInsts = 18 * n + 10;
+    w.verify = [acc_gold, acc_addr](const SimMemory &m) {
+        return m.read(acc_addr, 8) == acc_gold;
+    };
+    return w;
+}
+
+} // namespace dvr

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * NAS-CG inner kernel: CSR sparse matrix-vector product with short,
+ * data-dependent row lengths -- the case where loop-bound inference
+ * and Nested Vector Runahead matter most (rows are far shorter than
+ * the 128-lane target).
+ */
+
+#include "workloads/registry.hh"
+
+#include <bit>
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "mem/sim_memory.hh"
+#include "workloads/dataset.hh"
+
+namespace dvr {
+
+namespace {
+
+constexpr int kSlotShift = 6;
+
+} // namespace
+
+Workload
+makeNasCg(SimMemory &mem, const WorkloadParams &p)
+{
+    const unsigned s = p.scaleShift > 10 ? 6 : 17 - p.scaleShift;
+    const uint64_t rows = 1ULL << s;
+    const uint64_t cols = rows * 2;
+    Rng rng(p.seed ^ 0xC6);
+
+    // Row lengths 4..19: short inner loops.
+    std::vector<uint64_t> offs(rows + 1, 0);
+    for (uint64_t r = 0; r < rows; ++r)
+        offs[r + 1] = offs[r] + 4 + rng.nextBelow(16);
+    const uint64_t nnz = offs[rows];
+    std::vector<uint64_t> col(nnz);
+    std::vector<uint64_t> val(nnz);
+    for (uint64_t i = 0; i < nnz; ++i) {
+        col[i] = rng.nextBelow(cols);
+        val[i] = std::bit_cast<uint64_t>(1.0 + double(rng.nextBelow(7)));
+    }
+    std::vector<uint64_t> xv(cols);
+    for (auto &x : xv)
+        x = std::bit_cast<uint64_t>(double(rng.nextBelow(100)) * 0.25);
+
+    SimArray offs_a = makeArray(mem, offs);
+    SimArray col_a = makeArray(mem, col);
+    SimArray val_a = makeArray(mem, val);
+    const Addr x_base = mem.alloc(cols << kSlotShift);
+    for (uint64_t i = 0; i < cols; ++i)
+        mem.write(x_base + (i << kSlotShift), 8, xv[i]);
+    const Addr y_base = mem.alloc(rows << kSlotShift);
+
+    // Golden model: identical FP operation order (bit-exact).
+    std::vector<uint64_t> y_gold(rows);
+    for (uint64_t r = 0; r < rows; ++r) {
+        double sum = 0.0;
+        for (uint64_t j = offs[r]; j < offs[r + 1]; ++j) {
+            sum += std::bit_cast<double>(val[j]) *
+                   std::bit_cast<double>(xv[col[j]]);
+        }
+        y_gold[r] = std::bit_cast<uint64_t>(sum);
+    }
+
+    // Registers: r0 offs, r1 cols, r2 vals, r3 x, r5 y, r6 row,
+    // r7 j, r8 jEnd, r9 c, r10 t, r11 addr, r12 sum, r13 rows,
+    // r14 v, r15 pv.
+    ProgramBuilder b;
+    b.li(0, int64_t(offs_a.base)).li(1, int64_t(col_a.base))
+        .li(2, int64_t(val_a.base)).li(3, int64_t(x_base))
+        .li(5, int64_t(y_base)).li(13, int64_t(rows)).li(6, 0);
+    b.label("row")
+        .shli(11, 6, 3).add(11, 0, 11)
+        .ld(7, 11)                      // j = offs[row]
+        .ld(8, 11, 8)                   // jEnd
+        .li(12, 0)                      // sum = 0.0
+        .cmpltu(10, 7, 8)
+        .beqz(10, "store");
+    b.label("inner")
+        .shli(11, 7, 3).add(11, 1, 11)
+        .ld(9, 11)                      // c = col[j]  (strider)
+        .shli(11, 9, kSlotShift).add(11, 3, 11)
+        .ld(14, 11)                     // v = x[c]    (FLR)
+        .shli(11, 7, 3).add(11, 2, 11)
+        .ld(15, 11)                     // pv = val[j]
+        .fmul(14, 15, 14)
+        .fadd(12, 12, 14)               // sum += pv * v
+        .addi(7, 7, 1)
+        .cmpltu(10, 7, 8)
+        .bnez(10, "inner");
+    b.label("store")
+        .shli(11, 6, kSlotShift).add(11, 5, 11)
+        .st(11, 0, 12)                  // y[row] = sum
+        .addi(6, 6, 1)
+        .cmpltu(10, 6, 13)
+        .bnez(10, "row")
+        .halt();
+
+    Workload w;
+    w.name = "nas_cg";
+    w.description = "CSR SpMV with short data-dependent rows (NAS CG)";
+    w.program = b.build();
+    w.fullRunInsts = 12 * nnz + 12 * rows + 8;
+    w.verify = [y_gold = std::move(y_gold), y_base,
+                rows](const SimMemory &m) {
+        for (uint64_t r = 0; r < rows; ++r) {
+            if (m.read(y_base + (r << kSlotShift), 8) != y_gold[r])
+                return false;
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace dvr

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * NAS-IS inner kernel: integer-sort bucket counting, count[key[i]]++.
+ * A single level of indirection from a striding key stream -- the
+ * pattern IMP handles well, included as the simple-indirect contrast.
+ */
+
+#include "workloads/registry.hh"
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "mem/sim_memory.hh"
+#include "workloads/dataset.hh"
+
+namespace dvr {
+
+namespace {
+
+constexpr int kSlotShift = 6;
+
+} // namespace
+
+Workload
+makeNasIs(SimMemory &mem, const WorkloadParams &p)
+{
+    const unsigned s = p.scaleShift > 10 ? 7 : 18 - p.scaleShift;
+    const uint64_t buckets = 1ULL << s;
+    const uint64_t n = buckets * 8;
+
+    SimArray keys =
+        makeArray(mem, randomValues(n, buckets, p.seed ^ 0x15));
+    const Addr count = mem.alloc(buckets << kSlotShift);
+
+    std::vector<uint64_t> gold(buckets, 0);
+    for (uint64_t i = 0; i < n; ++i)
+        ++gold[keys.host[i]];
+
+    // Registers: r0 keys, r1 count, r3 i, r4 n, r6 k, r10 t, r11 addr.
+    ProgramBuilder b;
+    b.li(0, int64_t(keys.base)).li(1, int64_t(count)).li(3, 0)
+        .li(4, int64_t(n));
+    b.label("loop")
+        .shli(11, 3, 3).add(11, 0, 11)
+        .ld(6, 11)                      // k = keys[i]   (strider)
+        .shli(11, 6, kSlotShift).add(11, 1, 11)
+        .ld(10, 11)                     // count[k]      (FLR)
+        .addi(10, 10, 1)
+        .st(11, 0, 10)                  // count[k]++
+        .addi(3, 3, 1)
+        .cmpltu(10, 3, 4)
+        .bnez(10, "loop")
+        .halt();
+
+    Workload w;
+    w.name = "nas_is";
+    w.description = "integer-sort bucket counting (NAS IS)";
+    w.program = b.build();
+    w.fullRunInsts = 10 * n + 6;
+    w.verify = [gold = std::move(gold), count,
+                buckets](const SimMemory &m) {
+        for (uint64_t i = 0; i < buckets; ++i) {
+            if (m.read(count + (i << kSlotShift), 8) != gold[i])
+                return false;
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace dvr

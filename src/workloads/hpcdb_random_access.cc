@@ -1,0 +1,72 @@
+/**
+ * @file
+ * RandomAccess (HPCC GUPS, precomputed-index variant as used by the
+ * software-prefetching literature): table[I[i] & mask] ^= I[i].
+ */
+
+#include "workloads/registry.hh"
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "mem/sim_memory.hh"
+#include "workloads/dataset.hh"
+
+namespace dvr {
+
+namespace {
+
+constexpr int kSlotShift = 6;
+
+} // namespace
+
+Workload
+makeRandomAccess(SimMemory &mem, const WorkloadParams &p)
+{
+    const unsigned s = p.scaleShift > 10 ? 7 : 18 - p.scaleShift;
+    const uint64_t slots = 1ULL << s;
+    const uint64_t mask = slots - 1;
+    const uint64_t n = slots * 4;
+
+    SimArray idx = makeArray(mem, randomValues(n, 0, p.seed ^ 0x6A));
+    const Addr table = mem.alloc(slots << kSlotShift);
+
+    std::vector<uint64_t> gold(slots, 0);
+    for (uint64_t i = 0; i < n; ++i)
+        gold[idx.host[i] & mask] ^= idx.host[i];
+
+    // Registers: r0 I, r1 table, r3 i, r4 n, r6 v, r7 h, r10 t,
+    // r11 addr.
+    ProgramBuilder b;
+    b.li(0, int64_t(idx.base)).li(1, int64_t(table)).li(3, 0)
+        .li(4, int64_t(n));
+    b.label("loop")
+        .shli(11, 3, 3).add(11, 0, 11)
+        .ld(6, 11)                      // v = I[i]      (strider)
+        .andi(7, 6, int64_t(mask))
+        .shli(11, 7, kSlotShift).add(11, 1, 11)
+        .ld(10, 11)                     // t = table[h]  (FLR)
+        .xor_(10, 10, 6)
+        .st(11, 0, 10)                  // table[h] ^= v
+        .addi(3, 3, 1)
+        .cmpltu(10, 3, 4)
+        .bnez(10, "loop")
+        .halt();
+
+    Workload w;
+    w.name = "random_access";
+    w.description = "HPCC RandomAccess (GUPS) with index stream";
+    w.program = b.build();
+    w.fullRunInsts = 11 * n + 6;
+    w.verify = [gold = std::move(gold), table, slots,
+                mask](const SimMemory &m) {
+        (void)mask;
+        for (uint64_t i = 0; i < slots; ++i) {
+            if (m.read(table + (i << kSlotShift), 8) != gold[i])
+                return false;
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace dvr

@@ -1,0 +1,79 @@
+#include "workloads/registry.hh"
+
+#include "common/log.hh"
+
+namespace dvr {
+
+WorkloadFactory
+workloadFactory(const std::string &name)
+{
+    if (name == "bfs")
+        return &makeBfs;
+    if (name == "bc")
+        return &makeBc;
+    if (name == "cc")
+        return &makeCc;
+    if (name == "pr")
+        return &makePr;
+    if (name == "sssp")
+        return &makeSssp;
+    if (name == "camel")
+        return &makeCamel;
+    if (name == "graph500")
+        return &makeGraph500;
+    if (name == "hj2")
+        return &makeHj2;
+    if (name == "hj8")
+        return &makeHj8;
+    if (name == "kangaroo")
+        return &makeKangaroo;
+    if (name == "nas_cg")
+        return &makeNasCg;
+    if (name == "nas_is")
+        return &makeNasIs;
+    if (name == "random_access")
+        return &makeRandomAccess;
+    fatal("workloadFactory: unknown workload '" + name + "'");
+}
+
+const std::vector<std::string> &
+gapKernels()
+{
+    static const std::vector<std::string> k = {"bc", "bfs", "cc", "pr",
+                                               "sssp"};
+    return k;
+}
+
+const std::vector<std::string> &
+hpcdbKernels()
+{
+    static const std::vector<std::string> k = {
+        "camel", "graph500", "hj2", "hj8",
+        "kangaroo", "nas_cg", "nas_is", "random_access"};
+    return k;
+}
+
+std::vector<std::string>
+allKernels()
+{
+    std::vector<std::string> v = gapKernels();
+    for (const auto &k : hpcdbKernels())
+        v.push_back(k);
+    return v;
+}
+
+std::vector<std::pair<std::string, std::string>>
+benchmarkMatrix()
+{
+    std::vector<std::pair<std::string, std::string>> m;
+    static const char *inputs[] = {"KR", "LJN", "ORK", "TW", "UR"};
+    for (const auto &k : gapKernels()) {
+        for (const char *in : inputs)
+            m.emplace_back(k, in);
+    }
+    for (const auto &k : hpcdbKernels())
+        m.emplace_back(k, "");
+    return m;
+}
+
+} // namespace dvr

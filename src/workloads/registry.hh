@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Workload registry: name -> factory for all 13 benchmarks (GAP graph
+ * kernels plus the hpc-db set), mirroring the paper's Section 5.
+ */
+
+#ifndef DVR_WORKLOADS_REGISTRY_HH
+#define DVR_WORKLOADS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace dvr {
+
+// GAP kernels (parameterized by graph input).
+Workload makeBfs(SimMemory &mem, const WorkloadParams &p);
+Workload makeBc(SimMemory &mem, const WorkloadParams &p);
+Workload makeCc(SimMemory &mem, const WorkloadParams &p);
+Workload makePr(SimMemory &mem, const WorkloadParams &p);
+Workload makeSssp(SimMemory &mem, const WorkloadParams &p);
+
+// hpc-db kernels.
+Workload makeCamel(SimMemory &mem, const WorkloadParams &p);
+Workload makeGraph500(SimMemory &mem, const WorkloadParams &p);
+Workload makeHj2(SimMemory &mem, const WorkloadParams &p);
+Workload makeHj8(SimMemory &mem, const WorkloadParams &p);
+Workload makeKangaroo(SimMemory &mem, const WorkloadParams &p);
+Workload makeNasCg(SimMemory &mem, const WorkloadParams &p);
+Workload makeNasIs(SimMemory &mem, const WorkloadParams &p);
+Workload makeRandomAccess(SimMemory &mem, const WorkloadParams &p);
+
+/** Factory lookup by name (bfs, bc, cc, pr, sssp, camel, ...). */
+WorkloadFactory workloadFactory(const std::string &name);
+
+/** Names of the five GAP kernels. */
+const std::vector<std::string> &gapKernels();
+
+/** Names of the eight hpc-db kernels. */
+const std::vector<std::string> &hpcdbKernels();
+
+/** All 13 kernel names. */
+std::vector<std::string> allKernels();
+
+/**
+ * All benchmark-input combinations of the evaluation: each GAP kernel
+ * on each of the five graphs, plus each hpc-db kernel once. Returns
+ * (kernel, input) pairs; input is empty for hpc-db.
+ */
+std::vector<std::pair<std::string, std::string>> benchmarkMatrix();
+
+} // namespace dvr
+
+#endif // DVR_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Workload abstraction: a benchmark kernel authored in the micro-op
+ * ISA, its data set living in simulated memory, and a golden-model
+ * verifier computed natively at build time.
+ */
+
+#ifndef DVR_WORKLOADS_WORKLOAD_HH
+#define DVR_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace dvr {
+
+class SimMemory;
+
+struct WorkloadParams
+{
+    /**
+     * Halve data-set sizes 2^scaleShift times. 0 = evaluation size
+     * (working set beyond the LLC); tests use 4-8 so kernels finish
+     * quickly and can be verified against the golden model.
+     */
+    unsigned scaleShift = 0;
+    /** GAP graph input name (KR, LJN, ORK, TW, UR). */
+    std::string input = "KR";
+    uint64_t seed = 42;
+};
+
+struct Workload
+{
+    std::string name;
+    std::string description;
+    Program program;
+    /**
+     * Compare simulated-memory results against the natively computed
+     * golden model. Only meaningful when the program ran to
+     * completion (halted).
+     */
+    std::function<bool(const SimMemory &)> verify;
+    /** Dynamic instructions for a full run (for sizing budgets). */
+    uint64_t fullRunInsts = 0;
+};
+
+using WorkloadFactory =
+    Workload (*)(SimMemory &, const WorkloadParams &);
+
+} // namespace dvr
+
+#endif // DVR_WORKLOADS_WORKLOAD_HH

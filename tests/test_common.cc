@@ -1,0 +1,98 @@
+/** @file Unit tests for the common substrate: RNG, hashes, stats. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace dvr {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng r(7);
+    for (uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(r.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng r(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 400; ++i)
+        seen.insert(r.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Hash, KernelHashIsDeterministicAndSpreads)
+{
+    EXPECT_EQ(kernelHash(1), kernelHash(1));
+    std::set<uint64_t> lows;
+    for (uint64_t i = 0; i < 1000; ++i)
+        lows.insert(kernelHash(i) & 0xffff);
+    EXPECT_GT(lows.size(), 950u);   // few low-bit collisions
+}
+
+TEST(Stats, AddSetGetMerge)
+{
+    StatSet s;
+    s.add("a", 1);
+    s.add("a", 2);
+    EXPECT_DOUBLE_EQ(s.get("a"), 3);
+    s.set("a", 5);
+    EXPECT_DOUBLE_EQ(s.get("a"), 5);
+    EXPECT_DOUBLE_EQ(s.get("missing"), 0);
+    EXPECT_FALSE(s.has("missing"));
+
+    StatSet t;
+    t.set("x", 7);
+    s.merge("sub.", t);
+    EXPECT_DOUBLE_EQ(s.get("sub.x"), 7);
+}
+
+TEST(Stats, Means)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({1, 1, 1}), 1.0);
+    EXPECT_NEAR(harmonicMean({1, 2}), 4.0 / 3.0, 1e-12);
+    EXPECT_NEAR(geometricMean({1, 4}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(arithmeticMean({1, 3}), 2.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    // Non-positive entries are ignored, not poisonous.
+    EXPECT_NEAR(harmonicMean({0.0, 2.0}), 2.0, 1e-12);
+}
+
+} // namespace
+} // namespace dvr

@@ -1,0 +1,287 @@
+/** @file Out-of-order core model: functional and timing properties. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/ooo_core.hh"
+#include "isa/program_builder.hh"
+#include "mem/sim_memory.hh"
+
+namespace dvr {
+namespace {
+
+struct Rig
+{
+    explicit Rig(Program p, uint64_t mem_bytes = 1 << 22)
+        : prog(std::move(p)), mem(mem_bytes),
+          memsys(MemConfig(), mem),
+          core(CoreConfig(), prog, mem, memsys)
+    {
+    }
+
+    Rig(Program p, const CoreConfig &cc, const MemConfig &mc,
+        CoreClient *client = nullptr, uint64_t mem_bytes = 1 << 22)
+        : prog(std::move(p)), mem(mem_bytes), memsys(mc, mem),
+          core(cc, prog, mem, memsys, client)
+    {
+    }
+
+    Program prog;
+    SimMemory mem;
+    MemorySystem memsys;
+    OooCore core;
+};
+
+TEST(CoreFunctional, ArithmeticLoopComputesSum)
+{
+    // sum(1..100) in a bottom-tested loop.
+    ProgramBuilder b;
+    b.li(0, 0).li(1, 1).li(2, 101);
+    b.label("loop")
+        .add(0, 0, 1)
+        .addi(1, 1, 1)
+        .cmpltu(3, 1, 2)
+        .bnez(3, "loop")
+        .halt();
+    Rig r(b.build());
+    r.core.run(100000);
+    EXPECT_TRUE(r.core.stats().halted);
+    EXPECT_EQ(r.core.regs().value[0], 5050u);
+}
+
+TEST(CoreFunctional, StoreLoadRoundTrip)
+{
+    SimMemory mem(1 << 20);
+    const Addr a = mem.alloc(64);
+    ProgramBuilder b;
+    b.li(0, int64_t(a)).li(1, 0xabcd)
+        .st(0, 8, 1)
+        .ld(2, 0, 8)
+        .halt();
+    Program p = b.build();
+    MemorySystem ms(MemConfig(), mem);
+    OooCore core(CoreConfig(), p, mem, ms);
+    core.run(100);
+    EXPECT_EQ(core.regs().value[2], 0xabcdu);
+    EXPECT_EQ(mem.read(a + 8, 8), 0xabcdu);
+}
+
+TEST(CoreFunctional, StoreToLoadDependenceOrdersResults)
+{
+    // A load after a store to the same address must see the stored
+    // value and wait for the store data.
+    SimMemory mem(1 << 20);
+    const Addr a = mem.alloc(64);
+    mem.write(a, 8, 7);
+    ProgramBuilder b;
+    b.li(0, int64_t(a)).li(1, 99).st(0, 0, 1).ld(2, 0, 0).halt();
+    Program p = b.build();
+    MemorySystem ms(MemConfig(), mem);
+    OooCore core(CoreConfig(), p, mem, ms);
+    core.run(100);
+    EXPECT_EQ(core.regs().value[2], 99u);
+}
+
+TEST(CoreTiming, IpcBoundedByWidth)
+{
+    ProgramBuilder b;
+    b.li(0, 0).li(1, 1).li(2, 2'000'000);
+    b.label("loop")
+        .addi(0, 0, 1)
+        .addi(3, 3, 1)
+        .addi(4, 4, 1)
+        .cmpltu(5, 0, 2)
+        .bnez(5, "loop")
+        .halt();
+    Rig r(b.build());
+    r.core.run(50'000);
+    const double ipc = r.core.stats().ipc();
+    EXPECT_LE(ipc, 5.0);
+    EXPECT_GT(ipc, 1.5);    // independent chains should overlap
+}
+
+TEST(CoreTiming, DependentChainRunsAtUnitLatency)
+{
+    // A pure serial add chain commits ~1 instruction per cycle.
+    ProgramBuilder b;
+    b.li(0, 0).li(2, 500'000);
+    b.label("loop")
+        .addi(0, 0, 1)
+        .cmplt(1, 0, 2)
+        .bnez(1, "loop")
+        .halt();
+    Rig r(b.build());
+    r.core.run(30'000);
+    const double ipc = r.core.stats().ipc();
+    // 3-instruction loop body with a 2-cycle critical path per trip.
+    EXPECT_GT(ipc, 1.0);
+    EXPECT_LT(ipc, 3.0);
+}
+
+TEST(CoreTiming, UnpipelinedDividerSerializes)
+{
+    ProgramBuilder b;
+    b.li(0, 1000).li(1, 3).li(2, 40'000).li(3, 0);
+    b.label("loop")
+        .divu(4, 0, 1)      // independent 18-cycle divides
+        .divu(5, 0, 1)
+        .addi(3, 3, 1)
+        .cmpltu(6, 3, 2)
+        .bnez(6, "loop")
+        .halt();
+    Rig r(b.build());
+    r.core.run(20'000);
+    // One divider at 18 cycles each, 2 divides per 5-inst iteration:
+    // IPC can't exceed 5/36.
+    EXPECT_LT(r.core.stats().ipc(), 0.2);
+}
+
+TEST(CoreTiming, MispredictsCostCycles)
+{
+    // Data-dependent unpredictable branches vs the same loop with an
+    // always-taken pattern.
+    auto build = [](bool random) {
+        SimMemory mem(1 << 22);
+        const uint64_t n = 4096;
+        const Addr arr = mem.alloc(n * 8);
+        Rng rng(5);
+        for (uint64_t i = 0; i < n; ++i)
+            mem.write64(arr, i, random ? rng.next() & 1 : 1);
+        ProgramBuilder b;
+        b.li(0, int64_t(arr)).li(1, 0).li(2, int64_t(n)).li(5, 0);
+        b.label("loop")
+            .shli(3, 1, 3)
+            .add(3, 0, 3)
+            .ld(4, 3)
+            .beqz(4, "skip")
+            .addi(5, 5, 1);
+        b.label("skip")
+            .addi(1, 1, 1)
+            .cmpltu(6, 1, 2)
+            .bnez(6, "loop")
+            .jmp("reset");
+        b.label("reset").li(1, 0).jmp("loop");
+        return std::make_pair(b.build(), std::move(mem));
+    };
+
+    auto [p1, m1] = build(true);
+    MemorySystem ms1(MemConfig(), m1);
+    OooCore c1(CoreConfig(), p1, m1, ms1);
+    c1.run(100'000);
+
+    auto [p2, m2] = build(false);
+    MemorySystem ms2(MemConfig(), m2);
+    OooCore c2(CoreConfig(), p2, m2, ms2);
+    c2.run(100'000);
+
+    EXPECT_GT(c1.stats().mispredicts, 5 * c2.stats().mispredicts);
+    EXPECT_LT(c1.stats().ipc(), c2.stats().ipc());
+}
+
+TEST(CoreTiming, DramBoundLoopStallsOnFullRob)
+{
+    // Pointer-chase over a >LLC working set: the ROB fills behind
+    // DRAM loads and the stall hook fires.
+    struct Hook : public CoreClient
+    {
+        Cycle onFullRobStall(const StallInfo &si) override
+        {
+            ++events;
+            EXPECT_GT(si.headLoadDone, si.stallStart);
+            return 0;
+        }
+        unsigned events = 0;
+    };
+
+    SimMemory mem(256 << 20);
+    const uint64_t slots = 1 << 21;     // 16 MB of 8 B slots
+    const Addr t = mem.alloc(slots * 8);
+    Rng rng(3);
+    for (uint64_t i = 0; i < slots; ++i)
+        mem.write64(t, i, rng.nextBelow(slots));
+    ProgramBuilder b;
+    b.li(0, int64_t(t)).li(1, 0).li(2, 1 << 20).li(3, 0);
+    b.label("loop")
+        .shli(4, 3, 3)
+        .add(4, 0, 4)
+        .ld(3, 4)           // dependent random chase
+        .addi(1, 1, 1)
+        .cmpltu(5, 1, 2)
+        .bnez(5, "loop")
+        .halt();
+    Program p = b.build();
+    Hook hook;
+    MemorySystem ms(MemConfig(), mem);
+    OooCore core(CoreConfig(), p, mem, ms, &hook);
+    core.run(40'000);
+    EXPECT_GT(core.stats().robStallCycles, 0.0);
+    EXPECT_GT(hook.events, 0u);
+    EXPECT_GT(core.stats().loadsDram, 1000u);
+}
+
+TEST(CoreTiming, HookExtraStallDelaysDispatch)
+{
+    struct Hook : public CoreClient
+    {
+        Cycle onFullRobStall(const StallInfo &si) override
+        {
+            return si.headLoadDone + 5000;  // delayed termination
+        }
+    };
+    SimMemory mem(256 << 20);
+    const uint64_t slots = 1 << 21;
+    const Addr t = mem.alloc(slots * 8);
+    Rng rng(3);
+    for (uint64_t i = 0; i < slots; ++i)
+        mem.write64(t, i, rng.nextBelow(slots));
+    ProgramBuilder b;
+    b.li(0, int64_t(t)).li(1, 0).li(2, 1 << 20).li(3, 0);
+    b.label("loop")
+        .shli(4, 3, 3)
+        .add(4, 0, 4)
+        .ld(3, 4)
+        .addi(1, 1, 1)
+        .cmpltu(5, 1, 2)
+        .bnez(5, "loop")
+        .halt();
+    Program p = b.build();
+
+    MemorySystem ms1(MemConfig(), mem);
+    OooCore plain(CoreConfig(), p, mem, ms1);
+    plain.run(20'000);
+
+    SimMemory mem2 = mem;
+    Hook hook;
+    MemorySystem ms2(MemConfig(), mem2);
+    OooCore stalled(CoreConfig(), p, mem2, ms2, &hook);
+    stalled.run(20'000);
+
+    EXPECT_GT(stalled.stats().cycles, plain.stats().cycles);
+    EXPECT_GT(stalled.stats().runaheadExtraStall, 0.0);
+}
+
+TEST(CoreConfigTest, WithRobScalesQueues)
+{
+    const CoreConfig c = CoreConfig::withRob(128, true);
+    EXPECT_EQ(c.robSize, 128u);
+    EXPECT_LT(c.iqSize, 128u);
+    EXPECT_LT(c.sqSize, 72u);
+    const CoreConfig d = CoreConfig::withRob(512, false);
+    EXPECT_EQ(d.robSize, 512u);
+    EXPECT_EQ(d.iqSize, 128u);
+}
+
+TEST(CoreStatsTest, ExportsNamedValues)
+{
+    ProgramBuilder b;
+    b.li(0, 1).halt();
+    Rig r(b.build());
+    r.core.run(10);
+    const StatSet s = r.core.stats().toStatSet();
+    EXPECT_EQ(s.get("instructions"), 1.0);
+    EXPECT_TRUE(s.has("ipc"));
+    EXPECT_TRUE(s.has("rob_stall_cycles"));
+}
+
+} // namespace
+} // namespace dvr

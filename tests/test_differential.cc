@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Differential fuzzing: generate random (but well-formed, always
+ * terminating) programs and check that
+ *   (a) the out-of-order core's architectural results match an
+ *       independent straight-line reference interpreter, and
+ *   (b) every runahead technique leaves architectural state (final
+ *       registers and memory) bit-identical to the baseline --
+ *       runahead is speculative and must be invisible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+
+#include "common/rng.hh"
+#include "core/ooo_core.hh"
+#include "isa/program_builder.hh"
+#include "mem/sim_memory.hh"
+#include "sim/config.hh"
+
+namespace dvr {
+namespace {
+
+constexpr uint64_t kElems = 1 << 14;    // data array elements
+constexpr uint64_t kMask = kElems - 1;
+constexpr uint64_t kTrips = 300;
+
+/**
+ * Random structured program: a counted loop whose body mixes ALU ops,
+ * masked loads/stores into a data array, hashes, compares, and short
+ * forward-branch diamonds. Registers: r0 data base, r1 loop counter,
+ * r2 trip count, r3-r9 scratch, r10 branch temp, r11 address temp.
+ */
+Program
+randomProgram(uint64_t seed)
+{
+    Rng rng(seed);
+    ProgramBuilder b;
+    b.li(1, 0).li(2, int64_t(kTrips));
+    for (RegId r = 3; r <= 9; ++r)
+        b.li(r, int64_t(rng.nextBelow(1 << 20)));
+    // r0 is patched with the data base by the caller via li at pc 9.
+    b.li(0, 0);
+
+    b.label("loop");
+    const unsigned body = 6 + unsigned(rng.nextBelow(10));
+    int pending = -1;       // body slots until an open diamond closes
+    unsigned label_id = 0;
+    std::string open_label;
+    auto maybe_close = [&] {
+        if (pending == 0) {
+            b.label(open_label);
+            pending = -1;
+            open_label.clear();
+        }
+    };
+    for (unsigned i = 0; i < body; ++i) {
+        if (pending > 0)
+            --pending;
+        maybe_close();
+        const auto scratch = [&] {
+            return RegId(3 + rng.nextBelow(7));
+        };
+        switch (rng.nextBelow(8)) {
+          case 0:
+            b.add(scratch(), scratch(), scratch());
+            break;
+          case 1:
+            b.sub(scratch(), scratch(), scratch());
+            break;
+          case 2:
+            b.xori(scratch(), scratch(),
+                   int64_t(rng.nextBelow(1 << 12)));
+            break;
+          case 3:
+            b.hash(scratch(), scratch());
+            break;
+          case 4: {
+            // Masked load: r11 = base + (reg & mask) * 8.
+            b.andi(11, scratch(), int64_t(kMask))
+                .shli(11, 11, 3)
+                .add(11, 0, 11)
+                .ld(scratch(), 11);
+            break;
+          }
+          case 5: {
+            b.andi(11, scratch(), int64_t(kMask))
+                .shli(11, 11, 3)
+                .add(11, 0, 11)
+                .st(11, 0, scratch());
+            break;
+          }
+          case 6:
+            b.cmpltu(10, scratch(), scratch());
+            b.muli(scratch(), scratch(),
+                   int64_t(1 + rng.nextBelow(7)));
+            break;
+          default: {
+            // Forward diamond: skip the next 1..3 body slots.
+            if (pending < 0) {
+                open_label = "skip" + std::to_string(label_id++);
+                b.cmpltu(10, scratch(), scratch());
+                b.beqz(10, open_label);
+                pending = int(1 + rng.nextBelow(3));
+            }
+            break;
+          }
+        }
+    }
+    // Close any diamond still open past the body.
+    while (pending > 0) {
+        b.nop();
+        --pending;
+    }
+    maybe_close();
+    b.addi(1, 1, 1)
+        .cmpltu(10, 1, 2)
+        .bnez(10, "loop")
+        .halt();
+    return b.build();
+}
+
+/** Independent reference interpreter (no timing, no sharing). */
+struct Reference
+{
+    std::array<uint64_t, kNumArchRegs> regs{};
+    uint64_t steps = 0;
+
+    void
+    run(const Program &p, SimMemory &mem, uint64_t max_steps)
+    {
+        InstPc pc = 0;
+        while (p.valid(pc) && steps < max_steps) {
+            const Instruction &inst = p.at(pc);
+            if (inst.op == Opcode::kHalt)
+                return;
+            ++steps;
+            InstPc next = pc + 1;
+            if (inst.isLoad()) {
+                regs[inst.rd] = mem.read(
+                    regs[inst.rs1] + Addr(inst.imm), inst.memBytes());
+            } else if (inst.isStore()) {
+                mem.write(regs[inst.rs1] + Addr(inst.imm),
+                          inst.memBytes(), regs[inst.rs2]);
+            } else if (inst.isBranch()) {
+                if (branchTaken(inst.op, regs[inst.rs1]))
+                    next = inst.target;
+            } else if (inst.hasDest()) {
+                regs[inst.rd] = evalOp(inst.op, regs[inst.rs1],
+                                       regs[inst.rs2], inst.imm);
+            }
+            pc = next;
+        }
+        FAIL() << "reference interpreter did not halt";
+    }
+};
+
+class Differential : public testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(Differential, CoreMatchesReferenceAndRunaheadIsInvisible)
+{
+    const uint64_t seed = GetParam();
+
+    // Build the program and a data image.
+    Program p = randomProgram(seed);
+    SimMemory pristine(16ULL << 20);
+    const Addr data = pristine.alloc(kElems * 8);
+    Rng fill(seed ^ 0xF1);
+    for (uint64_t i = 0; i < kElems; ++i)
+        pristine.write64(data, i, fill.next());
+    // The generator emitted `li r0, 0`; rebuild the instruction list
+    // with the real data base patched in.
+    struct Patcher
+    {
+        static Program
+        withBase(uint64_t seed, Addr base)
+        {
+            Program p = randomProgram(seed);
+            // Replace the single `li r0, 0` with `li r0, base`.
+            std::vector<Instruction> insts;
+            std::map<std::string, InstPc> labels;
+            for (InstPc pc = 0; pc < p.size(); ++pc) {
+                Instruction i = p.at(pc);
+                if (i.op == Opcode::kLoadImm && i.rd == 0 &&
+                    i.imm == 0) {
+                    i.imm = int64_t(base);
+                }
+                insts.push_back(i);
+            }
+            return Program(std::move(insts), std::move(labels));
+        }
+    };
+    p = Patcher::withBase(seed, data);
+
+    // Reference execution.
+    SimMemory ref_mem = pristine;
+    Reference ref;
+    ref.run(p, ref_mem, 5'000'000);
+
+    // Baseline core.
+    auto run_core = [&](Technique t) {
+        SimMemory m = pristine;
+        MemorySystem ms(SimConfig::baseline(t).mem, m);
+        std::unique_ptr<DvrController> dvr;
+        std::unique_ptr<VrController> vr;
+        std::unique_ptr<PreController> pre;
+        CoreClient *client = nullptr;
+        SimConfig cfg = SimConfig::baseline(t);
+        if (t == Technique::kDvr) {
+            dvr = std::make_unique<DvrController>(cfg.dvr, p, m, ms);
+            client = dvr.get();
+        } else if (t == Technique::kVr) {
+            vr = std::make_unique<VrController>(cfg.vr, p, m, ms);
+            client = vr.get();
+        } else if (t == Technique::kPre) {
+            pre = std::make_unique<PreController>(cfg.pre, p, m, ms);
+            client = pre.get();
+        }
+        OooCore core(cfg.core, p, m, ms, client);
+        if (dvr)
+            dvr->attachCore(core);
+        if (vr)
+            vr->attachCore(core);
+        if (pre)
+            pre->attachCore(core);
+        core.run(6'000'000);
+        EXPECT_TRUE(core.stats().halted);
+        return std::make_pair(core.regs().value, std::move(m));
+    };
+
+    auto [base_regs, base_mem] = run_core(Technique::kBase);
+
+    // (a) core vs reference.
+    for (int r = 0; r < kNumArchRegs; ++r)
+        ASSERT_EQ(base_regs[r], ref.regs[r]) << "r" << r;
+    for (uint64_t i = 0; i < kElems; i += 97)
+        ASSERT_EQ(base_mem.read64(data, i), ref_mem.read64(data, i));
+
+    // (b) runahead invisibility.
+    for (Technique t :
+         {Technique::kDvr, Technique::kVr, Technique::kPre}) {
+        auto [regs, m] = run_core(t);
+        for (int r = 0; r < kNumArchRegs; ++r)
+            ASSERT_EQ(regs[r], base_regs[r])
+                << techniqueName(t) << " r" << r;
+        for (uint64_t i = 0; i < kElems; i += 97) {
+            ASSERT_EQ(m.read64(data, i), base_mem.read64(data, i))
+                << techniqueName(t) << " elem " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
+                         testing::Range<uint64_t>(0, 16));
+
+} // namespace
+} // namespace dvr

@@ -1,0 +1,91 @@
+/** @file CSR graphs and synthetic generators. */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hh"
+#include "mem/sim_memory.hh"
+
+namespace dvr {
+namespace {
+
+TEST(Csr, BuildsCorrectOffsetsAndEdges)
+{
+    SimMemory mem(1 << 22);
+    EdgeList edges = {{0, 1}, {0, 2}, {1, 2}, {2, 0}, {2, 1}, {2, 3}};
+    CsrGraph g = buildCsr(mem, 4, edges);
+    EXPECT_EQ(g.numNodes, 4u);
+    EXPECT_EQ(g.numEdges, 6u);
+    EXPECT_EQ(g.hOffsets[0], 0u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(2), 3u);
+    EXPECT_EQ(g.degree(3), 0u);
+    EXPECT_EQ(g.maxDegree(), 3u);
+    // Simulated memory mirrors the host copy exactly.
+    for (uint64_t v = 0; v <= g.numNodes; ++v)
+        EXPECT_EQ(mem.read64(g.offsets, v), g.hOffsets[v]);
+    for (uint64_t e = 0; e < g.numEdges; ++e)
+        EXPECT_EQ(mem.read64(g.edges, e), g.hEdges[e]);
+}
+
+TEST(Csr, OffsetsAreMonotoneAndSumToEdges)
+{
+    SimMemory mem(1 << 24);
+    auto edges = rmatEdges(10, 8, {}, 1);
+    CsrGraph g = buildCsr(mem, 1 << 10, edges);
+    for (uint64_t v = 0; v < g.numNodes; ++v)
+        EXPECT_LE(g.hOffsets[v], g.hOffsets[v + 1]);
+    EXPECT_EQ(g.hOffsets[g.numNodes], g.numEdges);
+}
+
+TEST(Generators, Deterministic)
+{
+    auto a = rmatEdges(8, 4, {}, 99);
+    auto b = rmatEdges(8, 4, {}, 99);
+    EXPECT_EQ(a, b);
+    auto c = uniformEdges(256, 1024, 7);
+    auto d = uniformEdges(256, 1024, 7);
+    EXPECT_EQ(c, d);
+}
+
+TEST(Generators, EndpointsInRange)
+{
+    for (auto &[u, v] : rmatEdges(8, 4, {}, 3)) {
+        EXPECT_LT(u, 256u);
+        EXPECT_LT(v, 256u);
+    }
+    for (auto &[u, v] : uniformEdges(100, 500, 3)) {
+        EXPECT_LT(u, 100u);
+        EXPECT_LT(v, 100u);
+    }
+}
+
+TEST(Generators, RmatIsSkewedUniformIsNot)
+{
+    SimMemory m1(1 << 26), m2(1 << 26);
+    const unsigned scale = 12;
+    CsrGraph pl = buildCsr(m1, 1ULL << scale,
+                           rmatEdges(scale, 16, {0.6, 0.18, 0.18}, 5));
+    CsrGraph ur =
+        buildCsr(m2, 1ULL << scale,
+                 uniformEdges(1ULL << scale, 16ULL << scale, 5));
+    // Power-law max degree dwarfs the uniform graph's.
+    EXPECT_GT(pl.maxDegree(), 4 * ur.maxDegree());
+    EXPECT_NEAR(pl.avgDegree(), 16.0, 0.1);
+    EXPECT_NEAR(ur.avgDegree(), 16.0, 0.1);
+}
+
+TEST(Inputs, AllFiveSpecsResolve)
+{
+    EXPECT_EQ(graphInputs().size(), 5u);
+    for (const char *n : {"KR", "LJN", "ORK", "TW", "UR"}) {
+        const GraphInputSpec &s = graphInput(n);
+        EXPECT_EQ(s.name, n);
+        EXPECT_GT(inputNodes(s, 0), 0u);
+        // Scale shift halves the node count per step.
+        EXPECT_EQ(inputNodes(s, 1), inputNodes(s, 0) / 2);
+    }
+    EXPECT_THROW(graphInput("nope"), std::runtime_error);
+}
+
+} // namespace
+} // namespace dvr

@@ -1,0 +1,52 @@
+/** @file Hardware-overhead accounting (paper Section 4.4). */
+
+#include <gtest/gtest.h>
+
+#include "runahead/hw_overhead.hh"
+
+namespace dvr {
+namespace {
+
+TEST(HwOverhead, TotalMatchesPaper)
+{
+    EXPECT_EQ(totalHwOverheadBytes(), 1139u);
+}
+
+TEST(HwOverhead, PerStructureValuesMatchPaper)
+{
+    const auto items = computeHwOverhead();
+    auto find = [&](const std::string &n) -> unsigned {
+        for (const auto &i : items) {
+            if (i.name == n)
+                return i.bytes;
+        }
+        ADD_FAILURE() << "missing structure " << n;
+        return 0;
+    };
+    EXPECT_EQ(find("stride_detector"), 460u);
+    EXPECT_EQ(find("vrat"), 288u);
+    EXPECT_EQ(find("vir"), 86u);
+    EXPECT_EQ(find("frontend_buffer"), 64u);
+    EXPECT_EQ(find("reconvergence_stack"), 176u);
+    EXPECT_EQ(find("flr"), 6u);
+    EXPECT_EQ(find("lcr"), 2u);
+    EXPECT_EQ(find("loop_bound_detector"), 48u);
+    EXPECT_EQ(find("taint_tracker"), 2u);
+    EXPECT_EQ(find("ndm_ilr"), 6u);
+}
+
+TEST(HwOverhead, ScalesWithParameters)
+{
+    HwOverheadParams wide;
+    wide.lanes = 256;
+    wide.vratCopies = 32;
+    wide.virCopies = 32;
+    EXPECT_GT(totalHwOverheadBytes(wide), 1139u);
+
+    HwOverheadParams narrow;
+    narrow.strideEntries = 16;
+    EXPECT_LT(totalHwOverheadBytes(narrow), 1139u);
+}
+
+} // namespace
+} // namespace dvr

@@ -1,0 +1,176 @@
+/** @file ISA semantics, classification, and ProgramBuilder tests. */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "isa/instruction.hh"
+#include "isa/program_builder.hh"
+
+namespace dvr {
+namespace {
+
+struct AluCase
+{
+    Opcode op;
+    uint64_t s1, s2;
+    int64_t imm;
+    uint64_t expect;
+};
+
+class EvalOp : public testing::TestWithParam<AluCase>
+{
+};
+
+TEST_P(EvalOp, Matches)
+{
+    const auto &c = GetParam();
+    EXPECT_EQ(evalOp(c.op, c.s1, c.s2, c.imm), c.expect);
+}
+
+constexpr uint64_t kNeg1 = ~0ULL;
+
+INSTANTIATE_TEST_SUITE_P(
+    Arith, EvalOp,
+    testing::Values(
+        AluCase{Opcode::kAdd, 3, 4, 0, 7},
+        AluCase{Opcode::kAdd, kNeg1, 1, 0, 0},
+        AluCase{Opcode::kSub, 3, 4, 0, kNeg1},
+        AluCase{Opcode::kMul, 5, 7, 0, 35},
+        AluCase{Opcode::kDivU, 35, 5, 0, 7},
+        AluCase{Opcode::kDivU, 35, 0, 0, kNeg1},   // defined on /0
+        AluCase{Opcode::kRemU, 35, 4, 0, 3},
+        AluCase{Opcode::kRemU, 35, 0, 0, 35},
+        AluCase{Opcode::kAnd, 0b1100, 0b1010, 0, 0b1000},
+        AluCase{Opcode::kOr, 0b1100, 0b1010, 0, 0b1110},
+        AluCase{Opcode::kXor, 0b1100, 0b1010, 0, 0b0110},
+        AluCase{Opcode::kShl, 1, 12, 0, 4096},
+        AluCase{Opcode::kShr, 4096, 12, 0, 1},
+        AluCase{Opcode::kMin, 3, 9, 0, 3},
+        AluCase{Opcode::kMax, 3, 9, 0, 9},
+        AluCase{Opcode::kAddI, 10, 0, -3, 7},
+        AluCase{Opcode::kShlI, 3, 0, 4, 48},
+        AluCase{Opcode::kLoadImm, 0, 0, -1,
+                static_cast<uint64_t>(-1)},
+        AluCase{Opcode::kMov, 99, 0, 0, 99}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Compare, EvalOp,
+    testing::Values(
+        AluCase{Opcode::kCmpLt, kNeg1 /* -1 */, 1, 0, 1},
+        AluCase{Opcode::kCmpLtU, kNeg1, 1, 0, 0},
+        AluCase{Opcode::kCmpEq, 4, 4, 0, 1},
+        AluCase{Opcode::kCmpNe, 4, 4, 0, 0},
+        AluCase{Opcode::kCmpLtI, 3, 0, 4, 1},
+        AluCase{Opcode::kCmpLtUI, 5, 0, 4, 0},
+        AluCase{Opcode::kCmpEqI, 4, 0, 4, 1}));
+
+TEST(EvalOpFp, DoubleBitPatterns)
+{
+    const auto bits = [](double d) {
+        return std::bit_cast<uint64_t>(d);
+    };
+    EXPECT_EQ(evalOp(Opcode::kFAdd, bits(1.5), bits(2.25), 0),
+              bits(3.75));
+    EXPECT_EQ(evalOp(Opcode::kFMul, bits(3.0), bits(0.5), 0),
+              bits(1.5));
+    EXPECT_EQ(evalOp(Opcode::kFDiv, bits(1.0), bits(4.0), 0),
+              bits(0.25));
+    EXPECT_EQ(evalOp(Opcode::kI2F, 7, 0, 0), bits(7.0));
+    EXPECT_EQ(evalOp(Opcode::kF2I, bits(7.9), 0, 0), 7u);
+    EXPECT_EQ(evalOp(Opcode::kFCmpLt, bits(1.0), bits(2.0), 0), 1u);
+}
+
+TEST(BranchTaken, Semantics)
+{
+    EXPECT_TRUE(branchTaken(Opcode::kBeqz, 0));
+    EXPECT_FALSE(branchTaken(Opcode::kBeqz, 5));
+    EXPECT_TRUE(branchTaken(Opcode::kBnez, 5));
+    EXPECT_FALSE(branchTaken(Opcode::kBnez, 0));
+    EXPECT_TRUE(branchTaken(Opcode::kJmp, 0));
+}
+
+TEST(Classify, LoadsStoresBranches)
+{
+    Instruction ld{.op = Opcode::kLoad, .rd = 1, .rs1 = 2};
+    EXPECT_TRUE(ld.isLoad());
+    EXPECT_TRUE(ld.isMem());
+    EXPECT_TRUE(ld.hasDest());
+    EXPECT_EQ(ld.memBytes(), 8u);
+    EXPECT_EQ(ld.fuClass(), FuClass::kMem);
+    EXPECT_EQ(ld.numSrcs(), 1);
+
+    Instruction st{.op = Opcode::kStore32, .rs1 = 2, .rs2 = 3};
+    EXPECT_TRUE(st.isStore());
+    EXPECT_FALSE(st.hasDest());
+    EXPECT_EQ(st.memBytes(), 4u);
+    EXPECT_EQ(st.numSrcs(), 2);
+
+    Instruction br{.op = Opcode::kBnez, .rs1 = 4};
+    EXPECT_TRUE(br.isBranch());
+    EXPECT_TRUE(br.isCondBranch());
+    EXPECT_FALSE(br.hasDest());
+
+    Instruction jmp{.op = Opcode::kJmp};
+    EXPECT_TRUE(jmp.isBranch());
+    EXPECT_FALSE(jmp.isCondBranch());
+    EXPECT_EQ(jmp.numSrcs(), 0);
+
+    Instruction cmp{.op = Opcode::kCmpLt, .rd = 1, .rs1 = 2, .rs2 = 3};
+    EXPECT_TRUE(cmp.isCompare());
+    EXPECT_TRUE(cmp.hasDest());
+
+    Instruction div{.op = Opcode::kDivU, .rd = 1, .rs1 = 2, .rs2 = 3};
+    EXPECT_EQ(div.fuClass(), FuClass::kIntDiv);
+    Instruction h{.op = Opcode::kHash, .rd = 1, .rs1 = 2};
+    EXPECT_EQ(h.fuClass(), FuClass::kIntMul);
+    EXPECT_EQ(h.numSrcs(), 1);
+}
+
+TEST(Builder, LabelsAndForwardReferences)
+{
+    ProgramBuilder b;
+    b.li(0, 5);
+    b.label("loop").addi(0, 0, -1).bnez(0, "loop").jmp("end");
+    b.label("end").halt();
+    Program p = b.build();
+    ASSERT_EQ(p.size(), 5u);
+    EXPECT_EQ(p.label("loop"), 1u);
+    EXPECT_EQ(p.label("end"), 4u);
+    EXPECT_EQ(p.at(2).target, 1u);  // backward
+    EXPECT_EQ(p.at(3).target, 4u);  // forward
+}
+
+TEST(Builder, UnresolvedLabelFails)
+{
+    ProgramBuilder b;
+    b.jmp("nowhere");
+    EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(Builder, DuplicateLabelFails)
+{
+    ProgramBuilder b;
+    b.label("x");
+    EXPECT_THROW(b.label("x"), std::runtime_error);
+}
+
+TEST(Builder, RegisterRangeChecked)
+{
+    ProgramBuilder b;
+    EXPECT_THROW(b.li(16, 0), std::runtime_error);
+}
+
+TEST(Program, DisassembleMentionsLabelsAndOpcodes)
+{
+    ProgramBuilder b;
+    b.label("start").ld(1, 2, 8).st(3, 0, 4).beqz(1, "start").halt();
+    Program p = b.build();
+    const std::string d = p.disassemble();
+    EXPECT_NE(d.find("start:"), std::string::npos);
+    EXPECT_NE(d.find("ld r1, [r2 + 8]"), std::string::npos);
+    EXPECT_NE(d.find("beqz"), std::string::npos);
+}
+
+} // namespace
+} // namespace dvr

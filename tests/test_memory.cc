@@ -1,0 +1,188 @@
+/** @file SimMemory, Cache, MshrTracker, and DramModel unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/mshr.hh"
+#include "mem/sim_memory.hh"
+
+namespace dvr {
+namespace {
+
+TEST(SimMemory, AllocAlignsAndAdvances)
+{
+    SimMemory m(1 << 20);
+    const Addr a = m.alloc(100);
+    EXPECT_EQ(a % kLineBytes, 0u);
+    const Addr b = m.alloc(8, 8);
+    EXPECT_GE(b, a + 100);
+    EXPECT_EQ(b % 8, 0u);
+}
+
+TEST(SimMemory, ReadWriteRoundTripAllWidths)
+{
+    SimMemory m(1 << 20);
+    const Addr a = m.alloc(64);
+    m.write(a, 8, 0x1122334455667788ULL);
+    EXPECT_EQ(m.read(a, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(m.read(a, 4), 0x55667788ULL);
+    EXPECT_EQ(m.read(a, 1), 0x88ULL);
+    m.write(a + 4, 4, 0xdeadbeef);
+    EXPECT_EQ(m.read(a, 8), 0xdeadbeef55667788ULL);
+}
+
+TEST(SimMemory, BoundsChecking)
+{
+    SimMemory m(1 << 20);
+    const Addr a = m.alloc(64);
+    EXPECT_TRUE(m.validRange(a, 64));
+    EXPECT_FALSE(m.validRange(0, 1));           // null page unmapped
+    EXPECT_FALSE(m.validRange(a + 64, 1));      // past brk
+    uint64_t v;
+    EXPECT_FALSE(m.tryRead(a + 64, 8, v));
+    EXPECT_TRUE(m.tryRead(a, 8, v));
+}
+
+TEST(SimMemory, CompactPreservesContentAndCopies)
+{
+    SimMemory m(1 << 20);
+    const Addr a = m.alloc(64);
+    m.write(a, 8, 42);
+    m.compact();
+    EXPECT_EQ(m.read(a, 8), 42u);
+    SimMemory copy = m;     // pristine copies for reruns
+    copy.write(a, 8, 43);
+    EXPECT_EQ(m.read(a, 8), 42u);
+    EXPECT_EQ(copy.read(a, 8), 43u);
+}
+
+TEST(Cache, HitAfterInsertMissBefore)
+{
+    Cache c("t", 4 * 1024, 4);
+    EXPECT_EQ(c.lookup(0x1000), nullptr);
+    c.insert(0x1000, 100, Requester::kMain, false);
+    CacheLine *l = c.lookup(0x1000);
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->fillTime, 100u);
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.misses, 1u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache c("t", 2 * kLineBytes, 2);    // 1 set, 2 ways
+    c.insert(0 * kLineBytes, 0, Requester::kMain, false);
+    c.insert(1 * kLineBytes, 0, Requester::kMain, false);
+    ASSERT_NE(c.lookup(0), nullptr);    // touch line 0: 1 becomes LRU
+    auto v = c.insert(2 * kLineBytes, 0, Requester::kMain, false);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.lineAddr, 1 * kLineBytes);
+    EXPECT_NE(c.peek(0), nullptr);
+    EXPECT_EQ(c.peek(1 * kLineBytes), nullptr);
+}
+
+TEST(Cache, DirtyVictimReported)
+{
+    Cache c("t", 2 * kLineBytes, 2);
+    c.insert(0, 0, Requester::kMain, true);
+    c.insert(1 * kLineBytes, 0, Requester::kMain, false);
+    auto v = c.insert(2 * kLineBytes, 0, Requester::kMain, false);
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.lineAddr, 0u);
+    EXPECT_TRUE(v.dirty);
+}
+
+TEST(Cache, RefillKeepsDirtyBit)
+{
+    Cache c("t", 4 * 1024, 4);
+    c.insert(0x40, 0, Requester::kMain, true);
+    c.insert(0x40, 10, Requester::kHwPrefetch, false);
+    const CacheLine *l = c.peek(0x40);
+    ASSERT_NE(l, nullptr);
+    EXPECT_TRUE(l->dirty);
+}
+
+TEST(Cache, InvalidateRemoves)
+{
+    Cache c("t", 4 * 1024, 4);
+    c.insert(0x80, 0, Requester::kMain, false);
+    c.invalidate(0x80);
+    EXPECT_EQ(c.peek(0x80), nullptr);
+}
+
+TEST(Mshr, NoDelayBelowCapacity)
+{
+    MshrTracker m(4);
+    for (int i = 0; i < 4; ++i) {
+        const Cycle s = m.acquire(100);
+        EXPECT_EQ(s, 100u);
+        m.commit(s, 300);
+    }
+}
+
+TEST(Mshr, DelaysWhenFull)
+{
+    MshrTracker m(2);
+    m.commit(100, 300);
+    m.commit(100, 400);
+    const Cycle s = m.acquire(150);     // both busy until 300/400
+    EXPECT_EQ(s, 300u);
+}
+
+TEST(Mshr, ExpiredEntriesFree)
+{
+    MshrTracker m(1);
+    m.commit(0, 50);
+    EXPECT_EQ(m.acquire(100), 100u);    // old miss long done
+}
+
+TEST(Mshr, LowPriorityLeavesReserve)
+{
+    MshrTracker m(8);   // low-priority cap = 8 - 4 = 4
+    for (int i = 0; i < 4; ++i)
+        m.commit(0, 1000);
+    // Low-priority must wait; a demand request still fits.
+    EXPECT_EQ(m.acquire(10, true), 1000u);
+    EXPECT_EQ(m.acquire(10, false), 10u);
+}
+
+TEST(Mshr, OccupancyIntegral)
+{
+    MshrTracker m(4);
+    m.commit(0, 100);
+    m.commit(0, 100);
+    EXPECT_DOUBLE_EQ(m.busyIntegral(), 200.0);
+    EXPECT_DOUBLE_EQ(m.avgOccupancy(100), 2.0);
+}
+
+TEST(Mshr, TryAcquireDropsWhenFull)
+{
+    MshrTracker m(1);
+    m.commit(0, 1000);
+    EXPECT_FALSE(m.tryAcquire(10));
+    EXPECT_EQ(m.prefetchDrops(), 1u);
+    EXPECT_TRUE(m.tryAcquire(2000));
+}
+
+TEST(Dram, MinLatencyAndBandwidthSerialization)
+{
+    DramModel d(200, 5);
+    EXPECT_EQ(d.access(0, Requester::kMain), 200u);
+    // Second access queues behind the first transfer slot.
+    EXPECT_EQ(d.access(0, Requester::kMain), 205u);
+    EXPECT_EQ(d.access(0, Requester::kRunahead), 210u);
+    EXPECT_EQ(d.accesses(Requester::kMain), 2u);
+    EXPECT_EQ(d.accesses(Requester::kRunahead), 1u);
+    EXPECT_EQ(d.totalAccesses(), 3u);
+}
+
+TEST(Dram, IdleChannelNoQueueing)
+{
+    DramModel d(200, 5);
+    d.access(0, Requester::kMain);
+    EXPECT_EQ(d.access(1000, Requester::kMain), 1200u);
+}
+
+} // namespace
+} // namespace dvr

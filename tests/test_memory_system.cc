@@ -1,0 +1,146 @@
+/** @file MemorySystem integration: levels, timing, timeliness. */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.hh"
+#include "mem/sim_memory.hh"
+
+namespace dvr {
+namespace {
+
+class MemSysTest : public testing::Test
+{
+  protected:
+    MemSysTest() : mem_(1 << 24)
+    {
+        cfg_.stridePrefetcher = false;  // isolate hierarchy behaviour
+        ms_ = std::make_unique<MemorySystem>(cfg_, mem_);
+        base_ = mem_.alloc(1 << 22);
+    }
+
+    MemAccess load(Addr a, Cycle c,
+                   Requester who = Requester::kMain)
+    {
+        return ms_->access(a, 8, c, false, who, 1, 0);
+    }
+
+    MemConfig cfg_;
+    SimMemory mem_;
+    std::unique_ptr<MemorySystem> ms_;
+    Addr base_;
+};
+
+TEST_F(MemSysTest, ColdMissGoesToDramThenHitsL1)
+{
+    const MemAccess m1 = load(base_, 0);
+    EXPECT_EQ(m1.level, HitLevel::kDram);
+    EXPECT_GE(m1.done, cfg_.l3Lat + cfg_.dramLat);
+
+    const MemAccess m2 = load(base_ + 8, m1.done);   // same line
+    EXPECT_EQ(m2.level, HitLevel::kL1);
+    EXPECT_EQ(m2.done, m1.done + cfg_.l1Lat);
+}
+
+TEST_F(MemSysTest, InFlightHitWaitsForFill)
+{
+    const MemAccess m1 = load(base_, 0);
+    const MemAccess m2 = load(base_, 10);   // line still in flight
+    EXPECT_EQ(m2.level, HitLevel::kL1);
+    EXPECT_TRUE(m2.inFlightHit);
+    EXPECT_EQ(m2.done, m1.done + cfg_.l1Lat);
+}
+
+TEST_F(MemSysTest, L2HitAfterL1Eviction)
+{
+    // Fill enough distinct lines mapping to one L1 set to evict the
+    // first one from L1; it must still hit in L2.
+    const unsigned l1_sets = cfg_.l1Size / (cfg_.l1Assoc * kLineBytes);
+    Cycle t = 0;
+    for (unsigned w = 0; w <= cfg_.l1Assoc; ++w) {
+        const MemAccess m =
+            load(base_ + Addr(w) * l1_sets * kLineBytes, t);
+        t = m.done;
+    }
+    const MemAccess m = load(base_, t);
+    EXPECT_EQ(m.level, HitLevel::kL2);
+    EXPECT_EQ(m.done, t + cfg_.l2Lat);
+}
+
+TEST_F(MemSysTest, RunaheadPrefetchTimelinessTracking)
+{
+    // Runahead fetches a line; the main thread touches it after the
+    // fill completes -> found-at-L1.
+    const MemAccess p = load(base_, 0, Requester::kRunahead);
+    load(base_, p.done + 10);
+    EXPECT_EQ(ms_->raFoundL1, 1u);
+
+    // Second line touched while still in flight -> late.
+    const MemAccess q = load(base_ + 4096, 0, Requester::kRunahead);
+    load(base_ + 4096, q.done - 50);
+    EXPECT_EQ(ms_->raFoundLate, 1u);
+
+    // Unused prefetch shows up in the stats as ra_unused.
+    load(base_ + 8192, 0, Requester::kRunahead);
+    EXPECT_DOUBLE_EQ(ms_->stats().get("ra_unused"), 1.0);
+}
+
+TEST_F(MemSysTest, DramTrafficSplitByRequester)
+{
+    load(base_, 0, Requester::kMain);
+    load(base_ + 4096, 0, Requester::kRunahead);
+    ms_->prefetchLine(base_ + 8192, 0, Requester::kHwPrefetch);
+    EXPECT_EQ(ms_->dram().accesses(Requester::kMain), 1u);
+    EXPECT_EQ(ms_->dram().accesses(Requester::kRunahead), 1u);
+    EXPECT_EQ(ms_->dram().accesses(Requester::kHwPrefetch), 1u);
+}
+
+TEST_F(MemSysTest, PrefetchLineDropsWhenMshrsBusy)
+{
+    // Saturate the MSHRs with demand misses at cycle 0.
+    for (unsigned i = 0; i < cfg_.mshrs; ++i)
+        load(base_ + Addr(i) * 4096, 0);
+    const Cycle r = ms_->prefetchLine(base_ + (1 << 20), 1,
+                                      Requester::kHwPrefetch);
+    EXPECT_EQ(r, kCycleNever);
+    EXPECT_GT(ms_->mshrs().prefetchDrops(), 0u);
+}
+
+TEST_F(MemSysTest, StoresAllocateAndDirtyLines)
+{
+    ms_->access(base_, 8, 0, true, Requester::kMain, 2, 0);
+    const MemAccess m = load(base_, 5000);
+    EXPECT_EQ(m.level, HitLevel::kL1);
+}
+
+TEST_F(MemSysTest, WritebacksCountOnDirtyL3Eviction)
+{
+    // Write-allocate far more distinct lines than the L3 holds.
+    const uint64_t lines = cfg_.l3Size / kLineBytes + 4096;
+    Cycle t = 0;
+    SimMemory big(2ULL << 30);
+    MemConfig small = cfg_;
+    small.l3Size = 1 << 16;     // shrink L3 to make eviction cheap
+    small.l2Size = 1 << 14;
+    small.l1Size = 1 << 12;
+    small.l1Assoc = small.l2Assoc = small.l3Assoc = 4;
+    MemorySystem msys(small, big);
+    const Addr b = big.alloc(lines * kLineBytes);
+    (void)base_;
+    for (uint64_t i = 0; i < 4096; ++i) {
+        msys.access(b + i * kLineBytes, 8, t, true, Requester::kMain,
+                    3, 0);
+        t += 1;
+    }
+    EXPECT_GT(msys.writebacks, 0u);
+    EXPECT_GT(msys.dram().accesses(Requester::kWriteback), 0u);
+}
+
+TEST_F(MemSysTest, PresentProbesAllLevels)
+{
+    EXPECT_FALSE(ms_->present(base_));
+    load(base_, 0);
+    EXPECT_TRUE(ms_->present(base_));
+}
+
+} // namespace
+} // namespace dvr

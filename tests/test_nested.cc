@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Nested Vector Runahead end-to-end unit test on a hand-built
+ * CSR-style kernel: NDM must find the outer striding load, vectorize
+ * it (and the secondary bound load) by 16, compute per-outer-lane
+ * inner trip counts, and prefetch the x[cols[j]] chains of *future*
+ * rows the main thread has not reached.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program_builder.hh"
+#include "mem/memory_system.hh"
+#include "mem/sim_memory.hh"
+#include "runahead/subthread.hh"
+
+namespace dvr {
+namespace {
+
+class NestedRig : public testing::Test
+{
+  protected:
+    static constexpr uint64_t kRows = 64;
+    static constexpr uint64_t kRowLen = 5;   // short inner loops
+
+    NestedRig() : mem(64 << 20)
+    {
+        offs_base = mem.alloc((kRows + 1) * 8);
+        cols_base = mem.alloc(kRows * kRowLen * 8);
+        x_base = mem.alloc(4096 << 6);
+        for (uint64_t r = 0; r <= kRows; ++r)
+            mem.write64(offs_base, r, r * kRowLen);
+        for (uint64_t j = 0; j < kRows * kRowLen; ++j)
+            mem.write64(cols_base, j, (j * 131) % 4096);
+
+        //  0: shli r11, r6, 3
+        //  1: add r11, r0, r11
+        //  2: ld r7, [r11]        ; j = offs[row]    <- outer stride
+        //  3: ld r8, [r11 + 8]    ; jEnd             <- secondary
+        //  4: cmpltu r10, r7, r8
+        //  5: beqz r10, next
+        // inner:
+        //  6: shli r11, r7, 3
+        //  7: add r11, r1, r11
+        //  8: ld r9, [r11]        ; c = cols[j]      <- inner stride
+        //  9: shli r11, r9, 6
+        // 10: add r11, r2, r11
+        // 11: ld r14, [r11]       ; x[c]             <- FLR
+        // 12: addi r7, r7, 1
+        // 13: cmpltu r10, r7, r8
+        // 14: bnez r10, inner     <- backward branch
+        // next:
+        // 15: addi r6, r6, 1
+        // 16: cmpltu r10, r6, r13
+        // 17: bnez r10, row
+        // 18: halt
+        ProgramBuilder b;
+        b.label("row")
+            .shli(11, 6, 3)
+            .add(11, 0, 11)
+            .ld(7, 11)
+            .ld(8, 11, 8)
+            .cmpltu(10, 7, 8)
+            .beqz(10, "next");
+        b.label("inner")
+            .shli(11, 7, 3)
+            .add(11, 1, 11)
+            .ld(9, 11)
+            .shli(11, 9, 6)
+            .add(11, 2, 11)
+            .ld(14, 11)
+            .addi(7, 7, 1)
+            .cmpltu(10, 7, 8)
+            .bnez(10, "inner");
+        b.label("next")
+            .addi(6, 6, 1)
+            .cmpltu(10, 6, 13)
+            .bnez(10, "row")
+            .halt();
+        prog = b.build();
+
+        mcfg.stridePrefetcher = false;
+        memsys = std::make_unique<MemorySystem>(mcfg, mem);
+
+        // Train the detector: offs[row] / offs[row+1] / cols[j] all
+        // stride.
+        for (int i = 0; i < 6; ++i) {
+            det.observe(2, offs_base + i * 8);
+            det.observe(3, offs_base + 8 + i * 8);
+            det.observe(8, cols_base + i * 8);
+        }
+
+        // Discovery output for a trigger inside row `cur_row`.
+        cur_row = 4;
+        const uint64_t j0 = cur_row * kRowLen;
+        d.stridePc = 8;
+        d.stride = 8;
+        d.strideDest = 9;
+        d.strideBytes = 8;
+        d.spawnAddr = cols_base + j0 * 8;
+        d.flr = 11;
+        d.bound.valid = true;
+        d.bound.remaining = int64_t(kRowLen);
+        d.bound.increment = 1;
+        d.bound.inductionReg = 7;
+        d.bound.boundValue = j0 + kRowLen;
+        d.lcr.valid = true;
+        d.lcr.cmpOp = Opcode::kCmpLtU;
+        d.lcr.rs1 = 7;
+        d.lcr.rs2 = 8;
+        d.lcr.rd = 10;
+        d.lcr.branchOp = Opcode::kBnez;
+        d.backwardBranchPc = 14;
+
+        regs.value[0] = offs_base;
+        regs.value[1] = cols_base;
+        regs.value[2] = x_base;
+        regs.value[6] = cur_row;
+        regs.value[7] = j0;
+        regs.value[8] = j0 + kRowLen;
+        regs.value[13] = kRows;
+        regs.value[11] = cols_base + j0 * 8;
+    }
+
+    SimMemory mem;
+    MemConfig mcfg;
+    std::unique_ptr<MemorySystem> memsys;
+    Program prog;
+    StrideDetector det{32};
+    DiscoveryResult d;
+    RegState regs;
+    SubthreadConfig cfg;
+    Addr offs_base = 0, cols_base = 0, x_base = 0;
+    uint64_t cur_row = 0;
+};
+
+TEST_F(NestedRig, PrefetchesFutureRowsChains)
+{
+    VectorSubthread sub(cfg, prog, mem, *memsys);
+    EpisodeStats ep = sub.runNested(d, regs, 100, det);
+    ASSERT_TRUE(ep.ran);
+    EXPECT_TRUE(ep.nested) << "NDM must reach phase 3";
+    // 16 outer lanes x 5 inner each = 80 inner lanes.
+    EXPECT_EQ(ep.nestedInnerLanes, 16u * kRowLen);
+
+    // Every x line of rows cur_row+1 .. cur_row+16 must be present.
+    for (uint64_t r = cur_row + 1; r <= cur_row + 16; ++r) {
+        for (uint64_t j = r * kRowLen; j < (r + 1) * kRowLen; ++j) {
+            const uint64_t c = mem.read64(cols_base, j);
+            EXPECT_TRUE(memsys->present(x_base + (c << 6)))
+                << "row " << r << " nnz " << j;
+        }
+    }
+    // And not beyond the 16-outer-lane window.
+    const uint64_t j_beyond = (cur_row + 18) * kRowLen;
+    const uint64_t c_beyond = mem.read64(cols_base, j_beyond);
+    EXPECT_FALSE(memsys->present(x_base + (c_beyond << 6)));
+}
+
+TEST_F(NestedRig, PerLaneTripCountsUseSecondaryStrider)
+{
+    // Exactly 16 outer x (1 offs pair + 5 cols + 5 x) loads issue if
+    // per-lane bounds are right; wrong scalar bounds would collapse
+    // most lanes to zero-trip or overrun.
+    VectorSubthread sub(cfg, prog, mem, *memsys);
+    EpisodeStats ep = sub.runNested(d, regs, 100, det);
+    ASSERT_TRUE(ep.nested);
+    // Phase 2: 16 offs + 16 offs+8; phase 3: 80 cols + 80 x;
+    // plus the scalar walk's loads.
+    EXPECT_GE(ep.laneLoads, 16u + 16u + 80u + 80u);
+    EXPECT_LE(ep.laneLoads, 16u + 16u + 80u + 80u + 20u);
+}
+
+TEST_F(NestedRig, OuterCursorPreventsRecoverage)
+{
+    VectorSubthread sub(cfg, prog, mem, *memsys);
+    CoverageCursor cur;
+    EpisodeStats e1 = sub.runNested(d, regs, 100, det, &cur);
+    ASSERT_TRUE(e1.nested);
+    EXPECT_TRUE(cur.valid);
+
+    // Same spawn point again: the outer window is fully covered.
+    EpisodeStats e2 = sub.runNested(d, regs, 5000, det, &cur);
+    EXPECT_FALSE(e2.ran);
+}
+
+TEST_F(NestedRig, FallsBackWithoutBackwardBranch)
+{
+    d.backwardBranchPc = kInvalidPc;
+    VectorSubthread sub(cfg, prog, mem, *memsys);
+    EpisodeStats ep = sub.runNested(d, regs, 100, det);
+    EXPECT_TRUE(ep.ran);
+    EXPECT_FALSE(ep.nested);
+    EXPECT_EQ(ep.lanesSpawned, kRowLen);    // bounded plain episode
+}
+
+} // namespace
+} // namespace dvr

@@ -1,0 +1,124 @@
+/** @file Stride prefetcher and IMP unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/imp_prefetcher.hh"
+#include "mem/sim_memory.hh"
+#include "mem/stride_prefetcher.hh"
+
+namespace dvr {
+namespace {
+
+TEST(Stride, DetectsStreamAfterTraining)
+{
+    StridePrefetcher pf(16, 4);
+    std::vector<Addr> out;
+    // Training: first touches establish the stride.
+    for (int i = 0; i < 3; ++i) {
+        out.clear();
+        pf.train(10, 0x1000 + i * 64, out);
+    }
+    out.clear();
+    pf.train(10, 0x1000 + 3 * 64, out);
+    ASSERT_FALSE(out.empty());
+    // Prefetches run ahead of the stream.
+    for (Addr a : out)
+        EXPECT_GT(a, lineAlign(Addr(0x1000 + 3 * 64)));
+}
+
+TEST(Stride, NoPrefetchOnRandomAddresses)
+{
+    StridePrefetcher pf(16, 4);
+    std::vector<Addr> out;
+    const Addr seq[] = {0x1000, 0x9040, 0x2280, 0xbad0, 0x4100};
+    for (Addr a : seq)
+        pf.train(10, a, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Stride, TracksMultipleStreams)
+{
+    StridePrefetcher pf(16, 2);
+    std::vector<Addr> out;
+    for (int i = 0; i < 6; ++i) {
+        pf.train(1, 0x10000 + i * 64, out);
+        pf.train(2, 0x80000 + i * 8, out);
+    }
+    EXPECT_GT(pf.issued(), 0u);
+}
+
+TEST(Stride, NegativeStrideSupported)
+{
+    StridePrefetcher pf(16, 2);
+    std::vector<Addr> out;
+    for (int i = 0; i < 6; ++i) {
+        out.clear();
+        pf.train(3, 0x100000 - i * 64, out);
+    }
+    ASSERT_FALSE(out.empty());
+    EXPECT_LT(out[0], 0x100000u - 5 * 64);
+}
+
+class ImpTest : public testing::Test
+{
+  protected:
+    ImpTest() : mem_(1 << 22) {}
+
+    SimMemory mem_;
+};
+
+TEST_F(ImpTest, LearnsIndirectPatternAndPrefetches)
+{
+    // B[A[i]] with 64-byte B records: addr = base + (value << 6).
+    const Addr a_base = mem_.alloc(1024 * 8);
+    const Addr b_base = mem_.alloc(512 << 6);
+    for (uint64_t i = 0; i < 1024; ++i)
+        mem_.write64(a_base, i, (i * 37) % 512);
+
+    ImpPrefetcher imp(mem_, 4);
+    std::vector<Addr> out;
+    for (uint64_t i = 0; i < 24; ++i) {
+        const uint64_t v = mem_.read64(a_base, i);
+        // The striding index load...
+        imp.observe(100, a_base + i * 8, v, 8, false, out);
+        // ...followed by the indirect target miss.
+        imp.observe(200, b_base + (v << 6), 0, 8, true, out);
+    }
+    EXPECT_GE(imp.patternsLearned(), 1u);
+    ASSERT_FALSE(out.empty());
+    // Prefetches must hit future B targets exactly.
+    const Addr p = out.back();
+    bool matches_future = false;
+    for (uint64_t d = 0; d < 32; ++d) {
+        const uint64_t fv = mem_.read64(a_base, 20 + d);
+        if (lineAlign(b_base + (fv << 6)) == p)
+            matches_future = true;
+    }
+    EXPECT_TRUE(matches_future);
+}
+
+TEST_F(ImpTest, DoesNotLearnHashedPatterns)
+{
+    const Addr a_base = mem_.alloc(1024 * 8);
+    const Addr b_base = mem_.alloc(1024 << 6);
+    for (uint64_t i = 0; i < 1024; ++i)
+        mem_.write64(a_base, i, i);
+
+    ImpPrefetcher imp(mem_, 4);
+    std::vector<Addr> out;
+    for (uint64_t i = 0; i < 32; ++i) {
+        const uint64_t v = mem_.read64(a_base, i);
+        imp.observe(100, a_base + i * 8, v, 8, false, out);
+        const uint64_t h = kernelHash(v) & 1023;    // camel-style
+        imp.observe(200, b_base + (h << 6), 0, 8, true, out);
+    }
+    // Coincidental base collisions can promote a couple of spurious
+    // candidates, but a hashed pattern never becomes a reliable,
+    // prefetch-generating rule.
+    EXPECT_LE(imp.patternsLearned(), 3u);
+    EXPECT_LT(imp.issued(), 64u);
+}
+
+} // namespace
+} // namespace dvr

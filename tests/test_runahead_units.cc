@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Unit tests for DVR's hardware analyses: the RPT stride detector,
+ * the Vector Taint Tracker, the loop-bound detector (FLR/LCR/SBB),
+ * Discovery Mode, the VRAT, and the reconvergence stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program_builder.hh"
+#include "runahead/discovery.hh"
+#include "runahead/loop_bound.hh"
+#include "runahead/reconvergence_stack.hh"
+#include "runahead/stride_detector.hh"
+#include "runahead/taint_tracker.hh"
+#include "runahead/vrat.hh"
+
+namespace dvr {
+namespace {
+
+// --- stride detector ---------------------------------------------------
+
+TEST(StrideDetect, ConfidentAfterRepeatedStride)
+{
+    StrideDetector d;
+    const StrideEntry *e = nullptr;
+    for (int i = 0; i < 6; ++i)
+        e = d.observe(7, 0x1000 + i * 8);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->confident());
+    EXPECT_EQ(e->stride, 8);
+}
+
+TEST(StrideDetect, RandomNeverConfident)
+{
+    StrideDetector d;
+    const Addr seq[] = {0x10, 0x9999, 0x40, 0xbeef, 0x1234, 0x8};
+    const StrideEntry *e = nullptr;
+    for (Addr a : seq)
+        e = d.observe(7, a);
+    EXPECT_EQ(e, nullptr);
+}
+
+TEST(StrideDetect, StrideChangeDropsConfidence)
+{
+    StrideDetector d;
+    for (int i = 0; i < 6; ++i)
+        d.observe(7, 0x1000 + i * 8);
+    // One outlier: confidence dips but the learned stride survives.
+    const StrideEntry *e = d.observe(7, 0x9000);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->stride, 8);
+    // Persistent irregularity kills confidence.
+    EXPECT_EQ(d.observe(7, 0x5000), nullptr);
+    EXPECT_EQ(d.observe(7, 0xa000), nullptr);
+    EXPECT_FALSE(d.find(7)->confident());
+}
+
+TEST(StrideDetect, LruReplacementUnderPressure)
+{
+    StrideDetector d(4);
+    for (InstPc pc = 0; pc < 8; ++pc)
+        d.observe(pc, pc * 0x1000);
+    // Early PCs were evicted by later ones.
+    EXPECT_EQ(d.find(0), nullptr);
+    EXPECT_NE(d.find(7), nullptr);
+}
+
+TEST(StrideDetect, SeenInDiscoveryBits)
+{
+    StrideDetector d;
+    for (int i = 0; i < 6; ++i)
+        d.observe(9, 0x1000 + i * 8);
+    d.clearDiscoveryBits();
+    EXPECT_FALSE(d.markSeenInDiscovery(9));     // first time
+    EXPECT_TRUE(d.markSeenInDiscovery(9));      // second: more inner
+    d.clearDiscoveryBits();
+    EXPECT_FALSE(d.markSeenInDiscovery(9));
+}
+
+// --- taint tracker ------------------------------------------------------
+
+TEST(Taint, SeedsAndPropagates)
+{
+    TaintTracker t;
+    t.reset(3);
+    EXPECT_TRUE(t.isTainted(3));
+    EXPECT_EQ(t.mask(), 1u << 3);
+
+    // r5 = r3 + r4 -> r5 tainted, source was tainted.
+    Instruction add{.op = Opcode::kAdd, .rd = 5, .rs1 = 3, .rs2 = 4};
+    EXPECT_TRUE(t.observe(add));
+    EXPECT_TRUE(t.isTainted(5));
+
+    // r6 = hash(r5) -> transitive.
+    Instruction h{.op = Opcode::kHash, .rd = 6, .rs1 = 5};
+    EXPECT_TRUE(t.observe(h));
+    EXPECT_TRUE(t.isTainted(6));
+}
+
+TEST(Taint, OverwriteFromUntaintedKills)
+{
+    TaintTracker t;
+    t.reset(3);
+    Instruction mv{.op = Opcode::kMov, .rd = 3, .rs1 = 1};
+    EXPECT_FALSE(t.observe(mv));
+    EXPECT_FALSE(t.isTainted(3));
+    EXPECT_EQ(t.mask(), 0u);
+}
+
+TEST(Taint, LoadsPropagateThroughAddress)
+{
+    TaintTracker t;
+    t.reset(2);
+    Instruction ld{.op = Opcode::kLoad, .rd = 7, .rs1 = 2};
+    EXPECT_TRUE(t.observe(ld));
+    EXPECT_TRUE(t.isTainted(7));
+}
+
+TEST(Taint, StoresAndBranchesReadOnly)
+{
+    TaintTracker t;
+    t.reset(2);
+    Instruction st{.op = Opcode::kStore, .rs1 = 1, .rs2 = 2};
+    EXPECT_TRUE(t.observe(st));     // data source tainted
+    Instruction br{.op = Opcode::kBnez, .rs1 = 2};
+    EXPECT_TRUE(t.observe(br));
+    EXPECT_EQ(t.mask(), 1u << 2);   // no dest changes
+}
+
+// --- loop bound ---------------------------------------------------------
+
+/**
+ * Build the canonical loop tail (cmpltu i, n; bnez -> stride pc) and
+ * run it through the detector.
+ */
+TEST(LoopBound, InfersRemainingIterations)
+{
+    LoopBoundDetector lb;
+    RegState entry;
+    entry.value[1] = 10;        // i
+    entry.value[2] = 100;       // n (constant)
+    lb.begin(/*stride_pc=*/20, entry);
+    lb.noteFinalLoad(24);
+
+    Instruction cmp{.op = Opcode::kCmpLtU, .rd = 5, .rs1 = 1,
+                    .rs2 = 2};
+    lb.observe(30, cmp);
+    Instruction br{.op = Opcode::kBnez, .rs1 = 5, .target = 20};
+    br.op = Opcode::kBnez;
+    lb.observe(31, br);
+    EXPECT_TRUE(lb.seenBackwardBranch());
+    EXPECT_EQ(lb.backwardBranchPc(), 31u);
+    EXPECT_FALSE(lb.divergentChain());
+
+    RegState exit = entry;
+    exit.value[1] = 11;         // i advanced by 1
+    const LoopBoundResult r = lb.finish(exit);
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.remaining, 89);
+    EXPECT_EQ(r.increment, 1);
+    EXPECT_EQ(r.inductionReg, 1);
+    EXPECT_EQ(r.boundValue, 100u);
+}
+
+TEST(LoopBound, FlrUpdateResetsLcrAndSbb)
+{
+    LoopBoundDetector lb;
+    RegState entry;
+    lb.begin(20, entry);
+    Instruction cmp{.op = Opcode::kCmpLtU, .rd = 5, .rs1 = 1,
+                    .rs2 = 2};
+    lb.observe(30, cmp);
+    Instruction br{.op = Opcode::kBnez, .rs1 = 5, .target = 20};
+    lb.observe(31, br);
+    EXPECT_TRUE(lb.seenBackwardBranch());
+    lb.noteFinalLoad(25);       // a deeper dependent load appears
+    EXPECT_FALSE(lb.seenBackwardBranch());
+    EXPECT_EQ(lb.flr(), 25u);
+}
+
+TEST(LoopBound, DivergentChainFlagged)
+{
+    LoopBoundDetector lb;
+    RegState entry;
+    lb.begin(20, entry);
+    lb.noteFinalLoad(24);
+    // A forward branch between the FLR and the loop branch.
+    Instruction fwd{.op = Opcode::kBeqz, .rs1 = 9, .target = 40};
+    lb.observe(26, fwd);
+    Instruction cmp{.op = Opcode::kCmpLtU, .rd = 5, .rs1 = 1,
+                    .rs2 = 2};
+    lb.observe(30, cmp);
+    Instruction br{.op = Opcode::kBnez, .rs1 = 5, .target = 20};
+    lb.observe(31, br);
+    EXPECT_TRUE(lb.divergentChain());
+}
+
+TEST(LoopBound, NoMatchWhenBothInputsMove)
+{
+    LoopBoundDetector lb;
+    RegState entry;
+    entry.value[1] = 10;
+    entry.value[2] = 100;
+    lb.begin(20, entry);
+    Instruction cmp{.op = Opcode::kCmpLtU, .rd = 5, .rs1 = 1,
+                    .rs2 = 2};
+    lb.observe(30, cmp);
+    Instruction br{.op = Opcode::kBnez, .rs1 = 5, .target = 20};
+    lb.observe(31, br);
+    RegState exit = entry;
+    exit.value[1] = 11;
+    exit.value[2] = 99;
+    EXPECT_FALSE(lb.finish(exit).valid);
+}
+
+TEST(LoopBound, RemainingIterationsShapes)
+{
+    LcrInfo lcr;
+    lcr.valid = true;
+    lcr.cmpOp = Opcode::kCmpLtU;
+    lcr.branchOp = Opcode::kBnez;
+    EXPECT_EQ(remainingIterations(lcr, 10, 100, 1), 90);
+    EXPECT_EQ(remainingIterations(lcr, 10, 100, 3), 30);
+    EXPECT_EQ(remainingIterations(lcr, 100, 100, 1), 0);
+    EXPECT_EQ(remainingIterations(lcr, 10, 100, 0), -1);
+
+    lcr.cmpOp = Opcode::kCmpNe;
+    EXPECT_EQ(remainingIterations(lcr, 10, 20, 2), 5);
+    EXPECT_EQ(remainingIterations(lcr, 10, 21, 2), -1);  // never hits
+
+    lcr.cmpOp = Opcode::kCmpEq;
+    lcr.branchOp = Opcode::kBeqz;   // loop while i != n
+    EXPECT_EQ(remainingIterations(lcr, 10, 14, 1), 4);
+}
+
+// --- VRAT ----------------------------------------------------------------
+
+TEST(VratTest, VectorizeAllocatesGroups)
+{
+    Vrat v(64, 64, 16);
+    EXPECT_TRUE(v.vectorize(1));
+    EXPECT_EQ(v.vecInUse(), 16u);
+    EXPECT_TRUE(v.vectorize(1));    // idempotent (in-order reuse)
+    EXPECT_EQ(v.vecInUse(), 16u);
+    EXPECT_TRUE(v.vectorize(2));
+    EXPECT_TRUE(v.vectorize(3));
+    EXPECT_TRUE(v.vectorize(4));
+    EXPECT_EQ(v.vecInUse(), 64u);
+    EXPECT_FALSE(v.vectorize(5));   // free list exhausted
+    EXPECT_EQ(v.peakVecInUse(), 64u);
+}
+
+TEST(VratTest, ScalarizeFreesVectorGroup)
+{
+    Vrat v(32, 64, 16);
+    EXPECT_TRUE(v.vectorize(1));
+    EXPECT_TRUE(v.vectorize(2));
+    EXPECT_FALSE(v.vectorize(3));
+    EXPECT_TRUE(v.scalarize(1));    // WAW overwrite by a scalar
+    EXPECT_FALSE(v.isVector(1));
+    EXPECT_TRUE(v.vectorize(3));    // freed group is reusable
+}
+
+TEST(VratTest, ResetRestoresScalarMappings)
+{
+    Vrat v(128, 64, 16);
+    v.vectorize(1);
+    v.reset();
+    EXPECT_EQ(v.vecInUse(), 0u);
+    EXPECT_FALSE(v.isVector(1));
+    EXPECT_EQ(v.intInUse(), unsigned(kNumArchRegs));
+}
+
+// --- reconvergence stack --------------------------------------------------
+
+TEST(ReconvStack, PushPopLifo)
+{
+    ReconvergenceStack s(8);
+    LaneMask a, b;
+    a.set(1);
+    b.set(2);
+    EXPECT_TRUE(s.push(100, a));
+    EXPECT_TRUE(s.push(200, b));
+    EXPECT_EQ(s.size(), 2u);
+    auto e = s.pop();
+    EXPECT_EQ(e.pc, 200u);
+    EXPECT_TRUE(e.mask.test(2));
+    e = s.pop();
+    EXPECT_EQ(e.pc, 100u);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(ReconvStack, OverflowDropsGroup)
+{
+    ReconvergenceStack s(2);
+    LaneMask m;
+    m.set(0);
+    EXPECT_TRUE(s.push(1, m));
+    EXPECT_TRUE(s.push(2, m));
+    EXPECT_FALSE(s.push(3, m));
+    EXPECT_EQ(s.overflowDrops, 1u);
+    EXPECT_EQ(s.pushes, 2u);
+}
+
+// --- discovery mode --------------------------------------------------------
+
+/** Build the Figure-1 style camel loop and drive discovery by hand. */
+class DiscoveryRig : public testing::Test
+{
+  protected:
+    DiscoveryRig()
+    {
+        // loop: ld r6=[r0]; hash r7,r6; shli r11,r7,6; add r11,r1,r11;
+        //       ld r8=[r11]; addi r0,r0,8; cmpltu r10,r3,r4;
+        //       bnez r10,loop; halt
+        ProgramBuilder b;
+        b.label("loop")
+            .ld(6, 0)
+            .hash(7, 6)
+            .shli(11, 7, 6)
+            .add(11, 1, 11)
+            .ld(8, 11)
+            .addi(3, 3, 1)
+            .cmpltu(10, 3, 4)
+            .bnez(10, "loop")
+            .halt();
+        prog = b.build();
+    }
+
+    RetireInfo info(InstPc pc, uint64_t seq)
+    {
+        RetireInfo ri;
+        ri.pc = pc;
+        ri.seq = seq;
+        ri.inst = &prog.at(pc);
+        return ri;
+    }
+
+    Program prog;
+    StrideDetector det;
+    RegState regs;
+};
+
+TEST_F(DiscoveryRig, FindsChainAndBound)
+{
+    DiscoveryMode disc(det);
+    // Make the striding load confident.
+    const StrideEntry *e = nullptr;
+    for (int i = 0; i < 6; ++i)
+        e = det.observe(0, 0x4000 + i * 8);
+    ASSERT_NE(e, nullptr);
+
+    regs.value[3] = 90;     // i
+    regs.value[4] = 100;    // n
+    disc.begin(*e, prog.at(0), regs);
+    ASSERT_TRUE(disc.active());
+
+    // One loop iteration of retires.
+    uint64_t seq = 0;
+    for (InstPc pc = 1; pc < 8; ++pc) {
+        auto st = disc.observe(info(pc, seq++), regs);
+        ASSERT_EQ(st, DiscoveryMode::Status::kRunning);
+    }
+    regs.value[3] = 91;     // induction moved
+    RetireInfo back = info(0, seq);
+    back.effAddr = 0x4000 + 6 * 8;
+    const auto st = disc.observe(back, regs);
+    ASSERT_EQ(st, DiscoveryMode::Status::kDone);
+
+    const DiscoveryResult &d = disc.result();
+    EXPECT_EQ(d.stridePc, 0u);
+    EXPECT_EQ(d.stride, 8);
+    EXPECT_EQ(d.flr, 4u);               // ld r8=[r11]
+    EXPECT_FALSE(d.divergentChain);
+    EXPECT_EQ(d.spawnAddr, 0x4000u + 48u);
+    ASSERT_TRUE(d.bound.valid);
+    EXPECT_EQ(d.bound.remaining, 9);
+    EXPECT_EQ(d.backwardBranchPc, 7u);
+    // r6 (load), r7 (hash), r11 (addr), r8 (value) tainted.
+    EXPECT_TRUE(d.taintMask & (1u << 6));
+    EXPECT_TRUE(d.taintMask & (1u << 8));
+    EXPECT_TRUE(d.taintMask & (1u << 11));
+}
+
+TEST_F(DiscoveryRig, AbortsOnTimeout)
+{
+    DiscoveryMode disc(det);
+    const StrideEntry *e = nullptr;
+    for (int i = 0; i < 6; ++i)
+        e = det.observe(0, 0x4000 + i * 8);
+    disc.begin(*e, prog.at(0), regs);
+    // Never return to the striding load.
+    uint64_t seq = 0;
+    DiscoveryMode::Status st = DiscoveryMode::Status::kRunning;
+    for (unsigned i = 0; i <= DiscoveryMode::kTimeout; ++i)
+        st = disc.observe(info(5, seq++), regs);
+    EXPECT_EQ(st, DiscoveryMode::Status::kAborted);
+    EXPECT_FALSE(disc.active());
+}
+
+TEST_F(DiscoveryRig, SwitchesToInnerStride)
+{
+    DiscoveryMode disc(det);
+    const StrideEntry *outer = nullptr;
+    for (int i = 0; i < 6; ++i)
+        outer = det.observe(0, 0x4000 + i * 8);
+    // Make a second (more inner) strider at pc 4.
+    for (int i = 0; i < 6; ++i)
+        det.observe(4, 0x9000 + i * 8);
+
+    disc.begin(*outer, prog.at(0), regs);
+    uint64_t seq = 0;
+    // pc4 seen twice before pc0 returns -> switch.
+    RetireInfo r4 = info(4, seq++);
+    EXPECT_EQ(disc.observe(r4, regs), DiscoveryMode::Status::kRunning);
+    RetireInfo r4b = info(4, seq++);
+    EXPECT_EQ(disc.observe(r4b, regs),
+              DiscoveryMode::Status::kSwitched);
+    EXPECT_EQ(disc.result().stridePc, 4u);
+}
+
+} // namespace
+} // namespace dvr

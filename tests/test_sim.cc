@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Simulation-harness tests: configuration plumbing, PreparedWorkload
+ * reuse, and the cross-technique performance properties the
+ * evaluation depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace dvr {
+namespace {
+
+TEST(Config, TechniqueNamesRoundTrip)
+{
+    for (Technique t :
+         {Technique::kBase, Technique::kPre, Technique::kImp,
+          Technique::kVr, Technique::kDvr, Technique::kDvrOffload,
+          Technique::kDvrDiscovery, Technique::kOracle}) {
+        EXPECT_EQ(parseTechnique(techniqueName(t)), t);
+    }
+    EXPECT_THROW(parseTechnique("bogus"), std::runtime_error);
+}
+
+TEST(Config, BaselineWiresTechniqueKnobs)
+{
+    EXPECT_TRUE(SimConfig::baseline(Technique::kImp)
+                    .mem.impPrefetcher);
+    EXPECT_FALSE(SimConfig::baseline(Technique::kBase)
+                     .mem.impPrefetcher);
+    const SimConfig off = SimConfig::baseline(Technique::kDvrOffload);
+    EXPECT_FALSE(off.dvr.discoveryEnabled);
+    EXPECT_FALSE(off.dvr.nestedEnabled);
+    const SimConfig disc =
+        SimConfig::baseline(Technique::kDvrDiscovery);
+    EXPECT_TRUE(disc.dvr.discoveryEnabled);
+    EXPECT_FALSE(disc.dvr.nestedEnabled);
+}
+
+TEST(Prepared, ReuseAcrossTechniquesIsPristine)
+{
+    WorkloadParams wp;
+    wp.scaleShift = 4;
+    PreparedWorkload pw("nas_is", "", wp, 64ULL << 20);
+    SimConfig cfg = SimConfig::baseline(Technique::kBase);
+    cfg.maxInstructions = 100'000'000;  // run to completion
+    const SimResult r1 = pw.run(cfg);
+    const SimResult r2 = pw.run(cfg);   // second run: same data set
+    ASSERT_TRUE(r1.halted);
+    EXPECT_TRUE(r1.verified);
+    EXPECT_TRUE(r2.verified);
+    EXPECT_EQ(r1.core.cycles, r2.core.cycles);
+}
+
+TEST(Prepared, LabelIncludesInput)
+{
+    WorkloadParams wp;
+    wp.scaleShift = 6;
+    PreparedWorkload g("bfs", "UR", wp, 64ULL << 20);
+    EXPECT_EQ(g.label(), "bfs_UR");
+    PreparedWorkload h("camel", "", wp, 64ULL << 20);
+    EXPECT_EQ(h.label(), "camel");
+}
+
+TEST(Matrix, CoversAllThirtyThreeCombinations)
+{
+    const auto m = benchmarkMatrix();
+    EXPECT_EQ(m.size(), 5u * 5u + 8u);
+    EXPECT_EQ(allKernels().size(), 13u);
+}
+
+class TechniqueOrdering
+    : public testing::TestWithParam<const char *>
+{
+};
+
+/**
+ * The evaluation's load-bearing property, per benchmark: DVR beats
+ * the baseline; the Oracle is at least as good as the baseline.
+ */
+TEST_P(TechniqueOrdering, DvrBeatsBaselineOracleTops)
+{
+    WorkloadParams wp;
+    wp.scaleShift = 2;
+    PreparedWorkload pw(GetParam(), "KR", wp, 128ULL << 20);
+    SimConfig c = SimConfig::baseline(Technique::kBase);
+    c.maxInstructions = 200'000;
+    const double base = pw.run(c).ipc();
+    c = SimConfig::baseline(Technique::kDvr);
+    c.maxInstructions = 200'000;
+    const double dvr = pw.run(c).ipc();
+    c = SimConfig::baseline(Technique::kOracle);
+    c.maxInstructions = 200'000;
+    const double oracle = pw.run(c).ipc();
+    EXPECT_GT(dvr, 1.2 * base) << "DVR must clearly beat the OoO core";
+    EXPECT_GT(oracle, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(IndirectKernels, TechniqueOrdering,
+                         testing::Values("bfs", "cc", "camel", "hj2",
+                                         "hj8", "kangaroo"));
+
+TEST(RobSweep, BaselinePerformanceGrowsWithRob)
+{
+    WorkloadParams wp;
+    wp.scaleShift = 2;
+    PreparedWorkload pw("camel", "", wp, 96ULL << 20);
+    double prev = 0.0;
+    for (unsigned rob : {64u, 350u}) {
+        SimConfig cfg = SimConfig::baseline(Technique::kBase);
+        cfg.maxInstructions = 150'000;
+        cfg.core = CoreConfig::withRob(rob);
+        const double ipc = pw.run(cfg).ipc();
+        EXPECT_GT(ipc, prev);
+        prev = ipc;
+    }
+}
+
+TEST(RobSweep, FullRobStallFractionDropsWithBiggerRob)
+{
+    WorkloadParams wp;
+    wp.scaleShift = 2;
+    PreparedWorkload pw("camel", "", wp, 96ULL << 20);
+    auto stall_frac = [&](unsigned rob) {
+        SimConfig cfg = SimConfig::baseline(Technique::kBase);
+        cfg.maxInstructions = 150'000;
+        cfg.core = CoreConfig::withRob(rob);
+        const SimResult r = pw.run(cfg);
+        return r.stats.get("core.rob_stall_cycles") /
+               double(r.core.cycles);
+    };
+    EXPECT_GT(stall_frac(128), stall_frac(512));
+}
+
+TEST(Mlp, DvrSustainsMoreOutstandingMissesThanBaseline)
+{
+    WorkloadParams wp;
+    wp.scaleShift = 2;
+    PreparedWorkload pw("hj8", "", wp, 96ULL << 20);
+    SimConfig base = SimConfig::baseline(Technique::kBase);
+    base.maxInstructions = 150'000;
+    SimConfig dvr_cfg = SimConfig::baseline(Technique::kDvr);
+    dvr_cfg.maxInstructions = 150'000;
+    EXPECT_GT(pw.run(dvr_cfg).mshrOccupancy(),
+              1.5 * pw.run(base).mshrOccupancy());
+}
+
+TEST(Accuracy, DvrDramTrafficStaysNearBaseline)
+{
+    WorkloadParams wp;
+    wp.scaleShift = 2;
+    PreparedWorkload pw("camel", "", wp, 96ULL << 20);
+    SimConfig base = SimConfig::baseline(Technique::kBase);
+    base.maxInstructions = 150'000;
+    SimConfig dvr_cfg = SimConfig::baseline(Technique::kDvr);
+    dvr_cfg.maxInstructions = 150'000;
+    const double b = pw.run(base).stats.get("mem.dram_total");
+    const double d = pw.run(dvr_cfg).stats.get("mem.dram_total");
+    // Discovery-bounded vectorization: no runaway over-fetch.
+    EXPECT_LT(d, 1.6 * b);
+}
+
+} // namespace
+} // namespace dvr

@@ -1,0 +1,22 @@
+/** @file Build/link smoke test and basic end-to-end sanity. */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+namespace dvr {
+namespace {
+
+TEST(Smoke, BaselineRunsBfs)
+{
+    SimConfig cfg = SimConfig::baseline();
+    cfg.maxInstructions = 50'000;
+    WorkloadParams wp;
+    wp.scaleShift = 6;
+    SimResult r = Simulator::run(cfg, "bfs", wp);
+    EXPECT_GT(r.core.instructions, 0u);
+    EXPECT_GT(r.ipc(), 0.0);
+}
+
+} // namespace
+} // namespace dvr

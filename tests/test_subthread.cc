@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Vector-runahead subthread tests on hand-built chains: vectorized
+ * prefetch generation, divergence/reconvergence, VRAT exhaustion,
+ * timeouts, nested mode, VR-style episodes, and coverage cursors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program_builder.hh"
+#include "mem/memory_system.hh"
+#include "mem/sim_memory.hh"
+#include "runahead/subthread.hh"
+
+namespace dvr {
+namespace {
+
+/** Camel-like chain: A[i] strided -> B[A[i]] indirect. */
+class SubthreadRig : public testing::Test
+{
+  protected:
+    SubthreadRig() : mem(64 << 20)
+    {
+        a_base = mem.alloc(4096 * 8);
+        b_base = mem.alloc(4096 << 6);
+        for (uint64_t i = 0; i < 4096; ++i)
+            mem.write64(a_base, i, (i * 97) % 4096);
+
+        // loop: ld r6=[r0]; shli r7,r6,6; add r7,r1,r7; ld r8=[r7];
+        //       addi r3,r3,1; cmpltu r10,r3,r4; bnez loop; halt
+        ProgramBuilder b;
+        b.label("loop")
+            .ld(6, 0)
+            .shli(7, 6, 6)
+            .add(7, 1, 7)
+            .ld(8, 7)
+            .addi(3, 3, 1)
+            .cmpltu(10, 3, 4)
+            .bnez(10, "loop")
+            .halt();
+        prog = b.build();
+
+        mcfg.stridePrefetcher = false;
+        memsys = std::make_unique<MemorySystem>(mcfg, mem);
+
+        d.stridePc = 0;
+        d.stride = 8;
+        d.strideDest = 6;
+        d.strideBytes = 8;
+        d.spawnAddr = a_base;
+        d.flr = 3;
+        d.bound.valid = true;
+        d.bound.remaining = 64;
+        d.bound.increment = 1;
+
+        regs.value[0] = a_base;
+        regs.value[1] = b_base;
+        regs.value[3] = 0;
+        regs.value[4] = 4096;
+    }
+
+    SimMemory mem;
+    MemConfig mcfg;
+    std::unique_ptr<MemorySystem> memsys;
+    Program prog;
+    DiscoveryResult d;
+    RegState regs;
+    SubthreadConfig cfg;
+    Addr a_base = 0, b_base = 0;
+};
+
+TEST_F(SubthreadRig, VectorizesChainAndPrefetchesBothLevels)
+{
+    VectorSubthread sub(cfg, prog, mem, *memsys);
+    EpisodeStats ep = sub.runVectorized(d, regs, 100, 64);
+    EXPECT_TRUE(ep.ran);
+    EXPECT_EQ(ep.lanesSpawned, 64u);
+    // 64 A-loads + 64 B-loads.
+    EXPECT_EQ(ep.laneLoads, 128u);
+    EXPECT_FALSE(ep.timedOut);
+    EXPECT_GT(ep.issueEnd, 100u);
+
+    // The B lines for lanes 0..63 must now be present.
+    for (unsigned k = 0; k < 64; ++k) {
+        const uint64_t idx = mem.read64(a_base, k);
+        EXPECT_TRUE(memsys->present(b_base + (idx << 6)))
+            << "lane " << k;
+    }
+    // And beyond the lane count, not prefetched.
+    const uint64_t idx64 = mem.read64(a_base, 64);
+    EXPECT_FALSE(memsys->present(b_base + (idx64 << 6)));
+}
+
+TEST_F(SubthreadRig, StopsAtFlrNotWholeLoop)
+{
+    VectorSubthread sub(cfg, prog, mem, *memsys);
+    EpisodeStats ep = sub.runVectorized(d, regs, 100, 8);
+    // Chain is 4 instructions (ld, shli, add, ld); the loop tail
+    // (addi/cmp/branch) must not run.
+    EXPECT_EQ(ep.instructions, 4u);
+}
+
+TEST_F(SubthreadRig, LaneCountClampedToConfig)
+{
+    cfg.maxLanes = 16;
+    VectorSubthread sub(cfg, prog, mem, *memsys);
+    EpisodeStats ep = sub.runVectorized(d, regs, 100, 999);
+    EXPECT_EQ(ep.lanesSpawned, 16u);
+}
+
+TEST_F(SubthreadRig, FaultingLanesAreMasked)
+{
+    // Start lanes near the end of allocated memory so later lanes
+    // run off the edge and fault.
+    d.spawnAddr = mem.brk() - 4 * 8;
+    VectorSubthread sub(cfg, prog, mem, *memsys);
+    EpisodeStats ep = sub.runVectorized(d, regs, 100, 32);
+    EXPECT_EQ(ep.lanesFaulted, 28u);
+    EXPECT_EQ(ep.laneLoads, 4u + 4u);   // only valid lanes load
+}
+
+TEST_F(SubthreadRig, VratExhaustionTerminatesEpisode)
+{
+    cfg.vecPhysFree = 16;   // room for a single vectorized register
+    VectorSubthread sub(cfg, prog, mem, *memsys);
+    EpisodeStats ep = sub.runVectorized(d, regs, 100, 64);
+    EXPECT_TRUE(ep.vratExhausted);
+}
+
+TEST_F(SubthreadRig, CoverageCursorSkipsCoveredLanes)
+{
+    VectorSubthread sub(cfg, prog, mem, *memsys);
+    CoverageCursor cur;
+    EpisodeStats e1 = sub.runVectorized(d, regs, 100, 64, &cur);
+    EXPECT_EQ(e1.lanesSpawned, 64u);
+    EXPECT_TRUE(cur.valid);
+
+    // Re-spawn slightly later: only the uncovered tail runs.
+    DiscoveryResult d2 = d;
+    d2.spawnAddr = a_base + 10 * 8;
+    d2.bound.remaining = 128;
+    EpisodeStats e2 = sub.runVectorized(d2, regs, 200, 128, &cur);
+    EXPECT_EQ(e2.lanesSpawned, 74u);    // 128 - (64 - 10)
+
+    // Fully covered window: the episode is skipped.
+    DiscoveryResult d3 = d;
+    d3.spawnAddr = a_base + 20 * 8;
+    d3.bound.remaining = 16;
+    EpisodeStats e3 = sub.runVectorized(d3, regs, 300, 16, &cur);
+    EXPECT_FALSE(e3.ran);
+
+    // A jump outside the window resets the cursor.
+    DiscoveryResult d4 = d;
+    d4.spawnAddr = a_base + 3000 * 8;
+    EpisodeStats e4 = sub.runVectorized(d4, regs, 400, 32, &cur);
+    EXPECT_EQ(e4.lanesSpawned, 32u);
+}
+
+TEST_F(SubthreadRig, TimeoutBoundsRunawayEpisodes)
+{
+    // No FLR, and the loop never returns to the stride PC, so only
+    // the 200-instruction timeout can end the episode.
+    ProgramBuilder b;
+    b.ld(6, 0);
+    b.label("spin").addi(0, 0, 8).jmp("spin");
+    Program spin = b.build();
+    DiscoveryResult ds;
+    ds.stridePc = 0;
+    ds.stride = 8;
+    ds.strideDest = 6;
+    ds.spawnAddr = a_base;
+    ds.flr = kInvalidPc;
+    VectorSubthread sub(cfg, spin, mem, *memsys);
+    EpisodeStats ep = sub.runVectorized(ds, regs, 100, 8);
+    EXPECT_TRUE(ep.timedOut);
+    EXPECT_LE(ep.instructions, cfg.timeoutInsts);
+}
+
+/** Divergent chain: odd B values take an extra D load. */
+class DivergeRig : public testing::Test
+{
+  protected:
+    DivergeRig() : mem(64 << 20)
+    {
+        a_base = mem.alloc(1024 * 8);
+        b_base = mem.alloc(1024 << 6);
+        d_base = mem.alloc(1024 << 6);
+        for (uint64_t i = 0; i < 1024; ++i) {
+            mem.write64(a_base, i, i);
+            mem.write(b_base + (i << 6), 8, i);     // B[i] = i
+        }
+        // loop: ld r6=[r0]; shli r7,r6,6; add r7,r1,r7; ld r8=[r7];
+        //       andi r9,r8,1; beqz r9,even;
+        //       shli r9,r8,6; add r9,r2,r9; ld r9=[r9];   (odd hop)
+        // even: addi r3,r3,1; cmpltu r10,r3,r4; bnez loop; halt
+        ProgramBuilder b;
+        b.label("loop")
+            .ld(6, 0)
+            .shli(7, 6, 6)
+            .add(7, 1, 7)
+            .ld(8, 7)
+            .andi(9, 8, 1)
+            .beqz(9, "even")
+            .shli(9, 8, 6)
+            .add(9, 2, 9)
+            .ld(9, 9);
+        b.label("even")
+            .addi(3, 3, 1)
+            .cmpltu(10, 3, 4)
+            .bnez(10, "loop")
+            .halt();
+        prog = b.build();
+        mcfg.stridePrefetcher = false;
+        memsys = std::make_unique<MemorySystem>(mcfg, mem);
+
+        d.stridePc = 0;
+        d.stride = 8;
+        d.strideDest = 6;
+        d.spawnAddr = a_base;
+        d.flr = kInvalidPc;         // divergent: run to stride pc
+        d.divergentChain = true;
+
+        regs.value[0] = a_base;
+        regs.value[1] = b_base;
+        regs.value[2] = d_base;
+        regs.value[3] = 0;
+        regs.value[4] = 1024;
+    }
+
+    SimMemory mem;
+    MemConfig mcfg;
+    std::unique_ptr<MemorySystem> memsys;
+    Program prog;
+    DiscoveryResult d;
+    RegState regs;
+    SubthreadConfig cfg;
+    Addr a_base = 0, b_base = 0, d_base = 0;
+};
+
+TEST_F(DivergeRig, ReconvergenceCoversBothPaths)
+{
+    VectorSubthread sub(cfg, prog, mem, *memsys);
+    EpisodeStats ep = sub.runVectorized(d, regs, 100, 32);
+    EXPECT_GT(ep.reconvPushes, 0u);
+    EXPECT_EQ(ep.lanesInvalidated, 0u);
+    // Odd lanes must have their D line prefetched (B[i]=i, so odd
+    // lanes are exactly the odd indices).
+    for (unsigned k = 1; k < 32; k += 2)
+        EXPECT_TRUE(memsys->present(d_base + (uint64_t(k) << 6)))
+            << "odd lane " << k;
+}
+
+TEST_F(DivergeRig, VrStyleInvalidatesDivergentLanes)
+{
+    cfg.gpuReconvergence = false;
+    VectorSubthread sub(cfg, prog, mem, *memsys);
+    EpisodeStats ep = sub.runVectorized(d, regs, 100, 32);
+    EXPECT_EQ(ep.reconvPushes, 0u);
+    EXPECT_GT(ep.lanesInvalidated, 0u);
+}
+
+TEST_F(DivergeRig, VrEpisodeFromStallPoint)
+{
+    // Train a detector so the VR-style hunt can find the strider.
+    StrideDetector det;
+    for (int i = 0; i < 6; ++i)
+        det.observe(0, a_base + i * 8);
+
+    cfg.gpuReconvergence = false;
+    VectorSubthread sub(cfg, prog, mem, *memsys);
+    // Stall point mid-loop: the walk wraps around to the strider.
+    regs.value[0] = a_base + 6 * 8;
+    regs.value[3] = 6;
+    EpisodeStats ep = sub.runVrStyle(/*start=*/4, regs, 1000, det, 64);
+    EXPECT_EQ(ep.huntExit, EpisodeStats::HuntExit::kFound);
+    EXPECT_EQ(ep.lanesSpawned, cfg.maxLanes);
+    EXPECT_GT(ep.laneLoads, cfg.maxLanes);
+}
+
+} // namespace
+} // namespace dvr

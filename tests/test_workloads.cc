@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Workload-level tests: every kernel, at test scale, must run to
+ * completion and match its natively computed golden model -- under the
+ * baseline core AND under every runahead technique (runahead is
+ * speculative and must never corrupt architectural state).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+namespace dvr {
+namespace {
+
+struct WorkloadCase
+{
+    const char *kernel;
+    const char *input;      // empty: kernel default
+    unsigned scaleShift;
+};
+
+std::string
+caseName(const testing::TestParamInfo<WorkloadCase> &info)
+{
+    std::string n = info.param.kernel;
+    if (info.param.input[0])
+        n += std::string("_") + info.param.input;
+    return n;
+}
+
+class WorkloadGolden : public testing::TestWithParam<WorkloadCase>
+{
+};
+
+SimConfig
+testConfig(Technique t)
+{
+    SimConfig cfg = SimConfig::baseline(t);
+    cfg.maxInstructions = 40'000'000;   // enough to finish
+    cfg.memoryBytes = 64ULL << 20;
+    return cfg;
+}
+
+TEST_P(WorkloadGolden, BaselineMatchesGoldenModel)
+{
+    const auto &c = GetParam();
+    WorkloadParams wp;
+    wp.scaleShift = c.scaleShift;
+    if (c.input[0])
+        wp.input = c.input;
+    SimResult r = Simulator::run(testConfig(Technique::kBase),
+                                 c.kernel, wp);
+    ASSERT_TRUE(r.halted) << "did not finish in budget";
+    EXPECT_TRUE(r.verified) << "golden-model mismatch";
+}
+
+TEST_P(WorkloadGolden, DvrPreservesArchitecturalState)
+{
+    const auto &c = GetParam();
+    WorkloadParams wp;
+    wp.scaleShift = c.scaleShift;
+    if (c.input[0])
+        wp.input = c.input;
+    SimResult r = Simulator::run(testConfig(Technique::kDvr),
+                                 c.kernel, wp);
+    ASSERT_TRUE(r.halted);
+    EXPECT_TRUE(r.verified) << "DVR corrupted architectural results";
+}
+
+TEST_P(WorkloadGolden, OtherTechniquesPreserveState)
+{
+    const auto &c = GetParam();
+    WorkloadParams wp;
+    wp.scaleShift = c.scaleShift;
+    if (c.input[0])
+        wp.input = c.input;
+    for (Technique t : {Technique::kPre, Technique::kImp,
+                        Technique::kVr, Technique::kDvrOffload,
+                        Technique::kDvrDiscovery, Technique::kOracle}) {
+        SimResult r = Simulator::run(testConfig(t), c.kernel, wp);
+        ASSERT_TRUE(r.halted) << techniqueName(t);
+        EXPECT_TRUE(r.verified) << techniqueName(t);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, WorkloadGolden,
+    testing::Values(WorkloadCase{"bfs", "KR", 7},
+                    WorkloadCase{"bfs", "UR", 7},
+                    WorkloadCase{"bc", "KR", 7},
+                    WorkloadCase{"cc", "TW", 7},
+                    WorkloadCase{"pr", "ORK", 7},
+                    WorkloadCase{"sssp", "LJN", 7},
+                    WorkloadCase{"camel", "", 7},
+                    WorkloadCase{"graph500", "", 7},
+                    WorkloadCase{"hj2", "", 7},
+                    WorkloadCase{"hj8", "", 7},
+                    WorkloadCase{"kangaroo", "", 7},
+                    WorkloadCase{"nas_cg", "", 7},
+                    WorkloadCase{"nas_is", "", 7},
+                    WorkloadCase{"random_access", "", 7}),
+    caseName);
+
+// Cross-input and cross-scale sweep: the golden model must hold for
+// every graph shape (power-law and uniform) and for more than one
+// data-set scale (catches size-dependent kernel bugs).
+INSTANTIATE_TEST_SUITE_P(
+    InputSweep, WorkloadGolden,
+    testing::Values(WorkloadCase{"bfs", "LJN", 7},
+                    WorkloadCase{"bfs", "ORK", 7},
+                    WorkloadCase{"bfs", "TW", 7},
+                    WorkloadCase{"cc", "KR", 7},
+                    WorkloadCase{"cc", "UR", 7},
+                    WorkloadCase{"sssp", "UR", 7},
+                    WorkloadCase{"pr", "UR", 7},
+                    WorkloadCase{"bc", "UR", 7},
+                    WorkloadCase{"bfs", "KR", 5},
+                    WorkloadCase{"camel", "", 5},
+                    WorkloadCase{"nas_cg", "", 5}),
+    caseName);
+
+} // namespace
+} // namespace dvr

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Command-line driver: run any workload under any technique and
+ * configuration and dump the full statistics. The Swiss-army knife
+ * for exploring the simulator outside the fixed figure benches.
+ *
+ *   dvr_run --workload bfs --input KR --technique dvr
+ *   dvr_run -w hj8 -t vr --insts 2000000 --rob 512
+ *   dvr_run -w camel -t dvr --lanes 256 --stats
+ *   dvr_run -w sssp --disasm
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "graph/edge_list_io.hh"
+#include "sim/simulator.hh"
+#include "workloads/gap_common.hh"
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: dvr_run [options]\n"
+        "  -w, --workload NAME   bfs|bc|cc|pr|sssp|camel|graph500|\n"
+        "                        hj2|hj8|kangaroo|nas_cg|nas_is|\n"
+        "                        random_access        (default bfs)\n"
+        "  -i, --input NAME      KR|LJN|ORK|TW|UR (GAP kernels only)\n"
+        "      --graph FILE      run bfs on an edge-list file\n"
+        "                        (SNAP format; overrides -w/-i)\n"
+        "  -t, --technique NAME  base|pre|imp|vr|dvr|dvr-offload|\n"
+        "                        dvr-discovery|oracle (default dvr)\n"
+        "  -n, --insts N         dynamic instruction budget\n"
+        "      --rob N           ROB size (scales queues)\n"
+        "      --lanes N         DVR scalar-equivalent lanes\n"
+        "      --mshrs N         L1-D MSHR count\n"
+        "      --scale-shift N   halve data sets N times\n"
+        "      --predictor NAME  tage|gshare|taken\n"
+        "      --no-reconv       VR-style lane invalidation in DVR\n"
+        "      --stats           dump every statistic\n"
+        "      --json            dump statistics as JSON\n"
+        "      --disasm          print the kernel and exit\n"
+        "      --verify          run to completion, check golden\n"
+        "  -h, --help\n");
+}
+
+const char *
+arg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+    }
+    return argv[++i];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dvr;
+
+    std::string workload = "bfs";
+    WorkloadParams wp;
+    wp.scaleShift = SimConfig::defaultScaleShift();
+    SimConfig cfg = SimConfig::baseline(Technique::kDvr);
+    bool dump_stats = false;
+    bool json = false;
+    bool disasm = false;
+    bool verify = false;
+    std::string technique = "dvr";
+    std::string graph_file;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto is = [a](const char *s, const char *l) {
+            return std::strcmp(a, s) == 0 || std::strcmp(a, l) == 0;
+        };
+        if (is("-w", "--workload")) {
+            workload = arg(argc, argv, i);
+        } else if (is("-i", "--input")) {
+            wp.input = arg(argc, argv, i);
+        } else if (is("--graph", "--graph")) {
+            graph_file = arg(argc, argv, i);
+        } else if (is("-t", "--technique")) {
+            technique = arg(argc, argv, i);
+        } else if (is("-n", "--insts")) {
+            cfg.maxInstructions = std::strtoull(arg(argc, argv, i),
+                                                nullptr, 10);
+        } else if (is("--rob", "--rob")) {
+            cfg.core = CoreConfig::withRob(
+                unsigned(std::strtoul(arg(argc, argv, i), nullptr, 10)),
+                true);
+        } else if (is("--lanes", "--lanes")) {
+            const unsigned lanes = unsigned(
+                std::strtoul(arg(argc, argv, i), nullptr, 10));
+            cfg.dvr.subthread.maxLanes = lanes;
+            cfg.dvr.subthread.vecPhysFree = lanes;
+        } else if (is("--mshrs", "--mshrs")) {
+            cfg.mem.mshrs = unsigned(
+                std::strtoul(arg(argc, argv, i), nullptr, 10));
+        } else if (is("--scale-shift", "--scale-shift")) {
+            wp.scaleShift = unsigned(
+                std::strtoul(arg(argc, argv, i), nullptr, 10));
+        } else if (is("--predictor", "--predictor")) {
+            cfg.core.predictor = arg(argc, argv, i);
+        } else if (is("--no-reconv", "--no-reconv")) {
+            cfg.dvr.subthread.gpuReconvergence = false;
+        } else if (is("--stats", "--stats")) {
+            dump_stats = true;
+        } else if (is("--json", "--json")) {
+            json = true;
+        } else if (is("--disasm", "--disasm")) {
+            disasm = true;
+        } else if (is("--verify", "--verify")) {
+            verify = true;
+        } else if (is("-h", "--help")) {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", a);
+            usage();
+            return 2;
+        }
+    }
+
+    try {
+        cfg.technique = parseTechnique(technique);
+        SimConfig base = cfg;
+        base.technique = Technique::kBase;
+
+        SimMemory mem(cfg.memoryBytes);
+        Workload w;
+        if (!graph_file.empty()) {
+            const LoadedEdgeList l = readEdgeListFile(graph_file);
+            CsrGraph g = buildCsr(mem, l.numNodes, l.edges);
+            w = makeBfsWorkload(mem, std::move(g), "bfs",
+                                "BFS on " + graph_file);
+            workload = "bfs(" + graph_file + ")";
+            wp.input.clear();
+        } else {
+            w = workloadFactory(workload)(mem, wp);
+        }
+        mem.compact();
+
+        if (disasm) {
+            std::printf("%s (%s)\n%s", w.name.c_str(),
+                        w.description.c_str(),
+                        w.program.disassemble().c_str());
+            return 0;
+        }
+        if (verify)
+            cfg.maxInstructions = w.fullRunInsts * 2 + 1'000'000;
+
+        const SimResult r = Simulator::runOn(cfg, w, mem);
+        std::printf("%s%s%s under %s: IPC %.3f, %llu cycles, "
+                    "%llu instructions%s\n",
+                    workload.c_str(), wp.input.empty() ? "" : "_",
+                    wp.input.c_str(), techniqueName(cfg.technique),
+                    r.ipc(), (unsigned long long)r.core.cycles,
+                    (unsigned long long)r.core.instructions,
+                    r.halted ? " (completed)" : "");
+        std::printf("LLC MPKI %.1f, MSHR occupancy %.2f, "
+                    "mispredict rate %.2f%%\n",
+                    r.llcMpki(), r.mshrOccupancy(),
+                    100.0 * double(r.core.mispredicts) /
+                        std::max<uint64_t>(1, r.core.branches));
+        if (verify) {
+            std::printf("golden model: %s\n",
+                        r.verified ? "MATCH" : "MISMATCH");
+            if (!r.verified)
+                return 1;
+        }
+        if (json) {
+            std::fputs(r.stats.toJson().c_str(), stdout);
+        } else if (dump_stats) {
+            for (const auto &[k, v] : r.stats.all())
+                std::printf("  %-34s %18.2f\n", k.c_str(), v);
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
