@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lanes_mshr.dir/abl_lanes_mshr.cc.o"
+  "CMakeFiles/abl_lanes_mshr.dir/abl_lanes_mshr.cc.o.d"
+  "abl_lanes_mshr"
+  "abl_lanes_mshr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lanes_mshr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

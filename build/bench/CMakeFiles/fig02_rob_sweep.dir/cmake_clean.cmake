@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_rob_sweep.dir/fig02_rob_sweep.cc.o"
+  "CMakeFiles/fig02_rob_sweep.dir/fig02_rob_sweep.cc.o.d"
+  "fig02_rob_sweep"
+  "fig02_rob_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_rob_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_mlp.dir/fig09_mlp.cc.o"
+  "CMakeFiles/fig09_mlp.dir/fig09_mlp.cc.o.d"
+  "fig09_mlp"
+  "fig09_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

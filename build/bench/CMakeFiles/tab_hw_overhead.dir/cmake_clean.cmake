@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_hw_overhead.dir/tab_hw_overhead.cc.o"
+  "CMakeFiles/tab_hw_overhead.dir/tab_hw_overhead.cc.o.d"
+  "tab_hw_overhead"
+  "tab_hw_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_hw_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

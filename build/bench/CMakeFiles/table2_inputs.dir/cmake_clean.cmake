@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_inputs.dir/table2_inputs.cc.o"
+  "CMakeFiles/table2_inputs.dir/table2_inputs.cc.o.d"
+  "table2_inputs"
+  "table2_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

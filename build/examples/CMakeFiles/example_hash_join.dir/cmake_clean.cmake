@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hash_join.dir/hash_join.cpp.o"
+  "CMakeFiles/example_hash_join.dir/hash_join.cpp.o.d"
+  "example_hash_join"
+  "example_hash_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hash_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvr_common.dir/common/rng.cc.o"
+  "CMakeFiles/dvr_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/dvr_common.dir/common/stats.cc.o"
+  "CMakeFiles/dvr_common.dir/common/stats.cc.o.d"
+  "libdvr_common.a"
+  "libdvr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/branch_predictor.cc" "src/CMakeFiles/dvr_core.dir/core/branch_predictor.cc.o" "gcc" "src/CMakeFiles/dvr_core.dir/core/branch_predictor.cc.o.d"
+  "/root/repo/src/core/ooo_core.cc" "src/CMakeFiles/dvr_core.dir/core/ooo_core.cc.o" "gcc" "src/CMakeFiles/dvr_core.dir/core/ooo_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

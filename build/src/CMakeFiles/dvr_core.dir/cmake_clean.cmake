@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvr_core.dir/core/branch_predictor.cc.o"
+  "CMakeFiles/dvr_core.dir/core/branch_predictor.cc.o.d"
+  "CMakeFiles/dvr_core.dir/core/ooo_core.cc.o"
+  "CMakeFiles/dvr_core.dir/core/ooo_core.cc.o.d"
+  "libdvr_core.a"
+  "libdvr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

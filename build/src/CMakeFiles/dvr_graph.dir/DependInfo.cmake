@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr_graph.cc" "src/CMakeFiles/dvr_graph.dir/graph/csr_graph.cc.o" "gcc" "src/CMakeFiles/dvr_graph.dir/graph/csr_graph.cc.o.d"
+  "/root/repo/src/graph/edge_list_io.cc" "src/CMakeFiles/dvr_graph.dir/graph/edge_list_io.cc.o" "gcc" "src/CMakeFiles/dvr_graph.dir/graph/edge_list_io.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/dvr_graph.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/dvr_graph.dir/graph/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvr_graph.dir/graph/csr_graph.cc.o"
+  "CMakeFiles/dvr_graph.dir/graph/csr_graph.cc.o.d"
+  "CMakeFiles/dvr_graph.dir/graph/edge_list_io.cc.o"
+  "CMakeFiles/dvr_graph.dir/graph/edge_list_io.cc.o.d"
+  "CMakeFiles/dvr_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/dvr_graph.dir/graph/generators.cc.o.d"
+  "libdvr_graph.a"
+  "libdvr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

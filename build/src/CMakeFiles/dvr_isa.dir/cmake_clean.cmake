@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvr_isa.dir/isa/instruction.cc.o"
+  "CMakeFiles/dvr_isa.dir/isa/instruction.cc.o.d"
+  "CMakeFiles/dvr_isa.dir/isa/program.cc.o"
+  "CMakeFiles/dvr_isa.dir/isa/program.cc.o.d"
+  "CMakeFiles/dvr_isa.dir/isa/program_builder.cc.o"
+  "CMakeFiles/dvr_isa.dir/isa/program_builder.cc.o.d"
+  "libdvr_isa.a"
+  "libdvr_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvr_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvr_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/dvr_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/dvr_mem.dir/mem/dram.cc.o"
+  "CMakeFiles/dvr_mem.dir/mem/dram.cc.o.d"
+  "CMakeFiles/dvr_mem.dir/mem/imp_prefetcher.cc.o"
+  "CMakeFiles/dvr_mem.dir/mem/imp_prefetcher.cc.o.d"
+  "CMakeFiles/dvr_mem.dir/mem/memory_system.cc.o"
+  "CMakeFiles/dvr_mem.dir/mem/memory_system.cc.o.d"
+  "CMakeFiles/dvr_mem.dir/mem/mshr.cc.o"
+  "CMakeFiles/dvr_mem.dir/mem/mshr.cc.o.d"
+  "CMakeFiles/dvr_mem.dir/mem/sim_memory.cc.o"
+  "CMakeFiles/dvr_mem.dir/mem/sim_memory.cc.o.d"
+  "CMakeFiles/dvr_mem.dir/mem/stride_prefetcher.cc.o"
+  "CMakeFiles/dvr_mem.dir/mem/stride_prefetcher.cc.o.d"
+  "libdvr_mem.a"
+  "libdvr_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvr_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runahead/discovery.cc" "src/CMakeFiles/dvr_runahead.dir/runahead/discovery.cc.o" "gcc" "src/CMakeFiles/dvr_runahead.dir/runahead/discovery.cc.o.d"
+  "/root/repo/src/runahead/dvr_controller.cc" "src/CMakeFiles/dvr_runahead.dir/runahead/dvr_controller.cc.o" "gcc" "src/CMakeFiles/dvr_runahead.dir/runahead/dvr_controller.cc.o.d"
+  "/root/repo/src/runahead/hw_overhead.cc" "src/CMakeFiles/dvr_runahead.dir/runahead/hw_overhead.cc.o" "gcc" "src/CMakeFiles/dvr_runahead.dir/runahead/hw_overhead.cc.o.d"
+  "/root/repo/src/runahead/loop_bound.cc" "src/CMakeFiles/dvr_runahead.dir/runahead/loop_bound.cc.o" "gcc" "src/CMakeFiles/dvr_runahead.dir/runahead/loop_bound.cc.o.d"
+  "/root/repo/src/runahead/oracle.cc" "src/CMakeFiles/dvr_runahead.dir/runahead/oracle.cc.o" "gcc" "src/CMakeFiles/dvr_runahead.dir/runahead/oracle.cc.o.d"
+  "/root/repo/src/runahead/pre_controller.cc" "src/CMakeFiles/dvr_runahead.dir/runahead/pre_controller.cc.o" "gcc" "src/CMakeFiles/dvr_runahead.dir/runahead/pre_controller.cc.o.d"
+  "/root/repo/src/runahead/reconvergence_stack.cc" "src/CMakeFiles/dvr_runahead.dir/runahead/reconvergence_stack.cc.o" "gcc" "src/CMakeFiles/dvr_runahead.dir/runahead/reconvergence_stack.cc.o.d"
+  "/root/repo/src/runahead/stride_detector.cc" "src/CMakeFiles/dvr_runahead.dir/runahead/stride_detector.cc.o" "gcc" "src/CMakeFiles/dvr_runahead.dir/runahead/stride_detector.cc.o.d"
+  "/root/repo/src/runahead/subthread.cc" "src/CMakeFiles/dvr_runahead.dir/runahead/subthread.cc.o" "gcc" "src/CMakeFiles/dvr_runahead.dir/runahead/subthread.cc.o.d"
+  "/root/repo/src/runahead/taint_tracker.cc" "src/CMakeFiles/dvr_runahead.dir/runahead/taint_tracker.cc.o" "gcc" "src/CMakeFiles/dvr_runahead.dir/runahead/taint_tracker.cc.o.d"
+  "/root/repo/src/runahead/vr_controller.cc" "src/CMakeFiles/dvr_runahead.dir/runahead/vr_controller.cc.o" "gcc" "src/CMakeFiles/dvr_runahead.dir/runahead/vr_controller.cc.o.d"
+  "/root/repo/src/runahead/vrat.cc" "src/CMakeFiles/dvr_runahead.dir/runahead/vrat.cc.o" "gcc" "src/CMakeFiles/dvr_runahead.dir/runahead/vrat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

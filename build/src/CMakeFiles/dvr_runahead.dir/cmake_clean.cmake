@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvr_runahead.dir/runahead/discovery.cc.o"
+  "CMakeFiles/dvr_runahead.dir/runahead/discovery.cc.o.d"
+  "CMakeFiles/dvr_runahead.dir/runahead/dvr_controller.cc.o"
+  "CMakeFiles/dvr_runahead.dir/runahead/dvr_controller.cc.o.d"
+  "CMakeFiles/dvr_runahead.dir/runahead/hw_overhead.cc.o"
+  "CMakeFiles/dvr_runahead.dir/runahead/hw_overhead.cc.o.d"
+  "CMakeFiles/dvr_runahead.dir/runahead/loop_bound.cc.o"
+  "CMakeFiles/dvr_runahead.dir/runahead/loop_bound.cc.o.d"
+  "CMakeFiles/dvr_runahead.dir/runahead/oracle.cc.o"
+  "CMakeFiles/dvr_runahead.dir/runahead/oracle.cc.o.d"
+  "CMakeFiles/dvr_runahead.dir/runahead/pre_controller.cc.o"
+  "CMakeFiles/dvr_runahead.dir/runahead/pre_controller.cc.o.d"
+  "CMakeFiles/dvr_runahead.dir/runahead/reconvergence_stack.cc.o"
+  "CMakeFiles/dvr_runahead.dir/runahead/reconvergence_stack.cc.o.d"
+  "CMakeFiles/dvr_runahead.dir/runahead/stride_detector.cc.o"
+  "CMakeFiles/dvr_runahead.dir/runahead/stride_detector.cc.o.d"
+  "CMakeFiles/dvr_runahead.dir/runahead/subthread.cc.o"
+  "CMakeFiles/dvr_runahead.dir/runahead/subthread.cc.o.d"
+  "CMakeFiles/dvr_runahead.dir/runahead/taint_tracker.cc.o"
+  "CMakeFiles/dvr_runahead.dir/runahead/taint_tracker.cc.o.d"
+  "CMakeFiles/dvr_runahead.dir/runahead/vr_controller.cc.o"
+  "CMakeFiles/dvr_runahead.dir/runahead/vr_controller.cc.o.d"
+  "CMakeFiles/dvr_runahead.dir/runahead/vrat.cc.o"
+  "CMakeFiles/dvr_runahead.dir/runahead/vrat.cc.o.d"
+  "libdvr_runahead.a"
+  "libdvr_runahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvr_runahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/dvr_sim.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/dvr_sim.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/dvr_sim.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/dvr_sim.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/dvr_sim.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/dvr_sim.dir/sim/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvr_runahead.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvr_sim.dir/sim/config.cc.o"
+  "CMakeFiles/dvr_sim.dir/sim/config.cc.o.d"
+  "CMakeFiles/dvr_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/dvr_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/dvr_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/dvr_sim.dir/sim/simulator.cc.o.d"
+  "libdvr_sim.a"
+  "libdvr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/dataset.cc" "src/CMakeFiles/dvr_workloads.dir/workloads/dataset.cc.o" "gcc" "src/CMakeFiles/dvr_workloads.dir/workloads/dataset.cc.o.d"
+  "/root/repo/src/workloads/gap_bc.cc" "src/CMakeFiles/dvr_workloads.dir/workloads/gap_bc.cc.o" "gcc" "src/CMakeFiles/dvr_workloads.dir/workloads/gap_bc.cc.o.d"
+  "/root/repo/src/workloads/gap_bfs.cc" "src/CMakeFiles/dvr_workloads.dir/workloads/gap_bfs.cc.o" "gcc" "src/CMakeFiles/dvr_workloads.dir/workloads/gap_bfs.cc.o.d"
+  "/root/repo/src/workloads/gap_cc.cc" "src/CMakeFiles/dvr_workloads.dir/workloads/gap_cc.cc.o" "gcc" "src/CMakeFiles/dvr_workloads.dir/workloads/gap_cc.cc.o.d"
+  "/root/repo/src/workloads/gap_pr.cc" "src/CMakeFiles/dvr_workloads.dir/workloads/gap_pr.cc.o" "gcc" "src/CMakeFiles/dvr_workloads.dir/workloads/gap_pr.cc.o.d"
+  "/root/repo/src/workloads/gap_sssp.cc" "src/CMakeFiles/dvr_workloads.dir/workloads/gap_sssp.cc.o" "gcc" "src/CMakeFiles/dvr_workloads.dir/workloads/gap_sssp.cc.o.d"
+  "/root/repo/src/workloads/hpcdb_camel.cc" "src/CMakeFiles/dvr_workloads.dir/workloads/hpcdb_camel.cc.o" "gcc" "src/CMakeFiles/dvr_workloads.dir/workloads/hpcdb_camel.cc.o.d"
+  "/root/repo/src/workloads/hpcdb_graph500.cc" "src/CMakeFiles/dvr_workloads.dir/workloads/hpcdb_graph500.cc.o" "gcc" "src/CMakeFiles/dvr_workloads.dir/workloads/hpcdb_graph500.cc.o.d"
+  "/root/repo/src/workloads/hpcdb_hashjoin.cc" "src/CMakeFiles/dvr_workloads.dir/workloads/hpcdb_hashjoin.cc.o" "gcc" "src/CMakeFiles/dvr_workloads.dir/workloads/hpcdb_hashjoin.cc.o.d"
+  "/root/repo/src/workloads/hpcdb_kangaroo.cc" "src/CMakeFiles/dvr_workloads.dir/workloads/hpcdb_kangaroo.cc.o" "gcc" "src/CMakeFiles/dvr_workloads.dir/workloads/hpcdb_kangaroo.cc.o.d"
+  "/root/repo/src/workloads/hpcdb_nas_cg.cc" "src/CMakeFiles/dvr_workloads.dir/workloads/hpcdb_nas_cg.cc.o" "gcc" "src/CMakeFiles/dvr_workloads.dir/workloads/hpcdb_nas_cg.cc.o.d"
+  "/root/repo/src/workloads/hpcdb_nas_is.cc" "src/CMakeFiles/dvr_workloads.dir/workloads/hpcdb_nas_is.cc.o" "gcc" "src/CMakeFiles/dvr_workloads.dir/workloads/hpcdb_nas_is.cc.o.d"
+  "/root/repo/src/workloads/hpcdb_random_access.cc" "src/CMakeFiles/dvr_workloads.dir/workloads/hpcdb_random_access.cc.o" "gcc" "src/CMakeFiles/dvr_workloads.dir/workloads/hpcdb_random_access.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/dvr_workloads.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/dvr_workloads.dir/workloads/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvr_workloads.dir/workloads/dataset.cc.o"
+  "CMakeFiles/dvr_workloads.dir/workloads/dataset.cc.o.d"
+  "CMakeFiles/dvr_workloads.dir/workloads/gap_bc.cc.o"
+  "CMakeFiles/dvr_workloads.dir/workloads/gap_bc.cc.o.d"
+  "CMakeFiles/dvr_workloads.dir/workloads/gap_bfs.cc.o"
+  "CMakeFiles/dvr_workloads.dir/workloads/gap_bfs.cc.o.d"
+  "CMakeFiles/dvr_workloads.dir/workloads/gap_cc.cc.o"
+  "CMakeFiles/dvr_workloads.dir/workloads/gap_cc.cc.o.d"
+  "CMakeFiles/dvr_workloads.dir/workloads/gap_pr.cc.o"
+  "CMakeFiles/dvr_workloads.dir/workloads/gap_pr.cc.o.d"
+  "CMakeFiles/dvr_workloads.dir/workloads/gap_sssp.cc.o"
+  "CMakeFiles/dvr_workloads.dir/workloads/gap_sssp.cc.o.d"
+  "CMakeFiles/dvr_workloads.dir/workloads/hpcdb_camel.cc.o"
+  "CMakeFiles/dvr_workloads.dir/workloads/hpcdb_camel.cc.o.d"
+  "CMakeFiles/dvr_workloads.dir/workloads/hpcdb_graph500.cc.o"
+  "CMakeFiles/dvr_workloads.dir/workloads/hpcdb_graph500.cc.o.d"
+  "CMakeFiles/dvr_workloads.dir/workloads/hpcdb_hashjoin.cc.o"
+  "CMakeFiles/dvr_workloads.dir/workloads/hpcdb_hashjoin.cc.o.d"
+  "CMakeFiles/dvr_workloads.dir/workloads/hpcdb_kangaroo.cc.o"
+  "CMakeFiles/dvr_workloads.dir/workloads/hpcdb_kangaroo.cc.o.d"
+  "CMakeFiles/dvr_workloads.dir/workloads/hpcdb_nas_cg.cc.o"
+  "CMakeFiles/dvr_workloads.dir/workloads/hpcdb_nas_cg.cc.o.d"
+  "CMakeFiles/dvr_workloads.dir/workloads/hpcdb_nas_is.cc.o"
+  "CMakeFiles/dvr_workloads.dir/workloads/hpcdb_nas_is.cc.o.d"
+  "CMakeFiles/dvr_workloads.dir/workloads/hpcdb_random_access.cc.o"
+  "CMakeFiles/dvr_workloads.dir/workloads/hpcdb_random_access.cc.o.d"
+  "CMakeFiles/dvr_workloads.dir/workloads/registry.cc.o"
+  "CMakeFiles/dvr_workloads.dir/workloads/registry.cc.o.d"
+  "libdvr_workloads.a"
+  "libdvr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

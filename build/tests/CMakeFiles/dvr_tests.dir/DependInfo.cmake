@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_branch_predictor.cc" "tests/CMakeFiles/dvr_tests.dir/test_branch_predictor.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_branch_predictor.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/dvr_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_controllers.cc" "tests/CMakeFiles/dvr_tests.dir/test_controllers.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_controllers.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/dvr_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_differential.cc" "tests/CMakeFiles/dvr_tests.dir/test_differential.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_differential.cc.o.d"
+  "/root/repo/tests/test_graph.cc" "tests/CMakeFiles/dvr_tests.dir/test_graph.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_graph.cc.o.d"
+  "/root/repo/tests/test_hw_overhead.cc" "tests/CMakeFiles/dvr_tests.dir/test_hw_overhead.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_hw_overhead.cc.o.d"
+  "/root/repo/tests/test_io.cc" "tests/CMakeFiles/dvr_tests.dir/test_io.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_io.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/dvr_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_memory.cc" "tests/CMakeFiles/dvr_tests.dir/test_memory.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/test_memory_system.cc" "tests/CMakeFiles/dvr_tests.dir/test_memory_system.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_memory_system.cc.o.d"
+  "/root/repo/tests/test_nested.cc" "tests/CMakeFiles/dvr_tests.dir/test_nested.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_nested.cc.o.d"
+  "/root/repo/tests/test_paper_claims.cc" "tests/CMakeFiles/dvr_tests.dir/test_paper_claims.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_paper_claims.cc.o.d"
+  "/root/repo/tests/test_prefetchers.cc" "tests/CMakeFiles/dvr_tests.dir/test_prefetchers.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_prefetchers.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/dvr_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_runahead_units.cc" "tests/CMakeFiles/dvr_tests.dir/test_runahead_units.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_runahead_units.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/dvr_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/dvr_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_subthread.cc" "tests/CMakeFiles/dvr_tests.dir/test_subthread.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_subthread.cc.o.d"
+  "/root/repo/tests/test_workload_structure.cc" "tests/CMakeFiles/dvr_tests.dir/test_workload_structure.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_workload_structure.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/dvr_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/dvr_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_runahead.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

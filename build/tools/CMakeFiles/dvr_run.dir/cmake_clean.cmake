@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvr_run.dir/dvr_run.cc.o"
+  "CMakeFiles/dvr_run.dir/dvr_run.cc.o.d"
+  "dvr_run"
+  "dvr_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvr_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

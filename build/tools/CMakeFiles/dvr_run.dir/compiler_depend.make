@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dvr_run.
+# This may be replaced when dependencies are built.
