@@ -10,12 +10,13 @@
  *       the DVR subthread (insight #5).
  */
 
+#include <deque>
 #include <iostream>
 
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dvr;
     printBenchHeader(std::cout, "Ablation",
@@ -33,35 +34,52 @@ main()
         "lanes32", "lanes64", "lanes128", "lanes256",
         "mshr12",  "mshr48",  "no-reconv"};
 
-    std::vector<TableRow> rows;
-    for (const auto &[kernel, input] : bms) {
-        PreparedWorkload pw(kernel, input, wp,
-                            SimConfig().memoryBytes);
-        const double ref =
-            pw.run(SimConfig::baseline(Technique::kBase)).ipc();
-        TableRow row{pw.label(), {}};
+    Runner runner(Runner::jobsFromArgs(argc, argv));
+    BenchReport report("abl_lanes_mshr", runner.threads());
 
+    std::deque<PreparedWorkload> prepared;
+    std::vector<SimJob> jobs;
+    for (const auto &[kernel, input] : bms) {
+        prepared.emplace_back(kernel, input, wp,
+                              SimConfig().memoryBytes);
+        const PreparedWorkload *pw = &prepared.back();
+        jobs.push_back({pw, SimConfig::baseline(Technique::kBase),
+                        pw->label() + "/ref"});
         for (unsigned lanes : {32u, 64u, 128u, 256u}) {
             SimConfig cfg = SimConfig::baseline(Technique::kDvr);
             cfg.dvr.subthread.maxLanes = lanes;
             cfg.dvr.subthread.vecPhysFree =
                 lanes;  // phys regs scale with lane count
-            row.values.push_back(pw.run(cfg).ipc() / ref);
+            jobs.push_back({pw, cfg,
+                            pw->label() + "/lanes" +
+                                std::to_string(lanes)});
         }
         for (unsigned mshrs : {12u, 48u}) {
             SimConfig cfg = SimConfig::baseline(Technique::kDvr);
             cfg.mem.mshrs = mshrs;
-            row.values.push_back(pw.run(cfg).ipc() / ref);
+            jobs.push_back({pw, cfg,
+                            pw->label() + "/mshr" +
+                                std::to_string(mshrs)});
         }
         {
             SimConfig cfg = SimConfig::baseline(Technique::kDvr);
             cfg.dvr.subthread.gpuReconvergence = false;
-            row.values.push_back(pw.run(cfg).ipc() / ref);
+            jobs.push_back({pw, cfg, pw->label() + "/no-reconv"});
         }
-        rows.push_back(std::move(row));
-        std::cout << "." << std::flush;
     }
-    std::cout << "\n";
+    const std::vector<SimResult> results = runner.runAll(jobs);
+    for (const SimResult &r : results)
+        report.addResult(r);
+
+    std::vector<TableRow> rows;
+    size_t j = 0;
+    for (const PreparedWorkload &pw : prepared) {
+        const double ref = results[j++].ipc();
+        TableRow row{pw.label(), {}};
+        for (size_t i = 0; i < cols.size(); ++i)
+            row.values.push_back(results[j++].ipc() / ref);
+        rows.push_back(std::move(row));
+    }
 
     printTable(std::cout,
                "Ablation: DVR speedup over baseline per configuration",
@@ -71,5 +89,6 @@ main()
                  " ceiling; disabling reconvergence hurts divergent\n"
                  "kernels (bfs, sssp) but not straight chains"
                  " (camel, hj8).\n";
+    report.write(std::cout);
     return 0;
 }

@@ -12,12 +12,13 @@
  * with a bigger ROB.
  */
 
+#include <deque>
 #include <iostream>
 
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dvr;
     printBenchHeader(std::cout, "Figure 2",
@@ -44,21 +45,41 @@ main()
     cols.push_back("stall%512");
     cols.push_back("VRdly%350");
 
-    std::vector<TableRow> rows;
-    std::vector<std::vector<double>> agg(cols.size());
-    for (const auto &[kernel, input] : bms) {
-        PreparedWorkload pw(kernel, input, wp,
-                            SimConfig().memoryBytes);
-        SimConfig base = SimConfig::baseline(Technique::kBase);
-        const double ref = pw.run(base).ipc();
+    Runner runner(Runner::jobsFromArgs(argc, argv));
+    BenchReport report("fig02", runner.threads());
 
-        TableRow row{pw.label(), {}};
-        double stall128 = 0, stall512 = 0, vr_dly = 0;
+    std::deque<PreparedWorkload> prepared;
+    std::vector<SimJob> jobs;
+    for (const auto &[kernel, input] : bms) {
+        prepared.emplace_back(kernel, input, wp,
+                              SimConfig().memoryBytes);
+        const PreparedWorkload *pw = &prepared.back();
+        jobs.push_back({pw, SimConfig::baseline(Technique::kBase),
+                        pw->label() + "/ref"});
         for (Technique t : {Technique::kBase, Technique::kVr}) {
             for (unsigned r : robs) {
                 SimConfig cfg = SimConfig::baseline(t);
                 cfg.core = CoreConfig::withRob(r);
-                const SimResult res = pw.run(cfg);
+                jobs.push_back({pw, cfg,
+                                pw->label() + "/" + techniqueName(t) +
+                                    "-" + std::to_string(r)});
+            }
+        }
+    }
+    const std::vector<SimResult> results = runner.runAll(jobs);
+    for (const SimResult &r : results)
+        report.addResult(r);
+
+    std::vector<TableRow> rows;
+    std::vector<std::vector<double>> agg(cols.size());
+    size_t j = 0;
+    for (const PreparedWorkload &pw : prepared) {
+        const double ref = results[j++].ipc();
+        TableRow row{pw.label(), {}};
+        double stall128 = 0, stall512 = 0, vr_dly = 0;
+        for (Technique t : {Technique::kBase, Technique::kVr}) {
+            for (unsigned r : robs) {
+                const SimResult &res = results[j++];
                 row.values.push_back(res.ipc() / ref);
                 const double stall =
                     res.stats.get("core.rob_stall_cycles") /
@@ -80,9 +101,7 @@ main()
         for (size_t i = 0; i < row.values.size(); ++i)
             agg[i].push_back(row.values[i]);
         rows.push_back(std::move(row));
-        std::cout << "." << std::flush;
     }
-    std::cout << "\n";
     TableRow mean{"h-mean/avg", {}};
     for (size_t i = 0; i < cols.size(); ++i) {
         mean.values.push_back(i < 10 ? harmonicMean(agg[i])
@@ -98,5 +117,6 @@ main()
                  " steeply from 128 to 512 entries (51% -> 5% in the"
                  " paper);\nVR delayed termination stalls commit ~7%"
                  " of cycles at 350 entries.\n";
+    report.write(std::cout);
     return 0;
 }

@@ -9,12 +9,13 @@
  * (up to 6.4x) approaching the Oracle.
  */
 
+#include <deque>
 #include <iostream>
 
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dvr;
     printBenchHeader(std::cout, "Figure 7",
@@ -30,25 +31,39 @@ main()
     WorkloadParams wp;
     wp.scaleShift = SimConfig::defaultScaleShift();
 
+    Runner runner(Runner::jobsFromArgs(argc, argv));
+    BenchReport report("fig07", runner.threads());
+
+    // Build each data set once; share it read-only across all jobs.
+    std::deque<PreparedWorkload> prepared;
+    std::vector<SimJob> jobs;
+    for (const auto &[kernel, input] : benchmarkMatrix()) {
+        prepared.emplace_back(kernel, input, wp,
+                              SimConfig().memoryBytes);
+        const PreparedWorkload *pw = &prepared.back();
+        jobs.push_back({pw, SimConfig::baseline(Technique::kBase),
+                        pw->label() + "/base"});
+        for (Technique t : techs)
+            jobs.push_back({pw, SimConfig::baseline(t),
+                            pw->label() + "/" + techniqueName(t)});
+    }
+    const std::vector<SimResult> results = runner.runAll(jobs);
+    for (const SimResult &r : results)
+        report.addResult(r);
+
     std::vector<TableRow> rows;
     std::vector<std::vector<double>> speedups(techs.size());
-    for (const auto &[kernel, input] : benchmarkMatrix()) {
-        PreparedWorkload pw(kernel, input, wp,
-                            SimConfig().memoryBytes);
-        SimConfig base = SimConfig::baseline(Technique::kBase);
-        const SimResult rb = pw.run(base);
+    size_t j = 0;
+    for (const PreparedWorkload &pw : prepared) {
+        const SimResult &rb = results[j++];
         TableRow row{pw.label(), {rb.ipc()}};
         for (size_t i = 0; i < techs.size(); ++i) {
-            SimConfig cfg = SimConfig::baseline(techs[i]);
-            const SimResult r = pw.run(cfg);
-            const double s = r.ipc() / rb.ipc();
+            const double s = results[j++].ipc() / rb.ipc();
             row.values.push_back(s);
             speedups[i].push_back(s);
         }
         rows.push_back(std::move(row));
-        std::cout << "." << std::flush;
     }
-    std::cout << "\n";
 
     TableRow hmean{"h-mean", {0.0}};
     for (auto &s : speedups)
@@ -61,5 +76,6 @@ main()
     std::cout << "\npaper shape: h-mean VR ~1.2x, DVR ~2.4x (max 6.4x),"
                  " DVR close to Oracle;\nIMP > VR on simple-indirect"
                  " kernels; VR can lose on bfs_UR.\n";
+    report.write(std::cout);
     return 0;
 }

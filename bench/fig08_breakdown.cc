@@ -11,12 +11,13 @@
  * is uniformly best.
  */
 
+#include <deque>
 #include <iostream>
 
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dvr;
     printBenchHeader(std::cout, "Figure 8",
@@ -31,24 +32,38 @@ main()
     WorkloadParams wp;
     wp.scaleShift = SimConfig::defaultScaleShift();
 
+    Runner runner(Runner::jobsFromArgs(argc, argv));
+    BenchReport report("fig08", runner.threads());
+
+    std::deque<PreparedWorkload> prepared;
+    std::vector<SimJob> jobs;
+    for (const auto &[kernel, input] : benchmarkMatrix()) {
+        prepared.emplace_back(kernel, input, wp,
+                              SimConfig().memoryBytes);
+        const PreparedWorkload *pw = &prepared.back();
+        jobs.push_back({pw, SimConfig::baseline(Technique::kBase),
+                        pw->label() + "/base"});
+        for (Technique t : techs)
+            jobs.push_back({pw, SimConfig::baseline(t),
+                            pw->label() + "/" + techniqueName(t)});
+    }
+    const std::vector<SimResult> results = runner.runAll(jobs);
+    for (const SimResult &r : results)
+        report.addResult(r);
+
     std::vector<TableRow> rows;
     std::vector<std::vector<double>> speedups(techs.size());
-    for (const auto &[kernel, input] : benchmarkMatrix()) {
-        PreparedWorkload pw(kernel, input, wp,
-                            SimConfig().memoryBytes);
-        const double ref =
-            pw.run(SimConfig::baseline(Technique::kBase)).ipc();
+    size_t j = 0;
+    for (const PreparedWorkload &pw : prepared) {
+        const double ref = results[j++].ipc();
         TableRow row{pw.label(), {}};
         for (size_t i = 0; i < techs.size(); ++i) {
-            const double s =
-                pw.run(SimConfig::baseline(techs[i])).ipc() / ref;
+            const double s = results[j++].ipc() / ref;
             row.values.push_back(s);
             speedups[i].push_back(s);
         }
         rows.push_back(std::move(row));
-        std::cout << "." << std::flush;
     }
-    std::cout << "\n";
     TableRow hmean{"h-mean", {}};
     for (auto &s : speedups)
         hmean.values.push_back(harmonicMean(s));
@@ -59,5 +74,6 @@ main()
                cols, rows);
     std::cout << "\npaper shape: VR ~1.2x -> Offload ~1.5x -> Discovery"
                  " helps bc/bfs/sssp -> full DVR best (~2.4x).\n";
+    report.write(std::cout);
     return 0;
 }

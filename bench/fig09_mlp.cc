@@ -7,12 +7,13 @@
  * outstanding requests on average; DVR sustains more than ~10.
  */
 
+#include <deque>
 #include <iostream>
 
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dvr;
     printBenchHeader(std::cout, "Figure 9",
@@ -25,22 +26,35 @@ main()
     WorkloadParams wp;
     wp.scaleShift = SimConfig::defaultScaleShift();
 
+    Runner runner(Runner::jobsFromArgs(argc, argv));
+    BenchReport report("fig09", runner.threads());
+
+    std::deque<PreparedWorkload> prepared;
+    std::vector<SimJob> jobs;
+    for (const auto &[kernel, input] : benchmarkMatrix()) {
+        prepared.emplace_back(kernel, input, wp,
+                              SimConfig().memoryBytes);
+        const PreparedWorkload *pw = &prepared.back();
+        for (Technique t : techs)
+            jobs.push_back({pw, SimConfig::baseline(t),
+                            pw->label() + "/" + techniqueName(t)});
+    }
+    const std::vector<SimResult> results = runner.runAll(jobs);
+    for (const SimResult &r : results)
+        report.addResult(r);
+
     std::vector<TableRow> rows;
     std::vector<std::vector<double>> agg(techs.size());
-    for (const auto &[kernel, input] : benchmarkMatrix()) {
-        PreparedWorkload pw(kernel, input, wp,
-                            SimConfig().memoryBytes);
+    size_t j = 0;
+    for (const PreparedWorkload &pw : prepared) {
         TableRow row{pw.label(), {}};
         for (size_t i = 0; i < techs.size(); ++i) {
-            const SimResult r =
-                pw.run(SimConfig::baseline(techs[i]));
-            row.values.push_back(r.mshrOccupancy());
-            agg[i].push_back(r.mshrOccupancy());
+            const double occ = results[j++].mshrOccupancy();
+            row.values.push_back(occ);
+            agg[i].push_back(occ);
         }
         rows.push_back(std::move(row));
-        std::cout << "." << std::flush;
     }
-    std::cout << "\n";
     TableRow mean{"average", {}};
     for (auto &a : agg)
         mean.values.push_back(arithmeticMean(a));
@@ -50,5 +64,6 @@ main()
                cols, rows, 2);
     std::cout << "\npaper shape: OoO < 4 on average; DVR > 10; simple"
                  " workloads (pr, hpc-db) reach the highest raw MLP.\n";
+    report.write(std::cout);
     return 0;
 }

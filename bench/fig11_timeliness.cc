@@ -10,12 +10,14 @@
  * overlap the main thread's own progress).
  */
 
+#include <algorithm>
+#include <deque>
 #include <iostream>
 
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dvr;
     printBenchHeader(std::cout, "Figure 11",
@@ -27,13 +29,27 @@ main()
     const std::vector<std::string> cols = {"L1%", "L2%", "L3%",
                                            "off-chip%"};
 
+    Runner runner(Runner::jobsFromArgs(argc, argv));
+    BenchReport report("fig11", runner.threads());
+
+    std::deque<PreparedWorkload> prepared;
+    std::vector<SimJob> jobs;
+    for (const auto &[kernel, input] : benchmarkMatrix()) {
+        prepared.emplace_back(kernel, input, wp,
+                              SimConfig().memoryBytes);
+        const PreparedWorkload *pw = &prepared.back();
+        jobs.push_back({pw, SimConfig::baseline(Technique::kDvr),
+                        pw->label() + "/dvr"});
+    }
+    const std::vector<SimResult> results = runner.runAll(jobs);
+    for (const SimResult &r : results)
+        report.addResult(r);
+
     std::vector<TableRow> rows;
     std::vector<std::vector<double>> agg(cols.size());
-    for (const auto &[kernel, input] : benchmarkMatrix()) {
-        PreparedWorkload pw(kernel, input, wp,
-                            SimConfig().memoryBytes);
-        const SimResult r =
-            pw.run(SimConfig::baseline(Technique::kDvr));
+    size_t j = 0;
+    for (const PreparedWorkload &pw : prepared) {
+        const SimResult &r = results[j++];
         const double l1 = r.stats.get("mem.ra_found_l1");
         const double l2 = r.stats.get("mem.ra_found_l2");
         const double l3 = r.stats.get("mem.ra_found_l3");
@@ -48,9 +64,7 @@ main()
         for (size_t i = 0; i < cols.size(); ++i)
             agg[i].push_back(row.values[i]);
         rows.push_back(std::move(row));
-        std::cout << "." << std::flush;
     }
-    std::cout << "\n";
     TableRow mean{"average", {}};
     for (auto &a : agg)
         mean.values.push_back(arithmeticMean(a));
@@ -63,5 +77,6 @@ main()
     std::cout << "\npaper shape: mostly L1 hits, some L2/L3 after"
                  " eviction, 10-20% beyond the LLC (too-late"
                  " prefetches, not inaccuracy).\n";
+    report.write(std::cout);
     return 0;
 }

@@ -9,12 +9,13 @@
  * (1.9x/2.2x/2.2x/2.4x/2.5x at 128/192/224/350/512 in the paper).
  */
 
+#include <deque>
 #include <iostream>
 
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dvr;
     printBenchHeader(std::cout, "Figure 12",
@@ -36,27 +37,43 @@ main()
     for (unsigned r : robs)
         cols.push_back("DVR-" + std::to_string(r));
 
-    std::vector<TableRow> rows;
-    std::vector<std::vector<double>> agg(cols.size());
+    Runner runner(Runner::jobsFromArgs(argc, argv));
+    BenchReport report("fig12", runner.threads());
+
+    std::deque<PreparedWorkload> prepared;
+    std::vector<SimJob> jobs;
     for (const auto &[kernel, input] : bms) {
-        PreparedWorkload pw(kernel, input, wp,
-                            SimConfig().memoryBytes);
-        const double ref =
-            pw.run(SimConfig::baseline(Technique::kBase)).ipc();
-        TableRow row{pw.label(), {}};
+        prepared.emplace_back(kernel, input, wp,
+                              SimConfig().memoryBytes);
+        const PreparedWorkload *pw = &prepared.back();
+        jobs.push_back({pw, SimConfig::baseline(Technique::kBase),
+                        pw->label() + "/ref"});
         for (Technique t : {Technique::kBase, Technique::kDvr}) {
             for (unsigned r : robs) {
                 SimConfig cfg = SimConfig::baseline(t);
                 cfg.core = CoreConfig::withRob(r, true);
-                row.values.push_back(pw.run(cfg).ipc() / ref);
+                jobs.push_back({pw, cfg,
+                                pw->label() + "/" + techniqueName(t) +
+                                    "-" + std::to_string(r)});
             }
         }
+    }
+    const std::vector<SimResult> results = runner.runAll(jobs);
+    for (const SimResult &r : results)
+        report.addResult(r);
+
+    std::vector<TableRow> rows;
+    std::vector<std::vector<double>> agg(cols.size());
+    size_t j = 0;
+    for (const PreparedWorkload &pw : prepared) {
+        const double ref = results[j++].ipc();
+        TableRow row{pw.label(), {}};
+        for (size_t i = 0; i < cols.size(); ++i)
+            row.values.push_back(results[j++].ipc() / ref);
         for (size_t i = 0; i < cols.size(); ++i)
             agg[i].push_back(row.values[i]);
         rows.push_back(std::move(row));
-        std::cout << "." << std::flush;
     }
-    std::cout << "\n";
     TableRow hmean{"h-mean", {}};
     for (auto &a : agg)
         hmean.values.push_back(harmonicMean(a));
@@ -68,5 +85,6 @@ main()
     std::cout << "\npaper shape: DVR's speedup over the same-size OoO"
                  " core holds or grows with ROB size\n(1.9x at 128"
                  " entries up to 2.5x at 512 in the paper).\n";
+    report.write(std::cout);
     return 0;
 }

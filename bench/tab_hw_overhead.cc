@@ -6,13 +6,18 @@
  */
 
 #include <cstdio>
+#include <iostream>
 
 #include "runahead/hw_overhead.hh"
+#include "sim/experiment.hh"
 
 int
 main()
 {
     using namespace dvr;
+    // No simulation here, but emit the perf-trajectory JSON so every
+    // bench target produces a BENCH_*.json.
+    BenchReport report("tab_hw_overhead", 1);
     std::printf("\n== Section 4.4: DVR hardware overhead ==\n");
     std::printf("%-22s %8s\n", "structure", "bytes");
     unsigned total = 0;
@@ -32,5 +37,6 @@ main()
     wide.virCopies = 32;
     std::printf("256-lane DVR variant: %u bytes\n",
                 totalHwOverheadBytes(wide));
+    report.write(std::cout);
     return total == 1139 ? 0 : 1;
 }

@@ -9,14 +9,15 @@
  * same tens-of-MPKI regime, with TW/UR toward the top.
  */
 
+#include <deque>
 #include <iostream>
 
 #include "graph/generators.hh"
 #include "mem/sim_memory.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dvr;
     printBenchHeader(std::cout, "Table 2",
@@ -27,37 +28,52 @@ main()
 
     const std::vector<std::string> cols = {
         "nodes(K)", "edges(K)", "avg-deg", "max-deg", "LLC-MPKI"};
+
+    Runner runner(Runner::jobsFromArgs(argc, argv));
+    BenchReport report("table2", runner.threads());
+
+    // Graph statistics from throwaway builds, and one baseline job
+    // per (GAP kernel, input).
     std::vector<TableRow> rows;
+    std::deque<PreparedWorkload> prepared;
+    std::vector<SimJob> jobs;
     for (const auto &spec : graphInputs()) {
-        // Graph statistics from a throwaway build.
         SimMemory mem(SimConfig().memoryBytes);
         CsrGraph g = buildCsr(mem, inputNodes(spec, wp.scaleShift),
                               makeInputEdges(spec, wp.scaleShift));
-        TableRow row{spec.name,
-                     {double(g.numNodes) / 1e3,
-                      double(g.numEdges) / 1e3, g.avgDegree(),
-                      double(g.maxDegree())}};
-
-        // LLC MPKI aggregated over the five GAP kernels.
-        double misses = 0, insts = 0;
+        rows.push_back({spec.name,
+                        {double(g.numNodes) / 1e3,
+                         double(g.numEdges) / 1e3, g.avgDegree(),
+                         double(g.maxDegree())}});
         for (const auto &kernel : gapKernels()) {
-            PreparedWorkload pw(kernel, spec.name, wp,
-                                SimConfig().memoryBytes);
-            const SimResult r =
-                pw.run(SimConfig::baseline(Technique::kBase));
+            prepared.emplace_back(kernel, spec.name, wp,
+                                  SimConfig().memoryBytes);
+            jobs.push_back({&prepared.back(),
+                            SimConfig::baseline(Technique::kBase),
+                            prepared.back().label()});
+        }
+    }
+    const std::vector<SimResult> results = runner.runAll(jobs);
+    for (const SimResult &r : results)
+        report.addResult(r);
+
+    // LLC MPKI aggregated over the five GAP kernels per input.
+    size_t j = 0;
+    for (auto &row : rows) {
+        double misses = 0, insts = 0;
+        for (size_t k = 0; k < gapKernels().size(); ++k) {
+            const SimResult &r = results[j++];
             misses += r.stats.get("mem.llc_misses");
             insts += double(r.core.instructions);
-            std::cout << "." << std::flush;
         }
         row.values.push_back(1000.0 * misses / insts);
-        rows.push_back(std::move(row));
     }
-    std::cout << "\n";
 
     printTable(std::cout,
                "Table 2: graph inputs (synthetic stand-ins) + MPKI",
                cols, rows, 1);
     std::cout << "\npaper values (full-size graphs): MPKI 19 KR /"
                  " 21 LJN / 18 ORK / 61 TW / 32 UR.\n";
+    report.write(std::cout);
     return 0;
 }

@@ -109,12 +109,19 @@ OooCore::PortTracker::reserve(Cycle want)
             break;
         ++c;
     }
-    // An unpipelined unit blocks its slot for the full latency.
-    for (Cycle o = 0; o < occupancy_; ++o) {
-        if (c + o >= base_ + kWindow)
-            break;
-        ++used_[(c + o) % kWindow];
+    // An unpipelined unit blocks its slot for the full latency. When
+    // the occupancy crosses the window edge, slide the window forward
+    // (dropping the oldest cycles, which are granted-immediately
+    // territory anyway) instead of silently truncating it — otherwise
+    // the tail cycles would alias slots at the window start.
+    if (c + occupancy_ > base_ + kWindow) {
+        const Cycle new_base = c + occupancy_ - kWindow;
+        for (Cycle b = base_; b < new_base; ++b)
+            used_[b % kWindow] = 0;
+        base_ = new_base;
     }
+    for (Cycle o = 0; o < occupancy_; ++o)
+        ++used_[(c + o) % kWindow];
     return c;
 }
 
@@ -123,7 +130,8 @@ OooCore::OooCore(const CoreConfig &cfg, const Program &prog,
     : cfg_(cfg), prog_(prog), mem_(mem), memsys_(memsys),
       client_(client), bpred_(makePredictor(cfg.predictor)),
       commitRing_(cfg.robSize, 0), robHeadDramLoad_(cfg.robSize, false),
-      loadRing_(cfg.lqSize, 0), storeRing_(cfg.sqSize, 0)
+      loadRing_(cfg.lqSize, 0), storeRing_(cfg.sqSize, 0),
+      storeFwd_(kStoreFwdSize)
 {
     for (int c = 0; c < kNumFuClasses; ++c) {
         fu_.emplace_back(kFuCount[c],
@@ -254,9 +262,11 @@ OooCore::run(uint64_t max_insts)
         if (nsrcs >= 2)
             ready = std::max(ready, regs_.ready[inst.rs2]);
         if (inst.isLoad()) {
-            auto it = storeReady_.find(eff_addr >> 3);
-            if (it != storeReady_.end())
-                ready = std::max(ready, it->second);
+            const Addr granule = eff_addr >> 3;
+            const StoreFwdEntry &e =
+                storeFwd_[granule & (kStoreFwdSize - 1)];
+            if (e.tag == granule)
+                ready = std::max(ready, e.ready);
         }
 
         // Issue on a free unit of the right class.
@@ -319,7 +329,10 @@ OooCore::run(uint64_t max_insts)
         if (inst.isStore()) {
             memsys_.access(eff_addr, inst.memBytes(), commit, true,
                            Requester::kMain, pc_, 0);
-            storeReady_[eff_addr >> 3] = complete + 1;
+            const Addr granule = eff_addr >> 3;
+            StoreFwdEntry &e = storeFwd_[granule & (kStoreFwdSize - 1)];
+            e.tag = granule;
+            e.ready = complete + 1;
             storeRing_[storeCount_ % cfg_.sqSize] = commit;
             ++storeCount_;
             ++stats_.stores;

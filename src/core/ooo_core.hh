@@ -20,7 +20,6 @@
 #include <memory>
 #include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
@@ -208,8 +207,18 @@ class OooCore
     Cycle lastCommitCycle_ = 0;
     unsigned committedThisCycle_ = 0;
 
-    // Store-to-load dependence: 8-byte-granule address -> data-ready.
-    std::unordered_map<Addr, Cycle> storeReady_;
+    // Store-to-load dependence: 8-byte-granule address -> data-ready,
+    // in a direct-mapped power-of-two table probed on every load
+    // (replaces an unordered_map lookup on the hot path). A conflict
+    // evicts the older granule, which at worst forgoes a forwarding
+    // delay for a store already far in the past.
+    struct StoreFwdEntry
+    {
+        Addr tag = ~Addr(0);    ///< granule address; ~0 = empty
+        Cycle ready = 0;
+    };
+    static constexpr size_t kStoreFwdSize = 4096;   // power of two
+    std::vector<StoreFwdEntry> storeFwd_;
 
     // Runahead re-trigger guard.
     Cycle runaheadBusyUntil_ = 0;

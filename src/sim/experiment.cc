@@ -1,7 +1,11 @@
 #include "sim/experiment.hh"
 
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <ostream>
+#include <sstream>
+#include <utility>
 
 namespace dvr {
 
@@ -49,6 +53,13 @@ PreparedWorkload::PreparedWorkload(const std::string &kernel,
     label_ = input.empty() ? kernel : kernel + "_" + input;
 }
 
+PreparedWorkload::PreparedWorkload(std::string label, SimMemory memory,
+                                   Workload workload)
+    : label_(std::move(label)), memory_(std::move(memory)),
+      workload_(std::move(workload))
+{
+}
+
 SimResult
 PreparedWorkload::run(const SimConfig &cfg) const
 {
@@ -68,6 +79,53 @@ printBenchHeader(std::ostream &os, const std::string &figure,
        << SimConfig::defaultScaleShift() << " (DVR_SCALE_SHIFT)\n"
        << "########################################################\n";
     os.flush();
+}
+
+BenchReport::BenchReport(std::string figure, unsigned threads)
+    : figure_(std::move(figure)), threads_(threads),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+void
+BenchReport::addResult(const SimResult &r)
+{
+    instructions_ += r.core.instructions;
+}
+
+std::string
+BenchReport::write(std::ostream &echo) const
+{
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const double mips =
+        wall > 0.0 ? double(instructions_) / wall / 1e6 : 0.0;
+
+    std::string dir = ".";
+    if (const char *e = std::getenv("DVR_BENCH_DIR"))
+        dir = e;
+    const std::string path = dir + "/BENCH_" + figure_ + ".json";
+
+    std::ostringstream json;
+    json << std::fixed << std::setprecision(3) << "{\n"
+         << "  \"figure\": \"" << figure_ << "\",\n"
+         << "  \"threads\": " << threads_ << ",\n"
+         << "  \"wall_seconds\": " << wall << ",\n"
+         << "  \"simulated_instructions\": " << instructions_ << ",\n"
+         << "  \"simulated_mips\": " << mips << "\n"
+         << "}\n";
+    std::ofstream out(path);
+    out << json.str();
+
+    echo << "\n[" << path << "] wall " << std::fixed
+         << std::setprecision(1) << wall << " s, "
+         << std::setprecision(1) << mips << " simulated MIPS, "
+         << threads_ << (threads_ == 1 ? " thread" : " threads")
+         << "\n";
+    echo.flush();
+    return path;
 }
 
 } // namespace dvr

@@ -8,6 +8,8 @@
 #ifndef DVR_SIM_EXPERIMENT_HH
 #define DVR_SIM_EXPERIMENT_HH
 
+#include <chrono>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -40,6 +42,14 @@ class PreparedWorkload
                      const WorkloadParams &params,
                      uint64_t memory_bytes);
 
+    /**
+     * Wrap an already-built workload (e.g. one loaded from an edge
+     * list) so it can be submitted to the Runner. Takes ownership of
+     * the memory image; the caller should have compact()ed it.
+     */
+    PreparedWorkload(std::string label, SimMemory memory,
+                     Workload workload);
+
     SimResult run(const SimConfig &cfg) const;
 
     /** "bfs_KR" for GAP kernels, plain kernel name for hpc-db. */
@@ -55,6 +65,36 @@ class PreparedWorkload
 /** Instruction budget and scale shift banner for bench headers. */
 void printBenchHeader(std::ostream &os, const std::string &figure,
                       const std::string &what);
+
+/**
+ * Wall-clock and throughput accounting for one bench run, written as
+ * machine-readable JSON (BENCH_<figure>.json) so the performance
+ * trajectory of the harness is tracked across PRs. The clock starts
+ * at construction.
+ */
+class BenchReport
+{
+  public:
+    /** `figure` is a short id like "fig07"; threads = worker count. */
+    BenchReport(std::string figure, unsigned threads);
+
+    /** Account a finished simulation's dynamic instructions. */
+    void addResult(const SimResult &r);
+    void addInstructions(uint64_t n) { instructions_ += n; }
+
+    /**
+     * Write BENCH_<figure>.json into DVR_BENCH_DIR (default: the
+     * current directory) and echo a one-line summary. Returns the
+     * file path.
+     */
+    std::string write(std::ostream &echo) const;
+
+  private:
+    std::string figure_;
+    unsigned threads_;
+    uint64_t instructions_ = 0;
+    std::chrono::steady_clock::time_point start_;
+};
 
 } // namespace dvr
 

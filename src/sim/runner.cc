@@ -1,0 +1,124 @@
+#include "sim/runner.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace dvr {
+
+Runner::Runner(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Runner::~Runner()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        stop_ = true;
+    }
+    work_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+Runner::workerLoop()
+{
+    for (;;) {
+        size_t idx;
+        {
+            std::unique_lock<std::mutex> lk(mutex_);
+            work_.wait(lk, [this] {
+                return stop_ || (active_ && next_ < jobs_->size());
+            });
+            if (stop_)
+                return;
+            idx = next_++;
+        }
+        const SimJob &job = (*jobs_)[idx];
+        try {
+            if (!job.workload)
+                fatal("Runner: job '" + job.label + "' has no workload");
+            (*results_)[idx] = job.workload->run(job.cfg);
+        } catch (...) {
+            (*errors_)[idx] = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            if (++done_ == jobs_->size()) {
+                active_ = false;
+                batchDone_.notify_all();
+            }
+        }
+    }
+}
+
+std::vector<SimResult>
+Runner::runAll(const std::vector<SimJob> &jobs)
+{
+    std::vector<SimResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+    std::vector<std::exception_ptr> errors(jobs.size());
+    {
+        std::unique_lock<std::mutex> lk(mutex_);
+        panicIf(active_, "Runner::runAll is not reentrant");
+        jobs_ = &jobs;
+        results_ = &results;
+        errors_ = &errors;
+        next_ = 0;
+        done_ = 0;
+        active_ = true;
+        work_.notify_all();
+        batchDone_.wait(lk, [this] { return !active_; });
+        jobs_ = nullptr;
+        results_ = nullptr;
+        errors_ = nullptr;
+    }
+    // Deterministic propagation: the first failed job by submission
+    // order, regardless of which thread hit it first.
+    for (auto &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    return results;
+}
+
+unsigned
+Runner::defaultJobs()
+{
+    if (const char *e = std::getenv("DVR_JOBS")) {
+        const unsigned v = unsigned(std::strtoul(e, nullptr, 10));
+        if (v > 0)
+            return v;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+unsigned
+Runner::jobsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            const unsigned v =
+                unsigned(std::strtoul(argv[i + 1], nullptr, 10));
+            if (v > 0)
+                return v;
+        } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            const unsigned v =
+                unsigned(std::strtoul(argv[i] + 7, nullptr, 10));
+            if (v > 0)
+                return v;
+        }
+    }
+    return defaultJobs();
+}
+
+} // namespace dvr

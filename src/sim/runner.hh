@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Parallel experiment runner: a fixed-size thread pool executing
+ * independent simulations (SimJob) and returning their results in
+ * deterministic submission order, so every results table is
+ * bit-identical regardless of thread count.
+ *
+ * Safe because each Simulator::runOn copies the pristine SimMemory
+ * and builds a private MemorySystem/OooCore/controller stack; the
+ * PreparedWorkload (program + pristine data set) is shared strictly
+ * read-only. There is no global mutable simulator state (audited:
+ * all file/function statics in src/ are const tables, workload
+ * verify lambdas capture by value and only read).
+ */
+
+#ifndef DVR_SIM_RUNNER_HH
+#define DVR_SIM_RUNNER_HH
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+
+namespace dvr {
+
+/**
+ * One simulation to execute: a prepared workload under a config.
+ * The workload must stay alive and unmodified until runAll returns.
+ */
+struct SimJob
+{
+    const PreparedWorkload *workload = nullptr;
+    SimConfig cfg;
+    /** For error messages and progress; not otherwise interpreted. */
+    std::string label;
+};
+
+/**
+ * Fixed-size std::thread pool over SimJobs. Jobs are claimed by index
+ * from the submitted batch, so scheduling is work-stealing-free and
+ * the result vector is always ordered by submission, never by
+ * completion: output tables do not depend on the thread count.
+ */
+class Runner
+{
+  public:
+    explicit Runner(unsigned threads = defaultJobs());
+    ~Runner();
+    Runner(const Runner &) = delete;
+    Runner &operator=(const Runner &) = delete;
+
+    /**
+     * Execute every job and return results in submission order.
+     * If any job threw, the first exception (again in submission
+     * order, independent of thread interleaving) is rethrown after
+     * the whole batch has drained.
+     */
+    std::vector<SimResult> runAll(const std::vector<SimJob> &jobs);
+
+    unsigned threads() const { return unsigned(workers_.size()); }
+
+    /** DVR_JOBS env var if positive, else hardware_concurrency. */
+    static unsigned defaultJobs();
+
+    /**
+     * Parse `--jobs N` / `--jobs=N` from argv (overriding DVR_JOBS);
+     * falls back to defaultJobs(). Unrelated arguments are ignored so
+     * benches can pass their argv through unfiltered.
+     */
+    static unsigned jobsFromArgs(int argc, char **argv);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable work_;
+    std::condition_variable batchDone_;
+    bool stop_ = false;
+    // Current batch (valid while active_).
+    bool active_ = false;
+    const std::vector<SimJob> *jobs_ = nullptr;
+    std::vector<SimResult> *results_ = nullptr;
+    std::vector<std::exception_ptr> *errors_ = nullptr;
+    size_t next_ = 0;
+    size_t done_ = 0;
+};
+
+} // namespace dvr
+
+#endif // DVR_SIM_RUNNER_HH

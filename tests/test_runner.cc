@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Parallel experiment runner: determinism across thread counts
+ * (results must be bit-identical however many workers execute the
+ * batch), submission-order results, deterministic exception
+ * propagation, and edge cases.
+ */
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+
+namespace dvr {
+namespace {
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams wp;
+    wp.scaleShift = 6;      // tiny data sets: tests stay fast
+    return wp;
+}
+
+SimConfig
+smallConfig(Technique t)
+{
+    SimConfig cfg = SimConfig::baseline(t);
+    cfg.maxInstructions = 60'000;
+    return cfg;
+}
+
+TEST(Runner, BitIdenticalAcrossThreadCounts)
+{
+    const PreparedWorkload pw("bfs", "KR", smallParams(),
+                              SimConfig().memoryBytes);
+    const SimConfig cfg = smallConfig(Technique::kDvr);
+
+    // Serial reference, no runner involved.
+    const SimResult serial = pw.run(cfg);
+    ASSERT_GT(serial.core.instructions, 0u);
+
+    std::vector<SimJob> jobs;
+    for (int i = 0; i < 6; ++i)
+        jobs.push_back({&pw, cfg, "dvr#" + std::to_string(i)});
+
+    for (unsigned threads : {1u, 4u}) {
+        Runner runner(threads);
+        EXPECT_EQ(runner.threads(), threads);
+        const std::vector<SimResult> results = runner.runAll(jobs);
+        ASSERT_EQ(results.size(), jobs.size());
+        for (const SimResult &r : results) {
+            // Full StatSet equality: every named stat, every double
+            // bit pattern, must match the serial run.
+            EXPECT_EQ(r.stats.all(), serial.stats.all())
+                << "threads=" << threads;
+            EXPECT_EQ(r.core.instructions, serial.core.instructions);
+            EXPECT_EQ(r.core.cycles, serial.core.cycles);
+        }
+    }
+}
+
+TEST(Runner, ResultsInSubmissionOrder)
+{
+    const PreparedWorkload pw("camel", "", smallParams(),
+                              SimConfig().memoryBytes);
+    // Distinct budgets make each job's result identifiable.
+    const std::vector<uint64_t> budgets = {2'000, 8'000, 4'000,
+                                           16'000, 1'000, 12'000};
+    std::vector<SimJob> jobs;
+    std::vector<SimResult> expected;
+    for (uint64_t b : budgets) {
+        SimConfig cfg = smallConfig(Technique::kBase);
+        cfg.maxInstructions = b;
+        expected.push_back(pw.run(cfg));
+        jobs.push_back({&pw, cfg, "budget" + std::to_string(b)});
+    }
+
+    Runner runner(3);
+    const std::vector<SimResult> results = runner.runAll(jobs);
+    ASSERT_EQ(results.size(), budgets.size());
+    for (size_t i = 0; i < budgets.size(); ++i) {
+        EXPECT_EQ(results[i].core.instructions,
+                  expected[i].core.instructions)
+            << "index " << i;
+        EXPECT_EQ(results[i].stats.all(), expected[i].stats.all())
+            << "index " << i;
+    }
+}
+
+TEST(Runner, PropagatesFirstExceptionBySubmissionOrder)
+{
+    const PreparedWorkload pw("camel", "", smallParams(),
+                              SimConfig().memoryBytes);
+    const SimConfig cfg = smallConfig(Technique::kBase);
+
+    std::vector<SimJob> jobs;
+    jobs.push_back({&pw, cfg, "ok"});
+    jobs.push_back({nullptr, cfg, "first-bad"});
+    jobs.push_back({nullptr, cfg, "second-bad"});
+    jobs.push_back({&pw, cfg, "ok2"});
+
+    Runner runner(4);
+    try {
+        runner.runAll(jobs);
+        FAIL() << "expected a runtime_error";
+    } catch (const std::runtime_error &e) {
+        // Always the earliest failed job, whatever thread ran it.
+        EXPECT_NE(std::string(e.what()).find("first-bad"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // The pool survives a failed batch.
+    const std::vector<SimJob> retry = {{&pw, cfg, "ok"}};
+    EXPECT_EQ(runner.runAll(retry).size(), 1u);
+}
+
+TEST(Runner, ZeroJobsReturnsEmpty)
+{
+    Runner runner(2);
+    EXPECT_TRUE(runner.runAll({}).empty());
+}
+
+TEST(Runner, ZeroThreadsClampsToOne)
+{
+    Runner runner(0);
+    EXPECT_EQ(runner.threads(), 1u);
+}
+
+TEST(Runner, DefaultJobsHonorsEnv)
+{
+    ::setenv("DVR_JOBS", "3", 1);
+    EXPECT_EQ(Runner::defaultJobs(), 3u);
+    ::unsetenv("DVR_JOBS");
+    EXPECT_GE(Runner::defaultJobs(), 1u);
+}
+
+TEST(Runner, JobsFromArgsParsesFlag)
+{
+    const char *argv1[] = {"bench", "--jobs", "5"};
+    EXPECT_EQ(Runner::jobsFromArgs(3, const_cast<char **>(argv1)), 5u);
+    const char *argv2[] = {"bench", "--jobs=7"};
+    EXPECT_EQ(Runner::jobsFromArgs(2, const_cast<char **>(argv2)), 7u);
+}
+
+} // namespace
+} // namespace dvr

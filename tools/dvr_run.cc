@@ -8,15 +8,17 @@
  *   dvr_run -w hj8 -t vr --insts 2000000 --rob 512
  *   dvr_run -w camel -t dvr --lanes 256 --stats
  *   dvr_run -w sssp --disasm
+ *   dvr_run -w bfs -t base,vr,dvr,oracle --jobs 4   # parallel sweep
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "graph/edge_list_io.hh"
-#include "sim/simulator.hh"
+#include "sim/runner.hh"
 #include "workloads/gap_common.hh"
 
 namespace {
@@ -33,7 +35,11 @@ usage()
         "      --graph FILE      run bfs on an edge-list file\n"
         "                        (SNAP format; overrides -w/-i)\n"
         "  -t, --technique NAME  base|pre|imp|vr|dvr|dvr-offload|\n"
-        "                        dvr-discovery|oracle (default dvr)\n"
+        "                        dvr-discovery|oracle (default dvr);\n"
+        "                        a comma-separated list sweeps them\n"
+        "                        in parallel through the job runner\n"
+        "  -j, --jobs N          runner threads for technique sweeps\n"
+        "                        (default: DVR_JOBS or all cores)\n"
         "  -n, --insts N         dynamic instruction budget\n"
         "      --rob N           ROB size (scales queues)\n"
         "      --lanes N         DVR scalar-equivalent lanes\n"
@@ -58,6 +64,41 @@ arg(int argc, char **argv, int &i)
     return argv[++i];
 }
 
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        const size_t comma = s.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+void
+printSummary(const std::string &workload, const dvr::WorkloadParams &wp,
+             dvr::Technique t, const dvr::SimResult &r)
+{
+    std::printf("%s%s%s under %s: IPC %.3f, %llu cycles, "
+                "%llu instructions%s\n",
+                workload.c_str(), wp.input.empty() ? "" : "_",
+                wp.input.c_str(), dvr::techniqueName(t), r.ipc(),
+                (unsigned long long)r.core.cycles,
+                (unsigned long long)r.core.instructions,
+                r.halted ? " (completed)" : "");
+    std::printf("LLC MPKI %.1f, MSHR occupancy %.2f, "
+                "mispredict rate %.2f%%\n",
+                r.llcMpki(), r.mshrOccupancy(),
+                100.0 * double(r.core.mispredicts) /
+                    std::max<uint64_t>(1, r.core.branches));
+}
+
 } // namespace
 
 int
@@ -75,6 +116,7 @@ main(int argc, char **argv)
     bool verify = false;
     std::string technique = "dvr";
     std::string graph_file;
+    unsigned njobs = Runner::defaultJobs();
 
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
@@ -89,6 +131,9 @@ main(int argc, char **argv)
             graph_file = arg(argc, argv, i);
         } else if (is("-t", "--technique")) {
             technique = arg(argc, argv, i);
+        } else if (is("-j", "--jobs")) {
+            njobs = unsigned(
+                std::strtoul(arg(argc, argv, i), nullptr, 10));
         } else if (is("-n", "--insts")) {
             cfg.maxInstructions = std::strtoull(arg(argc, argv, i),
                                                 nullptr, 10);
@@ -130,9 +175,12 @@ main(int argc, char **argv)
     }
 
     try {
-        cfg.technique = parseTechnique(technique);
-        SimConfig base = cfg;
-        base.technique = Technique::kBase;
+        const std::vector<std::string> tech_names =
+            splitList(technique);
+        std::vector<Technique> techs;
+        for (const auto &name : tech_names)
+            techs.push_back(parseTechnique(name));
+        cfg.technique = techs.front();
 
         SimMemory mem(cfg.memoryBytes);
         Workload w;
@@ -157,34 +205,46 @@ main(int argc, char **argv)
         if (verify)
             cfg.maxInstructions = w.fullRunInsts * 2 + 1'000'000;
 
-        const SimResult r = Simulator::runOn(cfg, w, mem);
-        std::printf("%s%s%s under %s: IPC %.3f, %llu cycles, "
-                    "%llu instructions%s\n",
-                    workload.c_str(), wp.input.empty() ? "" : "_",
-                    wp.input.c_str(), techniqueName(cfg.technique),
-                    r.ipc(), (unsigned long long)r.core.cycles,
-                    (unsigned long long)r.core.instructions,
-                    r.halted ? " (completed)" : "");
-        std::printf("LLC MPKI %.1f, MSHR occupancy %.2f, "
-                    "mispredict rate %.2f%%\n",
-                    r.llcMpki(), r.mshrOccupancy(),
-                    100.0 * double(r.core.mispredicts) /
-                        std::max<uint64_t>(1, r.core.branches));
-        if (verify) {
-            std::printf("golden model: %s\n",
-                        r.verified ? "MATCH" : "MISMATCH");
-            if (!r.verified)
-                return 1;
+        // All techniques run against the same prepared data set,
+        // in parallel through the runner; results come back in
+        // submission order so the output is stable.
+        const PreparedWorkload pw(workload, std::move(mem),
+                                  std::move(w));
+        std::vector<SimJob> jobs;
+        for (Technique t : techs) {
+            SimConfig c = cfg;
+            c.technique = t;
+            // The only technique knob runOn does not derive itself.
+            c.mem.impPrefetcher = (t == Technique::kImp);
+            jobs.push_back({&pw, c,
+                            workload + std::string("/") +
+                                techniqueName(t)});
         }
-        if (json) {
-            std::fputs(r.stats.toJson().c_str(), stdout);
-        } else if (dump_stats) {
-            for (const auto &[k, v] : r.stats.all())
-                std::printf("  %-34s %18.2f\n", k.c_str(), v);
+
+        Runner runner(std::min<unsigned>(std::max(1u, njobs),
+                                         unsigned(jobs.size())));
+        const std::vector<SimResult> results = runner.runAll(jobs);
+
+        int rc = 0;
+        for (size_t i = 0; i < results.size(); ++i) {
+            const SimResult &r = results[i];
+            printSummary(workload, wp, techs[i], r);
+            if (verify) {
+                std::printf("golden model: %s\n",
+                            r.verified ? "MATCH" : "MISMATCH");
+                if (!r.verified)
+                    rc = 1;
+            }
+            if (json) {
+                std::fputs(r.stats.toJson().c_str(), stdout);
+            } else if (dump_stats) {
+                for (const auto &[k, v] : r.stats.all())
+                    std::printf("  %-34s %18.2f\n", k.c_str(), v);
+            }
         }
+        return rc;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
     }
-    return 0;
 }
