@@ -13,6 +13,7 @@
 #include <deque>
 #include <iostream>
 
+#include "sim/config_schema.hh"
 #include "sim/runner.hh"
 
 int
@@ -24,6 +25,17 @@ main(int argc, char **argv)
 
     WorkloadParams wp;
     wp.scaleShift = SimConfig::defaultScaleShift();
+
+    const SimConfig base = resolveConfigOrExit("base", argc, argv);
+    const ConfigSchema &schema = ConfigSchema::instance();
+    auto dvrCfg = [&](const std::string &key,
+                      const std::string &value) {
+        SimConfig cfg = base;
+        cfg.technique = parseTechnique("dvr");
+        if (!key.empty())
+            schema.set(cfg, key, value);
+        return cfg;
+    };
 
     const std::vector<std::pair<std::string, std::string>> bms = {
         {"bfs", "KR"}, {"sssp", "KR"}, {"camel", ""},
@@ -40,32 +52,26 @@ main(int argc, char **argv)
     std::deque<PreparedWorkload> prepared;
     std::vector<SimJob> jobs;
     for (const auto &[kernel, input] : bms) {
-        prepared.emplace_back(kernel, input, wp,
-                              SimConfig().memoryBytes);
+        prepared.emplace_back(kernel, input, wp, base.memoryBytes);
         const PreparedWorkload *pw = &prepared.back();
-        jobs.push_back({pw, SimConfig::baseline(Technique::kBase),
-                        pw->label() + "/ref"});
+        jobs.push_back({pw, base, pw->label() + "/ref"});
         for (unsigned lanes : {32u, 64u, 128u, 256u}) {
-            SimConfig cfg = SimConfig::baseline(Technique::kDvr);
-            cfg.dvr.subthread.maxLanes = lanes;
-            cfg.dvr.subthread.vecPhysFree =
-                lanes;  // phys regs scale with lane count
-            jobs.push_back({pw, cfg,
+            // dvr.lanes scales vecPhysFree with the lane count.
+            jobs.push_back({pw,
+                            dvrCfg("dvr.lanes",
+                                   std::to_string(lanes)),
                             pw->label() + "/lanes" +
                                 std::to_string(lanes)});
         }
         for (unsigned mshrs : {12u, 48u}) {
-            SimConfig cfg = SimConfig::baseline(Technique::kDvr);
-            cfg.mem.mshrs = mshrs;
-            jobs.push_back({pw, cfg,
+            jobs.push_back({pw,
+                            dvrCfg("mem.l1dMshrs",
+                                   std::to_string(mshrs)),
                             pw->label() + "/mshr" +
                                 std::to_string(mshrs)});
         }
-        {
-            SimConfig cfg = SimConfig::baseline(Technique::kDvr);
-            cfg.dvr.subthread.gpuReconvergence = false;
-            jobs.push_back({pw, cfg, pw->label() + "/no-reconv"});
-        }
+        jobs.push_back({pw, dvrCfg("dvr.gpuReconvergence", "false"),
+                        pw->label() + "/no-reconv"});
     }
     const std::vector<SimResult> results = runner.runAll(jobs);
     for (const SimResult &r : results)

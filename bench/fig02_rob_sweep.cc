@@ -15,6 +15,7 @@
 #include <deque>
 #include <iostream>
 
+#include "sim/config_schema.hh"
 #include "sim/runner.hh"
 
 int
@@ -25,8 +26,14 @@ main(int argc, char **argv)
                      "OoO and VR vs ROB size + full-ROB stall time");
 
     const unsigned robs[] = {128, 192, 224, 350, 512};
+    const std::vector<std::string> sweep = {"base", "vr"};
     WorkloadParams wp;
     wp.scaleShift = SimConfig::defaultScaleShift();
+
+    // Shared base config; --set/--config on the command line apply to
+    // every job, and runOn derives per-technique knobs through the
+    // registry's prepare hooks once the technique is stamped.
+    const SimConfig base = resolveConfigOrExit("base", argc, argv);
 
     // A representative subset keeps the sweep tractable: one GAP
     // kernel per behaviour class plus the hpc-db set.
@@ -51,18 +58,17 @@ main(int argc, char **argv)
     std::deque<PreparedWorkload> prepared;
     std::vector<SimJob> jobs;
     for (const auto &[kernel, input] : bms) {
-        prepared.emplace_back(kernel, input, wp,
-                              SimConfig().memoryBytes);
+        prepared.emplace_back(kernel, input, wp, base.memoryBytes);
         const PreparedWorkload *pw = &prepared.back();
-        jobs.push_back({pw, SimConfig::baseline(Technique::kBase),
-                        pw->label() + "/ref"});
-        for (Technique t : {Technique::kBase, Technique::kVr}) {
+        jobs.push_back({pw, base, pw->label() + "/ref"});
+        for (const std::string &t : sweep) {
             for (unsigned r : robs) {
-                SimConfig cfg = SimConfig::baseline(t);
+                SimConfig cfg = base;
+                cfg.technique = parseTechnique(t);
                 cfg.core = CoreConfig::withRob(r);
                 jobs.push_back({pw, cfg,
-                                pw->label() + "/" + techniqueName(t) +
-                                    "-" + std::to_string(r)});
+                                pw->label() + "/" + t + "-" +
+                                    std::to_string(r)});
             }
         }
     }
@@ -77,18 +83,18 @@ main(int argc, char **argv)
         const double ref = results[j++].ipc();
         TableRow row{pw.label(), {}};
         double stall128 = 0, stall512 = 0, vr_dly = 0;
-        for (Technique t : {Technique::kBase, Technique::kVr}) {
+        for (const std::string &t : sweep) {
             for (unsigned r : robs) {
                 const SimResult &res = results[j++];
                 row.values.push_back(res.ipc() / ref);
                 const double stall =
                     res.stats.get("core.rob_stall_cycles") /
                     double(res.core.cycles);
-                if (t == Technique::kBase && r == 128)
+                if (t == "base" && r == 128)
                     stall128 = 100.0 * stall;
-                if (t == Technique::kBase && r == 512)
+                if (t == "base" && r == 512)
                     stall512 = 100.0 * stall;
-                if (t == Technique::kVr && r == 350) {
+                if (t == "vr" && r == 350) {
                     vr_dly = 100.0 *
                              res.stats.get("core.runahead_extra_stall") /
                              double(res.core.cycles);

@@ -14,6 +14,7 @@
 #include <deque>
 #include <iostream>
 
+#include "sim/config_schema.hh"
 #include "sim/runner.hh"
 
 int
@@ -23,14 +24,15 @@ main(int argc, char **argv)
     printBenchHeader(std::cout, "Figure 8",
                      "DVR breakdown: VR / +Offload / +Discovery / +Nested");
 
-    const std::vector<Technique> techs = {
-        Technique::kVr, Technique::kDvrOffload,
-        Technique::kDvrDiscovery, Technique::kDvr};
+    const std::vector<std::string> techs = {"vr", "dvr-offload",
+                                            "dvr-discovery", "dvr"};
     const std::vector<std::string> cols = {"VR", "+Offload",
                                            "+Discovery", "+Nested"};
 
     WorkloadParams wp;
     wp.scaleShift = SimConfig::defaultScaleShift();
+
+    const SimConfig base = resolveConfigOrExit("base", argc, argv);
 
     Runner runner(Runner::jobsFromArgs(argc, argv));
     BenchReport report("fig08", runner.threads());
@@ -38,14 +40,14 @@ main(int argc, char **argv)
     std::deque<PreparedWorkload> prepared;
     std::vector<SimJob> jobs;
     for (const auto &[kernel, input] : benchmarkMatrix()) {
-        prepared.emplace_back(kernel, input, wp,
-                              SimConfig().memoryBytes);
+        prepared.emplace_back(kernel, input, wp, base.memoryBytes);
         const PreparedWorkload *pw = &prepared.back();
-        jobs.push_back({pw, SimConfig::baseline(Technique::kBase),
-                        pw->label() + "/base"});
-        for (Technique t : techs)
-            jobs.push_back({pw, SimConfig::baseline(t),
-                            pw->label() + "/" + techniqueName(t)});
+        jobs.push_back({pw, base, pw->label() + "/base"});
+        for (const std::string &t : techs) {
+            SimConfig cfg = base;
+            cfg.technique = parseTechnique(t);
+            jobs.push_back({pw, cfg, pw->label() + "/" + t});
+        }
     }
     const std::vector<SimResult> results = runner.runAll(jobs);
     for (const SimResult &r : results)

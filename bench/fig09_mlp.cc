@@ -10,6 +10,7 @@
 #include <deque>
 #include <iostream>
 
+#include "sim/config_schema.hh"
 #include "sim/runner.hh"
 
 int
@@ -19,12 +20,13 @@ main(int argc, char **argv)
     printBenchHeader(std::cout, "Figure 9",
                      "MLP: average MSHRs in use per cycle");
 
-    const std::vector<Technique> techs = {
-        Technique::kBase, Technique::kVr, Technique::kDvr};
+    const std::vector<std::string> techs = {"base", "vr", "dvr"};
     const std::vector<std::string> cols = {"OoO", "VR", "DVR"};
 
     WorkloadParams wp;
     wp.scaleShift = SimConfig::defaultScaleShift();
+
+    const SimConfig base = resolveConfigOrExit("base", argc, argv);
 
     Runner runner(Runner::jobsFromArgs(argc, argv));
     BenchReport report("fig09", runner.threads());
@@ -32,12 +34,13 @@ main(int argc, char **argv)
     std::deque<PreparedWorkload> prepared;
     std::vector<SimJob> jobs;
     for (const auto &[kernel, input] : benchmarkMatrix()) {
-        prepared.emplace_back(kernel, input, wp,
-                              SimConfig().memoryBytes);
+        prepared.emplace_back(kernel, input, wp, base.memoryBytes);
         const PreparedWorkload *pw = &prepared.back();
-        for (Technique t : techs)
-            jobs.push_back({pw, SimConfig::baseline(t),
-                            pw->label() + "/" + techniqueName(t)});
+        for (const std::string &t : techs) {
+            SimConfig cfg = base;
+            cfg.technique = parseTechnique(t);
+            jobs.push_back({pw, cfg, pw->label() + "/" + t});
+        }
     }
     const std::vector<SimResult> results = runner.runAll(jobs);
     for (const SimResult &r : results)

@@ -14,6 +14,7 @@
 #include <deque>
 #include <iostream>
 
+#include "sim/config_schema.hh"
 #include "sim/runner.hh"
 
 int
@@ -26,6 +27,8 @@ main(int argc, char **argv)
     WorkloadParams wp;
     wp.scaleShift = SimConfig::defaultScaleShift();
 
+    const SimConfig base = resolveConfigOrExit("dvr", argc, argv);
+
     const std::vector<std::string> cols = {"L1%", "L2%", "L3%",
                                            "off-chip%"};
 
@@ -35,11 +38,9 @@ main(int argc, char **argv)
     std::deque<PreparedWorkload> prepared;
     std::vector<SimJob> jobs;
     for (const auto &[kernel, input] : benchmarkMatrix()) {
-        prepared.emplace_back(kernel, input, wp,
-                              SimConfig().memoryBytes);
+        prepared.emplace_back(kernel, input, wp, base.memoryBytes);
         const PreparedWorkload *pw = &prepared.back();
-        jobs.push_back({pw, SimConfig::baseline(Technique::kDvr),
-                        pw->label() + "/dvr"});
+        jobs.push_back({pw, base, pw->label() + "/dvr"});
     }
     const std::vector<SimResult> results = runner.runAll(jobs);
     for (const SimResult &r : results)

@@ -12,6 +12,7 @@
 #include <deque>
 #include <iostream>
 
+#include "sim/config_schema.hh"
 #include "sim/runner.hh"
 
 int
@@ -22,8 +23,11 @@ main(int argc, char **argv)
                      "DVR vs ROB size (gains persist at large ROBs)");
 
     const unsigned robs[] = {128, 192, 224, 350, 512};
+    const std::vector<std::string> sweep = {"base", "dvr"};
     WorkloadParams wp;
     wp.scaleShift = SimConfig::defaultScaleShift();
+
+    const SimConfig base = resolveConfigOrExit("base", argc, argv);
 
     const std::vector<std::pair<std::string, std::string>> bms = {
         {"bfs", "KR"}, {"bfs", "UR"}, {"cc", "KR"},
@@ -43,18 +47,17 @@ main(int argc, char **argv)
     std::deque<PreparedWorkload> prepared;
     std::vector<SimJob> jobs;
     for (const auto &[kernel, input] : bms) {
-        prepared.emplace_back(kernel, input, wp,
-                              SimConfig().memoryBytes);
+        prepared.emplace_back(kernel, input, wp, base.memoryBytes);
         const PreparedWorkload *pw = &prepared.back();
-        jobs.push_back({pw, SimConfig::baseline(Technique::kBase),
-                        pw->label() + "/ref"});
-        for (Technique t : {Technique::kBase, Technique::kDvr}) {
+        jobs.push_back({pw, base, pw->label() + "/ref"});
+        for (const std::string &t : sweep) {
             for (unsigned r : robs) {
-                SimConfig cfg = SimConfig::baseline(t);
+                SimConfig cfg = base;
+                cfg.technique = parseTechnique(t);
                 cfg.core = CoreConfig::withRob(r, true);
                 jobs.push_back({pw, cfg,
-                                pw->label() + "/" + techniqueName(t) +
-                                    "-" + std::to_string(r)});
+                                pw->label() + "/" + t + "-" +
+                                    std::to_string(r)});
             }
         }
     }

@@ -14,6 +14,7 @@
 
 #include "graph/generators.hh"
 #include "mem/sim_memory.hh"
+#include "sim/config_schema.hh"
 #include "sim/runner.hh"
 
 int
@@ -25,6 +26,8 @@ main(int argc, char **argv)
 
     WorkloadParams wp;
     wp.scaleShift = SimConfig::defaultScaleShift();
+
+    const SimConfig base = resolveConfigOrExit("base", argc, argv);
 
     const std::vector<std::string> cols = {
         "nodes(K)", "edges(K)", "avg-deg", "max-deg", "LLC-MPKI"};
@@ -38,7 +41,7 @@ main(int argc, char **argv)
     std::deque<PreparedWorkload> prepared;
     std::vector<SimJob> jobs;
     for (const auto &spec : graphInputs()) {
-        SimMemory mem(SimConfig().memoryBytes);
+        SimMemory mem(base.memoryBytes);
         CsrGraph g = buildCsr(mem, inputNodes(spec, wp.scaleShift),
                               makeInputEdges(spec, wp.scaleShift));
         rows.push_back({spec.name,
@@ -47,9 +50,8 @@ main(int argc, char **argv)
                          double(g.maxDegree())}});
         for (const auto &kernel : gapKernels()) {
             prepared.emplace_back(kernel, spec.name, wp,
-                                  SimConfig().memoryBytes);
-            jobs.push_back({&prepared.back(),
-                            SimConfig::baseline(Technique::kBase),
+                                  base.memoryBytes);
+            jobs.push_back({&prepared.back(), base,
                             prepared.back().label()});
         }
     }

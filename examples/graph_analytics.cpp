@@ -22,25 +22,24 @@ main(int argc, char **argv)
 
     WorkloadParams wp;
     wp.scaleShift = 2;  // quick demo size
-    const std::vector<Technique> techs = {
-        Technique::kPre, Technique::kImp, Technique::kVr,
-        Technique::kDvr, Technique::kOracle};
+    const std::vector<std::string> techs = {"pre", "imp", "vr", "dvr",
+                                            "oracle"};
 
     std::printf("%s across the five graph inputs "
                 "(speedup over baseline OoO):\n\n",
                 kernel.c_str());
     std::printf("%-8s %10s", "input", "base-IPC");
-    for (Technique t : techs)
-        std::printf(" %10s", techniqueName(t));
+    for (const std::string &t : techs)
+        std::printf(" %10s", t.c_str());
     std::printf("\n");
 
     for (const auto &spec : graphInputs()) {
         PreparedWorkload pw(kernel, spec.name, wp, 192ULL << 20);
-        SimConfig base = SimConfig::baseline(Technique::kBase);
+        SimConfig base = SimConfig::baseline("base");
         base.maxInstructions = 300'000;
         const SimResult rb = pw.run(base);
         std::printf("%-8s %10.3f", spec.name.c_str(), rb.ipc());
-        for (Technique t : techs) {
+        for (const std::string &t : techs) {
             SimConfig cfg = SimConfig::baseline(t);
             cfg.maxInstructions = base.maxInstructions;
             std::printf(" %9.2fx", pw.run(cfg).ipc() / rb.ipc());
@@ -50,7 +49,7 @@ main(int argc, char **argv)
 
     // Peek inside DVR on the power-law KR graph.
     PreparedWorkload pw(kernel, "KR", wp, 192ULL << 20);
-    SimConfig cfg = SimConfig::baseline(Technique::kDvr);
+    SimConfig cfg = SimConfig::baseline("dvr");
     cfg.maxInstructions = 300'000;
     const SimResult r = pw.run(cfg);
     std::printf("\nDVR internals on %s_KR:\n", kernel.c_str());

@@ -23,9 +23,9 @@ main()
                 "DVR-IPC", "speedup", "baseMLP", "dvrMLP");
     for (const char *kernel : {"hj2", "hj8"}) {
         PreparedWorkload pw(kernel, "", wp, 192ULL << 20);
-        SimConfig base = SimConfig::baseline(Technique::kBase);
+        SimConfig base = SimConfig::baseline("base");
         base.maxInstructions = 300'000;
-        SimConfig dvr_cfg = SimConfig::baseline(Technique::kDvr);
+        SimConfig dvr_cfg = SimConfig::baseline("dvr");
         dvr_cfg.maxInstructions = base.maxInstructions;
         const SimResult rb = pw.run(base);
         const SimResult rd = pw.run(dvr_cfg);
@@ -36,7 +36,7 @@ main()
 
     // Deep dive on hj8's memory behaviour under DVR.
     PreparedWorkload pw("hj8", "", wp, 192ULL << 20);
-    SimConfig cfg = SimConfig::baseline(Technique::kDvr);
+    SimConfig cfg = SimConfig::baseline("dvr");
     cfg.maxInstructions = 300'000;
     const SimResult r = pw.run(cfg);
     const double l1 = r.stats.get("mem.ra_found_l1");

@@ -27,9 +27,9 @@ main(int argc, char **argv)
     Workload w = workloadFactory(kernel)(mem, wp);
     std::printf("program: %u static instructions\n", w.program.size());
 
-    SimConfig base = SimConfig::baseline(Technique::kBase);
+    SimConfig base = SimConfig::baseline("base");
     base.maxInstructions = 400'000;
-    SimConfig dvr_cfg = SimConfig::baseline(Technique::kDvr);
+    SimConfig dvr_cfg = SimConfig::baseline("dvr");
     dvr_cfg.maxInstructions = base.maxInstructions;
 
     std::printf("running baseline out-of-order core...\n");

@@ -33,8 +33,9 @@ DvrStats::toStatSet() const
 }
 
 DvrController::DvrController(const DvrConfig &cfg, const Program &prog,
-                             const SimMemory &mem, MemorySystem &memsys)
-    : cfg_(cfg), detector_(32), discovery_(detector_),
+                             const SimMemory &mem, MemorySystem &memsys,
+                             const char *name)
+    : cfg_(cfg), name_(name), detector_(32), discovery_(detector_),
       subthread_(cfg.subthread, prog, mem, memsys)
 {
 }

@@ -23,6 +23,7 @@
 #include "runahead/discovery.hh"
 #include "runahead/stride_detector.hh"
 #include "runahead/subthread.hh"
+#include "runahead/technique.hh"
 
 namespace dvr {
 
@@ -57,14 +58,27 @@ struct DvrStats
     StatSet toStatSet() const;
 };
 
-class DvrController : public CoreClient
+class DvrController : public RunaheadTechnique
 {
   public:
+    /**
+     * `name` distinguishes the Figure 8 feature-breakdown variants
+     * ("dvr-offload", "dvr-discovery") sharing this class.
+     */
     DvrController(const DvrConfig &cfg, const Program &prog,
-                  const SimMemory &mem, MemorySystem &memsys);
+                  const SimMemory &mem, MemorySystem &memsys,
+                  const char *name = "dvr");
 
     /** The core must be attached before the run starts. */
     void attachCore(const OooCore &core) { core_ = &core; }
+
+    const char *name() const override { return name_; }
+    const char *statPrefix() const override { return "dvr."; }
+    void attach(OooCore &core) override { attachCore(core); }
+    void finalizeStats(StatSet &out) const override
+    {
+        out.merge(statPrefix(), stats_.toStatSet());
+    }
 
     void onRetire(const RetireInfo &ri) override;
 
@@ -77,6 +91,7 @@ class DvrController : public CoreClient
     void accumulate(const EpisodeStats &ep);
 
     const DvrConfig cfg_;
+    const char *name_;
     const OooCore *core_ = nullptr;
     StrideDetector detector_;
     DiscoveryMode discovery_;

@@ -17,6 +17,7 @@
 #include "common/stats.hh"
 #include "core/ooo_core.hh"
 #include "mem/memory_system.hh"
+#include "runahead/technique.hh"
 
 namespace dvr {
 
@@ -37,11 +38,18 @@ struct OracleConfig
     unsigned lookaheadLoads = 192;
 };
 
-class OracleController : public CoreClient
+class OracleController : public RunaheadTechnique
 {
   public:
     OracleController(const OracleConfig &cfg, MemorySystem &memsys,
                      std::vector<Addr> trace);
+
+    const char *name() const override { return "oracle"; }
+    const char *statPrefix() const override { return "oracle."; }
+    void finalizeStats(StatSet &out) const override
+    {
+        out.merge(statPrefix(), toStatSet());
+    }
 
     void onRetire(const RetireInfo &ri) override;
 

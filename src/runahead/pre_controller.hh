@@ -18,6 +18,7 @@
 #include "common/stats.hh"
 #include "core/ooo_core.hh"
 #include "mem/memory_system.hh"
+#include "runahead/technique.hh"
 
 namespace dvr {
 
@@ -29,13 +30,21 @@ struct PreConfig
     unsigned maxWalkInsts = 2048;   ///< safety cap per episode
 };
 
-class PreController : public CoreClient
+class PreController : public RunaheadTechnique
 {
   public:
     PreController(const PreConfig &cfg, const Program &prog,
                   const SimMemory &mem, MemorySystem &memsys);
 
     void attachCore(const OooCore &core) { core_ = &core; }
+
+    const char *name() const override { return "pre"; }
+    const char *statPrefix() const override { return "pre."; }
+    void attach(OooCore &core) override { attachCore(core); }
+    void finalizeStats(StatSet &out) const override
+    {
+        out.merge(statPrefix(), toStatSet());
+    }
 
     Cycle onFullRobStall(const StallInfo &si) override;
 

@@ -1,0 +1,152 @@
+#include "runahead/technique.hh"
+
+#include "common/log.hh"
+#include "mem/sim_memory.hh"
+#include "runahead/dvr_controller.hh"
+#include "runahead/oracle.hh"
+#include "runahead/pre_controller.hh"
+#include "runahead/vr_controller.hh"
+#include "sim/config.hh"
+
+namespace dvr {
+
+TechniqueRegistry &
+TechniqueRegistry::instance()
+{
+    static TechniqueRegistry r;
+    return r;
+}
+
+void
+TechniqueRegistry::add(TechniqueInfo info)
+{
+    if (find(info.name))
+        fatal("TechniqueRegistry: duplicate technique '" + info.name +
+              "'");
+    entries_.push_back(std::move(info));
+}
+
+const TechniqueInfo *
+TechniqueRegistry::find(const std::string &name) const
+{
+    for (const TechniqueInfo &e : entries_) {
+        if (e.name == name)
+            return &e;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+TechniqueRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const TechniqueInfo &e : entries_)
+        out.push_back(e.name);
+    return out;
+}
+
+// The builtin techniques register here, in the registry's own
+// translation unit: every binary that can run a simulation references
+// the registry, so the registrations can never be dropped as an
+// unreferenced archive member. Out-of-tree techniques register from
+// their own translation units with the same TechniqueRegistrar.
+namespace {
+
+const TechniqueRegistrar regBase({
+    "base",
+    "OoO baseline (stride prefetcher always on)",
+    nullptr,
+    nullptr,
+});
+
+const TechniqueRegistrar regPre({
+    "pre",
+    "Precise Runahead Execution (HPCA 2020)",
+    nullptr,
+    [](const TechniqueContext &ctx)
+        -> std::unique_ptr<RunaheadTechnique> {
+        return std::make_unique<PreController>(ctx.cfg.pre, ctx.prog,
+                                               ctx.mem, ctx.memsys);
+    },
+});
+
+const TechniqueRegistrar regImp({
+    "imp",
+    "Indirect Memory Prefetcher (L1-D level)",
+    [](SimConfig &c) { c.mem.impPrefetcher = true; },
+    nullptr,
+});
+
+const TechniqueRegistrar regVr({
+    "vr",
+    "Vector Runahead (ISCA 2021)",
+    nullptr,
+    [](const TechniqueContext &ctx)
+        -> std::unique_ptr<RunaheadTechnique> {
+        return std::make_unique<VrController>(ctx.cfg.vr, ctx.prog,
+                                              ctx.mem, ctx.memsys);
+    },
+});
+
+std::unique_ptr<RunaheadTechnique>
+makeDvr(const TechniqueContext &ctx, const char *name)
+{
+    return std::make_unique<DvrController>(ctx.cfg.dvr, ctx.prog,
+                                           ctx.mem, ctx.memsys, name);
+}
+
+const TechniqueRegistrar regDvr({
+    "dvr",
+    "Decoupled Vector Runahead (full)",
+    nullptr,
+    [](const TechniqueContext &ctx)
+        -> std::unique_ptr<RunaheadTechnique> {
+        return makeDvr(ctx, "dvr");
+    },
+});
+
+const TechniqueRegistrar regDvrOffload({
+    "dvr-offload",
+    "DVR feature breakdown: offload only (Figure 8)",
+    [](SimConfig &c) {
+        c.dvr.discoveryEnabled = false;
+        c.dvr.nestedEnabled = false;
+        // "Offload" is Vector Runahead moved onto the subthread:
+        // first-lane control flow with lane invalidation; the GPU
+        // reconvergence stack arrives with the full DVR feature set.
+        c.dvr.subthread.gpuReconvergence = false;
+    },
+    [](const TechniqueContext &ctx)
+        -> std::unique_ptr<RunaheadTechnique> {
+        return makeDvr(ctx, "dvr-offload");
+    },
+});
+
+const TechniqueRegistrar regDvrDiscovery({
+    "dvr-discovery",
+    "DVR feature breakdown: + discovery, no nested (Figure 8)",
+    [](SimConfig &c) { c.dvr.nestedEnabled = false; },
+    [](const TechniqueContext &ctx)
+        -> std::unique_ptr<RunaheadTechnique> {
+        return makeDvr(ctx, "dvr-discovery");
+    },
+});
+
+const TechniqueRegistrar regOracle({
+    "oracle",
+    "perfect-knowledge prefetcher (recorded load trace)",
+    nullptr,
+    [](const TechniqueContext &ctx)
+        -> std::unique_ptr<RunaheadTechnique> {
+        SimMemory scratch = ctx.pristine;
+        auto trace = recordLoadTrace(ctx.prog, scratch,
+                                     ctx.cfg.maxInstructions);
+        return std::make_unique<OracleController>(
+            ctx.cfg.oracle, ctx.memsys, std::move(trace));
+    },
+});
+
+} // namespace
+
+} // namespace dvr

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The pluggable technique seam: every runahead/prefetching technique
+ * the simulator can wire onto the core implements RunaheadTechnique,
+ * and a string-keyed factory registry constructs them from a
+ * SimConfig. The simulator knows only this interface; adding a new
+ * technique means registering one more factory, not editing the sim
+ * layer.
+ */
+
+#ifndef DVR_RUNAHEAD_TECHNIQUE_HH
+#define DVR_RUNAHEAD_TECHNIQUE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/ooo_core.hh"
+
+namespace dvr {
+
+class Program;
+class SimMemory;
+class MemorySystem;
+struct SimConfig;
+
+/**
+ * A runahead technique as the simulator sees it: a CoreClient (retire
+ * stream + full-ROB-stall hooks) that can also attach to the core,
+ * name itself, and contribute its statistics to the run's StatSet.
+ */
+class RunaheadTechnique : public CoreClient
+{
+  public:
+    ~RunaheadTechnique() override = default;
+
+    /** Registry key, e.g. "dvr" (for labels and error messages). */
+    virtual const char *name() const = 0;
+
+    /** Prefix its stats are merged under, e.g. "dvr.". */
+    virtual const char *statPrefix() const = 0;
+
+    /** Called once, after core construction and before the run. */
+    virtual void attach(OooCore &) {}
+
+    /** Merge this technique's counters into the run's stat set. */
+    virtual void finalizeStats(StatSet &) const {}
+};
+
+/**
+ * Everything a technique factory may need to build an instance. All
+ * references outlive the technique for the duration of the run.
+ */
+struct TechniqueContext
+{
+    const SimConfig &cfg;
+    const Program &prog;
+    /** The run's working memory image (shared with the core). */
+    const SimMemory &mem;
+    /** The untouched image (for oracle-style functional pre-runs). */
+    const SimMemory &pristine;
+    MemorySystem &memsys;
+};
+
+/** One registered technique: its key and construction hooks. */
+struct TechniqueInfo
+{
+    std::string name;
+    std::string description;
+    /**
+     * Normalize the configuration for this technique (e.g. "imp"
+     * enables the IMP prefetcher, "dvr-offload" strips discovery).
+     * Applied by Simulator::runOn before any component is built, and
+     * by SimConfig::baseline. Must be idempotent. May be null.
+     */
+    void (*prepare)(SimConfig &) = nullptr;
+    /**
+     * Build the technique. May be null (or return null) for
+     * techniques that need no core client (base, imp).
+     */
+    std::unique_ptr<RunaheadTechnique> (*create)(
+        const TechniqueContext &) = nullptr;
+};
+
+/**
+ * String-keyed technique factory registry. Techniques self-register
+ * via TechniqueRegistrar statics; lookups are by the same names
+ * parseTechnique accepts.
+ */
+class TechniqueRegistry
+{
+  public:
+    static TechniqueRegistry &instance();
+
+    /** Register a technique; fatal() on duplicate names. */
+    void add(TechniqueInfo info);
+
+    /** Find by name; null when unknown. */
+    const TechniqueInfo *find(const std::string &name) const;
+
+    /** All registered names, in registration order. */
+    std::vector<std::string> names() const;
+
+  private:
+    std::vector<TechniqueInfo> entries_;
+};
+
+/** Registers a technique at static-initialization time. */
+struct TechniqueRegistrar
+{
+    explicit TechniqueRegistrar(TechniqueInfo info)
+    {
+        TechniqueRegistry::instance().add(std::move(info));
+    }
+};
+
+} // namespace dvr
+
+#endif // DVR_RUNAHEAD_TECHNIQUE_HH

@@ -16,6 +16,7 @@
 #include "core/ooo_core.hh"
 #include "runahead/stride_detector.hh"
 #include "runahead/subthread.hh"
+#include "runahead/technique.hh"
 
 namespace dvr {
 
@@ -31,13 +32,21 @@ struct VrConfig
     }
 };
 
-class VrController : public CoreClient
+class VrController : public RunaheadTechnique
 {
   public:
     VrController(const VrConfig &cfg, const Program &prog,
                  const SimMemory &mem, MemorySystem &memsys);
 
     void attachCore(const OooCore &core) { core_ = &core; }
+
+    const char *name() const override { return "vr"; }
+    const char *statPrefix() const override { return "vr."; }
+    void attach(OooCore &core) override { attachCore(core); }
+    void finalizeStats(StatSet &out) const override
+    {
+        out.merge(statPrefix(), toStatSet());
+    }
 
     void onRetire(const RetireInfo &ri) override;
     Cycle onFullRobStall(const StallInfo &si) override;

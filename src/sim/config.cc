@@ -1,10 +1,21 @@
 #include "sim/config.hh"
 
-#include <cstdlib>
-
 #include "common/log.hh"
+#include "runahead/technique.hh"
+#include "sim/env.hh"
 
 namespace dvr {
+
+namespace {
+
+constexpr Technique kAllTechniques[] = {
+    Technique::kBase,        Technique::kPre,
+    Technique::kImp,         Technique::kVr,
+    Technique::kDvr,         Technique::kDvrOffload,
+    Technique::kDvrDiscovery, Technique::kOracle,
+};
+
+} // namespace
 
 const char *
 techniqueName(Technique t)
@@ -22,17 +33,35 @@ techniqueName(Technique t)
     return "?";
 }
 
-Technique
-parseTechnique(const std::string &name)
+std::optional<Technique>
+tryParseTechnique(const std::string &name)
 {
-    for (Technique t :
-         {Technique::kBase, Technique::kPre, Technique::kImp,
-          Technique::kVr, Technique::kDvr, Technique::kDvrOffload,
-          Technique::kDvrDiscovery, Technique::kOracle}) {
+    for (Technique t : kAllTechniques) {
         if (name == techniqueName(t))
             return t;
     }
-    fatal("parseTechnique: unknown technique '" + name + "'");
+    return std::nullopt;
+}
+
+std::string
+techniqueNameList()
+{
+    std::string out;
+    for (Technique t : kAllTechniques) {
+        if (!out.empty())
+            out += ", ";
+        out += techniqueName(t);
+    }
+    return out;
+}
+
+Technique
+parseTechnique(const std::string &name)
+{
+    if (const auto t = tryParseTechnique(name))
+        return *t;
+    fatal("parseTechnique: unknown technique '" + name +
+          "' (valid: " + techniqueNameList() + ")");
 }
 
 SimConfig
@@ -40,38 +69,33 @@ SimConfig::baseline(Technique t)
 {
     SimConfig c;
     c.technique = t;
-    if (t == Technique::kImp)
-        c.mem.impPrefetcher = true;
-    if (t == Technique::kDvrOffload) {
-        c.dvr.discoveryEnabled = false;
-        c.dvr.nestedEnabled = false;
-        // "Offload" is Vector Runahead moved onto the subthread:
-        // first-lane control flow with lane invalidation; the GPU
-        // reconvergence stack arrives with the full DVR feature set.
-        c.dvr.subthread.gpuReconvergence = false;
-    } else if (t == Technique::kDvrDiscovery) {
-        c.dvr.nestedEnabled = false;
-    }
+    // Technique-specific knobs (imp's prefetcher, the Figure 8 DVR
+    // feature strips) live with the technique in the registry; the
+    // same hooks run again in Simulator::runOn, so a config that only
+    // had its `technique` field stamped behaves identically.
+    const TechniqueInfo *info =
+        TechniqueRegistry::instance().find(techniqueName(t));
+    if (info && info->prepare)
+        info->prepare(c);
     return c;
+}
+
+SimConfig
+SimConfig::baseline(const std::string &technique)
+{
+    return baseline(parseTechnique(technique));
 }
 
 uint64_t
 SimConfig::defaultMaxInstructions()
 {
-    if (const char *e = std::getenv("DVR_INSTS")) {
-        const uint64_t v = std::strtoull(e, nullptr, 10);
-        if (v > 0)
-            return v;
-    }
-    return 500'000;
+    return env::maxInstructions().value_or(500'000);
 }
 
 unsigned
 SimConfig::defaultScaleShift()
 {
-    if (const char *e = std::getenv("DVR_SCALE_SHIFT"))
-        return unsigned(std::strtoul(e, nullptr, 10));
-    return 0;
+    return env::scaleShift().value_or(0);
 }
 
 } // namespace dvr

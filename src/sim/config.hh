@@ -8,6 +8,7 @@
 #define DVR_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "core/ooo_core.hh"
@@ -32,7 +33,15 @@ enum class Technique : uint8_t {
 };
 
 const char *techniqueName(Technique t);
+
+/** Parse a technique name; std::nullopt when unknown. */
+std::optional<Technique> tryParseTechnique(const std::string &name);
+
+/** Parse a technique name; fatal() listing the valid names. */
 Technique parseTechnique(const std::string &name);
+
+/** All valid technique names, comma-separated (error messages). */
+std::string techniqueNameList();
 
 struct SimConfig
 {
@@ -48,6 +57,9 @@ struct SimConfig
 
     /** Table 1 baseline with the given technique. */
     static SimConfig baseline(Technique t = Technique::kBase);
+
+    /** String-keyed baseline: fatal() on an unknown technique name. */
+    static SimConfig baseline(const std::string &technique);
 
     /**
      * Default per-run dynamic instruction budget: the DVR_INSTS

@@ -1,0 +1,572 @@
+#include "sim/config_schema.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <type_traits>
+#include <utility>
+
+#include "common/log.hh"
+#include "sim/env.hh"
+
+namespace dvr {
+
+namespace {
+
+uint64_t
+parseU64(const std::string &v, const std::string &key)
+{
+    if (v.empty())
+        fatal("config: empty value for '" + key + "'");
+    char *end = nullptr;
+    const uint64_t u = std::strtoull(v.c_str(), &end, 10);
+    if (end != v.c_str() + v.size())
+        fatal("config: '" + key + "' expects an unsigned integer, got '" +
+              v + "'");
+    return u;
+}
+
+bool
+parseBool(const std::string &v, const std::string &key)
+{
+    if (v == "true" || v == "1")
+        return true;
+    if (v == "false" || v == "0")
+        return false;
+    fatal("config: '" + key + "' expects true/false, got '" + v + "'");
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out + "\"";
+}
+
+/** An integer-typed key: `ref` maps a SimConfig to the field. */
+template <class Ref>
+ConfigSchema::Key
+uintKey(const char *name, const char *desc, Ref ref)
+{
+    using T = std::remove_reference_t<decltype(ref(
+        std::declval<SimConfig &>()))>;
+    return {name, "uint", desc,
+            [ref](const SimConfig &c) {
+                return std::to_string(ref(const_cast<SimConfig &>(c)));
+            },
+            [ref, key = std::string(name)](SimConfig &c,
+                                           const std::string &v) {
+                const uint64_t u = parseU64(v, key);
+                if (u > uint64_t(std::numeric_limits<T>::max()))
+                    fatal("config: '" + key + "' value " + v +
+                          " out of range");
+                ref(c) = T(u);
+            }};
+}
+
+template <class Ref>
+ConfigSchema::Key
+boolKey(const char *name, const char *desc, Ref ref)
+{
+    return {name, "bool", desc,
+            [ref](const SimConfig &c) -> std::string {
+                return ref(const_cast<SimConfig &>(c)) ? "true"
+                                                       : "false";
+            },
+            [ref, key = std::string(name)](SimConfig &c,
+                                           const std::string &v) {
+                ref(c) = parseBool(v, key);
+            }};
+}
+
+/**
+ * Minimal parser for the flat JSON objects toJson emits: string keys,
+ * values that are unsigned numbers, true/false, or strings.
+ */
+class FlatJsonParser
+{
+  public:
+    explicit FlatJsonParser(const std::string &text) : s_(text) {}
+
+    std::vector<std::pair<std::string, std::string>>
+    parse()
+    {
+        std::vector<std::pair<std::string, std::string>> out;
+        skipWs();
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++i_;
+            return out;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            skipWs();
+            out.emplace_back(std::move(key), parseValue());
+            skipWs();
+            const char c = next();
+            if (c == '}')
+                break;
+            if (c != ',')
+                fail("expected ',' or '}'");
+        }
+        skipWs();
+        if (i_ != s_.size())
+            fail("trailing characters after object");
+        return out;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        fatal("config JSON (offset " + std::to_string(i_) + "): " +
+              what);
+    }
+
+    char
+    peek() const
+    {
+        return i_ < s_.size() ? s_[i_] : '\0';
+    }
+
+    char
+    next()
+    {
+        if (i_ >= s_.size())
+            fail("unexpected end of input");
+        return s_[i_++];
+    }
+
+    void
+    expect(char c)
+    {
+        if (next() != c)
+            fail(std::string("expected '") + c + "'");
+    }
+
+    void
+    skipWs()
+    {
+        while (i_ < s_.size() && std::strchr(" \t\r\n", s_[i_]))
+            ++i_;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            char c = next();
+            if (c == '"')
+                return out;
+            if (c == '\\')
+                c = next();
+            out += c;
+        }
+    }
+
+    std::string
+    parseValue()
+    {
+        if (peek() == '"')
+            return parseString();
+        std::string out;
+        while (i_ < s_.size() && !std::strchr(",}\n\r\t ", s_[i_]))
+            out += next();
+        if (out.empty())
+            fail("expected a value");
+        return out;
+    }
+
+    const std::string &s_;
+    size_t i_ = 0;
+};
+
+} // namespace
+
+const ConfigSchema &
+ConfigSchema::instance()
+{
+    static const ConfigSchema s;
+    return s;
+}
+
+ConfigSchema::ConfigSchema()
+{
+    auto add = [this](Key k) { keys_.push_back(std::move(k)); };
+
+    // sim.* — run-level knobs.
+    add({"sim.technique", "string",
+         "technique under evaluation (" + techniqueNameList() + ")",
+         [](const SimConfig &c) {
+             return std::string(techniqueName(c.technique));
+         },
+         [](SimConfig &c, const std::string &v) {
+             c.technique = parseTechnique(v);
+         }});
+    add(uintKey("sim.maxInstructions",
+                "dynamic instruction budget per run",
+                [](SimConfig &c) -> uint64_t & {
+                    return c.maxInstructions;
+                }));
+    add(uintKey("sim.memoryBytes", "simulated flat memory size",
+                [](SimConfig &c) -> uint64_t & {
+                    return c.memoryBytes;
+                }));
+
+    // core.* — the Table 1 out-of-order core.
+    add(uintKey("core.width", "fetch/dispatch/commit width",
+                [](SimConfig &c) -> unsigned & { return c.core.width; }));
+    add(uintKey("core.robSize", "reorder buffer entries",
+                [](SimConfig &c) -> unsigned & {
+                    return c.core.robSize;
+                }));
+    add(uintKey("core.iqSize", "issue queue entries",
+                [](SimConfig &c) -> unsigned & { return c.core.iqSize; }));
+    add(uintKey("core.lqSize", "load queue entries",
+                [](SimConfig &c) -> unsigned & { return c.core.lqSize; }));
+    add(uintKey("core.sqSize", "store queue entries",
+                [](SimConfig &c) -> unsigned & { return c.core.sqSize; }));
+    add(uintKey("core.frontendDepth", "redirect penalty, cycles",
+                [](SimConfig &c) -> unsigned & {
+                    return c.core.frontendDepth;
+                }));
+    add({"core.predictor", "string",
+         "branch predictor: tage|gshare|taken",
+         [](const SimConfig &c) { return c.core.predictor; },
+         [](SimConfig &c, const std::string &v) {
+             c.core.predictor = v;
+         }});
+    add(uintKey("core.memPorts", "load/store AGU ports",
+                [](SimConfig &c) -> unsigned & {
+                    return c.core.memPorts;
+                }));
+    add(boolKey("core.modelIqOccupancy",
+                "model IQ occupancy as a dispatch constraint",
+                [](SimConfig &c) -> bool & {
+                    return c.core.modelIqOccupancy;
+                }));
+
+    // mem.* — cache hierarchy, DRAM, and hardware prefetchers.
+    add(uintKey("mem.l1Size", "L1-D bytes",
+                [](SimConfig &c) -> uint32_t & { return c.mem.l1Size; }));
+    add(uintKey("mem.l1Assoc", "L1-D associativity",
+                [](SimConfig &c) -> uint32_t & { return c.mem.l1Assoc; }));
+    add(uintKey("mem.l1Lat", "L1-D hit latency, cycles",
+                [](SimConfig &c) -> Cycle & { return c.mem.l1Lat; }));
+    add(uintKey("mem.l2Size", "L2 bytes",
+                [](SimConfig &c) -> uint32_t & { return c.mem.l2Size; }));
+    add(uintKey("mem.l2Assoc", "L2 associativity",
+                [](SimConfig &c) -> uint32_t & { return c.mem.l2Assoc; }));
+    add(uintKey("mem.l2Lat", "L2 hit latency, cumulative cycles",
+                [](SimConfig &c) -> Cycle & { return c.mem.l2Lat; }));
+    add(uintKey("mem.l3Size", "L3 bytes",
+                [](SimConfig &c) -> uint32_t & { return c.mem.l3Size; }));
+    add(uintKey("mem.l3Assoc", "L3 associativity",
+                [](SimConfig &c) -> uint32_t & { return c.mem.l3Assoc; }));
+    add(uintKey("mem.l3Lat", "L3 hit latency, cumulative cycles",
+                [](SimConfig &c) -> Cycle & { return c.mem.l3Lat; }));
+    add(uintKey("mem.l1dMshrs", "L1-D MSHR count",
+                [](SimConfig &c) -> unsigned & { return c.mem.mshrs; }));
+    add(uintKey("mem.dramLat", "DRAM minimum latency, cycles",
+                [](SimConfig &c) -> Cycle & { return c.mem.dramLat; }));
+    add(uintKey("mem.dramCyclesPerLine",
+                "DRAM channel occupancy per line, cycles",
+                [](SimConfig &c) -> Cycle & {
+                    return c.mem.dramCyclesPerLine;
+                }));
+    add(boolKey("mem.stridePrefetcher", "L1-D stride prefetcher",
+                [](SimConfig &c) -> bool & {
+                    return c.mem.stridePrefetcher;
+                }));
+    add(uintKey("mem.strideStreams", "stride prefetcher streams",
+                [](SimConfig &c) -> unsigned & {
+                    return c.mem.strideStreams;
+                }));
+    add(uintKey("mem.strideDegree", "stride prefetcher degree",
+                [](SimConfig &c) -> unsigned & {
+                    return c.mem.strideDegree;
+                }));
+    add(boolKey("mem.impPrefetcher",
+                "indirect memory prefetcher (the 'imp' technique "
+                "enables this itself)",
+                [](SimConfig &c) -> bool & {
+                    return c.mem.impPrefetcher;
+                }));
+    add(uintKey("mem.impDistance", "IMP prefetch distance",
+                [](SimConfig &c) -> unsigned & {
+                    return c.mem.impDistance;
+                }));
+
+    // dvr.* — Decoupled Vector Runahead.
+    add({"dvr.lanes", "uint",
+         "DVR scalar-equivalent lanes (also sets dvr.vecPhysFree)",
+         [](const SimConfig &c) {
+             return std::to_string(c.dvr.subthread.maxLanes);
+         },
+         [](SimConfig &c, const std::string &v) {
+             const uint64_t u = parseU64(v, "dvr.lanes");
+             c.dvr.subthread.maxLanes = unsigned(u);
+             c.dvr.subthread.vecPhysFree = unsigned(u);
+         }});
+    add(uintKey("dvr.vectorWidth", "lanes per vector register",
+                [](SimConfig &c) -> unsigned & {
+                    return c.dvr.subthread.vectorWidth;
+                }));
+    add(uintKey("dvr.vectorPorts", "vector uops issued per cycle",
+                [](SimConfig &c) -> unsigned & {
+                    return c.dvr.subthread.vectorPorts;
+                }));
+    add(uintKey("dvr.timeoutInsts", "per-episode instruction cap",
+                [](SimConfig &c) -> unsigned & {
+                    return c.dvr.subthread.timeoutInsts;
+                }));
+    add(uintKey("dvr.reconvDepth", "reconvergence stack depth",
+                [](SimConfig &c) -> unsigned & {
+                    return c.dvr.subthread.reconvDepth;
+                }));
+    add(uintKey("dvr.vecPhysFree", "vector phys regs available",
+                [](SimConfig &c) -> unsigned & {
+                    return c.dvr.subthread.vecPhysFree;
+                }));
+    add(uintKey("dvr.intPhysFree", "spare integer phys regs",
+                [](SimConfig &c) -> unsigned & {
+                    return c.dvr.subthread.intPhysFree;
+                }));
+    add(boolKey("dvr.gpuReconvergence",
+                "GPU-style reconvergence (false: VR-style "
+                "lane invalidation)",
+                [](SimConfig &c) -> bool & {
+                    return c.dvr.subthread.gpuReconvergence;
+                }));
+    add(uintKey("dvr.spawnOverhead", "episode spawn overhead, cycles",
+                [](SimConfig &c) -> Cycle & {
+                    return c.dvr.subthread.spawnOverhead;
+                }));
+    add(uintKey("dvr.ndmTimeout", "NDM outer-stride hunt budget",
+                [](SimConfig &c) -> unsigned & {
+                    return c.dvr.subthread.ndmTimeout;
+                }));
+    add(uintKey("dvr.nestedOuterLanes", "NDM outer lanes",
+                [](SimConfig &c) -> unsigned & {
+                    return c.dvr.subthread.nestedOuterLanes;
+                }));
+    add(boolKey("dvr.discovery", "Discovery Mode enabled",
+                [](SimConfig &c) -> bool & {
+                    return c.dvr.discoveryEnabled;
+                }));
+    add(boolKey("dvr.nested", "Nested Vector Runahead enabled",
+                [](SimConfig &c) -> bool & {
+                    return c.dvr.nestedEnabled;
+                }));
+    add(uintKey("dvr.nestedThreshold",
+                "loop bound below which NDM engages",
+                [](SimConfig &c) -> unsigned & {
+                    return c.dvr.nestedThreshold;
+                }));
+    add(uintKey("dvr.rejectCooldown",
+                "retire-count cooldown after a chain-less discovery",
+                [](SimConfig &c) -> uint64_t & {
+                    return c.dvr.rejectCooldown;
+                }));
+
+    // vr.* — the Vector Runahead baseline.
+    add({"vr.lanes", "uint",
+         "VR scalar-equivalent lanes (also sets vr.vecPhysFree)",
+         [](const SimConfig &c) {
+             return std::to_string(c.vr.subthread.maxLanes);
+         },
+         [](SimConfig &c, const std::string &v) {
+             const uint64_t u = parseU64(v, "vr.lanes");
+             c.vr.subthread.maxLanes = unsigned(u);
+             c.vr.subthread.vecPhysFree = unsigned(u);
+         }});
+    add(uintKey("vr.vecPhysFree", "VR vector phys regs available",
+                [](SimConfig &c) -> unsigned & {
+                    return c.vr.subthread.vecPhysFree;
+                }));
+    add(uintKey("vr.timeoutInsts", "VR per-episode instruction cap",
+                [](SimConfig &c) -> unsigned & {
+                    return c.vr.subthread.timeoutInsts;
+                }));
+    add(uintKey("vr.scalarBudget",
+                "scalar instructions VR walks to find a strider",
+                [](SimConfig &c) -> unsigned & {
+                    return c.vr.scalarBudget;
+                }));
+
+    // pre.* — Precise Runahead Execution.
+    add(uintKey("pre.walkWidth", "instructions walked per cycle",
+                [](SimConfig &c) -> unsigned & {
+                    return c.pre.walkWidth;
+                }));
+    add(uintKey("pre.maxWalkInsts", "per-episode walk cap",
+                [](SimConfig &c) -> unsigned & {
+                    return c.pre.maxWalkInsts;
+                }));
+
+    // oracle.*
+    add(uintKey("oracle.lookaheadLoads",
+                "loads prefetched ahead of the main thread",
+                [](SimConfig &c) -> unsigned & {
+                    return c.oracle.lookaheadLoads;
+                }));
+}
+
+const ConfigSchema::Key *
+ConfigSchema::find(const std::string &name) const
+{
+    for (const Key &k : keys_) {
+        if (k.name == name)
+            return &k;
+    }
+    return nullptr;
+}
+
+void
+ConfigSchema::set(SimConfig &cfg, const std::string &key,
+                  const std::string &value) const
+{
+    const Key *k = find(key);
+    if (!k)
+        fatal("config: unknown key '" + key +
+              "' (see --list-keys for the schema)");
+    k->set(cfg, value);
+}
+
+void
+ConfigSchema::setFromArg(SimConfig &cfg,
+                         const std::string &keyEqVal) const
+{
+    const size_t eq = keyEqVal.find('=');
+    if (eq == std::string::npos || eq == 0)
+        fatal("config: --set expects key=value, got '" + keyEqVal +
+              "'");
+    set(cfg, keyEqVal.substr(0, eq), keyEqVal.substr(eq + 1));
+}
+
+std::string
+ConfigSchema::get(const SimConfig &cfg, const std::string &key) const
+{
+    const Key *k = find(key);
+    if (!k)
+        fatal("config: unknown key '" + key + "'");
+    return k->get(cfg);
+}
+
+std::string
+ConfigSchema::toJson(const SimConfig &cfg) const
+{
+    std::ostringstream os;
+    os << "{\n";
+    for (size_t i = 0; i < keys_.size(); ++i) {
+        const Key &k = keys_[i];
+        const std::string v = k.get(cfg);
+        os << "  " << quote(k.name) << ": "
+           << (std::strcmp(k.type, "string") == 0 ? quote(v) : v)
+           << (i + 1 < keys_.size() ? "," : "") << "\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+void
+ConfigSchema::applyJson(SimConfig &cfg, const std::string &text) const
+{
+    const auto entries = FlatJsonParser(text).parse();
+    std::map<std::string, std::string> byKey;
+    for (const auto &[key, value] : entries) {
+        if (!find(key))
+            fatal("config: unknown key '" + key + "'");
+        byKey[key] = value;     // last occurrence wins
+    }
+    // Apply in schema order: compound keys (dvr.lanes) come before
+    // the fields they shadow, so dumped files round-trip exactly.
+    for (const Key &k : keys_) {
+        const auto it = byKey.find(k.name);
+        if (it != byKey.end())
+            k.set(cfg, it->second);
+    }
+}
+
+void
+ConfigSchema::applyFile(SimConfig &cfg, const std::string &path) const
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("config: cannot read '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    applyJson(cfg, text.str());
+}
+
+SimConfig
+resolveConfig(const std::string &technique, int argc, char **argv)
+{
+    const ConfigSchema &schema = ConfigSchema::instance();
+    SimConfig cfg = SimConfig::baseline(technique);
+
+    // An option's value: "--opt=v" inline or the next argument.
+    auto valueOf = [&](int &i, const char *opt,
+                       std::string &out) -> bool {
+        const std::string a = argv[i];
+        const std::string pfx = std::string(opt) + "=";
+        if (a == opt) {
+            if (i + 1 >= argc)
+                fatal(std::string("config: missing value for ") + opt);
+            out = argv[++i];
+            return true;
+        }
+        if (a.rfind(pfx, 0) == 0) {
+            out = a.substr(pfx.size());
+            return true;
+        }
+        return false;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (valueOf(i, "--config", v))
+            schema.applyFile(cfg, v);
+    }
+    // Env beats the file (documented precedence: CLI > env > file >
+    // defaults). Only DVR_INSTS targets SimConfig; DVR_SCALE_SHIFT,
+    // DVR_JOBS, and DVR_BENCH_DIR act on the workload, runner, and
+    // report layers respectively (see sim/env.hh).
+    if (const auto insts = env::maxInstructions())
+        cfg.maxInstructions = *insts;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (valueOf(i, "--set", v))
+            schema.setFromArg(cfg, v);
+    }
+    return cfg;
+}
+
+SimConfig
+resolveConfigOrExit(const std::string &technique, int argc,
+                    char **argv)
+{
+    try {
+        return resolveConfig(technique, argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
+    }
+}
+
+} // namespace dvr

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Typed, hierarchical key schema over SimConfig. Every tunable knob
+ * has a dotted key ("core.robSize", "dvr.lanes", "mem.l1dMshrs",
+ * "sim.maxInstructions", ...) with a type, a description, and
+ * string-based get/set accessors, so drivers and benches can expose
+ * generic `--set key=value` overrides, `--config file.json` loads,
+ * and `--dump-config` saves without naming any knob themselves.
+ *
+ * Resolution precedence, applied by resolveConfig and the drivers:
+ *
+ *     CLI (--set / sugar flags) > env (DVR_*) > --config file
+ *         > Table-1 defaults
+ *
+ * The JSON format is a flat object of dotted keys; dump -> load ->
+ * dump is a fixed point. Unknown keys and malformed values are
+ * rejected with fatal() (a std::runtime_error the drivers catch).
+ */
+
+#ifndef DVR_SIM_CONFIG_SCHEMA_HH
+#define DVR_SIM_CONFIG_SCHEMA_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace dvr {
+
+class ConfigSchema
+{
+  public:
+    struct Key
+    {
+        std::string name;        ///< dotted, e.g. "core.robSize"
+        const char *type;        ///< "uint" | "bool" | "string"
+        std::string describe;
+        std::function<std::string(const SimConfig &)> get;
+        std::function<void(SimConfig &, const std::string &)> set;
+    };
+
+    static const ConfigSchema &instance();
+
+    /** All keys, in schema (dump/application) order. */
+    const std::vector<Key> &keys() const { return keys_; }
+
+    /** Find a key; null when unknown. */
+    const Key *find(const std::string &name) const;
+
+    /** Set one key from its string form; fatal() on unknown/bad. */
+    void set(SimConfig &cfg, const std::string &key,
+             const std::string &value) const;
+
+    /** Apply a "key=value" override (the --set argument form). */
+    void setFromArg(SimConfig &cfg, const std::string &keyEqVal) const;
+
+    /** Canonical string form of one key's current value. */
+    std::string get(const SimConfig &cfg,
+                    const std::string &key) const;
+
+    /** Full config as a flat JSON object, keys in schema order. */
+    std::string toJson(const SimConfig &cfg) const;
+
+    /**
+     * Apply a flat JSON object of dotted keys. Keys are applied in
+     * schema order (so files produced by toJson round-trip exactly);
+     * unknown keys and malformed JSON are fatal().
+     */
+    void applyJson(SimConfig &cfg, const std::string &text) const;
+
+    /** applyJson on a file's contents; fatal() when unreadable. */
+    void applyFile(SimConfig &cfg, const std::string &path) const;
+
+  private:
+    ConfigSchema();
+
+    std::vector<Key> keys_;
+};
+
+/**
+ * Build a run configuration with the documented precedence:
+ * `SimConfig::baseline(technique)` defaults, then every `--config
+ * FILE` in argv (in order), then the DVR_* env knobs, then every
+ * `--set key=value` in argv (in order). Arguments the config layer
+ * does not own are ignored, so benches can pass argv through
+ * unfiltered. Both `--opt value` and `--opt=value` spellings work.
+ */
+SimConfig resolveConfig(const std::string &technique, int argc = 0,
+                        char **argv = nullptr);
+
+/**
+ * resolveConfig for bench mains: on a bad --set / --config the error
+ * is printed to stderr and the process exits with status 2 instead of
+ * propagating the exception out of main().
+ */
+SimConfig resolveConfigOrExit(const std::string &technique,
+                              int argc = 0, char **argv = nullptr);
+
+} // namespace dvr
+
+#endif // DVR_SIM_CONFIG_SCHEMA_HH

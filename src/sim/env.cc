@@ -1,0 +1,54 @@
+#include "sim/env.hh"
+
+#include <cstdlib>
+
+namespace dvr {
+namespace env {
+
+namespace {
+
+std::optional<uint64_t>
+positiveU64(const char *name)
+{
+    if (const char *e = std::getenv(name)) {
+        const uint64_t v = std::strtoull(e, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<uint64_t>
+maxInstructions()
+{
+    return positiveU64("DVR_INSTS");
+}
+
+std::optional<unsigned>
+scaleShift()
+{
+    if (const char *e = std::getenv("DVR_SCALE_SHIFT"))
+        return unsigned(std::strtoul(e, nullptr, 10));
+    return std::nullopt;
+}
+
+std::optional<unsigned>
+jobs()
+{
+    if (const auto v = positiveU64("DVR_JOBS"))
+        return unsigned(*v);
+    return std::nullopt;
+}
+
+std::optional<std::string>
+benchDir()
+{
+    if (const char *e = std::getenv("DVR_BENCH_DIR"))
+        return std::string(e);
+    return std::nullopt;
+}
+
+} // namespace env
+} // namespace dvr

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The single home for DVR_* environment variables. Every component
+ * that honours an env knob reads it through these typed accessors, so
+ * the full set of recognized variables — and how they slot into the
+ * configuration precedence (CLI > env > config file > defaults) — is
+ * auditable in one place.
+ *
+ * Values are re-read on every call (no caching): tests and drivers
+ * may setenv() between runs.
+ */
+
+#ifndef DVR_SIM_ENV_HH
+#define DVR_SIM_ENV_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dvr {
+namespace env {
+
+/** DVR_INSTS: per-run dynamic instruction budget (must be > 0). */
+std::optional<uint64_t> maxInstructions();
+
+/** DVR_SCALE_SHIFT: halve the data sets this many times. */
+std::optional<unsigned> scaleShift();
+
+/** DVR_JOBS: parallel runner thread count (must be > 0). */
+std::optional<unsigned> jobs();
+
+/** DVR_BENCH_DIR: directory BENCH_<figure>.json reports go to. */
+std::optional<std::string> benchDir();
+
+} // namespace env
+} // namespace dvr
+
+#endif // DVR_SIM_ENV_HH

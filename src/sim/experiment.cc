@@ -1,11 +1,13 @@
 #include "sim/experiment.hh"
 
-#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <utility>
+
+#include "common/log.hh"
+#include "sim/env.hh"
 
 namespace dvr {
 
@@ -103,9 +105,7 @@ BenchReport::write(std::ostream &echo) const
     const double mips =
         wall > 0.0 ? double(instructions_) / wall / 1e6 : 0.0;
 
-    std::string dir = ".";
-    if (const char *e = std::getenv("DVR_BENCH_DIR"))
-        dir = e;
+    const std::string dir = env::benchDir().value_or(".");
     const std::string path = dir + "/BENCH_" + figure_ + ".json";
 
     std::ostringstream json;
@@ -118,6 +118,11 @@ BenchReport::write(std::ostream &echo) const
          << "}\n";
     std::ofstream out(path);
     out << json.str();
+    out.flush();
+    if (!out) {
+        warn("BenchReport: cannot write " + path +
+             " (does DVR_BENCH_DIR exist?)");
+    }
 
     echo << "\n[" << path << "] wall " << std::fixed
          << std::setprecision(1) << wall << " s, "

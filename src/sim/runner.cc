@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "sim/env.hh"
 
 namespace dvr {
 
@@ -93,11 +94,8 @@ Runner::runAll(const std::vector<SimJob> &jobs)
 unsigned
 Runner::defaultJobs()
 {
-    if (const char *e = std::getenv("DVR_JOBS")) {
-        const unsigned v = unsigned(std::strtoul(e, nullptr, 10));
-        if (v > 0)
-            return v;
-    }
+    if (const auto v = env::jobs())
+        return *v;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : hw;
 }

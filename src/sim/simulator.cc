@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/log.hh"
+#include "runahead/technique.hh"
 
 namespace dvr {
 
@@ -16,67 +17,32 @@ Simulator::run(const SimConfig &cfg, const std::string &workload,
 }
 
 SimResult
-Simulator::runOn(const SimConfig &cfg, const Workload &w,
+Simulator::runOn(const SimConfig &cfgIn, const Workload &w,
                  const SimMemory &pristine)
 {
+    // Wire the selected technique through the registry: normalize the
+    // configuration with the technique's own hook, then let its
+    // factory build the core client (null for base-style techniques).
+    const TechniqueInfo *info = TechniqueRegistry::instance().find(
+        techniqueName(cfgIn.technique));
+    if (!info)
+        fatal(std::string("Simulator: technique '") +
+              techniqueName(cfgIn.technique) + "' is not registered");
+
+    SimConfig cfg = cfgIn;
+    if (info->prepare)
+        info->prepare(cfg);
+
     SimMemory mem = pristine;   // techniques share the data set
     MemorySystem memsys(cfg.mem, mem);
 
-    // Wire the selected technique.
-    std::unique_ptr<DvrController> dvr;
-    std::unique_ptr<VrController> vr;
-    std::unique_ptr<PreController> pre;
-    std::unique_ptr<OracleController> oracle;
-    CoreClient *client = nullptr;
+    const TechniqueContext ctx{cfg, w.program, mem, pristine, memsys};
+    std::unique_ptr<RunaheadTechnique> tech =
+        info->create ? info->create(ctx) : nullptr;
 
-    switch (cfg.technique) {
-      case Technique::kBase:
-      case Technique::kImp:
-        break;
-      case Technique::kPre:
-        pre = std::make_unique<PreController>(cfg.pre, w.program, mem,
-                                              memsys);
-        client = pre.get();
-        break;
-      case Technique::kVr:
-        vr = std::make_unique<VrController>(cfg.vr, w.program, mem,
-                                            memsys);
-        client = vr.get();
-        break;
-      case Technique::kDvr:
-      case Technique::kDvrOffload:
-      case Technique::kDvrDiscovery: {
-        DvrConfig dc = cfg.dvr;
-        if (cfg.technique == Technique::kDvrOffload) {
-            dc.discoveryEnabled = false;
-            dc.nestedEnabled = false;
-            dc.subthread.gpuReconvergence = false;
-        } else if (cfg.technique == Technique::kDvrDiscovery) {
-            dc.nestedEnabled = false;
-        }
-        dvr = std::make_unique<DvrController>(dc, w.program, mem,
-                                              memsys);
-        client = dvr.get();
-        break;
-      }
-      case Technique::kOracle: {
-        SimMemory scratch = pristine;
-        auto trace = recordLoadTrace(w.program, scratch,
-                                     cfg.maxInstructions);
-        oracle = std::make_unique<OracleController>(
-            cfg.oracle, memsys, std::move(trace));
-        client = oracle.get();
-        break;
-      }
-    }
-
-    OooCore core(cfg.core, w.program, mem, memsys, client);
-    if (dvr)
-        dvr->attachCore(core);
-    if (vr)
-        vr->attachCore(core);
-    if (pre)
-        pre->attachCore(core);
+    OooCore core(cfg.core, w.program, mem, memsys, tech.get());
+    if (tech)
+        tech->attach(core);
 
     core.run(cfg.maxInstructions);
 
@@ -94,14 +60,8 @@ Simulator::runOn(const SimConfig &cfg, const Workload &w,
     bp.set("lookups", double(core.predictor().lookups));
     bp.set("mispredicts", double(core.predictor().mispredicts));
     r.stats.merge("bpred.", bp);
-    if (dvr)
-        r.stats.merge("dvr.", dvr->stats().toStatSet());
-    if (vr)
-        r.stats.merge("vr.", vr->toStatSet());
-    if (pre)
-        r.stats.merge("pre.", pre->toStatSet());
-    if (oracle)
-        r.stats.merge("oracle.", oracle->toStatSet());
+    if (tech)
+        tech->finalizeStats(r.stats);
     return r;
 }
 

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Config-layer tests: the key schema over SimConfig, the JSON
+ * dump/load fixed point, resolveConfig's documented precedence
+ * (CLI > env > file > defaults), and the error paths drivers rely on
+ * (unknown keys, malformed values, unknown techniques).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "runahead/technique.hh"
+#include "sim/config_schema.hh"
+#include "sim/env.hh"
+#include "sim/experiment.hh"
+
+namespace dvr {
+namespace {
+
+const ConfigSchema &schema = ConfigSchema::instance();
+
+/** RAII: set/unset one environment variable for a test's scope. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old) {
+            had_ = true;
+            old_ = old;
+        }
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+/** Write text to a temp file and return its path. */
+std::string
+writeTemp(const std::string &name, const std::string &text)
+{
+    const std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path);
+    out << text;
+    EXPECT_TRUE(out.good());
+    return path;
+}
+
+TEST(ConfigSchema, GetSetRoundTripEveryKey)
+{
+    // Every key's canonical string form must parse back to itself.
+    SimConfig cfg = SimConfig::baseline("dvr");
+    for (const auto &k : schema.keys()) {
+        const std::string v = schema.get(cfg, k.name);
+        schema.set(cfg, k.name, v);
+        EXPECT_EQ(schema.get(cfg, k.name), v) << k.name;
+    }
+}
+
+TEST(ConfigSchema, SetChangesTheUnderlyingField)
+{
+    SimConfig cfg = SimConfig::baseline("base");
+    schema.set(cfg, "core.robSize", "512");
+    EXPECT_EQ(cfg.core.robSize, 512u);
+    schema.set(cfg, "mem.l1dMshrs", "48");
+    EXPECT_EQ(cfg.mem.mshrs, 48u);
+    schema.set(cfg, "sim.maxInstructions", "123456");
+    EXPECT_EQ(cfg.maxInstructions, 123456u);
+    schema.set(cfg, "sim.technique", "oracle");
+    EXPECT_EQ(cfg.technique, Technique::kOracle);
+    schema.set(cfg, "mem.stridePrefetcher", "false");
+    EXPECT_FALSE(cfg.mem.stridePrefetcher);
+}
+
+TEST(ConfigSchema, DvrLanesScalesVectorRegisters)
+{
+    // "dvr.lanes" is the user-facing knob: the vector physical
+    // register pool follows the lane count unless overridden.
+    SimConfig cfg = SimConfig::baseline("dvr");
+    schema.set(cfg, "dvr.lanes", "256");
+    EXPECT_EQ(cfg.dvr.subthread.maxLanes, 256u);
+    EXPECT_EQ(cfg.dvr.subthread.vecPhysFree, 256u);
+}
+
+TEST(ConfigSchema, DumpLoadDumpIsAFixedPoint)
+{
+    for (const char *tech : {"base", "dvr", "oracle"}) {
+        SimConfig cfg = SimConfig::baseline(tech);
+        const std::string dump1 = schema.toJson(cfg);
+        SimConfig loaded;  // deliberately not baseline(tech)
+        schema.applyJson(loaded, dump1);
+        EXPECT_EQ(schema.toJson(loaded), dump1) << tech;
+    }
+}
+
+TEST(ConfigSchema, UnknownKeyAndBadValueAreFatal)
+{
+    SimConfig cfg;
+    EXPECT_THROW(schema.set(cfg, "core.l1Size", "1"),
+                 std::runtime_error);
+    EXPECT_THROW(schema.set(cfg, "core.robSize", "huge"),
+                 std::runtime_error);
+    EXPECT_THROW(schema.set(cfg, "core.robSize", ""),
+                 std::runtime_error);
+    EXPECT_THROW(schema.set(cfg, "mem.stridePrefetcher", "maybe"),
+                 std::runtime_error);
+    EXPECT_THROW(schema.set(cfg, "sim.technique", "dvrr"),
+                 std::runtime_error);
+    EXPECT_THROW(schema.setFromArg(cfg, "core.robSize"),
+                 std::runtime_error);  // missing '='
+    EXPECT_THROW(schema.applyJson(cfg, R"({"core.l1Size": 1})"),
+                 std::runtime_error);
+    EXPECT_THROW(schema.applyJson(cfg, "not json"),
+                 std::runtime_error);
+    EXPECT_THROW(schema.applyFile(cfg, "/nonexistent/cfg.json"),
+                 std::runtime_error);
+}
+
+TEST(ConfigSchema, ResolvePrecedenceCliBeatsEnvBeatsFile)
+{
+    const std::string file = writeTemp(
+        "dvr_prec.json",
+        R"({"sim.maxInstructions": 111, "core.robSize": 192})");
+    const std::string cfg_opt = "--config=" + file;
+    const char *argv[] = {"test", cfg_opt.c_str(),
+                          "--set=core.robSize=256"};
+    const int argc = 3;
+
+    {
+        // No env: the file sets both keys; --set overrides the ROB.
+        ScopedEnv env("DVR_INSTS", nullptr);
+        const SimConfig cfg =
+            resolveConfig("base", argc, const_cast<char **>(argv));
+        EXPECT_EQ(cfg.maxInstructions, 111u);
+        EXPECT_EQ(cfg.core.robSize, 256u);
+    }
+    {
+        // Env beats the file, CLI still beats both.
+        ScopedEnv env("DVR_INSTS", "222");
+        const SimConfig cfg =
+            resolveConfig("base", argc, const_cast<char **>(argv));
+        EXPECT_EQ(cfg.maxInstructions, 222u);
+        EXPECT_EQ(cfg.core.robSize, 256u);
+
+        const char *argv2[] = {"test", cfg_opt.c_str(),
+                               "--set=sim.maxInstructions=333"};
+        const SimConfig cfg2 =
+            resolveConfig("base", 3, const_cast<char **>(argv2));
+        EXPECT_EQ(cfg2.maxInstructions, 333u);
+    }
+    std::remove(file.c_str());
+}
+
+TEST(ConfigSchema, ResolveIgnoresUnrelatedArguments)
+{
+    ScopedEnv env("DVR_INSTS", nullptr);
+    const char *argv[] = {"test", "--jobs", "4", "-w", "bfs",
+                          "--set", "dvr.lanes=32"};
+    const SimConfig cfg =
+        resolveConfig("dvr", 7, const_cast<char **>(argv));
+    EXPECT_EQ(cfg.dvr.subthread.maxLanes, 32u);
+    EXPECT_EQ(cfg.technique, Technique::kDvr);
+}
+
+TEST(ConfigSchema, TryParseTechnique)
+{
+    EXPECT_EQ(tryParseTechnique("dvr"), Technique::kDvr);
+    EXPECT_EQ(tryParseTechnique("dvr-offload"),
+              Technique::kDvrOffload);
+    EXPECT_EQ(tryParseTechnique("dvrr"), std::nullopt);
+    EXPECT_EQ(tryParseTechnique(""), std::nullopt);
+    // The error message material drivers print on a typo.
+    EXPECT_NE(techniqueNameList().find("dvr-discovery"),
+              std::string::npos);
+}
+
+TEST(ConfigSchema, RegistryMatchesTechniqueEnum)
+{
+    // Every enum name resolves in the registry and vice versa, so
+    // string-keyed and enum-keyed callers can never disagree.
+    const TechniqueRegistry &reg = TechniqueRegistry::instance();
+    for (const std::string &name : reg.names())
+        EXPECT_TRUE(tryParseTechnique(name).has_value()) << name;
+    for (Technique t :
+         {Technique::kBase, Technique::kPre, Technique::kImp,
+          Technique::kVr, Technique::kDvr, Technique::kDvrOffload,
+          Technique::kDvrDiscovery, Technique::kOracle}) {
+        EXPECT_NE(reg.find(techniqueName(t)), nullptr)
+            << techniqueName(t);
+    }
+}
+
+TEST(ConfigSchema, BaselineStringOverloadMatchesEnum)
+{
+    EXPECT_EQ(schema.toJson(SimConfig::baseline("imp")),
+              schema.toJson(SimConfig::baseline(Technique::kImp)));
+    EXPECT_THROW(SimConfig::baseline("bogus"), std::runtime_error);
+}
+
+TEST(ConfigSchema, PrepareHooksAreIdempotent)
+{
+    // runOn re-applies the technique's prepare hook on an already
+    // prepared baseline() config; that second application must be a
+    // no-op for every registered technique.
+    for (const std::string &name :
+         TechniqueRegistry::instance().names()) {
+        const TechniqueInfo *info =
+            TechniqueRegistry::instance().find(name);
+        ASSERT_NE(info, nullptr);
+        SimConfig cfg = SimConfig::baseline(name);
+        const std::string before = schema.toJson(cfg);
+        if (info->prepare)
+            info->prepare(cfg);
+        EXPECT_EQ(schema.toJson(cfg), before) << name;
+    }
+}
+
+TEST(ConfigSchema, BenchReportWarnsOnUnwritableDir)
+{
+    // Satellite: a bad DVR_BENCH_DIR must warn with the failing path,
+    // not crash and not silently drop the report.
+    ScopedEnv env("DVR_BENCH_DIR", "/nonexistent/bench/dir");
+    BenchReport report("schema_test", 1);
+    std::ostringstream echo;
+    ::testing::internal::CaptureStderr();
+    const std::string path = report.write(echo);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("cannot write"), std::string::npos);
+    EXPECT_NE(err.find(path), std::string::npos);
+    EXPECT_FALSE(std::ifstream(path).good());
+}
+
+TEST(ConfigSchema, BenchReportWritesWhenDirExists)
+{
+    ScopedEnv env("DVR_BENCH_DIR", ::testing::TempDir().c_str());
+    BenchReport report("schema_test", 2);
+    std::ostringstream echo;
+    const std::string path = report.write(echo);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream body;
+    body << in.rdbuf();
+    EXPECT_NE(body.str().find("\"threads\": 2"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ConfigSchema, EnvAccessorsReadLive)
+{
+    {
+        ScopedEnv env("DVR_JOBS", "3");
+        EXPECT_EQ(env::jobs(), 3u);
+    }
+    {
+        ScopedEnv env("DVR_JOBS", nullptr);
+        EXPECT_EQ(env::jobs(), std::nullopt);
+    }
+    {
+        ScopedEnv env("DVR_INSTS", "0");  // invalid: must be > 0
+        EXPECT_EQ(env::maxInstructions(), std::nullopt);
+    }
+    {
+        ScopedEnv env("DVR_BENCH_DIR", "/tmp/x");
+        EXPECT_EQ(env::benchDir(), "/tmp/x");
+    }
+}
+
+} // namespace
+} // namespace dvr

@@ -6,18 +6,27 @@
  *
  *   dvr_run --workload bfs --input KR --technique dvr
  *   dvr_run -w hj8 -t vr --insts 2000000 --rob 512
- *   dvr_run -w camel -t dvr --lanes 256 --stats
+ *   dvr_run -w camel -t dvr --set dvr.lanes=256 --stats
  *   dvr_run -w sssp --disasm
  *   dvr_run -w bfs -t base,vr,dvr,oracle --jobs 4   # parallel sweep
+ *   dvr_run --set core.robSize=512 --dump-config > cfg.json
+ *   dvr_run -w bfs --config cfg.json
+ *
+ * Configuration precedence: CLI (--set and the sugar flags, in
+ * command-line order) > env (DVR_INSTS) > --config files (in
+ * command-line order) > Table-1 defaults.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "graph/edge_list_io.hh"
+#include "sim/config_schema.hh"
+#include "sim/env.hh"
 #include "sim/runner.hh"
 #include "workloads/gap_common.hh"
 
@@ -40,6 +49,13 @@ usage()
         "                        in parallel through the job runner\n"
         "  -j, --jobs N          runner threads for technique sweeps\n"
         "                        (default: DVR_JOBS or all cores)\n"
+        "      --set KEY=VALUE   set any config key (repeatable;\n"
+        "                        see --list-keys)\n"
+        "      --config FILE     load a JSON config (repeatable;\n"
+        "                        as written by --dump-config)\n"
+        "      --dump-config     print the resolved config as JSON\n"
+        "                        and exit\n"
+        "      --list-keys       print the config key schema and exit\n"
         "  -n, --insts N         dynamic instruction budget\n"
         "      --rob N           ROB size (scales queues)\n"
         "      --lanes N         DVR scalar-equivalent lanes\n"
@@ -109,14 +125,20 @@ main(int argc, char **argv)
     std::string workload = "bfs";
     WorkloadParams wp;
     wp.scaleShift = SimConfig::defaultScaleShift();
-    SimConfig cfg = SimConfig::baseline(Technique::kDvr);
     bool dump_stats = false;
     bool json = false;
     bool disasm = false;
     bool verify = false;
-    std::string technique = "dvr";
+    bool dump_config = false;
+    std::string technique;      // empty: -t not given
     std::string graph_file;
     unsigned njobs = Runner::defaultJobs();
+
+    // CLI config operations (--set and the sugar flags), applied in
+    // command-line order on top of files + env.
+    std::vector<std::function<void(SimConfig &)>> cli_ops;
+    std::vector<std::string> config_files;
+    const ConfigSchema &schema = ConfigSchema::instance();
 
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
@@ -134,28 +156,54 @@ main(int argc, char **argv)
         } else if (is("-j", "--jobs")) {
             njobs = unsigned(
                 std::strtoul(arg(argc, argv, i), nullptr, 10));
+        } else if (is("--set", "--set")) {
+            const std::string kv = arg(argc, argv, i);
+            cli_ops.push_back([&schema, kv](SimConfig &c) {
+                schema.setFromArg(c, kv);
+            });
+        } else if (is("--config", "--config")) {
+            config_files.push_back(arg(argc, argv, i));
+        } else if (is("--dump-config", "--dump-config")) {
+            dump_config = true;
+        } else if (is("--list-keys", "--list-keys")) {
+            for (const auto &k : schema.keys()) {
+                std::printf("%-24s %-7s %s\n", k.name.c_str(), k.type,
+                            k.describe.c_str());
+            }
+            return 0;
         } else if (is("-n", "--insts")) {
-            cfg.maxInstructions = std::strtoull(arg(argc, argv, i),
-                                                nullptr, 10);
+            const uint64_t v =
+                std::strtoull(arg(argc, argv, i), nullptr, 10);
+            cli_ops.push_back(
+                [v](SimConfig &c) { c.maxInstructions = v; });
         } else if (is("--rob", "--rob")) {
-            cfg.core = CoreConfig::withRob(
-                unsigned(std::strtoul(arg(argc, argv, i), nullptr, 10)),
-                true);
+            const unsigned v = unsigned(
+                std::strtoul(arg(argc, argv, i), nullptr, 10));
+            cli_ops.push_back([v](SimConfig &c) {
+                c.core = CoreConfig::withRob(v, true);
+            });
         } else if (is("--lanes", "--lanes")) {
             const unsigned lanes = unsigned(
                 std::strtoul(arg(argc, argv, i), nullptr, 10));
-            cfg.dvr.subthread.maxLanes = lanes;
-            cfg.dvr.subthread.vecPhysFree = lanes;
+            cli_ops.push_back([lanes](SimConfig &c) {
+                c.dvr.subthread.maxLanes = lanes;
+                c.dvr.subthread.vecPhysFree = lanes;
+            });
         } else if (is("--mshrs", "--mshrs")) {
-            cfg.mem.mshrs = unsigned(
+            const unsigned v = unsigned(
                 std::strtoul(arg(argc, argv, i), nullptr, 10));
+            cli_ops.push_back([v](SimConfig &c) { c.mem.mshrs = v; });
         } else if (is("--scale-shift", "--scale-shift")) {
             wp.scaleShift = unsigned(
                 std::strtoul(arg(argc, argv, i), nullptr, 10));
         } else if (is("--predictor", "--predictor")) {
-            cfg.core.predictor = arg(argc, argv, i);
+            const std::string p = arg(argc, argv, i);
+            cli_ops.push_back(
+                [p](SimConfig &c) { c.core.predictor = p; });
         } else if (is("--no-reconv", "--no-reconv")) {
-            cfg.dvr.subthread.gpuReconvergence = false;
+            cli_ops.push_back([](SimConfig &c) {
+                c.dvr.subthread.gpuReconvergence = false;
+            });
         } else if (is("--stats", "--stats")) {
             dump_stats = true;
         } else if (is("--json", "--json")) {
@@ -175,12 +223,40 @@ main(int argc, char **argv)
     }
 
     try {
-        const std::vector<std::string> tech_names =
-            splitList(technique);
+        // Resolve: defaults -> config files -> env -> CLI ops.
+        // Techniques are stamped per job below and runOn derives the
+        // technique-specific knobs through the registry's prepare
+        // hooks, so the shared base stays technique-neutral ("dvr"
+        // has no prepare hook; it is also the default technique).
+        SimConfig cfg = SimConfig::baseline(Technique::kDvr);
+        for (const std::string &f : config_files)
+            schema.applyFile(cfg, f);
+        if (const auto insts = env::maxInstructions())
+            cfg.maxInstructions = *insts;
+        for (const auto &op : cli_ops)
+            op(cfg);
+
+        // -t wins; else sim.technique from --config/--set; else dvr.
+        if (technique.empty())
+            technique = techniqueName(cfg.technique);
         std::vector<Technique> techs;
-        for (const auto &name : tech_names)
-            techs.push_back(parseTechnique(name));
+        for (const auto &name : splitList(technique)) {
+            const auto t = tryParseTechnique(name);
+            if (!t) {
+                std::fprintf(stderr,
+                             "unknown technique '%s' (valid: %s)\n",
+                             name.c_str(),
+                             techniqueNameList().c_str());
+                return 2;
+            }
+            techs.push_back(*t);
+        }
         cfg.technique = techs.front();
+
+        if (dump_config) {
+            std::fputs(schema.toJson(cfg).c_str(), stdout);
+            return 0;
+        }
 
         SimMemory mem(cfg.memoryBytes);
         Workload w;
@@ -214,8 +290,6 @@ main(int argc, char **argv)
         for (Technique t : techs) {
             SimConfig c = cfg;
             c.technique = t;
-            // The only technique knob runOn does not derive itself.
-            c.mem.impPrefetcher = (t == Technique::kImp);
             jobs.push_back({&pw, c,
                             workload + std::string("/") +
                                 techniqueName(t)});
