@@ -48,10 +48,10 @@ CoreConfig::withRob(unsigned rob, bool scale_queues)
     CoreConfig c;
     c.robSize = rob;
     if (scale_queues) {
-        const double f = double(rob) / 350.0;
-        c.iqSize = std::max(16u, unsigned(128 * f));
-        c.lqSize = std::max(16u, unsigned(128 * f));
-        c.sqSize = std::max(16u, unsigned(72 * f));
+        const double f = static_cast<double>(rob) / 350.0;
+        c.iqSize = std::max(16u, static_cast<unsigned>(128 * f));
+        c.lqSize = std::max(16u, static_cast<unsigned>(128 * f));
+        c.sqSize = std::max(16u, static_cast<unsigned>(72 * f));
     }
     return c;
 }
@@ -60,20 +60,20 @@ StatSet
 CoreStats::toStatSet() const
 {
     StatSet s;
-    s.set("instructions", double(instructions));
-    s.set("cycles", double(cycles));
+    s.set("instructions", static_cast<double>(instructions));
+    s.set("cycles", static_cast<double>(cycles));
     s.set("ipc", ipc());
-    s.set("loads", double(loads));
-    s.set("stores", double(stores));
-    s.set("loads_l1", double(loadsL1));
-    s.set("loads_l2", double(loadsL2));
-    s.set("loads_l3", double(loadsL3));
-    s.set("loads_dram", double(loadsDram));
-    s.set("branches", double(branches));
-    s.set("mispredicts", double(mispredicts));
+    s.set("loads", static_cast<double>(loads));
+    s.set("stores", static_cast<double>(stores));
+    s.set("loads_l1", static_cast<double>(loadsL1));
+    s.set("loads_l2", static_cast<double>(loadsL2));
+    s.set("loads_l3", static_cast<double>(loadsL3));
+    s.set("loads_dram", static_cast<double>(loadsDram));
+    s.set("branches", static_cast<double>(branches));
+    s.set("mispredicts", static_cast<double>(mispredicts));
     s.set("rob_stall_cycles", robStallCycles);
     s.set("runahead_extra_stall", runaheadExtraStall);
-    s.set("full_rob_stall_events", double(fullRobStallEvents));
+    s.set("full_rob_stall_events", static_cast<double>(fullRobStallEvents));
     return s;
 }
 
@@ -229,7 +229,8 @@ OooCore::run(uint64_t max_insts)
             // once (not once per blocked instruction).
             const Cycle stall_start = std::max(others, lastDispatch_);
             if (rob_free > stall_start)
-                stats_.robStallCycles += double(rob_free - stall_start);
+                stats_.robStallCycles +=
+                    static_cast<double>(rob_free - stall_start);
             // Full-ROB stall: fire the runahead hook when the ROB
             // head is a DRAM-bound load and no episode is already
             // covering this stall.
@@ -248,7 +249,8 @@ OooCore::run(uint64_t max_insts)
                 runaheadBusyUntil_ = std::max(rob_free, extra) +
                                      cfg_.robSize / cfg_.width;
                 if (extra > dispatch) {
-                    stats_.runaheadExtraStall += double(extra - dispatch);
+                    stats_.runaheadExtraStall +=
+                        static_cast<double>(extra - dispatch);
                     dispatch = extra;
                 }
             }

@@ -25,7 +25,7 @@ Cache::setIndex(Addr line_addr) const
 CacheLine *
 Cache::lookup(Addr line_addr)
 {
-    CacheLine *base = &lines_[size_t(setIndex(line_addr)) * assoc_];
+    CacheLine *base = &lines_[static_cast<size_t>(setIndex(line_addr)) * assoc_];
     for (uint32_t w = 0; w < assoc_; ++w) {
         CacheLine &l = base[w];
         if (l.valid && l.lineAddr == line_addr) {
@@ -41,7 +41,7 @@ Cache::lookup(Addr line_addr)
 const CacheLine *
 Cache::peek(Addr line_addr) const
 {
-    const CacheLine *base = &lines_[size_t(setIndex(line_addr)) * assoc_];
+    const CacheLine *base = &lines_[static_cast<size_t>(setIndex(line_addr)) * assoc_];
     for (uint32_t w = 0; w < assoc_; ++w) {
         if (base[w].valid && base[w].lineAddr == line_addr)
             return &base[w];
@@ -52,7 +52,7 @@ Cache::peek(Addr line_addr) const
 Cache::Victim
 Cache::insert(Addr line_addr, Cycle fill_time, Requester who, bool dirty)
 {
-    CacheLine *base = &lines_[size_t(setIndex(line_addr)) * assoc_];
+    CacheLine *base = &lines_[static_cast<size_t>(setIndex(line_addr)) * assoc_];
     CacheLine *slot = nullptr;
 
     // Hit (re-fill): update in place.
@@ -98,7 +98,7 @@ Cache::insert(Addr line_addr, Cycle fill_time, Requester who, bool dirty)
 void
 Cache::invalidate(Addr line_addr)
 {
-    CacheLine *base = &lines_[size_t(setIndex(line_addr)) * assoc_];
+    CacheLine *base = &lines_[static_cast<size_t>(setIndex(line_addr)) * assoc_];
     for (uint32_t w = 0; w < assoc_; ++w) {
         if (base[w].valid && base[w].lineAddr == line_addr) {
             base[w].valid = false;

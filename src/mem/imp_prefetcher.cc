@@ -102,7 +102,8 @@ ImpPrefetcher::observe(InstPc pc, Addr addr, uint64_t value,
         }
         // Candidate element-size shifts: byte, u64, and the padded
         // 64/128-byte records the workloads use.
-        for (uint8_t shift : {0, 3, 6, 7}) {
+        for (uint8_t shift : {uint8_t{0}, uint8_t{3}, uint8_t{6},
+                              uint8_t{7}}) {
             const Addr base = addr - (is.lastValue << shift);
             if (base > addr)    // underflow: implausible
                 continue;

@@ -140,7 +140,12 @@ class MemorySystem
     std::unique_ptr<StridePrefetcher> stride_;
     std::unique_ptr<ImpPrefetcher> imp_;
     std::vector<Addr> pfQueue_;  ///< scratch for prefetcher output
-    /** Runahead-prefetched lines not yet demand-touched. */
+    /**
+     * Runahead-prefetched lines not yet demand-touched. Off the
+     * per-access hot path: touched only on runahead issue and on the
+     * first demand hit of a prefetched line, both DRAM-latency-rare.
+     */
+    // dvr-lint: allow(hot-map)
     std::unordered_map<Addr, char> pendingRunahead_;
 };
 

@@ -403,6 +403,42 @@ ConfigSchema::ConfigSchema()
                 [](SimConfig &c) -> unsigned & {
                     return c.vr.subthread.timeoutInsts;
                 }));
+    add(uintKey("vr.vectorWidth", "VR lanes per vector register",
+                [](SimConfig &c) -> unsigned & {
+                    return c.vr.subthread.vectorWidth;
+                }));
+    add(uintKey("vr.vectorPorts", "VR vector uops issued per cycle",
+                [](SimConfig &c) -> unsigned & {
+                    return c.vr.subthread.vectorPorts;
+                }));
+    add(uintKey("vr.reconvDepth", "VR reconvergence stack depth",
+                [](SimConfig &c) -> unsigned & {
+                    return c.vr.subthread.reconvDepth;
+                }));
+    add(uintKey("vr.intPhysFree", "VR spare integer phys regs",
+                [](SimConfig &c) -> unsigned & {
+                    return c.vr.subthread.intPhysFree;
+                }));
+    add(boolKey("vr.gpuReconvergence",
+                "GPU-style reconvergence for VR (default false: "
+                "lane invalidation, as in the VR paper)",
+                [](SimConfig &c) -> bool & {
+                    return c.vr.subthread.gpuReconvergence;
+                }));
+    add(uintKey("vr.spawnOverhead", "VR episode spawn overhead, cycles",
+                [](SimConfig &c) -> Cycle & {
+                    return c.vr.subthread.spawnOverhead;
+                }));
+    add(uintKey("vr.ndmTimeout", "VR NDM outer-stride hunt budget "
+                "(unused by plain VR; kept schema-complete)",
+                [](SimConfig &c) -> unsigned & {
+                    return c.vr.subthread.ndmTimeout;
+                }));
+    add(uintKey("vr.nestedOuterLanes", "VR NDM outer lanes (unused by "
+                "plain VR; kept schema-complete)",
+                [](SimConfig &c) -> unsigned & {
+                    return c.vr.subthread.nestedOuterLanes;
+                }));
     add(uintKey("vr.scalarBudget",
                 "scalar instructions VR walks to find a strider",
                 [](SimConfig &c) -> unsigned & {

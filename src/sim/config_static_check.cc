@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Compile-time schema-drift guard.
+ *
+ * Every config struct is mirrored field-for-field from
+ * config_fields.def and the mirror's size is static_asserted against
+ * the real struct. Adding, removing, or re-typing a field without
+ * updating the manifest therefore fails the build — long before the
+ * `schema-drift` lint rule (which checks the names and the registered
+ * dotted keys) gets a chance to run. The asserts say exactly what to
+ * update.
+ *
+ * The mirrors share declaration order with the real structs, so equal
+ * size implies equal layout for the field lists we maintain; this is
+ * a tripwire, not a layout proof.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "sim/config.hh"
+
+namespace dvr {
+namespace {
+
+#define DVR_DRIFT_HELP \
+    "config struct drifted from src/sim/config_fields.def: add the " \
+    "field there and register its key in config_schema.cc"
+
+struct CoreMirror
+{
+#define DVR_CORE_FIELD(field, type, key) type field;
+#include "sim/config_fields.def"
+#undef DVR_CORE_FIELD
+};
+static_assert(sizeof(CoreMirror) == sizeof(CoreConfig), DVR_DRIFT_HELP);
+
+struct MemMirror
+{
+#define DVR_MEM_FIELD(field, type, key) type field;
+#include "sim/config_fields.def"
+#undef DVR_MEM_FIELD
+};
+static_assert(sizeof(MemMirror) == sizeof(MemConfig), DVR_DRIFT_HELP);
+
+struct SubthreadMirror
+{
+#define DVR_SUBTHREAD_FIELD(field, type, key) type field;
+#include "sim/config_fields.def"
+#undef DVR_SUBTHREAD_FIELD
+};
+static_assert(sizeof(SubthreadMirror) == sizeof(SubthreadConfig),
+              DVR_DRIFT_HELP);
+
+struct DvrMirror
+{
+#define DVR_DVRC_FIELD(field, type, key) type field;
+#include "sim/config_fields.def"
+#undef DVR_DVRC_FIELD
+};
+static_assert(sizeof(DvrMirror) == sizeof(DvrConfig), DVR_DRIFT_HELP);
+
+struct VrMirror
+{
+#define DVR_VR_FIELD(field, type, key) type field;
+#include "sim/config_fields.def"
+#undef DVR_VR_FIELD
+};
+static_assert(sizeof(VrMirror) == sizeof(VrConfig), DVR_DRIFT_HELP);
+
+struct PreMirror
+{
+#define DVR_PRE_FIELD(field, type, key) type field;
+#include "sim/config_fields.def"
+#undef DVR_PRE_FIELD
+};
+static_assert(sizeof(PreMirror) == sizeof(PreConfig), DVR_DRIFT_HELP);
+
+struct OracleMirror
+{
+#define DVR_ORACLE_FIELD(field, type, key) type field;
+#include "sim/config_fields.def"
+#undef DVR_ORACLE_FIELD
+};
+static_assert(sizeof(OracleMirror) == sizeof(OracleConfig),
+              DVR_DRIFT_HELP);
+
+struct SimMirror
+{
+#define DVR_SIM_FIELD(field, type, key) type field;
+#include "sim/config_fields.def"
+#undef DVR_SIM_FIELD
+};
+static_assert(sizeof(SimMirror) == sizeof(SimConfig), DVR_DRIFT_HELP);
+
+} // namespace
+
+/** Anchors the translation unit so the asserts always compile. */
+void configStaticCheckAnchor();
+void
+configStaticCheckAnchor()
+{
+}
+
+} // namespace dvr

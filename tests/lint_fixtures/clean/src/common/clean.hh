@@ -1,0 +1,14 @@
+// Fixture: a file every rule stays silent on.
+#ifndef DVR_COMMON_CLEAN_HH
+#define DVR_COMMON_CLEAN_HH
+
+namespace fixture {
+
+struct Widget
+{
+    unsigned count = 0;
+};
+
+} // namespace fixture
+
+#endif // DVR_COMMON_CLEAN_HH

@@ -1,0 +1,20 @@
+// Fixture: hot-path file every rule stays silent on. The strings and
+// comments below would trip naive matchers: "new Widget" in prose,
+// rand() in a string literal, and a raw string with an embedded
+// unordered_map mention must all be scrubbed before rules run.
+#include "common/clean.hh"
+
+namespace fixture {
+
+// Allocating a new Widget here would be a violation; describing one
+// is not.
+const char *kMessage = "call rand() and new Widget";
+const char *kRaw = R"(std::unordered_map<int, int> in a string)";
+
+unsigned
+f(unsigned totalInsts)
+{
+    return totalInsts + 1'000;      // digit separator, not a char
+}
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: schema-drift target struct.
+#ifndef DVR_MINI_MINI_HH
+#define DVR_MINI_MINI_HH
+
+namespace dvr {
+
+struct MiniConfig
+{
+    unsigned width = 1;
+    unsigned height = 2;
+    unsigned depth = 3;     ///< absent from config_fields.def
+};
+
+} // namespace dvr
+
+#endif // DVR_MINI_MINI_HH

@@ -1,0 +1,7 @@
+// Fixture: the registered keys the schema-drift rule cross-checks.
+// "mini.height" is deliberately absent.
+namespace fixture {
+
+const char *kRegisteredKeys[] = {"mini.width", "mini.stale"};
+
+} // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: include-guard. The guard must be derived from the path
+// (expected here: DVR_COMMON_BAD_GUARD_HH).
+#ifndef WRONG_GUARD_HH
+#define WRONG_GUARD_HH
+
+namespace fixture {}
+
+#endif // WRONG_GUARD_HH

@@ -1,0 +1,11 @@
+// Fixture: using-namespace-header.
+#ifndef DVR_COMMON_USING_NS_HH
+#define DVR_COMMON_USING_NS_HH
+
+namespace fixture_ns {}
+
+using namespace fixture_ns;     // seeded violation
+// dvr-lint: allow(using-namespace-header)
+using namespace fixture_ns;
+
+#endif // DVR_COMMON_USING_NS_HH

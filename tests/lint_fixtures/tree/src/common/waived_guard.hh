@@ -1,0 +1,8 @@
+// Fixture: include-guard, waived form.
+// dvr-lint: allow(include-guard)
+#ifndef LEGACY_GUARD_HH
+#define LEGACY_GUARD_HH
+
+namespace fixture {}
+
+#endif // LEGACY_GUARD_HH

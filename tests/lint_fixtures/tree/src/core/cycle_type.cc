@@ -1,0 +1,14 @@
+// Fixture: cycle-type. Narrow integer declarations must not hold
+// cycle counts or latencies; dvr::Cycle is the sanctioned carrier.
+namespace fixture {
+
+void
+f()
+{
+    unsigned stallCycles = 0;       // seeded violation
+    (void)stallCycles;
+    unsigned warmupCycles = 0;      // dvr-lint: allow(cycle-type)
+    (void)warmupCycles;
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: no-rand. Simulated runs must be deterministic.
+#include <cstdlib>
+
+namespace fixture {
+
+int
+g()
+{
+    const int live = std::rand();   // seeded violation
+    // dvr-lint: allow(no-rand)
+    const int waivedValue = std::rand();
+    return live + waivedValue;
+}
+
+} // namespace fixture

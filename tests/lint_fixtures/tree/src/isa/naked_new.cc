@@ -1,0 +1,12 @@
+// Fixture: naked-new. Owning allocations go through RAII wrappers.
+namespace fixture {
+
+void
+f()
+{
+    int *live = new int(3);     // seeded violation
+    // dvr-lint: allow(naked-new)
+    delete live;
+}
+
+} // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: hot-map. No hash maps on the src/core | src/mem hot paths
+// without a waiver carrying the justification.
+#include <unordered_map>
+
+namespace fixture {
+
+std::unordered_map<int, int> live;      // seeded violation
+// dvr-lint: allow(hot-map) -- fixture: rarely-touched side table
+std::unordered_map<int, int> waived;
+
+} // namespace fixture

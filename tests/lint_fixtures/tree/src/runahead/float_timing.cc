@@ -1,0 +1,8 @@
+// Fixture: no-float-timing. Timing code keeps cycle math exact.
+namespace fixture {
+
+float liveRatio = 0.0F;         // seeded violation
+double fineRatio = 0.0;
+float waivedRatio = 0.0F;       // dvr-lint: allow(no-float-timing)
+
+} // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: bad-waiver. A typo'd waiver must not suppress silently.
+namespace fixture {
+
+// dvr-lint: allow(not-a-rule)
+int x = 0;
+
+// dvr-lint: allow(bad-waiver) dvr-lint: allow(also-not-a-rule)
+int y = 0;
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: stat-dup. A stat name is registered (.set) once per file.
+namespace fixture {
+
+void
+exportStats(StatSet &s)
+{
+    s.set("episodes", 1.0);
+    s.set("episodes", 2.0);     // seeded violation
+    s.set("lane_loads", 1.0);
+    // dvr-lint: allow(stat-dup)
+    s.set("lane_loads", 2.0);
+    s.add("accumulated", 1.0);  // .add accumulates; twice is fine
+    s.add("accumulated", 2.0);
+}
+
+} // namespace fixture

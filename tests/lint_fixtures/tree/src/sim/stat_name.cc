@@ -1,0 +1,13 @@
+// Fixture: stat-name. Stat names are lower_snake_case.
+namespace fixture {
+
+void
+exportStats(StatSet &s)
+{
+    s.set("BadName", 1.0);      // seeded violation
+    // dvr-lint: allow(stat-name)
+    s.set("AlsoBad", 2.0);
+    s.set("fine_name", 3.0);
+}
+
+} // namespace fixture

@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <iterator>
+#include <memory>
 
 #include "runahead/technique.hh"
 #include "sim/config_schema.hh"
@@ -45,14 +46,14 @@ class GoldenParity : public ::testing::Test
     {
         WorkloadParams wp;
         wp.scaleShift = 4;
-        prepared_ = new PreparedWorkload("camel", "", wp, 96ULL << 20);
+        prepared_ = std::make_unique<PreparedWorkload>("camel", "", wp,
+                                                       96ULL << 20);
     }
 
     static void
     TearDownTestSuite()
     {
-        delete prepared_;
-        prepared_ = nullptr;
+        prepared_.reset();
     }
 
     static SimResult
@@ -66,10 +67,10 @@ class GoldenParity : public ::testing::Test
         return prepared_->run(cfg);
     }
 
-    static PreparedWorkload *prepared_;
+    static std::unique_ptr<PreparedWorkload> prepared_;
 };
 
-PreparedWorkload *GoldenParity::prepared_ = nullptr;
+std::unique_ptr<PreparedWorkload> GoldenParity::prepared_;
 
 TEST_F(GoldenParity, AllTechniquesByteIdentical)
 {

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * dvr-lint's own test suite: each fixture tree under
+ * tests/lint_fixtures/ seeds exactly one live violation per rule plus
+ * one waived violation, so these tests pin both detection and the
+ * waiver mechanism. Suite names are lowercase so `ctest -R lint`
+ * selects them together with the tree-wide lint.tree check.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace {
+
+using dvr::lint::Finding;
+using dvr::lint::Options;
+using dvr::lint::runLint;
+using dvr::lint::scrubSource;
+
+std::vector<Finding>
+lintFixture(const std::string &name)
+{
+    Options opts;
+    opts.root = std::string(DVR_LINT_FIXTURE_DIR) + "/" + name;
+    return runLint(opts);
+}
+
+std::map<std::string, int>
+countByRule(const std::vector<Finding> &findings)
+{
+    std::map<std::string, int> counts;
+    for (const Finding &f : findings)
+        ++counts[f.rule];
+    return counts;
+}
+
+TEST(lint_rules, registry_lists_every_rule_once)
+{
+    const auto &rs = dvr::lint::rules();
+    ASSERT_FALSE(rs.empty());
+    for (const auto &r : rs) {
+        EXPECT_TRUE(dvr::lint::isRule(r.id));
+        EXPECT_EQ(1, std::count_if(rs.begin(), rs.end(),
+                                   [&](const auto &o) {
+                                       return std::string(o.id) == r.id;
+                                   }))
+            << r.id;
+    }
+    EXPECT_FALSE(dvr::lint::isRule("not-a-rule"));
+}
+
+TEST(lint_fixtures, tree_seeds_exactly_one_finding_per_line_rule)
+{
+    const auto findings = lintFixture("tree");
+    const auto counts = countByRule(findings);
+
+    // One live violation per rule; the waived twin in each fixture
+    // file must not surface. schema-drift is exercised by the `drift`
+    // fixture (this tree has no config_fields.def).
+    const std::map<std::string, int> expect = {
+        {"stat-dup", 1},      {"stat-name", 1},
+        {"naked-new", 1},     {"hot-map", 1},
+        {"cycle-type", 1},    {"no-rand", 1},
+        {"no-float-timing", 1},
+        {"using-namespace-header", 1},
+        {"include-guard", 1}, {"bad-waiver", 1},
+    };
+    EXPECT_EQ(expect, counts) << [&] {
+        std::string all;
+        for (const auto &f : findings)
+            all += f.toString() + "\n";
+        return all;
+    }();
+}
+
+TEST(lint_fixtures, tree_findings_name_the_seeded_files)
+{
+    const auto findings = lintFixture("tree");
+    auto fileOf = [&](const std::string &rule) {
+        for (const auto &f : findings) {
+            if (f.rule == rule)
+                return f.file;
+        }
+        return std::string("<none>");
+    };
+    EXPECT_EQ("src/sim/stat_dup.cc", fileOf("stat-dup"));
+    EXPECT_EQ("src/sim/stat_name.cc", fileOf("stat-name"));
+    EXPECT_EQ("src/isa/naked_new.cc", fileOf("naked-new"));
+    EXPECT_EQ("src/mem/hot_map.cc", fileOf("hot-map"));
+    EXPECT_EQ("src/core/cycle_type.cc", fileOf("cycle-type"));
+    EXPECT_EQ("src/core/rand_use.cc", fileOf("no-rand"));
+    EXPECT_EQ("src/runahead/float_timing.cc",
+              fileOf("no-float-timing"));
+    EXPECT_EQ("src/common/using_ns.hh",
+              fileOf("using-namespace-header"));
+    EXPECT_EQ("src/common/bad_guard.hh", fileOf("include-guard"));
+    EXPECT_EQ("src/sim/bad_waiver.cc", fileOf("bad-waiver"));
+}
+
+TEST(lint_fixtures, drift_cross_checks_def_header_and_schema)
+{
+    const auto findings = lintFixture("drift");
+    ASSERT_EQ(4u, findings.size()) << [&] {
+        std::string all;
+        for (const auto &f : findings)
+            all += f.toString() + "\n";
+        return all;
+    }();
+    for (const auto &f : findings)
+        EXPECT_EQ("schema-drift", f.rule);
+
+    auto has = [&](const std::string &file, const std::string &needle) {
+        return std::any_of(findings.begin(), findings.end(),
+                           [&](const Finding &f) {
+                               return f.file == file &&
+                                      f.message.find(needle) !=
+                                          std::string::npos;
+                           });
+    };
+    // Field in the struct but missing from the .def manifest.
+    EXPECT_TRUE(has("src/mini/mini.hh", "depth"));
+    // Struct whose defining header is gone.
+    EXPECT_TRUE(has("src/sim/config_fields.def", "gone.hh"));
+    // Stale manifest entry the struct no longer has (the waived
+    // `ghost` twin must not surface).
+    EXPECT_TRUE(has("src/sim/config_fields.def", "'stale'"));
+    EXPECT_FALSE(has("src/sim/config_fields.def", "'ghost'"));
+    // Manifest key never registered with the schema.
+    EXPECT_TRUE(has("src/sim/config_fields.def", "mini.height"));
+}
+
+TEST(lint_fixtures, clean_tree_has_zero_findings)
+{
+    const auto findings = lintFixture("clean");
+    EXPECT_TRUE(findings.empty()) << [&] {
+        std::string all;
+        for (const auto &f : findings)
+            all += f.toString() + "\n";
+        return all;
+    }();
+}
+
+TEST(lint_scrub, blanks_comments_and_literal_contents)
+{
+    const auto out = scrubSource({
+        "int x = 0; // new Widget",
+        "const char *m = \"rand() inside\";",
+        "auto r = R\"(std::unordered_map<int,int>)\";",
+        "char q = 'x'; f(y);",
+        "/* using namespace std; */ int z;",
+    });
+    ASSERT_EQ(5u, out.size());
+    EXPECT_EQ(std::string::npos, out[0].find("new"));
+    EXPECT_NE(std::string::npos, out[0].find("int x = 0;"));
+    EXPECT_EQ(std::string::npos, out[1].find("rand"));
+    EXPECT_EQ(std::string::npos, out[2].find("unordered_map"));
+    EXPECT_EQ(std::string::npos, out[3].find('x'));
+    EXPECT_NE(std::string::npos, out[3].find("f(y);"));
+    EXPECT_EQ(std::string::npos, out[4].find("using"));
+    EXPECT_NE(std::string::npos, out[4].find("int z;"));
+}
+
+TEST(lint_scrub, digit_separator_is_not_a_char_literal)
+{
+    // If 1'000 opened a char literal, everything up to the next quote
+    // would be blanked and the trailing call would vanish.
+    const auto out = scrubSource({"unsigned k = 1'000; g(h);"});
+    ASSERT_EQ(1u, out.size());
+    EXPECT_NE(std::string::npos, out[0].find("000"));
+    EXPECT_NE(std::string::npos, out[0].find("g(h);"));
+}
+
+TEST(lint_scrub, block_comment_spans_lines)
+{
+    const auto out = scrubSource({
+        "int a; /* start",
+        "   rand() still comment",
+        "end */ int b;",
+    });
+    ASSERT_EQ(3u, out.size());
+    EXPECT_NE(std::string::npos, out[0].find("int a;"));
+    EXPECT_EQ(std::string::npos, out[1].find("rand"));
+    EXPECT_NE(std::string::npos, out[2].find("int b;"));
+}
+
+TEST(lint_tree, real_source_tree_is_clean)
+{
+    Options opts;
+    opts.root = DVR_LINT_SOURCE_ROOT;
+    const auto findings = runLint(opts);
+    EXPECT_TRUE(findings.empty()) << [&] {
+        std::string all;
+        for (const auto &f : findings)
+            all += f.toString() + "\n";
+        return all;
+    }();
+}
+
+} // namespace

@@ -111,8 +111,9 @@ printSummary(const std::string &workload, const dvr::WorkloadParams &wp,
     std::printf("LLC MPKI %.1f, MSHR occupancy %.2f, "
                 "mispredict rate %.2f%%\n",
                 r.llcMpki(), r.mshrOccupancy(),
-                100.0 * double(r.core.mispredicts) /
-                    std::max<uint64_t>(1, r.core.branches));
+                100.0 * static_cast<double>(r.core.mispredicts) /
+                    static_cast<double>(
+                        std::max<uint64_t>(1, r.core.branches)));
 }
 
 } // namespace

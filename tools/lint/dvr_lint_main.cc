@@ -1,0 +1,133 @@
+/**
+ * @file
+ * dvr-lint command-line driver.
+ *
+ *     dvr-lint [--root DIR] [--compile-commands FILE]
+ *              [--list-rules] [FILE...]
+ *
+ * FILEs are root-relative; with none given the whole tree is walked.
+ * With --compile-commands, the translation units listed in the
+ * compilation database are linted (plus every header the tree walk
+ * finds), so the lint set tracks what actually builds. Exit status:
+ * 0 clean, 1 findings, 2 usage or I/O error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Pull the "file" entries out of a compile_commands.json. */
+std::vector<std::string>
+compileCommandFiles(const std::string &path, const std::string &root)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("dvr-lint: cannot read " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    static const std::regex fileRe(R"re("file"\s*:\s*"([^"]+)")re");
+    std::set<std::string> rels;
+    const std::string s = text.str();
+    for (auto it = std::sregex_iterator(s.begin(), s.end(), fileRe);
+         it != std::sregex_iterator(); ++it) {
+        const fs::path p((*it)[1].str());
+        std::error_code ec;
+        const fs::path rel = fs::relative(p, root, ec);
+        if (ec || rel.empty() || rel.generic_string().rfind("..", 0) == 0)
+            continue;       // outside the tree (system TU)
+        rels.insert(rel.generic_string());
+    }
+    return {rels.begin(), rels.end()};
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--root DIR] [--compile-commands FILE] "
+                 "[--list-rules] [FILE...]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    dvr::lint::Options opts;
+    std::string compileCommands;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&](const char *opt) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "dvr-lint: %s needs a value\n",
+                             opt);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--root") {
+            opts.root = value("--root");
+        } else if (a == "--compile-commands") {
+            compileCommands = value("--compile-commands");
+        } else if (a == "--list-rules") {
+            for (const auto &r : dvr::lint::rules())
+                std::printf("%-24s %s\n", r.id, r.describe);
+            return 0;
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!a.empty() && a[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            opts.files.push_back(a);
+        }
+    }
+
+    try {
+        if (!compileCommands.empty()) {
+            // The database only lists translation units; pass headers
+            // explicitly (or use the default walk) to lint them too.
+            auto fromDb =
+                compileCommandFiles(compileCommands, opts.root);
+            opts.files.insert(opts.files.end(), fromDb.begin(),
+                              fromDb.end());
+            std::sort(opts.files.begin(), opts.files.end());
+            opts.files.erase(std::unique(opts.files.begin(),
+                                         opts.files.end()),
+                             opts.files.end());
+        }
+        const auto findings = dvr::lint::runLint(opts);
+        for (const auto &f : findings)
+            std::printf("%s\n", f.toString().c_str());
+        if (!findings.empty()) {
+            std::fprintf(stderr,
+                         "dvr-lint: %zu finding%s (waive with "
+                         "// dvr-lint: allow(<rule>))\n",
+                         findings.size(),
+                         findings.size() == 1 ? "" : "s");
+            return 1;
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+}

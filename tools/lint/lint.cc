@@ -1,0 +1,749 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace fs = std::filesystem;
+
+namespace dvr::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Rule identifiers. Order here is the --list-rules / report order.
+// ---------------------------------------------------------------------
+
+constexpr const char *kSchemaDrift = "schema-drift";
+constexpr const char *kStatDup = "stat-dup";
+constexpr const char *kStatName = "stat-name";
+constexpr const char *kNakedNew = "naked-new";
+constexpr const char *kHotMap = "hot-map";
+constexpr const char *kCycleType = "cycle-type";
+constexpr const char *kNoRand = "no-rand";
+constexpr const char *kNoFloat = "no-float-timing";
+constexpr const char *kUsingNamespace = "using-namespace-header";
+constexpr const char *kIncludeGuard = "include-guard";
+constexpr const char *kBadWaiver = "bad-waiver";
+
+const std::vector<RuleInfo> kRules = {
+    {kSchemaDrift,
+     "config structs, config_fields.def, and config_schema.cc keys "
+     "must agree field-for-field"},
+    {kStatDup,
+     "a stat name may be registered (set/add) only once per file"},
+    {kStatName,
+     "stat names must be lower_snake_case (dots as separators)"},
+    {kNakedNew,
+     "no naked new/delete; use std::unique_ptr or containers"},
+    {kHotMap,
+     "no std::unordered_map/set on hot paths (src/core, src/mem)"},
+    {kCycleType,
+     "cycle counts and latencies must use dvr::Cycle, not narrow ints"},
+    {kNoRand,
+     "no rand()/srand(); use common/rng.hh (deterministic runs)"},
+    {kNoFloat,
+     "no float in timing code (src/core|mem|runahead|sim); use "
+     "double or integers"},
+    {kUsingNamespace, "no using-namespace directives in headers"},
+    {kIncludeGuard,
+     "header guards must be DVR_<PATH>_HH derived from the file path"},
+    {kBadWaiver, "a waiver must name an existing rule"},
+};
+
+// ---------------------------------------------------------------------
+// Source loading and scrubbing.
+// ---------------------------------------------------------------------
+
+std::vector<std::string>
+readLines(const fs::path &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("dvr-lint: cannot read " +
+                                 path.string());
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        lines.push_back(line);
+    }
+    return lines;
+}
+
+/** One loaded source file plus its comment/string-scrubbed shadow. */
+struct Source
+{
+    std::string rel;                ///< root-relative path
+    std::vector<std::string> raw;
+    std::vector<std::string> scrub;
+};
+
+} // namespace
+
+static std::vector<std::string>
+scrubImpl(const std::vector<std::string> &lines, bool blankStrings);
+
+std::vector<std::string>
+scrubSource(const std::vector<std::string> &lines)
+{
+    return scrubImpl(lines, true);
+}
+
+/**
+ * Comment-only scrub: blanks // and block comments but keeps string
+ * literals, for files (config_fields.def) whose payload lives in
+ * quoted macro arguments.
+ */
+static std::vector<std::string>
+scrubComments(const std::vector<std::string> &lines)
+{
+    return scrubImpl(lines, false);
+}
+
+static std::vector<std::string>
+scrubImpl(const std::vector<std::string> &lines, bool blankStrings)
+{
+    std::vector<std::string> out;
+    out.reserve(lines.size());
+    enum class St { kCode, kBlockComment, kRawString };
+    St st = St::kCode;
+    std::string rawEnd;     // ")delim\"" terminator of a raw string
+
+    for (const std::string &line : lines) {
+        std::string o(line.size(), ' ');
+        size_t i = 0;
+        while (i < line.size()) {
+            if (st == St::kBlockComment) {
+                const size_t e = line.find("*/", i);
+                if (e == std::string::npos) {
+                    i = line.size();
+                } else {
+                    i = e + 2;
+                    st = St::kCode;
+                }
+                continue;
+            }
+            if (st == St::kRawString) {
+                const size_t e = line.find(rawEnd, i);
+                const size_t stop = e == std::string::npos
+                                        ? line.size()
+                                        : e + rawEnd.size();
+                if (!blankStrings) {
+                    for (size_t k = i; k < stop; ++k)
+                        o[k] = line[k];
+                }
+                i = stop;
+                if (e != std::string::npos)
+                    st = St::kCode;
+                continue;
+            }
+            const char c = line[i];
+            if (c == '/' && i + 1 < line.size()) {
+                if (line[i + 1] == '/') {
+                    i = line.size();    // rest is a line comment
+                    continue;
+                }
+                if (line[i + 1] == '*') {
+                    st = St::kBlockComment;
+                    i += 2;
+                    continue;
+                }
+            }
+            if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"') {
+                const size_t paren = line.find('(', i + 2);
+                if (paren != std::string::npos) {
+                    rawEnd = ")" + line.substr(i + 2, paren - i - 2) +
+                             "\"";
+                    st = St::kRawString;
+                    i = paren + 1;
+                    continue;
+                }
+            }
+            if (c == '\'' && i > 0 &&
+                std::isalnum(static_cast<unsigned char>(line[i - 1]))) {
+                ++i;    // digit separator (1'000), not a char literal
+                continue;
+            }
+            if (c == '"' || c == '\'') {
+                const char q = c;
+                const size_t start = i;
+                ++i;
+                while (i < line.size() && line[i] != q) {
+                    if (line[i] == '\\')
+                        ++i;
+                    ++i;
+                }
+                if (i < line.size())
+                    ++i;    // closing quote
+                if (!blankStrings) {
+                    for (size_t k = start; k < i && k < line.size();
+                         ++k) {
+                        o[k] = line[k];
+                    }
+                }
+                continue;
+            }
+            o[i] = c;
+            ++i;
+        }
+        out.push_back(std::move(o));
+    }
+    return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Waivers: `// dvr-lint: allow(<rule>)` on the line or the line above.
+// ---------------------------------------------------------------------
+
+const std::regex kWaiverRe(R"(dvr-lint:\s*allow\(\s*([A-Za-z0-9_-]+)\s*\))");
+
+std::vector<std::string>
+waiversOn(const std::string &line)
+{
+    std::vector<std::string> ids;
+    auto begin = std::sregex_iterator(line.begin(), line.end(),
+                                      kWaiverRe);
+    for (auto it = begin; it != std::sregex_iterator(); ++it)
+        ids.push_back((*it)[1].str());
+    return ids;
+}
+
+/** True when `rule` is waived at 1-based `line` of `raw`. */
+bool
+waived(const std::vector<std::string> &raw, size_t line,
+       const std::string &rule)
+{
+    for (size_t l = (line > 1 ? line - 1 : 1); l <= line; ++l) {
+        if (l == 0 || l > raw.size())
+            continue;
+        for (const std::string &id : waiversOn(raw[l - 1])) {
+            if (id == rule)
+                return true;
+        }
+    }
+    return false;
+}
+
+bool
+startsWith(const std::string &s, const std::string &pfx)
+{
+    return s.rfind(pfx, 0) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &sfx)
+{
+    return s.size() >= sfx.size() &&
+           s.compare(s.size() - sfx.size(), sfx.size(), sfx) == 0;
+}
+
+bool
+isHeader(const std::string &rel)
+{
+    return endsWith(rel, ".hh");
+}
+
+bool
+inDirs(const std::string &rel,
+       std::initializer_list<const char *> dirs)
+{
+    for (const char *d : dirs) {
+        if (startsWith(rel, d))
+            return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Line rules.
+// ---------------------------------------------------------------------
+
+void
+checkBannedTokens(const Source &src, std::vector<Finding> &out)
+{
+    static const std::regex newRe(R"(\bnew\s+[A-Za-z_(])");
+    static const std::regex deleteRe(R"(\bdelete\b)");
+    static const std::regex randRe(R"(\bs?rand\s*\()");
+    static const std::regex floatRe(R"(\bfloat\b)");
+    static const std::regex mapRe(R"(\bunordered_(map|set)\s*<)");
+    static const std::regex usingNsRe(R"(\busing\s+namespace\b)");
+
+    const bool hotPath = inDirs(src.rel, {"src/core/", "src/mem/"});
+    const bool timing = inDirs(
+        src.rel, {"src/core/", "src/mem/", "src/runahead/", "src/sim/"});
+
+    for (size_t l = 0; l < src.scrub.size(); ++l) {
+        const std::string &s = src.scrub[l];
+        const size_t first = s.find_first_not_of(" \t");
+        if (first == std::string::npos)
+            continue;
+        const bool preproc = s[first] == '#';
+
+        if (std::regex_search(s, newRe)) {
+            out.push_back({src.rel, l + 1, kNakedNew,
+                           "naked 'new'; own it with std::unique_ptr "
+                           "/ std::make_unique or a container"});
+        }
+        for (auto it = std::sregex_iterator(s.begin(), s.end(),
+                                            deleteRe);
+             it != std::sregex_iterator(); ++it) {
+            // `= delete;` (deleted functions) is not a deallocation.
+            size_t p = static_cast<size_t>(it->position());
+            while (p > 0 && std::isspace(
+                                static_cast<unsigned char>(s[p - 1]))) {
+                --p;
+            }
+            if (p > 0 && s[p - 1] == '=')
+                continue;
+            out.push_back({src.rel, l + 1, kNakedNew,
+                           "naked 'delete'; owning pointers must be "
+                           "RAII-managed"});
+            break;
+        }
+        if (std::regex_search(s, randRe)) {
+            out.push_back({src.rel, l + 1, kNoRand,
+                           "rand()/srand() breaks run determinism; "
+                           "use dvr::Rng (common/rng.hh)"});
+        }
+        if (timing && !preproc && std::regex_search(s, floatRe)) {
+            out.push_back({src.rel, l + 1, kNoFloat,
+                           "float in timing code loses cycle "
+                           "precision; use double or integers"});
+        }
+        if (hotPath && !preproc && std::regex_search(s, mapRe)) {
+            out.push_back({src.rel, l + 1, kHotMap,
+                           "std::unordered_map/set on a hot path; use "
+                           "a direct-mapped table or a sorted vector, "
+                           "or waive with a justification"});
+        }
+        if (isHeader(src.rel) && std::regex_search(s, usingNsRe)) {
+            out.push_back({src.rel, l + 1, kUsingNamespace,
+                           "using-namespace in a header leaks into "
+                           "every includer"});
+        }
+    }
+}
+
+void
+checkCycleType(const Source &src, std::vector<Finding> &out)
+{
+    // Narrow-integer declarations whose name says "cycle count" or
+    // "latency". `Cycle` (uint64_t) is the only sanctioned carrier.
+    static const std::regex declRe(
+        R"(\b(?:int|unsigned|short|u?int(?:8|16|32)_t)\s+)"
+        R"((\w*(?:[Cc]ycles|[Ll]atency|Lat|_lat)_?)\s*[=;,)\{])");
+
+    for (size_t l = 0; l < src.scrub.size(); ++l) {
+        std::smatch m;
+        if (std::regex_search(src.scrub[l], m, declRe)) {
+            out.push_back({src.rel, l + 1, kCycleType,
+                           "'" + m[1].str() +
+                               "' holds cycles/latency but is not "
+                               "dvr::Cycle (common/types.hh)"});
+        }
+    }
+}
+
+void
+checkStats(const Source &src, std::vector<Finding> &out)
+{
+    // Raw lines: the stat name lives inside a string literal. `.add`
+    // is accumulate-or-create, so only `.set` counts as registration.
+    static const std::regex statRe(
+        R"re(\.(set|add)\s*\(\s*"([^"]+)")re");
+    static const std::regex nameRe(
+        R"([a-z][a-z0-9_]*(\.[a-z0-9_]+)*)");
+
+    std::map<std::string, size_t> firstLine;
+    for (size_t l = 0; l < src.raw.size(); ++l) {
+        const std::string &s = src.raw[l];
+        for (auto it = std::sregex_iterator(s.begin(), s.end(), statRe);
+             it != std::sregex_iterator(); ++it) {
+            const std::string name = (*it)[2].str();
+            if (!std::regex_match(name, nameRe)) {
+                out.push_back({src.rel, l + 1, kStatName,
+                               "stat '" + name +
+                                   "' is not lower_snake_case"});
+            }
+            if ((*it)[1].str() != "set")
+                continue;
+            auto [pos, inserted] = firstLine.emplace(name, l + 1);
+            if (!inserted) {
+                out.push_back(
+                    {src.rel, l + 1, kStatDup,
+                     "stat '" + name + "' already registered at line " +
+                         std::to_string(pos->second)});
+            }
+        }
+    }
+}
+
+void
+checkIncludeGuard(const Source &src, std::vector<Finding> &out)
+{
+    if (!isHeader(src.rel))
+        return;
+
+    // src/common/types.hh -> DVR_COMMON_TYPES_HH;
+    // tools/lint/lint.hh  -> DVR_TOOLS_LINT_LINT_HH.
+    std::string tail = src.rel;
+    if (startsWith(tail, "src/"))
+        tail = tail.substr(4);
+    std::string expect = "DVR_";
+    for (char c : tail) {
+        expect += std::isalnum(static_cast<unsigned char>(c))
+                      ? static_cast<char>(
+                            std::toupper(static_cast<unsigned char>(c)))
+                      : '_';
+    }
+
+    static const std::regex ifndefRe(R"(^\s*#ifndef\s+(\w+))");
+    static const std::regex defineRe(R"(^\s*#define\s+(\w+))");
+    for (size_t l = 0; l < src.scrub.size(); ++l) {
+        std::smatch m;
+        if (!std::regex_search(src.scrub[l], m, ifndefRe))
+            continue;
+        if (m[1].str() != expect) {
+            out.push_back({src.rel, l + 1, kIncludeGuard,
+                           "guard '" + m[1].str() + "' should be '" +
+                               expect + "'"});
+            return;
+        }
+        // The matching #define must follow on the next code line.
+        for (size_t d = l + 1; d < src.scrub.size(); ++d) {
+            if (src.scrub[d].find_first_not_of(" \t") ==
+                std::string::npos) {
+                continue;
+            }
+            std::smatch dm;
+            if (!std::regex_search(src.scrub[d], dm, defineRe) ||
+                dm[1].str() != expect) {
+                out.push_back({src.rel, d + 1, kIncludeGuard,
+                               "#ifndef " + expect +
+                                   " must be followed by its "
+                                   "#define"});
+            }
+            return;
+        }
+        return;
+    }
+    out.push_back({src.rel, 1, kIncludeGuard,
+                   "missing include guard '" + expect + "'"});
+}
+
+// ---------------------------------------------------------------------
+// schema-drift: config structs <-> config_fields.def <-> schema keys.
+// ---------------------------------------------------------------------
+
+struct DefEntry
+{
+    std::string field;
+    std::string key;        ///< "-" for composite fields with no key
+    size_t line;            ///< in config_fields.def
+};
+
+struct DefStruct
+{
+    std::string section;    ///< e.g. "CORE" in DVR_CORE_FIELD
+    std::string name;       ///< e.g. "CoreConfig"
+    std::string header;     ///< root-relative path of the definition
+    size_t line;
+    std::vector<DefEntry> fields;
+};
+
+/** Depth-1 field declarations of `struct name { ... }` in a header. */
+std::vector<std::pair<std::string, size_t>>
+structFields(const std::vector<std::string> &scrub,
+             const std::string &name, bool &found)
+{
+    const std::regex headRe("^\\s*struct\\s+" + name + "\\b(.*)$");
+    static const std::regex fieldRe(
+        R"(^\s*(?:const\s+)?[A-Za-z_][\w:]*(?:\s*<[^;>]*>)?)"
+        R"((?:\s*[&*])?\s+(\w+)\s*(?:=[^;]*|\{[^;}]*\})?\s*;)");
+
+    std::vector<std::pair<std::string, size_t>> out;
+    found = false;
+    int depth = 0;
+    bool inBody = false;
+    for (size_t l = 0; l < scrub.size(); ++l) {
+        const std::string &s = scrub[l];
+        std::smatch m;
+        if (!inBody && !found && std::regex_search(s, m, headRe) &&
+            m[1].str().find(';') == std::string::npos) {
+            found = true;
+            depth = 0;
+        }
+        if (!found || (inBody && depth == 0))
+            continue;
+        for (char c : s) {
+            if (c == '{') {
+                ++depth;
+                inBody = true;
+            } else if (c == '}') {
+                --depth;
+            }
+        }
+        if (!inBody)
+            continue;
+        if (depth == 1) {
+            const std::string trimmed =
+                s.substr(std::min(s.find_first_not_of(" \t"), s.size()));
+            if (startsWith(trimmed, "static ") ||
+                startsWith(trimmed, "using ") ||
+                startsWith(trimmed, "friend ")) {
+                continue;
+            }
+            if (std::regex_search(s, m, fieldRe))
+                out.emplace_back(m[1].str(), l + 1);
+        }
+        if (depth == 0)
+            break;      // closed the struct
+    }
+    return out;
+}
+
+void
+checkSchemaDrift(const fs::path &root, std::vector<Finding> &out)
+{
+    const std::string defRel = "src/sim/config_fields.def";
+    const fs::path defPath = root / defRel;
+    if (!fs::exists(defPath))
+        return;     // tree without a schema (e.g. a fixture root)
+
+    const auto defRaw = readLines(defPath);
+    // Comment-scrubbed so the doc header's example entry is inert; the
+    // quoted macro arguments (header paths, keys) must survive.
+    const auto defScrub = scrubComments(defRaw);
+
+    static const std::regex structRe(
+        R"re(DVR_CONFIG_STRUCT\(\s*(\w+)\s*,\s*(\w+)\s*,\s*"([^"]+)"\s*\))re");
+    static const std::regex fieldRe(
+        R"re(DVR_(\w+)_FIELD\(\s*(\w+)\s*,\s*[^,]+,\s*"([^"]+)"\s*\))re");
+
+    std::vector<DefStruct> structs;
+    for (size_t l = 0; l < defScrub.size(); ++l) {
+        std::smatch m;
+        if (std::regex_search(defScrub[l], m, structRe))
+            structs.push_back({m[1].str(), m[2].str(), m[3].str(),
+                               l + 1, {}});
+    }
+    for (size_t l = 0; l < defScrub.size(); ++l) {
+        std::smatch m;
+        if (!std::regex_search(defScrub[l], m, fieldRe))
+            continue;
+        bool known = false;
+        for (DefStruct &ds : structs) {
+            if (ds.section == m[1].str()) {
+                ds.fields.push_back({m[2].str(), m[3].str(), l + 1});
+                known = true;
+            }
+        }
+        if (!known) {
+            out.push_back({defRel, l + 1, kSchemaDrift,
+                           "DVR_" + m[1].str() +
+                               "_FIELD has no DVR_CONFIG_STRUCT "
+                               "declaring its section"});
+        }
+    }
+
+    // Keys registered in config_schema.cc: every string literal.
+    std::set<std::string> schemaKeys;
+    const std::string schemaRel = "src/sim/config_schema.cc";
+    const fs::path schemaPath = root / schemaRel;
+    const bool haveSchema = fs::exists(schemaPath);
+    if (haveSchema) {
+        static const std::regex litRe(R"re("((?:[^"\\]|\\.)*)")re");
+        // Comment-scrubbed: a key mentioned in a comment is not
+        // registered.
+        for (const std::string &line :
+             scrubComments(readLines(schemaPath))) {
+            for (auto it = std::sregex_iterator(line.begin(),
+                                                line.end(), litRe);
+                 it != std::sregex_iterator(); ++it) {
+                schemaKeys.insert((*it)[1].str());
+            }
+        }
+    }
+
+    for (const DefStruct &ds : structs) {
+        const fs::path hdr = root / ds.header;
+        if (!fs::exists(hdr)) {
+            out.push_back({defRel, ds.line, kSchemaDrift,
+                           "header '" + ds.header + "' for struct " +
+                               ds.name + " not found"});
+            continue;
+        }
+        const auto scrub = scrubSource(readLines(hdr));
+        bool found = false;
+        const auto fields = structFields(scrub, ds.name, found);
+        if (!found) {
+            out.push_back({defRel, ds.line, kSchemaDrift,
+                           "struct " + ds.name + " not found in " +
+                               ds.header});
+            continue;
+        }
+        for (const auto &[fname, fline] : fields) {
+            const bool listed = std::any_of(
+                ds.fields.begin(), ds.fields.end(),
+                [&](const DefEntry &e) { return e.field == fname; });
+            if (!listed) {
+                out.push_back(
+                    {ds.header, fline, kSchemaDrift,
+                     ds.name + "::" + fname +
+                         " is not listed in config_fields.def (add a "
+                         "DVR_" +
+                         ds.section + "_FIELD entry and a schema key)"});
+            }
+        }
+        for (const DefEntry &e : ds.fields) {
+            const bool present = std::any_of(
+                fields.begin(), fields.end(),
+                [&](const auto &f) { return f.first == e.field; });
+            if (!present) {
+                out.push_back({defRel, e.line, kSchemaDrift,
+                               "stale entry: " + ds.name +
+                                   " has no field '" + e.field + "'"});
+            }
+            if (haveSchema && e.key != "-" &&
+                schemaKeys.count(e.key) == 0) {
+                out.push_back({defRel, e.line, kSchemaDrift,
+                               "key \"" + e.key +
+                                   "\" is not registered in "
+                                   "config_schema.cc"});
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tree walking and the driver.
+// ---------------------------------------------------------------------
+
+bool
+lintable(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh";
+}
+
+bool
+skippedDir(const std::string &name)
+{
+    return name == "lint_fixtures" || startsWith(name, "build") ||
+           name == ".git";
+}
+
+std::vector<std::string>
+walkTree(const fs::path &root)
+{
+    std::vector<std::string> files;
+    for (const char *top : {"src", "tools", "bench", "tests"}) {
+        const fs::path dir = root / top;
+        if (!fs::is_directory(dir))
+            continue;
+        for (auto it = fs::recursive_directory_iterator(dir);
+             it != fs::recursive_directory_iterator(); ++it) {
+            if (it->is_directory() &&
+                skippedDir(it->path().filename().string())) {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (it->is_regular_file() && lintable(it->path()))
+                files.push_back(
+                    fs::relative(it->path(), root).generic_string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+} // namespace
+
+std::string
+Finding::toString() const
+{
+    return file + ":" + std::to_string(line) + ": [" + rule + "] " +
+           message;
+}
+
+const std::vector<RuleInfo> &
+rules()
+{
+    return kRules;
+}
+
+bool
+isRule(const std::string &id)
+{
+    return std::any_of(kRules.begin(), kRules.end(),
+                       [&](const RuleInfo &r) { return id == r.id; });
+}
+
+std::vector<Finding>
+runLint(const Options &opts)
+{
+    const fs::path root = opts.root;
+    std::vector<std::string> files =
+        opts.files.empty() ? walkTree(root) : opts.files;
+
+    std::vector<Finding> found;
+    std::map<std::string, std::vector<std::string>> rawByFile;
+
+    for (const std::string &rel : files) {
+        Source src;
+        src.rel = rel;
+        src.raw = readLines(root / rel);
+        src.scrub = scrubSource(src.raw);
+        rawByFile[rel] = src.raw;
+
+        checkBannedTokens(src, found);
+        checkCycleType(src, found);
+        checkStats(src, found);
+        checkIncludeGuard(src, found);
+
+        // Waivers naming a rule that does not exist are themselves
+        // findings: a typo'd waiver must not silently suppress nothing.
+        for (size_t l = 0; l < src.raw.size(); ++l) {
+            for (const std::string &id : waiversOn(src.raw[l])) {
+                if (!isRule(id)) {
+                    found.push_back({rel, l + 1, kBadWaiver,
+                                     "waiver names unknown rule '" +
+                                         id + "'"});
+                }
+            }
+        }
+    }
+
+    checkSchemaDrift(root, found);
+
+    // Apply waivers (line or line-above) to every finding.
+    std::vector<Finding> out;
+    for (const Finding &f : found) {
+        auto it = rawByFile.find(f.file);
+        if (it == rawByFile.end()) {
+            it = rawByFile.emplace(f.file, readLines(root / f.file))
+                     .first;
+        }
+        if (!waived(it->second, f.line, f.rule))
+            out.push_back(f);
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.file, a.line, a.rule) <
+                         std::tie(b.file, b.line, b.rule);
+              });
+    return out;
+}
+
+} // namespace dvr::lint

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * dvr-lint: project-specific static analysis for the DVR tree.
+ *
+ * A deliberately small, dependency-free linter that enforces the
+ * invariants this simulator's correctness depends on but a compiler
+ * cannot see: schema completeness, stat-registration discipline,
+ * cycle-type hygiene, and a handful of banned constructs. Rules are
+ * line-oriented (comments and string literals are scrubbed before
+ * matching) except `schema-drift`, which cross-checks the config
+ * structs, `src/sim/config_fields.def`, and the registered
+ * `config_schema.cc` keys as a unit.
+ *
+ * Any finding can be waived in place with
+ *
+ *     // dvr-lint: allow(<rule>)
+ *
+ * on the offending line or the line directly above it, which keeps
+ * every exception visible and greppable.
+ */
+
+#ifndef DVR_TOOLS_LINT_LINT_HH
+#define DVR_TOOLS_LINT_LINT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dvr::lint {
+
+/** One rule violation (or linter-level error) at a source location. */
+struct Finding
+{
+    std::string file;       ///< path relative to the lint root
+    size_t line = 0;        ///< 1-based; 0 for file-level findings
+    std::string rule;       ///< rule identifier, e.g. "naked-new"
+    std::string message;
+
+    /** "file:line: [rule] message" (the format tools expect). */
+    std::string toString() const;
+};
+
+/** A rule's identifier and one-line description (--list-rules). */
+struct RuleInfo
+{
+    const char *id;
+    const char *describe;
+};
+
+/** All rules, in report order. */
+const std::vector<RuleInfo> &rules();
+
+/** True when `id` names a known rule. */
+bool isRule(const std::string &id);
+
+struct Options
+{
+    /** Tree root; findings are reported relative to it. */
+    std::string root = ".";
+
+    /**
+     * Explicit root-relative files to lint. Empty: walk src/,
+     * tools/, bench/, and tests/ under the root (skipping
+     * lint_fixtures and build directories).
+     */
+    std::vector<std::string> files;
+};
+
+/**
+ * Run every rule over the tree (or file list) and return the
+ * unsuppressed findings, sorted by file then line.
+ */
+std::vector<Finding> runLint(const Options &opts);
+
+/**
+ * Replace comment bodies and string/character-literal contents with
+ * spaces, preserving line structure, so token rules cannot match
+ * prose. Exposed for the linter's own tests.
+ */
+std::vector<std::string> scrubSource(const std::vector<std::string> &lines);
+
+} // namespace dvr::lint
+
+#endif // DVR_TOOLS_LINT_LINT_HH
