@@ -74,8 +74,9 @@ main(int argc, char **argv)
                         pw->label() + "/no-reconv"});
     }
     const std::vector<SimResult> results = runner.runAll(jobs);
-    for (const SimResult &r : results)
-        report.addResult(r);
+    report.setConfig(base);
+    for (size_t i = 0; i < results.size(); ++i)
+        report.addResult(jobs[i].label, results[i]);
 
     std::vector<TableRow> rows;
     size_t j = 0;

@@ -73,8 +73,9 @@ main(int argc, char **argv)
         }
     }
     const std::vector<SimResult> results = runner.runAll(jobs);
-    for (const SimResult &r : results)
-        report.addResult(r);
+    report.setConfig(base);
+    for (size_t i = 0; i < results.size(); ++i)
+        report.addResult(jobs[i].label, results[i]);
 
     std::vector<TableRow> rows;
     std::vector<std::vector<double>> agg(cols.size());

@@ -1,9 +1,43 @@
 #include "common/stats.hh"
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
+#include "common/log.hh"
+
 namespace dvr {
+
+namespace {
+
+bool
+strictDefault()
+{
+#ifndef NDEBUG
+    return true;
+#else
+    const char *e = std::getenv("DVR_STRICT_STATS");
+    return e && (e[0] == '1' || e[0] == 't' || e[0] == 'T');
+#endif
+}
+
+/** Process-wide strict flag; configured before worker threads run. */
+std::atomic<bool> g_strict{strictDefault()};
+
+} // namespace
+
+void
+StatSet::setStrict(bool on)
+{
+    g_strict.store(on, std::memory_order_relaxed);
+}
+
+bool
+StatSet::strict()
+{
+    return g_strict.load(std::memory_order_relaxed);
+}
 
 void
 StatSet::add(const std::string &name, double v)
@@ -21,7 +55,20 @@ double
 StatSet::get(const std::string &name) const
 {
     auto it = vals_.find(name);
-    return it == vals_.end() ? 0.0 : it->second;
+    if (it == vals_.end()) {
+        panicIf(strict(),
+                "StatSet: read of unregistered stat '" + name +
+                    "' (misspelled? use getOr() for optional stats)");
+        return 0.0;
+    }
+    return it->second;
+}
+
+double
+StatSet::getOr(const std::string &name, double fallback) const
+{
+    auto it = vals_.find(name);
+    return it == vals_.end() ? fallback : it->second;
 }
 
 bool

@@ -28,8 +28,39 @@ class StatSet
     /** Overwrite a named value. */
     void set(const std::string &name, double v);
 
-    /** Read a value; returns 0 when absent. */
+    /**
+     * Read a value. A misspelled name silently reading as 0 has
+     * repeatedly hidden broken figures, so in strict mode (tests and
+     * debug builds) reading an unregistered stat panics; otherwise it
+     * returns 0. Use getOr() for stats that are legitimately optional.
+     */
     double get(const std::string &name) const;
+
+    /** Read a value, falling back to `fallback` when absent. */
+    double getOr(const std::string &name, double fallback) const;
+
+    /**
+     * Toggle strict mode process-wide. Defaults on in debug builds
+     * (!NDEBUG) or when DVR_STRICT_STATS=1; the test binary turns it
+     * on unconditionally.
+     */
+    static void setStrict(bool on);
+    static bool strict();
+
+    /** RAII strict-mode override (tests). */
+    struct ScopedStrict
+    {
+        explicit ScopedStrict(bool on) : prev_(strict())
+        {
+            setStrict(on);
+        }
+        ~ScopedStrict() { setStrict(prev_); }
+        ScopedStrict(const ScopedStrict &) = delete;
+        ScopedStrict &operator=(const ScopedStrict &) = delete;
+
+      private:
+        bool prev_;
+    };
 
     /** True when the stat exists. */
     bool has(const std::string &name) const;

@@ -74,6 +74,15 @@ CoreStats::toStatSet() const
     s.set("rob_stall_cycles", robStallCycles);
     s.set("runahead_extra_stall", runaheadExtraStall);
     s.set("full_rob_stall_events", static_cast<double>(fullRobStallEvents));
+    s.set("cpi.base", static_cast<double>(cpi.base));
+    s.set("cpi.branch_redirect",
+          static_cast<double>(cpi.branchRedirect));
+    s.set("cpi.l1", static_cast<double>(cpi.l1));
+    s.set("cpi.l2", static_cast<double>(cpi.l2));
+    s.set("cpi.l3", static_cast<double>(cpi.l3));
+    s.set("cpi.dram", static_cast<double>(cpi.dram));
+    s.set("cpi.full_rob", static_cast<double>(cpi.fullRob));
+    s.set("cpi.full_iq_lsq", static_cast<double>(cpi.fullIqLsq));
     return s;
 }
 
@@ -308,12 +317,15 @@ OooCore::run(uint64_t max_insts)
             if (mispredict) {
                 ++stats_.mispredicts;
                 // Redirect: correct-path fetch restarts after resolve.
+                if (complete + 1 > nextFetchCycle_)
+                    cpiRedirectFetch_ = complete + 1;
                 nextFetchCycle_ = std::max(nextFetchCycle_, complete + 1);
                 fetchedThisCycle_ = 0;
             }
         }
 
         // In-order, width-limited commit.
+        const Cycle prev_commit = lastCommitCycle_;
         Cycle commit = std::max(complete + 1, lastCommitCycle_);
         if (commit == lastCommitCycle_ &&
             committedThisCycle_ >= cfg_.width) {
@@ -359,6 +371,54 @@ OooCore::run(uint64_t max_insts)
         if (inst.hasDest()) {
             regs_.value[inst.rd] = result;
             regs_.ready[inst.rd] = complete;
+        }
+
+        // CPI stack: commit is monotonically non-decreasing, so the
+        // per-instruction commit deltas telescope to the final cycle
+        // count. Attribute each whole delta to the constraint that
+        // dominated this instruction's lateness; width-bound commits
+        // (the pipeline retiring at full speed) are base cycles.
+        if (commit > prev_commit) {
+            const Cycle delta = commit - prev_commit;
+            Cycle *bucket = &stats_.cpi.base;
+            if (complete + 1 > prev_commit) {
+                // dispatch already includes the ROB constraint and any
+                // runahead delayed-termination stall, so its push past
+                // the other dispatch gates is the full-ROB component.
+                const Cycle rob_push =
+                    dispatch > others ? dispatch - others : 0;
+                const Cycle iqlsq = std::max(iq_free, lsq_free);
+                const Cycle iqlsq_push =
+                    iqlsq > frontend ? iqlsq - frontend : 0;
+                const Cycle redirect_push =
+                    fetch == cpiRedirectFetch_
+                        ? Cycle(cfg_.frontendDepth) + 1
+                        : 0;
+                const Cycle mem_push =
+                    inst.isLoad() && complete > issue ? complete - issue
+                                                      : 0;
+                const Cycle top = std::max(
+                    {rob_push, iqlsq_push, redirect_push, mem_push});
+                if (top == 0) {
+                    bucket = &stats_.cpi.base;
+                } else if (top == rob_push) {
+                    bucket = &stats_.cpi.fullRob;
+                } else if (top == iqlsq_push) {
+                    bucket = &stats_.cpi.fullIqLsq;
+                } else if (top == redirect_push) {
+                    bucket = &stats_.cpi.branchRedirect;
+                } else {
+                    switch (level) {
+                      case HitLevel::kL1: bucket = &stats_.cpi.l1; break;
+                      case HitLevel::kL2: bucket = &stats_.cpi.l2; break;
+                      case HitLevel::kL3: bucket = &stats_.cpi.l3; break;
+                      case HitLevel::kDram:
+                        bucket = &stats_.cpi.dram;
+                        break;
+                    }
+                }
+            }
+            *bucket += delta;
         }
 
         ++seq;

@@ -102,11 +102,38 @@ class CoreClient
     virtual Cycle onFullRobStall(const StallInfo &) { return 0; }
 };
 
+/**
+ * CPI-stack component totals (cycle-attribution engine). Every commit
+ * slot — the gap between consecutive in-order commits — is attributed
+ * wholly to exactly one component, so the components sum to the total
+ * cycle count by construction (asserted in tests for every
+ * technique). Definitions follow the Sniper/Top-Down methodology the
+ * paper's evaluation uses; see docs/OBSERVABILITY.md.
+ */
+struct CpiStack
+{
+    Cycle base = 0;             ///< issue/dependence/L1-resident work
+    Cycle branchRedirect = 0;   ///< front-end refill after mispredict
+    Cycle l1 = 0;               ///< load-latency-bound, L1 hit
+    Cycle l2 = 0;               ///< load-latency-bound, L2 hit
+    Cycle l3 = 0;               ///< load-latency-bound, L3 hit
+    Cycle dram = 0;             ///< load-latency-bound, off-chip
+    Cycle fullRob = 0;          ///< dispatch blocked on a full ROB
+    Cycle fullIqLsq = 0;        ///< dispatch blocked on IQ/LQ/SQ
+
+    Cycle total() const
+    {
+        return base + branchRedirect + l1 + l2 + l3 + dram + fullRob +
+               fullIqLsq;
+    }
+};
+
 /** Aggregate run statistics. */
 struct CoreStats
 {
     uint64_t instructions = 0;
     Cycle cycles = 0;
+    CpiStack cpi;
     uint64_t loads = 0;
     uint64_t stores = 0;
     uint64_t loadsL1 = 0;
@@ -223,6 +250,11 @@ class OooCore
     // Runahead re-trigger guard.
     Cycle runaheadBusyUntil_ = 0;
     Cycle lastDispatch_ = 0;
+
+    // CPI-stack bookkeeping: the fetch cycle at which the front end
+    // resumed after the latest mispredict redirect (the first fetch
+    // group after it carries the refill penalty).
+    Cycle cpiRedirectFetch_ = kCycleNever;
 };
 
 } // namespace dvr

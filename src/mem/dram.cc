@@ -29,4 +29,11 @@ DramModel::totalAccesses() const
     return t;
 }
 
+double
+DramModel::avgQueueDelay() const
+{
+    const uint64_t n = totalAccesses();
+    return n == 0 ? 0.0 : queueDelay_ / static_cast<double>(n);
+}
+
 } // namespace dvr

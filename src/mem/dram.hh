@@ -46,6 +46,13 @@ class DramModel
     Cycle minLatency() const { return minLatency_; }
     double totalQueueDelay() const { return queueDelay_; }
 
+    /**
+     * Queueing delay per access. totalQueueDelay() is a raw sum over
+     * the whole run; reporting it unnormalized made runs of different
+     * lengths incomparable, so figures read this instead.
+     */
+    double avgQueueDelay() const;
+
   private:
     Cycle minLatency_;
     Cycle cyclesPerLine_;

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "mem/sim_memory.hh"
+#include "sim/trace.hh"
 
 namespace dvr {
 
@@ -22,26 +23,72 @@ MemorySystem::MemorySystem(const MemConfig &cfg, const SimMemory &mem)
 }
 
 void
-MemorySystem::noteRunaheadPrefetch(Addr line_addr)
+MemorySystem::notePrefetchIssued(Addr line_addr, Cycle issue,
+                                 Cycle fill_time, Requester who)
 {
-    pendingRunahead_.emplace(line_addr, 0);
+    // emplace: a re-prefetch of a still-pending line keeps the
+    // original record (timeliness is measured from the first issue).
+    pendingPf_.emplace(line_addr,
+                       PendingPrefetch{issue, fill_time,
+                                       clsIndex(who) == kClsHw});
 }
 
 void
 MemorySystem::noteDemandTouch(Addr line_addr, Cycle observed_latency)
 {
-    auto it = pendingRunahead_.find(line_addr);
-    if (it == pendingRunahead_.end())
+    auto it = pendingPf_.find(line_addr);
+    if (it == pendingPf_.end())
         return;
-    pendingRunahead_.erase(it);
-    if (observed_latency <= cfg_.l1Lat)
-        ++raFoundL1;
-    else if (observed_latency <= cfg_.l2Lat)
-        ++raFoundL2;
-    else if (observed_latency <= cfg_.l3Lat)
-        ++raFoundL3;
-    else
-        ++raFoundLate;
+    const PendingPrefetch rec = it->second;
+    pendingPf_.erase(it);
+    const int cls = rec.hw ? kClsHw : kClsRa;
+
+    // Legacy runahead-only bands (cumulative level latencies).
+    if (cls == kClsRa) {
+        if (observed_latency <= cfg_.l1Lat)
+            ++raFoundL1;
+        else if (observed_latency <= cfg_.l2Lat)
+            ++raFoundL2;
+        else if (observed_latency <= cfg_.l3Lat)
+            ++raFoundL3;
+        else
+            ++raFoundLate;
+    }
+
+    // Figure-11 timeliness classes: compare what the main thread
+    // observed against the full off-chip miss latency the prefetch was
+    // trying to hide.
+    const Cycle full_miss = cfg_.l3Lat + cfg_.dramLat;
+    if (observed_latency <= cfg_.l1Lat) {
+        ++tlFullyHidden_[cls];
+    } else if (observed_latency >= full_miss) {
+        ++tlFullLatency_[cls];
+    } else {
+        ++tlPartial_[cls];
+        if (cls == kClsRa) {
+            const Cycle hidden = full_miss - observed_latency;
+            size_t bucket = static_cast<size_t>(
+                (hidden * kHiddenHistBuckets) / full_miss);
+            if (bucket >= kHiddenHistBuckets)
+                bucket = kHiddenHistBuckets - 1;
+            ++raHiddenHist_[bucket];
+        }
+    }
+}
+
+void
+MemorySystem::noteL3Eviction(Addr line_addr)
+{
+    auto it = pendingPf_.find(line_addr);
+    if (it == pendingPf_.end())
+        return;
+    // Still resident closer to the core? Then the lifetime is not
+    // over (mostly-inclusive, but L1/L2 can outlive an L3 victim).
+    if (l1_.peek(line_addr) || l2_.peek(line_addr))
+        return;
+    const int cls = it->second.hw ? kClsHw : kClsRa;
+    pendingPf_.erase(it);
+    ++tlEvicted_[cls];
 }
 
 void
@@ -52,9 +99,12 @@ MemorySystem::fill(Addr line_addr, Cycle fill_time, Requester who,
     // victims propagate downward; a dirty L3 victim costs a DRAM
     // writeback transfer.
     auto v3 = l3_.insert(line_addr, fill_time, who, false);
-    if (v3.valid && v3.dirty) {
-        dram_.access(now, Requester::kWriteback);
-        ++writebacks;
+    if (v3.valid) {
+        if (v3.dirty) {
+            dram_.access(now, Requester::kWriteback);
+            ++writebacks;
+        }
+        noteL3Eviction(v3.lineAddr);
     }
     auto v2 = l2_.insert(line_addr, fill_time, who, false);
     if (v2.valid && v2.dirty) {
@@ -63,9 +113,12 @@ MemorySystem::fill(Addr line_addr, Cycle fill_time, Requester who,
             l->dirty = true;
         } else {
             auto wb = l3_.insert(v2.lineAddr, now, who, true);
-            if (wb.valid && wb.dirty) {
-                dram_.access(now, Requester::kWriteback);
-                ++writebacks;
+            if (wb.valid) {
+                if (wb.dirty) {
+                    dram_.access(now, Requester::kWriteback);
+                    ++writebacks;
+                }
+                noteL3Eviction(wb.lineAddr);
             }
         }
     }
@@ -138,6 +191,10 @@ MemorySystem::access(Addr addr, uint32_t bytes, Cycle cycle,
         res.level = HitLevel::kDram;
         const Cycle mshr_start =
             mshrs_.acquire(cycle, who == Requester::kRunahead);
+        if (mshr_start > cycle) {
+            Trace::emit(TraceCat::kMshrStall, cycle, pc,
+                        mshr_start - cycle, uint64_t(who));
+        }
         const Cycle done = dram_.access(mshr_start + cfg_.l3Lat, who);
         mshrs_.commit(mshr_start, done);
         res.done = done;
@@ -151,7 +208,7 @@ MemorySystem::access(Addr addr, uint32_t bytes, Cycle cycle,
 
     if (who == Requester::kRunahead && !is_store &&
         res.level == HitLevel::kDram) {
-        noteRunaheadPrefetch(line);
+        notePrefetchIssued(line, cycle, res.done, who);
     }
 
 
@@ -200,12 +257,16 @@ MemorySystem::prefetchLine(Addr line_addr, Cycle cycle, Requester who,
                 return kCycleNever;
         } else {
             start = mshrs_.acquire(cycle);
+            if (start > cycle) {
+                Trace::emit(TraceCat::kMshrStall, cycle, kInvalidPc,
+                            start - cycle, uint64_t(who));
+            }
         }
         done = dram_.access(start + cfg_.l3Lat, who);
         mshrs_.commit(start, done);
         fill(line_addr, done, who, false, cycle);
-        if (who == Requester::kRunahead)
-            noteRunaheadPrefetch(line_addr);
+        if (who == Requester::kRunahead || who == Requester::kHwPrefetch)
+            notePrefetchIssued(line_addr, cycle, done, who);
     }
     return done;
 }
@@ -237,11 +298,34 @@ MemorySystem::stats() const
     s.set("dram_writeback",
           double(dram_.accesses(Requester::kWriteback)));
     s.set("dram_total", double(dram_.totalAccesses()));
+    s.set("dram_queue_delay_total", dram_.totalQueueDelay());
+    s.set("dram_queue_delay_avg", dram_.avgQueueDelay());
     s.set("ra_found_l1", double(raFoundL1));
     s.set("ra_found_l2", double(raFoundL2));
     s.set("ra_found_l3", double(raFoundL3));
     s.set("ra_found_late", double(raFoundLate));
-    s.set("ra_unused", double(pendingRunahead_.size()));
+    // Pending records that were never demand-touched, split by class.
+    uint64_t useless[2] = {};
+    for (const auto &kv : pendingPf_)
+        ++useless[kv.second.hw ? kClsHw : kClsRa];
+    // ra_unused keeps its historical meaning: every runahead-prefetched
+    // line never used by the main thread, whether still resident or
+    // already evicted.
+    s.set("ra_unused", double(useless[kClsRa] + tlEvicted_[kClsRa]));
+    s.set("timeliness.ra_fully_hidden", double(tlFullyHidden_[kClsRa]));
+    s.set("timeliness.ra_partial", double(tlPartial_[kClsRa]));
+    s.set("timeliness.ra_full_latency", double(tlFullLatency_[kClsRa]));
+    s.set("timeliness.ra_evicted", double(tlEvicted_[kClsRa]));
+    s.set("timeliness.ra_useless", double(useless[kClsRa]));
+    s.set("timeliness.hw_fully_hidden", double(tlFullyHidden_[kClsHw]));
+    s.set("timeliness.hw_partial", double(tlPartial_[kClsHw]));
+    s.set("timeliness.hw_full_latency", double(tlFullLatency_[kClsHw]));
+    s.set("timeliness.hw_evicted", double(tlEvicted_[kClsHw]));
+    s.set("timeliness.hw_useless", double(useless[kClsHw]));
+    for (size_t i = 0; i < kHiddenHistBuckets; ++i) {
+        s.set("timeliness.ra_hidden_hist_" + std::to_string(i),
+              double(raHiddenHist_[i]));
+    }
     s.set("mshr_acquires", double(mshrs_.acquires()));
     s.set("mshr_prefetch_drops", double(mshrs_.prefetchDrops()));
     if (stride_)

@@ -122,13 +122,18 @@ class MemorySystem
     void fill(Addr line_addr, Cycle fill_time, Requester who,
               bool dirty, Cycle now);
 
-    void noteRunaheadPrefetch(Addr line_addr);
+    /** Start a prefetch lifetime record for a DRAM-fetched line. */
+    void notePrefetchIssued(Addr line_addr, Cycle issue, Cycle fill_time,
+                            Requester who);
     /**
-     * First demand touch of a runahead-prefetched line: classify its
-     * timeliness by the latency the main thread observed (Figure 11's
-     * bands: L1/L2/L3, or off-chip when the wait exceeds the LLC).
+     * First demand touch of a prefetched line: classify its timeliness
+     * by the latency the main thread observed (Figure 11's bands:
+     * L1/L2/L3, or off-chip when the wait exceeds the LLC), and bucket
+     * it into fully-hidden / partially-late / full-latency.
      */
     void noteDemandTouch(Addr line_addr, Cycle observed_latency);
+    /** L3 victim: close the lifetime of a never-used prefetch. */
+    void noteL3Eviction(Addr line_addr);
 
     const MemConfig cfg_;
     const SimMemory &mem_;
@@ -140,13 +145,45 @@ class MemorySystem
     std::unique_ptr<StridePrefetcher> stride_;
     std::unique_ptr<ImpPrefetcher> imp_;
     std::vector<Addr> pfQueue_;  ///< scratch for prefetcher output
+
     /**
-     * Runahead-prefetched lines not yet demand-touched. Off the
-     * per-access hot path: touched only on runahead issue and on the
-     * first demand hit of a prefetched line, both DRAM-latency-rare.
+     * Lifetime record of a DRAM-fetched prefetch that has not been
+     * demand-touched yet. `hw` splits the runahead class (runahead
+     * subthreads and runahead-mode demand misses) from the hardware
+     * class (stride / IMP / Oracle).
+     */
+    struct PendingPrefetch
+    {
+        Cycle issue = 0;        ///< cycle the prefetch was issued
+        Cycle fillTime = 0;     ///< cycle the line lands in the caches
+        bool hw = false;
+    };
+    /**
+     * Prefetched lines not yet demand-touched. Off the per-access hot
+     * path: touched only on prefetch issue, on the first demand hit of
+     * a prefetched line, and on L3 eviction, all DRAM-latency-rare.
      */
     // dvr-lint: allow(hot-map)
-    std::unordered_map<Addr, char> pendingRunahead_;
+    std::unordered_map<Addr, PendingPrefetch> pendingPf_;
+
+    // Timeliness classes, indexed by prefetch class (see clsIndex).
+    static constexpr int kClsRa = 0;    ///< runahead prefetches
+    static constexpr int kClsHw = 1;    ///< stride / IMP / Oracle
+    static int clsIndex(Requester who)
+    {
+        return who == Requester::kRunahead ? kClsRa : kClsHw;
+    }
+    uint64_t tlFullyHidden_[2] = {};    ///< observed <= L1 latency
+    uint64_t tlPartial_[2] = {};        ///< some latency still exposed
+    uint64_t tlFullLatency_[2] = {};    ///< hid nothing (useless-late)
+    uint64_t tlEvicted_[2] = {};        ///< left L3 before any use
+    /**
+     * For partially-late runahead prefetches: histogram of the DRAM
+     * latency fraction the prefetch did hide (8 equal-width buckets
+     * over [0, l3Lat + dramLat)), i.e. Figure 11's "how late" detail.
+     */
+    static constexpr size_t kHiddenHistBuckets = 8;
+    uint64_t raHiddenHist_[kHiddenHistBuckets] = {};
 };
 
 } // namespace dvr

@@ -19,24 +19,35 @@ MshrTracker::expire(Cycle now)
         ends_.pop();
 }
 
+unsigned
+MshrTracker::effectiveCap(bool low_priority) const
+{
+    return low_priority && capacity_ > kDemandReserve
+               ? capacity_ - kDemandReserve
+               : capacity_;
+}
+
 Cycle
 MshrTracker::acquire(Cycle want, bool low_priority)
 {
+    panicIf(pending_ != 0,
+            "MshrTracker: acquire with an uncommitted reservation "
+            "(acquire/commit must balance)");
     expire(want);
-    const unsigned cap =
-        low_priority && capacity_ > kDemandReserve
-            ? capacity_ - kDemandReserve
-            : capacity_;
+    const unsigned cap = effectiveCap(low_priority);
     Cycle start = want;
-    while (ends_.size() >= cap) {
+    while (ends_.size() + pending_ >= cap) {
         // MSHRs busy: wait for the earliest outstanding miss to
         // complete. Requests can arrive slightly out of time order in
         // the dependence-based model, so this is an approximation of
-        // a strict per-cycle allocator.
+        // a strict per-cycle allocator. Each popped entry ends at or
+        // before the final start, so it is expired — not leaked — by
+        // the time the reservation begins.
         start = std::max(start, ends_.top());
         ends_.pop();
     }
     ++acquires_;
+    ++pending_;
     return start;
 }
 
@@ -44,19 +55,26 @@ void
 MshrTracker::commit(Cycle start, Cycle end)
 {
     panicIf(end < start, "MshrTracker: negative interval");
+    panicIf(pending_ == 0,
+            "MshrTracker: commit without a matching acquire");
+    --pending_;
     ends_.push(end);
     busyIntegral_ += static_cast<double>(end - start);
 }
 
 bool
-MshrTracker::tryAcquire(Cycle want)
+MshrTracker::tryAcquire(Cycle want, bool low_priority)
 {
+    panicIf(pending_ != 0,
+            "MshrTracker: tryAcquire with an uncommitted reservation "
+            "(acquire/commit must balance)");
     expire(want);
-    if (ends_.size() >= capacity_) {
+    if (ends_.size() + pending_ >= effectiveCap(low_priority)) {
         ++prefetchDrops_;
         return false;
     }
     ++acquires_;
+    ++pending_;
     return true;
 }
 

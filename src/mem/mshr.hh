@@ -18,9 +18,15 @@
 namespace dvr {
 
 /**
- * Tracks outstanding miss intervals. acquire() finds the earliest
- * cycle at or after the requested start at which an MSHR is free;
- * release happens implicitly when the returned interval ends.
+ * Tracks outstanding miss intervals as a two-phase reservation:
+ * acquire() (or tryAcquire()) reserves the register and finds the
+ * earliest cycle at or after the requested start at which an MSHR is
+ * free; commit() records the miss interval and releases the
+ * reservation. Release of the register itself happens implicitly when
+ * the committed interval ends. Every successful acquire/tryAcquire
+ * must be paired with exactly one commit() before the next
+ * reservation; an unbalanced sequence panics instead of silently
+ * freeing an in-flight MSHR.
  */
 class MshrTracker
 {
@@ -47,10 +53,15 @@ class MshrTracker
     /**
      * Best-effort reservation for hardware prefetches: returns false
      * (drop the prefetch) instead of delaying when no MSHR is free.
+     * Prefetches are low-priority by default and honor the same
+     * kDemandReserve cap as queued low-priority acquire()s.
      */
-    bool tryAcquire(Cycle want);
+    bool tryAcquire(Cycle want, bool low_priority = true);
 
     unsigned capacity() const { return capacity_; }
+
+    /** Reservations acquired but not yet committed (0 or 1). */
+    unsigned pendingReservations() const { return pending_; }
 
     /** Sum over all miss intervals of their length, in cycles. */
     double busyIntegral() const { return busyIntegral_; }
@@ -65,7 +76,13 @@ class MshrTracker
     /** Drop intervals that have completed by `now`. */
     void expire(Cycle now);
 
+    /** One reservation policy for both acquire paths. */
+    unsigned effectiveCap(bool low_priority) const;
+
     unsigned capacity_;
+    /** Open reservations awaiting commit(); the model issues one miss
+     *  at a time, so anything but 0/1 is a caller bug. */
+    unsigned pending_ = 0;
     /** Min-heap of end cycles of in-flight misses. */
     std::priority_queue<Cycle, std::vector<Cycle>,
                         std::greater<Cycle>> ends_;

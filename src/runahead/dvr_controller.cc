@@ -3,6 +3,16 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "sim/trace.hh"
+
+namespace {
+// kDiscovery event payload `a`: which discovery transition happened.
+constexpr uint64_t kEvDiscBegin = 0;
+constexpr uint64_t kEvDiscDone = 1;
+constexpr uint64_t kEvDiscSwitched = 2;
+constexpr uint64_t kEvDiscAborted = 3;
+constexpr uint64_t kEvDiscNoChain = 4;
+} // namespace
 
 namespace dvr {
 
@@ -86,6 +96,8 @@ DvrController::spawnEpisode(const DiscoveryResult &d,
         episodeEndCycle_ = std::max(episodeEndCycle_, spawn + 64);
         return;
     }
+    Trace::emit(TraceCat::kSpawn, spawn, d.stridePc, ep.lanesSpawned,
+                ep.nested ? 1 : 0);
     accumulate(ep);
 }
 
@@ -110,6 +122,8 @@ DvrController::spawnOffloadEpisode(const StrideEntry &e,
             std::max(episodeEndCycle_, ri.issueCycle + 64);
         return;
     }
+    Trace::emit(TraceCat::kSpawn, ri.issueCycle, d.stridePc,
+                ep.lanesSpawned, 0);
     accumulate(ep);
 }
 
@@ -131,18 +145,26 @@ DvrController::onRetire(const RetireInfo &ri)
                 // No dependent chain: the plain stride prefetcher
                 // already covers this load; don't waste an episode.
                 ++stats_.noChainSkips;
+                Trace::emit(TraceCat::kDiscovery, ri.commitCycle,
+                            d.stridePc, kEvDiscNoChain);
                 cooldown_[d.stridePc] = ri.seq + cfg_.rejectCooldown;
                 return;
             }
+            Trace::emit(TraceCat::kDiscovery, ri.commitCycle,
+                        d.stridePc, kEvDiscDone, d.flr);
             spawnEpisode(d, ri);
             return;
           }
           case DiscoveryMode::Status::kSwitched:
             ++stats_.discoverySwitches;
+            Trace::emit(TraceCat::kDiscovery, ri.commitCycle, ri.pc,
+                        kEvDiscSwitched);
             return;
           case DiscoveryMode::Status::kAborted:
             ++stats_.discoveryAborts;
             inDiscovery_ = false;
+            Trace::emit(TraceCat::kDiscovery, ri.commitCycle, ri.pc,
+                        kEvDiscAborted);
             return;
           default:
             return;
@@ -162,6 +184,8 @@ DvrController::onRetire(const RetireInfo &ri)
         discovery_.begin(*strider, *ri.inst, core_->regs());
         inDiscovery_ = true;
         ++stats_.discoveries;
+        Trace::emit(TraceCat::kDiscovery, ri.commitCycle, ri.pc,
+                    kEvDiscBegin);
     } else {
         spawnOffloadEpisode(*strider, ri);
     }

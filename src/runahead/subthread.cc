@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "mem/sim_memory.hh"
+#include "sim/trace.hh"
 
 namespace dvr {
 
@@ -182,6 +183,8 @@ VectorSubthread::execChain(const TermSpec &t)
             if (m.any()) {
                 pcv_ = e.pc;
                 active_ = m;
+                Trace::emit(TraceCat::kReconvergence, curIssue_, e.pc,
+                            m.count());
                 return true;
             }
         }
@@ -429,10 +432,13 @@ VectorSubthread::execChain(const TermSpec &t)
                         first_taken ? pcv_ + 1 : inst.target;
                     if (first_taken)
                         next_pc = inst.target;
-                    if (!stack_.push(defer_pc, defer)) {
+                    const bool pushed = stack_.push(defer_pc, defer);
+                    if (!pushed) {
                         st_.lanesDropped += defer.count();
                         faulted_ |= defer;
                     }
+                    Trace::emit(TraceCat::kDivergence, curIssue_, pcv_,
+                                defer.count(), pushed ? 0 : 1);
                     active_ = follow;
                 } else {
                     // VR-style: follow the first scalar-equivalent
@@ -446,6 +452,8 @@ VectorSubthread::execChain(const TermSpec &t)
                         next_pc = inst.target;
                     st_.lanesInvalidated += dead.count();
                     faulted_ |= dead;
+                    Trace::emit(TraceCat::kDivergence, curIssue_, pcv_,
+                                dead.count(), 2);
                     active_ = follow;
                 }
             }
@@ -607,6 +615,7 @@ VectorSubthread::runNested(const DiscoveryResult &d,
     resetEpisode(1, spawn);
     initRegs(regs, spawn, kCycleNever);
     pcv_ = d.backwardBranchPc + 1;
+    Trace::emit(TraceCat::kNdm, spawn, pcv_, 1);
 
     TermSpec hunt;
     hunt.forcedNotTakenPc = d.backwardBranchPc;
@@ -651,6 +660,7 @@ VectorSubthread::runNested(const DiscoveryResult &d,
     outer_base += static_cast<Addr>(oe->stride * int64_t(outer_skip));
 
     const unsigned outer_lanes = static_cast<unsigned>(outer_avail);
+    Trace::emit(TraceCat::kNdm, curIssue_, outer_pc, 2, outer_lanes);
     advanceCursor(cursor, outer_base, oe->stride, outer_lanes);
     numLanes_ = outer_lanes;
     active_ = fullMask(outer_lanes);
@@ -761,6 +771,7 @@ VectorSubthread::runNested(const DiscoveryResult &d,
     t.timeout = cfg_.timeoutInsts;
     t.reconverge = cfg_.gpuReconvergence;
     pcv_ = d.stridePc;
+    Trace::emit(TraceCat::kNdm, curIssue_, d.stridePc, 3, n_inner);
     execChain(t);
 
     st_.issueEnd = std::max(st_.issueEnd, curIssue_);

@@ -54,6 +54,13 @@ struct SimConfig
     OracleConfig oracle;
     uint64_t maxInstructions = defaultMaxInstructions();
     uint64_t memoryBytes = 192ULL << 20;
+    /**
+     * Trace categories to enable ("" = off; see src/sim/trace.hh).
+     * Tracing is observability-only: it never changes timing.
+     */
+    std::string trace;
+    /** JSONL trace sink path ("" = derive from the run context). */
+    std::string traceFile;
 
     /** Table 1 baseline with the given technique. */
     static SimConfig baseline(Technique t = Technique::kBase);

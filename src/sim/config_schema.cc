@@ -227,6 +227,15 @@ ConfigSchema::ConfigSchema()
                 [](SimConfig &c) -> uint64_t & {
                     return c.memoryBytes;
                 }));
+    add({"sim.trace", "string",
+         "trace categories: comma list, 'all', or '' for off (see "
+         "src/sim/trace.hh)",
+         [](const SimConfig &c) { return c.trace; },
+         [](SimConfig &c, const std::string &v) { c.trace = v; }});
+    add({"sim.traceFile", "string",
+         "JSONL trace sink path ('' = <bench dir>/dvr_trace.jsonl)",
+         [](const SimConfig &c) { return c.traceFile; },
+         [](SimConfig &c, const std::string &v) { c.traceFile = v; }});
 
     // core.* — the Table 1 out-of-order core.
     add(uintKey("core.width", "fetch/dispatch/commit width",

@@ -85,7 +85,7 @@ printBenchHeader(std::ostream &os, const std::string &figure,
 
 BenchReport::BenchReport(std::string figure, unsigned threads)
     : figure_(std::move(figure)), threads_(threads),
-      start_(std::chrono::steady_clock::now())
+      manifest_(figure_), start_(std::chrono::steady_clock::now())
 {
 }
 
@@ -93,6 +93,13 @@ void
 BenchReport::addResult(const SimResult &r)
 {
     instructions_ += r.core.instructions;
+}
+
+void
+BenchReport::addResult(const std::string &label, const SimResult &r)
+{
+    addResult(r);
+    manifest_.addRun(label, r.stats);
 }
 
 std::string
@@ -123,6 +130,7 @@ BenchReport::write(std::ostream &echo) const
         warn("BenchReport: cannot write " + path +
              " (does DVR_BENCH_DIR exist?)");
     }
+    manifest_.write(dir, wall);
 
     echo << "\n[" << path << "] wall " << std::fixed
          << std::setprecision(1) << wall << " s, "

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/manifest.hh"
 #include "sim/simulator.hh"
 
 namespace dvr {
@@ -71,6 +72,11 @@ void printBenchHeader(std::ostream &os, const std::string &figure,
  * machine-readable JSON (BENCH_<figure>.json) so the performance
  * trajectory of the harness is tracked across PRs. The clock starts
  * at construction.
+ *
+ * Every report also carries a RunManifest: setConfig() records the
+ * resolved configuration, the labeled addResult() overload records
+ * each simulation's full stat set, and write() emits
+ * MANIFEST_<figure>.json next to the bench JSON.
  */
 class BenchReport
 {
@@ -78,14 +84,19 @@ class BenchReport
     /** `figure` is a short id like "fig07"; threads = worker count. */
     BenchReport(std::string figure, unsigned threads);
 
+    /** Record the resolved configuration in the manifest. */
+    void setConfig(const SimConfig &cfg) { manifest_.setConfig(cfg); }
+
     /** Account a finished simulation's dynamic instructions. */
     void addResult(const SimResult &r);
+    /** As above, and record the run's stats in the manifest. */
+    void addResult(const std::string &label, const SimResult &r);
     void addInstructions(uint64_t n) { instructions_ += n; }
 
     /**
-     * Write BENCH_<figure>.json into DVR_BENCH_DIR (default: the
-     * current directory) and echo a one-line summary. Returns the
-     * file path.
+     * Write BENCH_<figure>.json and MANIFEST_<figure>.json into
+     * DVR_BENCH_DIR (default: the current directory) and echo a
+     * one-line summary. Returns the bench-report file path.
      */
     std::string write(std::ostream &echo) const;
 
@@ -93,6 +104,7 @@ class BenchReport
     std::string figure_;
     unsigned threads_;
     uint64_t instructions_ = 0;
+    RunManifest manifest_;
     std::chrono::steady_clock::time_point start_;
 };
 

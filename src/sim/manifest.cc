@@ -1,0 +1,367 @@
+#include "sim/manifest.hh"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/log.hh"
+#include "sim/config_schema.hh"
+
+namespace dvr {
+
+namespace {
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out + "\"";
+}
+
+/**
+ * Recursive-descent JSON syntax checker (objects, arrays, strings,
+ * numbers, true/false/null). Also records the root object's keys and
+ * each value's kind: 'o'bject, 'a'rray, 's'tring, 'n'umber, 'b'ool,
+ * 'z' (null).
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &s) : s_(s) {}
+
+    /** "" when the document is valid JSON, else the first error. */
+    std::string
+    check()
+    {
+        skipWs();
+        char kind = 0;
+        if (!value(kind, /*atRoot=*/true))
+            return err_;
+        skipWs();
+        if (i_ != s_.size())
+            return at("trailing characters after document");
+        return "";
+    }
+
+    const std::map<std::string, char> &
+    topKeys() const
+    {
+        return top_;
+    }
+
+  private:
+    std::string
+    at(const std::string &what) const
+    {
+        return what + " (offset " + std::to_string(i_) + ")";
+    }
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err_.empty())
+            err_ = at(what);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (i_ < s_.size() &&
+               (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\r' ||
+                s_[i_] == '\n')) {
+            ++i_;
+        }
+    }
+
+    char
+    peek() const
+    {
+        return i_ < s_.size() ? s_[i_] : '\0';
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p) {
+            if (i_ >= s_.size() || s_[i_] != *p)
+                return fail(std::string("bad literal (expected '") +
+                            word + "')");
+            ++i_;
+        }
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (peek() != '"')
+            return fail("expected '\"'");
+        ++i_;
+        out.clear();
+        while (i_ < s_.size()) {
+            const char c = s_[i_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (i_ >= s_.size())
+                    break;
+                out += s_[i_++];
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        const size_t start = i_;
+        if (peek() == '-')
+            ++i_;
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++i_;
+        if (peek() == '.') {
+            ++i_;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++i_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++i_;
+            if (peek() == '+' || peek() == '-')
+                ++i_;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++i_;
+        }
+        if (i_ == start || (i_ == start + 1 && s_[start] == '-'))
+            return fail("expected a value");
+        return true;
+    }
+
+    bool
+    value(char &kind, bool atRoot = false)
+    {
+        skipWs();
+        const char c = peek();
+        if (c == '{') {
+            kind = 'o';
+            return object(atRoot);
+        }
+        if (c == '[') {
+            kind = 'a';
+            return array();
+        }
+        if (c == '"') {
+            kind = 's';
+            std::string s;
+            return string(s);
+        }
+        if (c == 't') {
+            kind = 'b';
+            return literal("true");
+        }
+        if (c == 'f') {
+            kind = 'b';
+            return literal("false");
+        }
+        if (c == 'n') {
+            kind = 'z';
+            return literal("null");
+        }
+        kind = 'n';
+        return number();
+    }
+
+    bool
+    object(bool atRoot)
+    {
+        ++i_;   // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++i_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!string(key))
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return fail("expected ':'");
+            ++i_;
+            char kind = 0;
+            if (!value(kind))
+                return false;
+            if (atRoot)
+                top_[key] = kind;
+            skipWs();
+            const char c = peek();
+            if (c == ',') {
+                ++i_;
+                continue;
+            }
+            if (c == '}') {
+                ++i_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array()
+    {
+        ++i_;   // '['
+        skipWs();
+        if (peek() == ']') {
+            ++i_;
+            return true;
+        }
+        for (;;) {
+            char kind = 0;
+            if (!value(kind))
+                return false;
+            skipWs();
+            const char c = peek();
+            if (c == ',') {
+                ++i_;
+                continue;
+            }
+            if (c == ']') {
+                ++i_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    const std::string &s_;
+    size_t i_ = 0;
+    std::string err_;
+    std::map<std::string, char> top_;
+};
+
+/** Strip a trailing newline so embedded documents compose cleanly. */
+std::string
+chomp(std::string s)
+{
+    while (!s.empty() && (s.back() == '\n' || s.back() == '\r'))
+        s.pop_back();
+    return s;
+}
+
+} // namespace
+
+RunManifest::RunManifest(std::string figure)
+    : figure_(std::move(figure))
+{
+}
+
+void
+RunManifest::setConfig(const SimConfig &cfg)
+{
+    configJson_ = chomp(ConfigSchema::instance().toJson(cfg));
+}
+
+void
+RunManifest::addRun(const std::string &label, const StatSet &stats)
+{
+    runs_.emplace_back(label, stats);
+}
+
+std::string
+RunManifest::toJson(double wall_seconds) const
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"manifest_version\": " << kManifestVersion << ",\n"
+       << "  \"figure\": " << quote(figure_) << ",\n"
+       << "  \"git_sha\": " << quote(gitSha()) << ",\n"
+       << "  \"host\": " << quote(hostName()) << ",\n";
+    os << "  \"wall_seconds\": ";
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << wall_seconds << ",\n"
+       << "  \"config\": " << configJson_ << ",\n"
+       << "  \"runs\": [";
+    for (size_t i = 0; i < runs_.size(); ++i) {
+        os << (i ? ",\n" : "\n") << "    {\"label\": "
+           << quote(runs_[i].first)
+           << ", \"stats\": " << chomp(runs_[i].second.toJson(6)) << "}";
+    }
+    os << (runs_.empty() ? "]\n" : "\n  ]\n") << "}\n";
+    return os.str();
+}
+
+std::string
+RunManifest::write(const std::string &dir, double wall_seconds) const
+{
+    const std::string path = dir + "/MANIFEST_" + figure_ + ".json";
+    std::ofstream out(path);
+    out << toJson(wall_seconds);
+    out.flush();
+    if (!out)
+        warn("RunManifest: cannot write " + path);
+    return path;
+}
+
+const char *
+RunManifest::gitSha()
+{
+#ifdef DVR_GIT_SHA
+    return DVR_GIT_SHA;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+RunManifest::hostName()
+{
+    char buf[256] = {};
+    if (gethostname(buf, sizeof(buf) - 1) != 0)
+        return "unknown";
+    return buf[0] ? buf : "unknown";
+}
+
+std::string
+validateJsonSyntax(const std::string &text)
+{
+    return JsonChecker(text).check();
+}
+
+std::string
+validateManifestJson(const std::string &text)
+{
+    JsonChecker checker(text);
+    const std::string err = checker.check();
+    if (!err.empty())
+        return err;
+    static const std::pair<const char *, char> kRequired[] = {
+        {"manifest_version", 'n'}, {"figure", 's'},
+        {"git_sha", 's'},          {"host", 's'},
+        {"wall_seconds", 'n'},     {"config", 'o'},
+        {"runs", 'a'},
+    };
+    const auto &keys = checker.topKeys();
+    for (const auto &[name, kind] : kRequired) {
+        const auto it = keys.find(name);
+        if (it == keys.end())
+            return std::string("missing required key \"") + name + "\"";
+        if (it->second != kind)
+            return std::string("key \"") + name + "\" has wrong type";
+    }
+    return "";
+}
+
+} // namespace dvr

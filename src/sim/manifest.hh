@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-run manifest: a machine-readable record of everything needed to
+ * reproduce and audit a bench run — the fully resolved configuration,
+ * the git revision the binary was built from, the host, wall time,
+ * and the complete StatSet of every simulation in the run. Written as
+ * MANIFEST_<figure>.json next to each BENCH_<figure>.json.
+ *
+ * validateManifestJson() is the single checker shared by the unit
+ * tests and `dvr_trace --check`, so the schema cannot drift between
+ * the emitter and its consumers.
+ */
+
+#ifndef DVR_SIM_MANIFEST_HH
+#define DVR_SIM_MANIFEST_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace dvr {
+
+struct SimConfig;
+
+/** Manifest JSON format version (bump on layout changes). */
+inline constexpr int kManifestVersion = 1;
+
+class RunManifest
+{
+  public:
+    explicit RunManifest(std::string figure);
+
+    /** Record the fully resolved configuration (schema JSON). */
+    void setConfig(const SimConfig &cfg);
+
+    /** Record one finished simulation's full stat set. */
+    void addRun(const std::string &label, const StatSet &stats);
+
+    size_t runCount() const { return runs_.size(); }
+
+    /** Render the manifest document. */
+    std::string toJson(double wall_seconds) const;
+
+    /**
+     * Write MANIFEST_<figure>.json into `dir` (the bench-report
+     * directory). Returns the path; warns (never throws) on I/O
+     * failure so a read-only CWD cannot kill a bench.
+     */
+    std::string write(const std::string &dir, double wall_seconds) const;
+
+    /** Git revision baked in at configure time ("unknown" outside git). */
+    static const char *gitSha();
+
+    /** Best-effort host name ("unknown" when unavailable). */
+    static std::string hostName();
+
+  private:
+    std::string figure_;
+    std::string configJson_ = "{}";
+    std::vector<std::pair<std::string, StatSet>> runs_;
+};
+
+/**
+ * Validate a manifest document: must parse as JSON and carry every
+ * required top-level key with the right type. Returns "" when valid,
+ * else a one-line description of the first problem.
+ */
+std::string validateManifestJson(const std::string &text);
+
+/**
+ * Validate generic JSON syntax (objects, arrays, strings, numbers,
+ * booleans, null). Returns "" when valid, else the first error. Used
+ * by the schema tests on every emitted stats/bench document.
+ */
+std::string validateJsonSyntax(const std::string &text);
+
+} // namespace dvr
+
+#endif // DVR_SIM_MANIFEST_HH

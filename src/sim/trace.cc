@@ -1,0 +1,196 @@
+#include "sim/trace.hh"
+
+#include <fstream>
+#include <mutex>
+
+#include "common/log.hh"
+
+namespace dvr {
+
+std::atomic<uint32_t> Trace::mask_{0};
+
+namespace {
+
+constexpr const char *kCatNames[kNumTraceCats] = {
+    "discovery", "spawn",   "divergence",
+    "reconvergence", "ndm", "mshr-stall",
+};
+
+/** Binary sink header: magic + format version. */
+constexpr char kBinaryMagic[8] = {'D', 'V', 'R', 'T', 'R', 'C', '0', '1'};
+
+// Ring buffer + sink state, all guarded by g_mu. The enable mask is
+// the only state touched on hot paths; everything here is cold.
+std::mutex g_mu;
+std::vector<TraceEvent> g_ring;
+uint64_t g_emitted = 0;
+std::ofstream g_jsonl;
+std::ofstream g_binary;
+
+/** Drain the ring to the open sinks. Caller holds g_mu. */
+void
+drainLocked()
+{
+    if (g_ring.empty())
+        return;
+    if (g_binary.is_open()) {
+        g_binary.write(reinterpret_cast<const char *>(g_ring.data()),
+                       static_cast<std::streamsize>(g_ring.size() *
+                                                    sizeof(TraceEvent)));
+    }
+    if (g_jsonl.is_open()) {
+        for (const TraceEvent &e : g_ring) {
+            g_jsonl << "{\"cat\":\"" << kCatNames[e.cat]
+                    << "\",\"cycle\":" << e.cycle << ",\"pc\":" << e.pc
+                    << ",\"a\":" << e.a << ",\"b\":" << e.b << "}\n";
+        }
+    }
+    g_ring.clear();
+}
+
+} // namespace
+
+void
+Trace::emit(TraceCat c, Cycle cycle, InstPc pc, uint64_t a, uint64_t b)
+{
+    if (!enabled(c))
+        return;
+    TraceEvent e;
+    e.cycle = cycle;
+    e.a = a;
+    e.b = b;
+    e.pc = pc;
+    e.cat = static_cast<uint8_t>(c);
+    e.pad[0] = e.pad[1] = e.pad[2] = 0;
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_ring.push_back(e);
+    ++g_emitted;
+    if (g_ring.size() >= kRingSize &&
+        (g_binary.is_open() || g_jsonl.is_open()))
+        drainLocked();
+}
+
+uint32_t
+Trace::parseCategories(const std::string &spec)
+{
+    if (spec.empty() || spec == "none")
+        return 0;
+    if (spec == "all")
+        return (1u << kNumTraceCats) - 1u;
+    uint32_t mask = 0;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string name = spec.substr(pos, comma - pos);
+        bool found = false;
+        for (unsigned i = 0; i < kNumTraceCats; ++i) {
+            if (name == kCatNames[i]) {
+                mask |= 1u << i;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            fatal("unknown trace category '" + name + "' (valid: all, " +
+                  categoryList() + ")");
+        pos = comma + 1;
+    }
+    return mask;
+}
+
+void
+Trace::configure(const std::string &spec)
+{
+    mask_.store(parseCategories(spec), std::memory_order_relaxed);
+}
+
+void
+Trace::setJsonlSink(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_jsonl.open(path, std::ios::trunc);
+    if (!g_jsonl)
+        fatal("trace: cannot open JSONL sink '" + path + "'");
+}
+
+void
+Trace::setBinarySink(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_binary.open(path, std::ios::trunc | std::ios::binary);
+    if (!g_binary)
+        fatal("trace: cannot open binary sink '" + path + "'");
+    g_binary.write(kBinaryMagic, sizeof(kBinaryMagic));
+}
+
+void
+Trace::flush()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    drainLocked();
+    if (g_binary.is_open())
+        g_binary.flush();
+    if (g_jsonl.is_open())
+        g_jsonl.flush();
+}
+
+void
+Trace::shutdown()
+{
+    mask_.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(g_mu);
+    drainLocked();
+    if (g_binary.is_open())
+        g_binary.close();
+    if (g_jsonl.is_open())
+        g_jsonl.close();
+}
+
+uint64_t
+Trace::emitted()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    return g_emitted;
+}
+
+std::vector<TraceEvent>
+Trace::buffered()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    return g_ring;
+}
+
+void
+Trace::reset()
+{
+    mask_.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_ring.clear();
+    g_emitted = 0;
+    if (g_binary.is_open())
+        g_binary.close();
+    if (g_jsonl.is_open())
+        g_jsonl.close();
+}
+
+const char *
+Trace::categoryName(TraceCat c)
+{
+    return kCatNames[static_cast<unsigned>(c)];
+}
+
+std::string
+Trace::categoryList()
+{
+    std::string out;
+    for (unsigned i = 0; i < kNumTraceCats; ++i) {
+        if (i)
+            out += ", ";
+        out += kCatNames[i];
+    }
+    return out;
+}
+
+} // namespace dvr

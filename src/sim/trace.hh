@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Zero-overhead-when-off event trace. Components emit typed events
+ * (discovery, spawn, divergence, reconvergence, NDM, mshr-stall) into
+ * a fixed-size ring buffer that drains to a binary sink, a JSONL
+ * sink, or both. With every category masked off — the default — the
+ * only cost on any hot path is one relaxed atomic load and a
+ * predictable branch, so tracing never perturbs timing results
+ * (golden parity is byte-identical with tracing off).
+ *
+ * The emit side is thread-safe: the category mask is configured once
+ * by the driver before worker threads start, and the ring/sinks are
+ * mutex-protected. Categories are selected with `--trace=<cats>` in
+ * dvr_run (a comma list or "all"); the binary sink is decoded by
+ * tools/dvr_trace.
+ */
+
+#ifndef DVR_SIM_TRACE_HH
+#define DVR_SIM_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dvr {
+
+/** Event categories; bit positions in the enable mask. */
+enum class TraceCat : uint8_t {
+    kDiscovery,     ///< Discovery Mode begin/done/switch/abort
+    kSpawn,         ///< runahead episode spawned
+    kDivergence,    ///< lane group split (or VR-style invalidation)
+    kReconvergence, ///< deferred lane group resumed
+    kNdm,           ///< Nested Discovery Mode phase transitions
+    kMshrStall,     ///< request delayed waiting for a free MSHR
+};
+inline constexpr unsigned kNumTraceCats = 6;
+
+/**
+ * One trace record. Fixed 32-byte POD layout; written verbatim to the
+ * binary sink, so changing it bumps the format version in trace.cc.
+ */
+struct TraceEvent
+{
+    Cycle cycle;
+    uint64_t a;     ///< category-specific payload (see dvr_trace)
+    uint64_t b;     ///< second payload
+    InstPc pc;
+    uint8_t cat;
+    uint8_t pad[3];
+};
+static_assert(sizeof(TraceEvent) == 32, "binary trace format drifted");
+
+class Trace
+{
+  public:
+    /** Hot-path gate: one relaxed load + branch when tracing is off. */
+    static bool enabled(TraceCat c)
+    {
+        return (mask_.load(std::memory_order_relaxed) >>
+                static_cast<unsigned>(c)) &
+               1u;
+    }
+
+    /** Record an event; no-op unless the category is enabled. */
+    static void emit(TraceCat c, Cycle cycle, InstPc pc, uint64_t a = 0,
+                     uint64_t b = 0);
+
+    /**
+     * Parse a category spec: a comma-separated list of category
+     * names, "all", or "" / "none" for nothing. fatal()s on an
+     * unknown name, listing the valid ones.
+     */
+    static uint32_t parseCategories(const std::string &spec);
+
+    /** Parse `spec` and install the resulting enable mask. */
+    static void configure(const std::string &spec);
+
+    static uint32_t mask()
+    {
+        return mask_.load(std::memory_order_relaxed);
+    }
+
+    /** Attach a JSONL sink (one JSON object per event, per line). */
+    static void setJsonlSink(const std::string &path);
+
+    /** Attach a binary sink (header + raw TraceEvent records). */
+    static void setBinarySink(const std::string &path);
+
+    /** Drain the ring buffer into the attached sinks. */
+    static void flush();
+
+    /** Flush, close sinks, and mask all categories off. */
+    static void shutdown();
+
+    /** Total events recorded since the last reset. */
+    static uint64_t emitted();
+
+    /** Buffered (not yet flushed) events; for tests. */
+    static std::vector<TraceEvent> buffered();
+
+    /** Drop all state: mask off, sinks closed, ring cleared. */
+    static void reset();
+
+    static const char *categoryName(TraceCat c);
+    /** All category names, comma-separated (help/error text). */
+    static std::string categoryList();
+
+    /** Ring capacity before an implicit flush (binary/JSONL sinks). */
+    static constexpr size_t kRingSize = 4096;
+
+  private:
+    static std::atomic<uint32_t> mask_;
+};
+
+} // namespace dvr
+
+#endif // DVR_SIM_TRACE_HH

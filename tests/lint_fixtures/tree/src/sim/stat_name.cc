@@ -1,4 +1,5 @@
-// Fixture: stat-name. Stat names are lower_snake_case.
+// Fixture: stat-name. Stat names are lower_snake_case, and the
+// cpi.* / timeliness.* namespaces only admit their closed vocabulary.
 namespace fixture {
 
 void
@@ -8,6 +9,11 @@ exportStats(StatSet &s)
     // dvr-lint: allow(stat-name)
     s.set("AlsoBad", 2.0);
     s.set("fine_name", 3.0);
+    s.set("cpi.bogus_component", 4.0);  // seeded violation (namespace)
+    // dvr-lint: allow(stat-name)
+    s.set("timeliness.ra_rubbish", 5.0);
+    s.set("cpi.full_rob", 6.0);
+    s.set("timeliness.ra_hidden_hist_", 7.0);  // index appended at runtime
 }
 
 } // namespace fixture

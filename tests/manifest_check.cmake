@@ -1,0 +1,64 @@
+# End-to-end observability check, run as a ctest leg: drive the real
+# dvr_run binary with tracing enabled in a scratch directory, then
+# validate every emitted artifact with dvr_trace:
+#   - MANIFEST_dvr_run.json must pass the manifest key schema
+#   - the binary trace must decode (magic + whole 32-byte records)
+#   - the JSONL trace must exist and be non-empty
+#
+# Invoked with -DDVR_RUN=... -DDVR_TRACE=... -DWORK_DIR=...
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Pin the env-sensitive knobs so a caller's DVR_* environment cannot
+# change what this test runs or where it writes.
+set(ENV{DVR_BENCH_DIR} "${WORK_DIR}")
+unset(ENV{DVR_INSTS})
+unset(ENV{DVR_SCALE_SHIFT})
+
+execute_process(
+    COMMAND "${DVR_RUN}" -w camel --scale-shift 4 -n 40000
+            -t base,dvr --trace all
+            --trace-file "${WORK_DIR}/dvr_trace.jsonl"
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "dvr_run failed (${run_rc}):\n${run_out}\n${run_err}")
+endif()
+
+set(manifest "${WORK_DIR}/MANIFEST_dvr_run.json")
+if(NOT EXISTS "${manifest}")
+    message(FATAL_ERROR "dvr_run did not write ${manifest}:\n${run_out}")
+endif()
+
+execute_process(
+    COMMAND "${DVR_TRACE}" --check "${manifest}"
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "manifest failed validation:\n${check_out}\n${check_err}")
+endif()
+
+execute_process(
+    COMMAND "${DVR_TRACE}" "${WORK_DIR}/dvr_trace.jsonl.bin"
+    RESULT_VARIABLE decode_rc
+    OUTPUT_QUIET
+    ERROR_VARIABLE decode_err)
+if(NOT decode_rc EQUAL 0)
+    message(FATAL_ERROR
+        "binary trace failed to decode:\n${decode_err}")
+endif()
+
+set(jsonl "${WORK_DIR}/dvr_trace.jsonl")
+if(NOT EXISTS "${jsonl}")
+    message(FATAL_ERROR "JSONL trace ${jsonl} was not written")
+endif()
+file(SIZE "${jsonl}" jsonl_size)
+if(jsonl_size EQUAL 0)
+    message(FATAL_ERROR
+        "JSONL trace is empty: dvr under --trace all must emit events")
+endif()

@@ -124,34 +124,46 @@ TEST(Mshr, NoDelayBelowCapacity)
 TEST(Mshr, DelaysWhenFull)
 {
     MshrTracker m(2);
-    m.commit(100, 300);
-    m.commit(100, 400);
+    for (const Cycle end : {Cycle(300), Cycle(400)}) {
+        const Cycle s = m.acquire(100);
+        m.commit(s, end);
+    }
     const Cycle s = m.acquire(150);     // both busy until 300/400
     EXPECT_EQ(s, 300u);
+    m.commit(s, 500);
 }
 
 TEST(Mshr, ExpiredEntriesFree)
 {
     MshrTracker m(1);
-    m.commit(0, 50);
+    const Cycle s = m.acquire(0);
+    m.commit(s, 50);
     EXPECT_EQ(m.acquire(100), 100u);    // old miss long done
 }
 
 TEST(Mshr, LowPriorityLeavesReserve)
 {
     MshrTracker m(8);   // low-priority cap = 8 - 4 = 4
-    for (int i = 0; i < 4; ++i)
-        m.commit(0, 1000);
+    for (int i = 0; i < 4; ++i) {
+        const Cycle s = m.acquire(0);
+        m.commit(s, 1000);
+    }
     // Low-priority must wait; a demand request still fits.
-    EXPECT_EQ(m.acquire(10, true), 1000u);
-    EXPECT_EQ(m.acquire(10, false), 10u);
+    const Cycle low = m.acquire(10, true);
+    EXPECT_EQ(low, 1000u);
+    m.commit(low, 1100);
+    const Cycle demand = m.acquire(10, false);
+    EXPECT_EQ(demand, 10u);
+    m.commit(demand, 1100);
 }
 
 TEST(Mshr, OccupancyIntegral)
 {
     MshrTracker m(4);
-    m.commit(0, 100);
-    m.commit(0, 100);
+    for (int i = 0; i < 2; ++i) {
+        const Cycle s = m.acquire(0);
+        m.commit(s, 100);
+    }
     EXPECT_DOUBLE_EQ(m.busyIntegral(), 200.0);
     EXPECT_DOUBLE_EQ(m.avgOccupancy(100), 2.0);
 }
@@ -159,10 +171,12 @@ TEST(Mshr, OccupancyIntegral)
 TEST(Mshr, TryAcquireDropsWhenFull)
 {
     MshrTracker m(1);
-    m.commit(0, 1000);
+    const Cycle s = m.acquire(0);
+    m.commit(s, 1000);
     EXPECT_FALSE(m.tryAcquire(10));
     EXPECT_EQ(m.prefetchDrops(), 1u);
     EXPECT_TRUE(m.tryAcquire(2000));
+    m.commit(2000, 3000);
 }
 
 TEST(Dram, MinLatencyAndBandwidthSerialization)

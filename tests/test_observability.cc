@@ -1,0 +1,550 @@
+/**
+ * @file
+ * Observability-layer tests: the CPI-stack sum invariant for every
+ * registered technique, the emitted stat-key schema, strict stat
+ * reads, the MSHR two-phase reservation and demand-reserve policy,
+ * DRAM requester accounting and queue-delay normalization, the event
+ * trace (mask gating, sinks, binary format), and the run manifest
+ * (schema validation shared with `dvr_trace --check`).
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/stats.hh"
+#include "mem/dram.hh"
+#include "mem/mshr.hh"
+#include "runahead/technique.hh"
+#include "sim/config_schema.hh"
+#include "sim/manifest.hh"
+#include "sim/runner.hh"
+#include "sim/trace.hh"
+
+namespace dvr {
+namespace {
+
+// The whole test binary reads stats strictly: a misspelled stat name
+// in any test (or any code under test) panics instead of reading 0.
+const bool g_strict_stats = (StatSet::setStrict(true), true);
+
+#include "stats_schema.inc"
+
+// ---------------------------------------------------------------------
+// Strict stat reads (satellite: silent-zero fix).
+// ---------------------------------------------------------------------
+
+TEST(StatsStrict, MissingReadPanicsInStrictMode)
+{
+    StatSet s;
+    s.set("present", 1.0);
+    StatSet::ScopedStrict strict(true);
+    EXPECT_DOUBLE_EQ(s.get("present"), 1.0);
+    EXPECT_DEATH(s.get("missnig"), "unregistered stat 'missnig'");
+}
+
+TEST(StatsStrict, NonStrictReadReturnsZero)
+{
+    StatSet s;
+    StatSet::ScopedStrict lax(false);
+    EXPECT_DOUBLE_EQ(s.get("missing"), 0.0);
+}
+
+TEST(StatsStrict, GetOrNeverPanics)
+{
+    StatSet s;
+    s.set("optional_stat", 2.0);
+    StatSet::ScopedStrict strict(true);
+    EXPECT_DOUBLE_EQ(s.getOr("optional_stat", 9.0), 2.0);
+    EXPECT_DOUBLE_EQ(s.getOr("missing", 9.0), 9.0);
+}
+
+TEST(StatsStrict, ScopedStrictRestoresPreviousMode)
+{
+    const bool before = StatSet::strict();
+    {
+        StatSet::ScopedStrict lax(false);
+        EXPECT_FALSE(StatSet::strict());
+        {
+            StatSet::ScopedStrict strict(true);
+            EXPECT_TRUE(StatSet::strict());
+        }
+        EXPECT_FALSE(StatSet::strict());
+    }
+    EXPECT_EQ(StatSet::strict(), before);
+}
+
+// ---------------------------------------------------------------------
+// CPI stack: components sum to total cycles for every technique, and
+// every run exports the checked-in stat-key schema.
+// ---------------------------------------------------------------------
+
+class CpiStack : public ::testing::Test
+{
+  protected:
+    // One shared data set for all techniques; built once because the
+    // camel build dominates the suite's runtime.
+    static void
+    SetUpTestSuite()
+    {
+        WorkloadParams wp;
+        wp.scaleShift = 4;
+        prepared_ = std::make_unique<PreparedWorkload>("camel", "", wp,
+                                                       96ULL << 20);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        prepared_.reset();
+    }
+
+    static SimResult
+    runTechnique(const std::string &name)
+    {
+        SimConfig cfg = SimConfig::baseline(name);
+        cfg.maxInstructions = 40'000;
+        return prepared_->run(cfg);
+    }
+
+    static std::unique_ptr<PreparedWorkload> prepared_;
+};
+
+std::unique_ptr<PreparedWorkload> CpiStack::prepared_;
+
+TEST_F(CpiStack, ComponentsSumToTotalCycles)
+{
+    for (const std::string &t : TechniqueRegistry::instance().names()) {
+        SCOPED_TRACE(t);
+        const SimResult r = runTechnique(t);
+        ASSERT_GT(r.core.cycles, 0u);
+
+        // Structural form of the invariant ...
+        EXPECT_EQ(r.core.cpi.total(), r.core.cycles);
+
+        // ... and the exported form figures actually read. The
+        // components are exact integer cycle counts, so the double
+        // sum is exact too.
+        const double sum = r.stats.get("core.cpi.base") +
+                           r.stats.get("core.cpi.branch_redirect") +
+                           r.stats.get("core.cpi.l1") +
+                           r.stats.get("core.cpi.l2") +
+                           r.stats.get("core.cpi.l3") +
+                           r.stats.get("core.cpi.dram") +
+                           r.stats.get("core.cpi.full_rob") +
+                           r.stats.get("core.cpi.full_iq_lsq");
+        EXPECT_DOUBLE_EQ(sum, r.stats.get("core.cycles"));
+    }
+}
+
+TEST_F(CpiStack, EveryTechniqueExportsRequiredStatKeys)
+{
+    for (const std::string &t : TechniqueRegistry::instance().names()) {
+        SCOPED_TRACE(t);
+        const SimResult r = runTechnique(t);
+        for (const char *key : kRequiredStatKeys)
+            EXPECT_TRUE(r.stats.has(key)) << "missing stat " << key;
+        EXPECT_EQ("", validateJsonSyntax(r.stats.toJson()));
+    }
+}
+
+TEST_F(CpiStack, MemoryBoundRunAttributesCyclesBeyondBase)
+{
+    // camel is a DRAM-bound pointer-chasing kernel: the baseline run
+    // must attribute most cycles to backpressure components (the full
+    // in-flight window behind off-chip loads, or the loads
+    // themselves), not to base, or the engine is mislabelling.
+    const SimResult r = runTechnique("base");
+    const double cycles = r.stats.get("core.cycles");
+    const double stalled = r.stats.get("core.cpi.dram") +
+                           r.stats.get("core.cpi.full_rob") +
+                           r.stats.get("core.cpi.full_iq_lsq");
+    EXPECT_GT(stalled, 0.5 * cycles);
+    EXPECT_LT(r.stats.get("core.cpi.base"), 0.5 * cycles);
+}
+
+// ---------------------------------------------------------------------
+// MSHR reservation policy (satellites: demand reserve + two-phase).
+// ---------------------------------------------------------------------
+
+/** Fill `n` MSHRs with misses ending at `end`. */
+void
+fillMshrs(MshrTracker &m, unsigned n, Cycle end)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        const Cycle start = m.acquire(0);
+        m.commit(start, end);
+    }
+}
+
+TEST(MshrReserve, TryAcquireHonorsDemandReserve)
+{
+    // capacity 8, reserve 4: low-priority requests saturate at 4.
+    MshrTracker m(MshrTracker::kDemandReserve + 4);
+    fillMshrs(m, 4, 1000);
+
+    EXPECT_FALSE(m.tryAcquire(10));     // low-priority by default
+    EXPECT_EQ(m.prefetchDrops(), 1u);
+
+    // A demand request still fits in the reserved headroom.
+    EXPECT_TRUE(m.tryAcquire(10, /*low_priority=*/false));
+    m.commit(10, 1000);
+}
+
+TEST(MshrReserve, AcquireDelaysLowPriorityAtReserveBoundary)
+{
+    MshrTracker m(MshrTracker::kDemandReserve + 4);
+    fillMshrs(m, 4, 100);
+
+    // Low priority: all non-reserved MSHRs busy until 100.
+    const Cycle low = m.acquire(10, /*low_priority=*/true);
+    EXPECT_EQ(low, 100u);
+    m.commit(low, 200);
+}
+
+TEST(MshrReserve, DemandProceedsWhereLowPriorityWaits)
+{
+    MshrTracker m(MshrTracker::kDemandReserve + 4);
+    fillMshrs(m, 4, 100);
+
+    const Cycle demand = m.acquire(10, /*low_priority=*/false);
+    EXPECT_EQ(demand, 10u);
+    m.commit(demand, 200);
+}
+
+TEST(MshrReserve, TinyCapacityKeepsAtLeastOneSlotUsable)
+{
+    // capacity <= reserve: the reserve cannot apply, or low-priority
+    // requests could never be served at all.
+    MshrTracker m(2);
+    EXPECT_TRUE(m.tryAcquire(0));
+    m.commit(0, 50);
+    EXPECT_TRUE(m.tryAcquire(0));
+    m.commit(0, 50);
+    EXPECT_FALSE(m.tryAcquire(0));
+    EXPECT_EQ(m.prefetchDrops(), 1u);
+}
+
+TEST(MshrTwoPhase, ReservationBalancesAcquireAndCommit)
+{
+    MshrTracker m(4);
+    EXPECT_EQ(m.pendingReservations(), 0u);
+    const Cycle start = m.acquire(5);
+    EXPECT_EQ(m.pendingReservations(), 1u);
+    m.commit(start, 30);
+    EXPECT_EQ(m.pendingReservations(), 0u);
+    EXPECT_DOUBLE_EQ(m.busyIntegral(), 25.0);
+    EXPECT_EQ(m.acquires(), 1u);
+}
+
+TEST(MshrTwoPhase, AcquireWaitsWhenAllMshrsBusy)
+{
+    MshrTracker m(2);
+    fillMshrs(m, 2, 80);
+    // Demand priority, but both MSHRs are in flight until cycle 80.
+    const Cycle start = m.acquire(10, /*low_priority=*/false);
+    EXPECT_EQ(start, 80u);
+    m.commit(start, 120);
+}
+
+TEST(MshrTwoPhaseDeathTest, DoubleAcquirePanics)
+{
+    MshrTracker m(4);
+    m.acquire(0);
+    EXPECT_DEATH(m.acquire(1), "uncommitted reservation");
+}
+
+TEST(MshrTwoPhaseDeathTest, CommitWithoutAcquirePanics)
+{
+    MshrTracker m(4);
+    EXPECT_DEATH(m.commit(0, 10), "without a matching acquire");
+}
+
+TEST(MshrTwoPhaseDeathTest, TryAcquireWithPendingReservationPanics)
+{
+    MshrTracker m(4);
+    m.acquire(0);
+    EXPECT_DEATH(m.tryAcquire(1), "uncommitted reservation");
+}
+
+// ---------------------------------------------------------------------
+// DRAM model accounting (satellite: requester counts + queue delay).
+// ---------------------------------------------------------------------
+
+TEST(DramAccounting, CountsPerRequester)
+{
+    DramModel d(50, 2);
+    d.access(0, Requester::kMain);
+    d.access(0, Requester::kRunahead);
+    d.access(0, Requester::kRunahead);
+    d.access(0, Requester::kHwPrefetch);
+    d.access(0, Requester::kWriteback);
+    EXPECT_EQ(d.accesses(Requester::kMain), 1u);
+    EXPECT_EQ(d.accesses(Requester::kRunahead), 2u);
+    EXPECT_EQ(d.accesses(Requester::kHwPrefetch), 1u);
+    EXPECT_EQ(d.accesses(Requester::kWriteback), 1u);
+    EXPECT_EQ(d.totalAccesses(), 5u);
+}
+
+TEST(DramAccounting, QueueDelayIsRawSumAndAvgIsPerAccess)
+{
+    DramModel d(50, 2);
+    // Back-to-back requests at cycle 0: starts at 0, 2, 4 with
+    // queueing delays 0, 2, 4.
+    EXPECT_EQ(d.access(0, Requester::kMain), 50u);
+    EXPECT_EQ(d.access(0, Requester::kMain), 52u);
+    EXPECT_EQ(d.access(0, Requester::kMain), 54u);
+    EXPECT_DOUBLE_EQ(d.totalQueueDelay(), 6.0);
+    EXPECT_DOUBLE_EQ(d.avgQueueDelay(), 2.0);
+}
+
+TEST(DramAccounting, LateRequestSeesNoQueueDelay)
+{
+    DramModel d(50, 2);
+    d.access(0, Requester::kMain);
+    // The channel is free again at cycle 2; a request at 100 starts
+    // immediately and adds nothing to the queue-delay sum.
+    EXPECT_EQ(d.access(100, Requester::kWriteback), 150u);
+    EXPECT_DOUBLE_EQ(d.totalQueueDelay(), 0.0);
+    EXPECT_DOUBLE_EQ(d.avgQueueDelay(), 0.0);
+}
+
+TEST(DramAccounting, EmptyModelAveragesToZero)
+{
+    DramModel d(50, 2);
+    EXPECT_EQ(d.totalAccesses(), 0u);
+    EXPECT_DOUBLE_EQ(d.avgQueueDelay(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Event trace.
+// ---------------------------------------------------------------------
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { Trace::reset(); }
+    void TearDown() override { Trace::reset(); }
+
+    static std::string
+    tmpPath(const std::string &name)
+    {
+        return ::testing::TempDir() + name;
+    }
+};
+
+TEST_F(TraceTest, MaskedOffEmitsNothing)
+{
+    for (unsigned i = 0; i < kNumTraceCats; ++i)
+        EXPECT_FALSE(Trace::enabled(static_cast<TraceCat>(i)));
+    Trace::emit(TraceCat::kSpawn, 10, 0x40, 4, 0);
+    EXPECT_EQ(Trace::emitted(), 0u);
+    EXPECT_TRUE(Trace::buffered().empty());
+}
+
+TEST_F(TraceTest, ParseCategories)
+{
+    EXPECT_EQ(Trace::parseCategories(""), 0u);
+    EXPECT_EQ(Trace::parseCategories("none"), 0u);
+    EXPECT_EQ(Trace::parseCategories("all"),
+              (1u << kNumTraceCats) - 1u);
+    EXPECT_EQ(Trace::parseCategories("discovery"), 1u);
+    EXPECT_EQ(Trace::parseCategories("spawn,ndm"),
+              (1u << unsigned(TraceCat::kSpawn)) |
+                  (1u << unsigned(TraceCat::kNdm)));
+    EXPECT_THROW(Trace::parseCategories("bogus"), std::runtime_error);
+}
+
+TEST_F(TraceTest, EmitBuffersOnlyEnabledCategories)
+{
+    Trace::configure("spawn");
+    EXPECT_TRUE(Trace::enabled(TraceCat::kSpawn));
+    EXPECT_FALSE(Trace::enabled(TraceCat::kNdm));
+
+    Trace::emit(TraceCat::kSpawn, 42, 0x80, 4, 1);
+    Trace::emit(TraceCat::kNdm, 43, 0x84, 1, 0);   // masked off
+    EXPECT_EQ(Trace::emitted(), 1u);
+
+    const auto buf = Trace::buffered();
+    ASSERT_EQ(buf.size(), 1u);
+    EXPECT_EQ(buf[0].cycle, 42u);
+    EXPECT_EQ(buf[0].pc, 0x80u);
+    EXPECT_EQ(buf[0].a, 4u);
+    EXPECT_EQ(buf[0].b, 1u);
+    EXPECT_EQ(buf[0].cat, uint8_t(TraceCat::kSpawn));
+}
+
+TEST_F(TraceTest, JsonlSinkWritesOneObjectPerEvent)
+{
+    const std::string path = tmpPath("dvr_trace_test.jsonl");
+    Trace::configure("discovery,mshr-stall");
+    Trace::setJsonlSink(path);
+    Trace::emit(TraceCat::kDiscovery, 5, 0x10, 0, 0);
+    Trace::emit(TraceCat::kMshrStall, 9, 0x14, 33, 1);
+    Trace::shutdown();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string l1, l2, extra;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, l1)));
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, l2)));
+    EXPECT_FALSE(static_cast<bool>(std::getline(in, extra)));
+    EXPECT_EQ(l1, "{\"cat\":\"discovery\",\"cycle\":5,\"pc\":16,"
+                  "\"a\":0,\"b\":0}");
+    EXPECT_EQ(l2, "{\"cat\":\"mshr-stall\",\"cycle\":9,\"pc\":20,"
+                  "\"a\":33,\"b\":1}");
+    // Each line is itself a valid JSON document.
+    EXPECT_EQ("", validateJsonSyntax(l1));
+    EXPECT_EQ("", validateJsonSyntax(l2));
+}
+
+TEST_F(TraceTest, BinarySinkRoundTrips)
+{
+    const std::string path = tmpPath("dvr_trace_test.bin");
+    Trace::configure("reconvergence");
+    Trace::setBinarySink(path);
+    Trace::emit(TraceCat::kReconvergence, 77, 0x200, 8, 0);
+    Trace::shutdown();
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    ASSERT_EQ(in.gcount(), 8);
+    EXPECT_EQ(0, std::memcmp(magic, "DVRTRC01", 8));
+    TraceEvent e{};
+    in.read(reinterpret_cast<char *>(&e), sizeof(e));
+    ASSERT_EQ(in.gcount(), std::streamsize(sizeof(e)));
+    EXPECT_EQ(e.cycle, 77u);
+    EXPECT_EQ(e.pc, 0x200u);
+    EXPECT_EQ(e.a, 8u);
+    EXPECT_EQ(e.cat, uint8_t(TraceCat::kReconvergence));
+    // Nothing after the single record.
+    char rest;
+    EXPECT_FALSE(static_cast<bool>(in.read(&rest, 1)));
+}
+
+TEST_F(TraceTest, RingDrainsToSinkAtCapacity)
+{
+    const std::string path = tmpPath("dvr_trace_ring.jsonl");
+    Trace::configure("spawn");
+    Trace::setJsonlSink(path);
+    for (size_t i = 0; i < Trace::kRingSize + 8; ++i)
+        Trace::emit(TraceCat::kSpawn, Cycle(i), 0, 0, 0);
+    EXPECT_EQ(Trace::emitted(), Trace::kRingSize + 8);
+    // The implicit drain fired at capacity, so the buffer holds only
+    // the overflow tail.
+    EXPECT_EQ(Trace::buffered().size(), 8u);
+    Trace::shutdown();
+}
+
+TEST_F(TraceTest, ResetClearsMaskCountAndBuffer)
+{
+    Trace::configure("all");
+    Trace::emit(TraceCat::kDivergence, 1, 2, 3, 1);
+    EXPECT_EQ(Trace::emitted(), 1u);
+    Trace::reset();
+    EXPECT_EQ(Trace::mask(), 0u);
+    EXPECT_EQ(Trace::emitted(), 0u);
+    EXPECT_TRUE(Trace::buffered().empty());
+}
+
+TEST_F(TraceTest, CategoryNamesRoundTripThroughParse)
+{
+    for (unsigned i = 0; i < kNumTraceCats; ++i) {
+        const auto c = static_cast<TraceCat>(i);
+        EXPECT_EQ(Trace::parseCategories(Trace::categoryName(c)),
+                  1u << i);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Run manifest.
+// ---------------------------------------------------------------------
+
+TEST(Manifest, ToJsonSatisfiesItsOwnValidator)
+{
+    RunManifest m("unit");
+    m.setConfig(SimConfig::baseline("dvr"));
+    StatSet s;
+    s.set("alpha", 1.0);
+    s.set("beta", 2.5);
+    m.addRun("camel/dvr", s);
+    m.addRun("camel/base", s);
+    EXPECT_EQ(m.runCount(), 2u);
+
+    const std::string doc = m.toJson(1.25);
+    EXPECT_EQ("", validateManifestJson(doc)) << doc;
+    EXPECT_NE(doc.find("\"figure\": \"unit\""), std::string::npos);
+    EXPECT_NE(doc.find("camel/dvr"), std::string::npos);
+    EXPECT_NE(doc.find("sim.technique"), std::string::npos);
+}
+
+TEST(Manifest, EmptyManifestStillValidates)
+{
+    // tab_hw_overhead runs no simulations; its manifest has zero runs
+    // and a default config but must still be a valid document.
+    RunManifest m("empty");
+    EXPECT_EQ("", validateManifestJson(m.toJson(0.0)));
+}
+
+TEST(Manifest, ValidatorRejectsMissingKeysAndBadTypes)
+{
+    EXPECT_NE("", validateManifestJson("{}"));
+    EXPECT_NE("", validateManifestJson("not json at all"));
+    EXPECT_NE("", validateManifestJson("{\"manifest_version\": 1}"));
+    // Right keys, wrong kind: runs must be an array.
+    EXPECT_NE("", validateManifestJson(
+                      "{\"manifest_version\": 1, \"figure\": \"f\","
+                      " \"git_sha\": \"x\", \"host\": \"h\","
+                      " \"wall_seconds\": 1.0, \"config\": {},"
+                      " \"runs\": {}}"));
+    // Same document with runs as an array is accepted.
+    EXPECT_EQ("", validateManifestJson(
+                      "{\"manifest_version\": 1, \"figure\": \"f\","
+                      " \"git_sha\": \"x\", \"host\": \"h\","
+                      " \"wall_seconds\": 1.0, \"config\": {},"
+                      " \"runs\": []}"));
+}
+
+TEST(Manifest, JsonSyntaxValidator)
+{
+    EXPECT_EQ("", validateJsonSyntax("{\"k\": [1, 2.5, -3e2, true,"
+                                     " false, null, \"s\"]}"));
+    EXPECT_EQ("", validateJsonSyntax(StatSet().toJson()));
+    EXPECT_NE("", validateJsonSyntax("{"));
+    EXPECT_NE("", validateJsonSyntax("{\"a\":}"));
+    EXPECT_NE("", validateJsonSyntax("{} trailing"));
+    EXPECT_NE("", validateJsonSyntax("{\"a\": 1,}"));
+}
+
+TEST(Manifest, WriteEmitsCheckableFile)
+{
+    RunManifest m("write_test");
+    m.setConfig(SimConfig::baseline("base"));
+    StatSet s;
+    s.set("gamma", 3.0);
+    m.addRun("run0", s);
+
+    const std::string dir = ::testing::TempDir();
+    const std::string path = m.write(dir, 0.5);
+    EXPECT_NE(path.find("MANIFEST_write_test.json"), std::string::npos);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream text;
+    text << in.rdbuf();
+    EXPECT_EQ("", validateManifestJson(text.str()));
+}
+
+TEST(Manifest, ProvenanceFieldsAreNonEmpty)
+{
+    EXPECT_NE(std::string(), RunManifest::gitSha());
+    EXPECT_NE(std::string(), RunManifest::hostName());
+}
+
+} // namespace
+} // namespace dvr

@@ -17,6 +17,7 @@
  * command-line order) > Table-1 defaults.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,7 +28,9 @@
 #include "graph/edge_list_io.hh"
 #include "sim/config_schema.hh"
 #include "sim/env.hh"
+#include "sim/manifest.hh"
 #include "sim/runner.hh"
+#include "sim/trace.hh"
 #include "workloads/gap_common.hh"
 
 namespace {
@@ -63,6 +66,13 @@ usage()
         "      --scale-shift N   halve data sets N times\n"
         "      --predictor NAME  tage|gshare|taken\n"
         "      --no-reconv       VR-style lane invalidation in DVR\n"
+        "      --trace CATS      enable event tracing: 'all' or a\n"
+        "                        comma list (discovery,spawn,\n"
+        "                        divergence,reconvergence,ndm,\n"
+        "                        mshr-stall); writes a JSONL + binary\n"
+        "                        trace and a run manifest\n"
+        "      --trace-file PATH JSONL sink (default dvr_trace.jsonl;\n"
+        "                        binary twin at PATH.bin)\n"
         "      --stats           dump every statistic\n"
         "      --json            dump statistics as JSON\n"
         "      --disasm          print the kernel and exit\n"
@@ -205,6 +215,12 @@ main(int argc, char **argv)
             cli_ops.push_back([](SimConfig &c) {
                 c.dvr.subthread.gpuReconvergence = false;
             });
+        } else if (is("--trace", "--trace")) {
+            const std::string v = arg(argc, argv, i);
+            cli_ops.push_back([v](SimConfig &c) { c.trace = v; });
+        } else if (is("--trace-file", "--trace-file")) {
+            const std::string v = arg(argc, argv, i);
+            cli_ops.push_back([v](SimConfig &c) { c.traceFile = v; });
         } else if (is("--stats", "--stats")) {
             dump_stats = true;
         } else if (is("--json", "--json")) {
@@ -296,9 +312,42 @@ main(int argc, char **argv)
                                 techniqueName(t)});
         }
 
+        // Tracing is configured before the runner threads start (the
+        // mask and sinks are process-wide); events from parallel jobs
+        // interleave in the shared ring.
+        const bool tracing = !cfg.trace.empty();
+        std::string trace_path;
+        if (tracing) {
+            Trace::configure(cfg.trace);
+            trace_path = cfg.traceFile.empty() ? "dvr_trace.jsonl"
+                                               : cfg.traceFile;
+            Trace::setJsonlSink(trace_path);
+            Trace::setBinarySink(trace_path + ".bin");
+        }
+
+        const auto wall_start = std::chrono::steady_clock::now();
         Runner runner(std::min<unsigned>(std::max(1u, njobs),
                                          unsigned(jobs.size())));
         const std::vector<SimResult> results = runner.runAll(jobs);
+        const double wall_seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+
+        if (tracing) {
+            const uint64_t events = Trace::emitted();
+            Trace::shutdown();
+            RunManifest manifest("dvr_run");
+            manifest.setConfig(cfg);
+            for (size_t i = 0; i < results.size(); ++i)
+                manifest.addRun(jobs[i].label, results[i].stats);
+            const std::string mpath = manifest.write(
+                env::benchDir().value_or("."), wall_seconds);
+            std::printf("[trace] %llu events -> %s (+%s.bin), "
+                        "manifest %s\n",
+                        (unsigned long long)events, trace_path.c_str(),
+                        trace_path.c_str(), mpath.c_str());
+        }
 
         int rc = 0;
         for (size_t i = 0; i < results.size(); ++i) {

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Trace and manifest inspector.
+ *
+ *   dvr_trace FILE.bin            pretty-print a binary event trace
+ *   dvr_trace --check FILE.json   validate a run manifest (or, with
+ *                                 --json-only, any JSON document)
+ *
+ * The binary format is the raw TraceEvent ring (src/sim/trace.hh)
+ * behind an 8-byte magic; the pretty-printer decodes each category's
+ * payload fields into the same vocabulary the docs use.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/manifest.hh"
+#include "sim/trace.hh"
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: dvr_trace [options] FILE\n"
+        "  FILE                a binary trace (dvr_trace FILE.bin)\n"
+        "      --check FILE    validate a MANIFEST_*.json document\n"
+        "      --json-only     with --check: only require valid JSON\n"
+        "                      (for BENCH_*.json / --json stat dumps)\n"
+        "  -h, --help\n");
+}
+
+/** Decode one event into a human line. */
+std::string
+describe(const dvr::TraceEvent &e)
+{
+    using dvr::TraceCat;
+    std::ostringstream os;
+    os << "cycle " << e.cycle << "  pc " << e.pc << "  ";
+    const auto cat = static_cast<TraceCat>(e.cat);
+    switch (cat) {
+      case TraceCat::kDiscovery: {
+        static const char *kWhat[] = {"begin", "done", "switched",
+                                      "aborted", "no-chain-skip"};
+        os << "discovery "
+           << (e.a < 5 ? kWhat[e.a] : "?");
+        if (e.a == 1)
+            os << " flr=" << e.b;
+        break;
+      }
+      case TraceCat::kSpawn:
+        os << "spawn lanes=" << e.a
+           << (e.b ? " (nested)" : " (vectorized)");
+        break;
+      case TraceCat::kDivergence:
+        os << "divergence lanes=" << e.a
+           << (e.b == 2 ? " invalidated"
+                        : (e.b == 1 ? " dropped (stack full)"
+                                    : " deferred"));
+        break;
+      case TraceCat::kReconvergence:
+        os << "reconvergence lanes=" << e.a;
+        break;
+      case TraceCat::kNdm:
+        os << "ndm phase=" << e.a;
+        if (e.b)
+            os << " lanes=" << e.b;
+        break;
+      case TraceCat::kMshrStall:
+        os << "mshr-stall wait=" << e.a << " requester=" << e.b;
+        break;
+      default:
+        os << "unknown-category " << unsigned(e.cat);
+        break;
+    }
+    return os.str();
+}
+
+int
+printTrace(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "dvr_trace: cannot read %s\n",
+                     path.c_str());
+        return 1;
+    }
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    if (in.gcount() != sizeof(magic) ||
+        std::memcmp(magic, "DVRTRC01", 8) != 0) {
+        std::fprintf(stderr,
+                     "dvr_trace: %s is not a DVRTRC01 binary trace "
+                     "(pass the .bin twin, not the JSONL)\n",
+                     path.c_str());
+        return 1;
+    }
+    uint64_t n = 0;
+    dvr::TraceEvent e;
+    while (in.read(reinterpret_cast<char *>(&e), sizeof(e))) {
+        std::printf("%s\n", describe(e).c_str());
+        ++n;
+    }
+    if (in.gcount() != 0) {
+        std::fprintf(stderr,
+                     "dvr_trace: warning: %lld trailing bytes "
+                     "(truncated write?)\n",
+                     static_cast<long long>(in.gcount()));
+    }
+    std::printf("-- %llu events\n", (unsigned long long)n);
+    return 0;
+}
+
+int
+checkFile(const std::string &path, bool json_only)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "dvr_trace: cannot read %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string err =
+        json_only ? dvr::validateJsonSyntax(text.str())
+                  : dvr::validateManifestJson(text.str());
+    if (!err.empty()) {
+        std::fprintf(stderr, "dvr_trace: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return 1;
+    }
+    std::printf("%s: OK\n", path.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> checks;
+    std::vector<std::string> traces;
+    bool json_only = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "-h" || a == "--help") {
+            usage();
+            return 0;
+        } else if (a == "--json-only") {
+            json_only = true;
+        } else if (a == "--check") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for --check\n");
+                return 2;
+            }
+            checks.push_back(argv[++i]);
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            usage();
+            return 2;
+        } else {
+            traces.push_back(a);
+        }
+    }
+    if (checks.empty() && traces.empty()) {
+        usage();
+        return 2;
+    }
+
+    int rc = 0;
+    for (const std::string &p : checks)
+        rc |= checkFile(p, json_only);
+    for (const std::string &p : traces)
+        rc |= printTrace(p);
+    return rc;
+}

@@ -39,7 +39,8 @@ const std::vector<RuleInfo> kRules = {
     {kStatDup,
      "a stat name may be registered (set/add) only once per file"},
     {kStatName,
-     "stat names must be lower_snake_case (dots as separators)"},
+     "stat names must be lower_snake_case (dots as separators); "
+     "cpi.* / timeliness.* must use the closed component vocabulary"},
     {kNakedNew,
      "no naked new/delete; use std::unique_ptr or containers"},
     {kHotMap,
@@ -354,6 +355,36 @@ checkCycleType(const Source &src, std::vector<Finding> &out)
     }
 }
 
+// The observability namespaces are closed vocabularies: downstream
+// consumers (docs/OBSERVABILITY.md, the CPI-invariant tests, bench
+// post-processing) key on exact component names, so a typo'd
+// `cpi.l4` must fail lint rather than silently export a stat nobody
+// reads. `ra_hidden_hist_` with no digit is allowed because the
+// histogram index is appended via std::to_string at the call site.
+std::string
+observabilityNameError(const std::string &name)
+{
+    static const std::regex cpiRe(
+        R"((core\.)?cpi\.)"
+        R"((base|branch_redirect|l1|l2|l3|dram|full_rob|full_iq_lsq))");
+    static const std::regex tlRe(
+        R"((mem\.)?timeliness\.)"
+        R"(((ra|hw)_(fully_hidden|partial|full_latency|evicted|useless))"
+        R"(|ra_hidden_hist_[0-7]?))");
+
+    if (name.rfind("cpi.", 0) == 0 || name.rfind("core.cpi.", 0) == 0) {
+        if (!std::regex_match(name, cpiRe))
+            return "stat '" + name +
+                   "' is not a known core.cpi.* stack component";
+    } else if (name.rfind("timeliness.", 0) == 0 ||
+               name.rfind("mem.timeliness.", 0) == 0) {
+        if (!std::regex_match(name, tlRe))
+            return "stat '" + name +
+                   "' is not a known mem.timeliness.* class";
+    }
+    return "";
+}
+
 void
 checkStats(const Source &src, std::vector<Finding> &out)
 {
@@ -374,6 +405,10 @@ checkStats(const Source &src, std::vector<Finding> &out)
                 out.push_back({src.rel, l + 1, kStatName,
                                "stat '" + name +
                                    "' is not lower_snake_case"});
+            } else if (const std::string ns_err =
+                           observabilityNameError(name);
+                       !ns_err.empty()) {
+                out.push_back({src.rel, l + 1, kStatName, ns_err});
             }
             if ((*it)[1].str() != "set")
                 continue;
