@@ -96,6 +96,7 @@ main(int argc, char **argv)
                  " ceiling; disabling reconvergence hurts divergent\n"
                  "kernels (bfs, sssp) but not straight chains"
                  " (camel, hj8).\n";
+    printSweepSharing(std::cout, jobs.size(), prepared.size());
     report.write(std::cout);
     return 0;
 }

@@ -124,6 +124,7 @@ main(int argc, char **argv)
                  " steeply from 128 to 512 entries (51% -> 5% in the"
                  " paper);\nVR delayed termination stalls commit ~7%"
                  " of cycles at 350 entries.\n";
+    printSweepSharing(std::cout, jobs.size(), prepared.size());
     report.write(std::cout);
     return 0;
 }

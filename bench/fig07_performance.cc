@@ -79,6 +79,7 @@ main(int argc, char **argv)
     std::cout << "\npaper shape: h-mean VR ~1.2x, DVR ~2.4x (max 6.4x),"
                  " DVR close to Oracle;\nIMP > VR on simple-indirect"
                  " kernels; VR can lose on bfs_UR.\n";
+    printSweepSharing(std::cout, jobs.size(), prepared.size());
     report.write(std::cout);
     return 0;
 }

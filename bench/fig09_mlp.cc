@@ -68,6 +68,7 @@ main(int argc, char **argv)
                cols, rows, 2);
     std::cout << "\npaper shape: OoO < 4 on average; DVR > 10; simple"
                  " workloads (pr, hpc-db) reach the highest raw MLP.\n";
+    printSweepSharing(std::cout, jobs.size(), prepared.size());
     report.write(std::cout);
     return 0;
 }

@@ -79,6 +79,7 @@ main(int argc, char **argv)
     std::cout << "\npaper shape: mostly L1 hits, some L2/L3 after"
                  " eviction, 10-20% beyond the LLC (too-late"
                  " prefetches, not inaccuracy).\n";
+    printSweepSharing(std::cout, jobs.size(), prepared.size());
     report.write(std::cout);
     return 0;
 }

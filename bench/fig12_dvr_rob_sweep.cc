@@ -89,6 +89,7 @@ main(int argc, char **argv)
     std::cout << "\npaper shape: DVR's speedup over the same-size OoO"
                  " core holds or grows with ROB size\n(1.9x at 128"
                  " entries up to 2.5x at 512 in the paper).\n";
+    printSweepSharing(std::cout, jobs.size(), prepared.size());
     report.write(std::cout);
     return 0;
 }

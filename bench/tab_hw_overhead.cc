@@ -16,7 +16,8 @@ main()
 {
     using namespace dvr;
     // No simulation here, but emit the perf-trajectory JSON so every
-    // bench target produces a BENCH_*.json.
+    // bench target produces a BENCH_*.json. Its "cow" block is all
+    // zeros: this table copies no memory images.
     BenchReport report("tab_hw_overhead", 1);
     std::printf("\n== Section 4.4: DVR hardware overhead ==\n");
     std::printf("%-22s %8s\n", "structure", "bytes");

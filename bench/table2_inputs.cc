@@ -77,6 +77,7 @@ main(int argc, char **argv)
                cols, rows, 1);
     std::cout << "\npaper values (full-size graphs): MPKI 19 KR /"
                  " 21 LJN / 18 ORK / 61 TW / 32 UR.\n";
+    printSweepSharing(std::cout, jobs.size(), prepared.size());
     report.write(std::cout);
     return 0;
 }

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Calendar/ring tracker for issue-queue occupancy, replacing a
+ * per-instruction std::priority_queue of issue times on the dispatch
+ * path. The core's drain horizon — max(frontend, rob_free) — is
+ * non-decreasing across instructions and every pushed issue time is
+ * at least the horizon at push, so a bucketed ring of per-cycle entry
+ * counts with a monotone drain cursor reproduces the heap's
+ * drain / pop-min / push semantics exactly with amortized O(1) work
+ * per cycle instead of O(log n) heap churn per instruction.
+ *
+ * Entries beyond the ring window (deep DRAM-bound dependence chains
+ * can issue hundreds of thousands of cycles past the horizon) spill
+ * to a small unordered overflow vector and migrate back into the ring
+ * as the cursor advances; the structure is exact for any spread.
+ */
+
+#ifndef DVR_CORE_IQ_CALENDAR_HH
+#define DVR_CORE_IQ_CALENDAR_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace dvr {
+
+class IqCalendar
+{
+  public:
+    IqCalendar() : counts_(kWindow, 0) {}
+
+    size_t size() const { return size_; }
+
+    /** Track one in-flight entry issuing at `t`. */
+    void push(Cycle t)
+    {
+        if (t < cursor_) {
+            // Issue time at or below the last drain horizon: the next
+            // drainThrough (monotone horizon, and it always precedes
+            // the next size check) would remove the entry before it
+            // could ever constrain dispatch. Drop it now.
+            return;
+        }
+        if (t < base_ + kWindow)
+            ++counts_[t % kWindow];
+        else
+            far_.push_back(t);
+        ++size_;
+        minHint_ = std::min(minHint_, t);
+    }
+
+    /** Remove every entry with issue time <= `horizon` (monotone). */
+    void drainThrough(Cycle horizon)
+    {
+        while (cursor_ <= horizon) {
+            if (size_ == 0) {
+                // Nothing in flight: jump the cursor (and the window,
+                // so pushes land in-ring again) straight to the end.
+                cursor_ = horizon + 1;
+                base_ = cursor_;
+                break;
+            }
+            if (cursor_ >= base_ + kWindow)
+                rebase();
+            uint32_t &c = counts_[cursor_ % kWindow];
+            size_ -= c;
+            c = 0;
+            ++cursor_;
+        }
+        minHint_ = std::max(minHint_, cursor_);
+    }
+
+    /** Remove and return the smallest remaining issue time. */
+    Cycle popMin()
+    {
+        panicIf(size_ == 0, "IqCalendar: popMin on empty calendar");
+        Cycle t = std::max(cursor_, minHint_);
+        for (;; ++t) {
+            if (t >= base_ + kWindow) {
+                // The ring is empty past the hint: the minimum lives
+                // in the overflow list.
+                size_t best = 0;
+                for (size_t i = 1; i < far_.size(); ++i) {
+                    if (far_[i] < far_[best])
+                        best = i;
+                }
+                t = far_[best];
+                far_[best] = far_.back();
+                far_.pop_back();
+                break;
+            }
+            if (counts_[t % kWindow] > 0) {
+                --counts_[t % kWindow];
+                break;
+            }
+        }
+        --size_;
+        minHint_ = t;
+        return t;
+    }
+
+  private:
+    /** Ring capacity in cycles; must be a power of two. */
+    static constexpr size_t kWindow = 16384;
+
+    /**
+     * Slide the window start up to the cursor. Only called when the
+     * cursor has crossed the whole ring, so every ring slot is behind
+     * it and already zeroed; overflow entries that now fit move in.
+     */
+    void rebase()
+    {
+        base_ = cursor_;
+        size_t kept = 0;
+        for (const Cycle t : far_) {
+            if (t < base_ + kWindow)
+                ++counts_[t % kWindow];
+            else
+                far_[kept++] = t;
+        }
+        far_.resize(kept);
+    }
+
+    std::vector<uint32_t> counts_;  ///< per-cycle entry counts
+    std::vector<Cycle> far_;        ///< entries beyond the ring
+    Cycle base_ = 0;                ///< window start (absolute cycle)
+    Cycle cursor_ = 0;              ///< all entries < cursor_ drained
+    Cycle minHint_ = 0;             ///< lower bound on the minimum
+    size_t size_ = 0;
+};
+
+} // namespace dvr
+
+#endif // DVR_CORE_IQ_CALENDAR_HH

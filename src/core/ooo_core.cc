@@ -212,14 +212,9 @@ OooCore::run(uint64_t max_insts)
         Cycle iq_free = 0;
         if (cfg_.modelIqOccupancy) {
             const Cycle iq_horizon = std::max(frontend, rob_free);
-            while (!iqIssueTimes_.empty() &&
-                   iqIssueTimes_.top() <= iq_horizon) {
-                iqIssueTimes_.pop();
-            }
-            if (iqIssueTimes_.size() >= cfg_.iqSize) {
-                iq_free = iqIssueTimes_.top();
-                iqIssueTimes_.pop();
-            }
+            iqIssueTimes_.drainThrough(iq_horizon);
+            if (iqIssueTimes_.size() >= cfg_.iqSize)
+                iq_free = iqIssueTimes_.popMin();
         }
         Cycle lsq_free = 0;
         if (inst.isLoad())

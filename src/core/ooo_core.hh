@@ -18,13 +18,13 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/branch_predictor.hh"
+#include "core/iq_calendar.hh"
 #include "isa/program.hh"
 #include "mem/memory_system.hh"
 
@@ -166,6 +166,18 @@ class OooCore
 
     void setEntry(InstPc pc) { pc_ = pc; }
 
+    /**
+     * Restore a checkpointed architectural state before run():
+     * register values and the resume PC. Readiness times stay zero —
+     * the warmed state is available at cycle 0 of the timed run.
+     */
+    void restoreArchState(const RegState &regs, InstPc pc)
+    {
+        regs_.value = regs.value;
+        regs_.ready.fill(0);
+        pc_ = pc;
+    }
+
     const CoreStats &stats() const { return stats_; }
     const RegState &regs() const { return regs_; }
     const Program &program() const { return prog_; }
@@ -213,11 +225,13 @@ class OooCore
     // Occupancy rings (see .cc for the dispatch constraints). The
     // ROB, LQ and SQ free in order (commit), so FIFO rings are exact;
     // the issue queue frees out of order (at issue), so it is tracked
-    // with a min-heap of issue times instead.
+    // with a calendar ring of issue times. The drain horizon is
+    // non-decreasing, which makes the calendar's monotone cursor
+    // exactly equivalent to the min-heap it replaced (pinned by
+    // tests/test_iq_calendar.cc).
     std::vector<Cycle> commitRing_;     // robSize
     std::vector<bool> robHeadDramLoad_; // robSize
-    std::priority_queue<Cycle, std::vector<Cycle>,
-                        std::greater<Cycle>> iqIssueTimes_;
+    IqCalendar iqIssueTimes_;
     std::vector<Cycle> loadRing_;       // lqSize
     std::vector<Cycle> storeRing_;      // sqSize
     uint64_t loadCount_ = 0;

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Open-addressed hash table keyed by line address, replacing
+ * std::unordered_map on simulator paths that probe per DRAM fill
+ * (prefetch-lifetime tracking). Linear probing over one contiguous
+ * slot array: no per-node allocation, no pointer chasing, and erase
+ * uses backward-shift deletion so lookups never scan tombstones.
+ *
+ * Semantics are exact (unlike the core's lossy direct-mapped
+ * store-forwarding table): every record is kept until erased, because
+ * the prefetch-timeliness statistics it backs are pinned byte-identical
+ * by the golden-stats tests.
+ *
+ * Keys are line addresses: 64-byte aligned and non-zero (address 0 is
+ * unmapped), so ~Addr(0) — not a multiple of 64 — is a safe empty
+ * sentinel.
+ */
+
+#ifndef DVR_MEM_FLAT_ADDR_MAP_HH
+#define DVR_MEM_FLAT_ADDR_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dvr {
+
+template <typename V>
+class FlatAddrMap
+{
+  public:
+    static constexpr Addr kEmptyKey = ~Addr(0);
+
+    explicit FlatAddrMap(size_t initial_slots = 1024)
+    {
+        size_t n = 16;
+        while (n < initial_slots)
+            n <<= 1;
+        slots_.resize(n, Slot{kEmptyKey, V{}});
+        mask_ = n - 1;
+    }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Value for `key`, or null. Stable until the next emplace. */
+    const V *find(Addr key) const
+    {
+        for (size_t i = home(key);; i = (i + 1) & mask_) {
+            if (slots_[i].key == key)
+                return &slots_[i].value;
+            if (slots_[i].key == kEmptyKey)
+                return nullptr;
+        }
+    }
+
+    V *find(Addr key)
+    {
+        return const_cast<V *>(std::as_const(*this).find(key));
+    }
+
+    /**
+     * Insert unless present; an existing record is kept untouched
+     * (unordered_map::emplace semantics). Returns true on insert.
+     */
+    bool emplace(Addr key, const V &value)
+    {
+        if ((size_ + 1) * 4 > slots_.size() * 3)
+            grow();
+        for (size_t i = home(key);; i = (i + 1) & mask_) {
+            if (slots_[i].key == key)
+                return false;
+            if (slots_[i].key == kEmptyKey) {
+                slots_[i] = Slot{key, value};
+                ++size_;
+                return true;
+            }
+        }
+    }
+
+    /** Remove `key`; true when it was present. */
+    bool erase(Addr key)
+    {
+        size_t i = home(key);
+        for (;; i = (i + 1) & mask_) {
+            if (slots_[i].key == key)
+                break;
+            if (slots_[i].key == kEmptyKey)
+                return false;
+        }
+        // Backward-shift deletion: pull displaced entries of the
+        // probe chain into the hole so no tombstones accumulate.
+        size_t hole = i;
+        for (size_t j = (hole + 1) & mask_; slots_[j].key != kEmptyKey;
+             j = (j + 1) & mask_) {
+            const size_t h = home(slots_[j].key);
+            // Move j into the hole unless j's home lies cyclically
+            // after the hole (then j is already as close as allowed).
+            const bool home_after_hole =
+                (j > hole) ? (h > hole && h <= j)
+                           : (h > hole || h <= j);
+            if (!home_after_hole) {
+                slots_[hole] = slots_[j];
+                hole = j;
+            }
+        }
+        slots_[hole].key = kEmptyKey;
+        --size_;
+        return true;
+    }
+
+    /** Visit every (key, value); iteration order is unspecified. */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        for (const Slot &s : slots_) {
+            if (s.key != kEmptyKey)
+                fn(s.key, s.value);
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        Addr key;
+        V value;
+    };
+
+    /** Fibonacci hashing over the line index (low 6 bits are zero). */
+    size_t home(Addr key) const
+    {
+        const uint64_t h =
+            (key >> 6) * UINT64_C(0x9E3779B97F4A7C15);
+        return size_t(h) & mask_;
+    }
+
+    void grow()
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(old.size() * 2, Slot{kEmptyKey, V{}});
+        mask_ = slots_.size() - 1;
+        size_ = 0;
+        for (const Slot &s : old) {
+            if (s.key != kEmptyKey)
+                emplace(s.key, s.value);
+        }
+    }
+
+    std::vector<Slot> slots_;
+    size_t mask_ = 0;
+    size_t size_ = 0;
+};
+
+} // namespace dvr
+
+#endif // DVR_MEM_FLAT_ADDR_MAP_HH

@@ -36,11 +36,11 @@ MemorySystem::notePrefetchIssued(Addr line_addr, Cycle issue,
 void
 MemorySystem::noteDemandTouch(Addr line_addr, Cycle observed_latency)
 {
-    auto it = pendingPf_.find(line_addr);
-    if (it == pendingPf_.end())
+    const PendingPrefetch *it = pendingPf_.find(line_addr);
+    if (!it)
         return;
-    const PendingPrefetch rec = it->second;
-    pendingPf_.erase(it);
+    const PendingPrefetch rec = *it;
+    pendingPf_.erase(line_addr);
     const int cls = rec.hw ? kClsHw : kClsRa;
 
     // Legacy runahead-only bands (cumulative level latencies).
@@ -79,15 +79,15 @@ MemorySystem::noteDemandTouch(Addr line_addr, Cycle observed_latency)
 void
 MemorySystem::noteL3Eviction(Addr line_addr)
 {
-    auto it = pendingPf_.find(line_addr);
-    if (it == pendingPf_.end())
+    const PendingPrefetch *it = pendingPf_.find(line_addr);
+    if (!it)
         return;
     // Still resident closer to the core? Then the lifetime is not
     // over (mostly-inclusive, but L1/L2 can outlive an L3 victim).
     if (l1_.peek(line_addr) || l2_.peek(line_addr))
         return;
-    const int cls = it->second.hw ? kClsHw : kClsRa;
-    pendingPf_.erase(it);
+    const int cls = it->hw ? kClsHw : kClsRa;
+    pendingPf_.erase(line_addr);
     ++tlEvicted_[cls];
 }
 
@@ -306,8 +306,9 @@ MemorySystem::stats() const
     s.set("ra_found_late", double(raFoundLate));
     // Pending records that were never demand-touched, split by class.
     uint64_t useless[2] = {};
-    for (const auto &kv : pendingPf_)
-        ++useless[kv.second.hw ? kClsHw : kClsRa];
+    pendingPf_.forEach([&](Addr, const PendingPrefetch &rec) {
+        ++useless[rec.hw ? kClsHw : kClsRa];
+    });
     // ra_unused keeps its historical meaning: every runahead-prefetched
     // line never used by the main thread, whether still resident or
     // already evicted.

@@ -11,13 +11,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "mem/flat_addr_map.hh"
 #include "mem/imp_prefetcher.hh"
 #include "mem/mshr.hh"
 #include "mem/stride_prefetcher.hh"
@@ -159,12 +159,12 @@ class MemorySystem
         bool hw = false;
     };
     /**
-     * Prefetched lines not yet demand-touched. Off the per-access hot
-     * path: touched only on prefetch issue, on the first demand hit of
-     * a prefetched line, and on L3 eviction, all DRAM-latency-rare.
+     * Prefetched lines not yet demand-touched. Probed per DRAM fill
+     * and L3 eviction; open-addressed so the probe is one contiguous
+     * scan instead of a node-pointer chase. Bounded in practice by the
+     * lines the L3 can hold.
      */
-    // dvr-lint: allow(hot-map)
-    std::unordered_map<Addr, PendingPrefetch> pendingPf_;
+    FlatAddrMap<PendingPrefetch> pendingPf_;
 
     // Timeliness classes, indexed by prefetch class (see clsIndex).
     static constexpr int kClsRa = 0;    ///< runahead prefetches

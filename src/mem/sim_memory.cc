@@ -1,15 +1,99 @@
 #include "mem/sim_memory.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "common/log.hh"
 
 namespace dvr {
 
+namespace {
+
+// Process-wide CoW accounting. Relaxed is sufficient: the counters
+// carry no synchronization duty, they are only aggregated totals read
+// after the runner's joins.
+std::atomic<uint64_t> gImageCopies{0};
+std::atomic<uint64_t> gBytesAvoided{0};
+std::atomic<uint64_t> gPagesShared{0};
+std::atomic<uint64_t> gPagesCloned{0};
+std::atomic<uint64_t> gBytesCloned{0};
+std::atomic<uint64_t> gPagesMaterialized{0};
+
+void
+bump(std::atomic<uint64_t> &c, uint64_t n)
+{
+    c.fetch_add(n, std::memory_order_relaxed);
+}
+
+} // namespace
+
+const SimMemory::PagePtr &
+SimMemory::zeroPage()
+{
+    // The static holder keeps the refcount >= 2 for any image that
+    // maps it, so ensureOwned can never see it as exclusively owned
+    // and the zero bytes are immutable by construction.
+    static const PagePtr zp = std::make_shared<Page>();
+    return zp;
+}
+
 SimMemory::SimMemory(size_t bytes)
-    : data_(bytes, 0), brk_(kLineBytes)
+    : brk_(kLineBytes), capacity_(bytes)
 {
     panicIf(bytes < 2 * kLineBytes, "SimMemory: capacity too small");
+    const size_t npages = (bytes + kPageBytes - 1) >> kPageShift;
+    pages_.assign(npages, zeroPage());
+    raw_.assign(npages, zeroPage()->bytes);
+}
+
+SimMemory::SimMemory(const SimMemory &o)
+    : pages_(o.pages_), raw_(o.raw_), brk_(o.brk_),
+      capacity_(o.capacity_), derived_(true)
+{
+    bump(gImageCopies, 1);
+    bump(gBytesAvoided, brk_);
+    bump(gPagesShared, pages_.size());
+}
+
+SimMemory &
+SimMemory::operator=(const SimMemory &o)
+{
+    if (this == &o)
+        return *this;
+    pages_ = o.pages_;
+    raw_ = o.raw_;
+    brk_ = o.brk_;
+    capacity_ = o.capacity_;
+    derived_ = true;
+    bump(gImageCopies, 1);
+    bump(gBytesAvoided, brk_);
+    bump(gPagesShared, pages_.size());
+    return *this;
+}
+
+void
+SimMemory::ensureOwned(size_t idx)
+{
+    PagePtr &p = pages_[idx];
+    // use_count() == 1 proves exclusive ownership: every other holder
+    // would keep the count above 1, and no other thread can gain a
+    // reference except by copying this image (which this thread owns).
+    if (p.use_count() == 1)
+        return;
+    // A write to the shared all-zero page materializes a fresh zeroed
+    // page: no image bytes are copied (the flat representation had to
+    // memcpy those zeros up front), so it is not clone traffic.
+    const bool zero_backed = p == zeroPage();
+    p = zero_backed ? std::make_shared<Page>()
+                    : std::make_shared<Page>(*p);
+    raw_[idx] = p->bytes;
+    if (derived_ && !zero_backed) {
+        bump(gPagesCloned, 1);
+        bump(gBytesCloned, kPageBytes);
+    } else {
+        bump(gPagesMaterialized, 1);
+    }
 }
 
 Addr
@@ -18,7 +102,7 @@ SimMemory::alloc(size_t bytes, size_t align)
     panicIf(align == 0 || (align & (align - 1)) != 0,
             "SimMemory::alloc: alignment not a power of two");
     Addr base = (brk_ + align - 1) & ~static_cast<Addr>(align - 1);
-    if (base + bytes > data_.size())
+    if (base + bytes > capacity_)
         fatal("SimMemory: out of simulated memory");
     brk_ = base + bytes;
     return base;
@@ -27,8 +111,11 @@ SimMemory::alloc(size_t bytes, size_t align)
 void
 SimMemory::compact()
 {
-    data_.resize(brk_);
-    data_.shrink_to_fit();
+    pages_.resize(livePages());
+    pages_.shrink_to_fit();
+    raw_.resize(pages_.size());
+    raw_.shrink_to_fit();
+    capacity_ = brk_;
 }
 
 bool
@@ -38,11 +125,41 @@ SimMemory::validRange(Addr a, uint32_t n) const
 }
 
 uint64_t
+SimMemory::readSplit(Addr a, uint32_t bytes) const
+{
+    uint64_t v = 0;
+    auto *dst = reinterpret_cast<uint8_t *>(&v);
+    const uint32_t first =
+        uint32_t(kPageBytes - (a & kPageOffsetMask));
+    std::memcpy(dst, raw_[a >> kPageShift] + (a & kPageOffsetMask),
+                first);
+    std::memcpy(dst + first, raw_[(a >> kPageShift) + 1],
+                bytes - first);
+    return v;
+}
+
+void
+SimMemory::writeSplit(Addr a, uint32_t bytes, uint64_t v)
+{
+    const auto *src = reinterpret_cast<const uint8_t *>(&v);
+    const size_t idx = size_t(a >> kPageShift);
+    const uint32_t first =
+        uint32_t(kPageBytes - (a & kPageOffsetMask));
+    ensureOwned(idx);
+    ensureOwned(idx + 1);
+    std::memcpy(raw_[idx] + (a & kPageOffsetMask), src, first);
+    std::memcpy(raw_[idx + 1], src + first, bytes - first);
+}
+
+uint64_t
 SimMemory::read(Addr a, uint32_t bytes) const
 {
     panicIf(!validRange(a, bytes), "SimMemory: invalid demand read");
+    const Addr off = a & kPageOffsetMask;
+    if (off + bytes > kPageBytes)
+        return readSplit(a, bytes);
     uint64_t v = 0;
-    std::memcpy(&v, data_.data() + a, bytes);
+    std::memcpy(&v, raw_[a >> kPageShift] + off, bytes);
     return v;
 }
 
@@ -51,8 +168,13 @@ SimMemory::tryRead(Addr a, uint32_t bytes, uint64_t &out) const
 {
     if (!validRange(a, bytes))
         return false;
+    const Addr off = a & kPageOffsetMask;
+    if (off + bytes > kPageBytes) {
+        out = readSplit(a, bytes);
+        return true;
+    }
     out = 0;
-    std::memcpy(&out, data_.data() + a, bytes);
+    std::memcpy(&out, raw_[a >> kPageShift] + off, bytes);
     return true;
 }
 
@@ -60,7 +182,14 @@ void
 SimMemory::write(Addr a, uint32_t bytes, uint64_t v)
 {
     panicIf(!validRange(a, bytes), "SimMemory: invalid write");
-    std::memcpy(data_.data() + a, &v, bytes);
+    const Addr off = a & kPageOffsetMask;
+    if (off + bytes > kPageBytes) {
+        writeSplit(a, bytes, v);
+        return;
+    }
+    const size_t idx = size_t(a >> kPageShift);
+    ensureOwned(idx);
+    std::memcpy(raw_[idx] + off, &v, bytes);
 }
 
 uint64_t
@@ -85,6 +214,47 @@ void
 SimMemory::write32(Addr base, uint64_t idx, uint32_t v)
 {
     write(base + idx * 4, 4, v);
+}
+
+size_t
+SimMemory::pagesSharedWith(const SimMemory &o) const
+{
+    const size_t n = std::min(raw_.size(), o.raw_.size());
+    size_t shared = 0;
+    for (size_t i = 0; i < n; ++i)
+        shared += raw_[i] == o.raw_[i];
+    return shared;
+}
+
+bool
+SimMemory::sameContent(const SimMemory &o) const
+{
+    if (brk_ != o.brk_)
+        return false;
+    for (Addr a = 0; a < brk_; a += kPageBytes) {
+        const size_t n =
+            size_t(std::min<Addr>(kPageBytes, brk_ - a));
+        const size_t i = size_t(a >> kPageShift);
+        if (raw_[i] != o.raw_[i] &&
+            std::memcmp(raw_[i], o.raw_[i], n) != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+CowMemStats
+SimMemory::cowStats()
+{
+    CowMemStats s;
+    s.imageCopies = gImageCopies.load(std::memory_order_relaxed);
+    s.bytesAvoided = gBytesAvoided.load(std::memory_order_relaxed);
+    s.pagesShared = gPagesShared.load(std::memory_order_relaxed);
+    s.pagesCloned = gPagesCloned.load(std::memory_order_relaxed);
+    s.bytesCloned = gBytesCloned.load(std::memory_order_relaxed);
+    s.pagesMaterialized =
+        gPagesMaterialized.load(std::memory_order_relaxed);
+    return s;
 }
 
 } // namespace dvr

@@ -1,8 +1,23 @@
 /**
  * @file
- * Flat functional memory backing the simulated workloads, with a bump
- * allocator for data-set construction and bounds-checked access so
- * speculative (runahead) lanes can fault cleanly.
+ * Paged, copy-on-write functional memory backing the simulated
+ * workloads, with a bump allocator for data-set construction and
+ * bounds-checked access so speculative (runahead) lanes can fault
+ * cleanly.
+ *
+ * The backing store is an array of refcounted pages. Copying a
+ * SimMemory copies page *pointers*, not bytes: all copies share every
+ * page until one of them writes, and the first write to a shared page
+ * clones just that page (copy-on-write). Untouched address space is
+ * backed by a single immutable all-zero page, so even a freshly
+ * constructed multi-hundred-MB image costs only a pointer table.
+ *
+ * This makes the per-run `SimMemory mem = pristine;` in the simulator
+ * O(pages) pointer work instead of an O(bytes) memcpy, and lets every
+ * concurrent runner job share the read-mostly data set byte-for-byte.
+ * Sharing is safe across threads: each run mutates only its own page
+ * table, and a page is written in place only when its refcount proves
+ * the writer is the sole owner.
  */
 
 #ifndef DVR_MEM_SIM_MEMORY_HH
@@ -10,11 +25,56 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace dvr {
+
+/** Copy-on-write page granule. 512 B keeps first-write clone traffic
+ *  proportional to a run's true dirty footprint even for sparse
+ *  random-update kernels (an 8-byte store clones 512 bytes, not
+ *  4 KiB) at ~16 B of page-table per granule; accesses are at most
+ *  8 bytes so an access spans at most two pages. */
+inline constexpr size_t kPageShift = 9;
+inline constexpr size_t kPageBytes = size_t(1) << kPageShift;
+inline constexpr Addr kPageOffsetMask = Addr(kPageBytes - 1);
+
+/**
+ * Process-wide copy-on-write accounting (relaxed atomics internally;
+ * read via SimMemory::cowStats). BenchReport snapshots this at
+ * construction and reports the delta, so BENCH_*.json shows how much
+ * memory-image copy traffic the paged representation avoided.
+ */
+struct CowMemStats
+{
+    /** SimMemory copy-constructions/assignments (one per run). */
+    uint64_t imageCopies = 0;
+    /** Live bytes shared instead of copied (what a flat copy costs). */
+    uint64_t bytesAvoided = 0;
+    /** Pages shared by reference across those copies. */
+    uint64_t pagesShared = 0;
+    /** First-write clones of image data in copied images: the bytes a
+     *  run actually copies out of the shared image (per-run traffic). */
+    uint64_t pagesCloned = 0;
+    uint64_t bytesCloned = 0;
+    /** Fresh zeroed pages created in place of the shared zero page
+     *  (no image bytes copied), plus data-set-build clones in origin
+     *  images. */
+    uint64_t pagesMaterialized = 0;
+
+    /** Delta against an earlier snapshot of the same counters. */
+    CowMemStats since(const CowMemStats &base) const
+    {
+        return {imageCopies - base.imageCopies,
+                bytesAvoided - base.bytesAvoided,
+                pagesShared - base.pagesShared,
+                pagesCloned - base.pagesCloned,
+                bytesCloned - base.bytesCloned,
+                pagesMaterialized - base.pagesMaterialized};
+    }
+};
 
 /**
  * Byte-addressable functional memory. Address 0 is kept unmapped so a
@@ -24,6 +84,11 @@ class SimMemory
 {
   public:
     explicit SimMemory(size_t bytes);
+
+    SimMemory(const SimMemory &o);
+    SimMemory &operator=(const SimMemory &o);
+    SimMemory(SimMemory &&) = default;
+    SimMemory &operator=(SimMemory &&) = default;
 
     /** Bump-allocate a region; alignment must be a power of two. */
     Addr alloc(size_t bytes, size_t align = kLineBytes);
@@ -43,7 +108,7 @@ class SimMemory
      */
     bool tryRead(Addr a, uint32_t bytes, uint64_t &out) const;
 
-    /** Write `bytes` (1/4/8) of v. */
+    /** Write `bytes` (1/4/8) of v, cloning a shared page first. */
     void write(Addr a, uint32_t bytes, uint64_t v);
 
     // Convenience element accessors used by data-set builders and
@@ -53,19 +118,55 @@ class SimMemory
     uint32_t read32(Addr base, uint64_t idx) const;
     void write32(Addr base, uint64_t idx, uint32_t v);
 
-    size_t capacity() const { return data_.size(); }
+    size_t capacity() const { return capacity_; }
     Addr brk() const { return brk_; }
+
+    /** Pages backing the allocated (live) address range. */
+    size_t livePages() const
+    {
+        return size_t((brk_ + kPageBytes - 1) >> kPageShift);
+    }
 
     /**
      * Shrink the backing store to the allocated size. Called once a
-     * data set is fully built so per-run pristine copies only touch
-     * live bytes; further alloc() calls fail after compaction.
+     * data set is fully built so per-run views only carry live pages;
+     * further alloc() calls fail after compaction.
      */
     void compact();
 
+    /** Pages this image shares by reference with `o` (tests/stats). */
+    size_t pagesSharedWith(const SimMemory &o) const;
+
+    /** Byte-for-byte equality over the live range (tests). */
+    bool sameContent(const SimMemory &o) const;
+
+    /** Snapshot of the process-wide CoW accounting. */
+    static CowMemStats cowStats();
+
   private:
-    std::vector<uint8_t> data_;
+    struct Page
+    {
+        uint8_t bytes[kPageBytes];
+    };
+    using PagePtr = std::shared_ptr<Page>;
+
+    /** The immutable all-zero page backing untouched address space. */
+    static const PagePtr &zeroPage();
+
+    /** Make page `idx` exclusively owned (clone if shared). */
+    void ensureOwned(size_t idx);
+
+    /** Two-page slow paths for accesses straddling a page boundary. */
+    uint64_t readSplit(Addr a, uint32_t bytes) const;
+    void writeSplit(Addr a, uint32_t bytes, uint64_t v);
+
+    std::vector<PagePtr> pages_;
+    /** pages_[i]->bytes, cached so reads skip the control block. */
+    std::vector<uint8_t *> raw_;
     Addr brk_;
+    size_t capacity_;
+    /** True for copies: their clones are per-run CoW traffic. */
+    bool derived_ = false;
 };
 
 } // namespace dvr

@@ -9,11 +9,14 @@
 namespace dvr {
 
 std::vector<Addr>
-recordLoadTrace(const Program &prog, SimMemory &mem, uint64_t max_insts)
+recordLoadTrace(const Program &prog, SimMemory &mem, uint64_t max_insts,
+                const RegState *start, InstPc start_pc)
 {
     std::vector<Addr> trace;
     std::array<uint64_t, kNumArchRegs> r{};
-    InstPc pc = 0;
+    if (start)
+        r = start->value;
+    InstPc pc = start_pc;
     for (uint64_t n = 0; n < max_insts && prog.valid(pc); ++n) {
         const Instruction &inst = prog.at(pc);
         if (inst.op == Opcode::kHalt)

@@ -27,10 +27,14 @@ class Program;
 /**
  * Record the demand-load line-address trace of a program by running it
  * functionally. `mem` is mutated (stores execute); callers pass a
- * scratch copy of the pristine memory image.
+ * scratch copy of the image the timed run starts from. `start` /
+ * `start_pc` replay from a checkpointed architectural state instead of
+ * the program entry (null/0 = entry).
  */
 std::vector<Addr> recordLoadTrace(const Program &prog, SimMemory &mem,
-                                  uint64_t max_insts);
+                                  uint64_t max_insts,
+                                  const RegState *start = nullptr,
+                                  InstPc start_pc = 0);
 
 struct OracleConfig
 {

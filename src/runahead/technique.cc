@@ -141,7 +141,8 @@ const TechniqueRegistrar regOracle({
         -> std::unique_ptr<RunaheadTechnique> {
         SimMemory scratch = ctx.pristine;
         auto trace = recordLoadTrace(ctx.prog, scratch,
-                                     ctx.cfg.maxInstructions);
+                                     ctx.cfg.maxInstructions,
+                                     ctx.startRegs, ctx.startPc);
         return std::make_unique<OracleController>(
             ctx.cfg.oracle, ctx.memsys, std::move(trace));
     },

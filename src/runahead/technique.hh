@@ -61,6 +61,13 @@ struct TechniqueContext
     /** The untouched image (for oracle-style functional pre-runs). */
     const SimMemory &pristine;
     MemorySystem &memsys;
+    /**
+     * Architectural start state when the run restores from a
+     * checkpoint; null/0 means the program entry. Oracle-style
+     * functional pre-runs must replay from here, not from entry.
+     */
+    const RegState *startRegs = nullptr;
+    InstPc startPc = 0;
 };
 
 /** One registered technique: its key and construction hooks. */

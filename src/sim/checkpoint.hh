@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Architectural checkpoints: the functional machine state (registers,
+ * PC, and the copy-on-write memory image with its dirty pages) after
+ * data-set construction plus an optional functional fast-forward.
+ *
+ * A sweep prepares a checkpoint once and every technique/config run
+ * restores from it instead of recopying the pristine image and
+ * re-executing the warmup — the restore is a CoW page-table copy, so
+ * the warmed state is shared byte-for-byte across concurrent runs.
+ */
+
+#ifndef DVR_SIM_CHECKPOINT_HH
+#define DVR_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+
+#include "core/ooo_core.hh"
+#include "mem/sim_memory.hh"
+
+namespace dvr {
+
+class Program;
+
+struct Checkpoint
+{
+    /** CoW view of the image at the checkpoint (dirty pages owned). */
+    SimMemory memory;
+    /** Architectural registers (ready times cleared on restore). */
+    RegState regs;
+    /** Next instruction to execute. */
+    InstPc pc = 0;
+    /** Functional instructions actually fast-forwarded. */
+    uint64_t insts = 0;
+    /** The program halted during warmup (the timed run is a no-op). */
+    bool halted = false;
+};
+
+/**
+ * Fast-forward `warmup_insts` instructions functionally (no timing)
+ * from the program entry over a CoW copy of `pristine`, and snapshot
+ * the resulting architectural state. `warmup_insts` of 0 snapshots
+ * the pristine state itself.
+ */
+Checkpoint makeCheckpoint(const Program &prog,
+                          const SimMemory &pristine,
+                          uint64_t warmup_insts);
+
+} // namespace dvr
+
+#endif // DVR_SIM_CHECKPOINT_HH

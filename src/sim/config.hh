@@ -43,6 +43,24 @@ Technique parseTechnique(const std::string &name);
 /** All valid technique names, comma-separated (error messages). */
 std::string techniqueNameList();
 
+/**
+ * Functional warmup and architectural-checkpoint reuse. Off by
+ * default: with insts == 0 every run starts cold from the pristine
+ * image and behaviour is byte-identical to the pre-checkpoint
+ * simulator (pinned by the golden-parity tests).
+ */
+struct WarmupConfig
+{
+    /** Instructions to fast-forward functionally before timing. */
+    uint64_t insts = 0;
+    /**
+     * Share one architectural checkpoint (registers + dirty pages)
+     * across every run of a prepared workload instead of re-executing
+     * the fast-forward per run.
+     */
+    bool share = true;
+};
+
 struct SimConfig
 {
     CoreConfig core;
@@ -61,6 +79,7 @@ struct SimConfig
     std::string trace;
     /** JSONL trace sink path ("" = derive from the run context). */
     std::string traceFile;
+    WarmupConfig warmup;
 
     /** Table 1 baseline with the given technique. */
     static SimConfig baseline(Technique t = Technique::kBase);

@@ -236,6 +236,16 @@ ConfigSchema::ConfigSchema()
          "JSONL trace sink path ('' = <bench dir>/dvr_trace.jsonl)",
          [](const SimConfig &c) { return c.traceFile; },
          [](SimConfig &c, const std::string &v) { c.traceFile = v; }});
+    add(uintKey("sim.warmup.insts",
+                "functional fast-forward instructions before the "
+                "timed run (0 = off)",
+                [](SimConfig &c) -> uint64_t & {
+                    return c.warmup.insts;
+                }));
+    add(boolKey("sim.warmup.share",
+                "share one architectural checkpoint across every run "
+                "of a prepared workload",
+                [](SimConfig &c) -> bool & { return c.warmup.share; }));
 
     // core.* — the Table 1 out-of-order core.
     add(uintKey("core.width", "fetch/dispatch/commit width",

@@ -86,6 +86,15 @@ struct OracleMirror
 static_assert(sizeof(OracleMirror) == sizeof(OracleConfig),
               DVR_DRIFT_HELP);
 
+struct WarmupMirror
+{
+#define DVR_WARMUP_FIELD(field, type, key) type field;
+#include "sim/config_fields.def"
+#undef DVR_WARMUP_FIELD
+};
+static_assert(sizeof(WarmupMirror) == sizeof(WarmupConfig),
+              DVR_DRIFT_HELP);
+
 struct SimMirror
 {
 #define DVR_SIM_FIELD(field, type, key) type field;

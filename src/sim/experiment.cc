@@ -65,7 +65,28 @@ PreparedWorkload::PreparedWorkload(std::string label, SimMemory memory,
 SimResult
 PreparedWorkload::run(const SimConfig &cfg) const
 {
-    return Simulator::runOn(cfg, workload_, memory_);
+    if (cfg.warmup.insts == 0)
+        return Simulator::runOn(cfg, workload_, memory_);
+    if (!cfg.warmup.share) {
+        const Checkpoint ckpt =
+            makeCheckpoint(workload_.program, memory_, cfg.warmup.insts);
+        return Simulator::runOn(cfg, workload_, ckpt);
+    }
+    // Shared checkpoint: fast-forward once, lazily, and hand every run
+    // a CoW view of the warmed state. shared_ptr keeps a stale
+    // checkpoint alive for runs already holding it if a different
+    // warmup length replaces the cache mid-sweep.
+    std::shared_ptr<const Checkpoint> ckpt;
+    {
+        std::lock_guard<std::mutex> lock(ckptMutex_);
+        if (!ckpt_ || ckptInsts_ != cfg.warmup.insts) {
+            ckpt_ = std::make_shared<const Checkpoint>(makeCheckpoint(
+                workload_.program, memory_, cfg.warmup.insts));
+            ckptInsts_ = cfg.warmup.insts;
+        }
+        ckpt = ckpt_;
+    }
+    return Simulator::runOn(cfg, workload_, *ckpt);
 }
 
 void
@@ -83,9 +104,18 @@ printBenchHeader(std::ostream &os, const std::string &figure,
     os.flush();
 }
 
+void
+printSweepSharing(std::ostream &os, size_t runs, size_t images)
+{
+    os << "\n" << runs << " runs shared " << images
+       << " copy-on-write memory image" << (images == 1 ? "" : "s")
+       << " (clone traffic: BENCH json \"cow\" block)\n";
+}
+
 BenchReport::BenchReport(std::string figure, unsigned threads)
     : figure_(std::move(figure)), threads_(threads),
-      manifest_(figure_), start_(std::chrono::steady_clock::now())
+      manifest_(figure_), start_(std::chrono::steady_clock::now()),
+      cowStart_(SimMemory::cowStats())
 {
 }
 
@@ -115,13 +145,35 @@ BenchReport::write(std::ostream &echo) const
     const std::string dir = env::benchDir().value_or(".");
     const std::string path = dir + "/BENCH_" + figure_ + ".json";
 
+    // This bench's CoW memory-sharing delta: how many image copies it
+    // made, how many bytes page sharing avoided copying, and how many
+    // bytes first-writes actually cloned. copy_reduction is the
+    // headline win: copied-bytes avoided per byte still cloned.
+    const CowMemStats cow =
+        SimMemory::cowStats().since(cowStart_);
+    const double reduction =
+        double(cow.bytesAvoided) /
+        double(cow.bytesCloned > 0 ? cow.bytesCloned : 1);
+    std::ostringstream cowJson;
+    cowJson << "{\n"
+            << "    \"image_copies\": " << cow.imageCopies << ",\n"
+            << "    \"bytes_avoided\": " << cow.bytesAvoided << ",\n"
+            << "    \"pages_shared\": " << cow.pagesShared << ",\n"
+            << "    \"pages_cloned\": " << cow.pagesCloned << ",\n"
+            << "    \"bytes_cloned\": " << cow.bytesCloned << ",\n"
+            << "    \"pages_materialized\": " << cow.pagesMaterialized
+            << ",\n"
+            << "    \"copy_reduction\": " << std::fixed
+            << std::setprecision(1) << reduction << "\n  }";
+
     std::ostringstream json;
     json << std::fixed << std::setprecision(3) << "{\n"
          << "  \"figure\": \"" << figure_ << "\",\n"
          << "  \"threads\": " << threads_ << ",\n"
          << "  \"wall_seconds\": " << wall << ",\n"
          << "  \"simulated_instructions\": " << instructions_ << ",\n"
-         << "  \"simulated_mips\": " << mips << "\n"
+         << "  \"simulated_mips\": " << mips << ",\n"
+         << "  \"cow\": " << cowJson.str() << "\n"
          << "}\n";
     std::ofstream out(path);
     out << json.str();
@@ -130,6 +182,7 @@ BenchReport::write(std::ostream &echo) const
         warn("BenchReport: cannot write " + path +
              " (does DVR_BENCH_DIR exist?)");
     }
+    manifest_.setExtra("cow", cowJson.str());
     manifest_.write(dir, wall);
 
     echo << "\n[" << path << "] wall " << std::fixed
@@ -137,6 +190,12 @@ BenchReport::write(std::ostream &echo) const
          << std::setprecision(1) << mips << " simulated MIPS, "
          << threads_ << (threads_ == 1 ? " thread" : " threads")
          << "\n";
+    const double mib = 1024.0 * 1024.0;
+    echo << "[cow] " << cow.imageCopies << " image copies: "
+         << std::setprecision(1) << double(cow.bytesAvoided) / mib
+         << " MiB share-avoided vs "
+         << double(cow.bytesCloned) / mib << " MiB cloned ("
+         << reduction << "x copy reduction)\n";
     echo.flush();
     return path;
 }

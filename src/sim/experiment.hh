@@ -11,9 +11,12 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "sim/checkpoint.hh"
 #include "sim/manifest.hh"
 #include "sim/simulator.hh"
 
@@ -51,6 +54,12 @@ class PreparedWorkload
     PreparedWorkload(std::string label, SimMemory memory,
                      Workload workload);
 
+    /**
+     * Run one simulation. With cfg.warmup.insts > 0 the run restores
+     * from an architectural checkpoint; with cfg.warmup.share (the
+     * default) one checkpoint is fast-forwarded lazily and shared —
+     * CoW, thread-safely — by every subsequent run of this workload.
+     */
     SimResult run(const SimConfig &cfg) const;
 
     /** "bfs_KR" for GAP kernels, plain kernel name for hpc-db. */
@@ -61,11 +70,25 @@ class PreparedWorkload
     std::string label_;
     SimMemory memory_;
     Workload workload_;
+
+    // Shared-checkpoint cache (sim.warmup.share), keyed by the
+    // requested warmup length; guarded for concurrent Runner jobs.
+    mutable std::mutex ckptMutex_;
+    mutable std::shared_ptr<const Checkpoint> ckpt_;
+    mutable uint64_t ckptInsts_ = 0;
 };
 
 /** Instruction budget and scale shift banner for bench headers. */
 void printBenchHeader(std::ostream &os, const std::string &figure,
                       const std::string &what);
+
+/**
+ * Echo a sweep's memory-sharing shape: how many simulations ran
+ * against how many copy-on-write memory images. The byte-level
+ * accounting (bytes avoided vs cloned, copy_reduction) is written by
+ * BenchReport::write into the BENCH json "cow" block.
+ */
+void printSweepSharing(std::ostream &os, size_t runs, size_t images);
 
 /**
  * Wall-clock and throughput accounting for one bench run, written as
@@ -104,8 +127,11 @@ class BenchReport
     std::string figure_;
     unsigned threads_;
     uint64_t instructions_ = 0;
-    RunManifest manifest_;
+    /** mutable: write() const attaches the CoW delta at write time. */
+    mutable RunManifest manifest_;
     std::chrono::steady_clock::time_point start_;
+    /** Process-wide CoW counters at construction (delta = this bench). */
+    CowMemStats cowStart_;
 };
 
 } // namespace dvr

@@ -279,6 +279,24 @@ RunManifest::addRun(const std::string &label, const StatSet &stats)
     runs_.emplace_back(label, stats);
 }
 
+void
+RunManifest::setExtra(const std::string &key, const std::string &rawJson)
+{
+    const std::string err = validateJsonSyntax(rawJson);
+    if (!err.empty()) {
+        warn("RunManifest: dropping invalid extra \"" + key +
+             "\": " + err);
+        return;
+    }
+    for (auto &[k, v] : extras_) {
+        if (k == key) {
+            v = chomp(rawJson);
+            return;
+        }
+    }
+    extras_.emplace_back(key, chomp(rawJson));
+}
+
 std::string
 RunManifest::toJson(double wall_seconds) const
 {
@@ -292,8 +310,10 @@ RunManifest::toJson(double wall_seconds) const
     os.setf(std::ios::fixed);
     os.precision(3);
     os << wall_seconds << ",\n"
-       << "  \"config\": " << configJson_ << ",\n"
-       << "  \"runs\": [";
+       << "  \"config\": " << configJson_ << ",\n";
+    for (const auto &[key, json] : extras_)
+        os << "  " << quote(key) << ": " << json << ",\n";
+    os << "  \"runs\": [";
     for (size_t i = 0; i < runs_.size(); ++i) {
         os << (i ? ",\n" : "\n") << "    {\"label\": "
            << quote(runs_[i].first)

@@ -38,6 +38,13 @@ class RunManifest
     /** Record one finished simulation's full stat set. */
     void addRun(const std::string &label, const StatSet &stats);
 
+    /**
+     * Attach an optional extra top-level object (e.g. "cow" memory
+     * sharing counters). `rawJson` must be a valid JSON object; extra
+     * keys are additive and not part of the required schema.
+     */
+    void setExtra(const std::string &key, const std::string &rawJson);
+
     size_t runCount() const { return runs_.size(); }
 
     /** Render the manifest document. */
@@ -59,6 +66,7 @@ class RunManifest
   private:
     std::string figure_;
     std::string configJson_ = "{}";
+    std::vector<std::pair<std::string, std::string>> extras_;
     std::vector<std::pair<std::string, StatSet>> runs_;
 };
 

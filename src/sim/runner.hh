@@ -5,12 +5,17 @@
  * deterministic submission order, so every results table is
  * bit-identical regardless of thread count.
  *
- * Safe because each Simulator::runOn copies the pristine SimMemory
+ * Safe because each Simulator::runOn takes a private copy-on-write
+ * view of the pristine SimMemory (pages are refcounted with atomic
+ * counts; a writer clones before its first store to a shared page)
  * and builds a private MemorySystem/OooCore/controller stack; the
  * PreparedWorkload (program + pristine data set) is shared strictly
- * read-only. There is no global mutable simulator state (audited:
- * all file/function statics in src/ are const tables, workload
- * verify lambdas capture by value and only read).
+ * read-only, and its lazily built shared warmup checkpoint
+ * (sim.warmup.share) is created under a mutex and handed out as a
+ * const CoW view. There is no global mutable simulator state
+ * (audited: all file/function statics in src/ are const tables or
+ * relaxed atomic counters, workload verify lambdas capture by value
+ * and only read).
  */
 
 #ifndef DVR_SIM_RUNNER_HH

@@ -4,21 +4,16 @@
 
 #include "common/log.hh"
 #include "runahead/technique.hh"
+#include "sim/checkpoint.hh"
 
 namespace dvr {
 
-SimResult
-Simulator::run(const SimConfig &cfg, const std::string &workload,
-               const WorkloadParams &wp)
-{
-    SimMemory mem(cfg.memoryBytes);
-    Workload w = workloadFactory(workload)(mem, wp);
-    return runOn(cfg, w, mem);
-}
+namespace {
 
 SimResult
-Simulator::runOn(const SimConfig &cfgIn, const Workload &w,
-                 const SimMemory &pristine)
+runImpl(const SimConfig &cfgIn, const Workload &w,
+        const SimMemory &image, const RegState *start_regs,
+        InstPc start_pc)
 {
     // Wire the selected technique through the registry: normalize the
     // configuration with the technique's own hook, then let its
@@ -33,14 +28,18 @@ Simulator::runOn(const SimConfig &cfgIn, const Workload &w,
     if (info->prepare)
         info->prepare(cfg);
 
-    SimMemory mem = pristine;   // techniques share the data set
+    SimMemory mem = image;      // CoW share: techniques reuse the image
     MemorySystem memsys(cfg.mem, mem);
 
-    const TechniqueContext ctx{cfg, w.program, mem, pristine, memsys};
+    const TechniqueContext ctx{cfg,    w.program, mem,
+                               image,  memsys,    start_regs,
+                               start_pc};
     std::unique_ptr<RunaheadTechnique> tech =
         info->create ? info->create(ctx) : nullptr;
 
     OooCore core(cfg.core, w.program, mem, memsys, tech.get());
+    if (start_regs)
+        core.restoreArchState(*start_regs, start_pc);
     if (tech)
         tech->attach(core);
 
@@ -63,6 +62,36 @@ Simulator::runOn(const SimConfig &cfgIn, const Workload &w,
     if (tech)
         tech->finalizeStats(r.stats);
     return r;
+}
+
+} // namespace
+
+SimResult
+Simulator::run(const SimConfig &cfg, const std::string &workload,
+               const WorkloadParams &wp)
+{
+    SimMemory mem(cfg.memoryBytes);
+    Workload w = workloadFactory(workload)(mem, wp);
+    return runOn(cfg, w, mem);
+}
+
+SimResult
+Simulator::runOn(const SimConfig &cfg, const Workload &w,
+                 const SimMemory &pristine)
+{
+    if (cfg.warmup.insts > 0) {
+        const Checkpoint ckpt =
+            makeCheckpoint(w.program, pristine, cfg.warmup.insts);
+        return runOn(cfg, w, ckpt);
+    }
+    return runImpl(cfg, w, pristine, nullptr, 0);
+}
+
+SimResult
+Simulator::runOn(const SimConfig &cfg, const Workload &w,
+                 const Checkpoint &ckpt)
+{
+    return runImpl(cfg, w, ckpt.memory, &ckpt.regs, ckpt.pc);
 }
 
 } // namespace dvr

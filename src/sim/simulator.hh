@@ -19,6 +19,8 @@
 
 namespace dvr {
 
+struct Checkpoint;
+
 struct SimResult
 {
     CoreStats core;
@@ -53,11 +55,22 @@ class Simulator
                          const WorkloadParams &wp);
 
     /**
-     * Run on a pre-built workload; `pristine` is copied so the same
-     * data set can be reused across techniques.
+     * Run on a pre-built workload; `pristine` is copied (a CoW
+     * page-table share) so the same data set can be reused across
+     * techniques. With cfg.warmup.insts > 0 a throwaway checkpoint is
+     * fast-forwarded first; sweeps that want to amortize the warmup
+     * go through PreparedWorkload, which caches the checkpoint.
      */
     static SimResult runOn(const SimConfig &cfg, const Workload &w,
                            const SimMemory &pristine);
+
+    /**
+     * Run on a pre-built workload from a checkpointed architectural
+     * state. The timed run copies ckpt.memory (CoW), restores
+     * registers and PC, and still gets cfg.maxInstructions of budget.
+     */
+    static SimResult runOn(const SimConfig &cfg, const Workload &w,
+                           const Checkpoint &ckpt);
 };
 
 } // namespace dvr

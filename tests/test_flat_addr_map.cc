@@ -1,0 +1,121 @@
+/**
+ * @file
+ * FlatAddrMap semantics, pinned against std::unordered_map: the
+ * prefetch-timeliness stats it backs are golden-pinned, so the table
+ * must be exact — emplace keeps the first record, erase really
+ * removes (backward-shift, no tombstone artifacts), and every
+ * surviving record stays findable across growth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/flat_addr_map.hh"
+
+namespace dvr {
+namespace {
+
+Addr
+lineAddr(uint64_t idx)
+{
+    return (idx + 1) * kLineBytes;
+}
+
+TEST(FlatAddrMap, EmplaceFindErase)
+{
+    FlatAddrMap<uint64_t> m(16);
+    EXPECT_TRUE(m.empty());
+
+    EXPECT_TRUE(m.emplace(lineAddr(1), 100));
+    EXPECT_TRUE(m.emplace(lineAddr(2), 200));
+    EXPECT_EQ(m.size(), 2u);
+
+    // emplace keeps the original record (re-prefetch of a pending
+    // line must not reset its issue time).
+    EXPECT_FALSE(m.emplace(lineAddr(1), 999));
+    ASSERT_NE(m.find(lineAddr(1)), nullptr);
+    EXPECT_EQ(*m.find(lineAddr(1)), 100u);
+
+    EXPECT_EQ(m.find(lineAddr(3)), nullptr);
+
+    EXPECT_TRUE(m.erase(lineAddr(1)));
+    EXPECT_FALSE(m.erase(lineAddr(1)));
+    EXPECT_EQ(m.find(lineAddr(1)), nullptr);
+    ASSERT_NE(m.find(lineAddr(2)), nullptr);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatAddrMap, EraseInProbeChainKeepsLaterEntriesFindable)
+{
+    // Force one long collision chain in a minimum-size table, then
+    // delete from the middle: backward-shift deletion must keep every
+    // survivor reachable (a naive "mark empty" would cut the chain).
+    FlatAddrMap<uint64_t> m(16);
+    std::vector<Addr> keys;
+    for (uint64_t i = 0; i < 9; ++i)
+        keys.push_back(lineAddr(i * 7 + 3));
+    for (size_t i = 0; i < keys.size(); ++i)
+        ASSERT_TRUE(m.emplace(keys[i], i));
+
+    for (size_t victim = 0; victim < keys.size(); victim += 2)
+        ASSERT_TRUE(m.erase(keys[victim]));
+
+    for (size_t i = 0; i < keys.size(); ++i) {
+        const uint64_t *v = m.find(keys[i]);
+        if (i % 2 == 0) {
+            EXPECT_EQ(v, nullptr) << "erased key " << i << " came back";
+        } else {
+            ASSERT_NE(v, nullptr) << "survivor key " << i << " lost";
+            EXPECT_EQ(*v, i);
+        }
+    }
+}
+
+TEST(FlatAddrMap, MatchesUnorderedMapUnderRandomWorkload)
+{
+    FlatAddrMap<uint64_t> m(16);    // small: forces several growths
+    std::unordered_map<Addr, uint64_t> ref;
+    Rng rng(12345);
+
+    for (uint64_t step = 0; step < 20000; ++step) {
+        const Addr key = lineAddr(rng.next() % 512);
+        switch (rng.next() % 3) {
+        case 0: {
+            const bool inserted = m.emplace(key, step);
+            EXPECT_EQ(inserted, ref.emplace(key, step).second);
+            break;
+        }
+        case 1: {
+            EXPECT_EQ(m.erase(key), ref.erase(key) != 0);
+            break;
+        }
+        default: {
+            const uint64_t *v = m.find(key);
+            const auto it = ref.find(key);
+            ASSERT_EQ(v != nullptr, it != ref.end());
+            if (v) {
+                EXPECT_EQ(*v, it->second);
+            }
+            break;
+        }
+        }
+        ASSERT_EQ(m.size(), ref.size());
+    }
+
+    // Full-content sweep via forEach.
+    uint64_t visited = 0;
+    m.forEach([&](Addr k, const uint64_t &v) {
+        ++visited;
+        const auto it = ref.find(k);
+        ASSERT_NE(it, ref.end());
+        EXPECT_EQ(v, it->second);
+    });
+    EXPECT_EQ(visited, ref.size());
+}
+
+} // namespace
+} // namespace dvr

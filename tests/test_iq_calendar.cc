@@ -1,0 +1,140 @@
+/**
+ * @file
+ * IqCalendar correctness: the calendar ring must reproduce the
+ * min-heap of issue times it replaced exactly, under the core's
+ * contract (drain horizons are non-decreasing; pushes are at or above
+ * the horizon at push). Pinned two ways: structurally against a
+ * reference heap model, and end-to-end against frozen core.cpi.*
+ * stats from an issue-queue-saturated simulation (captured from the
+ * heap implementation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/iq_calendar.hh"
+#include "sim/experiment.hh"
+
+namespace dvr {
+namespace {
+
+/** The replaced implementation, verbatim: drain, conditional pop-min
+ *  of the earliest in-flight issue time, push. */
+class HeapRef
+{
+  public:
+    void
+    drainThrough(Cycle horizon)
+    {
+        while (!q_.empty() && q_.top() <= horizon)
+            q_.pop();
+    }
+
+    size_t size() const { return q_.size(); }
+
+    Cycle
+    popMin()
+    {
+        const Cycle t = q_.top();
+        q_.pop();
+        return t;
+    }
+
+    void push(Cycle t) { q_.push(t); }
+
+  private:
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>>
+        q_;
+};
+
+TEST(IqCalendar, MatchesHeapUnderCoreContract)
+{
+    // Drive both structures through the dispatch-loop pattern with a
+    // non-decreasing horizon and issue times jittered above it —
+    // including far jumps past the calendar window (DRAM-bound
+    // dependence chains) and long idle gaps.
+    Rng rng(987);
+    IqCalendar cal;
+    HeapRef ref;
+    Cycle horizon = 0;
+    const unsigned iq_size = 32;
+
+    for (int step = 0; step < 200000; ++step) {
+        switch (rng.next() % 16) {
+        case 0:
+            horizon += rng.next() % 400;    // DRAM-ish stall
+            break;
+        case 1:
+            horizon += 40000;               // beyond the ring window
+            break;
+        default:
+            horizon += rng.next() % 3;
+            break;
+        }
+
+        cal.drainThrough(horizon);
+        ref.drainThrough(horizon);
+        ASSERT_EQ(cal.size(), ref.size()) << "after drain, step " << step;
+
+        Cycle cal_free = 0, ref_free = 0;
+        if (ref.size() >= iq_size) {
+            cal_free = cal.popMin();
+            ref_free = ref.popMin();
+        }
+        ASSERT_EQ(cal_free, ref_free) << "pop-min, step " << step;
+
+        // Issue at/above the horizon, occasionally far above it. The
+        // two structures may disagree on size between a push at the
+        // exact horizon and the next drain (the calendar drops what
+        // the heap is guaranteed to drain first thing next round);
+        // the core never observes that window, and the post-drain
+        // assert above pins the observable state every iteration.
+        const Cycle issue =
+            horizon + (rng.next() % 8 == 0 ? rng.next() % 120000
+                                           : rng.next() % 64);
+        cal.push(issue);
+        ref.push(issue);
+    }
+
+    cal.drainThrough(horizon + 1'000'000);
+    ref.drainThrough(horizon + 1'000'000);
+    EXPECT_EQ(cal.size(), ref.size());
+    EXPECT_EQ(cal.size(), 0u);
+}
+
+TEST(IqCalendar, CoreCpiStatsMatchHeapImplementation)
+{
+    // End-to-end pin: an IQ-saturated run (64-entry IQ, camel's
+    // DRAM-bound dependent loads) whose every core.cpi.* value was
+    // captured from the priority_queue implementation this structure
+    // replaced. Any drift in drain/pop/push semantics shows up here
+    // as a changed cycle count or CPI split.
+    WorkloadParams wp;
+    wp.scaleShift = 4;
+    SimConfig cfg = SimConfig::baseline(Technique::kBase);
+    cfg.core.modelIqOccupancy = true;
+    cfg.core.iqSize = 64;
+    cfg.maxInstructions = 50'000;
+
+    const PreparedWorkload pw("camel", "", wp, cfg.memoryBytes);
+    const SimResult r = pw.run(cfg);
+
+    EXPECT_EQ(r.core.instructions, 50'000u);
+    EXPECT_EQ(r.core.cycles, 585'476u);
+    EXPECT_EQ(r.core.cpi.base, 6'061u);
+    EXPECT_EQ(r.core.cpi.branchRedirect, 0u);
+    EXPECT_EQ(r.core.cpi.dram, 2'375u);
+    EXPECT_EQ(r.core.cpi.fullIqLsq, 577'040u);
+    EXPECT_EQ(r.core.cpi.fullRob, 0u);
+    EXPECT_EQ(r.core.cpi.l1, 0u);
+    EXPECT_EQ(r.core.cpi.l2, 0u);
+    EXPECT_EQ(r.core.cpi.l3, 0u);
+    EXPECT_EQ(r.core.cpi.total(), r.core.cycles);
+}
+
+} // namespace
+} // namespace dvr

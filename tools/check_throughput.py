@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""CI throughput smoke: compare a BENCH_<figure>.json against the
+checked-in floor (tests/throughput_floor.json) and fail when
+wall_seconds regresses more than the allowed slack (default 30%).
+
+The floor file also carries an optional min_copy_reduction per figure:
+the copy-on-write memory model must keep per-run image-copy traffic
+at least that factor below what flat per-run copies would cost (the
+"cow" block written by BenchReport).
+
+Usage:
+    tools/check_throughput.py bench-out/BENCH_fig02.json \
+        --floor tests/throughput_floor.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_json", help="BENCH_<figure>.json to check")
+    ap.add_argument("--floor", default="tests/throughput_floor.json",
+                    help="checked-in floor file")
+    ap.add_argument("--slack", type=float, default=0.30,
+                    help="allowed fractional regression over the floor")
+    args = ap.parse_args()
+
+    with open(args.bench_json) as f:
+        bench = json.load(f)
+    with open(args.floor) as f:
+        floors = json.load(f)
+
+    figure = bench["figure"]
+    entry = floors["figures"].get(figure)
+    if entry is None:
+        sys.exit(f"error: no floor entry for figure '{figure}' in "
+                 f"{args.floor}")
+
+    wall = float(bench["wall_seconds"])
+    floor = float(entry["wall_seconds"])
+    limit = floor * (1.0 + args.slack)
+    print(f"[throughput] {figure}: wall {wall:.1f} s, floor "
+          f"{floor:.1f} s, limit {limit:.1f} s "
+          f"({bench['simulated_mips']:.1f} simulated MIPS)")
+    failed = False
+    if wall > limit:
+        print(f"FAIL: wall_seconds {wall:.1f} exceeds the floor "
+              f"{floor:.1f} by more than {args.slack:.0%} — either fix "
+              f"the regression or deliberately re-baseline "
+              f"{args.floor}", file=sys.stderr)
+        failed = True
+
+    min_red = entry.get("min_copy_reduction")
+    if min_red is not None:
+        red = float(bench["cow"]["copy_reduction"])
+        print(f"[throughput] {figure}: CoW copy reduction {red:.1f}x "
+              f"(required >= {float(min_red):.1f}x)")
+        if red < float(min_red):
+            print(f"FAIL: CoW copy_reduction {red:.1f} fell below "
+                  f"{float(min_red):.1f} — per-run image-copy traffic "
+                  f"regressed", file=sys.stderr)
+            failed = True
+
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()
