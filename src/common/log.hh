@@ -16,10 +16,16 @@ namespace dvr {
 
 /** Abort with a message: something that should never happen happened. */
 [[noreturn]] inline void
+panic(const char *msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg);
+    std::abort();
+}
+
+[[noreturn]] inline void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
-    std::abort();
+    panic(msg.c_str());
 }
 
 /** Terminate with a message: the user asked for something impossible. */
@@ -36,7 +42,20 @@ warn(const std::string &msg)
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
-/** panic() unless the condition holds. */
+/**
+ * panic() unless the condition holds. The const char* overload is the
+ * one literal call sites bind to; it matters in hot paths (SimMemory
+ * bounds checks run once per simulated memory access), where the
+ * std::string overload's eager heap allocation of the message — paid
+ * whether or not the check fires — once dominated the access itself.
+ */
+inline void
+panicIf(bool cond, const char *msg)
+{
+    if (cond) [[unlikely]]
+        panic(msg);
+}
+
 inline void
 panicIf(bool cond, const std::string &msg)
 {

@@ -138,7 +138,7 @@ OooCore::OooCore(const CoreConfig &cfg, const Program &prog,
                  SimMemory &mem, MemorySystem &memsys, CoreClient *client)
     : cfg_(cfg), prog_(prog), mem_(mem), memsys_(memsys),
       client_(client), bpred_(makePredictor(cfg.predictor)),
-      commitRing_(cfg.robSize, 0), robHeadDramLoad_(cfg.robSize, false),
+      commitRing_(cfg.robSize, 0), robHeadDramLoad_(cfg.robSize, 0),
       loadRing_(cfg.lqSize, 0), storeRing_(cfg.sqSize, 0),
       storeFwd_(kStoreFwdSize)
 {

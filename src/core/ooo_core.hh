@@ -178,6 +178,33 @@ class OooCore
         pc_ = pc;
     }
 
+    /**
+     * Resume after an external functional fast-forward, KEEPING
+     * microarchitectural warmth. The interval-sampling driver
+     * (sim/sampling.cc) alternates functional skips with detailed
+     * windows on one persistent core: the branch predictor, the cache
+     * hierarchy (via the shared MemorySystem), and the in-flight
+     * timing rings survive the skip; only the architectural registers
+     * and PC are replaced with the functionally-advanced state.
+     *
+     * The body is currently identical to restoreArchState — readiness
+     * times clear because the skipped instructions' producers have
+     * architecturally completed — but the call sites mean different
+     * things: restoreArchState starts a cold run from a checkpoint,
+     * resumeWarm continues a warm one mid-sample. Keeping them
+     * separate lets either evolve without breaking the other's
+     * contract (and the sampling tests pin that warmth carries).
+     */
+    void resumeWarm(const RegState &regs, InstPc pc)
+    {
+        regs_.value = regs.value;
+        regs_.ready.fill(0);
+        pc_ = pc;
+    }
+
+    /** Next instruction to fetch (the sampled-run handoff point). */
+    InstPc pc() const { return pc_; }
+
     const CoreStats &stats() const { return stats_; }
     const RegState &regs() const { return regs_; }
     const Program &program() const { return prog_; }
@@ -230,7 +257,9 @@ class OooCore
     // exactly equivalent to the min-heap it replaced (pinned by
     // tests/test_iq_calendar.cc).
     std::vector<Cycle> commitRing_;     // robSize
-    std::vector<bool> robHeadDramLoad_; // robSize
+    // uint8_t, not bool: vector<bool> bit-packing puts a shift/mask
+    // dependency on the per-commit head probe; byte loads are cheaper.
+    std::vector<uint8_t> robHeadDramLoad_; // robSize
     IqCalendar iqIssueTimes_;
     std::vector<Cycle> loadRing_;       // lqSize
     std::vector<Cycle> storeRing_;      // sqSize

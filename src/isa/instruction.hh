@@ -67,6 +67,9 @@ enum class Opcode : uint8_t {
     kJmp,       ///< goto target
 };
 
+/** Number of opcodes; Opcode values are dense in [0, kNumOpcodes). */
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kJmp) + 1;
+
 /** Functional-unit classes mirroring Table 1 of the paper. */
 enum class FuClass : uint8_t {
     kIntAlu,    ///< 4 units, 1 cycle

@@ -49,6 +49,22 @@ Cache::peek(Addr line_addr) const
     return nullptr;
 }
 
+void
+Cache::prefetchSet(Addr line_addr) const
+{
+    const CacheLine *base =
+        &lines_[static_cast<size_t>(setIndex(line_addr)) * assoc_];
+    // Only the first host lines of the set are prefetched explicitly:
+    // a batch flush issues dozens of these, and touching every way of
+    // every set would overflow the host's miss buffers (dropping the
+    // prefetches entirely). The set is contiguous, so the hardware
+    // streamer covers the remaining ways once the scan starts.
+    const char *p = reinterpret_cast<const char *>(base);
+    __builtin_prefetch(p, 1 /* rw: lookups stamp LRU */);
+    if (sizeof(CacheLine) * assoc_ > 64)
+        __builtin_prefetch(p + 64, 1);
+}
+
 Cache::Victim
 Cache::insert(Addr line_addr, Cycle fill_time, Requester who, bool dirty)
 {

@@ -50,6 +50,15 @@ class Cache
     /** Find a line without touching LRU state. */
     const CacheLine *peek(Addr line_addr) const;
 
+    /**
+     * Prefetch the line's set (the way array) into the host cache.
+     * Functional warming (MemorySystem::warmTouchBatch) issues these
+     * for a whole batch of touches before probing any of them, so the
+     * host misses on the set arrays overlap instead of serializing.
+     * No simulated-state effect.
+     */
+    void prefetchSet(Addr line_addr) const;
+
     /** Insert (or overwrite) a line; returns the victim if any. */
     Victim insert(Addr line_addr, Cycle fill_time, Requester who,
                   bool dirty);

@@ -93,6 +93,29 @@ class MemorySystem
     /** Probe without side effects: is the line in any cache level? */
     bool present(Addr line_addr) const;
 
+    /**
+     * Content-only touch for functional cache warming during sampled
+     * skips (src/sim/sampling.cc). Updates tag/LRU/dirty state exactly
+     * as a demand access would — promoting into upper levels, filling
+     * every level on a full miss — but models no latency and charges
+     * no MSHR, DRAM, demand, or timeliness accounting. Lines fill at
+     * time 0, i.e. they are settled by the time detailed simulation
+     * resumes; dirty victims mark the next level dirty (so later real
+     * evictions still pay their writeback) but cost nothing now.
+     */
+    void warmTouch(Addr addr, bool is_store);
+
+    /**
+     * Batched warmTouch: `enc` holds `n` touches encoded as
+     * (addr << 1) | is_store. All touched sets' way arrays are
+     * host-prefetched up front, then the touches are applied in
+     * order; the host misses on the (multi-MB) L2/L3 set arrays
+     * overlap instead of serializing, which is where nearly all of
+     * the warming cost goes on irregular workloads. Semantically
+     * identical to calling warmTouch per entry.
+     */
+    void warmTouchBatch(const uint64_t *enc, size_t n);
+
     MshrTracker &mshrs() { return mshrs_; }
     const MemConfig &config() const { return cfg_; }
     DramModel &dram() { return dram_; }

@@ -73,14 +73,9 @@ SimMemory::operator=(const SimMemory &o)
 }
 
 void
-SimMemory::ensureOwned(size_t idx)
+SimMemory::clonePage(size_t idx)
 {
     PagePtr &p = pages_[idx];
-    // use_count() == 1 proves exclusive ownership: every other holder
-    // would keep the count above 1, and no other thread can gain a
-    // reference except by copying this image (which this thread owns).
-    if (p.use_count() == 1)
-        return;
     // A write to the shared all-zero page materializes a fresh zeroed
     // page: no image bytes are copied (the flat representation had to
     // memcpy those zeros up front), so it is not clone traffic.
@@ -118,12 +113,6 @@ SimMemory::compact()
     capacity_ = brk_;
 }
 
-bool
-SimMemory::validRange(Addr a, uint32_t n) const
-{
-    return a >= kLineBytes && a + n <= brk_ && a + n >= a;
-}
-
 uint64_t
 SimMemory::readSplit(Addr a, uint32_t bytes) const
 {
@@ -149,47 +138,6 @@ SimMemory::writeSplit(Addr a, uint32_t bytes, uint64_t v)
     ensureOwned(idx + 1);
     std::memcpy(raw_[idx] + (a & kPageOffsetMask), src, first);
     std::memcpy(raw_[idx + 1], src + first, bytes - first);
-}
-
-uint64_t
-SimMemory::read(Addr a, uint32_t bytes) const
-{
-    panicIf(!validRange(a, bytes), "SimMemory: invalid demand read");
-    const Addr off = a & kPageOffsetMask;
-    if (off + bytes > kPageBytes)
-        return readSplit(a, bytes);
-    uint64_t v = 0;
-    std::memcpy(&v, raw_[a >> kPageShift] + off, bytes);
-    return v;
-}
-
-bool
-SimMemory::tryRead(Addr a, uint32_t bytes, uint64_t &out) const
-{
-    if (!validRange(a, bytes))
-        return false;
-    const Addr off = a & kPageOffsetMask;
-    if (off + bytes > kPageBytes) {
-        out = readSplit(a, bytes);
-        return true;
-    }
-    out = 0;
-    std::memcpy(&out, raw_[a >> kPageShift] + off, bytes);
-    return true;
-}
-
-void
-SimMemory::write(Addr a, uint32_t bytes, uint64_t v)
-{
-    panicIf(!validRange(a, bytes), "SimMemory: invalid write");
-    const Addr off = a & kPageOffsetMask;
-    if (off + bytes > kPageBytes) {
-        writeSplit(a, bytes, v);
-        return;
-    }
-    const size_t idx = size_t(a >> kPageShift);
-    ensureOwned(idx);
-    std::memcpy(raw_[idx] + off, &v, bytes);
 }
 
 uint64_t

@@ -25,9 +25,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace dvr {
@@ -82,6 +84,14 @@ struct CowMemStats
  */
 class SimMemory
 {
+    // Page types lead the class so the public FastMem view below can
+    // name them.
+    struct Page
+    {
+        uint8_t bytes[kPageBytes];
+    };
+    using PagePtr = std::shared_ptr<Page>;
+
   public:
     explicit SimMemory(size_t bytes);
 
@@ -94,22 +104,63 @@ class SimMemory
     Addr alloc(size_t bytes, size_t align = kLineBytes);
 
     /** True when [a, a+n) is inside an allocated region. */
-    bool validRange(Addr a, uint32_t n) const;
+    bool validRange(Addr a, uint32_t n) const
+    {
+        return a >= kLineBytes && a + n <= brk_ && a + n >= a;
+    }
+
+    // read/tryRead/write are defined inline: they are the inner loop
+    // of both the functional interpreters (sim/functional_core.hh) and
+    // the detailed core's memory ops, and the out-of-line call cost
+    // dominated the access itself. Only the page-straddling and
+    // page-cloning slow paths stay out of line.
 
     /**
      * Read `bytes` (1/4/8) zero-extended. Panics on invalid access:
      * the architectural path must never fault.
      */
-    uint64_t read(Addr a, uint32_t bytes) const;
+    uint64_t read(Addr a, uint32_t bytes) const
+    {
+        panicIf(!validRange(a, bytes), "SimMemory: invalid demand read");
+        const Addr off = a & kPageOffsetMask;
+        if (off + bytes > kPageBytes)
+            return readSplit(a, bytes);
+        uint64_t v = 0;
+        std::memcpy(&v, raw_[a >> kPageShift] + off, bytes);
+        return v;
+    }
 
     /**
      * Speculative read for runahead lanes: returns false instead of
      * panicking when the range is invalid.
      */
-    bool tryRead(Addr a, uint32_t bytes, uint64_t &out) const;
+    bool tryRead(Addr a, uint32_t bytes, uint64_t &out) const
+    {
+        if (!validRange(a, bytes))
+            return false;
+        const Addr off = a & kPageOffsetMask;
+        if (off + bytes > kPageBytes) {
+            out = readSplit(a, bytes);
+            return true;
+        }
+        out = 0;
+        std::memcpy(&out, raw_[a >> kPageShift] + off, bytes);
+        return true;
+    }
 
     /** Write `bytes` (1/4/8) of v, cloning a shared page first. */
-    void write(Addr a, uint32_t bytes, uint64_t v);
+    void write(Addr a, uint32_t bytes, uint64_t v)
+    {
+        panicIf(!validRange(a, bytes), "SimMemory: invalid write");
+        const Addr off = a & kPageOffsetMask;
+        if (off + bytes > kPageBytes) {
+            writeSplit(a, bytes, v);
+            return;
+        }
+        const size_t idx = size_t(a >> kPageShift);
+        ensureOwned(idx);
+        std::memcpy(raw_[idx] + off, &v, bytes);
+    }
 
     // Convenience element accessors used by data-set builders and
     // golden models.
@@ -134,6 +185,66 @@ class SimMemory
      */
     void compact();
 
+    /**
+     * Borrowed fast-access view for interpreter inner loops (the
+     * functional core executes one access per memory instruction, and
+     * at that rate member reloads dominate). Because accesses go
+     * through `uint8_t *`, which may alias anything, the compiler must
+     * reload the page-table data pointer and the allocation bound from
+     * the SimMemory after every store; FastMem caches both in locals
+     * for the lifetime of the view. This is sound because neither
+     * moves during execution: the page vectors never resize after
+     * construction (clonePage swaps an entry in place) and brk_ only
+     * changes in alloc(), which cannot run concurrently with a view.
+     * Writes still delegate page cloning to the owner, so CoW
+     * semantics are identical to SimMemory::write.
+     */
+    class FastMem
+    {
+      public:
+        explicit FastMem(SimMemory &m)
+            : m_(&m), raw_(m.raw_.data()), pages_(m.pages_.data()),
+              brk_(m.brk_)
+        {
+        }
+
+        uint64_t read(Addr a, uint32_t bytes) const
+        {
+            panicIf(!valid(a, bytes), "SimMemory: invalid demand read");
+            const Addr off = a & kPageOffsetMask;
+            if (off + bytes > kPageBytes)
+                return m_->readSplit(a, bytes);
+            uint64_t v = 0;
+            std::memcpy(&v, raw_[a >> kPageShift] + off, bytes);
+            return v;
+        }
+
+        void write(Addr a, uint32_t bytes, uint64_t v)
+        {
+            panicIf(!valid(a, bytes), "SimMemory: invalid write");
+            const Addr off = a & kPageOffsetMask;
+            if (off + bytes > kPageBytes) {
+                m_->writeSplit(a, bytes, v);
+                return;
+            }
+            const size_t idx = size_t(a >> kPageShift);
+            if (pages_[idx].use_count() != 1)
+                m_->clonePage(idx);
+            std::memcpy(raw_[idx] + off, &v, bytes);
+        }
+
+      private:
+        bool valid(Addr a, uint32_t n) const
+        {
+            return a >= kLineBytes && a + n <= brk_ && a + n >= a;
+        }
+
+        SimMemory *m_;
+        uint8_t *const *raw_;
+        const PagePtr *pages_;
+        Addr brk_;
+    };
+
     /** Pages this image shares by reference with `o` (tests/stats). */
     size_t pagesSharedWith(const SimMemory &o) const;
 
@@ -144,17 +255,23 @@ class SimMemory
     static CowMemStats cowStats();
 
   private:
-    struct Page
-    {
-        uint8_t bytes[kPageBytes];
-    };
-    using PagePtr = std::shared_ptr<Page>;
-
     /** The immutable all-zero page backing untouched address space. */
     static const PagePtr &zeroPage();
 
     /** Make page `idx` exclusively owned (clone if shared). */
-    void ensureOwned(size_t idx);
+    void ensureOwned(size_t idx)
+    {
+        // use_count() == 1 proves exclusive ownership: every other
+        // holder would keep the count above 1, and no other thread can
+        // gain a reference except by copying this image (which this
+        // thread owns). Repeat writes to an owned page take this inline
+        // fast path; the first write clones out of line.
+        if (pages_[idx].use_count() != 1)
+            clonePage(idx);
+    }
+
+    /** Clone/materialize slow path of ensureOwned. */
+    void clonePage(size_t idx);
 
     /** Two-page slow paths for accesses straddling a page boundary. */
     uint64_t readSplit(Addr a, uint32_t bytes) const;

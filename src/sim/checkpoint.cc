@@ -1,48 +1,33 @@
 #include "sim/checkpoint.hh"
 
-#include "common/log.hh"
 #include "isa/program.hh"
+#include "sim/functional_core.hh"
 
 namespace dvr {
 
 Checkpoint
-makeCheckpoint(const Program &prog, const SimMemory &pristine,
+makeCheckpoint(const PredecodedProgram &pre, const SimMemory &pristine,
                uint64_t warmup_insts)
 {
     // The copy is a CoW page-table share; only pages the warmup
     // stores to get cloned, so the checkpoint owns exactly its dirty
     // footprint.
     Checkpoint ckpt{pristine, RegState{}, 0, 0, false};
-    std::array<uint64_t, kNumArchRegs> &r = ckpt.regs.value;
-    InstPc pc = 0;
-    uint64_t n = 0;
-    for (; n < warmup_insts && prog.valid(pc); ++n) {
-        const Instruction &inst = prog.at(pc);
-        if (inst.op == Opcode::kHalt) {
-            ckpt.halted = true;
-            break;
-        }
-        InstPc next = pc + 1;
-        if (inst.isLoad()) {
-            const Addr a = r[inst.rs1] + static_cast<Addr>(inst.imm);
-            r[inst.rd] = ckpt.memory.read(a, inst.memBytes());
-        } else if (inst.isStore()) {
-            ckpt.memory.write(r[inst.rs1] + static_cast<Addr>(inst.imm),
-                              inst.memBytes(), r[inst.rs2]);
-        } else if (inst.isBranch()) {
-            if (branchTaken(inst.op, r[inst.rs1]))
-                next = inst.target;
-        } else if (inst.hasDest()) {
-            r[inst.rd] = evalOp(inst.op, r[inst.rs1], r[inst.rs2],
-                                inst.imm);
-        }
-        pc = next;
-    }
-    if (!prog.valid(pc))
-        ckpt.halted = true;
-    ckpt.pc = pc;
-    ckpt.insts = n;
+    FunctionalState st;
+    ckpt.insts =
+        FunctionalCore(pre, ckpt.memory).run(st, warmup_insts);
+    ckpt.regs.value = st.regs;
+    ckpt.pc = st.pc;
+    ckpt.halted = st.halted;
     return ckpt;
+}
+
+Checkpoint
+makeCheckpoint(const Program &prog, const SimMemory &pristine,
+               uint64_t warmup_insts)
+{
+    return makeCheckpoint(PredecodedProgram(prog), pristine,
+                          warmup_insts);
 }
 
 } // namespace dvr

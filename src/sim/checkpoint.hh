@@ -21,6 +21,7 @@
 namespace dvr {
 
 class Program;
+class PredecodedProgram;
 
 struct Checkpoint
 {
@@ -40,8 +41,14 @@ struct Checkpoint
  * Fast-forward `warmup_insts` instructions functionally (no timing)
  * from the program entry over a CoW copy of `pristine`, and snapshot
  * the resulting architectural state. `warmup_insts` of 0 snapshots
- * the pristine state itself.
+ * the pristine state itself. Executes on the pre-decoded
+ * FunctionalCore (sim/functional_core.hh); the Program overload
+ * decodes first, callers that already hold a PredecodedProgram skip
+ * that.
  */
+Checkpoint makeCheckpoint(const PredecodedProgram &pre,
+                          const SimMemory &pristine,
+                          uint64_t warmup_insts);
 Checkpoint makeCheckpoint(const Program &prog,
                           const SimMemory &pristine,
                           uint64_t warmup_insts);

@@ -61,6 +61,43 @@ struct WarmupConfig
     bool share = true;
 };
 
+/**
+ * Interval sampling (SMARTS-style). Off by default (interval == 0):
+ * every instruction is simulated in detail and behaviour is
+ * byte-identical to the exact simulator (pinned by the golden-parity
+ * tests). With interval > 0, each interval functionally fast-forwards
+ * (interval - warmup - window) instructions on the pre-decoded
+ * FunctionalCore, runs `warmup` instructions in detail with stats
+ * discarded (caches/predictor/store-forwarding warm up), then measures
+ * `window` instructions; CPI is extrapolated from the measured windows
+ * with a per-window-variance confidence interval (sample.* stats).
+ */
+struct SampleConfig
+{
+    /** Interval length in instructions; 0 disables sampling. */
+    uint64_t interval = 0;
+    /** Detailed-warmup instructions per interval (stats discarded). */
+    uint64_t warmup = 4000;
+    /**
+     * Measured-window instructions per interval. Many short windows
+     * beat few long ones: phased workloads (hash join build/probe)
+     * need enough observations to cover every phase, and the window
+     * CPI stabilizes within ~2k instructions after warmup.
+     */
+    uint64_t window = 2000;
+    /**
+     * Functional cache warming limit: at most this many trailing
+     * instructions of each functional skip feed the cache model
+     * (MemorySystem::warmTouch); the rest run unwarmed at full
+     * interpreter speed. 0 warms the entire skip. Warming costs a
+     * host cache miss per distinct line touched, so it bounds the
+     * sampled run's throughput; a tail long enough to rebuild the
+     * L3's recency (its fill horizon is a few hundred k instructions)
+     * keeps the bias negligible while long skips stay cheap.
+     */
+    uint64_t warm = 0;
+};
+
 struct SimConfig
 {
     CoreConfig core;
@@ -80,6 +117,7 @@ struct SimConfig
     /** JSONL trace sink path ("" = derive from the run context). */
     std::string traceFile;
     WarmupConfig warmup;
+    SampleConfig sample;
 
     /** Table 1 baseline with the given technique. */
     static SimConfig baseline(Technique t = Technique::kBase);

@@ -246,6 +246,29 @@ ConfigSchema::ConfigSchema()
                 "share one architectural checkpoint across every run "
                 "of a prepared workload",
                 [](SimConfig &c) -> bool & { return c.warmup.share; }));
+    add(uintKey("sim.sample.interval",
+                "interval sampling: instructions per interval "
+                "(0 = exact simulation)",
+                [](SimConfig &c) -> uint64_t & {
+                    return c.sample.interval;
+                }));
+    add(uintKey("sim.sample.warmup",
+                "detailed-warmup instructions per interval "
+                "(stats discarded)",
+                [](SimConfig &c) -> uint64_t & {
+                    return c.sample.warmup;
+                }));
+    add(uintKey("sim.sample.window",
+                "measured-window instructions per interval",
+                [](SimConfig &c) -> uint64_t & {
+                    return c.sample.window;
+                }));
+    add(uintKey("sim.sample.warm",
+                "max functionally cache-warmed instructions at the "
+                "tail of each skip (0 = warm the whole skip)",
+                [](SimConfig &c) -> uint64_t & {
+                    return c.sample.warm;
+                }));
 
     // core.* — the Table 1 out-of-order core.
     add(uintKey("core.width", "fetch/dispatch/commit width",

@@ -95,6 +95,15 @@ struct WarmupMirror
 static_assert(sizeof(WarmupMirror) == sizeof(WarmupConfig),
               DVR_DRIFT_HELP);
 
+struct SampleMirror
+{
+#define DVR_SAMPLE_FIELD(field, type, key) type field;
+#include "sim/config_fields.def"
+#undef DVR_SAMPLE_FIELD
+};
+static_assert(sizeof(SampleMirror) == sizeof(SampleConfig),
+              DVR_DRIFT_HELP);
+
 struct SimMirror
 {
 #define DVR_SIM_FIELD(field, type, key) type field;

@@ -8,6 +8,8 @@
 
 #include "common/log.hh"
 #include "sim/env.hh"
+#include "sim/functional_core.hh"
+#include "sim/sampling.hh"
 
 namespace dvr {
 
@@ -53,23 +55,37 @@ PreparedWorkload::PreparedWorkload(const std::string &kernel,
     workload_ = workloadFactory(kernel)(memory_, wp);
     memory_.compact();  // per-run copies only touch live bytes
     label_ = input.empty() ? kernel : kernel + "_" + input;
+    pre_ = std::make_shared<const PredecodedProgram>(workload_.program);
 }
 
 PreparedWorkload::PreparedWorkload(std::string label, SimMemory memory,
                                    Workload workload)
     : label_(std::move(label)), memory_(std::move(memory)),
-      workload_(std::move(workload))
+      workload_(std::move(workload)),
+      pre_(std::make_shared<const PredecodedProgram>(workload_.program))
 {
 }
 
 SimResult
 PreparedWorkload::run(const SimConfig &cfg) const
 {
-    if (cfg.warmup.insts == 0)
+    // Sampled runs get the cached pre-decode; the exact paths fall
+    // through to Simulator::runOn unchanged.
+    const bool sampled = cfg.sample.interval > 0;
+    if (cfg.warmup.insts == 0) {
+        if (sampled) {
+            return runSampled(cfg, workload_, memory_, nullptr, 0,
+                              pre_.get());
+        }
         return Simulator::runOn(cfg, workload_, memory_);
+    }
     if (!cfg.warmup.share) {
         const Checkpoint ckpt =
-            makeCheckpoint(workload_.program, memory_, cfg.warmup.insts);
+            makeCheckpoint(*pre_, memory_, cfg.warmup.insts);
+        if (sampled) {
+            return runSampled(cfg, workload_, ckpt.memory, &ckpt.regs,
+                              ckpt.pc, pre_.get());
+        }
         return Simulator::runOn(cfg, workload_, ckpt);
     }
     // Shared checkpoint: fast-forward once, lazily, and hand every run
@@ -81,10 +97,14 @@ PreparedWorkload::run(const SimConfig &cfg) const
         std::lock_guard<std::mutex> lock(ckptMutex_);
         if (!ckpt_ || ckptInsts_ != cfg.warmup.insts) {
             ckpt_ = std::make_shared<const Checkpoint>(makeCheckpoint(
-                workload_.program, memory_, cfg.warmup.insts));
+                *pre_, memory_, cfg.warmup.insts));
             ckptInsts_ = cfg.warmup.insts;
         }
         ckpt = ckpt_;
+    }
+    if (sampled) {
+        return runSampled(cfg, workload_, ckpt->memory, &ckpt->regs,
+                          ckpt->pc, pre_.get());
     }
     return Simulator::runOn(cfg, workload_, *ckpt);
 }
@@ -132,6 +152,18 @@ BenchReport::addResult(const std::string &label, const SimResult &r)
     manifest_.addRun(label, r.stats);
 }
 
+void
+BenchReport::setExtra(const std::string &key, const std::string &json)
+{
+    for (auto &[k, v] : extras_) {
+        if (k == key) {
+            v = json;
+            return;
+        }
+    }
+    extras_.emplace_back(key, json);
+}
+
 std::string
 BenchReport::write(std::ostream &echo) const
 {
@@ -173,8 +205,10 @@ BenchReport::write(std::ostream &echo) const
          << "  \"wall_seconds\": " << wall << ",\n"
          << "  \"simulated_instructions\": " << instructions_ << ",\n"
          << "  \"simulated_mips\": " << mips << ",\n"
-         << "  \"cow\": " << cowJson.str() << "\n"
-         << "}\n";
+         << "  \"cow\": " << cowJson.str();
+    for (const auto &[key, extra] : extras_)
+        json << ",\n  \"" << key << "\": " << extra;
+    json << "\n}\n";
     std::ofstream out(path);
     out << json.str();
     out.flush();
@@ -183,6 +217,8 @@ BenchReport::write(std::ostream &echo) const
              " (does DVR_BENCH_DIR exist?)");
     }
     manifest_.setExtra("cow", cowJson.str());
+    for (const auto &[key, extra] : extras_)
+        manifest_.setExtra(key, extra);
     manifest_.write(dir, wall);
 
     echo << "\n[" << path << "] wall " << std::fixed

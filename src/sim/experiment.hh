@@ -14,6 +14,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/checkpoint.hh"
@@ -21,6 +22,8 @@
 #include "sim/simulator.hh"
 
 namespace dvr {
+
+class PredecodedProgram;
 
 /** One printed row: a label and one value per column. */
 struct TableRow
@@ -65,11 +68,21 @@ class PreparedWorkload
     /** "bfs_KR" for GAP kernels, plain kernel name for hpc-db. */
     const std::string &label() const { return label_; }
     const Workload &workload() const { return workload_; }
+    /** The prepared (compacted) data-set image runs copy from. */
+    const SimMemory &memory() const { return memory_; }
+
+    /**
+     * The program pre-decoded once at preparation time (see
+     * sim/functional_core.hh); checkpoint fast-forward and sampled
+     * runs of this workload share it instead of re-decoding per run.
+     */
+    const PredecodedProgram &predecoded() const { return *pre_; }
 
   private:
     std::string label_;
     SimMemory memory_;
     Workload workload_;
+    std::shared_ptr<const PredecodedProgram> pre_;
 
     // Shared-checkpoint cache (sim.warmup.share), keyed by the
     // requested warmup length; guarded for concurrent Runner jobs.
@@ -117,6 +130,14 @@ class BenchReport
     void addInstructions(uint64_t n) { instructions_ += n; }
 
     /**
+     * Attach an extra JSON block (pre-rendered object) emitted into
+     * both BENCH_<figure>.json and the manifest under `key` — e.g.
+     * the sampling bench's "sampling" accuracy/speedup block. A
+     * repeated key replaces the earlier value.
+     */
+    void setExtra(const std::string &key, const std::string &json);
+
+    /**
      * Write BENCH_<figure>.json and MANIFEST_<figure>.json into
      * DVR_BENCH_DIR (default: the current directory) and echo a
      * one-line summary. Returns the bench-report file path.
@@ -127,6 +148,8 @@ class BenchReport
     std::string figure_;
     unsigned threads_;
     uint64_t instructions_ = 0;
+    /** Extra (key, pre-rendered JSON) blocks, in insertion order. */
+    std::vector<std::pair<std::string, std::string>> extras_;
     /** mutable: write() const attaches the CoW delta at write time. */
     mutable RunManifest manifest_;
     std::chrono::steady_clock::time_point start_;

@@ -1,0 +1,426 @@
+#include "sim/functional_core.hh"
+
+#include <bit>
+#include <chrono>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "mem/memory_system.hh"
+
+namespace dvr {
+
+namespace {
+
+double
+asF(uint64_t x)
+{
+    return std::bit_cast<double>(x);
+}
+
+uint64_t
+asU(double x)
+{
+    return std::bit_cast<uint64_t>(x);
+}
+
+} // namespace
+
+PredecodedProgram::PredecodedProgram(const Program &prog)
+    : size_(prog.size())
+{
+    insts_.reserve(size_t(size_) + 1);
+    for (InstPc pc = 0; pc < size_; ++pc) {
+        const Instruction &i = prog.at(pc);
+        DecodedInst d;
+        d.op = i.op;
+        d.rd = i.rd;
+        d.rs1 = i.rs1;
+        d.rs2 = i.rs2;
+        d.target = i.target;
+        d.imm = i.imm;
+        // The interpreter has no per-step bounds check, so an
+        // out-of-range target must be impossible by construction.
+        // `target == size` is fine: it lands on the halt sentinel.
+        panicIf(i.isBranch() && i.target > size_,
+                "PredecodedProgram: branch target out of range");
+        insts_.push_back(d);
+    }
+    DecodedInst halt;
+    halt.op = Opcode::kHalt;
+    insts_.push_back(halt);
+}
+
+/*
+ * Functional cache warming (sampled skips only, see setWarming): feed
+ * the access through the cache model's tag/LRU state, filtered by the
+ * direct-mapped recently-warmed-lines table. A filter hit means the
+ * line is resident and near-MRU already, so the full probe (which
+ * costs a host cache miss per simulated cache level on the big L3
+ * arrays) is skipped. An entry is (line << 1) | dirty; a store against
+ * a clean entry falls through so the dirty bit reaches the caches.
+ *
+ * Filter misses are not probed inline: they queue in a small batch
+ * buffer and flush through MemorySystem::warmTouchBatch, which
+ * host-prefetches every queued set before probing any — the dominant
+ * cost (host misses on the multi-MB L2/L3 way arrays) overlaps across
+ * the batch instead of serializing per access. Deferring is sound
+ * because warming only mutates cache metadata, which nothing reads
+ * until run() returns (flushing on every exit path).
+ * `warm`, `wfilt`, `wbuf` and `wn` are locals of run().
+ */
+#define DVR_FC_WARM(a, is_store) \
+    do { \
+        if (warm) { \
+            const uint64_t ln_ = (a) / kLineBytes; \
+            uint64_t &fe_ = \
+                wfilt[ln_ & (FunctionalCore::kWarmFilterSize - 1)]; \
+            /* Skip when the entry is this line and already at least \
+             * as dirty: loads accept either dirty state (|1 masks \
+             * the bit), stores require the dirty bit set. */ \
+            if ((fe_ | uint64_t(!(is_store))) != ((ln_ << 1) | 1)) { \
+                fe_ = (ln_ << 1) | uint64_t(is_store); \
+                wbuf[wn++] = ((a) << 1) | uint64_t(is_store); \
+                if (wn == FunctionalCore::kWarmBatch) { \
+                    warm->warmTouchBatch(wbuf, wn); \
+                    wn = 0; \
+                } \
+            } \
+        } \
+    } while (0)
+
+/* Drain the warm batch buffer; required before every return. */
+#define DVR_FC_WARM_FLUSH() \
+    do { \
+        if (warm && wn > 0) { \
+            warm->warmTouchBatch(wbuf, wn); \
+            wn = 0; \
+        } \
+    } while (0)
+
+/*
+ * One entry per opcode: `d` is the decoded instruction, `regs` the
+ * register file, `mem` the functional memory, `pc` the program
+ * counter. Every body advances `pc` itself (branches assign it).
+ * kHalt is handled outside the macro — it terminates the run loop.
+ *
+ * Semantics mirror evalOp/branchTaken in src/isa/instruction.cc
+ * exactly; the differential tests (fast vs referenceFunctionalRun,
+ * which calls those functions) pin the equivalence per opcode.
+ */
+#define DVR_FC_SEMANTICS(X) \
+    X(kNop,     { ++pc; }) \
+    X(kLoadImm, { regs[d->rd] = static_cast<uint64_t>(d->imm); ++pc; }) \
+    X(kMov,     { regs[d->rd] = regs[d->rs1]; ++pc; }) \
+    X(kAdd,     { regs[d->rd] = regs[d->rs1] + regs[d->rs2]; ++pc; }) \
+    X(kSub,     { regs[d->rd] = regs[d->rs1] - regs[d->rs2]; ++pc; }) \
+    X(kMul,     { regs[d->rd] = regs[d->rs1] * regs[d->rs2]; ++pc; }) \
+    X(kDivU,    { const uint64_t s2 = regs[d->rs2]; \
+                  regs[d->rd] = s2 == 0 ? ~0ULL : regs[d->rs1] / s2; \
+                  ++pc; }) \
+    X(kRemU,    { const uint64_t s2 = regs[d->rs2]; \
+                  regs[d->rd] = s2 == 0 ? regs[d->rs1] \
+                                        : regs[d->rs1] % s2; \
+                  ++pc; }) \
+    X(kAnd,     { regs[d->rd] = regs[d->rs1] & regs[d->rs2]; ++pc; }) \
+    X(kOr,      { regs[d->rd] = regs[d->rs1] | regs[d->rs2]; ++pc; }) \
+    X(kXor,     { regs[d->rd] = regs[d->rs1] ^ regs[d->rs2]; ++pc; }) \
+    X(kShl,     { regs[d->rd] = regs[d->rs1] << (regs[d->rs2] & 63); \
+                  ++pc; }) \
+    X(kShr,     { regs[d->rd] = regs[d->rs1] >> (regs[d->rs2] & 63); \
+                  ++pc; }) \
+    X(kMin,     { regs[d->rd] = regs[d->rs1] < regs[d->rs2] \
+                                    ? regs[d->rs1] : regs[d->rs2]; \
+                  ++pc; }) \
+    X(kMax,     { regs[d->rd] = regs[d->rs1] > regs[d->rs2] \
+                                    ? regs[d->rs1] : regs[d->rs2]; \
+                  ++pc; }) \
+    X(kAddI,    { regs[d->rd] = regs[d->rs1] + \
+                                static_cast<uint64_t>(d->imm); ++pc; }) \
+    X(kMulI,    { regs[d->rd] = regs[d->rs1] * \
+                                static_cast<uint64_t>(d->imm); ++pc; }) \
+    X(kAndI,    { regs[d->rd] = regs[d->rs1] & \
+                                static_cast<uint64_t>(d->imm); ++pc; }) \
+    X(kOrI,     { regs[d->rd] = regs[d->rs1] | \
+                                static_cast<uint64_t>(d->imm); ++pc; }) \
+    X(kXorI,    { regs[d->rd] = regs[d->rs1] ^ \
+                                static_cast<uint64_t>(d->imm); ++pc; }) \
+    X(kShlI,    { regs[d->rd] = regs[d->rs1] << (d->imm & 63); ++pc; }) \
+    X(kShrI,    { regs[d->rd] = regs[d->rs1] >> (d->imm & 63); ++pc; }) \
+    X(kHash,    { regs[d->rd] = kernelHash(regs[d->rs1]); ++pc; }) \
+    X(kFAdd,    { regs[d->rd] = asU(asF(regs[d->rs1]) + \
+                                    asF(regs[d->rs2])); ++pc; }) \
+    X(kFSub,    { regs[d->rd] = asU(asF(regs[d->rs1]) - \
+                                    asF(regs[d->rs2])); ++pc; }) \
+    X(kFMul,    { regs[d->rd] = asU(asF(regs[d->rs1]) * \
+                                    asF(regs[d->rs2])); ++pc; }) \
+    X(kFDiv,    { regs[d->rd] = asU(asF(regs[d->rs1]) / \
+                                    asF(regs[d->rs2])); ++pc; }) \
+    X(kI2F,     { regs[d->rd] = asU(static_cast<double>(regs[d->rs1])); \
+                  ++pc; }) \
+    X(kF2I,     { regs[d->rd] = static_cast<uint64_t>( \
+                      static_cast<int64_t>(asF(regs[d->rs1]))); ++pc; }) \
+    X(kFCmpLt,  { regs[d->rd] = \
+                      asF(regs[d->rs1]) < asF(regs[d->rs2]) ? 1 : 0; \
+                  ++pc; }) \
+    X(kCmpLt,   { regs[d->rd] = static_cast<int64_t>(regs[d->rs1]) < \
+                                static_cast<int64_t>(regs[d->rs2]); \
+                  ++pc; }) \
+    X(kCmpLtU,  { regs[d->rd] = regs[d->rs1] < regs[d->rs2] ? 1 : 0; \
+                  ++pc; }) \
+    X(kCmpEq,   { regs[d->rd] = regs[d->rs1] == regs[d->rs2] ? 1 : 0; \
+                  ++pc; }) \
+    X(kCmpNe,   { regs[d->rd] = regs[d->rs1] != regs[d->rs2] ? 1 : 0; \
+                  ++pc; }) \
+    X(kCmpLtI,  { regs[d->rd] = \
+                      static_cast<int64_t>(regs[d->rs1]) < d->imm ? 1 \
+                                                                  : 0; \
+                  ++pc; }) \
+    X(kCmpLtUI, { regs[d->rd] = \
+                      regs[d->rs1] < static_cast<uint64_t>(d->imm) \
+                          ? 1 : 0; \
+                  ++pc; }) \
+    X(kCmpEqI,  { regs[d->rd] = \
+                      regs[d->rs1] == static_cast<uint64_t>(d->imm) \
+                          ? 1 : 0; \
+                  ++pc; }) \
+    X(kLoad,    { const Addr a = \
+                      regs[d->rs1] + static_cast<Addr>(d->imm); \
+                  DVR_FC_WARM(a, false); \
+                  regs[d->rd] = mem.read(a, 8); ++pc; }) \
+    X(kLoad32,  { const Addr a = \
+                      regs[d->rs1] + static_cast<Addr>(d->imm); \
+                  DVR_FC_WARM(a, false); \
+                  regs[d->rd] = mem.read(a, 4); ++pc; }) \
+    X(kLoad8,   { const Addr a = \
+                      regs[d->rs1] + static_cast<Addr>(d->imm); \
+                  DVR_FC_WARM(a, false); \
+                  regs[d->rd] = mem.read(a, 1); ++pc; }) \
+    X(kStore,   { const Addr a = \
+                      regs[d->rs1] + static_cast<Addr>(d->imm); \
+                  DVR_FC_WARM(a, true); \
+                  mem.write(a, 8, regs[d->rs2]); ++pc; }) \
+    X(kStore32, { const Addr a = \
+                      regs[d->rs1] + static_cast<Addr>(d->imm); \
+                  DVR_FC_WARM(a, true); \
+                  mem.write(a, 4, regs[d->rs2]); ++pc; }) \
+    X(kStore8,  { const Addr a = \
+                      regs[d->rs1] + static_cast<Addr>(d->imm); \
+                  DVR_FC_WARM(a, true); \
+                  mem.write(a, 1, regs[d->rs2]); ++pc; }) \
+    X(kBeqz,    { pc = regs[d->rs1] == 0 ? d->target : pc + 1; }) \
+    X(kBnez,    { pc = regs[d->rs1] != 0 ? d->target : pc + 1; }) \
+    X(kJmp,     { pc = d->target; })
+
+void
+FunctionalCore::setWarming(MemorySystem *ms)
+{
+    warm_ = ms;
+    if (ms)
+        warmFilter_.assign(kWarmFilterSize, 0);
+    else
+        warmFilter_.clear();
+}
+
+uint64_t
+FunctionalCore::run(FunctionalState &st, uint64_t n) const
+{
+    if (st.halted || n == 0)
+        return 0;
+
+    const DecodedInst *const insts = prog_->insts();
+    const InstPc sz = prog_->size();
+    uint64_t *const regs = st.regs.data();
+    SimMemory::FastMem mem(*mem_);
+    MemorySystem *const warm = warm_;   // null: warming disabled
+    uint64_t *const wfilt = warmFilter_.data();
+    uint64_t wbuf[kWarmBatch];          // deferred warm touches
+    unsigned wn = 0;
+    InstPc pc = st.pc;
+    uint64_t executed = 0;
+
+#if defined(DVR_COMPUTED_GOTO) && (defined(__GNUC__) || defined(__clang__))
+    // Label table indexed by Opcode, in enum declaration order.
+    static const void *const kTable[kNumOpcodes] = {
+        &&L_kNop,     &&L_kHalt,    &&L_kLoadImm, &&L_kMov,
+        &&L_kAdd,     &&L_kSub,     &&L_kMul,     &&L_kDivU,
+        &&L_kRemU,    &&L_kAnd,     &&L_kOr,      &&L_kXor,
+        &&L_kShl,     &&L_kShr,     &&L_kMin,     &&L_kMax,
+        &&L_kAddI,    &&L_kMulI,    &&L_kAndI,    &&L_kOrI,
+        &&L_kXorI,    &&L_kShlI,    &&L_kShrI,    &&L_kHash,
+        &&L_kFAdd,    &&L_kFSub,    &&L_kFMul,    &&L_kFDiv,
+        &&L_kI2F,     &&L_kF2I,     &&L_kFCmpLt,  &&L_kCmpLt,
+        &&L_kCmpLtU,  &&L_kCmpEq,   &&L_kCmpNe,   &&L_kCmpLtI,
+        &&L_kCmpLtUI, &&L_kCmpEqI,  &&L_kLoad,    &&L_kLoad32,
+        &&L_kLoad8,   &&L_kStore,   &&L_kStore32, &&L_kStore8,
+        &&L_kBeqz,    &&L_kBnez,    &&L_kJmp,
+    };
+
+    const DecodedInst *d = &insts[pc];
+#define DVR_FC_NEXT() \
+    do { \
+        if (++executed >= n) { \
+            st.pc = pc; \
+            if (pc >= sz) \
+                st.halted = true; \
+            DVR_FC_WARM_FLUSH(); \
+            return executed; \
+        } \
+        d = &insts[pc]; \
+        goto *kTable[static_cast<size_t>(d->op)]; \
+    } while (0)
+
+    goto *kTable[static_cast<size_t>(d->op)];
+
+#define DVR_FC_LABEL(opname, body) \
+    L_##opname: body DVR_FC_NEXT();
+    DVR_FC_SEMANTICS(DVR_FC_LABEL)
+#undef DVR_FC_LABEL
+#undef DVR_FC_NEXT
+
+L_kHalt:
+    st.halted = true;
+    st.pc = pc;
+    DVR_FC_WARM_FLUSH();
+    return executed;
+#else
+    while (executed < n) {
+        const DecodedInst *const d = &insts[pc];
+        switch (d->op) {
+#define DVR_FC_CASE(opname, body) \
+  case Opcode::opname: \
+    body break;
+            DVR_FC_SEMANTICS(DVR_FC_CASE)
+#undef DVR_FC_CASE
+          case Opcode::kHalt:
+            // Not consumed: st.pc stays on the halt, matching the
+            // legacy loop.
+            st.halted = true;
+            st.pc = pc;
+            DVR_FC_WARM_FLUSH();
+            return executed;
+        }
+        ++executed;
+    }
+    st.pc = pc;
+    // Budget exhausted exactly as the PC fell off the end: the legacy
+    // loop reports that as halted, so we do too.
+    if (pc >= sz)
+        st.halted = true;
+    DVR_FC_WARM_FLUSH();
+    return executed;
+#endif
+}
+
+uint64_t
+referenceFunctionalRun(const Program &prog, SimMemory &mem,
+                       FunctionalState &st, uint64_t n)
+{
+    if (st.halted)
+        return 0;
+    std::array<uint64_t, kNumArchRegs> &r = st.regs;
+    InstPc pc = st.pc;
+    uint64_t done = 0;
+    for (; done < n && prog.valid(pc); ++done) {
+        const Instruction &inst = prog.at(pc);
+        if (inst.op == Opcode::kHalt) {
+            st.halted = true;
+            break;
+        }
+        InstPc next = pc + 1;
+        if (inst.isLoad()) {
+            const Addr a = r[inst.rs1] + static_cast<Addr>(inst.imm);
+            r[inst.rd] = mem.read(a, inst.memBytes());
+        } else if (inst.isStore()) {
+            mem.write(r[inst.rs1] + static_cast<Addr>(inst.imm),
+                      inst.memBytes(), r[inst.rs2]);
+        } else if (inst.isBranch()) {
+            if (branchTaken(inst.op, r[inst.rs1]))
+                next = inst.target;
+        } else if (inst.hasDest()) {
+            r[inst.rd] = evalOp(inst.op, r[inst.rs1], r[inst.rs2],
+                                inst.imm);
+        }
+        pc = next;
+    }
+    if (!prog.valid(pc))
+        st.halted = true;
+    st.pc = pc;
+    return done;
+}
+
+namespace {
+
+/** Run `run` for `insts` total, restarting on halt; returns MIPS. */
+template <class RunFn>
+double
+timeInterpreter(const SimMemory &image, uint64_t insts, RunFn run)
+{
+    SimMemory mem = image;      // CoW view, like a simulation run
+    FunctionalState st;
+    uint64_t left = insts;
+    const auto t0 = std::chrono::steady_clock::now();
+    while (left > 0) {
+        left -= run(st, mem, left);
+        if (st.halted) {
+            mem = image;        // restart on fresh state
+            st = FunctionalState{};
+        }
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return secs > 0 ? double(insts) / secs / 1e6 : 0.0;
+}
+
+} // namespace
+
+FunctionalThroughput
+measureFunctionalThroughput(const Program &prog, const SimMemory &image,
+                            uint64_t insts)
+{
+    const PredecodedProgram pre(prog);
+
+    FunctionalThroughput t;
+    t.insts = insts;
+    t.referenceMips = timeInterpreter(
+        image, insts,
+        [&prog](FunctionalState &st, SimMemory &mem, uint64_t n) {
+            return referenceFunctionalRun(prog, mem, st, n);
+        });
+    t.fastMips = timeInterpreter(
+        image, insts,
+        [&pre](FunctionalState &st, SimMemory &mem, uint64_t n) {
+            return FunctionalCore(pre, mem).run(st, n);
+        });
+    t.gain = t.referenceMips > 0 ? t.fastMips / t.referenceMips : 0.0;
+    return t;
+}
+
+DispatchMicrobench
+makeDispatchMicrobench()
+{
+    // ~14 insts per iteration: 7 ALU/compare, 1 load + 1 store over a
+    // 4 KiB scratch buffer (L1-resident on any host), 2 loop-control
+    // ALU ops and a taken back branch — roughly the fig02 subset's
+    // instruction mix with the memory footprint shrunk to nothing.
+    ProgramBuilder b;
+    b.li(1, 0).li(2, 1'000'000'000);
+    for (RegId r = 3; r <= 9; ++r)
+        b.li(r, int64_t(0x9E37 + int64_t(r) * 77));
+    b.li(0, 64);            // scratch buffer base (alloc below)
+    b.label("loop");
+    b.add(3, 3, 4).xor_(4, 3, 5).muli(5, 4, 3).shri(6, 5, 7);
+    b.and_(7, 6, 3).cmplt(8, 7, 4);
+    b.andi(11, 3, 4088).add(11, 11, 0);
+    b.ld(12, 11).add(3, 3, 12).st(11, 0, 7);
+    b.addi(1, 1, 1).cmplt(10, 1, 2).bnez(10, "loop");
+    b.halt();
+
+    SimMemory image(1 << 20);
+    image.alloc(8192);
+    return DispatchMicrobench{b.build(), std::move(image)};
+}
+
+} // namespace dvr

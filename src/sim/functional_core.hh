@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Fast functional (no-timing) execution over a pre-decoded program.
+ *
+ * The functional interpreter is the hot path of interval-sampled
+ * simulation (src/sim/sampling.hh) and of checkpoint fast-forward
+ * (src/sim/checkpoint.hh): with sampling on, >90% of all simulated
+ * instructions execute here. The legacy loop stepped the un-decoded
+ * Program — a bounds check (`prog.valid`), an indexed load
+ * (`prog.at`), and a chain of out-of-line classification calls
+ * (`isLoad`/`isStore`/`isBranch`/`hasDest`/`memBytes`/`evalOp`) per
+ * instruction. PredecodedProgram flattens each instruction once —
+ * operands, immediate, memory size, branch target — and appends a
+ * halt sentinel so the interpreter runs a single dense dispatch per
+ * step with no validity check and no per-step function calls.
+ *
+ * Dispatch is a dense switch by default; configuring with
+ * -DDVR_COMPUTED_GOTO=ON (feature macro DVR_COMPUTED_GOTO) selects a
+ * GNU computed-goto label table instead, which removes the switch
+ * bounds check and gives each opcode its own indirect branch. Both
+ * variants share one X-macro of opcode semantics, so they cannot
+ * diverge.
+ *
+ * The legacy loop is kept verbatim as referenceFunctionalRun: it is
+ * the differential-test baseline and the denominator of the measured
+ * functional-throughput gain reported by the sampling bench.
+ */
+
+#ifndef DVR_SIM_FUNCTIONAL_CORE_HH
+#define DVR_SIM_FUNCTIONAL_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "mem/sim_memory.hh"
+
+namespace dvr {
+
+class MemorySystem;
+
+/**
+ * One flattened instruction: everything a functional step needs, with
+ * no method calls and no indirection. 16 bytes — four insts per cache
+ * line. Memory access sizes are implied by the opcode (kLoad32 reads
+ * 4 bytes, ...), so no size field is carried.
+ */
+struct DecodedInst
+{
+    Opcode op = Opcode::kNop;
+    RegId rd = 0;
+    RegId rs1 = 0;
+    RegId rs2 = 0;
+    InstPc target = kInvalidPc; ///< branch target
+    int64_t imm = 0;
+};
+
+/**
+ * A Program decoded once into a dense DecodedInst array with a kHalt
+ * sentinel at index size(), so falling off the end lands on a halt
+ * instead of needing a per-step bounds check. Build one per prepared
+ * workload and share it across runs (it is immutable).
+ */
+class PredecodedProgram
+{
+  public:
+    explicit PredecodedProgram(const Program &prog);
+
+    const DecodedInst *insts() const { return insts_.data(); }
+    /** Original program size; the sentinel lives at this index. */
+    InstPc size() const { return size_; }
+
+  private:
+    std::vector<DecodedInst> insts_;
+    InstPc size_ = 0;
+};
+
+/** Architectural state advanced by functional execution. */
+struct FunctionalState
+{
+    std::array<uint64_t, kNumArchRegs> regs{};
+    InstPc pc = 0;
+    /** Halt executed, or the PC fell off the end of the program. */
+    bool halted = false;
+};
+
+/**
+ * The fast functional interpreter: executes pre-decoded instructions
+ * against a SimMemory, updating a FunctionalState. Stateless between
+ * run() calls apart from what FunctionalState carries, so one core
+ * can alternate with detailed timing windows (interval sampling) or
+ * run once (checkpoint fast-forward).
+ */
+class FunctionalCore
+{
+  public:
+    FunctionalCore(const PredecodedProgram &prog, SimMemory &mem)
+        : prog_(&prog), mem_(&mem)
+    {
+    }
+
+    /**
+     * Execute up to `n` instructions from st.pc. Returns the count
+     * actually executed; fewer than `n` means the program halted
+     * (st.halted). A halt instruction is not consumed: st.pc stays on
+     * it, matching the legacy loop.
+     */
+    uint64_t run(FunctionalState &st, uint64_t n) const;
+
+    /**
+     * Enable functional cache warming: every load/store executed by
+     * run() additionally touches `ms` via MemorySystem::warmTouch, so
+     * the tag/LRU content the detailed phases see after a sampled skip
+     * matches what an exact run would have built. Without this, long-
+     * horizon cache warmth (L3 working sets built over millions of
+     * instructions) is lost across skips and sampled CPI is biased
+     * cold. nullptr disables warming (the default; checkpoint
+     * fast-forward and throughput measurement run unwarmed).
+     *
+     * A direct-mapped filter of recently warmed lines caps the cost:
+     * a touch that hits the filter skips the cache model entirely —
+     * such a line is already resident and near-MRU, so the only loss
+     * is slightly coarser LRU recency. Stores upgrade a clean filter
+     * entry so dirty state always reaches the caches.
+     */
+    void setWarming(MemorySystem *ms);
+
+  private:
+    /** Warming-filter entries: (line << 1) | dirty; 0 = empty (line 0
+     *  is unmapped by construction, so no valid entry encodes to 0). */
+    static constexpr size_t kWarmFilterSize = 4096;
+    /** Filter-missing touches queue this deep before flushing through
+     *  MemorySystem::warmTouchBatch (prefetch-then-probe). Big enough
+     *  to expose host memory-level parallelism, small enough to live
+     *  on the stack. */
+    static constexpr unsigned kWarmBatch = 64;
+
+    const PredecodedProgram *prog_;
+    SimMemory *mem_;
+    MemorySystem *warm_ = nullptr;
+    /** mutable: the filter is a performance cache, not run() state. */
+    mutable std::vector<uint64_t> warmFilter_;
+};
+
+/**
+ * The pre-refactor interpreter loop (the one makeCheckpoint inlined
+ * before PR 6), stepping the un-decoded Program. Kept as the
+ * bit-exact reference: the FunctionalCore differential tests compare
+ * against it, and the sampling bench reports the fast core's
+ * throughput gain over it. Semantics are identical to
+ * FunctionalCore::run, including the halt/budget edge cases.
+ */
+uint64_t referenceFunctionalRun(const Program &prog, SimMemory &mem,
+                                FunctionalState &st, uint64_t n);
+
+/** Wall-clock functional throughput of both interpreters. */
+struct FunctionalThroughput
+{
+    double fastMips = 0;        ///< pre-decoded FunctionalCore
+    double referenceMips = 0;   ///< legacy Program-stepping loop
+    /** fastMips / referenceMips: the headline speedup. */
+    double gain = 0;
+    uint64_t insts = 0;         ///< instructions timed per interpreter
+};
+
+/**
+ * Measure both interpreters over `insts` instructions of `prog`
+ * against CoW copies of `image` (each interpreter gets its own copy;
+ * a program that halts early is restarted on fresh state until the
+ * budget is spent). Wall-clock, so only meaningful in optimized
+ * builds; the sampling bench reports it and CI enforces a floor.
+ */
+FunctionalThroughput measureFunctionalThroughput(const Program &prog,
+                                                 const SimMemory &image,
+                                                 uint64_t insts);
+
+/**
+ * The dispatch microbench: a tight loop mixing ALU ops, compares,
+ * L1-resident loads/stores and a back branch, with its tiny image.
+ * On real workloads both interpreters stall on the same host cache
+ * misses against multi-hundred-MB images, which masks the dispatch
+ * machinery the pre-decode refactor actually changed; this program's
+ * working set stays host-cache resident, so
+ * measureFunctionalThroughput over it isolates interpreter speed.
+ * The sampling bench reports its gain and CI floors on it.
+ */
+struct DispatchMicrobench
+{
+    Program program;
+    SimMemory image;
+};
+DispatchMicrobench makeDispatchMicrobench();
+
+} // namespace dvr
+
+#endif // DVR_SIM_FUNCTIONAL_CORE_HH

@@ -1,0 +1,281 @@
+#include "sim/sampling.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+
+#include "common/log.hh"
+#include "runahead/technique.hh"
+#include "sim/functional_core.hh"
+
+namespace dvr {
+
+double
+tCritical95(uint64_t dof)
+{
+    // Two-sided 95% Student-t critical values, dof 1..30.
+    static constexpr double kT[30] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    if (dof == 0)
+        return 0.0;
+    if (dof <= 30)
+        return kT[dof - 1];
+    return 1.960;
+}
+
+SampleSummary
+summarizeWindows(const std::vector<double> &window_cpis)
+{
+    SampleSummary s;
+    s.windows = window_cpis.size();
+    if (s.windows == 0)
+        return s;
+    double sum = 0;
+    for (double x : window_cpis)
+        sum += x;
+    s.mean = sum / double(s.windows);
+    if (s.windows >= 2) {
+        double sq = 0;
+        for (double x : window_cpis)
+            sq += (x - s.mean) * (x - s.mean);
+        s.variance = sq / double(s.windows - 1);
+        s.ci95 = tCritical95(s.windows - 1) *
+                 std::sqrt(s.variance / double(s.windows));
+    }
+    s.relCi95 = s.mean > 0 ? s.ci95 / s.mean : 0.0;
+    return s;
+}
+
+SimResult
+runSampled(const SimConfig &cfgIn, const Workload &w,
+           const SimMemory &image, const RegState *start_regs,
+           InstPc start_pc, const PredecodedProgram *pre)
+{
+    panicIf(cfgIn.sample.interval == 0,
+            "runSampled: sampling is disabled (sim.sample.interval=0)");
+    panicIf(cfgIn.sample.window == 0,
+            "runSampled: sim.sample.window must be > 0");
+    panicIf(cfgIn.sample.warmup + cfgIn.sample.window >
+                cfgIn.sample.interval,
+            "runSampled: sim.sample.warmup + sim.sample.window must "
+            "not exceed sim.sample.interval");
+
+    // Technique wiring, identical to the exact path (simulator.cc).
+    const TechniqueInfo *info = TechniqueRegistry::instance().find(
+        techniqueName(cfgIn.technique));
+    if (!info)
+        fatal(std::string("runSampled: technique '") +
+              techniqueName(cfgIn.technique) + "' is not registered");
+    SimConfig cfg = cfgIn;
+    if (info->prepare)
+        info->prepare(cfg);
+
+    std::unique_ptr<PredecodedProgram> owned_pre;
+    if (!pre) {
+        owned_pre = std::make_unique<PredecodedProgram>(w.program);
+        pre = owned_pre.get();
+    }
+
+    SimMemory mem = image;      // CoW share, as in the exact path
+    MemorySystem memsys(cfg.mem, mem);
+    const TechniqueContext ctx{cfg,    w.program, mem,
+                               image,  memsys,    start_regs,
+                               start_pc};
+    std::unique_ptr<RunaheadTechnique> tech =
+        info->create ? info->create(ctx) : nullptr;
+
+    OooCore core(cfg.core, w.program, mem, memsys, tech.get());
+    if (start_regs)
+        core.restoreArchState(*start_regs, start_pc);
+    if (tech)
+        tech->attach(core);
+
+    // The functional interpreters share the core's working memory, so
+    // skipped stores land exactly where the detailed phases read them.
+    // Functional warming keeps the cache hierarchy's tag/LRU content
+    // moving through skips: without it, working sets built over long
+    // horizons (an L3 that takes millions of instructions to fill) go
+    // stale across every skip and the measured windows are biased
+    // cache-cold. Warming costs a host cache miss per distinct line
+    // touched, so sim.sample.warm bounds it to the skip's tail: the
+    // head of a long skip runs on the unwarmed interpreter at full
+    // speed, and the warmed tail — sized to the hierarchy's fill
+    // horizon — rebuilds the content the next windows will see.
+    FunctionalCore fc_fast(*pre, mem);
+    FunctionalCore fc_warm(*pre, mem);
+    fc_warm.setWarming(&memsys);
+
+    const uint64_t interval = cfg.sample.interval;
+    const uint64_t warm_n = cfg.sample.warmup;
+    const uint64_t win_n = cfg.sample.window;
+    const uint64_t warm_limit = cfg.sample.warm;
+
+    uint64_t remaining = cfg.maxInstructions;
+    uint64_t insts_warmup = 0;
+    uint64_t insts_measured = 0;
+    uint64_t insts_functional = 0;
+    uint64_t measured_cycles = 0;
+    double functional_secs = 0;
+    std::vector<double> window_cpis;
+    bool halted = false;
+
+    // Runs the detailed core for up to `n` more instructions and
+    // returns {insts, cycles} deltas (run() targets are cumulative).
+    auto detailed = [&core](uint64_t n) {
+        const uint64_t i0 = core.stats().instructions;
+        const Cycle c0 = core.stats().cycles;
+        core.run(i0 + n);
+        return std::pair<uint64_t, Cycle>(
+            core.stats().instructions - i0, core.stats().cycles - c0);
+    };
+
+    while (remaining > 0 && !halted) {
+        // Phase 1: detailed warmup, stats discarded.
+        const uint64_t want_warm = std::min(warm_n, remaining);
+        if (want_warm > 0) {
+            const auto [wi, wc] = detailed(want_warm);
+            (void)wc;
+            insts_warmup += wi;
+            remaining -= wi;
+            if (core.stats().halted) {
+                halted = true;
+                break;
+            }
+        }
+        if (remaining == 0)
+            break;
+
+        // Phase 2: measured window — one CPI observation.
+        const uint64_t want_win = std::min(win_n, remaining);
+        const auto [mi, mc] = detailed(want_win);
+        insts_measured += mi;
+        measured_cycles += mc;
+        remaining -= mi;
+        if (mi > 0)
+            window_cpis.push_back(double(mc) / double(mi));
+        if (core.stats().halted) {
+            halted = true;
+            break;
+        }
+        if (remaining == 0)
+            break;
+
+        // Phase 3: functional skip on the pre-decoded core.
+        const uint64_t want_skip =
+            std::min(interval - want_warm - want_win, remaining);
+        if (want_skip > 0) {
+            FunctionalState st;
+            st.regs = core.regs().value;
+            st.pc = core.pc();
+            const uint64_t warm_part =
+                warm_limit > 0 ? std::min(warm_limit, want_skip)
+                               : want_skip;
+            const uint64_t fast_part = want_skip - warm_part;
+            const auto t0 = std::chrono::steady_clock::now();
+            uint64_t done = 0;
+            if (fast_part > 0)
+                done = fc_fast.run(st, fast_part);
+            if (!st.halted)
+                done += fc_warm.run(st, want_skip - done);
+            functional_secs +=
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            insts_functional += done;
+            remaining -= done;
+            RegState rs;
+            rs.value = st.regs;
+            core.resumeWarm(rs, st.pc);
+            if (st.halted) {
+                halted = true;
+                break;
+            }
+        }
+    }
+    halted = halted || core.stats().halted;
+
+    const uint64_t total_insts =
+        insts_warmup + insts_measured + insts_functional;
+    const SampleSummary sum = summarizeWindows(window_cpis);
+
+    // Extrapolate: total cycles = mean window CPI x every instruction
+    // covered (functionally skipped ones included). When no window
+    // completed (budget below warmup+window), fall back to the exact
+    // detailed CPI — the run degenerates to exact simulation.
+    const CoreStats &cs = core.stats();
+    double cpi_hat = sum.mean;
+    if (sum.windows == 0) {
+        cpi_hat = cs.instructions > 0
+                      ? double(cs.cycles) / double(cs.instructions)
+                      : 0.0;
+    }
+    const uint64_t extrap_cycles =
+        uint64_t(std::llround(cpi_hat * double(total_insts)));
+
+    SimResult r;
+    r.core = cs;
+    r.core.instructions = total_insts;
+    r.core.cycles = extrap_cycles;
+    r.core.halted = halted;
+    r.halted = halted;
+    r.verified = halted && w.verify && w.verify(mem);
+
+    StatSet core_stats = cs.toStatSet();
+    core_stats.set("instructions", double(total_insts));
+    core_stats.set("cycles", double(extrap_cycles));
+    core_stats.set("ipc", r.core.ipc());
+    // Scale the CPI-stack buckets to the extrapolated cycle count so
+    // they keep summing to core.cycles; rounding residue lands in the
+    // base bucket.
+    if (cs.cycles > 0) {
+        const double f = double(extrap_cycles) / double(cs.cycles);
+        static const char *const kBuckets[] = {
+            "cpi.branch_redirect", "cpi.l1",       "cpi.l2",
+            "cpi.l3",              "cpi.dram",     "cpi.full_rob",
+            "cpi.full_iq_lsq",
+        };
+        double others = 0;
+        for (const char *b : kBuckets) {
+            const double v = core_stats.get(b) * f;
+            core_stats.set(b, v);
+            others += v;
+        }
+        core_stats.set("cpi.base", double(extrap_cycles) - others);
+    }
+    r.stats.merge("core.", core_stats);
+
+    StatSet ms = memsys.stats();
+    ms.set("mshr_occupancy", memsys.mshrs().avgOccupancy(cs.cycles));
+    r.stats.merge("mem.", ms);
+    StatSet bp;
+    bp.set("lookups", double(core.predictor().lookups));
+    bp.set("mispredicts", double(core.predictor().mispredicts));
+    r.stats.merge("bpred.", bp);
+    if (tech)
+        tech->finalizeStats(r.stats);
+
+    StatSet sample;
+    sample.set("windows", double(sum.windows));
+    sample.set("cpi", cpi_hat);
+    sample.set("cpi_var", sum.variance);
+    sample.set("cpi_ci95", sum.ci95);
+    sample.set("cpi_rel_ci95", sum.relCi95);
+    sample.set("insts_total", double(total_insts));
+    sample.set("insts_functional", double(insts_functional));
+    sample.set("insts_warmup", double(insts_warmup));
+    sample.set("insts_measured", double(insts_measured));
+    sample.set("measured_cycles", double(measured_cycles));
+    sample.set("functional_mips",
+               functional_secs > 0
+                   ? double(insts_functional) / functional_secs / 1e6
+                   : 0.0);
+    r.stats.merge("sample.", sample);
+    return r;
+}
+
+} // namespace dvr

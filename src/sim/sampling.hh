@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Interval-sampled simulation (SMARTS-style).
+ *
+ * Detailed out-of-order simulation costs ~1000x functional execution;
+ * sampling recovers whole-run CPI from short detailed windows. Each
+ * interval of `sim.sample.interval` instructions runs three phases on
+ * ONE persistent core + memory system:
+ *
+ *   1. detailed warmup  (`sim.sample.warmup` insts) — the timing model
+ *      runs but its stats are discarded; caches, branch predictor and
+ *      store-forwarding state warm up after the functional skip;
+ *   2. measured window  (`sim.sample.window` insts) — the stats delta
+ *      over this phase is one CPI observation;
+ *   3. functional skip  (the interval remainder) — the pre-decoded
+ *      FunctionalCore (functional_core.hh) advances architectural
+ *      state only. The core keeps its microarchitectural warmth
+ *      across the skip (OooCore::resumeWarm).
+ *
+ * Whole-run CPI is the mean of the window observations; the
+ * per-window variance gives a Student-t 95% confidence interval
+ * (reported as sample.cpi_ci95). Extrapolated core.{instructions,
+ * cycles,ipc} replace the exact values in the result so downstream
+ * figures keep working; all sample.* diagnostics ride alongside.
+ *
+ * Bias sources (see DESIGN.md §"Sampled simulation"): windows shorter
+ * than the ROB drain see partial warmup; periodic intervals can alias
+ * program phase boundaries; stats other than CPI remain raw measured
+ * values over the detailed phases only.
+ */
+
+#ifndef DVR_SIM_SAMPLING_HH
+#define DVR_SIM_SAMPLING_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace dvr {
+
+class PredecodedProgram;
+
+/**
+ * Summary of the measured-window CPI observations: the extrapolation
+ * estimate and its confidence interval. Pure math, unit-tested on
+ * deterministic fixtures in tests/test_sampling.cc.
+ */
+struct SampleSummary
+{
+    uint64_t windows = 0;
+    double mean = 0;        ///< mean per-window CPI (the estimate)
+    double variance = 0;    ///< unbiased sample variance across windows
+    double ci95 = 0;        ///< 95% CI half-width on the mean
+    double relCi95 = 0;     ///< ci95 / mean (0 when mean is 0)
+};
+
+/**
+ * Two-sided 95% Student-t critical value for `dof` degrees of
+ * freedom (exact table through 30, 1.96 asymptote beyond). Window
+ * counts are small at CI smoke scale, so the normal approximation
+ * would understate the interval exactly when it matters most.
+ */
+double tCritical95(uint64_t dof);
+
+/** Mean/variance/CI over per-window CPI observations. */
+SampleSummary summarizeWindows(const std::vector<double> &window_cpis);
+
+/**
+ * Adaptive interval for a run of `budget` instructions when the user
+ * enables sampling without picking one (dvr_run --sample, the
+ * sampling bench): budget/200 targets ~200 windows, floored at 50k so
+ * tiny runs keep enough windows per interval-geometry defaults. The
+ * window count matters more than the per-window length for phased
+ * workloads: at a 20M budget the hash join's CPI swings by 5x between
+ * build and probe phases, and 50 windows leave a +/-27% confidence
+ * interval where 200 windows bring both the CI and the CPI error
+ * under 5%. The floor gives >= 10 windows at the 500k CI smoke
+ * budget, where the measured CPI error stays under 5% on the fig02
+ * subset.
+ */
+inline uint64_t
+defaultSampleInterval(uint64_t budget)
+{
+    return std::max<uint64_t>(50'000, budget / 200);
+}
+
+/**
+ * Run `w` under interval sampling (cfg.sample.interval > 0) from the
+ * given architectural start state (null regs = program entry).
+ * `pre` is an optional already-built pre-decode of w.program; when
+ * null one is built for the run (PreparedWorkload passes its cached
+ * copy so sweeps decode once).
+ */
+SimResult runSampled(const SimConfig &cfg, const Workload &w,
+                     const SimMemory &image,
+                     const RegState *start_regs = nullptr,
+                     InstPc start_pc = 0,
+                     const PredecodedProgram *pre = nullptr);
+
+} // namespace dvr
+
+#endif // DVR_SIM_SAMPLING_HH

@@ -5,6 +5,7 @@
 #include "common/log.hh"
 #include "runahead/technique.hh"
 #include "sim/checkpoint.hh"
+#include "sim/sampling.hh"
 
 namespace dvr {
 
@@ -84,6 +85,8 @@ Simulator::runOn(const SimConfig &cfg, const Workload &w,
             makeCheckpoint(w.program, pristine, cfg.warmup.insts);
         return runOn(cfg, w, ckpt);
     }
+    if (cfg.sample.interval > 0)
+        return runSampled(cfg, w, pristine);
     return runImpl(cfg, w, pristine, nullptr, 0);
 }
 
@@ -91,6 +94,8 @@ SimResult
 Simulator::runOn(const SimConfig &cfg, const Workload &w,
                  const Checkpoint &ckpt)
 {
+    if (cfg.sample.interval > 0)
+        return runSampled(cfg, w, ckpt.memory, &ckpt.regs, ckpt.pc);
     return runImpl(cfg, w, ckpt.memory, &ckpt.regs, ckpt.pc);
 }
 

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * FunctionalCore differential tests: the pre-decoded fast interpreter
+ * (dense switch or computed goto) must be bit-identical to the legacy
+ * Program-stepping loop (referenceFunctionalRun) — final registers,
+ * PC, memory image, executed-instruction count, and the halt/budget
+ * edge cases. Also pins the checkpoint-equality contract: the
+ * PredecodedProgram and Program overloads of makeCheckpoint snapshot
+ * identical architectural state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "mem/memory_system.hh"
+#include "mem/sim_memory.hh"
+#include "sim/checkpoint.hh"
+#include "sim/config.hh"
+#include "sim/functional_core.hh"
+
+namespace dvr {
+namespace {
+
+constexpr uint64_t kDataBytes = 8192;
+constexpr int64_t kDataBase = 64;
+constexpr int64_t kAddrMask = 4088;     // 8-aligned offsets in-bounds
+
+/**
+ * A deterministic loop whose body visits every ProgramBuilder opcode
+ * at least once: full RRR/RRI ALU set, hash, the float ops, every
+ * compare, all three load/store widths, mov, nop, both conditional
+ * branches (taken and fall-through), and jmp. Divisors come from r13
+ * (loop counter + 1), never zero. r11 is the address temp, masked
+ * into the allocated scratch region.
+ */
+Program
+opcodeTourProgram(uint64_t trips)
+{
+    ProgramBuilder b;
+    b.li(1, 0).li(2, int64_t(trips)).li(0, kDataBase);
+    for (RegId r = 3; r <= 9; ++r)
+        b.li(r, int64_t(0x1234 + 31 * int64_t(r)));
+
+    b.label("loop");
+    b.addi(13, 1, 1);                       // nonzero divisor
+    b.add(3, 3, 4).sub(4, 4, 5).mul(5, 5, 6);
+    b.divu(6, 6, 13).remu(7, 7, 13);
+    b.and_(8, 8, 3).or_(9, 9, 4).xor_(3, 3, 9);
+    b.andi(14, 1, 7).shl(4, 4, 14).shr(5, 5, 14);
+    b.min(6, 6, 3).max(7, 7, 4);
+    b.addi(8, 8, 11).muli(9, 9, 3).andi(3, 3, 0xFFFF);
+    b.ori(4, 4, 5).xori(5, 5, 0x55).shli(6, 6, 2).shri(7, 7, 3);
+    b.hash(8, 8).mov(12, 8);
+    b.i2f(9, 1).fadd(9, 9, 9).fsub(9, 9, 9).fmul(9, 9, 9);
+    b.i2f(10, 13).fdiv(9, 10, 10).f2i(9, 9).fcmplt(10, 9, 10);
+    b.cmplt(10, 3, 4).cmpltu(10, 4, 5).cmpeq(10, 5, 6);
+    b.cmpne(10, 6, 7).cmplti(10, 7, 100).cmpltui(10, 8, 100);
+    b.cmpeqi(10, 9, 0);
+    b.andi(11, 8, kAddrMask).add(11, 11, 0);
+    b.st(11, 0, 3).stw(11, 8, 4).stb(11, 12, 5);
+    b.ld(12, 11).ldw(13, 11, 8).ldb(14, 11, 12);
+    b.add(3, 3, 12).add(4, 4, 13).add(5, 5, 14);
+    b.nop();
+    b.cmpeqi(10, 1, 0).beqz(10, "skip1");   // taken after trip 0
+    b.addi(3, 3, 7);
+    b.label("skip1");
+    b.bnez(10, "skip2");                    // taken only on trip 0
+    b.addi(4, 4, 9).jmp("skip3");
+    b.label("skip2");
+    b.addi(5, 5, 13);
+    b.label("skip3");
+    b.addi(1, 1, 1).cmplt(10, 1, 2).bnez(10, "loop");
+    b.halt();
+    return b.build();
+}
+
+/**
+ * Random structured program in the test_differential.cc style: a
+ * counted loop mixing ALU ops, masked loads/stores, and short forward
+ * branch diamonds. Always terminates (the back branch is the only
+ * backward edge and the trip count is fixed).
+ */
+Program
+randomProgram(uint64_t seed)
+{
+    Rng rng(seed);
+    ProgramBuilder b;
+    const uint64_t trips = 40 + rng.nextBelow(60);
+    b.li(1, 0).li(2, int64_t(trips)).li(0, kDataBase);
+    for (RegId r = 3; r <= 9; ++r)
+        b.li(r, int64_t(rng.nextBelow(1 << 20)));
+
+    b.label("loop");
+    const unsigned body = 8 + unsigned(rng.nextBelow(12));
+    unsigned label_id = 0;
+    for (unsigned i = 0; i < body; ++i) {
+        const RegId rd = RegId(3 + rng.nextBelow(7));
+        const RegId ra = RegId(3 + rng.nextBelow(7));
+        const RegId rb = RegId(3 + rng.nextBelow(7));
+        switch (rng.nextBelow(8)) {
+        case 0: b.add(rd, ra, rb); break;
+        case 1: b.xor_(rd, ra, rb); break;
+        case 2: b.muli(rd, ra, int64_t(1 + rng.nextBelow(13))); break;
+        case 3: b.hash(rd, ra); break;
+        case 4:
+            b.andi(11, ra, kAddrMask).add(11, 11, 0);
+            b.ld(rd, 11);
+            break;
+        case 5:
+            b.andi(11, ra, kAddrMask).add(11, 11, 0);
+            b.st(11, 0, rb);
+            break;
+        case 6: b.cmplt(rd, ra, rb); break;
+        default: {
+            // Forward diamond: skip one add on a data-dependent test.
+            const std::string l =
+                "d" + std::to_string(seed) + "_" +
+                std::to_string(label_id++);
+            b.cmplti(10, ra, int64_t(rng.nextBelow(1 << 19)));
+            b.beqz(10, l);
+            b.addi(rd, ra, int64_t(rng.nextBelow(64)));
+            b.label(l);
+            break;
+        }
+        }
+    }
+    b.addi(1, 1, 1).cmplt(10, 1, 2).bnez(10, "loop");
+    b.halt();
+    return b.build();
+}
+
+SimMemory
+scratchImage()
+{
+    SimMemory image(1 << 20);
+    image.alloc(kDataBytes);
+    return image;
+}
+
+/** Run both interpreters on private CoW copies; assert bit-equality. */
+void
+expectInterpretersAgree(const Program &prog, uint64_t budget)
+{
+    const SimMemory image = scratchImage();
+    const PredecodedProgram pre(prog);
+
+    SimMemory mem_fast(image);
+    SimMemory mem_ref(image);
+    FunctionalState st_fast, st_ref;
+    const FunctionalCore fc(pre, mem_fast);
+    const uint64_t n_fast = fc.run(st_fast, budget);
+    const uint64_t n_ref =
+        referenceFunctionalRun(prog, mem_ref, st_ref, budget);
+
+    EXPECT_EQ(n_fast, n_ref);
+    EXPECT_EQ(st_fast.pc, st_ref.pc);
+    EXPECT_EQ(st_fast.halted, st_ref.halted);
+    EXPECT_EQ(st_fast.regs, st_ref.regs);
+    EXPECT_TRUE(mem_fast.sameContent(mem_ref));
+}
+
+TEST(FunctionalCore, OpcodeTourMatchesReference)
+{
+    expectInterpretersAgree(opcodeTourProgram(200), 1'000'000);
+}
+
+TEST(FunctionalCore, OpcodeTourMatchesReferenceUnderTightBudgets)
+{
+    // Budgets that cut the run mid-loop exercise the resume-at-pc
+    // contract, not just the final state.
+    const Program prog = opcodeTourProgram(50);
+    for (uint64_t budget : {1u, 7u, 63u, 500u, 1771u})
+        expectInterpretersAgree(prog, budget);
+}
+
+TEST(FunctionalCore, RandomProgramsMatchReference)
+{
+    for (uint64_t seed = 0; seed < 12; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        expectInterpretersAgree(randomProgram(seed), 1'000'000);
+        expectInterpretersAgree(randomProgram(seed),
+                                37 + seed * 101);
+    }
+}
+
+TEST(FunctionalCore, DispatchMicrobenchMatchesReference)
+{
+    // The bench program CI floors functional throughput on must mean
+    // the same thing to both interpreters.
+    const DispatchMicrobench mb = makeDispatchMicrobench();
+    const PredecodedProgram pre(mb.program);
+    SimMemory mem_fast(mb.image);
+    SimMemory mem_ref(mb.image);
+    FunctionalState st_fast, st_ref;
+    const FunctionalCore fc(pre, mem_fast);
+    EXPECT_EQ(fc.run(st_fast, 100'000), 100'000u);
+    EXPECT_EQ(referenceFunctionalRun(mb.program, mem_ref, st_ref,
+                                     100'000),
+              100'000u);
+    EXPECT_EQ(st_fast.regs, st_ref.regs);
+    EXPECT_EQ(st_fast.pc, st_ref.pc);
+    EXPECT_TRUE(mem_fast.sameContent(mem_ref));
+}
+
+TEST(FunctionalCore, HaltIsNotConsumedAndResumesIdle)
+{
+    ProgramBuilder b;
+    b.li(3, 1).addi(3, 3, 1).halt();
+    const Program prog = b.build();
+    const PredecodedProgram pre(prog);
+    SimMemory mem = scratchImage();
+    const FunctionalCore fc(pre, mem);
+
+    FunctionalState st;
+    EXPECT_EQ(fc.run(st, 100), 2u);
+    EXPECT_TRUE(st.halted);
+    EXPECT_EQ(st.pc, 2u);       // parked on the halt
+    EXPECT_EQ(st.regs[3], 2u);
+
+    // Further budget on a halted state executes nothing.
+    EXPECT_EQ(fc.run(st, 100), 0u);
+    EXPECT_TRUE(st.halted);
+    EXPECT_EQ(st.pc, 2u);
+}
+
+TEST(FunctionalCore, FallingOffTheEndHalts)
+{
+    // No explicit halt: the pre-decode sentinel (and the reference
+    // loop's bounds check) must stop execution identically.
+    ProgramBuilder b;
+    b.li(3, 5).addi(3, 3, 37);
+    expectInterpretersAgree(b.build(), 1'000);
+}
+
+TEST(FunctionalCore, WarmingDoesNotChangeArchitecturalState)
+{
+    // Cache warming (setWarming) is a timing-model side channel: the
+    // architectural results must be bit-identical with it on or off.
+    const Program prog = opcodeTourProgram(200);
+    const SimMemory image = scratchImage();
+    const PredecodedProgram pre(prog);
+    const SimConfig cfg = SimConfig::baseline(Technique::kBase);
+
+    SimMemory mem_plain(image);
+    SimMemory mem_warm(image);
+    MemorySystem ms(cfg.mem, mem_warm);
+    const FunctionalCore plain(pre, mem_plain);
+    FunctionalCore warming(pre, mem_warm);
+    warming.setWarming(&ms);
+
+    FunctionalState st_plain, st_warm;
+    const uint64_t n_plain = plain.run(st_plain, 1'000'000);
+    const uint64_t n_warm = warming.run(st_warm, 1'000'000);
+
+    EXPECT_EQ(n_plain, n_warm);
+    EXPECT_EQ(st_plain.regs, st_warm.regs);
+    EXPECT_EQ(st_plain.pc, st_warm.pc);
+    EXPECT_TRUE(mem_plain.sameContent(mem_warm));
+}
+
+TEST(FunctionalCore, CheckpointOverloadsAreEquivalent)
+{
+    // makeCheckpoint(PredecodedProgram, ...) and
+    // makeCheckpoint(Program, ...) must snapshot identical state: the
+    // Program overload just decodes first.
+    const Program prog = opcodeTourProgram(400);
+    const SimMemory image = scratchImage();
+    const PredecodedProgram pre(prog);
+
+    for (uint64_t warmup : {0u, 1'000u, 5'000u}) {
+        SCOPED_TRACE("warmup " + std::to_string(warmup));
+        const Checkpoint a = makeCheckpoint(pre, image, warmup);
+        const Checkpoint b = makeCheckpoint(prog, image, warmup);
+        EXPECT_EQ(a.insts, b.insts);
+        EXPECT_EQ(a.pc, b.pc);
+        EXPECT_EQ(a.halted, b.halted);
+        EXPECT_EQ(a.regs.value, b.regs.value);
+        EXPECT_TRUE(a.memory.sameContent(b.memory));
+    }
+}
+
+TEST(FunctionalCore, CheckpointMatchesReferenceInterpreter)
+{
+    // The checkpoint fast-forward runs on the fast core; its snapshot
+    // must equal a reference-interpreter replay of the same warmup.
+    const Program prog = opcodeTourProgram(400);
+    const SimMemory image = scratchImage();
+    const uint64_t warmup = 7'500;
+
+    const Checkpoint ckpt = makeCheckpoint(prog, image, warmup);
+    SimMemory mem_ref(image);
+    FunctionalState st;
+    const uint64_t n =
+        referenceFunctionalRun(prog, mem_ref, st, warmup);
+
+    EXPECT_EQ(ckpt.insts, n);
+    EXPECT_EQ(ckpt.pc, st.pc);
+    EXPECT_EQ(ckpt.halted, st.halted);
+    EXPECT_EQ(ckpt.regs.value, st.regs);
+    EXPECT_TRUE(ckpt.memory.sameContent(mem_ref));
+}
+
+} // namespace
+} // namespace dvr

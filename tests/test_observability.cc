@@ -151,6 +151,25 @@ TEST_F(CpiStack, EveryTechniqueExportsRequiredStatKeys)
     }
 }
 
+TEST_F(CpiStack, SampledRunExportsSampleStatSchema)
+{
+    // Interval-sampled runs additionally export the sample.* schema
+    // (extrapolated CPI, CI, phase instruction counts); exact runs
+    // must NOT export it — consumers use sample.windows presence to
+    // distinguish the two run kinds.
+    SimConfig cfg = SimConfig::baseline("base");
+    cfg.maxInstructions = 200'000;
+    cfg.sample.interval = 50'000;
+    const SimResult sampled = prepared_->run(cfg);
+    for (const char *key : kSampleStatKeys)
+        EXPECT_TRUE(sampled.stats.has(key)) << "missing stat " << key;
+    EXPECT_GE(sampled.stats.get("sample.windows"), 2.0);
+    EXPECT_EQ("", validateJsonSyntax(sampled.stats.toJson()));
+
+    const SimResult exact = runTechnique("base");
+    EXPECT_FALSE(exact.stats.has("sample.windows"));
+}
+
 TEST_F(CpiStack, MemoryBoundRunAttributesCyclesBeyondBase)
 {
     // camel is a DRAM-bound pointer-chasing kernel: the baseline run

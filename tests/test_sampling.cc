@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Interval-sampled simulation tests: the CI math on deterministic
+ * fixtures (tCritical95, summarizeWindows), the sampled-run phase
+ * accounting, sampled-vs-exact CPI accuracy on a real workload, the
+ * sampling-off parity guarantee, and the sim.sample.warm knob's
+ * equivalence contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/sampling.hh"
+
+namespace dvr {
+namespace {
+
+// ---------------------------------------------------------------------
+// Confidence-interval math on deterministic fixtures.
+// ---------------------------------------------------------------------
+
+TEST(SampleMath, TCriticalMatchesTable)
+{
+    // Spot-check the two-sided 95% table at the ends and middle, and
+    // the asymptote beyond dof 30.
+    EXPECT_DOUBLE_EQ(tCritical95(0), 0.0);
+    EXPECT_DOUBLE_EQ(tCritical95(1), 12.706);
+    EXPECT_DOUBLE_EQ(tCritical95(2), 4.303);
+    EXPECT_DOUBLE_EQ(tCritical95(10), 2.228);
+    EXPECT_DOUBLE_EQ(tCritical95(30), 2.042);
+    EXPECT_DOUBLE_EQ(tCritical95(31), 1.960);
+    EXPECT_DOUBLE_EQ(tCritical95(1'000'000), 1.960);
+}
+
+TEST(SampleMath, TCriticalIsMonotonicallyDecreasing)
+{
+    for (uint64_t dof = 1; dof < 35; ++dof)
+        EXPECT_GE(tCritical95(dof), tCritical95(dof + 1)) << dof;
+}
+
+TEST(SampleMath, SummarizeEmptyAndSingleton)
+{
+    const SampleSummary none = summarizeWindows({});
+    EXPECT_EQ(none.windows, 0u);
+    EXPECT_DOUBLE_EQ(none.mean, 0.0);
+
+    // One window: the estimate exists but no variance is claimable.
+    const SampleSummary one = summarizeWindows({2.5});
+    EXPECT_EQ(one.windows, 1u);
+    EXPECT_DOUBLE_EQ(one.mean, 2.5);
+    EXPECT_DOUBLE_EQ(one.variance, 0.0);
+    EXPECT_DOUBLE_EQ(one.ci95, 0.0);
+}
+
+TEST(SampleMath, SummarizeKnownFixture)
+{
+    // mean 3, unbiased variance ((-2)^2+0+2^2)/2 = 4, dof 2.
+    const SampleSummary s = summarizeWindows({1.0, 3.0, 5.0});
+    EXPECT_EQ(s.windows, 3u);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.variance, 4.0);
+    EXPECT_DOUBLE_EQ(s.ci95, 4.303 * std::sqrt(4.0 / 3.0));
+    EXPECT_DOUBLE_EQ(s.relCi95, s.ci95 / 3.0);
+}
+
+TEST(SampleMath, ConstantWindowsHaveZeroWidthInterval)
+{
+    const SampleSummary s =
+        summarizeWindows(std::vector<double>(20, 1.75));
+    EXPECT_EQ(s.windows, 20u);
+    EXPECT_DOUBLE_EQ(s.mean, 1.75);
+    EXPECT_DOUBLE_EQ(s.variance, 0.0);
+    EXPECT_DOUBLE_EQ(s.ci95, 0.0);
+    EXPECT_DOUBLE_EQ(s.relCi95, 0.0);
+}
+
+TEST(SampleMath, DefaultIntervalTargetsTwoHundredWindows)
+{
+    EXPECT_EQ(defaultSampleInterval(500'000), 50'000u);     // floor
+    EXPECT_EQ(defaultSampleInterval(10'000'000), 50'000u);  // exactly
+    EXPECT_EQ(defaultSampleInterval(100'000'000), 500'000u);
+    EXPECT_EQ(defaultSampleInterval(500'000'000), 2'500'000u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end sampled runs on a real workload. One shared prepared
+// camel (DRAM-bound pointer chaser) — the build dominates runtime.
+// ---------------------------------------------------------------------
+
+class Sampled : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        WorkloadParams wp;
+        wp.scaleShift = 4;
+        prepared_ = std::make_unique<PreparedWorkload>("camel", "", wp,
+                                                       96ULL << 20);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        prepared_.reset();
+    }
+
+    static SimConfig
+    baseCfg(uint64_t budget)
+    {
+        SimConfig cfg = SimConfig::baseline(Technique::kBase);
+        cfg.maxInstructions = budget;
+        return cfg;
+    }
+
+    static std::unique_ptr<PreparedWorkload> prepared_;
+};
+
+std::unique_ptr<PreparedWorkload> Sampled::prepared_;
+
+TEST_F(Sampled, PhaseAccountingIsExhaustive)
+{
+    SimConfig cfg = baseCfg(300'000);
+    cfg.sample.interval = 50'000;
+    const SimResult r = prepared_->run(cfg);
+
+    const double total = r.stats.get("sample.insts_total");
+    const double parts = r.stats.get("sample.insts_functional") +
+                         r.stats.get("sample.insts_warmup") +
+                         r.stats.get("sample.insts_measured");
+    EXPECT_DOUBLE_EQ(total, parts);
+    EXPECT_GT(r.stats.get("sample.windows"), 0.0);
+    EXPECT_GT(r.stats.get("sample.insts_functional"), 0.0);
+
+    // Extrapolation: core.instructions reports the whole run, not
+    // just the measured slice, so downstream figures keep working.
+    EXPECT_DOUBLE_EQ(r.stats.get("core.instructions"), total);
+    EXPECT_GT(r.stats.get("sample.measured_cycles"), 0.0);
+}
+
+TEST_F(Sampled, SampledCpiTracksExactCpi)
+{
+    // The headline accuracy contract, at CI-affordable scale: the
+    // extrapolated CPI of a sampled run stays within 5% of the exact
+    // run's CPI (the bench enforces the same bound across the fig02
+    // subset at the smoke scale). The tiny test workload is strongly
+    // phased, so the interval is set for ~40 windows — the same
+    // windows-over-length tradeoff defaultSampleInterval encodes for
+    // real budgets (see sampling.hh).
+    const uint64_t budget = 400'000;
+    const SimResult exact = prepared_->run(baseCfg(budget));
+
+    SimConfig cfg = baseCfg(budget);
+    cfg.sample.interval = 10'000;
+    const SimResult sampled = prepared_->run(cfg);
+
+    ASSERT_GT(exact.ipc(), 0.0);
+    ASSERT_GT(sampled.ipc(), 0.0);
+    const double cpi_e = 1.0 / exact.ipc();
+    const double cpi_s = 1.0 / sampled.ipc();
+    EXPECT_LT(std::abs(cpi_s - cpi_e) / cpi_e, 0.05)
+        << "exact CPI " << cpi_e << " vs sampled CPI " << cpi_s;
+}
+
+TEST_F(Sampled, AllDetailedSamplingMatchesExactClosely)
+{
+    // window == interval leaves no functional skip: every instruction
+    // runs detailed on the one persistent core (resumeWarm), so the
+    // extrapolated CPI must track the exact run tightly — this pins
+    // the window bookkeeping and the core's carry-state, with no
+    // warming approximation in the loop.
+    const uint64_t budget = 200'000;
+    const SimResult exact = prepared_->run(baseCfg(budget));
+
+    SimConfig cfg = baseCfg(budget);
+    cfg.sample.interval = 20'000;
+    cfg.sample.warmup = 0;
+    cfg.sample.window = 20'000;
+    const SimResult sampled = prepared_->run(cfg);
+
+    EXPECT_DOUBLE_EQ(sampled.stats.get("sample.insts_functional"),
+                     0.0);
+    ASSERT_GT(exact.ipc(), 0.0);
+    const double cpi_e = 1.0 / exact.ipc();
+    const double cpi_s = 1.0 / sampled.ipc();
+    EXPECT_LT(std::abs(cpi_s - cpi_e) / cpi_e, 0.02)
+        << "exact CPI " << cpi_e << " vs sampled CPI " << cpi_s;
+}
+
+TEST_F(Sampled, WarmupWindowsAreDiscardedFromTheEstimate)
+{
+    // Same geometry with and without detailed warmup: the warmup
+    // instructions must land in insts_warmup (not the estimate), and
+    // both runs still cover the same total.
+    SimConfig with = baseCfg(300'000);
+    with.sample.interval = 50'000;
+    with.sample.warmup = 8'000;
+    with.sample.window = 2'000;
+    const SimResult rw = prepared_->run(with);
+
+    SimConfig without = with;
+    without.sample.warmup = 0;
+    const SimResult ro = prepared_->run(without);
+
+    EXPECT_DOUBLE_EQ(rw.stats.get("sample.insts_warmup"),
+                     8'000.0 * rw.stats.get("sample.windows"));
+    EXPECT_DOUBLE_EQ(ro.stats.get("sample.insts_warmup"), 0.0);
+    EXPECT_DOUBLE_EQ(rw.stats.get("sample.insts_total"),
+                     ro.stats.get("sample.insts_total"));
+    EXPECT_DOUBLE_EQ(rw.stats.get("sample.insts_measured"),
+                     2'000.0 * rw.stats.get("sample.windows"));
+}
+
+TEST_F(Sampled, SamplingOffIsByteIdenticalRegardlessOfSampleKnobs)
+{
+    // interval == 0 must take the exact path untouched: every other
+    // sample.* knob is inert, and the stats (the golden-parity
+    // surface) are byte-identical.
+    const SimResult plain = prepared_->run(baseCfg(120'000));
+
+    SimConfig knobs = baseCfg(120'000);
+    knobs.sample.warmup = 999;
+    knobs.sample.window = 7;
+    knobs.sample.warm = 123'456;
+    const SimResult r = prepared_->run(knobs);
+
+    EXPECT_EQ(r.stats.toJson(6), plain.stats.toJson(6));
+    EXPECT_EQ(r.core.cycles, plain.core.cycles);
+    EXPECT_FALSE(r.stats.has("sample.windows"));
+}
+
+TEST_F(Sampled, WarmLimitCoveringTheSkipEqualsFullWarming)
+{
+    // sim.sample.warm bounds warming to the skip's tail; a bound at
+    // least as large as any skip is the same computation as warm=0
+    // (full warming), so every deterministic stat must match. (Wall-
+    // clock stats like sample.functional_mips legitimately differ.)
+    SimConfig full = baseCfg(300'000);
+    full.sample.interval = 50'000;
+    full.sample.warm = 0;
+    const SimResult rf = prepared_->run(full);
+
+    SimConfig capped = full;
+    capped.sample.warm = full.sample.interval;
+    const SimResult rc = prepared_->run(capped);
+
+    for (const char *key :
+         {"sample.windows", "sample.cpi", "sample.cpi_var",
+          "sample.insts_functional", "sample.measured_cycles",
+          "core.cycles", "core.ipc", "mem.llc_misses"}) {
+        EXPECT_DOUBLE_EQ(rc.stats.get(key), rf.stats.get(key)) << key;
+    }
+
+    // A tight limit changes timing (colder caches) but never the
+    // run's coverage or architectural progress.
+    SimConfig tight = full;
+    tight.sample.warm = 5'000;
+    const SimResult rt = prepared_->run(tight);
+    EXPECT_DOUBLE_EQ(rt.stats.get("sample.insts_total"),
+                     rf.stats.get("sample.insts_total"));
+    EXPECT_GT(rt.stats.get("sample.windows"), 0.0);
+}
+
+} // namespace
+} // namespace dvr

@@ -63,6 +63,38 @@ def main():
                   f"regressed", file=sys.stderr)
             failed = True
 
+    # Sampled-run leg: the interval-sampling bench writes a "sampling"
+    # block (bench/sampling_accuracy.cc); the floor entry's "sampling"
+    # object pins the functional-interpreter gain, the sampled CPI
+    # error, and the end-to-end sampled-vs-exact wall-clock speedup.
+    floors_s = entry.get("sampling")
+    if floors_s is not None:
+        blk = bench.get("sampling")
+        if blk is None:
+            sys.exit(f"error: floor for '{figure}' requires a "
+                     f"'sampling' block the bench json lacks")
+        checks = [
+            # (bench key, floor key, must_be_at_least)
+            ("functional_gain", "min_functional_gain", True),
+            ("cpi_error_max", "max_cpi_error", False),
+            ("speedup_mean", "min_speedup_mean", True),
+        ]
+        for bkey, fkey, at_least in checks:
+            bound = floors_s.get(fkey)
+            if bound is None:
+                continue
+            val = float(blk[bkey])
+            rel = ">=" if at_least else "<="
+            ok = val >= float(bound) if at_least else val <= float(bound)
+            print(f"[throughput] {figure}: sampling {bkey} "
+                  f"{val:.3f} (required {rel} {float(bound):.3f})")
+            if not ok:
+                print(f"FAIL: sampling {bkey} {val:.3f} violates the "
+                      f"{fkey} {float(bound):.3f} floor — the sampled "
+                      f"engine regressed in speed or accuracy",
+                      file=sys.stderr)
+                failed = True
+
     sys.exit(1 if failed else 0)
 
 

@@ -30,6 +30,7 @@
 #include "sim/env.hh"
 #include "sim/manifest.hh"
 #include "sim/runner.hh"
+#include "sim/sampling.hh"
 #include "sim/trace.hh"
 #include "workloads/gap_common.hh"
 
@@ -73,6 +74,10 @@ usage()
         "                        trace and a run manifest\n"
         "      --trace-file PATH JSONL sink (default dvr_trace.jsonl;\n"
         "                        binary twin at PATH.bin)\n"
+        "      --sample          interval-sampled simulation: if\n"
+        "                        sim.sample.interval is 0, derive it\n"
+        "                        from the budget (max(50k, n/200));\n"
+        "                        prints the sample.* summary line\n"
         "      --stats           dump every statistic\n"
         "      --json            dump statistics as JSON\n"
         "      --disasm          print the kernel and exit\n"
@@ -137,6 +142,7 @@ main(int argc, char **argv)
     WorkloadParams wp;
     wp.scaleShift = SimConfig::defaultScaleShift();
     bool dump_stats = false;
+    bool sample = false;
     bool json = false;
     bool disasm = false;
     bool verify = false;
@@ -221,6 +227,8 @@ main(int argc, char **argv)
         } else if (is("--trace-file", "--trace-file")) {
             const std::string v = arg(argc, argv, i);
             cli_ops.push_back([v](SimConfig &c) { c.traceFile = v; });
+        } else if (is("--sample", "--sample")) {
+            sample = true;
         } else if (is("--stats", "--stats")) {
             dump_stats = true;
         } else if (is("--json", "--json")) {
@@ -269,6 +277,13 @@ main(int argc, char **argv)
             techs.push_back(*t);
         }
         cfg.technique = techs.front();
+
+        // --sample turns sampling on; an explicit sim.sample.interval
+        // (via --set/--config) is honoured, otherwise the interval is
+        // derived from the budget (defaultSampleInterval: ~200
+        // intervals per run, floored at 50k).
+        if (sample && cfg.sample.interval == 0)
+            cfg.sample.interval = defaultSampleInterval(cfg.maxInstructions);
 
         if (dump_config) {
             std::fputs(schema.toJson(cfg).c_str(), stdout);
@@ -353,6 +368,18 @@ main(int argc, char **argv)
         for (size_t i = 0; i < results.size(); ++i) {
             const SimResult &r = results[i];
             printSummary(workload, wp, techs[i], r);
+            if (cfg.sample.interval > 0) {
+                std::printf(
+                    "sampled: %.0f windows, CPI %.3f +/- %.3f "
+                    "(95%% CI), %.0f/%.0f insts functional "
+                    "(%.0f MIPS functional)\n",
+                    r.stats.get("sample.windows"),
+                    r.stats.get("sample.cpi"),
+                    r.stats.get("sample.cpi_ci95"),
+                    r.stats.get("sample.insts_functional"),
+                    r.stats.get("sample.insts_total"),
+                    r.stats.get("sample.functional_mips"));
+            }
             if (verify) {
                 std::printf("golden model: %s\n",
                             r.verified ? "MATCH" : "MISMATCH");

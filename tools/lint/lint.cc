@@ -40,7 +40,8 @@ const std::vector<RuleInfo> kRules = {
      "a stat name may be registered (set/add) only once per file"},
     {kStatName,
      "stat names must be lower_snake_case (dots as separators); "
-     "cpi.* / timeliness.* must use the closed component vocabulary"},
+     "cpi.* / timeliness.* / sample.* must use the closed component "
+     "vocabulary"},
     {kNakedNew,
      "no naked new/delete; use std::unique_ptr or containers"},
     {kHotMap,
@@ -371,6 +372,11 @@ observabilityNameError(const std::string &name)
         R"((mem\.)?timeliness\.)"
         R"(((ra|hw)_(fully_hidden|partial|full_latency|evicted|useless))"
         R"(|ra_hidden_hist_[0-7]?))");
+    static const std::regex sampleRe(
+        R"(sample\.)"
+        R"((windows|cpi|cpi_var|cpi_ci95|cpi_rel_ci95|insts_total)"
+        R"(|insts_functional|insts_warmup|insts_measured)"
+        R"(|measured_cycles|functional_mips))");
 
     if (name.rfind("cpi.", 0) == 0 || name.rfind("core.cpi.", 0) == 0) {
         if (!std::regex_match(name, cpiRe))
@@ -381,6 +387,11 @@ observabilityNameError(const std::string &name)
         if (!std::regex_match(name, tlRe))
             return "stat '" + name +
                    "' is not a known mem.timeliness.* class";
+    } else if (name.rfind("sample.", 0) == 0) {
+        if (!std::regex_match(name, sampleRe))
+            return "stat '" + name +
+                   "' is not a known sample.* sampling stat "
+                   "(tests/stats_schema.inc kSampleStatKeys)";
     }
     return "";
 }
