@@ -34,6 +34,7 @@ SimMemory::zeroPage()
     // The static holder keeps the refcount >= 2 for any image that
     // maps it, so ensureOwned can never see it as exclusively owned
     // and the zero bytes are immutable by construction.
+    // dvr-lint: allow(hot-alloc) one allocation per process (function-local static)
     static const PagePtr zp = std::make_shared<Page>();
     return zp;
 }
@@ -80,8 +81,9 @@ SimMemory::clonePage(size_t idx)
     // page: no image bytes are copied (the flat representation had to
     // memcpy those zeros up front), so it is not clone traffic.
     const bool zero_backed = p == zeroPage();
-    p = zero_backed ? std::make_shared<Page>()
-                    : std::make_shared<Page>(*p);
+    p = zero_backed ? std::make_shared<Page>()  // dvr-lint: allow(hot-alloc) CoW clone:
+                    : std::make_shared<Page>(*p);  // once per shared page, amortized
+
     raw_[idx] = p->bytes;
     if (derived_ && !zero_backed) {
         bump(gPagesCloned, 1);

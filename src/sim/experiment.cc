@@ -134,6 +134,7 @@ printSweepSharing(std::ostream &os, size_t runs, size_t images)
 
 BenchReport::BenchReport(std::string figure, unsigned threads)
     : figure_(std::move(figure)), threads_(threads),
+      // dvr-lint: allow(wall-clock) bench wall-time report only; never feeds simulated state
       manifest_(figure_), start_(std::chrono::steady_clock::now()),
       cowStart_(SimMemory::cowStats())
 {
@@ -168,6 +169,7 @@ std::string
 BenchReport::write(std::ostream &echo) const
 {
     const double wall =
+        // dvr-lint: allow(wall-clock) bench wall-time report only; never feeds simulated state
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();

@@ -87,7 +87,9 @@ class PreparedWorkload
     // Shared-checkpoint cache (sim.warmup.share), keyed by the
     // requested warmup length; guarded for concurrent Runner jobs.
     mutable std::mutex ckptMutex_;
+    // dvr-guarded-by(ckptMutex_)
     mutable std::shared_ptr<const Checkpoint> ckpt_;
+    // dvr-guarded-by(ckptMutex_)
     mutable uint64_t ckptInsts_ = 0;
 };
 
@@ -152,6 +154,7 @@ class BenchReport
     std::vector<std::pair<std::string, std::string>> extras_;
     /** mutable: write() const attaches the CoW delta at write time. */
     mutable RunManifest manifest_;
+    // dvr-lint: allow(wall-clock) bench wall-time report only; never feeds simulated state
     std::chrono::steady_clock::time_point start_;
     /** Process-wide CoW counters at construction (delta = this bench). */
     CowMemStats cowStart_;

@@ -359,6 +359,7 @@ timeInterpreter(const SimMemory &image, uint64_t insts, RunFn run)
     SimMemory mem = image;      // CoW view, like a simulation run
     FunctionalState st;
     uint64_t left = insts;
+    // dvr-lint: allow(wall-clock) MIPS calibration diagnostic; not a simulation input
     const auto t0 = std::chrono::steady_clock::now();
     while (left > 0) {
         left -= run(st, mem, left);
@@ -368,6 +369,7 @@ timeInterpreter(const SimMemory &image, uint64_t insts, RunFn run)
         }
     }
     const double secs =
+        // dvr-lint: allow(wall-clock) MIPS calibration diagnostic; not a simulation input
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();

@@ -8,57 +8,9 @@
 
 namespace dvr {
 
-Runner::Runner(unsigned threads)
-{
-    if (threads == 0)
-        threads = 1;
-    workers_.reserve(threads);
-    for (unsigned i = 0; i < threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
-}
+Runner::Runner(unsigned threads) : pool_(threads) {}
 
-Runner::~Runner()
-{
-    {
-        std::lock_guard<std::mutex> lk(mutex_);
-        stop_ = true;
-    }
-    work_.notify_all();
-    for (auto &t : workers_)
-        t.join();
-}
-
-void
-Runner::workerLoop()
-{
-    for (;;) {
-        size_t idx;
-        {
-            std::unique_lock<std::mutex> lk(mutex_);
-            work_.wait(lk, [this] {
-                return stop_ || (active_ && next_ < jobs_->size());
-            });
-            if (stop_)
-                return;
-            idx = next_++;
-        }
-        const SimJob &job = (*jobs_)[idx];
-        try {
-            if (!job.workload)
-                fatal("Runner: job '" + job.label + "' has no workload");
-            (*results_)[idx] = job.workload->run(job.cfg);
-        } catch (...) {
-            (*errors_)[idx] = std::current_exception();
-        }
-        {
-            std::lock_guard<std::mutex> lk(mutex_);
-            if (++done_ == jobs_->size()) {
-                active_ = false;
-                batchDone_.notify_all();
-            }
-        }
-    }
-}
+Runner::~Runner() = default;
 
 std::vector<SimResult>
 Runner::runAll(const std::vector<SimJob> &jobs)
@@ -67,21 +19,18 @@ Runner::runAll(const std::vector<SimJob> &jobs)
     if (jobs.empty())
         return results;
     std::vector<std::exception_ptr> errors(jobs.size());
-    {
-        std::unique_lock<std::mutex> lk(mutex_);
-        panicIf(active_, "Runner::runAll is not reentrant");
-        jobs_ = &jobs;
-        results_ = &results;
-        errors_ = &errors;
-        next_ = 0;
-        done_ = 0;
-        active_ = true;
-        work_.notify_all();
-        batchDone_.wait(lk, [this] { return !active_; });
-        jobs_ = nullptr;
-        results_ = nullptr;
-        errors_ = nullptr;
-    }
+
+    pool_.run(jobs.size(), [&](size_t idx) {
+        const SimJob &job = jobs[idx];
+        try {
+            if (!job.workload)
+                fatal("Runner: job '" + job.label + "' has no workload");
+            results[idx] = job.workload->run(job.cfg);
+        } catch (...) {
+            errors[idx] = std::current_exception();
+        }
+    });
+
     // Deterministic propagation: the first failed job by submission
     // order, regardless of which thread hit it first.
     for (auto &e : errors) {

@@ -21,15 +21,13 @@
 #ifndef DVR_SIM_RUNNER_HH
 #define DVR_SIM_RUNNER_HH
 
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "sim/experiment.hh"
 #include "sim/simulator.hh"
+#include "sim/task_pool.hh"
 
 namespace dvr {
 
@@ -46,10 +44,11 @@ struct SimJob
 };
 
 /**
- * Fixed-size std::thread pool over SimJobs. Jobs are claimed by index
- * from the submitted batch, so scheduling is work-stealing-free and
- * the result vector is always ordered by submission, never by
- * completion: output tables do not depend on the thread count.
+ * Fixed-size thread pool over SimJobs, built on sim/task_pool.hh.
+ * Jobs are claimed by index from the submitted batch, so scheduling
+ * is work-stealing-free and the result vector is always ordered by
+ * submission, never by completion: output tables do not depend on
+ * the thread count.
  */
 class Runner
 {
@@ -67,7 +66,7 @@ class Runner
      */
     std::vector<SimResult> runAll(const std::vector<SimJob> &jobs);
 
-    unsigned threads() const { return unsigned(workers_.size()); }
+    unsigned threads() const { return pool_.threads(); }
 
     /** DVR_JOBS env var if positive, else hardware_concurrency. */
     static unsigned defaultJobs();
@@ -80,21 +79,7 @@ class Runner
     static unsigned jobsFromArgs(int argc, char **argv);
 
   private:
-    void workerLoop();
-
-    std::vector<std::thread> workers_;
-
-    std::mutex mutex_;
-    std::condition_variable work_;
-    std::condition_variable batchDone_;
-    bool stop_ = false;
-    // Current batch (valid while active_).
-    bool active_ = false;
-    const std::vector<SimJob> *jobs_ = nullptr;
-    std::vector<SimResult> *results_ = nullptr;
-    std::vector<std::exception_ptr> *errors_ = nullptr;
-    size_t next_ = 0;
-    size_t done_ = 0;
+    TaskPool pool_;
 };
 
 } // namespace dvr

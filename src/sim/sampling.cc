@@ -176,6 +176,7 @@ runSampled(const SimConfig &cfgIn, const Workload &w,
                 warm_limit > 0 ? std::min(warm_limit, want_skip)
                                : want_skip;
             const uint64_t fast_part = want_skip - warm_part;
+            // dvr-lint: allow(wall-clock) times the functional whoosh for sample.functional_mips only
             const auto t0 = std::chrono::steady_clock::now();
             uint64_t done = 0;
             if (fast_part > 0)
@@ -184,6 +185,7 @@ runSampled(const SimConfig &cfgIn, const Workload &w,
                 done += fc_warm.run(st, want_skip - done);
             functional_secs +=
                 std::chrono::duration<double>(
+                    // dvr-lint: allow(wall-clock) times the functional whoosh for sample.functional_mips only
                     std::chrono::steady_clock::now() - t0)
                     .count();
             insts_functional += done;

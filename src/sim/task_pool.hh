@@ -1,0 +1,131 @@
+/**
+ * @file
+ * A fixed-size pool of persistent worker threads executing indexed
+ * tasks. This is the scheduling core the parallel experiment Runner
+ * (sim/runner.hh) is built on, factored out so other batch consumers
+ * — notably dvr-lint's parallel per-file analysis — share one
+ * deterministic execution discipline instead of growing their own.
+ *
+ * Determinism contract: run(n, fn) invokes fn(i) exactly once for
+ * every i in [0, n). Tasks are claimed by index in submission order
+ * (no work stealing), results are whatever fn writes into
+ * caller-owned, per-index slots, so the output of a batch is a pure
+ * function of the task list and never of the thread count or the OS
+ * schedule. fn must not throw — callers capture exceptions into
+ * per-index slots and rethrow in index order after the batch drains
+ * (see Runner::runAll for the pattern).
+ *
+ * Header-only and dependency-free beyond <thread>: tools that must
+ * not link the simulator (dvr-lint) can include just this file.
+ */
+
+#ifndef DVR_SIM_TASK_POOL_HH
+#define DVR_SIM_TASK_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dvr {
+
+class TaskPool
+{
+  public:
+    explicit TaskPool(unsigned threads)
+    {
+        if (threads == 0)
+            threads = 1;
+        workers_.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~TaskPool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            stop_ = true;
+        }
+        work_.notify_all();
+        for (auto &t : workers_)
+            t.join();
+    }
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    /**
+     * Execute fn(0) .. fn(n-1) across the pool and block until every
+     * task has finished. Not reentrant: one batch at a time. fn must
+     * not throw (capture into per-index slots instead).
+     */
+    void run(size_t n, const std::function<void(size_t)> &fn)
+    {
+        if (n == 0)
+            return;
+        std::unique_lock<std::mutex> lk(mutex_);
+        active_ = true;
+        fn_ = &fn;
+        count_ = n;
+        next_ = 0;
+        done_ = 0;
+        work_.notify_all();
+        batchDone_.wait(lk, [this] { return !active_; });
+        fn_ = nullptr;
+    }
+
+    unsigned threads() const { return unsigned(workers_.size()); }
+
+  private:
+    void workerLoop()
+    {
+        for (;;) {
+            size_t idx;
+            const std::function<void(size_t)> *fn;
+            {
+                std::unique_lock<std::mutex> lk(mutex_);
+                work_.wait(lk, [this] {
+                    return stop_ || (active_ && next_ < count_);
+                });
+                if (stop_)
+                    return;
+                idx = next_++;
+                fn = fn_;
+            }
+            (*fn)(idx);
+            {
+                std::lock_guard<std::mutex> lk(mutex_);
+                if (++done_ == count_) {
+                    active_ = false;
+                    batchDone_.notify_all();
+                }
+            }
+        }
+    }
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable work_;
+    std::condition_variable batchDone_;
+    // dvr-guarded-by(mutex_)
+    bool stop_ = false;
+    // Current batch (valid while active_).
+    // dvr-guarded-by(mutex_)
+    bool active_ = false;
+    // dvr-guarded-by(mutex_)
+    const std::function<void(size_t)> *fn_ = nullptr;
+    // dvr-guarded-by(mutex_)
+    size_t count_ = 0;
+    // dvr-guarded-by(mutex_)
+    size_t next_ = 0;
+    // dvr-guarded-by(mutex_)
+    size_t done_ = 0;
+};
+
+} // namespace dvr
+
+#endif // DVR_SIM_TASK_POOL_HH

@@ -22,7 +22,9 @@ constexpr char kBinaryMagic[8] = {'D', 'V', 'R', 'T', 'R', 'C', '0', '1'};
 // Ring buffer + sink state, all guarded by g_mu. The enable mask is
 // the only state touched on hot paths; everything here is cold.
 std::mutex g_mu;
+// dvr-guarded-by(g_mu)
 std::vector<TraceEvent> g_ring;
+// dvr-guarded-by(g_mu)
 uint64_t g_emitted = 0;
 std::ofstream g_jsonl;
 std::ofstream g_binary;
@@ -31,6 +33,7 @@ std::ofstream g_binary;
 void
 drainLocked()
 {
+    // dvr-lint: allow(guarded-by) -Locked suffix: every caller holds g_mu
     if (g_ring.empty())
         return;
     if (g_binary.is_open()) {

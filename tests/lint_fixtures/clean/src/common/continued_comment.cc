@@ -1,0 +1,12 @@
+namespace fix {
+
+// The next physical line is still this comment: \
+   int *leak = new int; rand(); srand(7);
+
+int
+answer()
+{
+    return 42;
+}
+
+} // namespace fix

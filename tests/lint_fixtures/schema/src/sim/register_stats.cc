@@ -1,0 +1,18 @@
+namespace fix {
+
+struct StatSet
+{
+    void set(const char *name, double v);
+};
+
+void
+exportStats(StatSet &s)
+{
+    s.set("covered_stat", 1.0);
+    s.set("family_hist_3", 2.0);
+    s.set("unlisted_stat", 3.0);
+    // dvr-lint: allow(stat-schema) fixture twin: migration in flight
+    s.set("waived_unlisted_stat", 4.0);
+}
+
+} // namespace fix

@@ -1,0 +1,18 @@
+namespace fix {
+
+// dvr-lint: allow(no-rand) live: suppresses nothing in this file
+int
+liveUnused()
+{
+    return 1;
+}
+
+// dvr-lint: allow(bad-waiver) fixture twin
+// dvr-lint: allow(no-float-timing) intentionally dead
+int
+waivedUnused()
+{
+    return 2;
+}
+
+} // namespace fix

@@ -1,0 +1,27 @@
+#include <memory>
+
+namespace fix {
+
+int
+helperAlloc()
+{
+    auto p = std::make_unique<int>(7);
+    return *p;
+}
+
+void
+waivedAlloc()
+{
+    // dvr-lint: allow(hot-alloc) fixture twin: once at startup
+    auto q = std::make_unique<int>(9);
+    (void)q;
+}
+
+// dvr-hot-path
+void hotTick()
+{
+    helperAlloc();
+    waivedAlloc();
+}
+
+} // namespace fix

@@ -1,0 +1,20 @@
+#include <atomic>
+
+namespace fix {
+
+std::atomic<unsigned> g_events{0};
+
+unsigned
+liveLoad()
+{
+    return g_events.load(std::memory_order_relaxed);
+}
+
+unsigned
+waivedLoad()
+{
+    // dvr-lint: allow(relaxed-atomic) fixture twin: racy reader is fine
+    return g_events.load(std::memory_order_relaxed);
+}
+
+} // namespace fix

@@ -1,0 +1,12 @@
+#include <map>
+
+namespace fix {
+
+struct PageTable
+{
+    std::map<int *, unsigned> live_by_addr_;
+    // dvr-lint: allow(pointer-key) fixture twin: never iterated
+    std::map<int *, unsigned> waived_by_addr_;
+};
+
+} // namespace fix

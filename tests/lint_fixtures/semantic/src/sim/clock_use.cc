@@ -1,0 +1,20 @@
+#include <chrono>
+
+namespace fix {
+
+long
+liveElapsed()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    return t0.time_since_epoch().count();
+}
+
+long
+waivedElapsed()
+{
+    // dvr-lint: allow(wall-clock) fixture twin: diagnostics only
+    const auto t0 = std::chrono::steady_clock::now();
+    return t0.time_since_epoch().count();
+}
+
+} // namespace fix

@@ -1,0 +1,32 @@
+#include <cstdint>
+#include <mutex>
+
+namespace fix {
+
+class Counter
+{
+  public:
+    void liveBump()
+    {
+        ++hits_;
+    }
+
+    void waivedBump()
+    {
+        // dvr-lint: allow(guarded-by) fixture twin: init-only path
+        ++hits_;
+    }
+
+    void lockedBump()
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        ++hits_;
+    }
+
+  private:
+    std::mutex mu_;
+    // dvr-guarded-by(mu_)
+    uint64_t hits_ = 0;
+};
+
+} // namespace fix

@@ -1,0 +1,30 @@
+#include <mutex>
+#include <vector>
+
+namespace fix {
+
+std::mutex g_mu;
+// dvr-guarded-by(g_mu)
+std::vector<int> g_ring;
+
+void
+liveAppend(int v)
+{
+    g_ring.push_back(v);
+}
+
+void
+waivedAppend(int v)
+{
+    // dvr-lint: allow(guarded-by) fixture twin: caller holds g_mu
+    g_ring.push_back(v);
+}
+
+void
+lockedAppend(int v)
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_ring.push_back(v);
+}
+
+} // namespace fix

@@ -1,0 +1,26 @@
+#include <cstdio>
+#include <unordered_map>
+
+namespace fix {
+
+class HistDump
+{
+  public:
+    void liveDump()
+    {
+        for (const auto &kv : counts_)
+            std::printf("%u\n", kv.second);
+    }
+
+    void waivedDump()
+    {
+        // dvr-lint: allow(unordered-iteration) fixture twin: sums only
+        for (const auto &kv : counts_)
+            std::printf("%u\n", kv.second);
+    }
+
+  private:
+    std::unordered_map<int, unsigned> counts_;
+};
+
+} // namespace fix

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -188,6 +190,196 @@ TEST(lint_scrub, block_comment_spans_lines)
     EXPECT_NE(std::string::npos, out[0].find("int a;"));
     EXPECT_EQ(std::string::npos, out[1].find("rand"));
     EXPECT_NE(std::string::npos, out[2].find("int b;"));
+}
+
+std::string
+findingsText(const std::vector<Finding> &findings)
+{
+    std::string all;
+    for (const Finding &f : findings)
+        all += f.toString() + "\n";
+    return all;
+}
+
+TEST(lint_fixtures, semantic_tree_seeds_one_finding_per_rule)
+{
+    const auto findings = lintFixture("semantic");
+    const auto counts = countByRule(findings);
+
+    // One live violation per semantic rule; every fixture file also
+    // carries a waived twin that must not surface. guarded-by seeds
+    // two: a class-member contract and a file-scope one. bad-waiver
+    // here is the unused-waiver form: a waiver that suppresses
+    // nothing. stat-schema needs a tests/stats_schema.inc and is
+    // exercised by the `schema` fixture instead.
+    const std::map<std::string, int> expect = {
+        {"unordered-iteration", 1}, {"wall-clock", 1},
+        {"pointer-key", 1},         {"guarded-by", 2},
+        {"relaxed-atomic", 1},      {"hot-alloc", 1},
+        {"bad-waiver", 1},
+    };
+    EXPECT_EQ(expect, counts) << findingsText(findings);
+}
+
+TEST(lint_fixtures, semantic_findings_name_the_seeded_files)
+{
+    const auto findings = lintFixture("semantic");
+    auto fileOf = [&](const std::string &rule) {
+        for (const auto &f : findings) {
+            if (f.rule == rule)
+                return f.file;
+        }
+        return std::string("<none>");
+    };
+    EXPECT_EQ("src/sim/clock_use.cc", fileOf("wall-clock"));
+    EXPECT_EQ("src/core/relaxed.cc", fileOf("relaxed-atomic"));
+    EXPECT_EQ("src/mem/ptr_key.cc", fileOf("pointer-key"));
+    EXPECT_EQ("src/sim/guarded.cc", fileOf("guarded-by"));
+    EXPECT_EQ("src/core/hot.cc", fileOf("hot-alloc"));
+    EXPECT_EQ("src/sim/unordered_iter.cc",
+              fileOf("unordered-iteration"));
+    EXPECT_EQ("src/common/unused_waiver.cc", fileOf("bad-waiver"));
+}
+
+TEST(lint_fixtures, hot_alloc_reports_the_reaching_call_chain)
+{
+    // The finding must say HOW the alloc is hot: the call chain from
+    // the dvr-hot-path root down to the allocating function.
+    const auto findings = lintFixture("semantic");
+    for (const auto &f : findings) {
+        if (f.rule != "hot-alloc")
+            continue;
+        EXPECT_NE(std::string::npos,
+                  f.message.find("hotTick -> helperAlloc"))
+            << f.message;
+        EXPECT_NE(std::string::npos, f.message.find("make_unique"))
+            << f.message;
+        return;
+    }
+    FAIL() << "no hot-alloc finding";
+}
+
+TEST(lint_fixtures, schema_fixture_closes_the_registry_both_ways)
+{
+    const auto findings = lintFixture("schema");
+    const auto counts = countByRule(findings);
+    const std::map<std::string, int> expect = {{"stat-schema", 3}};
+    EXPECT_EQ(expect, counts) << findingsText(findings);
+
+    auto has = [&](const std::string &file, const std::string &needle) {
+        return std::any_of(findings.begin(), findings.end(),
+                           [&](const Finding &f) {
+                               return f.file == file &&
+                                      f.message.find(needle) !=
+                                          std::string::npos;
+                           });
+    };
+    // Registered in src/ but missing from the registry.
+    EXPECT_TRUE(has("src/sim/register_stats.cc", "unlisted_stat"));
+    // Registry entry nothing registers any more.
+    EXPECT_TRUE(has("tests/stats_schema.inc", "ghost_stat"));
+    // Required key matching no registered name; the family entry
+    // ("family_hist_") must cover the dynamic-suffix registration.
+    EXPECT_TRUE(has("tests/stats_schema.inc", "core.missing_stat"));
+    EXPECT_FALSE(has("tests/stats_schema.inc", "family_hist_"));
+}
+
+TEST(lint_scrub, line_comment_continuation_hides_next_line)
+{
+    // A `//` comment ending in a backslash continues onto the next
+    // physical line; code there must not reach the token rules.
+    const auto out = scrubSource({
+        "int a; // hidden by continuation \\",
+        "rand(); int *p = new int;",
+        "int b;",
+    });
+    ASSERT_EQ(3u, out.size());
+    EXPECT_NE(std::string::npos, out[0].find("int a;"));
+    EXPECT_EQ(std::string::npos, out[1].find("rand"));
+    EXPECT_EQ(std::string::npos, out[1].find("new"));
+    EXPECT_NE(std::string::npos, out[2].find("int b;"));
+}
+
+TEST(lint_baseline, round_trip_suppresses_then_goes_stale)
+{
+    const std::string path =
+        ::testing::TempDir() + "dvr_lint_baseline_test.json";
+
+    // Ratchet step 1: baseline the fixture's pre-existing findings;
+    // the tree then lints clean.
+    const auto live = lintFixture("semantic");
+    ASSERT_FALSE(live.empty());
+    {
+        std::ofstream out(path);
+        out << dvr::lint::baselineJson(live);
+    }
+    Options opts;
+    opts.root = std::string(DVR_LINT_FIXTURE_DIR) + "/semantic";
+    opts.baselinePath = path;
+    EXPECT_TRUE(runLint(opts).empty())
+        << findingsText(runLint(opts));
+
+    // Ratchet step 2: an entry whose finding has been fixed fails as
+    // stale-baseline until it is removed.
+    auto withGhost = live;
+    withGhost.push_back(
+        {"src/core/hot.cc", 1, "no-rand", "a fixed finding"});
+    {
+        std::ofstream out(path);
+        out << dvr::lint::baselineJson(withGhost);
+    }
+    const auto stale = runLint(opts);
+    ASSERT_EQ(1u, stale.size()) << findingsText(stale);
+    EXPECT_EQ("stale-baseline", stale[0].rule);
+    EXPECT_NE(std::string::npos, stale[0].message.find("no-rand"))
+        << stale[0].message;
+    std::remove(path.c_str());
+}
+
+TEST(lint_baseline, load_parses_what_baseline_json_writes)
+{
+    const std::string path =
+        ::testing::TempDir() + "dvr_lint_baseline_parse.json";
+    const std::vector<Finding> findings = {
+        {"src/a.cc", 3, "no-rand", "message \"with\" quotes\\slash"},
+        {"src/b.hh", 9, "naked-new", "plain"},
+    };
+    {
+        std::ofstream out(path);
+        out << dvr::lint::baselineJson(findings);
+    }
+    const auto entries = dvr::lint::loadBaseline(path);
+    ASSERT_EQ(2u, entries.size());
+    EXPECT_EQ("src/a.cc", entries[0].file);
+    EXPECT_EQ("no-rand", entries[0].rule);
+    EXPECT_EQ("message \"with\" quotes\\slash", entries[0].message);
+    EXPECT_EQ("src/b.hh", entries[1].file);
+    // Missing file = empty baseline, not an error.
+    std::remove(path.c_str());
+    EXPECT_TRUE(dvr::lint::loadBaseline(path).empty());
+}
+
+TEST(lint_parallel, output_is_identical_at_any_job_count)
+{
+    // Per-file analysis fans out over the task pool, but findings are
+    // gathered into per-file slots and sorted, so the report must be
+    // byte-identical however many workers run.
+    Options serial;
+    serial.root = DVR_LINT_SOURCE_ROOT;
+    serial.jobs = 1;
+    Options parallel = serial;
+    parallel.jobs = 8;
+    EXPECT_EQ(findingsText(runLint(serial)),
+              findingsText(runLint(parallel)));
+
+    Options fixtureSerial;
+    fixtureSerial.root =
+        std::string(DVR_LINT_FIXTURE_DIR) + "/semantic";
+    fixtureSerial.jobs = 1;
+    Options fixtureParallel = fixtureSerial;
+    fixtureParallel.jobs = 8;
+    EXPECT_EQ(findingsText(runLint(fixtureSerial)),
+              findingsText(runLint(fixtureParallel)));
 }
 
 TEST(lint_tree, real_source_tree_is_clean)

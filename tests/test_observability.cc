@@ -151,6 +151,21 @@ TEST_F(CpiStack, EveryTechniqueExportsRequiredStatKeys)
     }
 }
 
+TEST(StatSchema, RegisteredNameRegistryIsSortedAndUnique)
+{
+    // dvr-lint's stat-schema rule diffs the registrations in src/
+    // against this registry; keeping it sorted makes those diffs and
+    // the review history readable.
+    const size_t n =
+        sizeof(kRegisteredStatNames) / sizeof(kRegisteredStatNames[0]);
+    ASSERT_GT(n, 0u);
+    for (size_t i = 1; i < n; ++i) {
+        EXPECT_LT(std::string(kRegisteredStatNames[i - 1]),
+                  std::string(kRegisteredStatNames[i]))
+            << "out of order or duplicated at index " << i;
+    }
+}
+
 TEST_F(CpiStack, SampledRunExportsSampleStatSchema)
 {
     // Interval-sampled runs additionally export the sample.* schema

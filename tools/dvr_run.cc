@@ -340,12 +340,14 @@ main(int argc, char **argv)
             Trace::setBinarySink(trace_path + ".bin");
         }
 
+        // dvr-lint: allow(wall-clock) CLI wall-time footer; results are unaffected
         const auto wall_start = std::chrono::steady_clock::now();
         Runner runner(std::min<unsigned>(std::max(1u, njobs),
                                          unsigned(jobs.size())));
         const std::vector<SimResult> results = runner.runAll(jobs);
         const double wall_seconds =
             std::chrono::duration<double>(
+                // dvr-lint: allow(wall-clock) CLI wall-time footer; results are unaffected
                 std::chrono::steady_clock::now() - wall_start)
                 .count();
 

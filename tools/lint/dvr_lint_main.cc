@@ -2,18 +2,28 @@
  * @file
  * dvr-lint command-line driver.
  *
- *     dvr-lint [--root DIR] [--compile-commands FILE]
- *              [--list-rules] [FILE...]
+ *     dvr-lint [--root DIR] [--compile-commands FILE] [--jobs N]
+ *              [--format text|json] [--baseline FILE] [--no-baseline]
+ *              [--write-baseline] [--list-rules] [FILE...]
  *
  * FILEs are root-relative; with none given the whole tree is walked.
  * With --compile-commands, the translation units listed in the
  * compilation database are linted (plus every header the tree walk
- * finds), so the lint set tracks what actually builds. Exit status:
- * 0 clean, 1 findings, 2 usage or I/O error.
+ * finds), so the lint set tracks what actually builds.
+ *
+ * The ratchet: findings listed in the baseline (default
+ * <root>/tools/lint/baseline.json when it exists) are pre-existing
+ * debt and pass; new findings fail; baseline entries whose finding
+ * has been fixed fail as stale until removed. --write-baseline
+ * regenerates the file from the current findings (shrinking it only,
+ * in spirit — review additions). --no-baseline reports everything.
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage or I/O error.
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <filesystem>
@@ -60,7 +70,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--root DIR] [--compile-commands FILE] "
-                 "[--list-rules] [FILE...]\n",
+                 "[--jobs N] [--format text|json] [--baseline FILE] "
+                 "[--no-baseline] [--write-baseline] [--list-rules] "
+                 "[FILE...]\n",
                  argv0);
     return 2;
 }
@@ -72,6 +84,10 @@ main(int argc, char **argv)
 {
     dvr::lint::Options opts;
     std::string compileCommands;
+    std::string baseline;
+    bool noBaseline = false;
+    bool writeBaseline = false;
+    bool json = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -87,6 +103,35 @@ main(int argc, char **argv)
             opts.root = value("--root");
         } else if (a == "--compile-commands") {
             compileCommands = value("--compile-commands");
+        } else if (a == "--jobs") {
+            opts.jobs = unsigned(std::strtoul(
+                value("--jobs").c_str(), nullptr, 10));
+        } else if (a == "--format") {
+            const std::string f = value("--format");
+            if (f == "json") {
+                json = true;
+            } else if (f != "text") {
+                std::fprintf(stderr,
+                             "dvr-lint: unknown format '%s'\n",
+                             f.c_str());
+                return 2;
+            }
+        } else if (a.rfind("--format=", 0) == 0) {
+            const std::string f = a.substr(9);
+            if (f == "json") {
+                json = true;
+            } else if (f != "text") {
+                std::fprintf(stderr,
+                             "dvr-lint: unknown format '%s'\n",
+                             f.c_str());
+                return 2;
+            }
+        } else if (a == "--baseline") {
+            baseline = value("--baseline");
+        } else if (a == "--no-baseline") {
+            noBaseline = true;
+        } else if (a == "--write-baseline") {
+            writeBaseline = true;
         } else if (a == "--list-rules") {
             for (const auto &r : dvr::lint::rules())
                 std::printf("%-24s %s\n", r.id, r.describe);
@@ -114,13 +159,54 @@ main(int argc, char **argv)
                                          opts.files.end()),
                              opts.files.end());
         }
+
+        // Default ratchet file: tools/lint/baseline.json under the
+        // root, when present.
+        if (baseline.empty() && !noBaseline) {
+            const fs::path def =
+                fs::path(opts.root) / "tools" / "lint" /
+                "baseline.json";
+            if (fs::exists(def))
+                baseline = def.string();
+        }
+        if (!noBaseline && !writeBaseline)
+            opts.baselinePath = baseline;
+
         const auto findings = dvr::lint::runLint(opts);
-        for (const auto &f : findings)
-            std::printf("%s\n", f.toString().c_str());
+
+        if (writeBaseline) {
+            const std::string path =
+                !baseline.empty()
+                    ? baseline
+                    : (fs::path(opts.root) / "tools" / "lint" /
+                       "baseline.json")
+                          .string();
+            std::ofstream out(path);
+            if (!out) {
+                std::fprintf(stderr, "dvr-lint: cannot write %s\n",
+                             path.c_str());
+                return 2;
+            }
+            out << dvr::lint::baselineJson(findings);
+            std::fprintf(stderr,
+                         "dvr-lint: wrote %zu baseline entr%s to %s\n",
+                         findings.size(),
+                         findings.size() == 1 ? "y" : "ies",
+                         path.c_str());
+            return 0;
+        }
+
+        if (json) {
+            std::fputs(dvr::lint::toJson(findings).c_str(), stdout);
+        } else {
+            for (const auto &f : findings)
+                std::printf("%s\n", f.toString().c_str());
+        }
         if (!findings.empty()) {
             std::fprintf(stderr,
                          "dvr-lint: %zu finding%s (waive with "
-                         "// dvr-lint: allow(<rule>))\n",
+                         "// dvr-lint: allow(<rule>), or baseline "
+                         "pre-existing debt)\n",
                          findings.size(),
                          findings.size() == 1 ? "" : "s");
             return 1;

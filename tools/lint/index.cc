@@ -1,0 +1,886 @@
+#include "index.hh"
+
+#include <algorithm>
+#include <deque>
+
+namespace dvr::lint {
+
+namespace {
+
+bool
+isKeywordNoCall(const std::string &s)
+{
+    static const std::set<std::string> kw = {
+        "if",       "for",      "while",   "switch", "return",
+        "sizeof",   "alignof",  "catch",   "new",    "delete",
+        "decltype", "noexcept", "alignas", "assert", "case",
+        "throw",    "co_await", "co_return",
+    };
+    return kw.count(s) != 0;
+}
+
+/** Flatten token texts into a type string ("std::map<Foo*,int>"). */
+std::string
+joinTokens(const std::vector<Token> &toks, size_t b, size_t e)
+{
+    std::string out;
+    for (size_t i = b; i < e && i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind == Tok::kString || t.kind == Tok::kChar)
+            continue;
+        if (!out.empty() && t.kind == Tok::kIdent &&
+            std::isalnum(static_cast<unsigned char>(out.back()))) {
+            out += ' ';
+        }
+        out += t.text;
+    }
+    return out;
+}
+
+/**
+ * At toks[i] == "<": return the index one past the matching ">".
+ * `>>` is two tokens, so depth bookkeeping is per-`>`.
+ */
+size_t
+skipAngles(const std::vector<Token> &toks, size_t i)
+{
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+        const std::string &t = toks[i].text;
+        if (toks[i].kind != Tok::kPunct)
+            continue;
+        if (t == "<") {
+            ++depth;
+        } else if (t == ">") {
+            if (--depth == 0)
+                return i + 1;
+        } else if (t == ";" || t == "{") {
+            break;      // not a template argument list after all
+        }
+    }
+    return i;
+}
+
+/** First template argument ("Foo*" of "map<Foo*, int>"), or "". */
+std::string
+firstTemplateArg(const std::vector<Token> &toks, size_t lt)
+{
+    if (lt >= toks.size() || toks[lt].text != "<")
+        return "";
+    int depth = 0;
+    const size_t b = lt + 1;
+    for (size_t i = lt; i < toks.size(); ++i) {
+        const std::string &t = toks[i].text;
+        if (toks[i].kind != Tok::kPunct) {
+            continue;
+        } else if (t == "<") {
+            ++depth;
+        } else if (t == ">") {
+            if (--depth == 0)
+                return joinTokens(toks, b, i);
+        } else if (t == "," && depth == 1) {
+            return joinTokens(toks, b, i);
+        } else if (t == ";" || t == "{") {
+            break;
+        }
+    }
+    return "";
+}
+
+/** Names whose template instantiations are associative containers. */
+bool
+containerName(const std::string &s, bool &unordered)
+{
+    if (s == "unordered_map" || s == "unordered_set" ||
+        s == "unordered_multimap" || s == "unordered_multiset") {
+        unordered = true;
+        return true;
+    }
+    if (s == "map" || s == "set" || s == "multimap" ||
+        s == "multiset") {
+        unordered = false;
+        return true;
+    }
+    return false;
+}
+
+struct Scope
+{
+    enum Kind { kNamespace, kClass, kFunction, kBlock } kind;
+    std::string name;       ///< class name for kClass
+    int fnIndex = -1;       ///< functions[] slot for kFunction
+};
+
+/** Comment lookup: line -> concatenated comment text on that line. */
+std::map<uint32_t, std::string>
+commentsByLine(const TokenizedFile &tf)
+{
+    std::map<uint32_t, std::string> out;
+    for (const Token &t : tf.tokens) {
+        if (t.kind == Tok::kComment)
+            out[t.line] += t.text;
+    }
+    return out;
+}
+
+std::string
+annotationOn(const std::map<uint32_t, std::string> &comments,
+             uint32_t line, const std::string &tag)
+{
+    for (uint32_t l : {line, line > 1 ? line - 1 : line}) {
+        auto it = comments.find(l);
+        if (it == comments.end())
+            continue;
+        const size_t p = it->second.find(tag);
+        if (p == std::string::npos)
+            continue;
+        const size_t open = it->second.find('(', p);
+        if (open == std::string::npos)
+            return tag;     // tag with no argument
+        const size_t close = it->second.find(')', open);
+        if (close == std::string::npos)
+            return tag;
+        std::string arg =
+            it->second.substr(open + 1, close - open - 1);
+        // Trim whitespace.
+        const size_t b = arg.find_first_not_of(" \t");
+        const size_t e = arg.find_last_not_of(" \t");
+        return b == std::string::npos
+                   ? std::string()
+                   : arg.substr(b, e - b + 1);
+    }
+    return "";
+}
+
+bool
+hasAnnotation(const std::map<uint32_t, std::string> &comments,
+              uint32_t line, const std::string &tag)
+{
+    for (uint32_t l : {line, line > 1 ? line - 1 : line}) {
+        auto it = comments.find(l);
+        if (it != comments.end() &&
+            it->second.find(tag) != std::string::npos) {
+            return true;
+        }
+    }
+    return false;
+}
+
+class Parser
+{
+  public:
+    Parser(const std::string &rel, const TokenizedFile &tf)
+        : comments_(commentsByLine(tf))
+    {
+        out_.rel = rel;
+        for (const Token &t : tf.tokens) {
+            if (t.kind != Tok::kComment)
+                out_.code.push_back(t);
+        }
+    }
+
+    FileIndex run();
+
+  private:
+    const std::vector<Token> &c() const { return out_.code; }
+    const std::string &txt(size_t i) const { return c()[i].text; }
+    bool punct(size_t i, const char *p) const
+    {
+        return i < c().size() && c()[i].kind == Tok::kPunct &&
+               c()[i].text == p;
+    }
+    bool ident(size_t i) const
+    {
+        return i < c().size() && c()[i].kind == Tok::kIdent;
+    }
+
+    Scope::Kind topKind() const
+    {
+        return scopes_.empty() ? Scope::kNamespace
+                               : scopes_.back().kind;
+    }
+    /** Innermost enclosing class name, if the top scope is a class. */
+    std::string currentClass() const
+    {
+        return (!scopes_.empty() &&
+                scopes_.back().kind == Scope::kClass)
+                   ? scopes_.back().name
+                   : "";
+    }
+    FunctionDef *currentFn()
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            if (it->kind == Scope::kFunction)
+                return &out_.functions[size_t(it->fnIndex)];
+            if (it->kind == Scope::kClass)
+                return nullptr;     // local class: leave its scope
+        }
+        return nullptr;
+    }
+
+    size_t matchParen(size_t open) const;
+    size_t tryFunction(size_t open, FunctionDef &fn) const;
+    void classMember(size_t stmtBegin, size_t semi);
+    void fileVar(size_t stmtBegin, size_t semi);
+    void containerDecl(size_t i, FunctionDef *fn);
+    void bodyToken(size_t i, FunctionDef &fn);
+
+    FileIndex out_;
+    std::map<uint32_t, std::string> comments_;
+    std::vector<Scope> scopes_;
+};
+
+size_t
+Parser::matchParen(size_t open) const
+{
+    int depth = 0;
+    for (size_t i = open; i < c().size(); ++i) {
+        if (punct(i, "("))
+            ++depth;
+        else if (punct(i, ")") && --depth == 0)
+            return i;
+    }
+    return c().size();
+}
+
+/**
+ * toks[open] is "(" and the previous token is a plausible function
+ * name at declaration scope. Returns the index of the body "{" if
+ * this is a function definition, or 0 if it is not.
+ */
+size_t
+Parser::tryFunction(size_t open, FunctionDef &fn) const
+{
+    const size_t nameIdx = open - 1;
+    fn.name = txt(nameIdx);
+    fn.line = c()[nameIdx].line;
+    // Qualified name: A::name( — and ~A for destructors.
+    size_t back = nameIdx;
+    if (back >= 1 && punct(back - 1, "~")) {
+        fn.name = "~" + fn.name;
+        back -= 1;
+    }
+    if (back >= 2 && punct(back - 1, "::") && ident(back - 2))
+        fn.cls = txt(back - 2);
+
+    size_t i = matchParen(open);
+    if (i >= c().size())
+        return 0;
+    ++i;
+    // Trailer: cv/ref/noexcept/override/final/trailing return, until
+    // the body "{", a ";"/"=" (declaration), or a ctor init list.
+    while (i < c().size()) {
+        if (punct(i, "{"))
+            return i;
+        if (punct(i, ";") || punct(i, "=") || punct(i, ",") ||
+            punct(i, ")")) {
+            return 0;
+        }
+        if (punct(i, ":")) {
+            // Ctor init list: members with balanced (…) or {…}
+            // initializers, then the body "{".
+            ++i;
+            while (i < c().size()) {
+                // Skip the member path (idents, ::, template args).
+                while (i < c().size() &&
+                       (ident(i) || punct(i, "::"))) {
+                    ++i;
+                }
+                if (punct(i, "<"))
+                    i = skipAngles(c(), i);
+                if (punct(i, "(")) {
+                    i = matchParen(i) + 1;
+                } else if (punct(i, "{")) {
+                    int d = 0;
+                    for (; i < c().size(); ++i) {
+                        if (punct(i, "{"))
+                            ++d;
+                        else if (punct(i, "}") && --d == 0)
+                            break;
+                    }
+                    ++i;
+                } else {
+                    return 0;   // not an initializer after all
+                }
+                if (punct(i, ",")) {
+                    ++i;
+                    continue;
+                }
+                return punct(i, "{") ? i : 0;
+            }
+            return 0;
+        }
+        if (punct(i, "(")) {
+            i = matchParen(i) + 1;  // noexcept(...), attributes
+            continue;
+        }
+        if (punct(i, "<")) {
+            i = skipAngles(c(), i);
+            continue;
+        }
+        ++i;
+    }
+    return 0;
+}
+
+/** A class-scope statement ending in ";" that is not a function. */
+void
+Parser::classMember(size_t stmtBegin, size_t semi)
+{
+    size_t b = stmtBegin;
+    // Skip access specifiers and storage words that precede the type.
+    while (b < semi && ident(b) &&
+           (txt(b) == "public" || txt(b) == "private" ||
+            txt(b) == "protected" || txt(b) == "mutable")) {
+        ++b;
+        if (punct(b, ":"))
+            ++b;
+    }
+    if (b >= semi || !ident(b))
+        return;
+    const std::string &first = txt(b);
+    if (first == "using" || first == "static" || first == "friend" ||
+        first == "typedef" || first == "enum" || first == "class" ||
+        first == "struct" || first == "template" ||
+        first == "static_assert" || first == "operator" ||
+        first == "virtual" || first == "explicit") {
+        return;
+    }
+    // A "(" at angle-depth 0 means a method declaration, not a field.
+    int angle = 0;
+    size_t nameIdx = 0, typeEnd = semi;
+    for (size_t i = b; i < semi; ++i) {
+        if (c()[i].kind != Tok::kPunct) {
+            if (ident(i))
+                nameIdx = i;
+            continue;
+        }
+        const std::string &p = txt(i);
+        if (p == "<") {
+            ++angle;
+        } else if (p == ">") {
+            --angle;
+        } else if (p == "(" && angle == 0) {
+            return;
+        } else if ((p == "=" || p == "{" || p == "[") && angle == 0) {
+            typeEnd = i;
+            break;
+        }
+    }
+    // The field name is the last identifier before the initializer.
+    nameIdx = 0;
+    for (size_t i = b; i < typeEnd; ++i) {
+        if (ident(i))
+            nameIdx = i;
+    }
+    if (nameIdx == 0 || nameIdx == b)
+        return;     // no (type, name) pair
+    MemberDecl m;
+    m.cls = currentClass();
+    m.name = txt(nameIdx);
+    m.line = c()[nameIdx].line;
+    m.typeText = joinTokens(c(), b, nameIdx);
+    m.guardedBy =
+        annotationOn(comments_, m.line, "dvr-guarded-by");
+    for (size_t i = b; i < nameIdx; ++i) {
+        bool unordered = false;
+        if (ident(i) && containerName(txt(i), unordered) &&
+            punct(i + 1, "<")) {
+            m.unordered = unordered;
+            m.ordered = !unordered;
+            m.keyType = firstTemplateArg(c(), i + 1);
+            break;
+        }
+    }
+    out_.members.push_back(std::move(m));
+}
+
+/**
+ * A namespace-scope statement ending in ";": record simple variable
+ * declarations so call receivers like `g_binary.write(...)` resolve
+ * to their declared — possibly non-project — type instead of fanning
+ * out to every same-named method in the project.
+ */
+void
+Parser::fileVar(size_t stmtBegin, size_t semi)
+{
+    size_t b = stmtBegin;
+    while (b < semi && ident(b) &&
+           (txt(b) == "static" || txt(b) == "const" ||
+            txt(b) == "constexpr" || txt(b) == "inline" ||
+            txt(b) == "extern" || txt(b) == "thread_local")) {
+        ++b;
+    }
+    if (b >= semi || !ident(b))
+        return;
+    const std::string &first = txt(b);
+    if (first == "using" || first == "typedef" || first == "enum" ||
+        first == "class" || first == "struct" ||
+        first == "template" || first == "friend" ||
+        first == "namespace" || first == "operator" ||
+        first == "return" || first == "static_assert") {
+        return;
+    }
+    int angle = 0;
+    size_t typeEnd = semi;
+    for (size_t i = b; i < semi; ++i) {
+        if (c()[i].kind != Tok::kPunct)
+            continue;
+        const std::string &p = txt(i);
+        if (p == "<") {
+            ++angle;
+        } else if (p == ">") {
+            --angle;
+        } else if (p == "(" && angle == 0) {
+            return;     // a function declaration, not a variable
+        } else if ((p == "=" || p == "{" || p == "[") && angle == 0) {
+            typeEnd = i;
+            break;
+        }
+    }
+    size_t nameIdx = 0;
+    for (size_t i = b; i < typeEnd; ++i) {
+        if (ident(i))
+            nameIdx = i;
+    }
+    if (nameIdx == 0 || nameIdx == b)
+        return;     // no (type, name) pair
+    out_.fileVarTypes.emplace(txt(nameIdx),
+                              joinTokens(c(), b, nameIdx));
+    const std::string guard =
+        annotationOn(comments_, c()[nameIdx].line, "dvr-guarded-by");
+    if (!guard.empty()) {
+        MemberDecl m;
+        m.name = txt(nameIdx);
+        m.line = c()[nameIdx].line;
+        m.typeText = joinTokens(c(), b, nameIdx);
+        m.guardedBy = guard;
+        out_.fileGuarded.push_back(std::move(m));
+    }
+}
+
+/** Container-typed local / file-scope variable declarations. */
+void
+Parser::containerDecl(size_t i, FunctionDef *fn)
+{
+    bool unordered = false;
+    if (!ident(i) || !containerName(txt(i), unordered) ||
+        !punct(i + 1, "<")) {
+        return;
+    }
+    // Ordered map/set must be std::-qualified to avoid plain idents.
+    if (!unordered &&
+        !(i >= 2 && punct(i - 1, "::") && txt(i - 2) == "std")) {
+        return;
+    }
+    const size_t after = skipAngles(c(), i + 1);
+    if (!ident(after))
+        return;
+    // Declaration, not use: the variable name is followed by ; = { (
+    if (!(punct(after + 1, ";") || punct(after + 1, "=") ||
+          punct(after + 1, "{") || punct(after + 1, "("))) {
+        return;
+    }
+    ContainerVar v;
+    v.name = txt(after);
+    v.line = c()[after].line;
+    v.unordered = unordered;
+    v.keyType = firstTemplateArg(c(), i + 1);
+    if (fn)
+        fn->locals.push_back(std::move(v));
+    else if (currentClass().empty())
+        out_.fileScope.push_back(std::move(v));
+}
+
+/** Per-token extraction inside a function body. */
+void
+Parser::bodyToken(size_t i, FunctionDef &fn)
+{
+    if (!ident(i))
+        return;
+    const std::string &t = txt(i);
+    const uint32_t line = c()[i].line;
+
+    // Allocating constructs.
+    if (t == "new" && !(i >= 1 && punct(i - 1, "="))) {
+        if (ident(i + 1) || punct(i + 1, "("))
+            fn.allocs.push_back({line, i, "new"});
+    } else if (t == "make_unique" || t == "make_shared") {
+        fn.allocs.push_back({line, i, t});
+    } else if (t == "to_string") {
+        fn.allocs.push_back({line, i, "std::to_string"});
+    } else if (t == "function" && i >= 2 && punct(i - 1, "::") &&
+               txt(i - 2) == "std" && punct(i + 1, "<")) {
+        fn.allocs.push_back({line, i, "std::function"});
+    } else if (t == "string" && i >= 2 && punct(i - 1, "::") &&
+               txt(i - 2) == "std" &&
+               (ident(i + 1) || punct(i + 1, "(") ||
+                punct(i + 1, "{"))) {
+        fn.allocs.push_back({line, i, "std::string"});
+    } else if (t == "append" && i >= 1 &&
+               (punct(i - 1, ".") || punct(i - 1, "->")) &&
+               punct(i + 1, "(")) {
+        fn.allocs.push_back({line, i, ".append"});
+    }
+
+    // Locks in scope: std::lock_guard/unique_lock/scoped_lock
+    // constructions and explicit .lock() calls.
+    if (t == "lock_guard" || t == "unique_lock" ||
+        t == "scoped_lock") {
+        size_t j = i + 1;
+        if (punct(j, "<"))
+            j = skipAngles(c(), j);
+        if (ident(j) && punct(j + 1, "(")) {
+            const size_t close = matchParen(j + 1);
+            for (size_t k = j + 2; k < close; ++k) {
+                if (ident(k) && txt(k) != "std" &&
+                    txt(k) != "mutex" && txt(k) != "this" &&
+                    txt(k) != "adopt_lock" &&
+                    txt(k) != "defer_lock") {
+                    fn.locks.push_back(txt(k));
+                }
+            }
+        }
+    }
+    if (t == "lock" && i >= 2 && punct(i - 1, ".") && ident(i - 2) &&
+        punct(i + 1, "(")) {
+        fn.locks.push_back(txt(i - 2));
+    }
+
+    // Range-based for: record the last identifier of the range expr.
+    if (t == "for" && punct(i + 1, "(")) {
+        const size_t close = matchParen(i + 1);
+        int depth = 0;
+        size_t colon = 0;
+        for (size_t k = i + 1; k < close; ++k) {
+            if (punct(k, "("))
+                ++depth;
+            else if (punct(k, ")"))
+                --depth;
+            else if (punct(k, ":") && depth == 1) {
+                colon = k;
+                break;
+            }
+        }
+        if (colon != 0) {
+            std::string last;
+            for (size_t k = colon + 1; k < close; ++k) {
+                if (ident(k))
+                    last = txt(k);
+            }
+            if (!last.empty())
+                fn.rangeFors.push_back({c()[i].line, last});
+        }
+    }
+
+    // Calls.
+    if (punct(i + 1, "(") && !isKeywordNoCall(t)) {
+        const bool memberCall =
+            i >= 1 && (punct(i - 1, ".") || punct(i - 1, "->"));
+        if (i >= 2 && punct(i - 1, "::") && ident(i - 2)) {
+            fn.calls.push_back(txt(i - 2) + "::" + t);
+            if (txt(i - 2) == "Trace" && t == "emit")
+                fn.traceTouch = true;
+        } else if (memberCall && i >= 2 && ident(i - 2)) {
+            // Keep the receiver: `mem_.write(...)` resolves through
+            // OooCore's member table to SimMemory::write instead of
+            // fanning out to every `write` in the project.
+            fn.recvCalls.emplace_back(txt(i - 2), t);
+        } else {
+            fn.calls.push_back(t);
+        }
+        if (memberCall && (t == "set" || t == "add") &&
+            i + 2 < c().size() && c()[i + 2].kind == Tok::kString) {
+            fn.statTouch = true;
+            out_.statRegs.emplace_back(txt(i + 2), c()[i + 2].line);
+        }
+        static const std::set<std::string> kPrinters = {
+            "printf",  "fprintf", "puts",       "fputs",
+            "toString", "toJson",  "toCsv",     "printTable",
+        };
+        if (kPrinters.count(t) != 0)
+            fn.outputTouch = true;
+    }
+
+    // Stream output: "os << ..." style.
+    if (punct(i + 1, "<<")) {
+        static const std::set<std::string> kStreams = {
+            "os", "out", "oss", "ss", "cout", "cerr", "echo",
+            "stream",
+        };
+        if (kStreams.count(t) != 0)
+            fn.outputTouch = true;
+    }
+
+    containerDecl(i, &fn);
+}
+
+FileIndex
+Parser::run()
+{
+    // Pending context consumed by the next "{".
+    enum class Pending { kNone, kNamespace, kClass, kFunction };
+    Pending pending = Pending::kNone;
+    std::string pendingClass;
+    FunctionDef pendingFn;
+    size_t stmtBegin = 0;
+
+    for (size_t i = 0; i < c().size(); ++i) {
+        const Token &tk = c()[i];
+
+        if (tk.kind == Tok::kPunct) {
+            if (tk.text == "{") {
+                Scope s;
+                if (pending == Pending::kNamespace) {
+                    s.kind = Scope::kNamespace;
+                } else if (pending == Pending::kClass) {
+                    s.kind = Scope::kClass;
+                    s.name = pendingClass;
+                } else if (pending == Pending::kFunction) {
+                    s.kind = Scope::kFunction;
+                    pendingFn.tokBegin = i + 1;
+                    out_.functions.push_back(pendingFn);
+                    s.fnIndex = int(out_.functions.size()) - 1;
+                } else {
+                    s.kind = Scope::kBlock;
+                }
+                pending = Pending::kNone;
+                scopes_.push_back(std::move(s));
+                stmtBegin = i + 1;
+                continue;
+            }
+            if (tk.text == "}") {
+                if (!scopes_.empty()) {
+                    if (scopes_.back().kind == Scope::kFunction) {
+                        out_.functions[size_t(
+                                           scopes_.back().fnIndex)]
+                            .tokEnd = i;
+                    }
+                    scopes_.pop_back();
+                }
+                stmtBegin = i + 1;
+                continue;
+            }
+            if (tk.text == ";") {
+                if (topKind() == Scope::kClass && i > stmtBegin)
+                    classMember(stmtBegin, i);
+                else if (topKind() == Scope::kNamespace &&
+                         !currentFn() && i > stmtBegin)
+                    fileVar(stmtBegin, i);
+                pending = Pending::kNone;   // "struct X;" fwd decl
+                stmtBegin = i + 1;
+                continue;
+            }
+        }
+
+        // Inside a function body: extract, and also recognize nested
+        // local classes (rare) by falling through to scope tracking.
+        if (FunctionDef *fn = currentFn()) {
+            bodyToken(i, *fn);
+            continue;
+        }
+
+        if (tk.kind != Tok::kIdent) {
+            continue;
+        }
+        if (tk.text == "namespace") {
+            pending = Pending::kNamespace;
+            continue;
+        }
+        if ((tk.text == "class" || tk.text == "struct") &&
+            !(i >= 1 && ident(i - 1) && txt(i - 1) == "enum")) {
+            // Last identifier before ":" / "{" is the class name.
+            std::string name;
+            for (size_t j = i + 1; j < c().size(); ++j) {
+                if (ident(j)) {
+                    name = txt(j);
+                } else if (punct(j, "<")) {
+                    j = skipAngles(c(), j) - 1;
+                } else if (punct(j, ":") || punct(j, "{")) {
+                    break;
+                } else if (punct(j, ";") || punct(j, "(")) {
+                    name.clear();   // fwd decl or macro arg
+                    break;
+                }
+            }
+            if (!name.empty()) {
+                pending = Pending::kClass;
+                pendingClass = name;
+            }
+            continue;
+        }
+        // Function definition: ident "(" at declaration scope.
+        if (punct(i + 1, "(") && !isKeywordNoCall(tk.text) &&
+            tk.text != "operator") {
+            FunctionDef fn;
+            const size_t body = tryFunction(i + 1, fn);
+            if (body != 0) {
+                fn.file = out_.rel;
+                if (fn.cls.empty())
+                    fn.cls = currentClass();
+                fn.ctorDtor = fn.name == fn.cls ||
+                              fn.name == "~" + fn.cls;
+                fn.hotPathRoot =
+                    hasAnnotation(comments_, fn.line, "dvr-hot-path");
+                pending = Pending::kFunction;
+                pendingFn = std::move(fn);
+                i = body - 1;   // next token is the body "{"
+                continue;
+            }
+        }
+        containerDecl(i, nullptr);
+    }
+    return out_;
+}
+
+} // namespace
+
+FileIndex
+indexFile(const std::string &rel, const TokenizedFile &tf)
+{
+    return Parser(rel, tf).run();
+}
+
+ProjectIndex
+buildProjectIndex(std::vector<FileIndex> files)
+{
+    ProjectIndex pi;
+    pi.files = std::move(files);
+    for (size_t f = 0; f < pi.files.size(); ++f) {
+        for (size_t k = 0; k < pi.files[f].functions.size(); ++k) {
+            const size_t id = pi.fns.size();
+            pi.fns.push_back({f, k});
+            const FunctionDef &fn = pi.files[f].functions[k];
+            pi.byName[fn.name].push_back(id);
+            if (!fn.cls.empty())
+                pi.byQual[fn.qual()].push_back(id);
+        }
+    }
+    // Member tables for receiver-type resolution: class -> member ->
+    // declared type text, plus the set of class names with any
+    // definition in the project.
+    std::map<std::string, std::map<std::string, std::string>> memberTypes;
+    std::set<std::string> classNames;
+    for (const FileIndex &fi : pi.files) {
+        for (const MemberDecl &m : fi.members) {
+            memberTypes[m.cls].emplace(m.name, m.typeText);
+            classNames.insert(m.cls);
+        }
+        for (const FunctionDef &fn : fi.functions) {
+            if (!fn.cls.empty())
+                classNames.insert(fn.cls);
+        }
+    }
+    // First project-known class name appearing in a declared type
+    // ("std::unique_ptr < MemorySystem >" -> "MemorySystem").
+    auto classOfType = [&](const std::string &typeText) {
+        std::string word;
+        for (size_t i = 0; i <= typeText.size(); ++i) {
+            const char ch = i < typeText.size() ? typeText[i] : ' ';
+            if (std::isalnum(static_cast<unsigned char>(ch)) ||
+                ch == '_') {
+                word += ch;
+                continue;
+            }
+            if (!word.empty() && classNames.count(word) != 0)
+                return word;
+            word.clear();
+        }
+        return std::string();
+    };
+
+    pi.callees.resize(pi.fns.size());
+    for (size_t id = 0; id < pi.fns.size(); ++id) {
+        std::set<size_t> outs;
+        std::vector<std::string> resolved = pi.fn(id).calls;
+        for (const auto &[recv, method] : pi.fn(id).recvCalls) {
+            std::string cls;
+            bool typeKnown = false;
+            if (recv == "this") {
+                cls = pi.fn(id).cls;
+                typeKnown = !cls.empty();
+            } else {
+                if (!pi.fn(id).cls.empty()) {
+                    auto ct = memberTypes.find(pi.fn(id).cls);
+                    if (ct != memberTypes.end()) {
+                        auto mt = ct->second.find(recv);
+                        if (mt != ct->second.end()) {
+                            cls = classOfType(mt->second);
+                            typeKnown = true;
+                        }
+                    }
+                }
+                if (!typeKnown) {
+                    const auto &fv =
+                        pi.files[pi.fns[id].file].fileVarTypes;
+                    auto vt = fv.find(recv);
+                    if (vt != fv.end()) {
+                        cls = classOfType(vt->second);
+                        typeKnown = true;
+                    }
+                }
+            }
+            if (!cls.empty() &&
+                pi.byQual.count(cls + "::" + method) != 0) {
+                // Exact edge only: the receiver's type is known and
+                // the method is defined on it.
+                auto &ids = pi.byQual[cls + "::" + method];
+                outs.insert(ids.begin(), ids.end());
+            } else if (typeKnown && cls.empty()) {
+                // The declared type is not a project class (a std::
+                // stream, a container, ...): the call leaves the
+                // project and contributes no edge.
+            } else {
+                resolved.push_back(method);
+            }
+        }
+        for (const std::string &callee : resolved) {
+            const size_t sep = callee.find("::");
+            if (sep != std::string::npos) {
+                auto it = pi.byQual.find(callee);
+                if (it != pi.byQual.end()) {
+                    outs.insert(it->second.begin(),
+                                it->second.end());
+                }
+                // Also fall back to the short name so calls through
+                // a base-class qualifier still reach overriders.
+                auto sh = pi.byName.find(callee.substr(sep + 2));
+                if (sh != pi.byName.end())
+                    outs.insert(sh->second.begin(), sh->second.end());
+            } else {
+                auto it = pi.byName.find(callee);
+                if (it != pi.byName.end()) {
+                    outs.insert(it->second.begin(),
+                                it->second.end());
+                }
+            }
+        }
+        outs.erase(id);     // self edges add nothing
+        pi.callees[id].assign(outs.begin(), outs.end());
+    }
+    return pi;
+}
+
+std::map<size_t, size_t>
+ProjectIndex::reachableFrom(const std::vector<size_t> &roots) const
+{
+    std::map<size_t, size_t> via;
+    std::deque<size_t> queue;
+    std::vector<size_t> sortedRoots = roots;
+    std::sort(sortedRoots.begin(), sortedRoots.end());
+    for (size_t r : sortedRoots) {
+        if (via.emplace(r, r).second)
+            queue.push_back(r);
+    }
+    while (!queue.empty()) {
+        const size_t cur = queue.front();
+        queue.pop_front();
+        for (size_t next : callees[cur]) {
+            if (via.emplace(next, cur).second)
+                queue.push_back(next);
+        }
+    }
+    return via;
+}
+
+} // namespace dvr::lint

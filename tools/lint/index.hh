@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The dvr-lint project index: a lightweight declaration/scope parser
+ * over the token stream (tokenizer.hh) that recovers, per file,
+ *
+ *  - classes and their member fields (with flattened type text,
+ *    container kind/key type, and `// dvr-guarded-by(<mutex>)`
+ *    annotations),
+ *  - function definitions (free and member, inline and out-of-line)
+ *    with the calls, lock acquisitions, allocation sites, range-for
+ *    iteration sites, and stat/trace/output touches in their bodies,
+ *
+ * and, across files, an approximate call graph keyed by (class,
+ * name). It is deliberately not a C++ front end: overload sets
+ * collapse to one node, virtual calls fan out to every definition
+ * with the callee's name, and template machinery is skipped. For the
+ * reachability-style rules built on it (hot-path allocation,
+ * determinism sinks) over-approximation is the safe direction, and
+ * waivers absorb the residue.
+ */
+
+#ifndef DVR_TOOLS_LINT_INDEX_HH
+#define DVR_TOOLS_LINT_INDEX_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tokenizer.hh"
+
+namespace dvr::lint {
+
+/** A class member field. */
+struct MemberDecl
+{
+    std::string cls;
+    std::string name;
+    std::string typeText;   ///< flattened declaration-type tokens
+    uint32_t line = 0;
+    std::string guardedBy;  ///< mutex named by dvr-guarded-by(), or ""
+    bool unordered = false; ///< unordered_map / unordered_set
+    bool ordered = false;   ///< std::map / std::set (+multi variants)
+    std::string keyType;    ///< first template argument, flattened
+};
+
+/** A container-typed local or file-scope variable. */
+struct ContainerVar
+{
+    std::string name;
+    uint32_t line = 0;
+    bool unordered = false;
+    std::string keyType;
+};
+
+struct AllocSite
+{
+    uint32_t line = 0;
+    size_t tok = 0;         ///< index into FileIndex::code
+    std::string what;       ///< "new", "make_unique", "std::string"...
+};
+
+struct IterSite
+{
+    uint32_t line = 0;
+    std::string container;  ///< last identifier of the range expr
+};
+
+struct FunctionDef
+{
+    std::string file;       ///< root-relative path
+    std::string cls;        ///< "" for free functions
+    std::string name;
+    uint32_t line = 0;
+    bool ctorDtor = false;
+    bool hotPathRoot = false;       ///< // dvr-hot-path annotation
+    size_t tokBegin = 0;    ///< body range in FileIndex::code
+    size_t tokEnd = 0;
+    std::vector<std::string> calls;         ///< "name" or "Cls::name"
+    /** Member calls `recv.m(...)` / `recv->m(...)` as (recv, m);
+     *  resolved against the receiver's declared type when the class
+     *  is known, falling back to short-name fan-out otherwise. */
+    std::vector<std::pair<std::string, std::string>> recvCalls;
+    std::vector<std::string> locks;         ///< mutexes locked in body
+    std::vector<AllocSite> allocs;
+    std::vector<IterSite> rangeFors;
+    std::vector<ContainerVar> locals;
+    bool statTouch = false;     ///< .set("...")/.add("...") idiom
+    bool traceTouch = false;    ///< Trace::emit
+    bool outputTouch = false;   ///< printf-family / printers / os <<
+
+    std::string qual() const
+    {
+        return cls.empty() ? name : cls + "::" + name;
+    }
+};
+
+struct FileIndex
+{
+    std::string rel;
+    std::vector<Token> code;    ///< comment-free token stream
+    std::vector<MemberDecl> members;
+    std::vector<FunctionDef> functions;
+    std::vector<ContainerVar> fileScope;
+    /** Namespace-scope variable name -> flattened declared type, for
+     *  call-receiver resolution (e.g. a file-static std::ofstream). */
+    std::map<std::string, std::string> fileVarTypes;
+    /** File-scope variables carrying dvr-guarded-by annotations
+     *  (cls empty); checked against functions in the same file. */
+    std::vector<MemberDecl> fileGuarded;
+    /** Stat names registered via .set("x")/.add("x"): name -> line. */
+    std::vector<std::pair<std::string, uint32_t>> statRegs;
+};
+
+/** Parse one tokenized file. */
+FileIndex indexFile(const std::string &rel, const TokenizedFile &tf);
+
+/** The cross-file index plus the approximate call graph. */
+struct ProjectIndex
+{
+    std::vector<FileIndex> files;
+
+    /** (file, function) ids in deterministic order. */
+    struct FnRef
+    {
+        size_t file;
+        size_t fn;
+    };
+    std::vector<FnRef> fns;
+    /** short function name -> fn ids defining it. */
+    std::map<std::string, std::vector<size_t>> byName;
+    /** "Cls::name" -> fn ids. */
+    std::map<std::string, std::vector<size_t>> byQual;
+    /** fn id -> callee fn ids (deduped, sorted). */
+    std::vector<std::vector<size_t>> callees;
+
+    const FunctionDef &fn(size_t id) const
+    {
+        return files[fns[id].file].functions[fns[id].fn];
+    }
+
+    /**
+     * Forward reachability over the call graph from `roots`,
+     * returning for every reached fn id the id of the caller it was
+     * first reached through (roots map to themselves). Deterministic:
+     * BFS in sorted id order.
+     */
+    std::map<size_t, size_t> reachableFrom(
+        const std::vector<size_t> &roots) const;
+};
+
+/** Build the call graph over already-indexed files. */
+ProjectIndex buildProjectIndex(std::vector<FileIndex> files);
+
+} // namespace dvr::lint
+
+#endif // DVR_TOOLS_LINT_INDEX_HH

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -9,6 +11,14 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
+#include <tuple>
+
+#include "sim/task_pool.hh"
+
+#include "index.hh"
+#include "semantic.hh"
+#include "tokenizer.hh"
 
 namespace fs = std::filesystem;
 
@@ -31,6 +41,14 @@ constexpr const char *kNoFloat = "no-float-timing";
 constexpr const char *kUsingNamespace = "using-namespace-header";
 constexpr const char *kIncludeGuard = "include-guard";
 constexpr const char *kBadWaiver = "bad-waiver";
+constexpr const char *kUnorderedIter = "unordered-iteration";
+constexpr const char *kWallClock = "wall-clock";
+constexpr const char *kPointerKey = "pointer-key";
+constexpr const char *kGuardedBy = "guarded-by";
+constexpr const char *kRelaxedAtomic = "relaxed-atomic";
+constexpr const char *kHotAlloc = "hot-alloc";
+constexpr const char *kStatSchema = "stat-schema";
+constexpr const char *kStaleBaseline = "stale-baseline";
 
 const std::vector<RuleInfo> kRules = {
     {kSchemaDrift,
@@ -56,7 +74,33 @@ const std::vector<RuleInfo> kRules = {
     {kUsingNamespace, "no using-namespace directives in headers"},
     {kIncludeGuard,
      "header guards must be DVR_<PATH>_HH derived from the file path"},
-    {kBadWaiver, "a waiver must name an existing rule"},
+    {kBadWaiver,
+     "a waiver must name an existing rule and suppress at least one "
+     "finding"},
+    {kUnorderedIter,
+     "no iterating an unordered container on a path that feeds "
+     "stats, traces, or output (nondeterministic element order)"},
+    {kWallClock,
+     "no host-time reads (time(), chrono system/steady clocks) "
+     "outside bench/ and src/sim/runner.cc"},
+    {kPointerKey,
+     "no associative containers keyed by pointers (iteration order "
+     "follows allocation addresses)"},
+    {kGuardedBy,
+     "members annotated // dvr-guarded-by(<mutex>) must be used "
+     "under a lock of that mutex"},
+    {kRelaxedAtomic,
+     "memory_order_relaxed only in the audited stat-counter files"},
+    {kHotAlloc,
+     "no allocation reachable from the per-cycle roots (OooCore / "
+     "MemorySystem tick paths, FunctionalCore dispatch, "
+     "// dvr-hot-path)"},
+    {kStatSchema,
+     "stat registrations in src/ and tests/stats_schema.inc "
+     "kRegisteredStatNames must agree whole-program"},
+    {kStaleBaseline,
+     "a baseline entry whose finding has been fixed must be removed "
+     "(the ratchet only tightens)"},
 };
 
 // ---------------------------------------------------------------------
@@ -80,160 +124,73 @@ readLines(const fs::path &path)
     return lines;
 }
 
-/** One loaded source file plus its comment/string-scrubbed shadow. */
-struct Source
-{
-    std::string rel;                ///< root-relative path
-    std::vector<std::string> raw;
-    std::vector<std::string> scrub;
-};
-
-} // namespace
-
-static std::vector<std::string>
-scrubImpl(const std::vector<std::string> &lines, bool blankStrings);
-
-std::vector<std::string>
-scrubSource(const std::vector<std::string> &lines)
-{
-    return scrubImpl(lines, true);
-}
-
 /**
  * Comment-only scrub: blanks // and block comments but keeps string
  * literals, for files (config_fields.def) whose payload lives in
  * quoted macro arguments.
  */
-static std::vector<std::string>
+std::vector<std::string>
 scrubComments(const std::vector<std::string> &lines)
 {
-    return scrubImpl(lines, false);
+    return tokenizeFile(lines).scrubKeepStrings;
 }
 
-static std::vector<std::string>
-scrubImpl(const std::vector<std::string> &lines, bool blankStrings)
-{
-    std::vector<std::string> out;
-    out.reserve(lines.size());
-    enum class St { kCode, kBlockComment, kRawString };
-    St st = St::kCode;
-    std::string rawEnd;     // ")delim\"" terminator of a raw string
+} // namespace
 
-    for (const std::string &line : lines) {
-        std::string o(line.size(), ' ');
-        size_t i = 0;
-        while (i < line.size()) {
-            if (st == St::kBlockComment) {
-                const size_t e = line.find("*/", i);
-                if (e == std::string::npos) {
-                    i = line.size();
-                } else {
-                    i = e + 2;
-                    st = St::kCode;
-                }
-                continue;
-            }
-            if (st == St::kRawString) {
-                const size_t e = line.find(rawEnd, i);
-                const size_t stop = e == std::string::npos
-                                        ? line.size()
-                                        : e + rawEnd.size();
-                if (!blankStrings) {
-                    for (size_t k = i; k < stop; ++k)
-                        o[k] = line[k];
-                }
-                i = stop;
-                if (e != std::string::npos)
-                    st = St::kCode;
-                continue;
-            }
-            const char c = line[i];
-            if (c == '/' && i + 1 < line.size()) {
-                if (line[i + 1] == '/') {
-                    i = line.size();    // rest is a line comment
-                    continue;
-                }
-                if (line[i + 1] == '*') {
-                    st = St::kBlockComment;
-                    i += 2;
-                    continue;
-                }
-            }
-            if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"') {
-                const size_t paren = line.find('(', i + 2);
-                if (paren != std::string::npos) {
-                    rawEnd = ")" + line.substr(i + 2, paren - i - 2) +
-                             "\"";
-                    st = St::kRawString;
-                    i = paren + 1;
-                    continue;
-                }
-            }
-            if (c == '\'' && i > 0 &&
-                std::isalnum(static_cast<unsigned char>(line[i - 1]))) {
-                ++i;    // digit separator (1'000), not a char literal
-                continue;
-            }
-            if (c == '"' || c == '\'') {
-                const char q = c;
-                const size_t start = i;
-                ++i;
-                while (i < line.size() && line[i] != q) {
-                    if (line[i] == '\\')
-                        ++i;
-                    ++i;
-                }
-                if (i < line.size())
-                    ++i;    // closing quote
-                if (!blankStrings) {
-                    for (size_t k = start; k < i && k < line.size();
-                         ++k) {
-                        o[k] = line[k];
-                    }
-                }
-                continue;
-            }
-            o[i] = c;
-            ++i;
-        }
-        out.push_back(std::move(o));
-    }
-    return out;
+std::vector<std::string>
+scrubSource(const std::vector<std::string> &lines)
+{
+    return tokenizeFile(lines).scrub;
 }
 
 namespace {
 
 // ---------------------------------------------------------------------
 // Waivers: `// dvr-lint: allow(<rule>)` on the line or the line above.
+// Waivers live in comments, so they are collected from the comment
+// tokens; each one tracks whether it suppressed anything (a dead
+// waiver is itself a finding).
 // ---------------------------------------------------------------------
 
 const std::regex kWaiverRe(R"(dvr-lint:\s*allow\(\s*([A-Za-z0-9_-]+)\s*\))");
 
-std::vector<std::string>
-waiversOn(const std::string &line)
+struct Waiver
 {
-    std::vector<std::string> ids;
-    auto begin = std::sregex_iterator(line.begin(), line.end(),
-                                      kWaiverRe);
-    for (auto it = begin; it != std::sregex_iterator(); ++it)
-        ids.push_back((*it)[1].str());
-    return ids;
+    size_t line = 0;        ///< 1-based line of the waiver comment
+    std::string rule;
+    bool used = false;
+};
+
+std::vector<Waiver>
+collectWaivers(const TokenizedFile &tf)
+{
+    std::vector<Waiver> out;
+    for (const Token &t : tf.tokens) {
+        if (t.kind != Tok::kComment)
+            continue;
+        auto begin = std::sregex_iterator(t.text.begin(), t.text.end(),
+                                          kWaiverRe);
+        for (auto it = begin; it != std::sregex_iterator(); ++it)
+            out.push_back({t.line, (*it)[1].str(), false});
+    }
+    return out;
 }
 
-/** True when `rule` is waived at 1-based `line` of `raw`. */
+/**
+ * True when a waiver for `rule` sits on `line` or the line above;
+ * every matching waiver is marked used.
+ */
 bool
-waived(const std::vector<std::string> &raw, size_t line,
-       const std::string &rule)
+waiverHit(std::vector<Waiver> &ws, size_t line, const std::string &rule)
 {
-    for (size_t l = (line > 1 ? line - 1 : 1); l <= line; ++l) {
-        if (l == 0 || l > raw.size())
-            continue;
-        for (const std::string &id : waiversOn(raw[l - 1])) {
-            if (id == rule)
-                return true;
+    bool hit = false;
+    for (Waiver &w : ws) {
+        if (w.rule == rule && (w.line == line || w.line + 1 == line)) {
+            w.used = true;
+            hit = true;
         }
     }
-    return false;
+    return hit;
 }
 
 bool
@@ -267,77 +224,111 @@ inDirs(const std::string &rel,
 }
 
 // ---------------------------------------------------------------------
-// Line rules.
+// Token rules (the former line-regex rules, re-hosted on the token
+// stream so string literals and comments can never match).
 // ---------------------------------------------------------------------
 
 void
-checkBannedTokens(const Source &src, std::vector<Finding> &out)
+checkTokens(const std::string &rel, const std::vector<Token> &code,
+            const std::vector<std::string> &scrub,
+            std::vector<Finding> &out)
 {
-    static const std::regex newRe(R"(\bnew\s+[A-Za-z_(])");
-    static const std::regex deleteRe(R"(\bdelete\b)");
-    static const std::regex randRe(R"(\bs?rand\s*\()");
-    static const std::regex floatRe(R"(\bfloat\b)");
-    static const std::regex mapRe(R"(\bunordered_(map|set)\s*<)");
-    static const std::regex usingNsRe(R"(\busing\s+namespace\b)");
-
-    const bool hotPath = inDirs(src.rel, {"src/core/", "src/mem/"});
+    const bool hotPath = inDirs(rel, {"src/core/", "src/mem/"});
     const bool timing = inDirs(
-        src.rel, {"src/core/", "src/mem/", "src/runahead/", "src/sim/"});
+        rel, {"src/core/", "src/mem/", "src/runahead/", "src/sim/"});
+    const bool header = isHeader(rel);
 
-    for (size_t l = 0; l < src.scrub.size(); ++l) {
-        const std::string &s = src.scrub[l];
+    auto preproc = [&](uint32_t line) {
+        if (line == 0 || line > scrub.size())
+            return false;
+        const std::string &s = scrub[line - 1];
         const size_t first = s.find_first_not_of(" \t");
-        if (first == std::string::npos)
-            continue;
-        const bool preproc = s[first] == '#';
+        return first != std::string::npos && s[first] == '#';
+    };
 
-        if (std::regex_search(s, newRe)) {
-            out.push_back({src.rel, l + 1, kNakedNew,
-                           "naked 'new'; own it with std::unique_ptr "
-                           "/ std::make_unique or a container"});
-        }
-        for (auto it = std::sregex_iterator(s.begin(), s.end(),
-                                            deleteRe);
-             it != std::sregex_iterator(); ++it) {
-            // `= delete;` (deleted functions) is not a deallocation.
-            size_t p = static_cast<size_t>(it->position());
-            while (p > 0 && std::isspace(
-                                static_cast<unsigned char>(s[p - 1]))) {
-                --p;
+    // One finding per construct per line (multiple hits on one line
+    // collapse, matching the old per-line reports).
+    uint32_t lastNew = 0, lastDelete = 0, lastRand = 0, lastFloat = 0,
+             lastMap = 0, lastUsing = 0;
+
+    for (size_t i = 0; i < code.size(); ++i) {
+        const Token &t = code[i];
+        if (t.kind != Tok::kIdent)
+            continue;
+        const Token *next = i + 1 < code.size() ? &code[i + 1] : nullptr;
+        const Token *prev = i > 0 ? &code[i - 1] : nullptr;
+
+        if (t.text == "new" && next &&
+            (next->kind == Tok::kIdent ||
+             (next->kind == Tok::kPunct && next->text == "(")) &&
+            !(prev && prev->kind == Tok::kIdent &&
+              prev->text == "operator")) {
+            if (t.line != lastNew) {
+                lastNew = t.line;
+                out.push_back({rel, t.line, kNakedNew,
+                               "naked 'new'; own it with "
+                               "std::unique_ptr / std::make_unique or "
+                               "a container"});
             }
-            if (p > 0 && s[p - 1] == '=')
+        } else if (t.text == "delete") {
+            // `= delete;` (deleted functions) is not a deallocation.
+            if (prev && prev->kind == Tok::kPunct && prev->text == "=")
                 continue;
-            out.push_back({src.rel, l + 1, kNakedNew,
-                           "naked 'delete'; owning pointers must be "
-                           "RAII-managed"});
-            break;
-        }
-        if (std::regex_search(s, randRe)) {
-            out.push_back({src.rel, l + 1, kNoRand,
-                           "rand()/srand() breaks run determinism; "
-                           "use dvr::Rng (common/rng.hh)"});
-        }
-        if (timing && !preproc && std::regex_search(s, floatRe)) {
-            out.push_back({src.rel, l + 1, kNoFloat,
-                           "float in timing code loses cycle "
-                           "precision; use double or integers"});
-        }
-        if (hotPath && !preproc && std::regex_search(s, mapRe)) {
-            out.push_back({src.rel, l + 1, kHotMap,
-                           "std::unordered_map/set on a hot path; use "
-                           "a direct-mapped table or a sorted vector, "
-                           "or waive with a justification"});
-        }
-        if (isHeader(src.rel) && std::regex_search(s, usingNsRe)) {
-            out.push_back({src.rel, l + 1, kUsingNamespace,
-                           "using-namespace in a header leaks into "
-                           "every includer"});
+            if (prev && prev->kind == Tok::kIdent &&
+                prev->text == "operator") {
+                continue;
+            }
+            if (t.line != lastDelete) {
+                lastDelete = t.line;
+                out.push_back({rel, t.line, kNakedNew,
+                               "naked 'delete'; owning pointers must "
+                               "be RAII-managed"});
+            }
+        } else if ((t.text == "rand" || t.text == "srand") && next &&
+                   next->kind == Tok::kPunct && next->text == "(") {
+            if (t.line != lastRand) {
+                lastRand = t.line;
+                out.push_back({rel, t.line, kNoRand,
+                               "rand()/srand() breaks run "
+                               "determinism; use dvr::Rng "
+                               "(common/rng.hh)"});
+            }
+        } else if (t.text == "float" && timing && !preproc(t.line)) {
+            if (t.line != lastFloat) {
+                lastFloat = t.line;
+                out.push_back({rel, t.line, kNoFloat,
+                               "float in timing code loses cycle "
+                               "precision; use double or integers"});
+            }
+        } else if ((t.text == "unordered_map" ||
+                    t.text == "unordered_set") &&
+                   hotPath && !preproc(t.line) && next &&
+                   next->kind == Tok::kPunct && next->text == "<") {
+            if (t.line != lastMap) {
+                lastMap = t.line;
+                out.push_back({rel, t.line, kHotMap,
+                               "std::unordered_map/set on a hot path; "
+                               "use a direct-mapped table or a sorted "
+                               "vector, or waive with a "
+                               "justification"});
+            }
+        } else if (t.text == "using" && header && next &&
+                   next->kind == Tok::kIdent &&
+                   next->text == "namespace") {
+            if (t.line != lastUsing) {
+                lastUsing = t.line;
+                out.push_back({rel, t.line, kUsingNamespace,
+                               "using-namespace in a header leaks "
+                               "into every includer"});
+            }
         }
     }
 }
 
 void
-checkCycleType(const Source &src, std::vector<Finding> &out)
+checkCycleType(const std::string &rel,
+               const std::vector<std::string> &scrub,
+               std::vector<Finding> &out)
 {
     // Narrow-integer declarations whose name says "cycle count" or
     // "latency". `Cycle` (uint64_t) is the only sanctioned carrier.
@@ -345,10 +336,10 @@ checkCycleType(const Source &src, std::vector<Finding> &out)
         R"(\b(?:int|unsigned|short|u?int(?:8|16|32)_t)\s+)"
         R"((\w*(?:[Cc]ycles|[Ll]atency|Lat|_lat)_?)\s*[=;,)\{])");
 
-    for (size_t l = 0; l < src.scrub.size(); ++l) {
+    for (size_t l = 0; l < scrub.size(); ++l) {
         std::smatch m;
-        if (std::regex_search(src.scrub[l], m, declRe)) {
-            out.push_back({src.rel, l + 1, kCycleType,
+        if (std::regex_search(scrub[l], m, declRe)) {
+            out.push_back({rel, l + 1, kCycleType,
                            "'" + m[1].str() +
                                "' holds cycles/latency but is not "
                                "dvr::Cycle (common/types.hh)"});
@@ -397,52 +388,67 @@ observabilityNameError(const std::string &name)
 }
 
 void
-checkStats(const Source &src, std::vector<Finding> &out)
+checkStats(const std::string &rel, const std::vector<Token> &code,
+           std::vector<Finding> &out)
 {
-    // Raw lines: the stat name lives inside a string literal. `.add`
-    // is accumulate-or-create, so only `.set` counts as registration.
-    static const std::regex statRe(
-        R"re(\.(set|add)\s*\(\s*"([^"]+)")re");
+    // `.set("name"` / `.add("name"` on the token stream (the name is
+    // the string token's content, so escapes and multi-line calls
+    // just work). `.add` is accumulate-or-create, so only `.set`
+    // counts as registration for the duplicate check.
     static const std::regex nameRe(
         R"([a-z][a-z0-9_]*(\.[a-z0-9_]+)*)");
 
     std::map<std::string, size_t> firstLine;
-    for (size_t l = 0; l < src.raw.size(); ++l) {
-        const std::string &s = src.raw[l];
-        for (auto it = std::sregex_iterator(s.begin(), s.end(), statRe);
-             it != std::sregex_iterator(); ++it) {
-            const std::string name = (*it)[2].str();
-            if (!std::regex_match(name, nameRe)) {
-                out.push_back({src.rel, l + 1, kStatName,
-                               "stat '" + name +
-                                   "' is not lower_snake_case"});
-            } else if (const std::string ns_err =
-                           observabilityNameError(name);
-                       !ns_err.empty()) {
-                out.push_back({src.rel, l + 1, kStatName, ns_err});
-            }
-            if ((*it)[1].str() != "set")
-                continue;
-            auto [pos, inserted] = firstLine.emplace(name, l + 1);
-            if (!inserted) {
-                out.push_back(
-                    {src.rel, l + 1, kStatDup,
-                     "stat '" + name + "' already registered at line " +
-                         std::to_string(pos->second)});
-            }
+    for (size_t i = 3; i < code.size(); ++i) {
+        if (code[i].kind != Tok::kString)
+            continue;
+        if (!(code[i - 1].kind == Tok::kPunct &&
+              code[i - 1].text == "(")) {
+            continue;
+        }
+        const Token &callee = code[i - 2];
+        if (callee.kind != Tok::kIdent ||
+            (callee.text != "set" && callee.text != "add")) {
+            continue;
+        }
+        if (!(code[i - 3].kind == Tok::kPunct &&
+              code[i - 3].text == ".")) {
+            continue;
+        }
+        const std::string &name = code[i].text;
+        const size_t line = code[i].line;
+        if (!std::regex_match(name, nameRe)) {
+            out.push_back({rel, line, kStatName,
+                           "stat '" + name +
+                               "' is not lower_snake_case"});
+        } else if (const std::string ns_err =
+                       observabilityNameError(name);
+                   !ns_err.empty()) {
+            out.push_back({rel, line, kStatName, ns_err});
+        }
+        if (callee.text != "set")
+            continue;
+        auto [pos, inserted] = firstLine.emplace(name, line);
+        if (!inserted) {
+            out.push_back(
+                {rel, line, kStatDup,
+                 "stat '" + name + "' already registered at line " +
+                     std::to_string(pos->second)});
         }
     }
 }
 
 void
-checkIncludeGuard(const Source &src, std::vector<Finding> &out)
+checkIncludeGuard(const std::string &rel,
+                  const std::vector<std::string> &scrub,
+                  std::vector<Finding> &out)
 {
-    if (!isHeader(src.rel))
+    if (!isHeader(rel))
         return;
 
     // src/common/types.hh -> DVR_COMMON_TYPES_HH;
     // tools/lint/lint.hh  -> DVR_TOOLS_LINT_LINT_HH.
-    std::string tail = src.rel;
+    std::string tail = rel;
     if (startsWith(tail, "src/"))
         tail = tail.substr(4);
     std::string expect = "DVR_";
@@ -455,26 +461,26 @@ checkIncludeGuard(const Source &src, std::vector<Finding> &out)
 
     static const std::regex ifndefRe(R"(^\s*#ifndef\s+(\w+))");
     static const std::regex defineRe(R"(^\s*#define\s+(\w+))");
-    for (size_t l = 0; l < src.scrub.size(); ++l) {
+    for (size_t l = 0; l < scrub.size(); ++l) {
         std::smatch m;
-        if (!std::regex_search(src.scrub[l], m, ifndefRe))
+        if (!std::regex_search(scrub[l], m, ifndefRe))
             continue;
         if (m[1].str() != expect) {
-            out.push_back({src.rel, l + 1, kIncludeGuard,
+            out.push_back({rel, l + 1, kIncludeGuard,
                            "guard '" + m[1].str() + "' should be '" +
                                expect + "'"});
             return;
         }
         // The matching #define must follow on the next code line.
-        for (size_t d = l + 1; d < src.scrub.size(); ++d) {
-            if (src.scrub[d].find_first_not_of(" \t") ==
+        for (size_t d = l + 1; d < scrub.size(); ++d) {
+            if (scrub[d].find_first_not_of(" \t") ==
                 std::string::npos) {
                 continue;
             }
             std::smatch dm;
-            if (!std::regex_search(src.scrub[d], dm, defineRe) ||
+            if (!std::regex_search(scrub[d], dm, defineRe) ||
                 dm[1].str() != expect) {
-                out.push_back({src.rel, d + 1, kIncludeGuard,
+                out.push_back({rel, d + 1, kIncludeGuard,
                                "#ifndef " + expect +
                                    " must be followed by its "
                                    "#define"});
@@ -483,7 +489,7 @@ checkIncludeGuard(const Source &src, std::vector<Finding> &out)
         }
         return;
     }
-    out.push_back({src.rel, 1, kIncludeGuard,
+    out.push_back({rel, 1, kIncludeGuard,
                    "missing include guard '" + expect + "'"});
 }
 
@@ -672,6 +678,200 @@ checkSchemaDrift(const fs::path &root, std::vector<Finding> &out)
 }
 
 // ---------------------------------------------------------------------
+// JSON (output and the baseline ratchet). Hand-rolled: the linter is
+// dependency-free, and the subset needed — flat arrays of string
+// objects — is small.
+// ---------------------------------------------------------------------
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Minimal parser for the baseline's own format: an array of flat
+ *  objects with string or number values. */
+class JsonScanner
+{
+  public:
+    JsonScanner(const std::string &text, const std::string &what)
+        : s_(text), what_(what)
+    {}
+
+    void
+    parseArrayOfObjects(
+        const std::function<void(
+            const std::map<std::string, std::string> &)> &emit)
+    {
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            ++i_;
+            return;
+        }
+        for (;;) {
+            std::map<std::string, std::string> obj;
+            expect('{');
+            skipWs();
+            if (peek() != '}') {
+                for (;;) {
+                    const std::string key = parseString();
+                    expect(':');
+                    skipWs();
+                    obj[key] = parseValue();
+                    skipWs();
+                    if (peek() == ',') {
+                        ++i_;
+                        skipWs();
+                        continue;
+                    }
+                    break;
+                }
+            }
+            expect('}');
+            emit(obj);
+            skipWs();
+            if (peek() == ',') {
+                ++i_;
+                skipWs();
+                continue;
+            }
+            break;
+        }
+        expect(']');
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("dvr-lint: malformed " + what_ +
+                                 ": " + why);
+    }
+
+    char
+    peek() const
+    {
+        return i_ < s_.size() ? s_[i_] : '\0';
+    }
+
+    void
+    skipWs()
+    {
+        while (i_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[i_]))) {
+            ++i_;
+        }
+    }
+
+    void
+    expect(char c)
+    {
+        skipWs();
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++i_;
+    }
+
+    std::string
+    parseString()
+    {
+        skipWs();
+        if (peek() != '"')
+            fail("expected a string");
+        ++i_;
+        std::string out;
+        while (i_ < s_.size() && s_[i_] != '"') {
+            char c = s_[i_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (i_ >= s_.size())
+                fail("truncated escape");
+            const char e = s_[i_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (i_ + 4 > s_.size())
+                    fail("truncated \\u escape");
+                unsigned v = 0;
+                for (int k = 0; k < 4; ++k) {
+                    const char h = s_[i_++];
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v += unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v += unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v += unsigned(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                out += v < 0x80 ? static_cast<char>(v) : '?';
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+        if (i_ >= s_.size())
+            fail("unterminated string");
+        ++i_;   // closing quote
+        return out;
+    }
+
+    std::string
+    parseValue()
+    {
+        skipWs();
+        if (peek() == '"')
+            return parseString();
+        // Number / true / false / null: consumed, returned verbatim.
+        const size_t start = i_;
+        while (i_ < s_.size() &&
+               (std::isalnum(static_cast<unsigned char>(s_[i_])) ||
+                s_[i_] == '-' || s_[i_] == '+' || s_[i_] == '.')) {
+            ++i_;
+        }
+        if (i_ == start)
+            fail("expected a value");
+        return s_.substr(start, i_ - start);
+    }
+
+    const std::string &s_;
+    std::string what_;
+    size_t i_ = 0;
+};
+
+// ---------------------------------------------------------------------
 // Tree walking and the driver.
 // ---------------------------------------------------------------------
 
@@ -713,6 +913,17 @@ walkTree(const fs::path &root)
     return files;
 }
 
+/** Report `path` relative to the root when it lives under it. */
+std::string
+relToRoot(const fs::path &root, const std::string &path)
+{
+    std::error_code ec;
+    const fs::path rel = fs::relative(path, root, ec);
+    if (ec || rel.empty() || rel.generic_string().rfind("..", 0) == 0)
+        return path;
+    return rel.generic_string();
+}
+
 } // namespace
 
 std::string
@@ -735,61 +946,246 @@ isRule(const std::string &id)
                        [&](const RuleInfo &r) { return id == r.id; });
 }
 
+std::vector<BaselineEntry>
+loadBaseline(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return {};      // no baseline yet: an empty ratchet
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string s = text.str();
+
+    std::vector<BaselineEntry> entries;
+    JsonScanner scanner(s, "baseline " + path);
+    scanner.parseArrayOfObjects(
+        [&](const std::map<std::string, std::string> &obj) {
+            BaselineEntry e;
+            if (auto it = obj.find("file"); it != obj.end())
+                e.file = it->second;
+            if (auto it = obj.find("rule"); it != obj.end())
+                e.rule = it->second;
+            if (auto it = obj.find("message"); it != obj.end())
+                e.message = it->second;
+            if (e.file.empty() || e.rule.empty())
+                throw std::runtime_error(
+                    "dvr-lint: baseline entry without file/rule in " +
+                    path);
+            entries.push_back(std::move(e));
+        });
+    return entries;
+}
+
+std::string
+baselineJson(const std::vector<Finding> &findings)
+{
+    std::vector<std::tuple<std::string, std::string, std::string>> keys;
+    keys.reserve(findings.size());
+    for (const Finding &f : findings)
+        keys.emplace_back(f.file, f.rule, f.message);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    std::string out = "[";
+    bool first = true;
+    for (const auto &[file, rule, message] : keys) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "  {\"file\": \"" + jsonEscape(file) +
+               "\", \"rule\": \"" + jsonEscape(rule) +
+               "\", \"message\": \"" + jsonEscape(message) + "\"}";
+    }
+    out += first ? "]\n" : "\n]\n";
+    return out;
+}
+
+std::string
+toJson(const std::vector<Finding> &findings)
+{
+    std::string out = "[";
+    bool first = true;
+    for (const Finding &f : findings) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "  {\"file\": \"" + jsonEscape(f.file) +
+               "\", \"line\": " + std::to_string(f.line) +
+               ", \"rule\": \"" + jsonEscape(f.rule) +
+               "\", \"message\": \"" + jsonEscape(f.message) + "\"}";
+    }
+    out += first ? "]\n" : "\n]\n";
+    return out;
+}
+
 std::vector<Finding>
 runLint(const Options &opts)
 {
     const fs::path root = opts.root;
-    std::vector<std::string> files =
-        opts.files.empty() ? walkTree(root) : opts.files;
+    const bool wholeTree = opts.files.empty();
+    const std::vector<std::string> files =
+        wholeTree ? walkTree(root) : opts.files;
+
+    struct FileAnalysis
+    {
+        std::vector<Finding> findings;
+        FileIndex index;
+        std::vector<Waiver> waivers;
+    };
+    std::vector<FileAnalysis> fa(files.size());
+    std::vector<std::exception_ptr> errors(files.size());
+
+    // Per-file analysis is embarrassingly parallel; every result
+    // lands in its own index slot and the merge below is serial, so
+    // the report is byte-identical at any job count.
+    unsigned jobs =
+        opts.jobs ? opts.jobs : std::thread::hardware_concurrency();
+    if (jobs == 0)
+        jobs = 1;
+    {
+        TaskPool pool(jobs);
+        pool.run(files.size(), [&](size_t i) {
+            try {
+                const std::string &rel = files[i];
+                const TokenizedFile tf =
+                    tokenizeFile(readLines(root / rel));
+                FileAnalysis &a = fa[i];
+                a.index = indexFile(rel, tf);
+                a.waivers = collectWaivers(tf);
+                checkTokens(rel, a.index.code, tf.scrub, a.findings);
+                checkCycleType(rel, tf.scrub, a.findings);
+                checkStats(rel, a.index.code, a.findings);
+                checkIncludeGuard(rel, tf.scrub, a.findings);
+                checkFileSemantics(a.index, a.findings);
+                // Waivers naming a rule that does not exist are
+                // themselves findings: a typo'd waiver must not
+                // silently suppress nothing.
+                for (const Waiver &w : a.waivers) {
+                    if (!isRule(w.rule)) {
+                        a.findings.push_back(
+                            {rel, w.line, kBadWaiver,
+                             "waiver names unknown rule '" + w.rule +
+                                 "'"});
+                    }
+                }
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    }
+    for (auto &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
 
     std::vector<Finding> found;
-    std::map<std::string, std::vector<std::string>> rawByFile;
+    for (FileAnalysis &a : fa) {
+        found.insert(found.end(), a.findings.begin(),
+                     a.findings.end());
+        a.findings.clear();
+    }
 
-    for (const std::string &rel : files) {
-        Source src;
-        src.rel = rel;
-        src.raw = readLines(root / rel);
-        src.scrub = scrubSource(src.raw);
-        rawByFile[rel] = src.raw;
-
-        checkBannedTokens(src, found);
-        checkCycleType(src, found);
-        checkStats(src, found);
-        checkIncludeGuard(src, found);
-
-        // Waivers naming a rule that does not exist are themselves
-        // findings: a typo'd waiver must not silently suppress nothing.
-        for (size_t l = 0; l < src.raw.size(); ++l) {
-            for (const std::string &id : waiversOn(src.raw[l])) {
-                if (!isRule(id)) {
-                    found.push_back({rel, l + 1, kBadWaiver,
-                                     "waiver names unknown rule '" +
-                                         id + "'"});
-                }
-            }
-        }
+    // Whole-program rules need the whole program: with an explicit
+    // file list a missing finding could mean "clean" or "not
+    // linted", so reachability, schema closure, and dead-waiver
+    // detection only run over the full tree walk.
+    if (wholeTree) {
+        std::vector<FileIndex> indices;
+        indices.reserve(fa.size());
+        for (FileAnalysis &a : fa)
+            indices.push_back(std::move(a.index));
+        const ProjectIndex pi = buildProjectIndex(std::move(indices));
+        checkProjectSemantics(pi, root.string(), found);
     }
 
     checkSchemaDrift(root, found);
 
-    // Apply waivers (line or line-above) to every finding.
-    std::vector<Finding> out;
-    for (const Finding &f : found) {
-        auto it = rawByFile.find(f.file);
-        if (it == rawByFile.end()) {
-            it = rawByFile.emplace(f.file, readLines(root / f.file))
-                     .first;
+    // Apply waivers (line or line-above), tracking which ones fire.
+    std::map<std::string, std::vector<Waiver> *> byFile;
+    for (size_t i = 0; i < files.size(); ++i)
+        byFile[files[i]] = &fa[i].waivers;
+    std::map<std::string, std::vector<Waiver>> extra;
+    auto waiversFor =
+        [&](const std::string &file) -> std::vector<Waiver> & {
+        if (auto it = byFile.find(file); it != byFile.end())
+            return *it->second;
+        auto [it, fresh] = extra.try_emplace(file);
+        if (fresh) {
+            try {
+                it->second =
+                    collectWaivers(tokenizeFile(readLines(root / file)));
+            } catch (...) {
+                // Findings can point at unreadable/virtual locations;
+                // those simply have no waivers.
+            }
         }
-        if (!waived(it->second, f.line, f.rule))
-            out.push_back(f);
+        return it->second;
+    };
+
+    std::vector<Finding> kept;
+    for (const Finding &f : found) {
+        if (!waiverHit(waiversFor(f.file), f.line, f.rule))
+            kept.push_back(f);
     }
 
-    std::sort(out.begin(), out.end(),
+    // A waiver that suppressed nothing is dead weight — or a typo
+    // hiding a real suppression intent — and is flagged. Waiving the
+    // flag itself (`allow(bad-waiver)`) is honored but not chased
+    // further, so the check cannot recurse.
+    if (wholeTree) {
+        for (size_t i = 0; i < files.size(); ++i) {
+            for (const Waiver &w : fa[i].waivers) {
+                if (w.used || !isRule(w.rule) || w.rule == kBadWaiver)
+                    continue;
+                if (waiverHit(fa[i].waivers, w.line, kBadWaiver))
+                    continue;
+                kept.push_back({files[i], w.line, kBadWaiver,
+                                "waiver for '" + w.rule +
+                                    "' suppresses no finding; "
+                                    "remove it"});
+            }
+        }
+    }
+
+    // The baseline ratchet: matching findings (file + rule +
+    // message, line-insensitive) are pre-existing debt and pass;
+    // entries matching nothing mean the debt was paid and the entry
+    // must go.
+    if (!opts.baselinePath.empty()) {
+        const auto entries = loadBaseline(opts.baselinePath);
+        std::map<std::tuple<std::string, std::string, std::string>,
+                 bool>
+            hit;
+        for (const BaselineEntry &e : entries)
+            hit[{e.file, e.rule, e.message}] = false;
+        std::vector<Finding> after;
+        after.reserve(kept.size());
+        for (Finding &f : kept) {
+            auto it = hit.find({f.file, f.rule, f.message});
+            if (it != hit.end())
+                it->second = true;
+            else
+                after.push_back(std::move(f));
+        }
+        const std::string baseRel =
+            relToRoot(root, opts.baselinePath);
+        for (const auto &[key, used] : hit) {
+            if (used)
+                continue;
+            const auto &[file, rule, message] = key;
+            after.push_back(
+                {baseRel, 0, kStaleBaseline,
+                 "stale entry for " + file + " [" + rule +
+                     "]: the finding no longer occurs — remove the "
+                     "entry"});
+        }
+        kept = std::move(after);
+    }
+
+    std::sort(kept.begin(), kept.end(),
               [](const Finding &a, const Finding &b) {
-                  return std::tie(a.file, a.line, a.rule) <
-                         std::tie(b.file, b.line, b.rule);
+                  return std::tie(a.file, a.line, a.rule, a.message) <
+                         std::tie(b.file, b.line, b.rule, b.message);
               });
-    return out;
+    return kept;
 }
 
 } // namespace dvr::lint

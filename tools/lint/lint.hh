@@ -2,21 +2,43 @@
  * @file
  * dvr-lint: project-specific static analysis for the DVR tree.
  *
- * A deliberately small, dependency-free linter that enforces the
- * invariants this simulator's correctness depends on but a compiler
- * cannot see: schema completeness, stat-registration discipline,
- * cycle-type hygiene, and a handful of banned constructs. Rules are
- * line-oriented (comments and string literals are scrubbed before
- * matching) except `schema-drift`, which cross-checks the config
- * structs, `src/sim/config_fields.def`, and the registered
- * `config_schema.cc` keys as a unit.
+ * A deliberately small, dependency-free linter built on a real
+ * analysis core: a C++ tokenizer (tokenizer.hh) plus a lightweight
+ * declaration/scope parser (index.hh) that recovers classes, member
+ * fields, function definitions, and an approximate cross-file call
+ * graph. On top of that sit the rule families a compiler cannot
+ * check:
+ *
+ *  - schema closure: schema-drift (config structs <->
+ *    config_fields.def <-> config_schema.cc) and stat-schema
+ *    (registered stat names <-> tests/stats_schema.inc),
+ *  - stat-registration discipline: stat-dup, stat-name,
+ *  - determinism: no-rand, unordered-iteration, wall-clock,
+ *    pointer-key,
+ *  - concurrency: guarded-by (`// dvr-guarded-by(<mutex>)` member
+ *    contracts), relaxed-atomic,
+ *  - hot paths: hot-map, hot-alloc (call-graph reachability from the
+ *    per-cycle roots to allocating constructs),
+ *  - hygiene: naked-new, cycle-type, no-float-timing,
+ *    using-namespace-header, include-guard, bad-waiver.
  *
  * Any finding can be waived in place with
  *
  *     // dvr-lint: allow(<rule>)
  *
  * on the offending line or the line directly above it, which keeps
- * every exception visible and greppable.
+ * every exception visible and greppable. A waiver that suppresses
+ * nothing is itself a `bad-waiver` finding, so dead waivers cannot
+ * accumulate.
+ *
+ * Pre-existing debt lives in a checked-in baseline
+ * (tools/lint/baseline.json): baselined findings pass, new findings
+ * fail, and a baseline entry whose finding has been fixed fails as
+ * `stale-baseline` until it is removed — the ratchet only tightens.
+ *
+ * Per-file analysis runs in parallel on sim/task_pool.hh (the same
+ * pool the experiment Runner uses); cross-file rules and reporting
+ * are serial, so output is byte-identical at any --jobs value.
  */
 
 #ifndef DVR_TOOLS_LINT_LINT_HH
@@ -61,16 +83,51 @@ struct Options
     /**
      * Explicit root-relative files to lint. Empty: walk src/,
      * tools/, bench/, and tests/ under the root (skipping
-     * lint_fixtures and build directories).
+     * lint_fixtures and build directories). The whole-program rules
+     * (stat-schema, hot-alloc reachability, unused-waiver detection)
+     * only run in full-tree mode — a partial file list cannot prove
+     * a waiver dead or a schema complete.
      */
     std::vector<std::string> files;
+
+    /** Worker threads for per-file analysis; 0 = hardware default.
+     *  Output is byte-identical for every value. */
+    unsigned jobs = 0;
+
+    /**
+     * Baseline file to ratchet against ("" = none). Findings whose
+     * (file, rule, message) match a baseline entry are suppressed;
+     * baseline entries matching no finding are reported as
+     * `stale-baseline`.
+     */
+    std::string baselinePath;
 };
 
 /**
  * Run every rule over the tree (or file list) and return the
- * unsuppressed findings, sorted by file then line.
+ * unsuppressed findings, sorted by (file, line, rule, message).
  */
 std::vector<Finding> runLint(const Options &opts);
+
+/** One ratchet entry; line-insensitive so edits above a baselined
+ *  finding do not churn the file. */
+struct BaselineEntry
+{
+    std::string file;
+    std::string rule;
+    std::string message;
+};
+
+/** Parse a baseline.json. A missing file is an empty baseline;
+ *  malformed JSON throws. */
+std::vector<BaselineEntry> loadBaseline(const std::string &path);
+
+/** Serialize findings as a baseline.json payload (sorted, deduped,
+ *  line-insensitive). */
+std::string baselineJson(const std::vector<Finding> &findings);
+
+/** Serialize findings as a JSON array (--format=json). */
+std::string toJson(const std::vector<Finding> &findings);
 
 /**
  * Replace comment bodies and string/character-literal contents with

@@ -1,0 +1,609 @@
+#include "semantic.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+
+namespace fs = std::filesystem;
+
+namespace dvr::lint {
+
+namespace {
+
+// Rule ids (must match the registry in lint.cc).
+constexpr const char *kUnorderedIter = "unordered-iteration";
+constexpr const char *kWallClock = "wall-clock";
+constexpr const char *kPointerKey = "pointer-key";
+constexpr const char *kGuardedBy = "guarded-by";
+constexpr const char *kRelaxedAtomic = "relaxed-atomic";
+constexpr const char *kHotAlloc = "hot-alloc";
+constexpr const char *kStatSchema = "stat-schema";
+
+bool
+startsWith(const std::string &s, const std::string &pfx)
+{
+    return s.rfind(pfx, 0) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &sfx)
+{
+    return s.size() >= sfx.size() &&
+           s.compare(s.size() - sfx.size(), sfx.size(), sfx) == 0;
+}
+
+// ---------------------------------------------------------------------
+// wall-clock: host-time reads are nondeterministic inputs. Only the
+// wall-clock reporting layer (bench/) and the thread-pool plumbing
+// (src/sim/runner.cc) may read them freely; anything else needs a
+// justified waiver so timing diagnostics never leak into results.
+// ---------------------------------------------------------------------
+
+void
+checkWallClock(const FileIndex &fi, std::vector<Finding> &out)
+{
+    if (startsWith(fi.rel, "bench/") || fi.rel == "src/sim/runner.cc")
+        return;
+
+    static const std::set<std::string> kClockTypes = {
+        "system_clock", "steady_clock", "high_resolution_clock",
+    };
+    static const std::set<std::string> kClockCalls = {
+        "time",         "clock",    "gettimeofday",
+        "clock_gettime", "localtime", "gmtime",
+    };
+    for (size_t i = 0; i < fi.code.size(); ++i) {
+        const Token &t = fi.code[i];
+        if (t.kind != Tok::kIdent)
+            continue;
+        const bool clockType = kClockTypes.count(t.text) != 0;
+        const bool clockCall =
+            kClockCalls.count(t.text) != 0 && i + 1 < fi.code.size() &&
+            fi.code[i + 1].kind == Tok::kPunct &&
+            fi.code[i + 1].text == "(" &&
+            // `x.time()` member calls are not <ctime>.
+            !(i >= 1 && fi.code[i - 1].kind == Tok::kPunct &&
+              (fi.code[i - 1].text == "." ||
+               fi.code[i - 1].text == "->"));
+        if (!clockType && !clockCall)
+            continue;
+        out.push_back({fi.rel, t.line, kWallClock,
+                       "'" + t.text +
+                           "' reads host time outside bench/ and "
+                           "runner.cc; wall-clock input breaks run "
+                           "determinism (waive for diagnostics-only "
+                           "use)"});
+    }
+}
+
+// ---------------------------------------------------------------------
+// relaxed-atomic: memory_order_relaxed gives no ordering at all, so
+// it is restricted to the audited monotonic stat counters. Everything
+// else must use a stronger order or carry a waiver.
+// ---------------------------------------------------------------------
+
+void
+checkRelaxedAtomic(const FileIndex &fi, std::vector<Finding> &out)
+{
+    // The audited whitelist: process-wide relaxed counters whose only
+    // consumer tolerates racy reads (CowMemStats, StatSet strict
+    // flag, the trace-mask hot-path gate).
+    static const std::set<std::string> kWhitelist = {
+        "src/mem/sim_memory.cc",
+        "src/common/stats.cc",
+        "src/sim/trace.cc",
+        "src/sim/trace.hh",
+    };
+    if (kWhitelist.count(fi.rel) != 0)
+        return;
+    for (const Token &t : fi.code) {
+        if (t.kind == Tok::kIdent && t.text == "memory_order_relaxed") {
+            out.push_back(
+                {fi.rel, t.line, kRelaxedAtomic,
+                 "memory_order_relaxed outside the audited "
+                 "stat-counter whitelist; use acquire/release or "
+                 "seq_cst, or waive with the racy-reader argument"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// pointer-key: a map/set keyed by pointer iterates in allocation-
+// address order, which differs run to run. Any downstream consumer
+// of that order (stats, traces, output, even tie-breaks) goes
+// nondeterministic silently.
+// ---------------------------------------------------------------------
+
+void
+pointerKeyFinding(const FileIndex &fi, const std::string &name,
+                  const std::string &keyType, uint32_t line,
+                  std::vector<Finding> &out)
+{
+    if (!endsWith(keyType, "*"))
+        return;
+    out.push_back({fi.rel, line, kPointerKey,
+                   "'" + name + "' is keyed by pointer (" + keyType +
+                       "); iteration order follows allocation "
+                       "addresses and is not reproducible — key by a "
+                       "stable id instead"});
+}
+
+void
+checkPointerKey(const FileIndex &fi, std::vector<Finding> &out)
+{
+    for (const MemberDecl &m : fi.members)
+        pointerKeyFinding(fi, m.name, m.keyType, m.line, out);
+    for (const ContainerVar &v : fi.fileScope)
+        pointerKeyFinding(fi, v.name, v.keyType, v.line, out);
+    for (const FunctionDef &fn : fi.functions) {
+        for (const ContainerVar &v : fn.locals)
+            pointerKeyFinding(fi, v.name, v.keyType, v.line, out);
+    }
+}
+
+// ---------------------------------------------------------------------
+// guarded-by: `// dvr-guarded-by(<mutex>)` on a member is a checked
+// contract — every use site in a member function must hold a lock of
+// the named mutex (ctors/dtors are exempt: no concurrent access
+// before/after the object's lifetime).
+// ---------------------------------------------------------------------
+
+void
+checkGuardedBy(const ProjectIndex &pi, std::vector<Finding> &out)
+{
+    // class -> annotated members.
+    std::map<std::string, std::vector<const MemberDecl *>> guarded;
+    for (const FileIndex &fi : pi.files) {
+        for (const MemberDecl &m : fi.members) {
+            if (!m.guardedBy.empty())
+                guarded[m.cls].push_back(&m);
+        }
+    }
+    if (guarded.empty())
+        return;
+
+    for (const FileIndex &fi : pi.files) {
+        for (const FunctionDef &fn : fi.functions) {
+            if (fn.cls.empty() || fn.ctorDtor)
+                continue;
+            auto it = guarded.find(fn.cls);
+            if (it == guarded.end())
+                continue;
+            const std::set<std::string> locks(fn.locks.begin(),
+                                              fn.locks.end());
+            for (const MemberDecl *m : it->second) {
+                if (locks.count(m->guardedBy) != 0)
+                    continue;
+                // Scan the body for bare uses of the member.
+                for (size_t k = fn.tokBegin;
+                     k < fn.tokEnd && k < fi.code.size(); ++k) {
+                    const Token &t = fi.code[k];
+                    if (t.kind != Tok::kIdent || t.text != m->name)
+                        continue;
+                    if (k > fn.tokBegin &&
+                        fi.code[k - 1].kind == Tok::kPunct) {
+                        const std::string &p = fi.code[k - 1].text;
+                        const bool viaThis =
+                            k >= 2 &&
+                            fi.code[k - 2].text == "this";
+                        if ((p == "." || p == "->" || p == "::") &&
+                            !viaThis) {
+                            continue;   // someone else's member
+                        }
+                    }
+                    out.push_back(
+                        {fi.rel, t.line, kGuardedBy,
+                         fn.qual() + " uses '" + m->name +
+                             "' without holding '" + m->guardedBy +
+                             "' (declared dvr-guarded-by at " +
+                             m->cls + ")"});
+                    break;  // one finding per (function, member)
+                }
+            }
+        }
+    }
+
+    // File-scope state (e.g. the trace ring) has internal visibility,
+    // so the contract binds every function defined in the same file —
+    // member or free, since both can see the variable.
+    for (const FileIndex &fi : pi.files) {
+        if (fi.fileGuarded.empty())
+            continue;
+        for (const FunctionDef &fn : fi.functions) {
+            const std::set<std::string> locks(fn.locks.begin(),
+                                              fn.locks.end());
+            for (const MemberDecl &m : fi.fileGuarded) {
+                if (locks.count(m.guardedBy) != 0)
+                    continue;
+                for (size_t k = fn.tokBegin;
+                     k < fn.tokEnd && k < fi.code.size(); ++k) {
+                    const Token &t = fi.code[k];
+                    if (t.kind != Tok::kIdent || t.text != m.name)
+                        continue;
+                    if (k > fn.tokBegin &&
+                        fi.code[k - 1].kind == Tok::kPunct) {
+                        const std::string &p = fi.code[k - 1].text;
+                        if (p == "." || p == "->" || p == "::")
+                            continue;   // someone else's member
+                    }
+                    out.push_back(
+                        {fi.rel, t.line, kGuardedBy,
+                         fn.qual() + " uses '" + m.name +
+                             "' without holding '" + m.guardedBy +
+                             "' (declared dvr-guarded-by at file "
+                             "scope)"});
+                    break;  // one finding per (function, variable)
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// hot-alloc: nothing reachable from the per-cycle roots may allocate.
+// The roots are the detailed core's cycle loop, the memory system's
+// access/prefetch tick paths, and the functional core's dispatch
+// loop, plus anything annotated `// dvr-hot-path`.
+// ---------------------------------------------------------------------
+
+const std::set<std::string> kHotRoots = {
+    "OooCore::run",
+    "OooCore::resumeWarm",
+    "MemorySystem::access",
+    "MemorySystem::prefetchLine",
+    "FunctionalCore::run",
+};
+
+/** True when the statement around code[tok] is an error path. */
+bool
+onErrorPath(const FileIndex &fi, const FunctionDef &fn, size_t tok)
+{
+    static const std::set<std::string> kErr = {
+        "fatal", "panic", "panicIf", "throw", "unreachable", "abort",
+        "assert", "what",
+    };
+    size_t b = tok;
+    while (b > fn.tokBegin) {
+        const Token &t = fi.code[b - 1];
+        if (t.kind == Tok::kPunct &&
+            (t.text == ";" || t.text == "{" || t.text == "}")) {
+            break;
+        }
+        --b;
+    }
+    for (size_t k = b; k < fi.code.size() && k < fn.tokEnd; ++k) {
+        const Token &t = fi.code[k];
+        if (t.kind == Tok::kPunct && t.text == ";" && k > tok)
+            break;
+        if (t.kind == Tok::kIdent && kErr.count(t.text) != 0)
+            return true;
+    }
+    return false;
+}
+
+std::string
+chainTo(const ProjectIndex &pi, const std::map<size_t, size_t> &via,
+        size_t id)
+{
+    std::vector<std::string> names;
+    size_t cur = id;
+    for (int hops = 0; hops < 8; ++hops) {
+        names.push_back(pi.fn(cur).qual());
+        const size_t parent = via.at(cur);
+        if (parent == cur)
+            break;
+        cur = parent;
+    }
+    std::string s;
+    for (auto it = names.rbegin(); it != names.rend(); ++it) {
+        if (!s.empty())
+            s += " -> ";
+        s += *it;
+    }
+    return s;
+}
+
+void
+checkHotAlloc(const ProjectIndex &pi, std::vector<Finding> &out)
+{
+    std::vector<size_t> roots;
+    for (size_t id = 0; id < pi.fns.size(); ++id) {
+        const FunctionDef &fn = pi.fn(id);
+        if (fn.hotPathRoot || kHotRoots.count(fn.qual()) != 0)
+            roots.push_back(id);
+    }
+    if (roots.empty())
+        return;
+    const auto via = pi.reachableFrom(roots);
+    for (const auto &[id, parent] : via) {
+        (void)parent;
+        const FunctionDef &fn = pi.fn(id);
+        if (!startsWith(fn.file, "src/"))
+            continue;   // only simulator code is cycle-critical
+        const FileIndex &fi = pi.files[pi.fns[id].file];
+        for (const AllocSite &a : fn.allocs) {
+            if (onErrorPath(fi, fn, a.tok))
+                continue;
+            out.push_back(
+                {fn.file, a.line, kHotAlloc,
+                 "allocating construct (" + a.what +
+                     ") on a per-cycle path: " +
+                     chainTo(pi, via, id) +
+                     " — hoist it out of the cycle loop or waive "
+                     "with a rate argument"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// unordered-iteration: iterating a hash container yields a
+// nondeterministic element order; if that order can reach stats,
+// traces, or printed output, figures stop being reproducible.
+// ---------------------------------------------------------------------
+
+bool
+touchesSink(const FunctionDef &fn)
+{
+    return fn.statTouch || fn.traceTouch || fn.outputTouch;
+}
+
+void
+checkUnorderedIteration(const ProjectIndex &pi,
+                        std::vector<Finding> &out)
+{
+    // class -> unordered members, file -> unordered globals.
+    std::map<std::string, std::set<std::string>> unorderedMembers;
+    std::map<std::string, std::set<std::string>> unorderedGlobals;
+    for (const FileIndex &fi : pi.files) {
+        for (const MemberDecl &m : fi.members) {
+            if (m.unordered)
+                unorderedMembers[m.cls].insert(m.name);
+        }
+        for (const ContainerVar &v : fi.fileScope) {
+            if (v.unordered)
+                unorderedGlobals[fi.rel].insert(v.name);
+        }
+    }
+
+    for (size_t id = 0; id < pi.fns.size(); ++id) {
+        const FunctionDef &fn = pi.fn(id);
+        if (fn.rangeFors.empty())
+            continue;
+        std::vector<const IterSite *> unorderedIters;
+        for (const IterSite &is : fn.rangeFors) {
+            bool unordered = false;
+            for (const ContainerVar &v : fn.locals) {
+                if (v.name == is.container && v.unordered)
+                    unordered = true;
+            }
+            if (auto it = unorderedMembers.find(fn.cls);
+                it != unorderedMembers.end() &&
+                it->second.count(is.container) != 0) {
+                unordered = true;
+            }
+            if (auto it = unorderedGlobals.find(fn.file);
+                it != unorderedGlobals.end() &&
+                it->second.count(is.container) != 0) {
+                unordered = true;
+            }
+            if (unordered)
+                unorderedIters.push_back(&is);
+        }
+        if (unorderedIters.empty())
+            continue;
+        // Does anything downstream of this function feed a sink?
+        const auto via = pi.reachableFrom({id});
+        bool feeds = false;
+        for (const auto &[reached, parent] : via) {
+            (void)parent;
+            if (touchesSink(pi.fn(reached))) {
+                feeds = true;
+                break;
+            }
+        }
+        if (!feeds)
+            continue;
+        for (const IterSite *is : unorderedIters) {
+            out.push_back(
+                {fn.file, is->line, kUnorderedIter,
+                 fn.qual() + " iterates unordered container '" +
+                     is->container +
+                     "' on a path that feeds stats/trace/output; "
+                     "iterate a sorted copy or switch containers"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// stat-schema: whole-program closure between the stat names
+// registered in src/ and the checked-in schema
+// (tests/stats_schema.inc). Names ending in '_' are dynamic-suffix
+// families (histograms) and match by prefix.
+// ---------------------------------------------------------------------
+
+struct SchemaInc
+{
+    bool present = false;
+    /** array name -> (literal, 1-based line). */
+    std::map<std::string, std::vector<std::pair<std::string, uint32_t>>>
+        arrays;
+};
+
+SchemaInc
+readSchemaInc(const std::string &root)
+{
+    SchemaInc inc;
+    const fs::path path =
+        fs::path(root) / "tests" / "stats_schema.inc";
+    std::ifstream in(path);
+    if (!in)
+        return inc;
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        lines.push_back(line);
+    }
+    inc.present = true;
+    const TokenizedFile tf = tokenizeFile(lines);
+    std::string current;
+    for (const Token &t : tf.tokens) {
+        if (t.kind == Tok::kIdent && startsWith(t.text, "k") &&
+            t.text.size() > 1) {
+            current = t.text;
+        } else if (t.kind == Tok::kPunct && t.text == ";") {
+            current.clear();
+        } else if (t.kind == Tok::kString && !current.empty()) {
+            inc.arrays[current].emplace_back(t.text, t.line);
+        }
+    }
+    return inc;
+}
+
+/** Registered literal stat names in src/: name -> first site. */
+std::map<std::string, std::pair<std::string, uint32_t>>
+registeredStats(const ProjectIndex &pi)
+{
+    std::map<std::string, std::pair<std::string, uint32_t>> regs;
+    for (const FileIndex &fi : pi.files) {
+        if (!startsWith(fi.rel, "src/"))
+            continue;
+        for (size_t i = 2; i < fi.code.size(); ++i) {
+            // obj.set("name"  /  obj->add("name"
+            if (fi.code[i].kind != Tok::kString)
+                continue;
+            if (!(fi.code[i - 1].kind == Tok::kPunct &&
+                  fi.code[i - 1].text == "(")) {
+                continue;
+            }
+            const Token &callee = fi.code[i - 2];
+            if (callee.kind != Tok::kIdent ||
+                (callee.text != "set" && callee.text != "add")) {
+                continue;
+            }
+            if (i < 3 || fi.code[i - 3].kind != Tok::kPunct ||
+                (fi.code[i - 3].text != "." &&
+                 fi.code[i - 3].text != "->")) {
+                continue;
+            }
+            regs.emplace(fi.code[i].text,
+                         std::make_pair(fi.rel, fi.code[i].line));
+        }
+    }
+    return regs;
+}
+
+bool
+coveredBy(const std::string &name,
+          const std::set<std::string> &registry)
+{
+    if (registry.count(name) != 0)
+        return true;
+    // Dynamic-suffix families: "x_hist_" covers "x_hist_3".
+    for (const std::string &r : registry) {
+        if (endsWith(r, "_") && startsWith(name, r))
+            return true;
+    }
+    return false;
+}
+
+void
+checkStatSchema(const ProjectIndex &pi, const std::string &root,
+                std::vector<Finding> &out)
+{
+    const SchemaInc inc = readSchemaInc(root);
+    if (!inc.present)
+        return;     // tree without a schema (e.g. a fixture root)
+    const std::string incRel = "tests/stats_schema.inc";
+
+    auto it = inc.arrays.find("kRegisteredStatNames");
+    const std::vector<std::pair<std::string, uint32_t>> empty;
+    const auto &registryList =
+        it == inc.arrays.end() ? empty : it->second;
+    std::set<std::string> registry;
+    for (const auto &[name, line] : registryList) {
+        (void)line;
+        registry.insert(name);
+    }
+
+    const auto regs = registeredStats(pi);
+    std::set<std::string> regNames;
+    for (const auto &[name, site] : regs) {
+        (void)site;
+        regNames.insert(name);
+    }
+
+    // (a) Everything registered in src/ is in the schema registry.
+    for (const auto &[name, site] : regs) {
+        if (!coveredBy(name, registry)) {
+            out.push_back(
+                {site.first, site.second, kStatSchema,
+                 "stat '" + name + "' is registered but missing "
+                 "from tests/stats_schema.inc kRegisteredStatNames"});
+        }
+    }
+    // (b) Every registry entry corresponds to a live registration.
+    for (const auto &[name, line] : registryList) {
+        const bool live =
+            regNames.count(name) != 0 ||
+            (endsWith(name, "_") &&
+             std::any_of(regNames.begin(), regNames.end(),
+                         [&](const std::string &r) {
+                             return startsWith(r, name) || r == name;
+                         }));
+        if (!live) {
+            out.push_back({incRel, line, kStatSchema,
+                           "stale kRegisteredStatNames entry '" +
+                               name +
+                               "': nothing in src/ registers it"});
+        }
+    }
+    // (c) Required/sample keys name stats something actually exports.
+    for (const char *arr : {"kRequiredStatKeys", "kSampleStatKeys"}) {
+        auto ai = inc.arrays.find(arr);
+        if (ai == inc.arrays.end())
+            continue;
+        for (const auto &[key, line] : ai->second) {
+            std::string suffix = key;
+            for (const char *pfx :
+                 {"core.", "mem.", "bpred.", "sample."}) {
+                if (startsWith(key, pfx)) {
+                    suffix = key.substr(
+                        std::char_traits<char>::length(pfx));
+                    break;
+                }
+            }
+            if (!coveredBy(suffix, regNames)) {
+                out.push_back({incRel, line, kStatSchema,
+                               "schema key '" + key +
+                                   "' matches no registered stat "
+                                   "name in src/"});
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+checkFileSemantics(const FileIndex &fi, std::vector<Finding> &out)
+{
+    checkWallClock(fi, out);
+    checkRelaxedAtomic(fi, out);
+    checkPointerKey(fi, out);
+}
+
+void
+checkProjectSemantics(const ProjectIndex &pi, const std::string &root,
+                      std::vector<Finding> &out)
+{
+    checkGuardedBy(pi, out);
+    checkHotAlloc(pi, out);
+    checkUnorderedIteration(pi, out);
+    checkStatSchema(pi, root, out);
+}
+
+} // namespace dvr::lint

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * dvr-lint's semantic rule families, built on the project index:
+ *
+ *  - determinism: unordered-iteration (iterating an unordered
+ *    container on a path that feeds stats/trace/output), wall-clock
+ *    (host-time reads outside bench/ and runner.cc), pointer-key
+ *    (associative containers keyed by pointers iterate in address
+ *    order),
+ *  - concurrency: guarded-by (`// dvr-guarded-by(<mutex>)` members
+ *    must be used under a lock of that mutex), relaxed-atomic
+ *    (memory_order_relaxed only in the audited stat-counter files),
+ *  - hot-path allocation: hot-alloc (call-graph reachability from
+ *    the per-cycle roots to allocating constructs),
+ *  - schema closure: stat-schema (registered stat names and
+ *    tests/stats_schema.inc agree whole-program).
+ *
+ * File-local rules run per file (parallelizable); the cross-file
+ * rules run once over the merged ProjectIndex.
+ */
+
+#ifndef DVR_TOOLS_LINT_SEMANTIC_HH
+#define DVR_TOOLS_LINT_SEMANTIC_HH
+
+#include <string>
+#include <vector>
+
+#include "index.hh"
+#include "lint.hh"
+
+namespace dvr::lint {
+
+/** Rules needing only one file: wall-clock, relaxed-atomic,
+ *  pointer-key. */
+void checkFileSemantics(const FileIndex &fi,
+                        std::vector<Finding> &out);
+
+/** Cross-file rules: guarded-by, hot-alloc, unordered-iteration,
+ *  stat-schema. `root` locates tests/stats_schema.inc. */
+void checkProjectSemantics(const ProjectIndex &pi,
+                           const std::string &root,
+                           std::vector<Finding> &out);
+
+} // namespace dvr::lint
+
+#endif // DVR_TOOLS_LINT_SEMANTIC_HH

@@ -1,0 +1,243 @@
+#include "tokenizer.hh"
+
+#include <cctype>
+
+namespace dvr::lint {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** True when the line's last non-padding character is a backslash. */
+bool
+continuesNextLine(const std::string &line)
+{
+    return !line.empty() && line.back() == '\\';
+}
+
+/**
+ * Multi-character operators the parser cares about. Longest match
+ * first; everything else is emitted one character at a time. `>>` is
+ * deliberately split into two `>` so nested template argument lists
+ * close one level per token.
+ */
+const char *const kMultiPunct[] = {
+    "->*", "...", "::", "->", "<<=", ">>=", "<<", "+=", "-=", "*=",
+    "/=",  "%=",  "&=", "|=", "^=",  "==",  "!=", "<=", ">=", "&&",
+    "||",  "++",  "--",
+};
+
+} // namespace
+
+TokenizedFile
+tokenizeFile(const std::vector<std::string> &lines)
+{
+    TokenizedFile out;
+    out.scrub.reserve(lines.size());
+    out.scrubKeepStrings.reserve(lines.size());
+
+    enum class St {
+        kCode,
+        kBlockComment,
+        kLineComment,   ///< backslash-continued // comment
+        kRawString,
+    };
+    St st = St::kCode;
+    std::string rawEnd;     // ")delim\"" terminator of a raw string
+    std::string rawText;    // accumulated raw-string content
+    uint32_t rawLine = 0, rawCol = 0;
+
+    for (size_t ln = 0; ln < lines.size(); ++ln) {
+        const std::string &line = lines[ln];
+        const uint32_t lno = uint32_t(ln + 1);
+        std::string blank(line.size(), ' ');
+        std::string keep(line.size(), ' ');
+        size_t i = 0;
+
+        if (st == St::kLineComment) {
+            // The previous line's // comment ended in a backslash:
+            // this whole physical line is still comment text.
+            out.tokens.push_back({Tok::kComment, lno, 0, line});
+            if (!continuesNextLine(line))
+                st = St::kCode;
+            out.scrub.push_back(std::move(blank));
+            out.scrubKeepStrings.push_back(std::move(keep));
+            continue;
+        }
+
+        while (i < line.size()) {
+            if (st == St::kBlockComment) {
+                const size_t e = line.find("*/", i);
+                const size_t stop =
+                    e == std::string::npos ? line.size() : e + 2;
+                out.tokens.push_back({Tok::kComment, lno, uint32_t(i),
+                                      line.substr(i, stop - i)});
+                i = stop;
+                if (e != std::string::npos)
+                    st = St::kCode;
+                continue;
+            }
+            if (st == St::kRawString) {
+                const size_t e = line.find(rawEnd, i);
+                const size_t stop = e == std::string::npos
+                                        ? line.size()
+                                        : e + rawEnd.size();
+                for (size_t k = i; k < stop; ++k)
+                    keep[k] = line[k];
+                rawText.append(line, i,
+                               (e == std::string::npos ? stop : e) - i);
+                if (e == std::string::npos)
+                    rawText += '\n';
+                i = stop;
+                if (e != std::string::npos) {
+                    out.tokens.push_back({Tok::kString, rawLine, rawCol,
+                                          std::move(rawText)});
+                    rawText.clear();
+                    st = St::kCode;
+                }
+                continue;
+            }
+
+            const char c = line[i];
+            if (c == ' ' || c == '\t') {
+                blank[i] = c;
+                keep[i] = c;
+                ++i;
+                continue;
+            }
+            if (c == '/' && i + 1 < line.size()) {
+                if (line[i + 1] == '/') {
+                    out.tokens.push_back({Tok::kComment, lno,
+                                          uint32_t(i), line.substr(i)});
+                    if (continuesNextLine(line))
+                        st = St::kLineComment;
+                    i = line.size();
+                    continue;
+                }
+                if (line[i + 1] == '*') {
+                    // Search past the opener so "/*/" stays open.
+                    const size_t e = line.find("*/", i + 2);
+                    const size_t stop =
+                        e == std::string::npos ? line.size() : e + 2;
+                    out.tokens.push_back({Tok::kComment, lno,
+                                          uint32_t(i),
+                                          line.substr(i, stop - i)});
+                    i = stop;
+                    if (e == std::string::npos)
+                        st = St::kBlockComment;
+                    continue;
+                }
+            }
+            if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"') {
+                const size_t paren = line.find('(', i + 2);
+                if (paren != std::string::npos) {
+                    rawEnd = ")" + line.substr(i + 2, paren - i - 2) +
+                             "\"";
+                    for (size_t k = i; k <= paren; ++k)
+                        keep[k] = line[k];
+                    rawLine = lno;
+                    rawCol = uint32_t(i);
+                    rawText.clear();
+                    st = St::kRawString;
+                    i = paren + 1;
+                    continue;
+                }
+            }
+            if (c == '\'' && i > 0 &&
+                std::isalnum(static_cast<unsigned char>(line[i - 1]))) {
+                // Digit separator (1'000), not a char literal. The
+                // number token already consumed it; stray case.
+                blank[i] = c;
+                keep[i] = c;
+                ++i;
+                continue;
+            }
+            if (c == '"' || c == '\'') {
+                const char q = c;
+                const size_t start = i;
+                ++i;
+                while (i < line.size() && line[i] != q) {
+                    if (line[i] == '\\')
+                        ++i;
+                    ++i;
+                }
+                const size_t close = i < line.size() ? i : line.size();
+                if (i < line.size())
+                    ++i;    // closing quote
+                for (size_t k = start; k < i && k < line.size(); ++k)
+                    keep[k] = line[k];
+                out.tokens.push_back(
+                    {q == '"' ? Tok::kString : Tok::kChar, lno,
+                     uint32_t(start),
+                     line.substr(start + 1,
+                                 close > start + 1 ? close - start - 1
+                                                   : 0)});
+                continue;
+            }
+            if (identStart(c)) {
+                const size_t start = i;
+                while (i < line.size() && identChar(line[i]))
+                    ++i;
+                for (size_t k = start; k < i; ++k) {
+                    blank[k] = line[k];
+                    keep[k] = line[k];
+                }
+                out.tokens.push_back({Tok::kIdent, lno, uint32_t(start),
+                                      line.substr(start, i - start)});
+                continue;
+            }
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                const size_t start = i;
+                while (i < line.size() &&
+                       (identChar(line[i]) || line[i] == '\'' ||
+                        ((line[i] == '+' || line[i] == '-') && i > 0 &&
+                         (line[i - 1] == 'e' || line[i - 1] == 'E' ||
+                          line[i - 1] == 'p' || line[i - 1] == 'P')) ||
+                        (line[i] == '.' && i + 1 < line.size() &&
+                         std::isdigit(static_cast<unsigned char>(
+                             line[i + 1]))))) {
+                    ++i;
+                }
+                for (size_t k = start; k < i; ++k) {
+                    blank[k] = line[k];
+                    keep[k] = line[k];
+                }
+                out.tokens.push_back({Tok::kNumber, lno, uint32_t(start),
+                                      line.substr(start, i - start)});
+                continue;
+            }
+            // Punctuation: longest multi-char operator first.
+            size_t len = 1;
+            for (const char *op : kMultiPunct) {
+                const size_t n = std::char_traits<char>::length(op);
+                if (line.compare(i, n, op) == 0) {
+                    len = n;
+                    break;
+                }
+            }
+            for (size_t k = i; k < i + len; ++k) {
+                blank[k] = line[k];
+                keep[k] = line[k];
+            }
+            out.tokens.push_back({Tok::kPunct, lno, uint32_t(i),
+                                  line.substr(i, len)});
+            i += len;
+        }
+
+        out.scrub.push_back(std::move(blank));
+        out.scrubKeepStrings.push_back(std::move(keep));
+    }
+    return out;
+}
+
+} // namespace dvr::lint

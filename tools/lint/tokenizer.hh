@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The dvr-lint C++ tokenizer. One linear scan classifies every byte
+ * of a source file as code, comment, string/char literal, or raw
+ * string — with full cross-line state (block comments, raw strings,
+ * and backslash-continued `//` comments all span lines) — and emits:
+ *
+ *  - a token stream (identifiers, numbers, literals, punctuation,
+ *    comments) the declaration/scope parser (index.hh) and the
+ *    semantic rules consume, and
+ *  - the two scrubbed renderings the line-oriented rules match
+ *    against: `scrub` (comments AND literal contents blanked) and
+ *    `scrubKeepStrings` (comments blanked, literals kept — for files
+ *    like config_fields.def whose payload lives in quoted macro
+ *    arguments).
+ *
+ * Both renderings preserve line structure and column positions
+ * exactly, so findings keep pointing at real source coordinates.
+ */
+
+#ifndef DVR_TOOLS_LINT_TOKENIZER_HH
+#define DVR_TOOLS_LINT_TOKENIZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dvr::lint {
+
+enum class Tok : uint8_t {
+    kIdent,     ///< identifier or keyword
+    kNumber,    ///< numeric literal (handles 1'000 separators)
+    kString,    ///< string literal; text is the *inner* content
+    kChar,      ///< character literal; text is the inner content
+    kPunct,     ///< operator/punctuation (::, ->, +=, etc. combined)
+    kComment,   ///< one comment chunk per line it covers
+};
+
+struct Token
+{
+    Tok kind;
+    uint32_t line;      ///< 1-based
+    uint32_t col;       ///< 0-based column of the first character
+    std::string text;
+};
+
+struct TokenizedFile
+{
+    std::vector<Token> tokens;
+    /** Comments and literal contents blanked (line rules). */
+    std::vector<std::string> scrub;
+    /** Comments blanked, literals kept (.def-style payloads). */
+    std::vector<std::string> scrubKeepStrings;
+};
+
+TokenizedFile tokenizeFile(const std::vector<std::string> &lines);
+
+} // namespace dvr::lint
+
+#endif // DVR_TOOLS_LINT_TOKENIZER_HH
