@@ -97,6 +97,5 @@ main(int argc, char **argv)
                  "kernels (bfs, sssp) but not straight chains"
                  " (camel, hj8).\n";
     printSweepSharing(std::cout, jobs.size(), prepared.size());
-    report.write(std::cout);
-    return 0;
+    return report.write(std::cout).empty() ? 1 : 0;
 }

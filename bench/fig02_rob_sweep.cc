@@ -10,13 +10,44 @@
  * full-ROB stall fraction collapses (51% at 128 entries -> 5% at 512
  * in the paper); for some benchmarks VR's absolute performance drops
  * with a bigger ROB.
+ *
+ * With `--serve` the sweep runs through the dvr_serve daemon
+ * (in-process workers) against a persistent spool under DVR_BENCH_DIR
+ * (<dir>/serve_fig02): points dedupe against the content-addressed
+ * result cache (the base-350 points are the reference runs under
+ * another label, so they never execute twice), completed runs are
+ * journaled, and a re-run — or a run killed part-way and restarted —
+ * resumes instead of recomputing. The BENCH json gains a "serve"
+ * block with the cache/journal counters; see docs/SERVING.md.
  */
 
+#include <cstring>
 #include <deque>
 #include <iostream>
+#include <map>
 
+#if DVR_HAVE_SERVE
+#include "serve/daemon.hh"
+#include "serve/journal.hh"
+#include "serve/json.hh"
+#endif
 #include "sim/config_schema.hh"
+#include "sim/env.hh"
 #include "sim/runner.hh"
+
+namespace {
+
+/** The per-run numbers the Figure 2 table consumes. */
+struct RowStats
+{
+    double ipc = 0.0;
+    double cycles = 0.0;
+    double robStall = 0.0;
+    double extraStall = 0.0;
+    double instructions = 0.0;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -24,6 +55,10 @@ main(int argc, char **argv)
     using namespace dvr;
     printBenchHeader(std::cout, "Figure 2",
                      "OoO and VR vs ROB size + full-ROB stall time");
+
+    bool serveMode = false;
+    for (int i = 1; i < argc; ++i)
+        serveMode = serveMode || std::strcmp(argv[i], "--serve") == 0;
 
     const unsigned robs[] = {128, 192, 224, 350, 512};
     const std::vector<std::string> sweep = {"base", "vr"};
@@ -42,6 +77,10 @@ main(int argc, char **argv)
         {"pr", "KR"},  {"sssp", "KR"},
         {"camel", ""}, {"hj8", ""},   {"nas_is", ""},
     };
+    auto labelOf = [](const std::string &kernel,
+                      const std::string &input) {
+        return input.empty() ? kernel : kernel + "_" + input;
+    };
 
     std::vector<std::string> cols;
     for (unsigned r : robs)
@@ -52,54 +91,152 @@ main(int argc, char **argv)
     cols.push_back("stall%512");
     cols.push_back("VRdly%350");
 
-    Runner runner(Runner::jobsFromArgs(argc, argv));
-    BenchReport report("fig02", runner.threads());
+    const unsigned threads = Runner::jobsFromArgs(argc, argv);
+    BenchReport report("fig02", threads);
+    report.setConfig(base);
+    std::map<std::string, RowStats> vals;
 
-    std::deque<PreparedWorkload> prepared;
-    std::vector<SimJob> jobs;
-    for (const auto &[kernel, input] : bms) {
-        prepared.emplace_back(kernel, input, wp, base.memoryBytes);
-        const PreparedWorkload *pw = &prepared.back();
-        jobs.push_back({pw, base, pw->label() + "/ref"});
-        for (const std::string &t : sweep) {
-            for (unsigned r : robs) {
-                SimConfig cfg = base;
-                cfg.technique = parseTechnique(t);
-                cfg.core = CoreConfig::withRob(r);
-                jobs.push_back({pw, cfg,
-                                pw->label() + "/" + t + "-" +
-                                    std::to_string(r)});
+    auto pointCfg = [&](const std::string &tech, unsigned rob) {
+        SimConfig cfg = base;
+        cfg.technique = parseTechnique(tech);
+        cfg.core = CoreConfig::withRob(rob);
+        return cfg;
+    };
+
+    if (serveMode) {
+#if !DVR_HAVE_SERVE
+        std::cerr << "fig02: this binary was built with "
+                     "-DDVR_SERVE=OFF; --serve is unavailable\n";
+        return 1;
+#else
+        const ConfigSchema &schema = ConfigSchema::instance();
+        serve::JobSpec job;
+        job.name = "fig02";
+        job.scaleShift = wp.scaleShift;
+        for (const ConfigSchema::Key &key : schema.keys())
+            job.config.emplace_back(key.name, key.get(base));
+        // A point's "set" is the dump-diff against the shared base,
+        // so serve points resolve to exactly the configs the direct
+        // path builds.
+        auto diff = [&](const SimConfig &cfg) {
+            std::vector<std::pair<std::string, std::string>> sets;
+            for (const ConfigSchema::Key &key : schema.keys()) {
+                const std::string v = key.get(cfg);
+                if (v != key.get(base))
+                    sets.emplace_back(key.name, v);
+            }
+            return sets;
+        };
+        for (const auto &[kernel, input] : bms) {
+            const std::string lbl = labelOf(kernel, input);
+            job.points.push_back({lbl + "/ref", kernel, input, {}});
+            for (const std::string &t : sweep) {
+                for (unsigned r : robs) {
+                    job.points.push_back(
+                        {lbl + "/" + t + "-" + std::to_string(r),
+                         kernel, input, diff(pointCfg(t, r))});
+                }
             }
         }
+
+        serve::Daemon::Options opt;
+        opt.spoolRoot =
+            env::benchDir().value_or(".") + "/serve_fig02";
+        opt.serve = base.serve;
+        if (opt.serve.workers == 0)
+            opt.serve.workers = threads;
+        opt.inProcess = true;   // a bench cannot re-exec as a worker
+        serve::Daemon daemon(opt);
+        if (!daemon.init())
+            return 1;
+        daemon.spool().submit("fig02", job.toJson());
+        if (daemon.runOnce() != 0) {
+            std::cerr << "fig02 --serve: job failed (see "
+                      << opt.spoolRoot << "/failed)\n";
+            return 1;
+        }
+
+        serve::Journal journal(daemon.spool().journalDir() +
+                               "/fig02.manifest.json");
+        if (!journal.replay()) {
+            std::cerr << "fig02 --serve: cannot replay journal\n";
+            return 1;
+        }
+        for (const serve::JournalRun &run : journal.runs()) {
+            serve::JsonValue stats;
+            if (!serve::parseJson(run.statsJson, stats))
+                continue;
+            RowStats &v = vals[run.label];
+            v.ipc = stats.getNumber("core.ipc");
+            v.cycles = stats.getNumber("core.cycles");
+            v.robStall = stats.getNumber("core.rob_stall_cycles");
+            v.extraStall =
+                stats.getNumber("core.runahead_extra_stall");
+            v.instructions = stats.getNumber("core.instructions");
+            report.addRunJson(run.label, run.statsJson);
+            report.addInstructions(uint64_t(v.instructions));
+        }
+        for (double s : daemon.lastPriorSegments())
+            report.addWallSegment(s);
+        report.setExtra("serve", daemon.lastJob().toJson(2));
+        const serve::ServeCounters &c = daemon.lastJob();
+        std::cout << "\n[serve] " << c.pointsRun << "/"
+                  << c.pointsTotal << " points run, "
+                  << c.pointsDeduped << " deduped, " << c.cacheHits
+                  << " cache hits, " << c.journalResumed
+                  << " journal-resumed, " << c.retries
+                  << " retries (spool " << opt.spoolRoot << ")\n";
+#endif
+    } else {
+        Runner runner(threads);
+        std::deque<PreparedWorkload> prepared;
+        std::vector<SimJob> jobs;
+        for (const auto &[kernel, input] : bms) {
+            prepared.emplace_back(kernel, input, wp,
+                                  base.memoryBytes);
+            const PreparedWorkload *pw = &prepared.back();
+            jobs.push_back({pw, base, pw->label() + "/ref"});
+            for (const std::string &t : sweep) {
+                for (unsigned r : robs) {
+                    jobs.push_back({pw, pointCfg(t, r),
+                                    pw->label() + "/" + t + "-" +
+                                        std::to_string(r)});
+                }
+            }
+        }
+        const std::vector<SimResult> results = runner.runAll(jobs);
+        for (size_t i = 0; i < results.size(); ++i) {
+            const SimResult &r = results[i];
+            report.addResult(jobs[i].label, r);
+            vals[jobs[i].label] = {
+                r.ipc(), double(r.core.cycles),
+                r.stats.get("core.rob_stall_cycles"),
+                r.stats.get("core.runahead_extra_stall"),
+                double(r.core.instructions)};
+        }
+        printSweepSharing(std::cout, jobs.size(), prepared.size());
     }
-    const std::vector<SimResult> results = runner.runAll(jobs);
-    report.setConfig(base);
-    for (size_t i = 0; i < results.size(); ++i)
-        report.addResult(jobs[i].label, results[i]);
 
     std::vector<TableRow> rows;
     std::vector<std::vector<double>> agg(cols.size());
-    size_t j = 0;
-    for (const PreparedWorkload &pw : prepared) {
-        const double ref = results[j++].ipc();
-        TableRow row{pw.label(), {}};
+    for (const auto &[kernel, input] : bms) {
+        const std::string lbl = labelOf(kernel, input);
+        const double ref = vals[lbl + "/ref"].ipc;
+        TableRow row{lbl, {}};
         double stall128 = 0, stall512 = 0, vr_dly = 0;
         for (const std::string &t : sweep) {
             for (unsigned r : robs) {
-                const SimResult &res = results[j++];
-                row.values.push_back(res.ipc() / ref);
+                const RowStats &v =
+                    vals[lbl + "/" + t + "-" + std::to_string(r)];
+                row.values.push_back(ref > 0 ? v.ipc / ref : 0.0);
                 const double stall =
-                    res.stats.get("core.rob_stall_cycles") /
-                    double(res.core.cycles);
+                    v.cycles > 0 ? v.robStall / v.cycles : 0.0;
                 if (t == "base" && r == 128)
                     stall128 = 100.0 * stall;
                 if (t == "base" && r == 512)
                     stall512 = 100.0 * stall;
-                if (t == "vr" && r == 350) {
-                    vr_dly = 100.0 *
-                             res.stats.get("core.runahead_extra_stall") /
-                             double(res.core.cycles);
-                }
+                if (t == "vr" && r == 350 && v.cycles > 0)
+                    vr_dly = 100.0 * v.extraStall / v.cycles;
             }
         }
         row.values.push_back(stall128);
@@ -124,7 +261,5 @@ main(int argc, char **argv)
                  " steeply from 128 to 512 entries (51% -> 5% in the"
                  " paper);\nVR delayed termination stalls commit ~7%"
                  " of cycles at 350 entries.\n";
-    printSweepSharing(std::cout, jobs.size(), prepared.size());
-    report.write(std::cout);
-    return 0;
+    return report.write(std::cout).empty() ? 1 : 0;
 }

@@ -80,6 +80,5 @@ main(int argc, char **argv)
                  " DVR close to Oracle;\nIMP > VR on simple-indirect"
                  " kernels; VR can lose on bfs_UR.\n";
     printSweepSharing(std::cout, jobs.size(), prepared.size());
-    report.write(std::cout);
-    return 0;
+    return report.write(std::cout).empty() ? 1 : 0;
 }

@@ -78,6 +78,5 @@ main(int argc, char **argv)
     std::cout << "\npaper shape: VR ~1.2x -> Offload ~1.5x -> Discovery"
                  " helps bc/bfs/sssp -> full DVR best (~2.4x).\n";
     printSweepSharing(std::cout, jobs.size(), prepared.size());
-    report.write(std::cout);
-    return 0;
+    return report.write(std::cout).empty() ? 1 : 0;
 }

@@ -69,6 +69,5 @@ main(int argc, char **argv)
     std::cout << "\npaper shape: OoO < 4 on average; DVR > 10; simple"
                  " workloads (pr, hpc-db) reach the highest raw MLP.\n";
     printSweepSharing(std::cout, jobs.size(), prepared.size());
-    report.write(std::cout);
-    return 0;
+    return report.write(std::cout).empty() ? 1 : 0;
 }

@@ -80,6 +80,5 @@ main(int argc, char **argv)
                  " eviction, 10-20% beyond the LLC (too-late"
                  " prefetches, not inaccuracy).\n";
     printSweepSharing(std::cout, jobs.size(), prepared.size());
-    report.write(std::cout);
-    return 0;
+    return report.write(std::cout).empty() ? 1 : 0;
 }

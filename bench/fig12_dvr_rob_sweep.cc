@@ -90,6 +90,5 @@ main(int argc, char **argv)
                  " core holds or grows with ROB size\n(1.9x at 128"
                  " entries up to 2.5x at 512 in the paper).\n";
     printSweepSharing(std::cout, jobs.size(), prepared.size());
-    report.write(std::cout);
-    return 0;
+    return report.write(std::cout).empty() ? 1 : 0;
 }

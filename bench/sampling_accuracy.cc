@@ -158,6 +158,5 @@ main(int argc, char **argv)
         << "    \"functional_mips_workload\": " << ftw.fastMips
         << "\n  }";
     report.setExtra("sampling", blk.str());
-    report.write(std::cout);
-    return 0;
+    return report.write(std::cout).empty() ? 1 : 0;
 }

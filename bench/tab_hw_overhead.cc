@@ -38,6 +38,6 @@ main()
     wide.virCopies = 32;
     std::printf("256-lane DVR variant: %u bytes\n",
                 totalHwOverheadBytes(wide));
-    report.write(std::cout);
-    return total == 1139 ? 0 : 1;
+    const bool wrote = !report.write(std::cout).empty();
+    return (total == 1139 && wrote) ? 0 : 1;
 }

@@ -78,6 +78,5 @@ main(int argc, char **argv)
     std::cout << "\npaper values (full-size graphs): MPKI 19 KR /"
                  " 21 LJN / 18 ORK / 61 TW / 32 UR.\n";
     printSweepSharing(std::cout, jobs.size(), prepared.size());
-    report.write(std::cout);
-    return 0;
+    return report.write(std::cout).empty() ? 1 : 0;
 }

@@ -1,0 +1,679 @@
+#include "serve/daemon.hh"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/log.hh"
+#include "serve/journal.hh"
+#include "serve/json.hh"
+#include "sim/config_schema.hh"
+#include "sim/experiment.hh"
+#include "sim/manifest.hh"
+
+namespace dvr {
+namespace serve {
+
+namespace {
+
+// dvr-lint: allow(wall-clock) daemon scheduling/wall accounting only; never feeds simulated state
+using SteadyClock = std::chrono::steady_clock;
+
+double
+secondsSince(SteadyClock::time_point start)
+{
+    return std::chrono::duration<double>(SteadyClock::now() - start)
+        .count();
+}
+
+std::string
+fixed3(double v)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << v;
+    return os.str();
+}
+
+/** Parse a {"key": "value", ...} object into ordered string pairs. */
+bool
+stringPairs(const JsonValue &obj,
+            std::vector<std::pair<std::string, std::string>> &out,
+            std::string *err)
+{
+    for (const auto &[key, val] : obj.members) {
+        if (val.kind != JsonValue::Kind::kString) {
+            if (err)
+                *err = "value of \"" + key +
+                       "\" must be a string (schema values are "
+                       "applied like --set " +
+                       key + "=value)";
+            return false;
+        }
+        out.emplace_back(key, val.str);
+    }
+    return true;
+}
+
+/**
+ * Strip serve.* keys from a flat config dump and minify: the
+ * canonical config half of a cache key.
+ */
+std::string
+canonicalConfigForKey(const std::string &configJson)
+{
+    JsonValue dump;
+    if (!parseJson(configJson, dump) || !dump.isObject())
+        return minifyJson(configJson);
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, val] : dump.members) {
+        if (key.rfind("serve.", 0) == 0)
+            continue;
+        if (!first)
+            out += ",";
+        first = false;
+        out += jsonQuote(key) + ":" + minifyJson(val.raw);
+    }
+    return out + "}";
+}
+
+} // namespace
+
+void
+ServeCounters::merge(const ServeCounters &o)
+{
+    pointsTotal += o.pointsTotal;
+    pointsRun += o.pointsRun;
+    pointsDeduped += o.pointsDeduped;
+    cacheHits += o.cacheHits;
+    cacheMisses += o.cacheMisses;
+    journalResumed += o.journalResumed;
+    retries += o.retries;
+}
+
+std::string
+ServeCounters::toJson(int indent) const
+{
+    const std::string pad(size_t(indent), ' ');
+    const std::string in = pad + "  ";
+    std::ostringstream os;
+    os << "{\n"
+       << in << "\"points_total\": " << pointsTotal << ",\n"
+       << in << "\"points_run\": " << pointsRun << ",\n"
+       << in << "\"points_deduped\": " << pointsDeduped << ",\n"
+       << in << "\"cache_hits\": " << cacheHits << ",\n"
+       << in << "\"cache_misses\": " << cacheMisses << ",\n"
+       << in << "\"journal_resumed\": " << journalResumed << ",\n"
+       << in << "\"retries\": " << retries << "\n"
+       << pad << "}";
+    return os.str();
+}
+
+bool
+JobSpec::parse(const std::string &name, const std::string &text,
+               JobSpec &out, std::string *err)
+{
+    out = JobSpec();
+    out.name = name;
+    JsonValue root;
+    std::string jerr;
+    if (!parseJson(text, root, &jerr) || !root.isObject()) {
+        if (err)
+            *err = jerr.empty() ? "job is not a JSON object" : jerr;
+        return false;
+    }
+    const std::string workload = root.getString("workload");
+    const std::string input = root.getString("input");
+    out.scaleShift = unsigned(root.getNumber(
+        "scale_shift", double(SimConfig::defaultScaleShift())));
+    if (const JsonValue *config = root.find("config")) {
+        if (!config->isObject() ||
+            !stringPairs(*config, out.config, err))
+            return false;
+    }
+    const JsonValue *points = root.find("points");
+    if (!points || !points->isArray() || points->items.empty()) {
+        if (err)
+            *err = "job needs a non-empty \"points\" array";
+        return false;
+    }
+    std::vector<std::string> labels;
+    for (const JsonValue &p : points->items) {
+        if (!p.isObject()) {
+            if (err)
+                *err = "each point must be an object";
+            return false;
+        }
+        JobPoint point;
+        point.label = p.getString("label");
+        point.workload = p.getString("workload", workload);
+        point.input = p.getString("input", input);
+        if (point.label.empty() || point.workload.empty()) {
+            if (err)
+                *err = "each point needs a \"label\" and a workload "
+                       "(its own or the job default)";
+            return false;
+        }
+        if (const JsonValue *sets = p.find("set")) {
+            if (!sets->isObject() ||
+                !stringPairs(*sets, point.sets, err))
+                return false;
+        }
+        labels.push_back(point.label);
+        out.points.push_back(std::move(point));
+    }
+    std::sort(labels.begin(), labels.end());
+    const auto dup = std::adjacent_find(labels.begin(), labels.end());
+    if (dup != labels.end()) {
+        // Labels become manifest run labels; a duplicate would make
+        // the final sweep ambiguous and break resume bookkeeping.
+        if (err)
+            *err = "duplicate point label \"" + *dup + "\"";
+        return false;
+    }
+    return true;
+}
+
+std::string
+JobSpec::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"job\": " << jsonQuote(name) << ",\n"
+       << "  \"scale_shift\": " << scaleShift << ",\n"
+       << "  \"config\": {";
+    for (size_t i = 0; i < config.size(); ++i) {
+        os << (i ? ", " : "") << jsonQuote(config[i].first) << ": "
+           << jsonQuote(config[i].second);
+    }
+    os << "},\n  \"points\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+        const JobPoint &p = points[i];
+        os << "    {\"label\": " << jsonQuote(p.label)
+           << ", \"workload\": " << jsonQuote(p.workload)
+           << ", \"input\": " << jsonQuote(p.input) << ", \"set\": {";
+        for (size_t j = 0; j < p.sets.size(); ++j) {
+            os << (j ? ", " : "") << jsonQuote(p.sets[j].first)
+               << ": " << jsonQuote(p.sets[j].second);
+        }
+        os << "}}" << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+SimConfig
+JobSpec::baseConfig() const
+{
+    SimConfig cfg = SimConfig::baseline("base");
+    const ConfigSchema &schema = ConfigSchema::instance();
+    for (const auto &[key, value] : config)
+        schema.set(cfg, key, value);
+    return cfg;
+}
+
+SimConfig
+JobSpec::pointConfig(size_t i) const
+{
+    SimConfig cfg = baseConfig();
+    const ConfigSchema &schema = ConfigSchema::instance();
+    for (const auto &[key, value] : points.at(i).sets)
+        schema.set(cfg, key, value);
+    return cfg;
+}
+
+std::string
+JobSpec::pointKey(size_t i) const
+{
+    const JobPoint &p = points.at(i);
+    const std::string dump =
+        ConfigSchema::instance().toJson(pointConfig(i));
+    return ResultCache::makeKey(canonicalConfigForKey(dump),
+                                p.workload, p.input, scaleShift,
+                                RunManifest::gitSha());
+}
+
+Daemon::Daemon(Options opt)
+    : opt_(std::move(opt)), spool_(opt_.spoolRoot), cache_(spool_)
+{
+    if (opt_.serve.maxAttempts == 0)
+        opt_.serve.maxAttempts = 1;
+}
+
+bool
+Daemon::init() const
+{
+    return spool_.init();
+}
+
+unsigned
+Daemon::workerCount(size_t pts) const
+{
+    unsigned n = opt_.serve.workers;
+    if (n == 0)
+        n = std::max(1u, std::thread::hardware_concurrency());
+    return unsigned(std::min<size_t>(n, std::max<size_t>(pts, 1)));
+}
+
+int
+Daemon::runOnce()
+{
+    int failed = 0;
+    // Adopt jobs a killed daemon left in running/ before taking new
+    // work: their journals make resumption cheap and exactly-once.
+    for (const std::string &name : spool_.list(spool_.runningDir()))
+        failed += processJob(name) != 0;
+    for (;;) {
+        const std::vector<std::string> queued =
+            spool_.list(spool_.queueDir());
+        if (queued.empty())
+            break;
+        for (const std::string &name : queued) {
+            if (!spool_.claim(name))
+                continue;   // raced with another daemon
+            failed += processJob(name) != 0;
+        }
+    }
+    return failed;
+}
+
+int
+Daemon::serveLoop()
+{
+    int failed = 0;
+    for (;;) {
+        failed += runOnce();
+        if (spool_.drainRequested() &&
+            spool_.list(spool_.queueDir()).empty() &&
+            spool_.list(spool_.runningDir()).empty())
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::max(1u, opt_.serve.pollMs)));
+    }
+    return failed;
+}
+
+int
+Daemon::processJob(const std::string &name)
+{
+    const std::string jobPath =
+        spool_.jobPath(spool_.runningDir(), name);
+    last_ = ServeCounters();
+    lastPrior_.clear();
+
+    std::string text;
+    std::string failReason;
+    JobSpec job;
+    bool ok = Spool::readFile(jobPath, text);
+    if (!ok)
+        failReason = "cannot read job file";
+    if (ok && !JobSpec::parse(name, text, job, &failReason))
+        ok = false;
+    if (ok)
+        ok = runJob(job, jobPath, last_, lastPrior_, failReason);
+
+    totals_.merge(last_);
+    const std::string counters =
+        "{\n  \"job\": " + jsonQuote(name) + ",\n  \"serve\": " +
+        last_.toJson(2) + ",\n  \"failed\": " +
+        (ok ? "false" : "true") +
+        (failReason.empty()
+             ? std::string()
+             : ",\n  \"reason\": " + jsonQuote(failReason)) +
+        "\n}\n";
+    spool_.writeAtomic(
+        (ok ? spool_.doneDir() : spool_.failedDir()) + "/" + name +
+            ".serve.json",
+        counters);
+    spool_.finish(name, ok);
+    if (!ok)
+        warn("serve: job \"" + name + "\" failed: " + failReason);
+    return ok ? 0 : 1;
+}
+
+bool
+Daemon::runJob(const JobSpec &job, const std::string &jobPath,
+               ServeCounters &c, std::vector<double> &priorSegments,
+               std::string &failReason)
+{
+    const SteadyClock::time_point segStart = SteadyClock::now();
+    c.pointsTotal = job.points.size();
+
+    std::string configDump;
+    std::vector<std::string> keys(job.points.size());
+    try {
+        configDump = ConfigSchema::instance().toJson(job.baseConfig());
+        for (size_t i = 0; i < job.points.size(); ++i)
+            keys[i] = job.pointKey(i);
+    } catch (const std::exception &e) {
+        failReason = e.what();
+        return false;
+    }
+
+    Journal journal(spool_.journalDir() + "/" + job.name +
+                    ".manifest.json");
+    RunManifest header(job.name);
+    header.setConfigJson(configDump);
+    if (journal.exists()) {
+        if (!journal.replay()) {
+            failReason = "corrupt journal " + journal.path();
+            return false;
+        }
+        c.journalResumed = journal.runCount();
+        priorSegments = journal.priorSegments();
+        const double tail = journal.tailSegmentSeconds();
+        priorSegments.push_back(tail);
+        journal.appendEvent(
+            "{\"event\": \"resume\", \"prior_wall_seconds\": " +
+            fixed3(tail) + "}");
+    } else if (!journal.start(header.toJournalHeaderLine())) {
+        failReason = "cannot start journal " + journal.path();
+        return false;
+    }
+
+    // First pass: dedup against the cache. Identical points (same
+    // canonical key) and re-submitted sweeps complete here without
+    // running anything.
+    std::vector<size_t> remain;
+    for (size_t i = 0; i < job.points.size(); ++i) {
+        if (journal.hasPoint(i))
+            continue;
+        if (const auto hit = cache_.lookup(keys[i])) {
+            journal.appendRun(i, job.points[i].label, *hit,
+                              secondsSince(segStart));
+            ++c.cacheHits;
+        } else {
+            remain.push_back(i);
+        }
+    }
+    c.cacheMisses = remain.size();
+
+    for (unsigned attempt = 1; !remain.empty(); ++attempt) {
+        // Identical points (same canonical key) execute once: only
+        // one representative per key runs, and the duplicates are
+        // served from its cache entry by the adopt pass.
+        std::vector<size_t> reps;
+        std::set<std::string> seenKeys;
+        for (size_t i : remain)
+            if (seenKeys.insert(keys[i]).second)
+                reps.push_back(i);
+        const std::set<size_t> ran(reps.begin(), reps.end());
+
+        // Journal each point the moment its result reaches the cache
+        // — NOT after the whole attempt — so a kill -9 mid-attempt
+        // loses at most the points actually in flight.
+        auto adopt = [&] {
+            std::vector<size_t> still;
+            for (size_t i : remain) {
+                if (const auto hit = cache_.lookup(keys[i])) {
+                    journal.appendRun(i, job.points[i].label, *hit,
+                                      secondsSince(segStart));
+                    ++(ran.count(i) ? c.pointsRun : c.pointsDeduped);
+                } else {
+                    still.push_back(i);
+                }
+            }
+            remain = std::move(still);
+        };
+        const auto tick = std::chrono::milliseconds(50);
+
+        if (opt_.inProcess) {
+            std::mutex doneMutex;
+            bool done = false;
+            std::thread pool([&] {
+                runPointsInProcess(job, reps);
+                std::lock_guard<std::mutex> lock(doneMutex);
+                done = true;
+            });
+            for (;;) {
+                adopt();
+                {
+                    std::lock_guard<std::mutex> lock(doneMutex);
+                    if (done)
+                        break;
+                }
+                std::this_thread::sleep_for(tick);
+            }
+            pool.join();
+        } else {
+            std::vector<pid_t> pids =
+                spawnWorkers(job, jobPath, reps);
+            while (!pids.empty()) {
+                adopt();
+                std::vector<pid_t> alive;
+                for (const pid_t pid : pids) {
+                    int status = 0;
+                    if (::waitpid(pid, &status, WNOHANG) == 0)
+                        alive.push_back(pid);
+                    // Exit status is advisory only: the adopt pass
+                    // decides what actually completed.
+                }
+                pids = std::move(alive);
+                if (!pids.empty())
+                    std::this_thread::sleep_for(tick);
+            }
+        }
+        adopt();
+        if (remain.empty())
+            break;
+        if (attempt >= opt_.serve.maxAttempts) {
+            failReason = std::to_string(remain.size()) +
+                         " point(s) still missing after " +
+                         std::to_string(attempt) + " attempt(s)";
+            return false;
+        }
+        c.retries += remain.size();
+        for (size_t i : remain) {
+            journal.appendEvent(
+                "{\"event\": \"retry\", \"point\": " +
+                std::to_string(i) + ", \"attempt\": " +
+                std::to_string(attempt + 1) + "}");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            uint64_t(opt_.serve.backoffMs) << (attempt - 1)));
+    }
+
+    // Finalize: the manifest is rendered from the journal (stats
+    // verbatim, ordered by point index), so an interrupted-and-
+    // resumed job emits the same bytes as an uninterrupted one
+    // modulo the wall_seconds/wall_segments/host fields.
+    RunManifest manifest(job.name);
+    manifest.setConfigJson(configDump);
+    std::vector<JournalRun> runs = journal.runs();
+    std::sort(runs.begin(), runs.end(),
+              [](const JournalRun &a, const JournalRun &b) {
+                  return a.point < b.point;
+              });
+    for (const JournalRun &run : runs)
+        manifest.addRunJson(run.label, run.statsJson);
+    for (double s : priorSegments)
+        manifest.addWallSegment(s);
+    manifest.addWallSegment(secondsSince(segStart));
+    if (manifest.write(spool_.doneDir()).empty()) {
+        failReason = "cannot write final manifest";
+        return false;
+    }
+    return true;
+}
+
+void
+Daemon::runPointsInProcess(const JobSpec &job,
+                           const std::vector<size_t> &pts) const
+{
+    // Build each distinct (workload, input) image once, up front, so
+    // the worker threads share read-only PreparedWorkloads exactly
+    // like Runner jobs do.
+    std::map<std::string, std::unique_ptr<PreparedWorkload>> prepared;
+    const SimConfig base = [&] {
+        try {
+            return job.baseConfig();
+        } catch (const std::exception &) {
+            return SimConfig::baseline("base");
+        }
+    }();
+    for (size_t i : pts) {
+        const JobPoint &p = job.points[i];
+        const std::string id = p.workload + "\n" + p.input;
+        if (prepared.count(id))
+            continue;
+        try {
+            WorkloadParams wp;
+            wp.scaleShift = job.scaleShift;
+            prepared.emplace(id, std::make_unique<PreparedWorkload>(
+                                     p.workload, p.input, wp,
+                                     base.memoryBytes));
+        } catch (const std::exception &e) {
+            warn("serve: cannot prepare workload \"" + p.workload +
+                 "\": " + e.what());
+        }
+    }
+
+    std::mutex nextMutex;
+    size_t next = 0;
+    auto work = [&] {
+        for (;;) {
+            size_t slot;
+            {
+                std::lock_guard<std::mutex> lock(nextMutex);
+                if (next >= pts.size())
+                    return;
+                slot = next++;
+            }
+            const size_t i = pts[slot];
+            const JobPoint &p = job.points[i];
+            const auto it = prepared.find(p.workload + "\n" + p.input);
+            if (it == prepared.end())
+                continue;   // preparation failed; point stays missing
+            try {
+                const SimConfig cfg = job.pointConfig(i);
+                const SimResult r = it->second->run(cfg);
+                cache_.store(job.pointKey(i), r.stats.toJson());
+            } catch (const std::exception &e) {
+                warn("serve: point \"" + p.label +
+                     "\" failed: " + e.what());
+            }
+        }
+    };
+    std::vector<std::thread> threads;
+    const unsigned n = workerCount(pts.size());
+    threads.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        threads.emplace_back(work);
+    for (std::thread &t : threads)
+        t.join();
+}
+
+std::vector<pid_t>
+Daemon::spawnWorkers(const JobSpec &job, const std::string &jobPath,
+                     const std::vector<size_t> &pts) const
+{
+    (void)job;
+    const unsigned n = workerCount(pts.size());
+    // Round-robin sharding: contiguous label runs usually share a
+    // workload image, so striping spreads preparation cost evenly.
+    std::vector<std::string> shards(n);
+    for (size_t s = 0; s < pts.size(); ++s) {
+        std::string &csv = shards[s % n];
+        if (!csv.empty())
+            csv += ",";
+        csv += std::to_string(pts[s]);
+    }
+    const std::string exe =
+        opt_.workerExe.empty() ? "/proc/self/exe" : opt_.workerExe;
+
+    std::vector<pid_t> pids;
+    for (const std::string &csv : shards) {
+        if (csv.empty())
+            continue;
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            warn("serve: fork failed; points retried next attempt");
+            continue;
+        }
+        if (pid == 0) {
+            ::execl(exe.c_str(), "dvr_serve", "--worker", "--spool",
+                    spool_.root().c_str(), "--job", jobPath.c_str(),
+                    "--points", csv.c_str(),
+                    static_cast<char *>(nullptr));
+            _exit(127);   // exec failed; parent sees a crashed worker
+        }
+        pids.push_back(pid);
+    }
+    return pids;
+}
+
+int
+Daemon::workerMain(const std::string &spoolRoot,
+                   const std::string &jobPath,
+                   const std::string &pointsCsv)
+{
+    Spool spool(spoolRoot);
+    ResultCache cache(spool);
+    std::string text;
+    if (!Spool::readFile(jobPath, text)) {
+        warn("worker: cannot read " + jobPath);
+        return 0;
+    }
+    JobSpec job;
+    std::string err;
+    if (!JobSpec::parse(Spool::jobNameOf(jobPath), text, job, &err)) {
+        warn("worker: bad job: " + err);
+        return 0;
+    }
+
+    std::vector<size_t> pts;
+    std::istringstream csv(pointsCsv);
+    std::string tok;
+    while (std::getline(csv, tok, ',')) {
+        if (!tok.empty())
+            pts.push_back(size_t(std::stoull(tok)));
+    }
+
+    // One process, sequential points: process-level parallelism comes
+    // from the daemon's sharding, so each worker stays single-
+    // threaded and deterministic.
+    std::map<std::string, std::unique_ptr<PreparedWorkload>> prepared;
+    for (size_t i : pts) {
+        if (i >= job.points.size())
+            continue;
+        const JobPoint &p = job.points[i];
+        try {
+            const std::string key = job.pointKey(i);
+            if (cache.lookup(key))
+                continue;   // another worker/attempt got here first
+            const std::string id = p.workload + "\n" + p.input;
+            auto it = prepared.find(id);
+            if (it == prepared.end()) {
+                WorkloadParams wp;
+                wp.scaleShift = job.scaleShift;
+                it = prepared
+                         .emplace(id,
+                                  std::make_unique<PreparedWorkload>(
+                                      p.workload, p.input, wp,
+                                      job.baseConfig().memoryBytes))
+                         .first;
+            }
+            const SimConfig cfg = job.pointConfig(i);
+            const SimResult r = it->second->run(cfg);
+            cache.store(key, r.stats.toJson());
+        } catch (const std::exception &e) {
+            warn("worker: point \"" + p.label +
+                 "\" failed: " + e.what());
+        }
+    }
+    return 0;
+}
+
+} // namespace serve
+} // namespace dvr

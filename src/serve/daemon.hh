@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The dvr_serve daemon: drains the spool queue, shards each job's
+ * sweep points across worker processes (or an in-process thread pool
+ * for embedded use — see the fig02 --serve path), dedupes points
+ * against the content-addressed result cache, journals every
+ * completed run append-only (kill -9 safe), retries crashed workers
+ * with bounded exponential backoff, and finalizes each job into a
+ * standard MANIFEST_<job>.json plus a <job>.serve.json counter block.
+ *
+ * Job spec (one JSON object):
+ *
+ *     {
+ *       "workload": "bfs",          // default kernel for points
+ *       "input": "KR",              // default input ("" for none)
+ *       "scale_shift": 4,           // data-set scale (optional)
+ *       "config": {"core.width": "5", ...},   // job-wide overrides
+ *       "points": [
+ *         {"label": "bfs_KR/ref", "set": {}},
+ *         {"label": "bfs_KR/vr-128",
+ *          "set": {"sim.technique": "vr", "core.robSize": "128"}},
+ *         {"label": "camel/ref", "workload": "camel", "input": ""}
+ *       ]
+ *     }
+ *
+ * Every dotted key goes through ConfigSchema, so job files reject
+ * typos exactly like --set does. Point labels must be unique: they
+ * become the manifest run labels.
+ */
+
+#ifndef DVR_SERVE_DAEMON_HH
+#define DVR_SERVE_DAEMON_HH
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/result_cache.hh"
+#include "serve/spool.hh"
+#include "sim/config.hh"
+
+namespace dvr {
+namespace serve {
+
+/**
+ * Scheduling counters for one job (and, summed, for a daemon run).
+ * Emitted as the "serve" JSON block (<job>.serve.json, BENCH json);
+ * deliberately kept out of the final manifest so resumed and
+ * uninterrupted sweeps stay byte-comparable.
+ */
+struct ServeCounters
+{
+    uint64_t pointsTotal = 0;     ///< points in the job spec
+    uint64_t pointsRun = 0;       ///< simulations executed this run
+    uint64_t pointsDeduped = 0;   ///< duplicates served by a sibling's run
+    uint64_t cacheHits = 0;       ///< points served from the cache
+    uint64_t cacheMisses = 0;     ///< points that had to execute
+    uint64_t journalResumed = 0;  ///< runs adopted from the journal
+    uint64_t retries = 0;         ///< worker respawns after crashes
+
+    void merge(const ServeCounters &o);
+    /** Rendered as the serve.* snake_case JSON block. */
+    std::string toJson(int indent = 2) const;
+};
+
+/** One sweep point: a label plus dotted-key overrides. */
+struct JobPoint
+{
+    std::string label;
+    std::string workload;
+    std::string input;
+    /** (dotted key, value) overrides, applied in order. */
+    std::vector<std::pair<std::string, std::string>> sets;
+};
+
+struct JobSpec
+{
+    std::string name;
+    unsigned scaleShift = 0;
+    /** Job-wide (dotted key, value) overrides. */
+    std::vector<std::pair<std::string, std::string>> config;
+    std::vector<JobPoint> points;
+
+    /**
+     * Parse and validate a job file. Checks shape, unique non-empty
+     * labels, and known workload kernels; dotted keys are validated
+     * later, against the schema, when the point config is built.
+     */
+    static bool parse(const std::string &name, const std::string &text,
+                      JobSpec &out, std::string *err);
+
+    /** Render the spec as a job file (what `submit` writes). */
+    std::string toJson() const;
+
+    /** Baseline + job-wide overrides; throws on a bad key/value. */
+    SimConfig baseConfig() const;
+
+    /** baseConfig + the point's overrides; throws on a bad key. */
+    SimConfig pointConfig(size_t i) const;
+
+    /**
+     * The point's content-address (see result_cache.hh). serve.* keys
+     * are stripped from the config dump first: scheduling knobs never
+     * change simulated results, so they must not split the cache.
+     */
+    std::string pointKey(size_t i) const;
+};
+
+class Daemon
+{
+  public:
+    struct Options
+    {
+        std::string spoolRoot;
+        ServeConfig serve;
+        /**
+         * Run points on an in-process thread pool instead of forked
+         * worker processes. Embedded mode for benches: a bench binary
+         * cannot re-exec itself as a worker.
+         */
+        bool inProcess = false;
+        /** Worker executable; "" = /proc/self/exe (dvr_serve). */
+        std::string workerExe;
+    };
+
+    explicit Daemon(Options opt);
+
+    /** Create the spool tree; false on error. */
+    bool init() const;
+
+    /**
+     * Adopt any running/ jobs a killed daemon left behind, then drain
+     * the current queue. Returns the number of failed jobs.
+     */
+    int runOnce();
+
+    /**
+     * runOnce in a poll loop (serve.pollMs) until a drain is
+     * requested and the queue is empty. Returns failed-job count.
+     */
+    int serveLoop();
+
+    /** Process one claimed job (already in running/). 0 on success. */
+    int processJob(const std::string &name);
+
+    /** Counters summed over every job this daemon processed. */
+    const ServeCounters &totals() const { return totals_; }
+    /** Per-job counters of the most recent processJob call. */
+    const ServeCounters &lastJob() const { return last_; }
+    /** Prior wall segments of the most recent (resumed) job. */
+    const std::vector<double> &lastPriorSegments() const
+    {
+        return lastPrior_;
+    }
+
+    const Spool &spool() const { return spool_; }
+
+    /**
+     * Worker-mode entry (`dvr_serve --worker`): run the given points
+     * of a job file sequentially and store each result in the cache.
+     * Points already cached are skipped. Always returns 0 — the
+     * parent judges completion by cache presence, so a worker that
+     * dies mid-point is indistinguishable from (and handled like) a
+     * crash.
+     */
+    static int workerMain(const std::string &spoolRoot,
+                          const std::string &jobPath,
+                          const std::string &pointsCsv);
+
+  private:
+    bool runJob(const JobSpec &job, const std::string &jobPath,
+                ServeCounters &c, std::vector<double> &priorSegments,
+                std::string &failReason);
+    void runPointsInProcess(const JobSpec &job,
+                            const std::vector<size_t> &pts) const;
+    /** Fork the sharded workers; returns their pids (no waiting). */
+    std::vector<pid_t> spawnWorkers(const JobSpec &job,
+                                    const std::string &jobPath,
+                                    const std::vector<size_t> &pts)
+        const;
+    unsigned workerCount(size_t pts) const;
+
+    Options opt_;
+    Spool spool_;
+    ResultCache cache_;
+    ServeCounters totals_;
+    ServeCounters last_;
+    std::vector<double> lastPrior_;
+};
+
+} // namespace serve
+} // namespace dvr
+
+#endif // DVR_SERVE_DAEMON_HH

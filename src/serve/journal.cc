@@ -1,0 +1,146 @@
+#include "serve/journal.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/log.hh"
+#include "serve/json.hh"
+#include "sim/manifest.hh"
+
+namespace dvr {
+namespace serve {
+
+Journal::Journal(std::string path) : path_(std::move(path))
+{
+}
+
+bool
+Journal::exists() const
+{
+    std::error_code ec;
+    return std::filesystem::exists(path_, ec);
+}
+
+bool
+Journal::replay()
+{
+    runs_.clear();
+    points_.clear();
+    priorSegments_.clear();
+    tailSeconds_ = 0.0;
+
+    std::ifstream in(path_);
+    if (!in) {
+        warn("journal: cannot read " + path_);
+        return false;
+    }
+    std::string line;
+    size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        JsonValue v;
+        std::string err;
+        if (!parseJson(line, v, &err) || !v.isObject()) {
+            // Only the final line can legitimately be damaged (a
+            // crash mid-append); anything earlier is corruption.
+            if (in.peek() == std::ifstream::traits_type::eof()) {
+                warn("journal: dropping torn tail line " +
+                     std::to_string(lineNo) + " of " + path_);
+                break;
+            }
+            warn("journal: " + path_ + " line " +
+                 std::to_string(lineNo) + ": " + err);
+            return false;
+        }
+        if (lineNo == 1)
+            continue;   // the manifest header
+        if (const JsonValue *event = v.find("event")) {
+            if (event->str == "resume") {
+                priorSegments_.push_back(
+                    v.getNumber("prior_wall_seconds", tailSeconds_));
+                tailSeconds_ = 0.0;
+            }
+            continue;   // retry and future events carry no runs
+        }
+        JournalRun run;
+        run.point = size_t(v.getNumber("point", 0.0));
+        run.label = v.getString("label");
+        run.t = v.getNumber("t", 0.0);
+        const JsonValue *stats = v.find("stats");
+        if (run.label.empty() || !stats || !stats->isObject()) {
+            warn("journal: " + path_ + " line " +
+                 std::to_string(lineNo) + ": not a run object");
+            return false;
+        }
+        run.statsJson = stats->raw;
+        if (tailSeconds_ < run.t)
+            tailSeconds_ = run.t;
+        if (!points_.insert(run.point).second) {
+            // A duplicate can only mean the daemon double-journaled;
+            // keep the first occurrence so replays are idempotent.
+            continue;
+        }
+        runs_.push_back(std::move(run));
+    }
+    return true;
+}
+
+bool
+Journal::start(const std::string &headerLine)
+{
+    std::ofstream out(path_, std::ios::trunc);
+    out << headerLine << "\n";
+    out.flush();
+    if (!out) {
+        warn("journal: cannot write " + path_);
+        return false;
+    }
+    return true;
+}
+
+bool
+Journal::append(const std::string &line)
+{
+    std::ofstream out(path_, std::ios::app);
+    out << line << "\n";
+    out.flush();
+    if (!out) {
+        warn("journal: cannot append to " + path_);
+        return false;
+    }
+    return true;
+}
+
+bool
+Journal::appendRun(size_t point, const std::string &label,
+                   const std::string &statsJson, double t)
+{
+    if (points_.count(point))
+        return true;   // idempotent: resumed cache hits re-offer runs
+    std::ostringstream line;
+    line.setf(std::ios::fixed);
+    line.precision(3);
+    line << "{\"point\": " << point
+         << ", \"label\": " << jsonQuote(label) << ", \"t\": " << t
+         << ", \"stats\": " << minifyJson(statsJson) << "}";
+    if (!append(line.str()))
+        return false;
+    points_.insert(point);
+    runs_.push_back({point, label, minifyJson(statsJson), t});
+    if (tailSeconds_ < t)
+        tailSeconds_ = t;
+    return true;
+}
+
+bool
+Journal::appendEvent(const std::string &eventJson)
+{
+    return append(eventJson);
+}
+
+} // namespace serve
+} // namespace dvr

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Append-only run journal: the crash-safety backbone of dvr_serve.
+ *
+ * A job's journal is the journal-append manifest variant described in
+ * sim/manifest.hh: line 1 is a complete manifest object with
+ * "runs": [], and every later line is one of
+ *
+ *     {"point": N, "label": "...", "t": S, "stats": {...}}   a run
+ *     {"event": "resume", "prior_wall_seconds": S}           restart
+ *     {"event": "retry", "point": N, "attempt": K}           respawn
+ *
+ * The daemon appends a run line the moment a point's result is known
+ * and fsync-free appends are the only writes, so a `kill -9` can at
+ * worst tear the final line — which load() detects and drops. On
+ * restart, journaled points are never re-executed: the journal is
+ * loaded, a "resume" event (carrying the dead segment's wall-clock
+ * estimate, the largest "t" seen since the previous resume) is
+ * appended, and only the missing points run.
+ *
+ * The final MANIFEST_<job>.json is rendered from the journal's run
+ * lines ordered by point index, re-emitting each stats object
+ * verbatim — so an interrupted-and-resumed sweep produces the same
+ * manifest bytes as an uninterrupted one (modulo wall/host fields).
+ */
+
+#ifndef DVR_SERVE_JOURNAL_HH
+#define DVR_SERVE_JOURNAL_HH
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dvr {
+namespace serve {
+
+struct JournalRun
+{
+    size_t point = 0;
+    std::string label;
+    /** The run's stats object, verbatim from the journal line. */
+    std::string statsJson;
+    /** Seconds into its segment when the run was journaled. */
+    double t = 0.0;
+};
+
+class Journal
+{
+  public:
+    explicit Journal(std::string path);
+
+    const std::string &path() const { return path_; }
+    bool exists() const;
+
+    /**
+     * Parse the journal from disk. A torn (unparseable) tail line is
+     * dropped with a warning; any earlier damage fails the replay.
+     */
+    bool replay();
+
+    /** Truncate and write the header line (a fresh journal). */
+    bool start(const std::string &headerLine);
+
+    bool appendRun(size_t point, const std::string &label,
+                   const std::string &statsJson, double t);
+    /** Append a `{"event": ...}` line (rendered by the caller). */
+    bool appendEvent(const std::string &eventJson);
+
+    const std::vector<JournalRun> &runs() const { return runs_; }
+    bool hasPoint(size_t point) const { return points_.count(point); }
+    size_t runCount() const { return runs_.size(); }
+
+    /** Wall-clock of segments closed by "resume" events, in order. */
+    const std::vector<double> &priorSegments() const
+    {
+        return priorSegments_;
+    }
+
+    /**
+     * Largest run "t" since the last resume event: the best available
+     * estimate of how long a killed segment ran before dying.
+     */
+    double tailSegmentSeconds() const { return tailSeconds_; }
+
+  private:
+    bool append(const std::string &line);
+
+    std::string path_;
+    std::vector<JournalRun> runs_;
+    std::set<size_t> points_;
+    std::vector<double> priorSegments_;
+    double tailSeconds_ = 0.0;
+};
+
+} // namespace serve
+} // namespace dvr
+
+#endif // DVR_SERVE_JOURNAL_HH

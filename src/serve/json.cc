@@ -1,0 +1,283 @@
+#include "serve/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace dvr {
+namespace serve {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &s) : s_(s) {}
+
+    bool
+    parse(JsonValue &out, std::string &err)
+    {
+        skipWs();
+        if (!value(out)) {
+            err = err_;
+            return false;
+        }
+        skipWs();
+        if (i_ != s_.size()) {
+            err = at("trailing characters after document");
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    std::string
+    at(const std::string &what) const
+    {
+        return what + " (offset " + std::to_string(i_) + ")";
+    }
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err_.empty())
+            err_ = at(what);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (i_ < s_.size() &&
+               (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\r' ||
+                s_[i_] == '\n')) {
+            ++i_;
+        }
+    }
+
+    char
+    peek() const
+    {
+        return i_ < s_.size() ? s_[i_] : '\0';
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p) {
+            if (i_ >= s_.size() || s_[i_] != *p)
+                return fail(std::string("bad literal (expected '") +
+                            word + "')");
+            ++i_;
+        }
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (peek() != '"')
+            return fail("expected '\"'");
+        ++i_;
+        out.clear();
+        while (i_ < s_.size()) {
+            const char c = s_[i_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (i_ >= s_.size())
+                    break;
+                out += s_[i_++];
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        skipWs();
+        const size_t start = i_;
+        bool ok = false;
+        const char c = peek();
+        if (c == '{') {
+            out.kind = JsonValue::Kind::kObject;
+            ok = object(out);
+        } else if (c == '[') {
+            out.kind = JsonValue::Kind::kArray;
+            ok = array(out);
+        } else if (c == '"') {
+            out.kind = JsonValue::Kind::kString;
+            ok = string(out.str);
+        } else if (c == 't') {
+            out.kind = JsonValue::Kind::kBool;
+            out.boolean = true;
+            ok = literal("true");
+        } else if (c == 'f') {
+            out.kind = JsonValue::Kind::kBool;
+            out.boolean = false;
+            ok = literal("false");
+        } else if (c == 'n') {
+            out.kind = JsonValue::Kind::kNull;
+            ok = literal("null");
+        } else {
+            out.kind = JsonValue::Kind::kNumber;
+            ok = number(out.number);
+        }
+        if (ok)
+            out.raw = s_.substr(start, i_ - start);
+        return ok;
+    }
+
+    bool
+    number(double &out)
+    {
+        const size_t start = i_;
+        if (peek() == '-')
+            ++i_;
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++i_;
+        if (peek() == '.') {
+            ++i_;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++i_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++i_;
+            if (peek() == '+' || peek() == '-')
+                ++i_;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++i_;
+        }
+        if (i_ == start || (i_ == start + 1 && s_[start] == '-'))
+            return fail("expected a value");
+        out = std::strtod(s_.substr(start, i_ - start).c_str(),
+                          nullptr);
+        return true;
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        ++i_;   // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++i_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!string(key))
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return fail("expected ':'");
+            ++i_;
+            JsonValue member;
+            if (!value(member))
+                return false;
+            out.members.emplace_back(std::move(key),
+                                     std::move(member));
+            skipWs();
+            const char c = peek();
+            if (c == ',') {
+                ++i_;
+                continue;
+            }
+            if (c == '}') {
+                ++i_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        ++i_;   // '['
+        skipWs();
+        if (peek() == ']') {
+            ++i_;
+            return true;
+        }
+        for (;;) {
+            JsonValue item;
+            if (!value(item))
+                return false;
+            out.items.push_back(std::move(item));
+            skipWs();
+            const char c = peek();
+            if (c == ',') {
+                ++i_;
+                continue;
+            }
+            if (c == ']') {
+                ++i_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    const std::string &s_;
+    size_t i_ = 0;
+    std::string err_;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::kObject)
+        return nullptr;
+    for (const auto &[k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::string
+JsonValue::getString(const std::string &key,
+                     const std::string &def) const
+{
+    const JsonValue *v = find(key);
+    return v && v->kind == Kind::kString ? v->str : def;
+}
+
+double
+JsonValue::getNumber(const std::string &key, double def) const
+{
+    const JsonValue *v = find(key);
+    return v && v->kind == Kind::kNumber ? v->number : def;
+}
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *err)
+{
+    std::string e;
+    if (Parser(text).parse(out, e))
+        return true;
+    if (err)
+        *err = e;
+    return false;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out + "\"";
+}
+
+} // namespace serve
+} // namespace dvr

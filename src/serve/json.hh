@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal JSON value tree for the serve subsystem: job specs, journal
+ * lines, and cache entries are small documents that need real value
+ * extraction, not just the syntax/schema checking sim/manifest.hh
+ * provides. Object member order is preserved (job points execute in
+ * declaration order) and every value remembers its raw source slice,
+ * so nested documents (a run's stats object) can be re-emitted
+ * byte-for-byte instead of being re-rendered.
+ */
+
+#ifndef DVR_SERVE_JSON_HH
+#define DVR_SERVE_JSON_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dvr {
+namespace serve {
+
+struct JsonValue
+{
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;
+    /** Object members in source order. */
+    std::vector<std::pair<std::string, JsonValue>> members;
+    /** Exact source slice of this value (verbatim re-emission). */
+    std::string raw;
+
+    bool isObject() const { return kind == Kind::kObject; }
+    bool isArray() const { return kind == Kind::kArray; }
+
+    /** Member lookup on an object; nullptr when absent or not one. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Typed member getters with defaults (absent or wrong kind). */
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+    double getNumber(const std::string &key, double def = 0.0) const;
+};
+
+/**
+ * Parse a complete JSON document. Returns false and sets `err` on any
+ * syntax error (including trailing characters).
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string *err = nullptr);
+
+/** Render a string as a JSON string literal (escapes `"` and `\`). */
+std::string jsonQuote(const std::string &s);
+
+} // namespace serve
+} // namespace dvr
+
+#endif // DVR_SERVE_JSON_HH

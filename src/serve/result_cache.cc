@@ -1,0 +1,76 @@
+#include "serve/result_cache.hh"
+
+#include <cstdio>
+
+#include "serve/json.hh"
+#include "serve/spool.hh"
+#include "sim/manifest.hh"
+
+namespace dvr {
+namespace serve {
+
+ResultCache::ResultCache(const Spool &spool) : spool_(spool)
+{
+}
+
+std::string
+ResultCache::makeKey(const std::string &configJson,
+                     const std::string &workload,
+                     const std::string &input, unsigned scaleShift,
+                     const std::string &gitSha)
+{
+    // '|' cannot appear in the minified config dump's structure or in
+    // workload names, so the fields cannot alias each other.
+    return minifyJson(configJson) + "|" + workload + "|" + input +
+           "|" + std::to_string(scaleShift) + "|" + gitSha;
+}
+
+uint64_t
+ResultCache::fnv1a64(const std::string &s)
+{
+    uint64_t h = 14695981039346656037ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::string
+ResultCache::entryPath(const std::string &key) const
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(key)));
+    return spool_.cacheDir() + "/" + hex + ".json";
+}
+
+std::optional<std::string>
+ResultCache::lookup(const std::string &key) const
+{
+    std::string text;
+    if (!Spool::readFile(entryPath(key), text))
+        return std::nullopt;
+    JsonValue entry;
+    if (!parseJson(text, entry) || !entry.isObject())
+        return std::nullopt;   // torn or foreign file: treat as miss
+    if (entry.getString("key") != key)
+        return std::nullopt;   // hash collision: correctness first
+    const JsonValue *stats = entry.find("stats");
+    if (!stats || !stats->isObject())
+        return std::nullopt;
+    return stats->raw;
+}
+
+bool
+ResultCache::store(const std::string &key,
+                   const std::string &statsJson) const
+{
+    const std::string entry = "{\"key\": " + jsonQuote(key) +
+                              ", \"stats\": " +
+                              minifyJson(statsJson) + "}\n";
+    return spool_.writeAtomic(entryPath(key), entry);
+}
+
+} // namespace serve
+} // namespace dvr

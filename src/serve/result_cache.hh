@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Content-addressed result cache for sweep points.
+ *
+ * A point's identity is its canonical key: the fully resolved
+ * configuration dump (ConfigSchema::toJson, minified — the schema
+ * emits keys in a fixed order, so equal configs render identically),
+ * the workload kernel and input, the data-set scale shift, and the
+ * git revision of the simulator binary. Two points with the same key
+ * are the same deterministic simulation, whatever their labels, so
+ * one cached result serves both — that is what dedupes a re-submitted
+ * sweep (and the fig02 base-350 point against its own reference run).
+ *
+ * Entries are one-line JSON files named by the FNV-1a 64-bit hash of
+ * the key, written atomically (tmp + rename). The full key is stored
+ * in the entry and compared on lookup, so a hash collision degrades
+ * to a miss, never to a wrong result.
+ */
+
+#ifndef DVR_SERVE_RESULT_CACHE_HH
+#define DVR_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dvr {
+namespace serve {
+
+class Spool;
+
+class ResultCache
+{
+  public:
+    /** `spool` must outlive the cache; entries live in its cache/. */
+    explicit ResultCache(const Spool &spool);
+
+    /**
+     * The canonical point key. `configJson` must be the resolved
+     * schema dump of the point's full SimConfig.
+     */
+    static std::string makeKey(const std::string &configJson,
+                               const std::string &workload,
+                               const std::string &input,
+                               unsigned scaleShift,
+                               const std::string &gitSha);
+
+    /**
+     * The stored stats JSON for `key`, or nullopt on miss (absent
+     * entry, unreadable entry, or stored-key mismatch = collision).
+     */
+    std::optional<std::string> lookup(const std::string &key) const;
+
+    /** Store a point's stats JSON under `key`; false on I/O failure. */
+    bool store(const std::string &key,
+               const std::string &statsJson) const;
+
+    /** FNV-1a 64-bit (the entry file name is the hex digest). */
+    static uint64_t fnv1a64(const std::string &s);
+
+  private:
+    std::string entryPath(const std::string &key) const;
+
+    const Spool &spool_;
+};
+
+} // namespace serve
+} // namespace dvr
+
+#endif // DVR_SERVE_RESULT_CACHE_HH

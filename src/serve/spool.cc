@@ -1,0 +1,164 @@
+#include "serve/spool.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace fs = std::filesystem;
+
+namespace dvr {
+namespace serve {
+
+Spool::Spool(std::string root) : root_(std::move(root))
+{
+}
+
+bool
+Spool::init() const
+{
+    std::error_code ec;
+    for (const std::string &d :
+         {queueDir(), runningDir(), doneDir(), failedDir(),
+          journalDir(), cacheDir(), tmpDir()}) {
+        fs::create_directories(d, ec);
+        if (ec) {
+            warn("spool: cannot create " + d + ": " + ec.message());
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+Spool::jobPath(const std::string &dir, const std::string &name) const
+{
+    return dir + "/" + name + ".json";
+}
+
+std::string
+Spool::submit(const std::string &name,
+              const std::string &jobText) const
+{
+    for (const std::string &dir : {queueDir(), runningDir()}) {
+        if (fs::exists(jobPath(dir, name))) {
+            warn("spool: job \"" + name + "\" already in " + dir);
+            return "";
+        }
+    }
+    const std::string dst = jobPath(queueDir(), name);
+    if (!writeAtomic(dst, jobText))
+        return "";
+    return dst;
+}
+
+std::vector<std::string>
+Spool::list(const std::string &dir) const
+{
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        const std::string file = entry.path().filename().string();
+        if (file.size() > 5 &&
+            file.compare(file.size() - 5, 5, ".json") == 0)
+            names.push_back(file.substr(0, file.size() - 5));
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+bool
+Spool::claim(const std::string &name) const
+{
+    // rename(2) is atomic within a filesystem: exactly one claimer
+    // can win, and a crash leaves the job in precisely one directory.
+    return std::rename(jobPath(queueDir(), name).c_str(),
+                       jobPath(runningDir(), name).c_str()) == 0;
+}
+
+bool
+Spool::finish(const std::string &name, bool ok) const
+{
+    const std::string dst =
+        jobPath(ok ? doneDir() : failedDir(), name);
+    if (std::rename(jobPath(runningDir(), name).c_str(),
+                    dst.c_str()) != 0) {
+        warn("spool: cannot move job \"" + name + "\" to " + dst +
+             ": " + std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+bool
+Spool::writeAtomic(const std::string &path,
+                   const std::string &text) const
+{
+    // Stage under tmp/ with the writer's pid in the name: two worker
+    // processes storing the same cache key must not share a staging
+    // file, or truncate-while-writing could tear it.
+    const std::string stage =
+        tmpDir() + "/" + fs::path(path).filename().string() + "." +
+        std::to_string(::getpid()) + ".tmp";
+    {
+        std::ofstream out(stage, std::ios::trunc);
+        out << text;
+        out.flush();
+        if (!out) {
+            warn("spool: cannot write " + stage);
+            return false;
+        }
+    }
+    if (std::rename(stage.c_str(), path.c_str()) != 0) {
+        warn("spool: cannot rename " + stage + " -> " + path + ": " +
+             std::strerror(errno));
+        std::remove(stage.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+Spool::readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+Spool::drainRequested() const
+{
+    return fs::exists(root_ + "/drain");
+}
+
+void
+Spool::requestDrain() const
+{
+    std::ofstream(root_ + "/drain") << "drain\n";
+}
+
+std::string
+Spool::jobNameOf(const std::string &path)
+{
+    std::string name = fs::path(path).filename().string();
+    if (name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".json") == 0)
+        name.resize(name.size() - 5);
+    return name;
+}
+
+} // namespace serve
+} // namespace dvr

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The dvr_serve spool: a directory-per-state job queue driven purely
+ * by atomic rename(2), so clients and the daemon never need locks and
+ * a `kill -9` at any instant leaves every job in exactly one state.
+ *
+ *     <root>/queue/<job>.json     submitted, not yet claimed
+ *     <root>/running/<job>.json   claimed by the daemon
+ *     <root>/done/<job>.json      finished (manifest + counters beside it)
+ *     <root>/failed/<job>.json    gave up after serve.maxAttempts
+ *     <root>/journal/             append-only per-job run journals
+ *     <root>/cache/               content-addressed result cache
+ *     <root>/tmp/                 staging for atomic writes
+ *     <root>/drain                flag: exit once the queue is empty
+ *
+ * Submission writes the job into tmp/ first and renames it into
+ * queue/, so a reader can never observe a half-written job file.
+ */
+
+#ifndef DVR_SERVE_SPOOL_HH
+#define DVR_SERVE_SPOOL_HH
+
+#include <string>
+#include <vector>
+
+namespace dvr {
+namespace serve {
+
+class Spool
+{
+  public:
+    explicit Spool(std::string root);
+
+    /** Create the spool directory tree; false (with warning) on error. */
+    bool init() const;
+
+    const std::string &root() const { return root_; }
+    std::string queueDir() const { return root_ + "/queue"; }
+    std::string runningDir() const { return root_ + "/running"; }
+    std::string doneDir() const { return root_ + "/done"; }
+    std::string failedDir() const { return root_ + "/failed"; }
+    std::string journalDir() const { return root_ + "/journal"; }
+    std::string cacheDir() const { return root_ + "/cache"; }
+    std::string tmpDir() const { return root_ + "/tmp"; }
+
+    /** Path of job `name` in the given state directory. */
+    std::string jobPath(const std::string &dir,
+                        const std::string &name) const;
+
+    /**
+     * Atomically enqueue a job: write into tmp/, rename into queue/.
+     * Returns the queued path, or "" (with a warning) on failure —
+     * including a job of the same name already queued or running.
+     */
+    std::string submit(const std::string &name,
+                       const std::string &jobText) const;
+
+    /** Job names (sans .json) in a state directory, sorted. */
+    std::vector<std::string> list(const std::string &dir) const;
+
+    /** queue/ -> running/; false if the job vanished (raced). */
+    bool claim(const std::string &name) const;
+
+    /** running/ -> done/ or failed/. */
+    bool finish(const std::string &name, bool ok) const;
+
+    /** Write a file atomically via tmp/ + rename; false on failure. */
+    bool writeAtomic(const std::string &path,
+                     const std::string &text) const;
+
+    /** Whole-file read; false when unreadable. */
+    static bool readFile(const std::string &path, std::string &out);
+
+    bool drainRequested() const;
+    void requestDrain() const;
+
+    /** "<dir>/foo.json" -> "foo". */
+    static std::string jobNameOf(const std::string &path);
+
+  private:
+    std::string root_;
+};
+
+} // namespace serve
+} // namespace dvr
+
+#endif // DVR_SERVE_SPOOL_HH

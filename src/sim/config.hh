@@ -98,6 +98,23 @@ struct SampleConfig
     uint64_t warm = 0;
 };
 
+/**
+ * The dvr_serve job daemon (src/serve/): worker sharding, crash
+ * retries, and queue polling. Serve keys only affect how a sweep is
+ * scheduled across processes, never the simulated results.
+ */
+struct ServeConfig
+{
+    /** Worker processes per job; 0 = hardware concurrency. */
+    unsigned workers = 0;
+    /** Attempts per point before the job is failed (>= 1). */
+    unsigned maxAttempts = 3;
+    /** Base retry backoff in milliseconds (doubles per attempt). */
+    unsigned backoffMs = 200;
+    /** Daemon queue-poll period in milliseconds. */
+    unsigned pollMs = 500;
+};
+
 struct SimConfig
 {
     CoreConfig core;
@@ -118,6 +135,7 @@ struct SimConfig
     std::string traceFile;
     WarmupConfig warmup;
     SampleConfig sample;
+    ServeConfig serve;
 
     /** Table 1 baseline with the given technique. */
     static SimConfig baseline(Technique t = Technique::kBase);

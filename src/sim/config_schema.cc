@@ -270,6 +270,29 @@ ConfigSchema::ConfigSchema()
                     return c.sample.warm;
                 }));
 
+    // serve.* — the dvr_serve job daemon (scheduling only; serve
+    // keys never change simulated results).
+    add(uintKey("serve.workers",
+                "worker processes per job (0 = hardware concurrency)",
+                [](SimConfig &c) -> unsigned & {
+                    return c.serve.workers;
+                }));
+    add(uintKey("serve.maxAttempts",
+                "attempts per sweep point before the job is failed",
+                [](SimConfig &c) -> unsigned & {
+                    return c.serve.maxAttempts;
+                }));
+    add(uintKey("serve.backoffMs",
+                "base worker-retry backoff in ms (doubles per attempt)",
+                [](SimConfig &c) -> unsigned & {
+                    return c.serve.backoffMs;
+                }));
+    add(uintKey("serve.pollMs",
+                "daemon queue-poll period in ms",
+                [](SimConfig &c) -> unsigned & {
+                    return c.serve.pollMs;
+                }));
+
     // core.* — the Table 1 out-of-order core.
     add(uintKey("core.width", "fetch/dispatch/commit width",
                 [](SimConfig &c) -> unsigned & { return c.core.width; }));

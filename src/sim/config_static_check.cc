@@ -104,6 +104,15 @@ struct SampleMirror
 static_assert(sizeof(SampleMirror) == sizeof(SampleConfig),
               DVR_DRIFT_HELP);
 
+struct ServeMirror
+{
+#define DVR_SERVE_FIELD(field, type, key) type field;
+#include "sim/config_fields.def"
+#undef DVR_SERVE_FIELD
+};
+static_assert(sizeof(ServeMirror) == sizeof(ServeConfig),
+              DVR_DRIFT_HELP);
+
 struct SimMirror
 {
 #define DVR_SIM_FIELD(field, type, key) type field;

@@ -1,21 +1,83 @@
 #include "sim/env.hh"
 
+#include <cerrno>
 #include <cstdlib>
+#include <mutex>
+#include <set>
+
+#include "common/log.hh"
 
 namespace dvr {
 namespace env {
 
 namespace {
 
-std::optional<uint64_t>
-positiveU64(const char *name)
+// Warn-once bookkeeping: a bad value is reported the first time the
+// variable is read, not on every one of the hundreds of reads a sweep
+// makes. Keyed by variable name; resetWarnings() clears it for tests.
+std::mutex warnMutex;
+std::set<std::string> &
+warnedVars()
 {
-    if (const char *e = std::getenv(name)) {
-        const uint64_t v = std::strtoull(e, nullptr, 10);
-        if (v > 0)
-            return v;
+    static std::set<std::string> vars;
+    return vars;
+}
+
+void
+warnOnce(const std::string &name, const std::string &message)
+{
+    std::lock_guard<std::mutex> lock(warnMutex);
+    if (warnedVars().insert(name).second)
+        warn(name + ": " + message);
+}
+
+/**
+ * Parse the full string as an unsigned decimal integer. Rejects empty
+ * strings, leading signs, trailing garbage ("8x"), and out-of-range
+ * values — strtoull's permissive prefix parsing is exactly the bug
+ * this replaces.
+ */
+std::optional<uint64_t>
+parseU64(const char *text)
+{
+    if (!text || !*text)
+        return std::nullopt;
+    // strtoull accepts "-1" (wrapping) and leading whitespace; a
+    // strict decimal knob wants neither.
+    if (*text == '-' || *text == '+' || *text == ' ' || *text == '\t')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno == ERANGE || end == text || *end != '\0')
+        return std::nullopt;
+    return uint64_t(v);
+}
+
+/**
+ * Read an integer env knob with a documented [min, max] range.
+ * Unparseable or below-minimum values warn once and are ignored
+ * (default applies); above-maximum values warn once and clamp.
+ */
+std::optional<uint64_t>
+rangedU64(const char *name, uint64_t min, uint64_t max)
+{
+    const char *e = std::getenv(name);
+    if (!e)
+        return std::nullopt;
+    const auto v = parseU64(e);
+    if (!v || *v < min) {
+        warnOnce(name, "ignoring invalid value \"" + std::string(e) +
+                           "\" (want an integer >= " +
+                           std::to_string(min) + ")");
+        return std::nullopt;
     }
-    return std::nullopt;
+    if (*v > max) {
+        warnOnce(name, "clamping " + std::string(e) + " to maximum " +
+                           std::to_string(max));
+        return max;
+    }
+    return v;
 }
 
 } // namespace
@@ -23,21 +85,25 @@ positiveU64(const char *name)
 std::optional<uint64_t>
 maxInstructions()
 {
-    return positiveU64("DVR_INSTS");
+    return rangedU64("DVR_INSTS", 1, UINT64_MAX);
 }
 
 std::optional<unsigned>
 scaleShift()
 {
-    if (const char *e = std::getenv("DVR_SCALE_SHIFT"))
-        return unsigned(std::strtoul(e, nullptr, 10));
+    // > 30 would shift data sets to nothing (and shifts past the
+    // word width are UB downstream): clamp.
+    if (const auto v = rangedU64("DVR_SCALE_SHIFT", 0, 30))
+        return unsigned(*v);
     return std::nullopt;
 }
 
 std::optional<unsigned>
 jobs()
 {
-    if (const auto v = positiveU64("DVR_JOBS"))
+    // 0 threads cannot make progress; four-digit thread counts are
+    // always a typo on this simulator.
+    if (const auto v = rangedU64("DVR_JOBS", 1, 1024))
         return unsigned(*v);
     return std::nullopt;
 }
@@ -45,9 +111,22 @@ jobs()
 std::optional<std::string>
 benchDir()
 {
-    if (const char *e = std::getenv("DVR_BENCH_DIR"))
+    if (const char *e = std::getenv("DVR_BENCH_DIR")) {
+        if (!*e) {
+            warnOnce("DVR_BENCH_DIR",
+                     "ignoring empty value (want a directory path)");
+            return std::nullopt;
+        }
         return std::string(e);
+    }
     return std::nullopt;
+}
+
+void
+resetWarnings()
+{
+    std::lock_guard<std::mutex> lock(warnMutex);
+    warnedVars().clear();
 }
 
 } // namespace env

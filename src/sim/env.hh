@@ -8,6 +8,13 @@
  *
  * Values are re-read on every call (no caching): tests and drivers
  * may setenv() between runs.
+ *
+ * Malformed values are never silently coerced: a value that does not
+ * parse as a full decimal integer, or that falls outside its
+ * documented range, triggers a one-time warning naming the variable
+ * and the offending text. Unparseable or below-minimum values are
+ * ignored (the accessor returns nullopt, i.e. the default applies);
+ * values above the documented maximum are clamped to it.
  */
 
 #ifndef DVR_SIM_ENV_HH
@@ -23,14 +30,20 @@ namespace env {
 /** DVR_INSTS: per-run dynamic instruction budget (must be > 0). */
 std::optional<uint64_t> maxInstructions();
 
-/** DVR_SCALE_SHIFT: halve the data sets this many times. */
+/** DVR_SCALE_SHIFT: halve the data sets this many times (0..30). */
 std::optional<unsigned> scaleShift();
 
-/** DVR_JOBS: parallel runner thread count (must be > 0). */
+/** DVR_JOBS: parallel runner thread count (1..1024). */
 std::optional<unsigned> jobs();
 
 /** DVR_BENCH_DIR: directory BENCH_<figure>.json reports go to. */
 std::optional<std::string> benchDir();
+
+/**
+ * Forget which variables have already warned, so tests can observe
+ * the warn-once behaviour deterministically.
+ */
+void resetWarnings();
 
 } // namespace env
 } // namespace dvr

@@ -165,14 +165,27 @@ BenchReport::setExtra(const std::string &key, const std::string &json)
     extras_.emplace_back(key, json);
 }
 
+void
+BenchReport::addWallSegment(double seconds)
+{
+    priorWall_.push_back(seconds);
+}
+
 std::string
 BenchReport::write(std::ostream &echo) const
 {
-    const double wall =
+    const double segment =
         // dvr-lint: allow(wall-clock) bench wall-time report only; never feeds simulated state
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
+    // Total cost across resume segments: the prior segments a resumed
+    // sweep carried over, plus this process's own span.
+    std::vector<double> segments = priorWall_;
+    segments.push_back(segment);
+    double wall = 0.0;
+    for (double s : segments)
+        wall += s;
     const double mips =
         wall > 0.0 ? double(instructions_) / wall / 1e6 : 0.0;
 
@@ -205,6 +218,10 @@ BenchReport::write(std::ostream &echo) const
          << "  \"figure\": \"" << figure_ << "\",\n"
          << "  \"threads\": " << threads_ << ",\n"
          << "  \"wall_seconds\": " << wall << ",\n"
+         << "  \"wall_segments\": [";
+    for (size_t i = 0; i < segments.size(); ++i)
+        json << (i ? ", " : "") << segments[i];
+    json << "],\n"
          << "  \"simulated_instructions\": " << instructions_ << ",\n"
          << "  \"simulated_mips\": " << mips << ",\n"
          << "  \"cow\": " << cowJson.str();
@@ -214,14 +231,19 @@ BenchReport::write(std::ostream &echo) const
     std::ofstream out(path);
     out << json.str();
     out.flush();
+    bool ok = true;
     if (!out) {
         warn("BenchReport: cannot write " + path +
              " (does DVR_BENCH_DIR exist?)");
+        ok = false;
     }
     manifest_.setExtra("cow", cowJson.str());
     for (const auto &[key, extra] : extras_)
         manifest_.setExtra(key, extra);
-    manifest_.write(dir, wall);
+    for (double s : segments)
+        manifest_.addWallSegment(s);
+    if (manifest_.write(dir).empty())
+        ok = false;
 
     echo << "\n[" << path << "] wall " << std::fixed
          << std::setprecision(1) << wall << " s, "
@@ -235,7 +257,7 @@ BenchReport::write(std::ostream &echo) const
          << double(cow.bytesCloned) / mib << " MiB cloned ("
          << reduction << "x copy reduction)\n";
     echo.flush();
-    return path;
+    return ok ? path : "";
 }
 
 } // namespace dvr

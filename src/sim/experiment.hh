@@ -132,6 +132,15 @@ class BenchReport
     void addInstructions(uint64_t n) { instructions_ += n; }
 
     /**
+     * Record a run from its already-rendered stats JSON (the serve
+     * path replays journaled runs it never executed in-process).
+     */
+    void addRunJson(const std::string &label, const std::string &json)
+    {
+        manifest_.addRunJson(label, json);
+    }
+
+    /**
      * Attach an extra JSON block (pre-rendered object) emitted into
      * both BENCH_<figure>.json and the manifest under `key` — e.g.
      * the sampling bench's "sampling" accuracy/speedup block. A
@@ -140,9 +149,20 @@ class BenchReport
     void setExtra(const std::string &key, const std::string &json);
 
     /**
+     * Record a wall-clock segment spent before this process (a
+     * resumed/journaled sweep). write() reports wall_seconds as the
+     * sum of all prior segments plus this process's own span, and
+     * lists the segments, so a resumed sweep accounts its total cost
+     * instead of just the final segment's.
+     */
+    void addWallSegment(double seconds);
+
+    /**
      * Write BENCH_<figure>.json and MANIFEST_<figure>.json into
      * DVR_BENCH_DIR (default: the current directory) and echo a
-     * one-line summary. Returns the bench-report file path.
+     * one-line summary. Returns the bench-report file path, or "" if
+     * either document could not be written (the bench's nonzero-exit
+     * path; a warning names the failing file).
      */
     std::string write(std::ostream &echo) const;
 
@@ -150,6 +170,8 @@ class BenchReport
     std::string figure_;
     unsigned threads_;
     uint64_t instructions_ = 0;
+    /** Wall-clock segments of earlier resume segments, in order. */
+    std::vector<double> priorWall_;
     /** Extra (key, pre-rendered JSON) blocks, in insertion order. */
     std::vector<std::pair<std::string, std::string>> extras_;
     /** mutable: write() const attaches the CoW delta at write time. */

@@ -274,9 +274,39 @@ RunManifest::setConfig(const SimConfig &cfg)
 }
 
 void
+RunManifest::setConfigJson(const std::string &json)
+{
+    const std::string err = validateJsonSyntax(json);
+    if (!err.empty()) {
+        warn("RunManifest: ignoring invalid config JSON: " + err);
+        return;
+    }
+    configJson_ = chomp(json);
+}
+
+void
 RunManifest::addRun(const std::string &label, const StatSet &stats)
 {
-    runs_.emplace_back(label, stats);
+    runs_.emplace_back(label, chomp(stats.toJson(6)));
+}
+
+void
+RunManifest::addRunJson(const std::string &label,
+                        const std::string &statsJson)
+{
+    const std::string err = validateJsonSyntax(statsJson);
+    if (!err.empty()) {
+        warn("RunManifest: dropping run \"" + label +
+             "\" with invalid stats JSON: " + err);
+        return;
+    }
+    runs_.emplace_back(label, chomp(statsJson));
+}
+
+void
+RunManifest::addWallSegment(double seconds)
+{
+    wallSegments_.push_back(seconds);
 }
 
 void
@@ -298,18 +328,24 @@ RunManifest::setExtra(const std::string &key, const std::string &rawJson)
 }
 
 std::string
-RunManifest::toJson(double wall_seconds) const
+RunManifest::toJson() const
 {
+    double total = 0.0;
+    for (double s : wallSegments_)
+        total += s;
     std::ostringstream os;
     os << "{\n"
        << "  \"manifest_version\": " << kManifestVersion << ",\n"
        << "  \"figure\": " << quote(figure_) << ",\n"
        << "  \"git_sha\": " << quote(gitSha()) << ",\n"
        << "  \"host\": " << quote(hostName()) << ",\n";
-    os << "  \"wall_seconds\": ";
     os.setf(std::ios::fixed);
     os.precision(3);
-    os << wall_seconds << ",\n"
+    os << "  \"wall_seconds\": " << total << ",\n"
+       << "  \"wall_segments\": [";
+    for (size_t i = 0; i < wallSegments_.size(); ++i)
+        os << (i ? ", " : "") << wallSegments_[i];
+    os << "],\n"
        << "  \"config\": " << configJson_ << ",\n";
     for (const auto &[key, json] : extras_)
         os << "  " << quote(key) << ": " << json << ",\n";
@@ -317,21 +353,39 @@ RunManifest::toJson(double wall_seconds) const
     for (size_t i = 0; i < runs_.size(); ++i) {
         os << (i ? ",\n" : "\n") << "    {\"label\": "
            << quote(runs_[i].first)
-           << ", \"stats\": " << chomp(runs_[i].second.toJson(6)) << "}";
+           << ", \"stats\": " << runs_[i].second << "}";
     }
     os << (runs_.empty() ? "]\n" : "\n  ]\n") << "}\n";
     return os.str();
 }
 
 std::string
-RunManifest::write(const std::string &dir, double wall_seconds) const
+RunManifest::toJournalHeaderLine() const
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << "{\"manifest_version\": " << kManifestVersion
+       << ", \"figure\": " << quote(figure_)
+       << ", \"git_sha\": " << quote(gitSha())
+       << ", \"host\": " << quote(hostName())
+       << ", \"wall_seconds\": 0.000, \"wall_segments\": []"
+       << ", \"config\": " << minifyJson(configJson_)
+       << ", \"runs\": []}";
+    return minifyJson(os.str());
+}
+
+std::string
+RunManifest::write(const std::string &dir) const
 {
     const std::string path = dir + "/MANIFEST_" + figure_ + ".json";
     std::ofstream out(path);
-    out << toJson(wall_seconds);
+    out << toJson();
     out.flush();
-    if (!out)
+    if (!out) {
         warn("RunManifest: cannot write " + path);
+        return "";
+    }
     return path;
 }
 
@@ -361,19 +415,44 @@ validateJsonSyntax(const std::string &text)
 }
 
 std::string
-validateManifestJson(const std::string &text)
+minifyJson(const std::string &text)
 {
-    JsonChecker checker(text);
-    const std::string err = checker.check();
-    if (!err.empty())
-        return err;
+    std::string out;
+    out.reserve(text.size());
+    bool inString = false;
+    bool escaped = false;
+    for (char c : text) {
+        if (inString) {
+            out += c;
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n')
+            continue;
+        out += c;
+        if (c == '"')
+            inString = true;
+    }
+    return out;
+}
+
+namespace {
+
+/** Required-key check over an already syntax-valid root object. */
+std::string
+checkManifestKeys(const std::map<std::string, char> &keys)
+{
     static const std::pair<const char *, char> kRequired[] = {
         {"manifest_version", 'n'}, {"figure", 's'},
         {"git_sha", 's'},          {"host", 's'},
-        {"wall_seconds", 'n'},     {"config", 'o'},
-        {"runs", 'a'},
+        {"wall_seconds", 'n'},     {"wall_segments", 'a'},
+        {"config", 'o'},           {"runs", 'a'},
     };
-    const auto &keys = checker.topKeys();
     for (const auto &[name, kind] : kRequired) {
         const auto it = keys.find(name);
         if (it == keys.end())
@@ -382,6 +461,75 @@ validateManifestJson(const std::string &text)
             return std::string("key \"") + name + "\" has wrong type";
     }
     return "";
+}
+
+/**
+ * The journal-append shape: line 1 is a complete manifest object,
+ * each later non-empty line is one run ({"label", "stats"}) or event
+ * ({"event", ...}) object (src/serve/journal.hh).
+ */
+std::string
+validateManifestJournal(const std::string &text)
+{
+    const size_t eol = text.find('\n');
+    const std::string header = text.substr(0, eol);
+    JsonChecker hc(header);
+    const std::string herr = hc.check();
+    if (!herr.empty())
+        return "journal header: " + herr;
+    if (const std::string kerr = checkManifestKeys(hc.topKeys());
+        !kerr.empty()) {
+        return "journal header: " + kerr;
+    }
+    size_t lineNo = 1;
+    size_t pos = eol == std::string::npos ? text.size() : eol + 1;
+    while (pos < text.size()) {
+        ++lineNo;
+        const size_t end = text.find('\n', pos);
+        const std::string line = text.substr(
+            pos, end == std::string::npos ? std::string::npos
+                                          : end - pos);
+        pos = end == std::string::npos ? text.size() : end + 1;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        JsonChecker lc(line);
+        const std::string lerr = lc.check();
+        if (!lerr.empty()) {
+            return "journal line " + std::to_string(lineNo) + ": " +
+                   lerr;
+        }
+        const auto &keys = lc.topKeys();
+        if (keys.count("event"))
+            continue;
+        const auto label = keys.find("label");
+        const auto stats = keys.find("stats");
+        if (label == keys.end() || label->second != 's' ||
+            stats == keys.end() || stats->second != 'o') {
+            return "journal line " + std::to_string(lineNo) +
+                   ": expected {\"label\": ..., \"stats\": {...}} or "
+                   "an {\"event\": ...} object";
+        }
+    }
+    return "";
+}
+
+} // namespace
+
+std::string
+validateManifestJson(const std::string &text)
+{
+    JsonChecker checker(text);
+    const std::string err = checker.check();
+    if (err.empty())
+        return checkManifestKeys(checker.topKeys());
+    // Not a single JSON document: try the journal-append variant
+    // (which only helps if the first line alone is a valid header).
+    const std::string jerr = validateManifestJournal(text);
+    if (jerr.empty())
+        return "";
+    // Prefer the whole-document error unless the header parsed,
+    // in which case the journal diagnosis is the useful one.
+    return jerr.rfind("journal header:", 0) == 0 ? err : jerr;
 }
 
 } // namespace dvr

@@ -2,13 +2,23 @@
  * @file
  * Per-run manifest: a machine-readable record of everything needed to
  * reproduce and audit a bench run — the fully resolved configuration,
- * the git revision the binary was built from, the host, wall time,
- * and the complete StatSet of every simulation in the run. Written as
- * MANIFEST_<figure>.json next to each BENCH_<figure>.json.
+ * the git revision the binary was built from, the host, wall time
+ * (accumulated across resume segments), and the complete StatSet of
+ * every simulation in the run. Written as MANIFEST_<figure>.json next
+ * to each BENCH_<figure>.json.
  *
- * validateManifestJson() is the single checker shared by the unit
- * tests and `dvr_trace --check`, so the schema cannot drift between
- * the emitter and its consumers.
+ * Two on-disk shapes share the schema:
+ *
+ *  - the standard document: one JSON object with a "runs" array;
+ *  - the journal-append variant (src/serve/journal.hh): line 1 is a
+ *    complete manifest object with "runs": [], each later line is one
+ *    appended run ({"label": ..., "stats": {...}}) or daemon event
+ *    ({"event": ...}) object. Crash-safe: a torn tail line is the
+ *    only possible damage.
+ *
+ * validateManifestJson() accepts both and is the single checker
+ * shared by the unit tests and `dvr_trace --check`, so the schema
+ * cannot drift between the emitter and its consumers.
  */
 
 #ifndef DVR_SIM_MANIFEST_HH
@@ -25,7 +35,7 @@ namespace dvr {
 struct SimConfig;
 
 /** Manifest JSON format version (bump on layout changes). */
-inline constexpr int kManifestVersion = 1;
+inline constexpr int kManifestVersion = 2;
 
 class RunManifest
 {
@@ -35,8 +45,20 @@ class RunManifest
     /** Record the fully resolved configuration (schema JSON). */
     void setConfig(const SimConfig &cfg);
 
+    /** Record the already-rendered configuration JSON verbatim. */
+    void setConfigJson(const std::string &json);
+
     /** Record one finished simulation's full stat set. */
     void addRun(const std::string &label, const StatSet &stats);
+
+    /**
+     * Record one run from its already-rendered stats JSON (the
+     * journal path re-emits worker output verbatim so resumed and
+     * uninterrupted sweeps stay byte-identical). Invalid JSON is
+     * dropped with a warning.
+     */
+    void addRunJson(const std::string &label,
+                    const std::string &statsJson);
 
     /**
      * Attach an optional extra top-level object (e.g. "cow" memory
@@ -45,17 +67,33 @@ class RunManifest
      */
     void setExtra(const std::string &key, const std::string &rawJson);
 
+    /**
+     * Append one wall-clock segment. A one-shot bench has a single
+     * segment; a journaled sweep resumed N times has N+1, and
+     * "wall_seconds" reports their sum so the manifest accounts the
+     * run's total cost, not just the final segment.
+     */
+    void addWallSegment(double seconds);
+
     size_t runCount() const { return runs_.size(); }
 
     /** Render the manifest document. */
-    std::string toJson(double wall_seconds) const;
+    std::string toJson() const;
+
+    /**
+     * Render the manifest as a single compact line with an empty runs
+     * array: the header line of the journal-append variant.
+     */
+    std::string toJournalHeaderLine() const;
 
     /**
      * Write MANIFEST_<figure>.json into `dir` (the bench-report
-     * directory). Returns the path; warns (never throws) on I/O
-     * failure so a read-only CWD cannot kill a bench.
+     * directory). Returns the path on success and "" on I/O failure
+     * (stream state is checked after the write); failure also warns,
+     * never throws, so a read-only CWD cannot kill a bench — but the
+     * caller can surface a nonzero exit status.
      */
-    std::string write(const std::string &dir, double wall_seconds) const;
+    std::string write(const std::string &dir) const;
 
     /** Git revision baked in at configure time ("unknown" outside git). */
     static const char *gitSha();
@@ -66,14 +104,18 @@ class RunManifest
   private:
     std::string figure_;
     std::string configJson_ = "{}";
+    std::vector<double> wallSegments_;
     std::vector<std::pair<std::string, std::string>> extras_;
-    std::vector<std::pair<std::string, StatSet>> runs_;
+    /** (label, rendered stats JSON), in insertion order. */
+    std::vector<std::pair<std::string, std::string>> runs_;
 };
 
 /**
  * Validate a manifest document: must parse as JSON and carry every
- * required top-level key with the right type. Returns "" when valid,
- * else a one-line description of the first problem.
+ * required top-level key with the right type. A document that is not
+ * a single JSON object is also accepted in the journal-append shape
+ * (header line + run/event lines). Returns "" when valid, else a
+ * one-line description of the first problem.
  */
 std::string validateManifestJson(const std::string &text);
 
@@ -83,6 +125,12 @@ std::string validateManifestJson(const std::string &text);
  * by the schema tests on every emitted stats/bench document.
  */
 std::string validateJsonSyntax(const std::string &text);
+
+/**
+ * Minify a JSON document: drop all whitespace outside strings. Used
+ * to render multi-line documents as single journal lines.
+ */
+std::string minifyJson(const std::string &text);
 
 } // namespace dvr
 

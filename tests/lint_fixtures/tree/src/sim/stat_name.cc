@@ -1,5 +1,6 @@
 // Fixture: stat-name. Stat names are lower_snake_case, and the
-// cpi.* / timeliness.* namespaces only admit their closed vocabulary.
+// cpi.* / timeliness.* / serve.* namespaces only admit their closed
+// vocabulary.
 namespace fixture {
 
 void
@@ -14,6 +15,10 @@ exportStats(StatSet &s)
     s.set("timeliness.ra_rubbish", 5.0);
     s.set("cpi.full_rob", 6.0);
     s.set("timeliness.ra_hidden_hist_", 7.0);  // index appended at runtime
+    s.set("serve.cache_hits", 8.0);
+    s.set("serve.warm_hits", 9.0);  // seeded violation (serve namespace)
+    // dvr-lint: allow(stat-name)
+    s.set("serve.also_not_a_counter", 10.0);
 }
 
 } // namespace fixture

@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# Crash-resume proof for dvr_serve (the ISSUE's acceptance check):
+# run the same sweep twice — once uninterrupted, once SIGKILLed
+# mid-flight and restarted — and assert that
+#
+#   1. the restart never re-executes journaled points (the serve
+#      counters prove it: journal_resumed > 0, and points_run over
+#      both segments sums to at most the point count),
+#   2. the final MANIFEST contains every point exactly once (no
+#      duplicate labels), and
+#   3. the interrupted-and-resumed manifest is byte-identical to the
+#      uninterrupted one modulo the wall_seconds / wall_segments /
+#      host lines.
+#
+# Usage: serve_crash_resume.sh <dvr_serve-binary> <work-dir>
+
+set -u
+
+DVR_SERVE="$1"
+WORK="$2"
+
+# Big enough per-point budget that the SIGKILL below reliably lands
+# mid-sweep (~0.5 s/point); identical for all three daemon runs, since
+# the budget is part of the resolved config and thus the cache key.
+export DVR_INSTS="${DVR_INSTS:-2000000}"
+export DVR_SCALE_SHIFT="${DVR_SCALE_SHIFT:-6}"
+
+fail() {
+    echo "serve_crash_resume: FAIL: $*" >&2
+    exit 1
+}
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+# A sweep wide enough that a mid-flight kill reliably lands between
+# journal appends: 2 techniques x 4 ROB sizes on two kernels.
+cat > "$WORK/sweep.json" <<'EOF'
+{
+  "workload": "bfs", "input": "KR",
+  "points": [
+    {"label": "bfs/base-128", "set": {"core.robSize": "128"}},
+    {"label": "bfs/base-350", "set": {"core.robSize": "350"}},
+    {"label": "bfs/vr-128",
+     "set": {"sim.technique": "vr", "core.robSize": "128"}},
+    {"label": "bfs/vr-350",
+     "set": {"sim.technique": "vr", "core.robSize": "350"}},
+    {"label": "camel/base-128", "workload": "camel", "input": "",
+     "set": {"core.robSize": "128"}},
+    {"label": "camel/base-350", "workload": "camel", "input": "",
+     "set": {"core.robSize": "350"}},
+    {"label": "camel/vr-128", "workload": "camel", "input": "",
+     "set": {"sim.technique": "vr", "core.robSize": "128"}},
+    {"label": "camel/vr-350", "workload": "camel", "input": "",
+     "set": {"sim.technique": "vr", "core.robSize": "350"}}
+  ]
+}
+EOF
+POINTS=8
+
+strip_volatile() {
+    grep -v -e '"wall_seconds"' -e '"wall_segments"' -e '"host"' "$1"
+}
+
+counter() {     # counter <serve.json> <name>
+    sed -n 's/^ *"'"$2"'": \([0-9]*\),*$/\1/p' "$1"
+}
+
+# --- Reference: the uninterrupted run. --------------------------------
+"$DVR_SERVE" submit --spool "$WORK/ref" "$WORK/sweep.json" \
+    >/dev/null || fail "submit (ref)"
+"$DVR_SERVE" start --spool "$WORK/ref" --once \
+    --set serve.workers=2 >/dev/null || fail "uninterrupted run"
+[ -f "$WORK/ref/done/MANIFEST_sweep.json" ] \
+    || fail "no reference manifest"
+
+# --- Victim: kill -9 mid-flight, then restart. ------------------------
+"$DVR_SERVE" submit --spool "$WORK/crash" "$WORK/sweep.json" \
+    >/dev/null || fail "submit (crash)"
+setsid "$DVR_SERVE" start --spool "$WORK/crash" --once \
+    --set serve.workers=1 >/dev/null 2>&1 &
+PID=$!
+
+# Wait until some (but not all) points are journaled, then SIGKILL the
+# daemon's whole process group — workers included, no clean shutdown.
+JOURNAL="$WORK/crash/journal/sweep.manifest.json"
+for _ in $(seq 1 3000); do
+    RUNS=$(grep -c '"point"' "$JOURNAL" 2>/dev/null || true)
+    [ "${RUNS:-0}" -ge 2 ] && break
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.02
+done
+kill -0 "$PID" 2>/dev/null \
+    || fail "sweep finished before the kill; raise DVR_INSTS"
+kill -9 -- -"$PID" 2>/dev/null || kill -9 "$PID"
+wait "$PID" 2>/dev/null
+KILLED_RUNS=$(grep -c '"point"' "$JOURNAL" 2>/dev/null || echo 0)
+[ "$KILLED_RUNS" -ge 1 ] || fail "nothing journaled before the kill"
+[ "$KILLED_RUNS" -lt "$POINTS" ] \
+    || fail "all points journaled before the kill; raise DVR_INSTS"
+
+# Restart: must adopt the running/ job and finish only what's missing.
+"$DVR_SERVE" start --spool "$WORK/crash" --once \
+    --set serve.workers=2 >/dev/null || fail "restart run"
+
+MANIFEST="$WORK/crash/done/MANIFEST_sweep.json"
+SERVE_JSON="$WORK/crash/done/sweep.serve.json"
+[ -f "$MANIFEST" ] || fail "no manifest after restart"
+[ -f "$SERVE_JSON" ] || fail "no serve counters after restart"
+
+# 1. The resume/dedup counters prove no journaled point re-executed:
+# every point is accounted exactly once, the journaled ones by the
+# journal_resumed counter. (cache_hits covers a point whose worker
+# finished in the instant between the last journal append and the
+# kill: completed, not re-executed.)
+RESUMED=$(counter "$SERVE_JSON" journal_resumed)
+RERUN=$(counter "$SERVE_JSON" points_run)
+HITS=$(counter "$SERVE_JSON" cache_hits)
+DEDUP=$(counter "$SERVE_JSON" points_deduped)
+[ "${RESUMED:-0}" -eq "$KILLED_RUNS" ] \
+    || fail "journal_resumed=$RESUMED, expected $KILLED_RUNS"
+[ $((RESUMED + RERUN + HITS + DEDUP)) -eq "$POINTS" ] \
+    || fail "counters do not account every point exactly once" \
+            "(resumed=$RESUMED run=$RERUN hits=$HITS dedup=$DEDUP)"
+
+# 2. Every point exactly once: no duplicate labels.
+LABELS=$(grep -o '"label": "[^"]*"' "$MANIFEST" | sort)
+[ "$(echo "$LABELS" | wc -l)" -eq "$POINTS" ] \
+    || fail "expected $POINTS runs, got: $LABELS"
+DUPES=$(echo "$LABELS" | uniq -d)
+[ -z "$DUPES" ] || fail "duplicate labels: $DUPES"
+
+# 3. Byte-identical manifests modulo wall/host lines.
+if ! diff <(strip_volatile "$WORK/ref/done/MANIFEST_sweep.json") \
+          <(strip_volatile "$MANIFEST") >"$WORK/manifest.diff"; then
+    head -40 "$WORK/manifest.diff" >&2
+    fail "resumed manifest differs from uninterrupted run"
+fi
+
+echo "serve_crash_resume: PASS (killed after $KILLED_RUNS/$POINTS" \
+     "points, resumed $RESUMED, re-ran $RERUN)"

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * DVR_* environment knob validation (src/sim/env.cc): malformed or
+ * out-of-range values must never be silently coerced. Unparseable and
+ * below-minimum values warn once and are ignored (the default
+ * applies); above-maximum values warn once and clamp; the warning
+ * names the variable and the offending text exactly once no matter
+ * how many times the knob is read.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "sim/env.hh"
+
+namespace {
+
+using namespace dvr;
+
+/** setenv/unsetenv for one test, restoring the old value on exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name))
+            saved_ = old;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+        env::resetWarnings();
+    }
+
+    ~ScopedEnv()
+    {
+        if (saved_)
+            ::setenv(name_, saved_->c_str(), 1);
+        else
+            ::unsetenv(name_);
+        env::resetWarnings();
+    }
+
+  private:
+    const char *name_;
+    std::optional<std::string> saved_;
+};
+
+TEST(Env, UnsetVariablesReturnNullopt)
+{
+    ScopedEnv i("DVR_INSTS", nullptr);
+    ScopedEnv s("DVR_SCALE_SHIFT", nullptr);
+    ScopedEnv j("DVR_JOBS", nullptr);
+    ScopedEnv d("DVR_BENCH_DIR", nullptr);
+    EXPECT_FALSE(env::maxInstructions().has_value());
+    EXPECT_FALSE(env::scaleShift().has_value());
+    EXPECT_FALSE(env::jobs().has_value());
+    EXPECT_FALSE(env::benchDir().has_value());
+}
+
+TEST(Env, ValidValuesParse)
+{
+    ScopedEnv i("DVR_INSTS", "500000");
+    ScopedEnv s("DVR_SCALE_SHIFT", "7");
+    ScopedEnv j("DVR_JOBS", "16");
+    ScopedEnv d("DVR_BENCH_DIR", "/tmp/bench");
+    EXPECT_EQ(500000u, env::maxInstructions().value());
+    EXPECT_EQ(7u, env::scaleShift().value());
+    EXPECT_EQ(16u, env::jobs().value());
+    EXPECT_EQ("/tmp/bench", env::benchDir().value());
+}
+
+TEST(Env, InstsRejectsGarbageZeroAndSigns)
+{
+    for (const char *bad :
+         {"", "0", "abc", "12x", "-1", "+5", " 8", "1e6",
+          "99999999999999999999999999"}) {
+        ScopedEnv e("DVR_INSTS", bad);
+        EXPECT_FALSE(env::maxInstructions().has_value())
+            << "DVR_INSTS=\"" << bad << "\" must be ignored";
+    }
+}
+
+TEST(Env, ScaleShiftValidatesAndClamps)
+{
+    {
+        // strtoull would wrap "-1" to UINT64_MAX — the exact silent
+        // coercion this module exists to prevent.
+        ScopedEnv e("DVR_SCALE_SHIFT", "-1");
+        EXPECT_FALSE(env::scaleShift().has_value());
+    }
+    {
+        ScopedEnv e("DVR_SCALE_SHIFT", "nope");
+        EXPECT_FALSE(env::scaleShift().has_value());
+    }
+    {
+        ScopedEnv e("DVR_SCALE_SHIFT", "0");
+        EXPECT_EQ(0u, env::scaleShift().value());   // 0 is in range
+    }
+    {
+        // A shift past the word width is UB downstream: clamp to 30.
+        ScopedEnv e("DVR_SCALE_SHIFT", "64");
+        EXPECT_EQ(30u, env::scaleShift().value());
+    }
+}
+
+TEST(Env, JobsRejectsZeroAndClampsTypos)
+{
+    {
+        ScopedEnv e("DVR_JOBS", "0");   // 0 threads cannot progress
+        EXPECT_FALSE(env::jobs().has_value());
+    }
+    {
+        ScopedEnv e("DVR_JOBS", "8cores");
+        EXPECT_FALSE(env::jobs().has_value());
+    }
+    {
+        ScopedEnv e("DVR_JOBS", "4096");
+        EXPECT_EQ(1024u, env::jobs().value());
+    }
+    {
+        ScopedEnv e("DVR_JOBS", "1024");
+        EXPECT_EQ(1024u, env::jobs().value());   // max itself is fine
+    }
+}
+
+TEST(Env, BenchDirRejectsEmpty)
+{
+    ScopedEnv e("DVR_BENCH_DIR", "");
+    EXPECT_FALSE(env::benchDir().has_value());
+}
+
+TEST(Env, BadValueWarnsOnceNamingTheOffender)
+{
+    ScopedEnv e("DVR_JOBS", "banana");
+
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(env::jobs().has_value());
+    EXPECT_FALSE(env::jobs().has_value());   // second read: no re-warn
+    const std::string err = testing::internal::GetCapturedStderr();
+
+    EXPECT_NE(std::string::npos, err.find("DVR_JOBS"));
+    EXPECT_NE(std::string::npos, err.find("banana"));
+    EXPECT_EQ(err.find("DVR_JOBS"), err.rfind("DVR_JOBS"))
+        << "warning must be emitted exactly once:\n"
+        << err;
+
+    // resetWarnings re-arms the warning (what this fixture relies on).
+    env::resetWarnings();
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(env::jobs().has_value());
+    EXPECT_NE(std::string::npos,
+              testing::internal::GetCapturedStderr().find("DVR_JOBS"));
+}
+
+TEST(Env, ClampWarnsWithTheOffendingValue)
+{
+    ScopedEnv e("DVR_SCALE_SHIFT", "31");
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(30u, env::scaleShift().value());
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(std::string::npos, err.find("DVR_SCALE_SHIFT"));
+    EXPECT_NE(std::string::npos, err.find("31"));
+    EXPECT_NE(std::string::npos, err.find("30"));
+}
+
+} // namespace

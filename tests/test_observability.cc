@@ -510,11 +510,29 @@ TEST(Manifest, ToJsonSatisfiesItsOwnValidator)
     m.addRun("camel/base", s);
     EXPECT_EQ(m.runCount(), 2u);
 
-    const std::string doc = m.toJson(1.25);
+    m.addWallSegment(1.25);
+    const std::string doc = m.toJson();
     EXPECT_EQ("", validateManifestJson(doc)) << doc;
     EXPECT_NE(doc.find("\"figure\": \"unit\""), std::string::npos);
     EXPECT_NE(doc.find("camel/dvr"), std::string::npos);
     EXPECT_NE(doc.find("sim.technique"), std::string::npos);
+    EXPECT_NE(doc.find("\"wall_segments\": [1.250]"),
+              std::string::npos);
+}
+
+TEST(Manifest, WallSecondsIsTheSumOfSegments)
+{
+    // A sweep resumed once carries two wall segments; the headline
+    // number must account both, not just the last.
+    RunManifest m("unit");
+    m.addWallSegment(1.5);
+    m.addWallSegment(2.25);
+    const std::string doc = m.toJson();
+    EXPECT_NE(doc.find("\"wall_seconds\": 3.750"), std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("\"wall_segments\": [1.500, 2.250]"),
+              std::string::npos)
+        << doc;
 }
 
 TEST(Manifest, EmptyManifestStillValidates)
@@ -522,7 +540,7 @@ TEST(Manifest, EmptyManifestStillValidates)
     // tab_hw_overhead runs no simulations; its manifest has zero runs
     // and a default config but must still be a valid document.
     RunManifest m("empty");
-    EXPECT_EQ("", validateManifestJson(m.toJson(0.0)));
+    EXPECT_EQ("", validateManifestJson(m.toJson()));
 }
 
 TEST(Manifest, ValidatorRejectsMissingKeysAndBadTypes)
@@ -532,16 +550,73 @@ TEST(Manifest, ValidatorRejectsMissingKeysAndBadTypes)
     EXPECT_NE("", validateManifestJson("{\"manifest_version\": 1}"));
     // Right keys, wrong kind: runs must be an array.
     EXPECT_NE("", validateManifestJson(
-                      "{\"manifest_version\": 1, \"figure\": \"f\","
+                      "{\"manifest_version\": 2, \"figure\": \"f\","
                       " \"git_sha\": \"x\", \"host\": \"h\","
-                      " \"wall_seconds\": 1.0, \"config\": {},"
+                      " \"wall_seconds\": 1.0,"
+                      " \"wall_segments\": [1.0], \"config\": {},"
                       " \"runs\": {}}"));
-    // Same document with runs as an array is accepted.
-    EXPECT_EQ("", validateManifestJson(
+    // A version-1 document without wall_segments is stale.
+    EXPECT_NE("", validateManifestJson(
                       "{\"manifest_version\": 1, \"figure\": \"f\","
                       " \"git_sha\": \"x\", \"host\": \"h\","
                       " \"wall_seconds\": 1.0, \"config\": {},"
                       " \"runs\": []}"));
+    // Same document with every required key is accepted.
+    EXPECT_EQ("", validateManifestJson(
+                      "{\"manifest_version\": 2, \"figure\": \"f\","
+                      " \"git_sha\": \"x\", \"host\": \"h\","
+                      " \"wall_seconds\": 1.0,"
+                      " \"wall_segments\": [1.0], \"config\": {},"
+                      " \"runs\": []}"));
+}
+
+TEST(Manifest, ValidatorAcceptsJournalAppendVariant)
+{
+    RunManifest m("journal");
+    m.setConfig(SimConfig::baseline("base"));
+    std::string doc = m.toJournalHeaderLine();
+    // The header alone is a valid (empty) journal...
+    EXPECT_EQ("", validateManifestJson(doc)) << doc;
+    // ...and each appended run/event line keeps it valid.
+    doc += "\n{\"point\": 0, \"label\": \"camel/base\","
+           " \"stats\": {\"alpha\": 1.0}}\n";
+    doc += "{\"event\": \"resume\", \"wall_seconds\": 0.5}\n";
+    EXPECT_EQ("", validateManifestJson(doc)) << doc;
+    // A run line without stats is rejected.
+    EXPECT_NE("", validateManifestJson(
+                      doc + "{\"label\": \"camel/vr\"}\n"));
+    // A torn tail line (crash mid-append) is rejected, not ignored.
+    EXPECT_NE("", validateManifestJson(
+                      doc + "{\"label\": \"camel/vr\", \"sta"));
+}
+
+TEST(Manifest, JournalHeaderIsOneCompactLine)
+{
+    RunManifest m("journal");
+    m.setConfig(SimConfig::baseline("dvr"));
+    const std::string line = m.toJournalHeaderLine();
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_NE(line.find("\"runs\":[]"), std::string::npos) << line;
+}
+
+TEST(Manifest, AddRunJsonReemitsStatsVerbatim)
+{
+    RunManifest m("unit");
+    m.addRunJson("a", "{\"x\": 1.000, \"y\": 2.000}");
+    m.addRunJson("bad", "{not json");  // dropped with a warning
+    EXPECT_EQ(m.runCount(), 1u);
+    const std::string doc = m.toJson();
+    EXPECT_EQ("", validateManifestJson(doc)) << doc;
+    EXPECT_NE(doc.find("{\"x\": 1.000, \"y\": 2.000}"),
+              std::string::npos)
+        << doc;
+}
+
+TEST(Manifest, MinifyJsonStripsOnlyOutsideStrings)
+{
+    EXPECT_EQ(minifyJson("{\n  \"a b\": [1, 2],\n  \"s\": \"x y\"\n}"),
+              "{\"a b\":[1,2],\"s\":\"x y\"}");
+    EXPECT_EQ(minifyJson("\"esc \\\" quote \""), "\"esc \\\" quote \"");
 }
 
 TEST(Manifest, JsonSyntaxValidator)
@@ -564,7 +639,8 @@ TEST(Manifest, WriteEmitsCheckableFile)
     m.addRun("run0", s);
 
     const std::string dir = ::testing::TempDir();
-    const std::string path = m.write(dir, 0.5);
+    m.addWallSegment(0.5);
+    const std::string path = m.write(dir);
     EXPECT_NE(path.find("MANIFEST_write_test.json"), std::string::npos);
 
     std::ifstream in(path);
@@ -572,6 +648,18 @@ TEST(Manifest, WriteEmitsCheckableFile)
     std::ostringstream text;
     text << in.rdbuf();
     EXPECT_EQ("", validateManifestJson(text.str()));
+}
+
+TEST(Manifest, WriteSurfacesIoFailure)
+{
+    // Point the manifest at a "directory" that is actually a regular
+    // file: the open fails and write() must report it ("" return)
+    // instead of silently claiming success. (A chmod-0500 directory
+    // would not do here — the tests may run as root.)
+    const std::string bogus = ::testing::TempDir() + "/not_a_dir";
+    { std::ofstream(bogus) << "occupied"; }
+    RunManifest m("io_fail");
+    EXPECT_EQ("", m.write(bogus));
 }
 
 TEST(Manifest, ProvenanceFieldsAreNonEmpty)

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * The dvr_serve subsystem (src/serve/): spool lifecycle, the
+ * content-addressed result cache, journal replay (including torn
+ * tails), job-spec validation, and an end-to-end in-process daemon
+ * run with dedup and journal-resume counters.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/daemon.hh"
+#include "serve/journal.hh"
+#include "serve/json.hh"
+#include "serve/result_cache.hh"
+#include "serve/spool.hh"
+#include "sim/manifest.hh"
+
+namespace {
+
+using namespace dvr;
+namespace fs = std::filesystem;
+
+/** A fresh spool root per test, removed on exit. */
+class ServeTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        root_ = (fs::temp_directory_path() /
+                 ("dvr_serve_test_" +
+                  std::to_string(::getpid()) + "_" +
+                  ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name()))
+                    .string();
+        fs::remove_all(root_);
+    }
+
+    void TearDown() override { fs::remove_all(root_); }
+
+    static std::string slurp(const std::string &path)
+    {
+        std::string text;
+        serve::Spool::readFile(path, text);
+        return text;
+    }
+
+    std::string root_;
+};
+
+TEST_F(ServeTest, SpoolLifecycleIsRenameDriven)
+{
+    serve::Spool spool(root_);
+    ASSERT_TRUE(spool.init());
+    for (const std::string &d :
+         {spool.queueDir(), spool.runningDir(), spool.doneDir(),
+          spool.failedDir(), spool.journalDir(), spool.cacheDir(),
+          spool.tmpDir()}) {
+        EXPECT_TRUE(fs::is_directory(d)) << d;
+    }
+
+    const std::string queued = spool.submit("jobA", "{\"x\": 1}\n");
+    ASSERT_FALSE(queued.empty());
+    EXPECT_EQ("{\"x\": 1}\n", slurp(queued));
+    EXPECT_EQ(std::vector<std::string>{"jobA"},
+              spool.list(spool.queueDir()));
+    // tmp/ staging must not leak files once the rename lands.
+    EXPECT_TRUE(fs::is_empty(spool.tmpDir()));
+
+    // Same-name resubmission while queued is refused.
+    EXPECT_TRUE(spool.submit("jobA", "{}").empty());
+
+    ASSERT_TRUE(spool.claim("jobA"));
+    EXPECT_TRUE(spool.list(spool.queueDir()).empty());
+    EXPECT_EQ(std::vector<std::string>{"jobA"},
+              spool.list(spool.runningDir()));
+    // ...and while running, too.
+    EXPECT_TRUE(spool.submit("jobA", "{}").empty());
+    EXPECT_FALSE(spool.claim("jobA"));   // vanished from queue/
+
+    ASSERT_TRUE(spool.finish("jobA", true));
+    EXPECT_EQ(std::vector<std::string>{"jobA"},
+              spool.list(spool.doneDir()));
+
+    EXPECT_FALSE(spool.drainRequested());
+    spool.requestDrain();
+    EXPECT_TRUE(spool.drainRequested());
+
+    EXPECT_EQ("jobA", serve::Spool::jobNameOf("/x/queue/jobA.json"));
+}
+
+TEST_F(ServeTest, CacheKeyCoversEveryIdentityField)
+{
+    const std::string base = serve::ResultCache::makeKey(
+        "{\"core.robSize\": \"350\"}", "bfs", "KR", 4, "abc123");
+    EXPECT_EQ(base, serve::ResultCache::makeKey(
+                        "{ \"core.robSize\":   \"350\" }", "bfs",
+                        "KR", 4, "abc123"))
+        << "key must canonicalize (minify) the config dump";
+    EXPECT_NE(base, serve::ResultCache::makeKey(
+                        "{\"core.robSize\": \"512\"}", "bfs", "KR",
+                        4, "abc123"));
+    EXPECT_NE(base, serve::ResultCache::makeKey(
+                        "{\"core.robSize\": \"350\"}", "cc", "KR", 4,
+                        "abc123"));
+    EXPECT_NE(base, serve::ResultCache::makeKey(
+                        "{\"core.robSize\": \"350\"}", "bfs", "UR",
+                        4, "abc123"));
+    EXPECT_NE(base, serve::ResultCache::makeKey(
+                        "{\"core.robSize\": \"350\"}", "bfs", "KR",
+                        5, "abc123"));
+    EXPECT_NE(base, serve::ResultCache::makeKey(
+                        "{\"core.robSize\": \"350\"}", "bfs", "KR",
+                        4, "def456"));
+}
+
+TEST_F(ServeTest, CacheRoundTripsAndCollisionsDegradeToMisses)
+{
+    serve::Spool spool(root_);
+    ASSERT_TRUE(spool.init());
+    serve::ResultCache cache(spool);
+
+    const std::string key = serve::ResultCache::makeKey(
+        "{\"a\": \"1\"}", "camel", "", 6, "sha");
+    EXPECT_FALSE(cache.lookup(key).has_value());
+
+    ASSERT_TRUE(cache.store(key, "{\n  \"core.ipc\": 1.5\n}"));
+    const auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ("{\"core.ipc\":1.5}", minifyJson(*hit));
+
+    // Overwrite the entry with one recording a different key: a hash
+    // collision must read as a miss, never as a wrong result.
+    const std::string name =
+        spool.cacheDir() + "/" +
+        fs::directory_iterator(spool.cacheDir())
+            ->path()
+            .filename()
+            .string();
+    std::ofstream(name) << "{\"key\": \"something else\", "
+                           "\"stats\": {\"core.ipc\": 9.9}}\n";
+    EXPECT_FALSE(cache.lookup(key).has_value());
+}
+
+TEST_F(ServeTest, JournalReplayDropsOnlyTheTornTail)
+{
+    fs::create_directories(root_);
+    const std::string path = root_ + "/j.manifest.json";
+    RunManifest header("jobJ");
+    {
+        serve::Journal j(path);
+        ASSERT_TRUE(j.start(header.toJournalHeaderLine()));
+        ASSERT_TRUE(j.appendRun(0, "p0", "{\"core.ipc\": 1}", 0.5));
+        ASSERT_TRUE(j.appendEvent(
+            "{\"event\": \"resume\", \"prior_wall_seconds\": 2.5}"));
+        ASSERT_TRUE(j.appendRun(2, "p2", "{\"core.ipc\": 3}", 1.25));
+        // appendRun is idempotent per point: a resumed daemon may
+        // re-offer a run the journal already has.
+        ASSERT_TRUE(j.appendRun(0, "p0", "{\"core.ipc\": 7}", 9.0));
+    }
+    {
+        // Tear the tail, as a kill -9 mid-append would.
+        std::ofstream out(path, std::ios::app);
+        out << "{\"point\": 3, \"label\": \"p3\", \"t";
+    }
+
+    serve::Journal j(path);
+    ASSERT_TRUE(j.replay());
+    ASSERT_EQ(2u, j.runCount());
+    EXPECT_EQ("p0", j.runs()[0].label);
+    EXPECT_EQ(minifyJson("{\"core.ipc\": 1}"), j.runs()[0].statsJson)
+        << "the duplicate append must not replace the first run";
+    EXPECT_EQ("p2", j.runs()[1].label);
+    EXPECT_TRUE(j.hasPoint(0));
+    EXPECT_FALSE(j.hasPoint(1));
+    EXPECT_TRUE(j.hasPoint(2));
+    ASSERT_EQ(1u, j.priorSegments().size());
+    EXPECT_DOUBLE_EQ(2.5, j.priorSegments()[0]);
+    EXPECT_DOUBLE_EQ(1.25, j.tailSegmentSeconds());
+
+    // Sans the torn tail the journal file is a valid journal-append
+    // manifest; with it, the strict validator reports the tear.
+    const std::string text = slurp(path);
+    EXPECT_EQ("", validateManifestJson(
+                      text.substr(0, text.rfind("{\"point\": 3"))));
+    EXPECT_NE("", validateManifestJson(text));
+
+    // Damage an *earlier* line: replay must refuse the journal.
+    std::string mangled = text;
+    mangled[mangled.find("{\"point\": 0")] = 'x';
+    std::ofstream(path, std::ios::trunc) << mangled;
+    serve::Journal j2(path);
+    EXPECT_FALSE(j2.replay());
+}
+
+TEST_F(ServeTest, JobSpecParseRejectsBadShapes)
+{
+    serve::JobSpec job;
+    std::string err;
+
+    EXPECT_FALSE(serve::JobSpec::parse("j", "not json", job, &err));
+
+    EXPECT_FALSE(serve::JobSpec::parse(
+        "j", "{\"workload\": \"bfs\"}", job, &err));
+    EXPECT_NE(std::string::npos, err.find("points"));
+
+    EXPECT_FALSE(serve::JobSpec::parse(
+        "j", "{\"points\": [{\"label\": \"a\"}]}", job, &err));
+    EXPECT_NE(std::string::npos, err.find("workload"));
+
+    EXPECT_FALSE(serve::JobSpec::parse(
+        "j",
+        "{\"workload\": \"bfs\", \"input\": \"KR\", \"points\": "
+        "[{\"label\": \"a\"}, {\"label\": \"a\"}]}",
+        job, &err));
+    EXPECT_NE(std::string::npos, err.find("duplicate"));
+
+    // Config values must be strings (they are applied like --set).
+    EXPECT_FALSE(serve::JobSpec::parse(
+        "j",
+        "{\"workload\": \"bfs\", \"config\": {\"core.width\": 5}, "
+        "\"points\": [{\"label\": \"a\"}]}",
+        job, &err));
+
+    ASSERT_TRUE(serve::JobSpec::parse(
+        "j",
+        "{\"workload\": \"bfs\", \"input\": \"KR\", \"scale_shift\": "
+        "6, \"config\": {\"core.width\": \"5\"}, \"points\": "
+        "[{\"label\": \"a\"}, {\"label\": \"b\", \"workload\": "
+        "\"camel\", \"input\": \"\", \"set\": {\"sim.technique\": "
+        "\"vr\"}}]}",
+        job, &err))
+        << err;
+    EXPECT_EQ(2u, job.points.size());
+    EXPECT_EQ(6u, job.scaleShift);
+    EXPECT_EQ("camel", job.points[1].workload);
+
+    // toJson round-trips through parse.
+    serve::JobSpec again;
+    ASSERT_TRUE(
+        serve::JobSpec::parse("j", job.toJson(), again, &err))
+        << err;
+    EXPECT_EQ(job.points[1].sets, again.points[1].sets);
+    EXPECT_EQ(job.config, again.config);
+}
+
+TEST_F(ServeTest, PointKeyIgnoresServeKeysAndLabels)
+{
+    serve::JobSpec job;
+    std::string err;
+    ASSERT_TRUE(serve::JobSpec::parse(
+        "j",
+        "{\"workload\": \"camel\", \"input\": \"\", \"points\": ["
+        "{\"label\": \"one\"},"
+        "{\"label\": \"two\", \"set\": {\"serve.workers\": \"7\"}},"
+        "{\"label\": \"three\", \"set\": {\"core.robSize\": "
+        "\"128\"}}]}",
+        job, &err))
+        << err;
+    // Scheduling knobs never change simulated results, so they must
+    // not split the cache; real config keys must.
+    EXPECT_EQ(job.pointKey(0), job.pointKey(1));
+    EXPECT_NE(job.pointKey(0), job.pointKey(2));
+}
+
+TEST_F(ServeTest, InProcessDaemonDedupesJournalsAndResumes)
+{
+    const std::string jobText =
+        "{\"workload\": \"camel\", \"input\": \"\", \"scale_shift\": "
+        "8, \"config\": {\"sim.maxInstructions\": \"2000\"}, "
+        "\"points\": ["
+        "{\"label\": \"camel/ref\"},"
+        "{\"label\": \"camel/ref-twin\"},"
+        "{\"label\": \"camel/vr\", \"set\": {\"sim.technique\": "
+        "\"vr\"}}]}";
+
+    serve::Daemon::Options opt;
+    opt.spoolRoot = root_;
+    opt.serve.workers = 2;
+    opt.inProcess = true;
+    serve::Daemon daemon(opt);
+    ASSERT_TRUE(daemon.init());
+    ASSERT_FALSE(daemon.spool().submit("tiny", jobText).empty());
+    ASSERT_EQ(0, daemon.runOnce());
+
+    const serve::ServeCounters &first = daemon.lastJob();
+    EXPECT_EQ(3u, first.pointsTotal);
+    EXPECT_EQ(2u, first.pointsRun);
+    EXPECT_EQ(1u, first.pointsDeduped)
+        << "ref-twin must be served by ref's cache entry";
+    EXPECT_EQ(0u, first.cacheHits);
+    EXPECT_EQ(3u, first.cacheMisses);
+    EXPECT_EQ(0u, first.journalResumed);
+    EXPECT_EQ(0u, first.retries);
+
+    // The finished artifacts: manifest + counters in done/, and a
+    // replayable journal that validates as the journal variant.
+    const std::string done = daemon.spool().doneDir();
+    const std::string manifest =
+        slurp(done + "/MANIFEST_tiny.json");
+    EXPECT_EQ("", validateManifestJson(manifest)) << manifest;
+    EXPECT_EQ("", validateManifestJson(slurp(
+                      daemon.spool().journalDir() +
+                      "/tiny.manifest.json")));
+    serve::JsonValue counters;
+    ASSERT_TRUE(
+        serve::parseJson(slurp(done + "/tiny.serve.json"), counters));
+    const serve::JsonValue *block = counters.find("serve");
+    ASSERT_NE(nullptr, block);
+    EXPECT_EQ(1.0, block->getNumber("points_deduped", -1.0));
+
+    // Every label exactly once, in point order.
+    serve::JsonValue doc;
+    ASSERT_TRUE(serve::parseJson(manifest, doc));
+    const serve::JsonValue *runs = doc.find("runs");
+    ASSERT_NE(nullptr, runs);
+    ASSERT_EQ(3u, runs->items.size());
+    std::set<std::string> labels;
+    for (const serve::JsonValue &run : runs->items)
+        labels.insert(run.getString("label"));
+    EXPECT_EQ(3u, labels.size());
+    // Identical points must journal identical stats.
+    EXPECT_EQ(runs->items[0].find("stats")->raw,
+              runs->items[1].find("stats")->raw);
+
+    // Resubmit: everything is served from the journal, nothing runs.
+    ASSERT_FALSE(daemon.spool().submit("tiny", jobText).empty());
+    ASSERT_EQ(0, daemon.runOnce());
+    const serve::ServeCounters &second = daemon.lastJob();
+    EXPECT_EQ(0u, second.pointsRun);
+    EXPECT_EQ(3u, second.journalResumed);
+    EXPECT_EQ(0u, second.cacheMisses);
+    ASSERT_EQ(1u, daemon.lastPriorSegments().size());
+
+    // A different job name with the same points: served entirely from
+    // the cross-job result cache.
+    ASSERT_FALSE(daemon.spool().submit("tiny2", jobText).empty());
+    ASSERT_EQ(0, daemon.runOnce());
+    EXPECT_EQ(0u, daemon.lastJob().pointsRun);
+    EXPECT_EQ(3u, daemon.lastJob().cacheHits);
+}
+
+TEST_F(ServeTest, JobWithUnknownConfigKeyFailsCleanly)
+{
+    serve::Daemon::Options opt;
+    opt.spoolRoot = root_;
+    opt.inProcess = true;
+    serve::Daemon daemon(opt);
+    ASSERT_TRUE(daemon.init());
+    ASSERT_FALSE(
+        daemon.spool()
+            .submit("bad", "{\"workload\": \"camel\", \"input\": "
+                           "\"\", \"points\": [{\"label\": \"a\", "
+                           "\"set\": {\"core.robSizz\": \"1\"}}]}")
+            .empty());
+    EXPECT_EQ(1, daemon.runOnce());
+    EXPECT_EQ((std::vector<std::string>{"bad", "bad.serve"}),
+              daemon.spool().list(daemon.spool().failedDir()));
+    serve::JsonValue counters;
+    ASSERT_TRUE(serve::parseJson(
+        slurp(daemon.spool().failedDir() + "/bad.serve.json"),
+        counters));
+    const serve::JsonValue *failed = counters.find("failed");
+    ASSERT_NE(nullptr, failed);
+    EXPECT_TRUE(failed->boolean);
+    EXPECT_NE("", counters.getString("reason"));
+}
+
+} // namespace

@@ -351,6 +351,7 @@ main(int argc, char **argv)
                 std::chrono::steady_clock::now() - wall_start)
                 .count();
 
+        int rc = 0;
         if (tracing) {
             const uint64_t events = Trace::emitted();
             Trace::shutdown();
@@ -358,15 +359,18 @@ main(int argc, char **argv)
             manifest.setConfig(cfg);
             for (size_t i = 0; i < results.size(); ++i)
                 manifest.addRun(jobs[i].label, results[i].stats);
-            const std::string mpath = manifest.write(
-                env::benchDir().value_or("."), wall_seconds);
+            manifest.addWallSegment(wall_seconds);
+            const std::string mpath =
+                manifest.write(env::benchDir().value_or("."));
+            if (mpath.empty())
+                rc = 1;  // write() already warned with the path
             std::printf("[trace] %llu events -> %s (+%s.bin), "
                         "manifest %s\n",
                         (unsigned long long)events, trace_path.c_str(),
-                        trace_path.c_str(), mpath.c_str());
+                        trace_path.c_str(),
+                        mpath.empty() ? "(write failed)" : mpath.c_str());
         }
 
-        int rc = 0;
         for (size_t i = 0; i < results.size(); ++i) {
             const SimResult &r = results[i];
             printSummary(workload, wp, techs[i], r);

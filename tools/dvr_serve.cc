@@ -1,0 +1,225 @@
+/**
+ * @file
+ * dvr_serve: sweep-as-a-service client and daemon.
+ *
+ *     dvr_serve submit --spool DIR JOB.json [--name NAME]
+ *     dvr_serve start  --spool DIR [--once] [--set serve.workers=N]
+ *     dvr_serve status --spool DIR
+ *     dvr_serve drain  --spool DIR
+ *
+ * `submit` validates the job file and atomically enqueues it.
+ * `start` runs the daemon: with --once it drains the current queue
+ * (adopting any jobs a killed daemon left running) and exits; without
+ * it, it polls until `drain` is requested and the queue is empty.
+ * `status` prints the spool state and each finished job's serve
+ * counters. serve.* knobs resolve exactly like simulator config:
+ * --set / --config / DVR_* env.
+ *
+ * The hidden `--worker` mode is the daemon's fork/exec target; it is
+ * not part of the CLI surface (see serve/daemon.hh).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/daemon.hh"
+#include "serve/journal.hh"
+#include "serve/spool.hh"
+#include "sim/config_schema.hh"
+
+using namespace dvr;
+using namespace dvr::serve;
+
+namespace {
+
+void
+usage()
+{
+    std::fputs(
+        "usage: dvr_serve <submit|start|status|drain> --spool DIR\n"
+        "  submit --spool DIR JOB.json [--name NAME]\n"
+        "  start  --spool DIR [--once] [--set serve.workers=N] ...\n"
+        "  status --spool DIR\n"
+        "  drain  --spool DIR\n",
+        stderr);
+}
+
+std::string
+argValue(int argc, char **argv, const char *name)
+{
+    const std::string eq = std::string(name) + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0 && i + 1 < argc)
+            return argv[i + 1];
+        if (std::strncmp(argv[i], eq.c_str(), eq.size()) == 0)
+            return argv[i] + eq.size();
+    }
+    return "";
+}
+
+bool
+hasFlag(int argc, char **argv, const char *name)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0)
+            return true;
+    }
+    return false;
+}
+
+int
+cmdSubmit(const Spool &spool, int argc, char **argv)
+{
+    std::string jobFile;
+    for (int i = 2; i < argc; ++i) {
+        if (argv[i][0] != '-' &&
+            (i == 2 || std::strcmp(argv[i - 1], "--spool") != 0) &&
+            (i == 2 || std::strcmp(argv[i - 1], "--name") != 0)) {
+            jobFile = argv[i];
+            break;
+        }
+    }
+    if (jobFile.empty()) {
+        std::fputs("dvr_serve submit: missing JOB.json\n", stderr);
+        return 2;
+    }
+    std::string text;
+    if (!Spool::readFile(jobFile, text)) {
+        std::fprintf(stderr, "dvr_serve submit: cannot read %s\n",
+                     jobFile.c_str());
+        return 1;
+    }
+    std::string name = argValue(argc, argv, "--name");
+    if (name.empty())
+        name = Spool::jobNameOf(jobFile);
+
+    // Reject malformed jobs at submit time, not at run time.
+    JobSpec job;
+    std::string err;
+    if (!JobSpec::parse(name, text, job, &err)) {
+        std::fprintf(stderr, "dvr_serve submit: invalid job: %s\n",
+                     err.c_str());
+        return 1;
+    }
+    if (!spool.init())
+        return 1;
+    const std::string queued = spool.submit(name, text);
+    if (queued.empty())
+        return 1;
+    std::printf("queued %s (%zu points)\n", queued.c_str(),
+                job.points.size());
+    return 0;
+}
+
+int
+cmdStart(const std::string &spoolRoot, int argc, char **argv)
+{
+    SimConfig cfg;
+    try {
+        cfg = resolveConfig("base", argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "dvr_serve: %s\n", e.what());
+        return 2;
+    }
+    Daemon::Options opt;
+    opt.spoolRoot = spoolRoot;
+    opt.serve = cfg.serve;
+    Daemon daemon(opt);
+    if (!daemon.init())
+        return 1;
+    const int failed = hasFlag(argc, argv, "--once")
+                           ? daemon.runOnce()
+                           : daemon.serveLoop();
+    const ServeCounters &c = daemon.totals();
+    std::printf("serve: %llu/%llu points run, %llu deduped, "
+                "%llu cache hits, %llu journal-resumed, %llu "
+                "retries, %d job(s) failed\n",
+                (unsigned long long)c.pointsRun,
+                (unsigned long long)c.pointsTotal,
+                (unsigned long long)c.pointsDeduped,
+                (unsigned long long)c.cacheHits,
+                (unsigned long long)c.journalResumed,
+                (unsigned long long)c.retries, failed);
+    return failed == 0 ? 0 : 1;
+}
+
+int
+cmdStatus(const Spool &spool)
+{
+    const struct
+    {
+        const char *title;
+        std::string dir;
+    } states[] = {
+        {"queued", spool.queueDir()},
+        {"running", spool.runningDir()},
+        {"done", spool.doneDir()},
+        {"failed", spool.failedDir()},
+    };
+    for (const auto &[title, dir] : states) {
+        std::vector<std::string> names = spool.list(dir);
+        // The ".serve" counter sidecars are not jobs.
+        names.erase(std::remove_if(names.begin(), names.end(),
+                                   [](const std::string &n) {
+                                       return n.size() > 6 &&
+                                              n.compare(n.size() - 6,
+                                                        6,
+                                                        ".serve") == 0;
+                                   }),
+                    names.end());
+        std::printf("%-8s %zu\n", title, names.size());
+        for (const std::string &name : names) {
+            std::printf("  %s\n", name.c_str());
+            std::string counters;
+            if (Spool::readFile(dir + "/" + name + ".serve.json",
+                                counters))
+                std::fputs(counters.c_str(), stdout);
+        }
+    }
+    if (spool.drainRequested())
+        std::puts("drain requested");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Hidden worker mode: spawned by the daemon via /proc/self/exe.
+    if (hasFlag(argc, argv, "--worker")) {
+        return Daemon::workerMain(argValue(argc, argv, "--spool"),
+                                  argValue(argc, argv, "--job"),
+                                  argValue(argc, argv, "--points"));
+    }
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    const std::string spoolRoot = argValue(argc, argv, "--spool");
+    if (spoolRoot.empty()) {
+        std::fputs("dvr_serve: --spool DIR is required\n", stderr);
+        usage();
+        return 2;
+    }
+    const Spool spool(spoolRoot);
+    if (cmd == "submit")
+        return cmdSubmit(spool, argc, argv);
+    if (cmd == "start")
+        return cmdStart(spoolRoot, argc, argv);
+    if (cmd == "status")
+        return cmdStatus(spool);
+    if (cmd == "drain") {
+        if (!spool.init())
+            return 1;
+        spool.requestDrain();
+        std::puts("drain requested");
+        return 0;
+    }
+    usage();
+    return 2;
+}

@@ -3,7 +3,9 @@
  * Trace and manifest inspector.
  *
  *   dvr_trace FILE.bin            pretty-print a binary event trace
- *   dvr_trace --check FILE.json   validate a run manifest (or, with
+ *   dvr_trace --check FILE.json   validate a run manifest — the
+ *                                 whole-document shape or dvr_serve's
+ *                                 journal-append variant (or, with
  *                                 --json-only, any JSON document)
  *
  * The binary format is the raw TraceEvent ring (src/sim/trace.hh)
@@ -30,6 +32,7 @@ usage()
         "usage: dvr_trace [options] FILE\n"
         "  FILE                a binary trace (dvr_trace FILE.bin)\n"
         "      --check FILE    validate a MANIFEST_*.json document\n"
+        "                      (whole-document or journal-append)\n"
         "      --json-only     with --check: only require valid JSON\n"
         "                      (for BENCH_*.json / --json stat dumps)\n"
         "  -h, --help\n");

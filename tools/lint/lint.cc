@@ -58,8 +58,8 @@ const std::vector<RuleInfo> kRules = {
      "a stat name may be registered (set/add) only once per file"},
     {kStatName,
      "stat names must be lower_snake_case (dots as separators); "
-     "cpi.* / timeliness.* / sample.* must use the closed component "
-     "vocabulary"},
+     "cpi.* / timeliness.* / sample.* / serve.* must use the closed "
+     "component vocabulary"},
     {kNakedNew,
      "no naked new/delete; use std::unique_ptr or containers"},
     {kHotMap,
@@ -368,6 +368,10 @@ observabilityNameError(const std::string &name)
         R"((windows|cpi|cpi_var|cpi_ci95|cpi_rel_ci95|insts_total)"
         R"(|insts_functional|insts_warmup|insts_measured)"
         R"(|measured_cycles|functional_mips))");
+    static const std::regex serveRe(
+        R"(serve\.)"
+        R"((points_total|points_run|points_deduped|cache_hits)"
+        R"(|cache_misses|journal_resumed|retries))");
 
     if (name.rfind("cpi.", 0) == 0 || name.rfind("core.cpi.", 0) == 0) {
         if (!std::regex_match(name, cpiRe))
@@ -383,6 +387,11 @@ observabilityNameError(const std::string &name)
             return "stat '" + name +
                    "' is not a known sample.* sampling stat "
                    "(tests/stats_schema.inc kSampleStatKeys)";
+    } else if (name.rfind("serve.", 0) == 0) {
+        if (!std::regex_match(name, serveRe))
+            return "stat '" + name +
+                   "' is not a known serve.* scheduling counter "
+                   "(src/serve/daemon.hh ServeCounters)";
     }
     return "";
 }
