@@ -1,10 +1,13 @@
 #include "serve/daemon.hh"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -309,6 +312,29 @@ Daemon::processJob(const std::string &name)
 {
     const std::string jobPath =
         spool_.jobPath(spool_.runningDir(), name);
+
+    // Mutual exclusion between daemons sharing one spool: claim()'s
+    // rename makes queue/ -> running/ atomic, but running/ jobs are
+    // adoptable by every daemon. flock(2) on the job file — held for
+    // the whole job and released by the kernel on any process death,
+    // kill -9 included — makes the processor unique without leaving
+    // stale lock files behind.
+    const int lockFd = ::open(jobPath.c_str(), O_RDONLY | O_CLOEXEC);
+    if (lockFd < 0)
+        return 0;   // vanished: another daemon already finished it
+    if (::flock(lockFd, LOCK_EX | LOCK_NB) != 0) {
+        ::close(lockFd);
+        return 0;   // another daemon is processing this job
+    }
+    // Finishers rename the job out of running/ before unlocking, so
+    // if the path is gone now the job completed under a lock we only
+    // acquired after its owner was done with it.
+    std::error_code ec;
+    if (!std::filesystem::exists(jobPath, ec)) {
+        ::close(lockFd);
+        return 0;
+    }
+
     last_ = ServeCounters();
     lastPrior_.clear();
 
@@ -337,6 +363,7 @@ Daemon::processJob(const std::string &name)
             ".serve.json",
         counters);
     spool_.finish(name, ok);
+    ::close(lockFd);
     if (!ok)
         warn("serve: job \"" + name + "\" failed: " + failReason);
     return ok ? 0 : 1;
@@ -352,10 +379,13 @@ Daemon::runJob(const JobSpec &job, const std::string &jobPath,
 
     std::string configDump;
     std::vector<std::string> keys(job.points.size());
+    std::vector<std::string> digests(job.points.size());
     try {
         configDump = ConfigSchema::instance().toJson(job.baseConfig());
-        for (size_t i = 0; i < job.points.size(); ++i)
+        for (size_t i = 0; i < job.points.size(); ++i) {
             keys[i] = job.pointKey(i);
+            digests[i] = ResultCache::keyDigest(keys[i]);
+        }
     } catch (const std::exception &e) {
         failReason = e.what();
         return false;
@@ -370,13 +400,39 @@ Daemon::runJob(const JobSpec &job, const std::string &jobPath,
             failReason = "corrupt journal " + journal.path();
             return false;
         }
-        c.journalResumed = journal.runCount();
-        priorSegments = journal.priorSegments();
-        const double tail = journal.tailSegmentSeconds();
-        priorSegments.push_back(tail);
-        journal.appendEvent(
-            "{\"event\": \"resume\", \"prior_wall_seconds\": " +
-            fixed3(tail) + "}");
+        // A journaled run is only adoptable if it matches the job as
+        // resolved *now*: same label and same cache-key digest
+        // (config dump, workload, input, scale, git sha) for its
+        // point index. An edited job re-submitted under the same
+        // name, or a journal written by a different simulator build,
+        // fails this — the journal restarts from scratch instead of
+        // serving stale results.
+        bool stale = false;
+        for (const JournalRun &run : journal.runs()) {
+            if (run.point >= job.points.size() ||
+                run.label != job.points[run.point].label ||
+                run.key != digests[run.point]) {
+                stale = true;
+                break;
+            }
+        }
+        if (stale) {
+            warn("serve: journal " + journal.path() +
+                 " does not match the current job/binary; "
+                 "restarting it");
+            if (!journal.start(header.toJournalHeaderLine())) {
+                failReason = "cannot start journal " + journal.path();
+                return false;
+            }
+        } else {
+            c.journalResumed = journal.runCount();
+            priorSegments = journal.priorSegments();
+            const double tail = journal.tailSegmentSeconds();
+            priorSegments.push_back(tail);
+            journal.appendEvent(
+                "{\"event\": \"resume\", \"prior_wall_seconds\": " +
+                fixed3(tail) + "}");
+        }
     } else if (!journal.start(header.toJournalHeaderLine())) {
         failReason = "cannot start journal " + journal.path();
         return false;
@@ -390,8 +446,12 @@ Daemon::runJob(const JobSpec &job, const std::string &jobPath,
         if (journal.hasPoint(i))
             continue;
         if (const auto hit = cache_.lookup(keys[i])) {
-            journal.appendRun(i, job.points[i].label, *hit,
-                              secondsSince(segStart));
+            if (!journal.appendRun(i, job.points[i].label, digests[i],
+                                   *hit, secondsSince(segStart))) {
+                failReason =
+                    "cannot append to journal " + journal.path();
+                return false;
+            }
             ++c.cacheHits;
         } else {
             remain.push_back(i);
@@ -399,6 +459,7 @@ Daemon::runJob(const JobSpec &job, const std::string &jobPath,
     }
     c.cacheMisses = remain.size();
 
+    bool journalOk = true;
     for (unsigned attempt = 1; !remain.empty(); ++attempt) {
         // Identical points (same canonical key) execute once: only
         // one representative per key runs, and the duplicates are
@@ -416,11 +477,20 @@ Daemon::runJob(const JobSpec &job, const std::string &jobPath,
         auto adopt = [&] {
             std::vector<size_t> still;
             for (size_t i : remain) {
-                if (const auto hit = cache_.lookup(keys[i])) {
-                    journal.appendRun(i, job.points[i].label, *hit,
-                                      secondsSince(segStart));
+                const auto hit = cache_.lookup(keys[i]);
+                if (!hit) {
+                    still.push_back(i);
+                    continue;
+                }
+                // A failed journal append keeps the point pending:
+                // finishing the job without its run line would drop
+                // the run from the final manifest silently.
+                if (journal.appendRun(i, job.points[i].label,
+                                      digests[i], *hit,
+                                      secondsSince(segStart))) {
                     ++(ran.count(i) ? c.pointsRun : c.pointsDeduped);
                 } else {
+                    journalOk = false;
                     still.push_back(i);
                 }
             }
@@ -465,6 +535,12 @@ Daemon::runJob(const JobSpec &job, const std::string &jobPath,
             }
         }
         adopt();
+        if (!journalOk) {
+            // The journal is the job's source of truth; a broken one
+            // (disk full, unwritable spool) is fatal, not retryable.
+            failReason = "cannot append to journal " + journal.path();
+            return false;
+        }
         if (remain.empty())
             break;
         if (attempt >= opt_.serve.maxAttempts) {
@@ -636,8 +712,18 @@ Daemon::workerMain(const std::string &spoolRoot,
     std::istringstream csv(pointsCsv);
     std::string tok;
     while (std::getline(csv, tok, ',')) {
-        if (!tok.empty())
-            pts.push_back(size_t(std::stoull(tok)));
+        if (tok.empty())
+            continue;
+        // Malformed tokens are skipped, not thrown on: a worker must
+        // always reach its graceful advisory exit. 18 digits bounds
+        // the value below stoull's overflow throw.
+        if (tok.size() > 18 ||
+            tok.find_first_not_of("0123456789") != std::string::npos) {
+            warn("worker: ignoring bad --points token \"" + tok +
+                 "\"");
+            continue;
+        }
+        pts.push_back(size_t(std::stoull(tok)));
     }
 
     // One process, sequential points: process-level parallelism comes

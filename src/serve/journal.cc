@@ -69,6 +69,7 @@ Journal::replay()
         JournalRun run;
         run.point = size_t(v.getNumber("point", 0.0));
         run.label = v.getString("label");
+        run.key = v.getString("key");
         run.t = v.getNumber("t", 0.0);
         const JsonValue *stats = v.find("stats");
         if (run.label.empty() || !stats || !stats->isObject()) {
@@ -92,6 +93,10 @@ Journal::replay()
 bool
 Journal::start(const std::string &headerLine)
 {
+    runs_.clear();
+    points_.clear();
+    priorSegments_.clear();
+    tailSeconds_ = 0.0;
     std::ofstream out(path_, std::ios::trunc);
     out << headerLine << "\n";
     out.flush();
@@ -117,6 +122,7 @@ Journal::append(const std::string &line)
 
 bool
 Journal::appendRun(size_t point, const std::string &label,
+                   const std::string &key,
                    const std::string &statsJson, double t)
 {
     if (points_.count(point))
@@ -125,12 +131,13 @@ Journal::appendRun(size_t point, const std::string &label,
     line.setf(std::ios::fixed);
     line.precision(3);
     line << "{\"point\": " << point
-         << ", \"label\": " << jsonQuote(label) << ", \"t\": " << t
+         << ", \"label\": " << jsonQuote(label)
+         << ", \"key\": " << jsonQuote(key) << ", \"t\": " << t
          << ", \"stats\": " << minifyJson(statsJson) << "}";
     if (!append(line.str()))
         return false;
     points_.insert(point);
-    runs_.push_back({point, label, minifyJson(statsJson), t});
+    runs_.push_back({point, label, key, minifyJson(statsJson), t});
     if (tailSeconds_ < t)
         tailSeconds_ = t;
     return true;

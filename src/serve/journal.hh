@@ -6,9 +6,17 @@
  * sim/manifest.hh: line 1 is a complete manifest object with
  * "runs": [], and every later line is one of
  *
- *     {"point": N, "label": "...", "t": S, "stats": {...}}   a run
+ *     {"point": N, "label": "...", "key": "...",
+ *      "t": S, "stats": {...}}                               a run
  *     {"event": "resume", "prior_wall_seconds": S}           restart
  *     {"event": "retry", "point": N, "attempt": K}           respawn
+ *
+ * "key" is the point's cache-key digest (ResultCache::keyDigest):
+ * the daemon compares it (and the label) against the job as resolved
+ * at resume time, so a journal left by an edited job re-submitted
+ * under the same name, or by a different simulator build (the git
+ * sha is part of the key), is discarded instead of serving stale
+ * runs.
  *
  * The daemon appends a run line the moment a point's result is known
  * and fsync-free appends are the only writes, so a `kill -9` can at
@@ -39,6 +47,8 @@ struct JournalRun
 {
     size_t point = 0;
     std::string label;
+    /** Cache-key digest of the point (empty in pre-digest journals). */
+    std::string key;
     /** The run's stats object, verbatim from the journal line. */
     std::string statsJson;
     /** Seconds into its segment when the run was journaled. */
@@ -59,10 +69,14 @@ class Journal
      */
     bool replay();
 
-    /** Truncate and write the header line (a fresh journal). */
+    /**
+     * Truncate to a fresh journal (discarding any replayed state) and
+     * write the header line.
+     */
     bool start(const std::string &headerLine);
 
     bool appendRun(size_t point, const std::string &label,
+                   const std::string &key,
                    const std::string &statsJson, double t);
     /** Append a `{"event": ...}` line (rendered by the caller). */
     bool appendEvent(const std::string &eventJson);

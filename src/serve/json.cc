@@ -73,6 +73,106 @@ class Parser
     }
 
     bool
+    hex4(unsigned &out)
+    {
+        out = 0;
+        for (int k = 0; k < 4; ++k) {
+            if (i_ >= s_.size())
+                return fail("truncated \\u escape");
+            const char c = s_[i_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= unsigned(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= unsigned(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= unsigned(c - 'A' + 10);
+            else
+                return fail("bad \\u escape digit");
+        }
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += char(cp);
+        } else if (cp < 0x800) {
+            out += char(0xC0 | (cp >> 6));
+            out += char(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += char(0xE0 | (cp >> 12));
+            out += char(0x80 | ((cp >> 6) & 0x3F));
+            out += char(0x80 | (cp & 0x3F));
+        } else {
+            out += char(0xF0 | (cp >> 18));
+            out += char(0x80 | ((cp >> 12) & 0x3F));
+            out += char(0x80 | ((cp >> 6) & 0x3F));
+            out += char(0x80 | (cp & 0x3F));
+        }
+    }
+
+    /** Decode one escape (the '\\' is already consumed). */
+    bool
+    escape(std::string &out)
+    {
+        if (i_ >= s_.size())
+            return fail("unterminated string");
+        const char e = s_[i_++];
+        switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+            out += e;
+            return true;
+        case 'b':
+            out += '\b';
+            return true;
+        case 'f':
+            out += '\f';
+            return true;
+        case 'n':
+            out += '\n';
+            return true;
+        case 'r':
+            out += '\r';
+            return true;
+        case 't':
+            out += '\t';
+            return true;
+        case 'u': {
+            unsigned cp = 0;
+            if (!hex4(cp))
+                return false;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+                // High surrogate: only valid as the first half of a
+                // \uD800-\uDBFF + \uDC00-\uDFFF pair.
+                unsigned lo = 0;
+                if (i_ + 1 >= s_.size() || s_[i_] != '\\' ||
+                    s_[i_ + 1] != 'u')
+                    return fail("unpaired surrogate");
+                i_ += 2;
+                if (!hex4(lo))
+                    return false;
+                if (lo < 0xDC00 || lo > 0xDFFF)
+                    return fail("unpaired surrogate");
+                appendUtf8(out, 0x10000 + ((cp - 0xD800) << 10) +
+                                    (lo - 0xDC00));
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                return fail("unpaired surrogate");
+            } else {
+                appendUtf8(out, cp);
+            }
+            return true;
+        }
+        default:
+            return fail(std::string("unsupported escape '\\") + e +
+                        "'");
+        }
+    }
+
+    bool
     string(std::string &out)
     {
         if (peek() != '"')
@@ -84,9 +184,8 @@ class Parser
             if (c == '"')
                 return true;
             if (c == '\\') {
-                if (i_ >= s_.size())
-                    break;
-                out += s_[i_++];
+                if (!escape(out))
+                    return false;
             } else {
                 out += c;
             }
@@ -270,11 +369,43 @@ parseJson(const std::string &text, JsonValue &out, std::string *err)
 std::string
 jsonQuote(const std::string &s)
 {
+    static const char *kHex = "0123456789abcdef";
     std::string out = "\"";
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
+    for (const char ch : s) {
+        switch (ch) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            // Bare control characters are invalid inside JSON
+            // strings; everything else (UTF-8 included) passes
+            // through so parse() inverts quote() exactly.
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                out += "\\u00";
+                out += kHex[static_cast<unsigned char>(ch) >> 4];
+                out += kHex[static_cast<unsigned char>(ch) & 0xF];
+            } else {
+                out += ch;
+            }
+        }
     }
     return out + "\"";
 }

@@ -52,7 +52,12 @@ struct JsonValue
 bool parseJson(const std::string &text, JsonValue &out,
                std::string *err = nullptr);
 
-/** Render a string as a JSON string literal (escapes `"` and `\`). */
+/**
+ * Render a string as a JSON string literal: `"` and `\` are escaped,
+ * control characters become `\n`/`\t`/... or `\u00XX`. parseJson
+ * decodes exactly this set (plus `\/` and `\uXXXX` surrogate pairs),
+ * so quote -> parse round-trips any byte string.
+ */
 std::string jsonQuote(const std::string &s);
 
 } // namespace serve

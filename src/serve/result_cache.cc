@@ -37,12 +37,18 @@ ResultCache::fnv1a64(const std::string &s)
 }
 
 std::string
-ResultCache::entryPath(const std::string &key) const
+ResultCache::keyDigest(const std::string &key)
 {
     char hex[17];
     std::snprintf(hex, sizeof(hex), "%016llx",
                   static_cast<unsigned long long>(fnv1a64(key)));
-    return spool_.cacheDir() + "/" + hex + ".json";
+    return hex;
+}
+
+std::string
+ResultCache::entryPath(const std::string &key) const
+{
+    return spool_.cacheDir() + "/" + keyDigest(key) + ".json";
 }
 
 std::optional<std::string>

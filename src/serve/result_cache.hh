@@ -58,6 +58,14 @@ class ResultCache
     /** FNV-1a 64-bit (the entry file name is the hex digest). */
     static uint64_t fnv1a64(const std::string &s);
 
+    /**
+     * The 16-hex-digit fnv1a64 digest of a key: the entry file's
+     * basename, and the per-run identity the journal records so a
+     * resumed job can prove its journaled runs match the job (and
+     * binary) as resolved now.
+     */
+    static std::string keyDigest(const std::string &key);
+
   private:
     std::string entryPath(const std::string &key) const;
 

@@ -6,6 +6,8 @@
  * run with dedup and journal-resume counters.
  */
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -158,13 +160,16 @@ TEST_F(ServeTest, JournalReplayDropsOnlyTheTornTail)
     {
         serve::Journal j(path);
         ASSERT_TRUE(j.start(header.toJournalHeaderLine()));
-        ASSERT_TRUE(j.appendRun(0, "p0", "{\"core.ipc\": 1}", 0.5));
+        ASSERT_TRUE(
+            j.appendRun(0, "p0", "k0", "{\"core.ipc\": 1}", 0.5));
         ASSERT_TRUE(j.appendEvent(
             "{\"event\": \"resume\", \"prior_wall_seconds\": 2.5}"));
-        ASSERT_TRUE(j.appendRun(2, "p2", "{\"core.ipc\": 3}", 1.25));
+        ASSERT_TRUE(
+            j.appendRun(2, "p2", "k2", "{\"core.ipc\": 3}", 1.25));
         // appendRun is idempotent per point: a resumed daemon may
         // re-offer a run the journal already has.
-        ASSERT_TRUE(j.appendRun(0, "p0", "{\"core.ipc\": 7}", 9.0));
+        ASSERT_TRUE(
+            j.appendRun(0, "p0", "k0", "{\"core.ipc\": 7}", 9.0));
     }
     {
         // Tear the tail, as a kill -9 mid-append would.
@@ -176,6 +181,7 @@ TEST_F(ServeTest, JournalReplayDropsOnlyTheTornTail)
     ASSERT_TRUE(j.replay());
     ASSERT_EQ(2u, j.runCount());
     EXPECT_EQ("p0", j.runs()[0].label);
+    EXPECT_EQ("k0", j.runs()[0].key);
     EXPECT_EQ(minifyJson("{\"core.ipc\": 1}"), j.runs()[0].statsJson)
         << "the duplicate append must not replace the first run";
     EXPECT_EQ("p2", j.runs()[1].label);
@@ -307,9 +313,12 @@ TEST_F(ServeTest, InProcessDaemonDedupesJournalsAndResumes)
     const std::string manifest =
         slurp(done + "/MANIFEST_tiny.json");
     EXPECT_EQ("", validateManifestJson(manifest)) << manifest;
-    EXPECT_EQ("", validateManifestJson(slurp(
-                      daemon.spool().journalDir() +
-                      "/tiny.manifest.json")));
+    const std::string journalText =
+        slurp(daemon.spool().journalDir() + "/tiny.manifest.json");
+    EXPECT_EQ("", validateManifestJson(journalText));
+    EXPECT_NE(std::string::npos, journalText.find("\"key\": "))
+        << "run lines must record the cache-key digest for resume "
+           "validation";
     serve::JsonValue counters;
     ASSERT_TRUE(
         serve::parseJson(slurp(done + "/tiny.serve.json"), counters));
@@ -346,6 +355,172 @@ TEST_F(ServeTest, InProcessDaemonDedupesJournalsAndResumes)
     ASSERT_EQ(0, daemon.runOnce());
     EXPECT_EQ(0u, daemon.lastJob().pointsRun);
     EXPECT_EQ(3u, daemon.lastJob().cacheHits);
+}
+
+TEST_F(ServeTest, JsonStringEscapesRoundTrip)
+{
+    serve::JsonValue v;
+    ASSERT_TRUE(serve::parseJson(
+        "\"a\\nb\\t\\\\\\\"\\u0041\\u00e9\"", v));
+    EXPECT_EQ("a\nb\t\\\"A\xc3\xa9", v.str);
+    ASSERT_TRUE(serve::parseJson("\"\\ud83d\\ude00\"", v));
+    EXPECT_EQ("\xf0\x9f\x98\x80", v.str) << "surrogate pair -> UTF-8";
+
+    // Unsupported or malformed escapes are rejected, never silently
+    // mangled (the old decoder turned "a\nb" into "anb").
+    EXPECT_FALSE(serve::parseJson("\"\\q\"", v));
+    EXPECT_FALSE(serve::parseJson("\"\\ud83d\"", v));
+    EXPECT_FALSE(serve::parseJson("\"\\ud83dx\"", v));
+    EXPECT_FALSE(serve::parseJson("\"\\u12g4\"", v));
+    EXPECT_FALSE(serve::parseJson("\"\\u12\"", v));
+
+    // jsonQuote escapes control characters so that quote -> parse is
+    // the identity on any byte string (journal/manifest round trip).
+    const std::string label = "a\nb\tc\x01 d\"e\\f";
+    EXPECT_EQ("\"a\\nb\\tc\\u0001 d\\\"e\\\\f\"",
+              serve::jsonQuote(label));
+    ASSERT_TRUE(serve::parseJson(serve::jsonQuote(label), v));
+    EXPECT_EQ(label, v.str);
+}
+
+TEST_F(ServeTest, ResumeValidatesJournalAgainstCurrentJob)
+{
+    const std::string jobText =
+        "{\"workload\": \"camel\", \"input\": \"\", \"scale_shift\": "
+        "8, \"config\": {\"sim.maxInstructions\": \"2000\"}, "
+        "\"points\": ["
+        "{\"label\": \"camel/ref\"},"
+        "{\"label\": \"camel/vr\", \"set\": {\"sim.technique\": "
+        "\"vr\"}}]}";
+    serve::JobSpec job;
+    std::string err;
+    ASSERT_TRUE(serve::JobSpec::parse("res", jobText, job, &err))
+        << err;
+
+    serve::Daemon::Options opt;
+    opt.spoolRoot = root_;
+    opt.serve.workers = 2;
+    opt.inProcess = true;
+    serve::Daemon daemon(opt);
+    ASSERT_TRUE(daemon.init());
+
+    const auto seedJournal = [&](const std::string &name,
+                                 const std::string &label,
+                                 const std::string &digest) {
+        serve::Journal j(daemon.spool().journalDir() + "/" + name +
+                         ".manifest.json");
+        RunManifest header(name);
+        ASSERT_TRUE(j.start(header.toJournalHeaderLine()));
+        ASSERT_TRUE(j.appendRun(0, label, digest,
+                                "{\"core.ipc\": 42.125}", 0.25));
+    };
+
+    // A journal a killed daemon would have left: point 0 recorded
+    // with the digest of the job's *current* cache key. Resume must
+    // adopt it verbatim — the point never re-executes.
+    seedJournal("res", job.points[0].label,
+                serve::ResultCache::keyDigest(job.pointKey(0)));
+    ASSERT_FALSE(daemon.spool().submit("res", jobText).empty());
+    ASSERT_EQ(0, daemon.runOnce());
+    EXPECT_EQ(1u, daemon.lastJob().journalResumed);
+    EXPECT_EQ(1u, daemon.lastJob().pointsRun);
+    EXPECT_NE(std::string::npos,
+              slurp(daemon.spool().doneDir() + "/MANIFEST_res.json")
+                  .find("42.125"))
+        << "the journaled stats must be adopted, not recomputed";
+
+    // Same journal shape but a key digest that does not match the
+    // job as resolved now (an edited job re-submitted under the same
+    // name, or a journal from another simulator build): discarded,
+    // and the point computes fresh instead of serving stale stats.
+    seedJournal("res2", job.points[0].label, "0123456789abcdef");
+    ASSERT_FALSE(daemon.spool().submit("res2", jobText).empty());
+    ASSERT_EQ(0, daemon.runOnce());
+    EXPECT_EQ(0u, daemon.lastJob().journalResumed);
+    EXPECT_EQ(1u, daemon.lastJob().pointsRun)
+        << "point 0 was never truly executed, so it must run now";
+    EXPECT_EQ(1u, daemon.lastJob().cacheHits)
+        << "point 1 really ran under \"res\", so the cache serves it";
+    EXPECT_EQ(std::string::npos,
+              slurp(daemon.spool().doneDir() + "/MANIFEST_res2.json")
+                  .find("42.125"))
+        << "stale journaled stats must not reach the manifest";
+
+    // A matching digest under a renamed label is stale too: labels
+    // are manifest identity.
+    seedJournal("res3", "renamed",
+                serve::ResultCache::keyDigest(job.pointKey(0)));
+    ASSERT_FALSE(daemon.spool().submit("res3", jobText).empty());
+    ASSERT_EQ(0, daemon.runOnce());
+    EXPECT_EQ(0u, daemon.lastJob().journalResumed);
+    EXPECT_EQ(2u, daemon.lastJob().cacheHits);
+}
+
+TEST_F(ServeTest, ConcurrentDaemonsSkipLockedRunningJobs)
+{
+    const std::string jobText =
+        "{\"workload\": \"camel\", \"input\": \"\", \"scale_shift\": "
+        "8, \"config\": {\"sim.maxInstructions\": \"2000\"}, "
+        "\"points\": [{\"label\": \"camel/ref\"}]}";
+    serve::Daemon::Options opt;
+    opt.spoolRoot = root_;
+    opt.inProcess = true;
+    serve::Daemon daemon(opt);
+    ASSERT_TRUE(daemon.init());
+    ASSERT_FALSE(daemon.spool().submit("locked", jobText).empty());
+    ASSERT_TRUE(daemon.spool().claim("locked"));
+
+    // A rival daemon owns the running/ job: it holds flock(2) on the
+    // job file (released by the kernel on any death, kill -9
+    // included, so a dead owner can never wedge the job).
+    const std::string path = daemon.spool().jobPath(
+        daemon.spool().runningDir(), "locked");
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    ASSERT_LE(0, fd);
+    ASSERT_EQ(0, ::flock(fd, LOCK_EX | LOCK_NB));
+
+    // Adoption must skip the held job — no double execution, no
+    // concurrent journal writers — and not count it as failed.
+    EXPECT_EQ(0, daemon.runOnce());
+    EXPECT_EQ(std::vector<std::string>{"locked"},
+              daemon.spool().list(daemon.spool().runningDir()));
+    EXPECT_TRUE(daemon.spool().list(daemon.spool().doneDir()).empty());
+
+    // Owner gone: the job is adoptable again.
+    ASSERT_EQ(0, ::flock(fd, LOCK_UN));
+    ::close(fd);
+    EXPECT_EQ(0, daemon.runOnce());
+    EXPECT_EQ((std::vector<std::string>{"MANIFEST_locked", "locked",
+                                        "locked.serve"}),
+              daemon.spool().list(daemon.spool().doneDir()));
+}
+
+TEST_F(ServeTest, WorkerMainSkipsMalformedPointTokens)
+{
+    serve::Spool spool(root_);
+    ASSERT_TRUE(spool.init());
+    const std::string jobText =
+        "{\"workload\": \"camel\", \"input\": \"\", \"scale_shift\": "
+        "8, \"config\": {\"sim.maxInstructions\": \"2000\"}, "
+        "\"points\": [{\"label\": \"camel/ref\"}]}";
+    const std::string jobPath = root_ + "/wjob.json";
+    {
+        std::ofstream out(jobPath);
+        out << jobText;
+    }
+    // Garbage --points tokens (non-numeric, signed, exponent,
+    // overflowing, out-of-range index) are skipped with a warning —
+    // never an uncaught std::stoull throw.
+    EXPECT_EQ(0, serve::Daemon::workerMain(
+                     root_, jobPath,
+                     "x,-1,1e3,99999999999999999999,7,,0"));
+    serve::JobSpec job;
+    std::string err;
+    ASSERT_TRUE(serve::JobSpec::parse("wjob", jobText, job, &err))
+        << err;
+    EXPECT_TRUE(
+        serve::ResultCache(spool).lookup(job.pointKey(0)).has_value())
+        << "the one valid in-range token (0) must still execute";
 }
 
 TEST_F(ServeTest, JobWithUnknownConfigKeyFailsCleanly)
