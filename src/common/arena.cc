@@ -1,0 +1,214 @@
+#include "common/arena.hh"
+
+#include <atomic>
+#include <new>
+
+#include "common/log.hh"
+
+namespace dvr {
+
+namespace {
+
+// Process-wide accounting, shared by every thread's arena. Relaxed is
+// sufficient: these are statistics counters read once per bench report,
+// never used for synchronization.
+std::atomic<uint64_t> gAllocCalls{0};
+std::atomic<uint64_t> gBytesServed{0};
+std::atomic<uint64_t> gBlocks{0};
+std::atomic<uint64_t> gBlockBytes{0};
+std::atomic<uint64_t> gResets{0};
+std::atomic<uint64_t> gHighWater{0};
+
+constexpr std::size_t kMaxAlign = alignof(std::max_align_t);
+
+constexpr bool
+isPow2(std::size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+/**
+ * Block header, immediately followed by the payload. operator new
+ * guarantees max_align_t alignment for the header, and kHeader is a
+ * multiple of max_align, so the payload base is max_align-aligned too;
+ * stricter alignments are produced by bumping within the payload.
+ */
+struct Arena::Block {
+    Block *next = nullptr;
+    std::size_t cap = 0;
+
+    static constexpr std::size_t kHeader =
+        (sizeof(void *) * 2 + kMaxAlign - 1) & ~(kMaxAlign - 1);
+
+    unsigned char *data()
+    {
+        return reinterpret_cast<unsigned char *>(this) + kHeader;
+    }
+};
+
+Arena::Arena(std::size_t block_bytes) : blockBytes_(block_bytes)
+{
+    panicIf(block_bytes == 0, "Arena: zero block size");
+}
+
+Arena::~Arena()
+{
+    Block *b = head_;
+    while (b) {
+        Block *next = b->next;
+        ::operator delete(static_cast<void *>(b));
+        b = next;
+    }
+}
+
+void
+Arena::book(std::size_t bytes)
+{
+    ++allocCount_;
+    liveBytes_ += bytes;
+    if (liveBytes_ > highWater_) {
+        highWater_ = liveBytes_;
+        uint64_t cur = gHighWater.load(std::memory_order_relaxed);
+        while (cur < highWater_ &&
+               !gHighWater.compare_exchange_weak(cur, highWater_,
+                                                 std::memory_order_relaxed)) {
+        }
+    }
+    gAllocCalls.fetch_add(1, std::memory_order_relaxed);
+    gBytesServed.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void *
+Arena::alloc(std::size_t bytes, std::size_t align)
+{
+    panicIf(!isPow2(align), "Arena::alloc: alignment must be a power of two");
+    if (bytes == 0)
+        bytes = 1;
+
+    if (cur_) {
+        auto base = reinterpret_cast<std::uintptr_t>(cur_->data());
+        std::uintptr_t p = base + curOff_;
+        std::uintptr_t aligned = (p + (align - 1)) & ~std::uintptr_t(align - 1);
+        std::size_t end = static_cast<std::size_t>(aligned - base) + bytes;
+        if (end <= cur_->cap) {
+            curOff_ = end;
+            book(bytes);
+            return reinterpret_cast<void *>(aligned);
+        }
+    }
+    return grow(bytes, align);
+}
+
+void *
+Arena::grow(std::size_t bytes, std::size_t align)
+{
+    // Walk forward over recycled blocks (retained by an earlier
+    // reset/rewind) looking for one that fits before reserving fresh
+    // heap. Blocks skipped here stay idle until the next reset.
+    Block *b = cur_ ? cur_->next : head_;
+    while (b) {
+        auto base = reinterpret_cast<std::uintptr_t>(b->data());
+        std::uintptr_t aligned = (base + (align - 1)) & ~std::uintptr_t(align - 1);
+        std::size_t end = static_cast<std::size_t>(aligned - base) + bytes;
+        if (end <= b->cap) {
+            cur_ = b;
+            curOff_ = end;
+            book(bytes);
+            return reinterpret_cast<void *>(aligned);
+        }
+        b = b->next;
+    }
+
+    // Nothing recycled fits: append a fresh block at the tail. Payload
+    // is padded by `align` so even a worst-case base can be aligned up.
+    std::size_t cap = blockBytes_;
+    if (bytes + align > cap)
+        cap = bytes + align;
+    void *raw = ::operator new(Block::kHeader + cap);
+    // dvr-lint: allow(naked-new) placement header ctor; the arena owns its block chain and frees it in the destructor
+    Block *blk = new (raw) Block;
+    blk->cap = cap;
+    if (tail_)
+        tail_->next = blk;
+    else
+        head_ = blk;
+    tail_ = blk;
+    gBlocks.fetch_add(1, std::memory_order_relaxed);
+    gBlockBytes.fetch_add(Block::kHeader + cap, std::memory_order_relaxed);
+
+    cur_ = blk;
+    auto base = reinterpret_cast<std::uintptr_t>(blk->data());
+    std::uintptr_t aligned = (base + (align - 1)) & ~std::uintptr_t(align - 1);
+    curOff_ = static_cast<std::size_t>(aligned - base) + bytes;
+    book(bytes);
+    return reinterpret_cast<void *>(aligned);
+}
+
+void
+Arena::rewind(const Mark &m)
+{
+    if (m.block) {
+        cur_ = static_cast<Block *>(m.block);
+        curOff_ = m.offset;
+    } else {
+        // Mark predates the first block: recycle the whole chain.
+        cur_ = head_;
+        curOff_ = 0;
+    }
+    liveBytes_ = m.liveBytes;
+}
+
+void
+Arena::reset()
+{
+    panicIf(frameDepth_ != 0,
+            "Arena::reset under a live ArenaFrame: the frame's rewind "
+            "would resurrect a stale cursor");
+    ++epoch_;
+    cur_ = head_;
+    curOff_ = 0;
+    liveBytes_ = 0;
+    gResets.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t
+Arena::blockCount() const
+{
+    std::size_t n = 0;
+    for (Block *b = head_; b; b = b->next)
+        ++n;
+    return n;
+}
+
+std::size_t
+Arena::reservedBytes() const
+{
+    std::size_t n = 0;
+    for (Block *b = head_; b; b = b->next)
+        n += b->cap;
+    return n;
+}
+
+Arena &
+Arena::forCurrentThread()
+{
+    static thread_local Arena arena;
+    return arena;
+}
+
+ArenaProcessStats
+Arena::processStats()
+{
+    ArenaProcessStats s;
+    s.allocCalls = gAllocCalls.load(std::memory_order_relaxed);
+    s.bytesServed = gBytesServed.load(std::memory_order_relaxed);
+    s.blocks = gBlocks.load(std::memory_order_relaxed);
+    s.blockBytes = gBlockBytes.load(std::memory_order_relaxed);
+    s.resets = gResets.load(std::memory_order_relaxed);
+    s.highWater = gHighWater.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace dvr

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Per-thread bump/arena allocator for per-run simulator state.
+ *
+ * Every detailed or sampled run allocates a pile of POD arrays whose
+ * lifetime is exactly the run: cache tag/metadata arrays, MSHR heaps,
+ * ROB/LSQ rings, store-forward tables, predictor tables, subthread
+ * lane buffers. Allocating them from the general-purpose heap costs a
+ * malloc/free pair plus fresh-page faults per run, multiplied by the
+ * hundreds of sweep points a figure reproduction runs. The arena
+ * replaces that with bump allocation out of a chain of large blocks
+ * that are NEVER returned between runs: a sweep worker thread pays the
+ * mmap/fault cost once and every later run reuses the same hot pages.
+ *
+ * Contract: arena memory is reclaimed wholesale by rewind()/reset()
+ * without running destructors, so only trivially-destructible types
+ * may live in it (allocArray enforces this at compile time). Blocks
+ * are retained across reset() — an epoch bump plus cursor rewind —
+ * which is what makes a thousand-point sweep O(1) heap allocations
+ * per point after warmup.
+ *
+ * Two layers of accounting:
+ *  - per-instance counters (allocCount / liveBytes / highWater) feed
+ *    the per-run `core.arena.*` stats block;
+ *  - process-wide relaxed atomics (ArenaProcessStats, snapshot +
+ *    since() delta in the CowMemStats idiom) feed the bench-level
+ *    "arena" cost-accounting block across all worker threads.
+ */
+
+#ifndef DVR_COMMON_ARENA_HH
+#define DVR_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace dvr {
+
+/** Process-wide arena counters; snapshot and diff with since(). */
+struct ArenaProcessStats {
+    uint64_t allocCalls = 0;     ///< alloc() calls, all threads
+    uint64_t bytesServed = 0;    ///< sum of requested bytes
+    uint64_t blocks = 0;         ///< heap blocks ever allocated
+    uint64_t blockBytes = 0;     ///< heap bytes reserved in blocks
+    uint64_t resets = 0;         ///< reset() calls (sweep points)
+    uint64_t highWater = 0;      ///< max per-arena liveBytes, any thread
+
+    /**
+     * Delta of this snapshot relative to an earlier one. Counters
+     * subtract; highWater is a watermark, not a counter, so the
+     * current (absolute) value carries through.
+     */
+    ArenaProcessStats since(const ArenaProcessStats &base) const
+    {
+        ArenaProcessStats d;
+        d.allocCalls = allocCalls - base.allocCalls;
+        d.bytesServed = bytesServed - base.bytesServed;
+        d.blocks = blocks - base.blocks;
+        d.blockBytes = blockBytes - base.blockBytes;
+        d.resets = resets - base.resets;
+        d.highWater = highWater;
+        return d;
+    }
+};
+
+class Arena
+{
+  public:
+    static constexpr std::size_t kDefaultBlockBytes = std::size_t(1) << 20;
+
+    explicit Arena(std::size_t block_bytes = kDefaultBlockBytes);
+    ~Arena();
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Bump-allocate `bytes` at the given power-of-two alignment. The
+     * returned storage is NOT zeroed; use allocArray for typed,
+     * zero-initialized arrays.
+     */
+    void *alloc(std::size_t bytes, std::size_t align);
+
+    /**
+     * Typed, zero-initialized array of `n` elements. Zeroing (rather
+     * than default-construction) is deliberate: per-run structures are
+     * designed so their value-initialized state IS the all-zero state
+     * (Requester::kMain == 0, invalid tags written explicitly), which
+     * keeps golden stats byte-identical to the heap representation.
+     */
+    template <typename T>
+    T *allocArray(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena memory is reclaimed without running "
+                      "destructors; only trivially-destructible types "
+                      "may live in it");
+        void *p = alloc(n * sizeof(T), alignof(T));
+        if (n != 0)
+            std::memset(p, 0, n * sizeof(T));
+        return static_cast<T *>(p);
+    }
+
+    /** Cursor snapshot for LIFO rewind (see ArenaFrame). */
+    struct Mark {
+        void *block = nullptr;
+        std::size_t offset = 0;
+        uint64_t liveBytes = 0;
+    };
+
+    Mark mark() const { return Mark{cur_, curOff_, liveBytes_}; }
+
+    /** LIFO rewind to a prior mark; blocks are retained for reuse. */
+    void rewind(const Mark &m);
+
+    /**
+     * Start a new epoch: rewind everything, keep every block. Panics
+     * if an ArenaFrame is live — resetting under a frame would let the
+     * frame's destructor resurrect a stale cursor.
+     */
+    void reset();
+
+    uint64_t epoch() const { return epoch_; }
+    /** Lifetime alloc() calls on this arena (monotone across resets). */
+    uint64_t allocCount() const { return allocCount_; }
+    /** Bytes currently live (since the last reset/rewind point). */
+    uint64_t liveBytes() const { return liveBytes_; }
+    /** Max liveBytes ever observed on this arena. */
+    uint64_t highWater() const { return highWater_; }
+    std::size_t blockCount() const;
+    std::size_t reservedBytes() const;
+    int frameDepth() const { return frameDepth_; }
+
+    /** The calling thread's arena (one per worker thread, lazily built). */
+    static Arena &forCurrentThread();
+
+    /** Process-wide counters across every thread's arena. */
+    static ArenaProcessStats processStats();
+
+  private:
+    friend class ArenaFrame;
+
+    struct Block;
+
+    /** Per-allocation accounting (instance + process counters). */
+    void book(std::size_t bytes);
+
+    /** Slow path: no live block fits; take a fresh or recycled block. */
+    void *grow(std::size_t bytes, std::size_t align);
+
+    Block *head_ = nullptr;      ///< first block of the chain
+    Block *tail_ = nullptr;      ///< last block of the chain
+    Block *cur_ = nullptr;       ///< block the bump cursor lives in
+    std::size_t curOff_ = 0;     ///< bump offset within cur_'s data
+    std::size_t blockBytes_;     ///< default block payload size
+    uint64_t epoch_ = 0;
+    uint64_t allocCount_ = 0;
+    uint64_t liveBytes_ = 0;
+    uint64_t highWater_ = 0;
+    int frameDepth_ = 0;
+};
+
+/**
+ * RAII mark/rewind scope. A run opens one frame, allocates everything
+ * it needs, and the frame's destructor hands all of it back in O(1) —
+ * the blocks stay warm for the next run on this thread.
+ */
+class ArenaFrame
+{
+  public:
+    explicit ArenaFrame(Arena &arena) : arena_(arena), mark_(arena.mark())
+    {
+        ++arena_.frameDepth_;
+    }
+
+    ~ArenaFrame()
+    {
+        --arena_.frameDepth_;
+        arena_.rewind(mark_);
+    }
+
+    ArenaFrame(const ArenaFrame &) = delete;
+    ArenaFrame &operator=(const ArenaFrame &) = delete;
+
+  private:
+    Arena &arena_;
+    Arena::Mark mark_;
+};
+
+} // namespace dvr
+
+#endif // DVR_COMMON_ARENA_HH

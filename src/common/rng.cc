@@ -1,7 +1,5 @@
 #include "common/rng.hh"
 
-#include "common/log.hh"
-
 namespace dvr {
 
 uint64_t
@@ -23,42 +21,6 @@ Rng::Rng(uint64_t seed)
         w = sm;
     }
     s_[0] |= 1;
-}
-
-static inline uint64_t
-rotl(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-uint64_t
-Rng::next()
-{
-    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-uint64_t
-Rng::nextBelow(uint64_t bound)
-{
-    panicIf(bound == 0, "Rng::nextBelow(0)");
-    // Rejection-free multiply-shift reduction; bias is negligible for
-    // the bounds we use (<< 2^32) and determinism is what matters.
-    return static_cast<uint64_t>(
-        (static_cast<__uint128_t>(next()) * bound) >> 64);
-}
-
-double
-Rng::nextDouble()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
 } // namespace dvr

@@ -10,11 +10,15 @@
 
 #include <cstdint>
 
+#include "common/log.hh"
+
 namespace dvr {
 
 /**
  * xoshiro256** 1.0 generator. Small, fast, and deterministic; quality
- * is more than sufficient for synthetic data-set generation.
+ * is more than sufficient for synthetic data-set generation. The draw
+ * path is inline: data-set generation burns hundreds of millions of
+ * draws per sweep and the state transition is a handful of xor/rotls.
  */
 class Rng
 {
@@ -22,15 +26,46 @@ class Rng
     explicit Rng(uint64_t seed);
 
     /** Next raw 64-bit value. */
-    uint64_t next();
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** Uniform value in [0, bound), bound > 0. */
-    uint64_t nextBelow(uint64_t bound);
+    uint64_t
+    nextBelow(uint64_t bound)
+    {
+        panicIf(bound == 0, "Rng::nextBelow(0)");
+        // Rejection-free multiply-shift reduction; bias is negligible
+        // for the bounds we use (<< 2^32) and determinism is what
+        // matters.
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
   private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     uint64_t s_[4];
 };
 

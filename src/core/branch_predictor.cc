@@ -1,5 +1,8 @@
 #include "core/branch_predictor.hh"
 
+#include <algorithm>
+
+#include "common/arena.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 
@@ -20,10 +23,11 @@ makePredictor(const std::string &kind)
 // --- TAGE ------------------------------------------------------------
 
 TagePredictor::TagePredictor()
-    : bimodal_(1u << 13, 0)
 {
+    Arena &arena = Arena::forCurrentThread();
+    bimodal_ = arena.allocArray<int8_t>(kBimodalSize);
     for (auto &t : tables_)
-        t.resize(1u << kTableBits);
+        t = arena.allocArray<Entry>(1u << kTableBits);
 }
 
 namespace {
@@ -64,7 +68,7 @@ TagePredictor::predict(InstPc pc)
     ++lookups;
     providerTable_ = -1;
     // Bimodal counters are 0..3; >= 2 means taken.
-    altPred_ = bimodal_[pc & (bimodal_.size() - 1)] >= 2;
+    altPred_ = bimodal_[pc & (kBimodalSize - 1)] >= 2;
     bool pred = altPred_;
     bool have_provider = false;
     for (int t = kNumTables - 1; t >= 0; --t) {
@@ -117,7 +121,7 @@ TagePredictor::update(InstPc pc, bool taken)
             }
         }
     } else {
-        int8_t &c = bimodal_[pc & (bimodal_.size() - 1)];
+        int8_t &c = bimodal_[pc & (kBimodalSize - 1)];
         if (taken && c < 3)
             ++c;
         else if (!taken && c > 0)
@@ -148,8 +152,12 @@ TagePredictor::update(InstPc pc, bool taken)
 // --- gshare ------------------------------------------------------------
 
 GsharePredictor::GsharePredictor(unsigned bits)
-    : bits_(bits), table_(1u << bits, 1)
+    : bits_(bits)
 {
+    const std::size_t n = std::size_t(1) << bits;
+    table_ = Arena::forCurrentThread().allocArray<int8_t>(n);
+    // Weakly-not-taken counters, as the heap representation had.
+    std::fill(table_, table_ + n, int8_t(1));
 }
 
 bool

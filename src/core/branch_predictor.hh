@@ -13,7 +13,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "common/types.hh"
 
@@ -62,8 +61,11 @@ class TagePredictor : public BranchPredictor
     uint32_t tableIndex(int t, InstPc pc) const;
     uint16_t tableTag(int t, InstPc pc) const;
 
-    std::vector<int8_t> bimodal_;               // 2-bit counters
-    std::vector<Entry> tables_[kNumTables];
+    static constexpr uint32_t kBimodalSize = 1u << 13;
+
+    // Arena-backed tables; the zeroed state is the reset state.
+    int8_t *bimodal_;                           // 2-bit counters
+    Entry *tables_[kNumTables];
     uint64_t history_ = 0;
     uint64_t rng_ = 0x9e3779b97f4a7c15ULL;      // allocation tiebreak
 
@@ -87,7 +89,7 @@ class GsharePredictor : public BranchPredictor
 
   private:
     unsigned bits_;
-    std::vector<int8_t> table_;
+    int8_t *table_;                             // arena-backed
     uint64_t history_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "core/ooo_core.hh"
 
 #include <algorithm>
+#include <new>
 
 #include "common/log.hh"
 #include "mem/sim_memory.hh"
@@ -86,10 +87,10 @@ CoreStats::toStatSet() const
     return s;
 }
 
-OooCore::PortTracker::PortTracker(unsigned slots_per_cycle,
+OooCore::PortTracker::PortTracker(Arena &arena, unsigned slots_per_cycle,
                                   Cycle occupancy)
     : slots_(slots_per_cycle), occupancy_(occupancy),
-      used_(kWindow, 0)
+      used_(arena.allocArray<uint8_t>(kWindow))
 {
 }
 
@@ -107,7 +108,7 @@ OooCore::PortTracker::reserve(Cycle want)
         if (c >= base_ + kWindow) {
             const Cycle new_base = c - kWindow / 2;
             if (new_base - base_ >= kWindow) {
-                std::fill(used_.begin(), used_.end(), 0);
+                std::fill(used_, used_ + kWindow, uint8_t(0));
             } else {
                 for (Cycle b = base_; b < new_base; ++b)
                     used_[b % kWindow] = 0;
@@ -137,14 +138,25 @@ OooCore::PortTracker::reserve(Cycle want)
 OooCore::OooCore(const CoreConfig &cfg, const Program &prog,
                  SimMemory &mem, MemorySystem &memsys, CoreClient *client)
     : cfg_(cfg), prog_(prog), mem_(mem), memsys_(memsys),
-      client_(client), bpred_(makePredictor(cfg.predictor)),
-      commitRing_(cfg.robSize, 0), robHeadDramLoad_(cfg.robSize, 0),
-      loadRing_(cfg.lqSize, 0), storeRing_(cfg.sqSize, 0),
-      storeFwd_(kStoreFwdSize)
+      client_(client), bpred_(makePredictor(cfg.predictor))
 {
+    // All in-flight state is POD and run-scoped: bump-allocate it from
+    // the calling thread's arena so repeated runs (sweep points,
+    // sampling windows) recycle the same warm pages.
+    Arena &arena = Arena::forCurrentThread();
+    commitRing_ = arena.allocArray<Cycle>(cfg.robSize);
+    robHeadDramLoad_ = arena.allocArray<uint8_t>(cfg.robSize);
+    loadRing_ = arena.allocArray<Cycle>(cfg.lqSize);
+    storeRing_ = arena.allocArray<Cycle>(cfg.sqSize);
+    storeFwdTag_ = arena.allocArray<Addr>(kStoreFwdSize);
+    std::fill(storeFwdTag_, storeFwdTag_ + kStoreFwdSize, ~Addr(0));
+    storeFwdReady_ = arena.allocArray<Cycle>(kStoreFwdSize);
+    fu_ = static_cast<PortTracker *>(arena.alloc(
+        sizeof(PortTracker) * kNumFuClasses, alignof(PortTracker)));
     for (int c = 0; c < kNumFuClasses; ++c) {
-        fu_.emplace_back(kFuCount[c],
-                         kFuUnpipelined[c] ? kFuLat[c] : 1);
+        // dvr-lint: allow(naked-new) placement-new into arena storage; PortTracker is trivially destructible
+        new (&fu_[c]) PortTracker(arena, kFuCount[c],
+                                  kFuUnpipelined[c] ? kFuLat[c] : 1);
     }
 }
 
@@ -269,10 +281,9 @@ OooCore::run(uint64_t max_insts)
             ready = std::max(ready, regs_.ready[inst.rs2]);
         if (inst.isLoad()) {
             const Addr granule = eff_addr >> 3;
-            const StoreFwdEntry &e =
-                storeFwd_[granule & (kStoreFwdSize - 1)];
-            if (e.tag == granule)
-                ready = std::max(ready, e.ready);
+            const size_t slot = granule & (kStoreFwdSize - 1);
+            if (storeFwdTag_[slot] == granule)
+                ready = std::max(ready, storeFwdReady_[slot]);
         }
 
         // Issue on a free unit of the right class.
@@ -339,9 +350,9 @@ OooCore::run(uint64_t max_insts)
             memsys_.access(eff_addr, inst.memBytes(), commit, true,
                            Requester::kMain, pc_, 0);
             const Addr granule = eff_addr >> 3;
-            StoreFwdEntry &e = storeFwd_[granule & (kStoreFwdSize - 1)];
-            e.tag = granule;
-            e.ready = complete + 1;
+            const size_t slot = granule & (kStoreFwdSize - 1);
+            storeFwdTag_[slot] = granule;
+            storeFwdReady_[slot] = complete + 1;
             storeRing_[storeCount_ % cfg_.sqSize] = commit;
             ++storeCount_;
             ++stats_.stores;

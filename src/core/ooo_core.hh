@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/branch_predictor.hh"
@@ -221,7 +222,8 @@ class OooCore
     class PortTracker
     {
       public:
-        PortTracker(unsigned slots_per_cycle, Cycle occupancy);
+        PortTracker(Arena &arena, unsigned slots_per_cycle,
+                    Cycle occupancy);
 
         /** Earliest cycle >= want with a free slot; reserves it. */
         Cycle reserve(Cycle want);
@@ -231,7 +233,7 @@ class OooCore
         unsigned slots_;
         Cycle occupancy_;       ///< cycles a reservation blocks
         Cycle base_ = 0;        ///< window start
-        std::vector<uint8_t> used_;
+        uint8_t *used_;         ///< kWindow slot counts, arena-backed
     };
 
   private:
@@ -256,18 +258,23 @@ class OooCore
     // non-decreasing, which makes the calendar's monotone cursor
     // exactly equivalent to the min-heap it replaced (pinned by
     // tests/test_iq_calendar.cc).
-    std::vector<Cycle> commitRing_;     // robSize
+    //
+    // All per-run arrays below live in the calling thread's Arena
+    // (common/arena.hh): POD storage bump-allocated at construction
+    // and recycled wholesale across runs, so a sweep point costs no
+    // heap traffic for core state after the first run on its worker.
+    Cycle *commitRing_;             // robSize
     // uint8_t, not bool: vector<bool> bit-packing puts a shift/mask
     // dependency on the per-commit head probe; byte loads are cheaper.
-    std::vector<uint8_t> robHeadDramLoad_; // robSize
+    uint8_t *robHeadDramLoad_;      // robSize
     IqCalendar iqIssueTimes_;
-    std::vector<Cycle> loadRing_;       // lqSize
-    std::vector<Cycle> storeRing_;      // sqSize
+    Cycle *loadRing_;               // lqSize
+    Cycle *storeRing_;              // sqSize
     uint64_t loadCount_ = 0;
     uint64_t storeCount_ = 0;
 
-    // Per-FU-class issue-slot trackers.
-    std::vector<PortTracker> fu_;
+    // Per-FU-class issue-slot trackers (arena-placed array).
+    PortTracker *fu_;
 
     // Front-end state.
     Cycle nextFetchCycle_ = 0;
@@ -281,14 +288,12 @@ class OooCore
     // in a direct-mapped power-of-two table probed on every load
     // (replaces an unordered_map lookup on the hot path). A conflict
     // evicts the older granule, which at worst forgoes a forwarding
-    // delay for a store already far in the past.
-    struct StoreFwdEntry
-    {
-        Addr tag = ~Addr(0);    ///< granule address; ~0 = empty
-        Cycle ready = 0;
-    };
+    // delay for a store already far in the past. Struct-of-arrays:
+    // the per-load probe reads only the tag lane, so misses (the
+    // common case) never pull the ready times into cache.
     static constexpr size_t kStoreFwdSize = 4096;   // power of two
-    std::vector<StoreFwdEntry> storeFwd_;
+    Addr *storeFwdTag_;     ///< granule address; ~0 = empty
+    Cycle *storeFwdReady_;
 
     // Runahead re-trigger guard.
     Cycle runaheadBusyUntil_ = 0;

@@ -1,255 +1,8 @@
 #include "isa/instruction.hh"
 
-#include <bit>
-#include <cmath>
 #include <sstream>
 
-#include "common/log.hh"
-#include "common/rng.hh"
-
 namespace dvr {
-
-bool
-Instruction::isLoad() const
-{
-    switch (op) {
-      case Opcode::kLoad:
-      case Opcode::kLoad32:
-      case Opcode::kLoad8:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-Instruction::isStore() const
-{
-    switch (op) {
-      case Opcode::kStore:
-      case Opcode::kStore32:
-      case Opcode::kStore8:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-Instruction::isBranch() const
-{
-    return op == Opcode::kBeqz || op == Opcode::kBnez ||
-           op == Opcode::kJmp;
-}
-
-bool
-Instruction::isCondBranch() const
-{
-    return op == Opcode::kBeqz || op == Opcode::kBnez;
-}
-
-bool
-Instruction::isCompare() const
-{
-    switch (op) {
-      case Opcode::kCmpLt:
-      case Opcode::kCmpLtU:
-      case Opcode::kCmpEq:
-      case Opcode::kCmpNe:
-      case Opcode::kCmpLtI:
-      case Opcode::kCmpLtUI:
-      case Opcode::kCmpEqI:
-      case Opcode::kFCmpLt:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-Instruction::hasDest() const
-{
-    if (isStore() || isBranch())
-        return false;
-    switch (op) {
-      case Opcode::kNop:
-      case Opcode::kHalt:
-        return false;
-      default:
-        return true;
-    }
-}
-
-bool
-Instruction::readsRs2() const
-{
-    if (isStore())
-        return true;    // rs2 is the store data register
-    switch (op) {
-      case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul:
-      case Opcode::kDivU: case Opcode::kRemU:
-      case Opcode::kAnd: case Opcode::kOr: case Opcode::kXor:
-      case Opcode::kShl: case Opcode::kShr:
-      case Opcode::kMin: case Opcode::kMax:
-      case Opcode::kFAdd: case Opcode::kFSub:
-      case Opcode::kFMul: case Opcode::kFDiv:
-      case Opcode::kFCmpLt:
-      case Opcode::kCmpLt: case Opcode::kCmpLtU:
-      case Opcode::kCmpEq: case Opcode::kCmpNe:
-        return true;
-      default:
-        return false;
-    }
-}
-
-int
-Instruction::numSrcs() const
-{
-    switch (op) {
-      case Opcode::kNop:
-      case Opcode::kHalt:
-      case Opcode::kLoadImm:
-      case Opcode::kJmp:
-        return 0;
-      default:
-        return readsRs2() ? 2 : 1;
-    }
-}
-
-FuClass
-Instruction::fuClass() const
-{
-    switch (op) {
-      case Opcode::kNop:
-      case Opcode::kHalt:
-        return FuClass::kNone;
-      case Opcode::kMul:
-      case Opcode::kMulI:
-      case Opcode::kHash:
-        return FuClass::kIntMul;
-      case Opcode::kDivU:
-      case Opcode::kRemU:
-        return FuClass::kIntDiv;
-      case Opcode::kFAdd:
-      case Opcode::kFSub:
-      case Opcode::kI2F:
-      case Opcode::kF2I:
-      case Opcode::kFCmpLt:
-        return FuClass::kFpAdd;
-      case Opcode::kFMul:
-        return FuClass::kFpMul;
-      case Opcode::kFDiv:
-        return FuClass::kFpDiv;
-      case Opcode::kLoad:
-      case Opcode::kLoad32:
-      case Opcode::kLoad8:
-      case Opcode::kStore:
-      case Opcode::kStore32:
-      case Opcode::kStore8:
-        return FuClass::kMem;
-      case Opcode::kBeqz:
-      case Opcode::kBnez:
-      case Opcode::kJmp:
-        return FuClass::kBranch;
-      default:
-        return FuClass::kIntAlu;
-    }
-}
-
-uint32_t
-Instruction::memBytes() const
-{
-    switch (op) {
-      case Opcode::kLoad:
-      case Opcode::kStore:
-        return 8;
-      case Opcode::kLoad32:
-      case Opcode::kStore32:
-        return 4;
-      case Opcode::kLoad8:
-      case Opcode::kStore8:
-        return 1;
-      default:
-        return 0;
-    }
-}
-
-namespace {
-
-double
-asF(uint64_t x)
-{
-    return std::bit_cast<double>(x);
-}
-
-uint64_t
-asU(double x)
-{
-    return std::bit_cast<uint64_t>(x);
-}
-
-} // namespace
-
-uint64_t
-evalOp(Opcode op, uint64_t s1, uint64_t s2, int64_t imm)
-{
-    const auto u = static_cast<uint64_t>(imm);
-    switch (op) {
-      case Opcode::kLoadImm: return u;
-      case Opcode::kMov:     return s1;
-      case Opcode::kAdd:     return s1 + s2;
-      case Opcode::kSub:     return s1 - s2;
-      case Opcode::kMul:     return s1 * s2;
-      case Opcode::kDivU:    return s2 == 0 ? ~0ULL : s1 / s2;
-      case Opcode::kRemU:    return s2 == 0 ? s1 : s1 % s2;
-      case Opcode::kAnd:     return s1 & s2;
-      case Opcode::kOr:      return s1 | s2;
-      case Opcode::kXor:     return s1 ^ s2;
-      case Opcode::kShl:     return s1 << (s2 & 63);
-      case Opcode::kShr:     return s1 >> (s2 & 63);
-      case Opcode::kMin:     return s1 < s2 ? s1 : s2;
-      case Opcode::kMax:     return s1 > s2 ? s1 : s2;
-      case Opcode::kAddI:    return s1 + u;
-      case Opcode::kMulI:    return s1 * u;
-      case Opcode::kAndI:    return s1 & u;
-      case Opcode::kOrI:     return s1 | u;
-      case Opcode::kXorI:    return s1 ^ u;
-      case Opcode::kShlI:    return s1 << (imm & 63);
-      case Opcode::kShrI:    return s1 >> (imm & 63);
-      case Opcode::kHash:    return kernelHash(s1);
-      case Opcode::kFAdd:    return asU(asF(s1) + asF(s2));
-      case Opcode::kFSub:    return asU(asF(s1) - asF(s2));
-      case Opcode::kFMul:    return asU(asF(s1) * asF(s2));
-      case Opcode::kFDiv:    return asU(asF(s1) / asF(s2));
-      case Opcode::kI2F:     return asU(static_cast<double>(s1));
-      case Opcode::kF2I:
-        return static_cast<uint64_t>(static_cast<int64_t>(asF(s1)));
-      case Opcode::kFCmpLt:  return asF(s1) < asF(s2) ? 1 : 0;
-      case Opcode::kCmpLt:
-        return static_cast<int64_t>(s1) < static_cast<int64_t>(s2);
-      case Opcode::kCmpLtU:  return s1 < s2 ? 1 : 0;
-      case Opcode::kCmpEq:   return s1 == s2 ? 1 : 0;
-      case Opcode::kCmpNe:   return s1 != s2 ? 1 : 0;
-      case Opcode::kCmpLtI:
-        return static_cast<int64_t>(s1) < imm ? 1 : 0;
-      case Opcode::kCmpLtUI: return s1 < u ? 1 : 0;
-      case Opcode::kCmpEqI:  return s1 == u ? 1 : 0;
-      default:
-        panic("evalOp: opcode has no ALU semantics");
-    }
-}
-
-bool
-branchTaken(Opcode op, uint64_t v)
-{
-    switch (op) {
-      case Opcode::kBeqz: return v == 0;
-      case Opcode::kBnez: return v != 0;
-      case Opcode::kJmp:  return true;
-      default:
-        panic("branchTaken: not a branch");
-    }
-}
 
 const char *
 opcodeName(Opcode op)

@@ -1,5 +1,8 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
+
+#include "common/arena.hh"
 #include "common/log.hh"
 
 namespace dvr {
@@ -12,112 +15,36 @@ Cache::Cache(std::string name, uint32_t size_bytes, uint32_t assoc)
     numSets_ = size_bytes / (assoc * kLineBytes);
     panicIf((numSets_ & (numSets_ - 1)) != 0,
             "Cache: number of sets must be a power of two");
-    lines_.resize(static_cast<size_t>(numSets_) * assoc_);
-}
-
-uint32_t
-Cache::setIndex(Addr line_addr) const
-{
-    return static_cast<uint32_t>((line_addr / kLineBytes) &
-                                 (numSets_ - 1));
-}
-
-CacheLine *
-Cache::lookup(Addr line_addr)
-{
-    CacheLine *base = &lines_[static_cast<size_t>(setIndex(line_addr)) * assoc_];
-    for (uint32_t w = 0; w < assoc_; ++w) {
-        CacheLine &l = base[w];
-        if (l.valid && l.lineAddr == line_addr) {
-            l.lruStamp = nextStamp_++;
-            ++hits;
-            return &l;
-        }
-    }
-    ++misses;
-    return nullptr;
-}
-
-const CacheLine *
-Cache::peek(Addr line_addr) const
-{
-    const CacheLine *base = &lines_[static_cast<size_t>(setIndex(line_addr)) * assoc_];
-    for (uint32_t w = 0; w < assoc_; ++w) {
-        if (base[w].valid && base[w].lineAddr == line_addr)
-            return &base[w];
-    }
-    return nullptr;
+    const size_t lines = static_cast<size_t>(numSets_) * assoc_;
+    Arena &arena = Arena::forCurrentThread();
+    tags_ = arena.allocArray<Addr>(lines);
+    std::fill(tags_, tags_ + lines, kInvalidTag);
+    meta_ = arena.allocArray<CacheLine>(lines);
 }
 
 void
 Cache::prefetchSet(Addr line_addr) const
 {
-    const CacheLine *base =
-        &lines_[static_cast<size_t>(setIndex(line_addr)) * assoc_];
-    // Only the first host lines of the set are prefetched explicitly:
-    // a batch flush issues dozens of these, and touching every way of
-    // every set would overflow the host's miss buffers (dropping the
-    // prefetches entirely). The set is contiguous, so the hardware
-    // streamer covers the remaining ways once the scan starts.
-    const char *p = reinterpret_cast<const char *>(base);
-    __builtin_prefetch(p, 1 /* rw: lookups stamp LRU */);
-    if (sizeof(CacheLine) * assoc_ > 64)
-        __builtin_prefetch(p + 64, 1);
-}
-
-Cache::Victim
-Cache::insert(Addr line_addr, Cycle fill_time, Requester who, bool dirty)
-{
-    CacheLine *base = &lines_[static_cast<size_t>(setIndex(line_addr)) * assoc_];
-    CacheLine *slot = nullptr;
-
-    // Hit (re-fill): update in place.
-    for (uint32_t w = 0; w < assoc_; ++w) {
-        if (base[w].valid && base[w].lineAddr == line_addr) {
-            slot = &base[w];
-            break;
-        }
-    }
-
-    Victim victim;
-    if (!slot) {
-        // Prefer an invalid way; otherwise evict the LRU way.
-        for (uint32_t w = 0; w < assoc_; ++w) {
-            if (!base[w].valid) {
-                slot = &base[w];
-                break;
-            }
-        }
-        if (!slot) {
-            slot = &base[0];
-            for (uint32_t w = 1; w < assoc_; ++w) {
-                if (base[w].lruStamp < slot->lruStamp)
-                    slot = &base[w];
-            }
-            victim.valid = true;
-            victim.lineAddr = slot->lineAddr;
-            victim.dirty = slot->dirty;
-        }
-    }
-
-    const bool refill = slot->valid && slot->lineAddr == line_addr;
-    slot->lineAddr = line_addr;
-    slot->fillTime = fill_time;
-    slot->lruStamp = nextStamp_++;
-    slot->valid = true;
-    slot->dirty = refill ? (slot->dirty || dirty) : dirty;
-    slot->filledBy = who;
-    slot->demandTouched = (who == Requester::kMain);
-    return victim;
+    const size_t base = static_cast<size_t>(setIndex(line_addr)) * assoc_;
+    // The tag row is what the way scan reads; one host line covers 8
+    // ways, so at most two prefetches span any configured assoc. The
+    // metadata row is only needed on a hit — fetch its first line too
+    // (rw: lookups stamp LRU there).
+    const char *t = reinterpret_cast<const char *>(tags_ + base);
+    __builtin_prefetch(t, 0);
+    if (sizeof(Addr) * assoc_ > 64)
+        __builtin_prefetch(t + 64, 0);
+    __builtin_prefetch(reinterpret_cast<const char *>(meta_ + base), 1);
 }
 
 void
 Cache::invalidate(Addr line_addr)
 {
-    CacheLine *base = &lines_[static_cast<size_t>(setIndex(line_addr)) * assoc_];
+    const size_t base = static_cast<size_t>(setIndex(line_addr)) * assoc_;
+    Addr *tags = tags_ + base;
     for (uint32_t w = 0; w < assoc_; ++w) {
-        if (base[w].valid && base[w].lineAddr == line_addr) {
-            base[w].valid = false;
+        if (tags[w] == line_addr) {
+            tags[w] = kInvalidTag;
             return;
         }
     }

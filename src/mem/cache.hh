@@ -4,6 +4,12 @@
  * Lines carry their fill time so a prefetch issued by a runahead
  * episode becomes a full hit, a partial (in-flight) hit, or a miss for
  * the main thread depending on when the main thread arrives.
+ *
+ * Storage is struct-of-arrays on the per-thread arena: the way scan —
+ * the per-access hot loop — walks a dense array of 8-byte tags (one
+ * host line covers 8 ways), and the per-line metadata is only touched
+ * on a hit. An invalid way is encoded as the reserved tag ~0, so the
+ * scan is a single compare per way with no separate valid bit.
  */
 
 #ifndef DVR_MEM_CACHE_HH
@@ -11,19 +17,23 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "common/types.hh"
 #include "mem/dram.hh"
 
 namespace dvr {
 
+/**
+ * Per-line metadata, returned by lookup/peek on a hit. The identity
+ * (tag) and validity live in the cache's tag array, not here; the
+ * all-zero state is the valid empty state (Requester::kMain == 0),
+ * which lets the arena hand back zeroed storage byte-identical to the
+ * old value-initialized representation.
+ */
 struct CacheLine
 {
-    Addr lineAddr = 0;
     Cycle fillTime = 0;
     uint64_t lruStamp = 0;
-    bool valid = false;
     bool dirty = false;
     /** Who brought the line in (demand, runahead, hw prefetch). */
     Requester filledBy = Requester::kMain;
@@ -44,6 +54,10 @@ class Cache
 
     Cache(std::string name, uint32_t size_bytes, uint32_t assoc);
 
+    // lookup/peek/insert are the memory system's per-access hot loop
+    // (tens of millions of calls per sweep point across three levels),
+    // so they are defined inline below the class.
+
     /** Find a line and update LRU; nullptr on miss. */
     CacheLine *lookup(Addr line_addr);
 
@@ -51,11 +65,11 @@ class Cache
     const CacheLine *peek(Addr line_addr) const;
 
     /**
-     * Prefetch the line's set (the way array) into the host cache.
-     * Functional warming (MemorySystem::warmTouchBatch) issues these
-     * for a whole batch of touches before probing any of them, so the
-     * host misses on the set arrays overlap instead of serializing.
-     * No simulated-state effect.
+     * Prefetch the line's set (tag row plus metadata row) into the
+     * host cache. Functional warming (MemorySystem::warmTouchBatch)
+     * issues these for a whole batch of touches before probing any of
+     * them, so the host misses on the set arrays overlap instead of
+     * serializing. No simulated-state effect.
      */
     void prefetchSet(Addr line_addr) const;
 
@@ -74,14 +88,99 @@ class Cache
     uint64_t misses = 0;
 
   private:
-    uint32_t setIndex(Addr line_addr) const;
+    static constexpr Addr kInvalidTag = ~Addr(0);
+
+    uint32_t
+    setIndex(Addr line_addr) const
+    {
+        return static_cast<uint32_t>((line_addr / kLineBytes) &
+                                     (numSets_ - 1));
+    }
 
     std::string name_;
     uint32_t assoc_;
     uint32_t numSets_;
     uint64_t nextStamp_ = 1;
-    std::vector<CacheLine> lines_;  // numSets_ * assoc_, set-major
+    // numSets_ * assoc_ each, set-major, arena-backed.
+    Addr *tags_;        ///< line address per way; kInvalidTag = empty
+    CacheLine *meta_;   ///< parallel metadata, touched on hits only
 };
+
+inline CacheLine *
+Cache::lookup(Addr line_addr)
+{
+    const size_t base = static_cast<size_t>(setIndex(line_addr)) * assoc_;
+    const Addr *tags = tags_ + base;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (tags[w] == line_addr) {
+            CacheLine &l = meta_[base + w];
+            l.lruStamp = nextStamp_++;
+            ++hits;
+            return &l;
+        }
+    }
+    ++misses;
+    return nullptr;
+}
+
+inline const CacheLine *
+Cache::peek(Addr line_addr) const
+{
+    const size_t base = static_cast<size_t>(setIndex(line_addr)) * assoc_;
+    const Addr *tags = tags_ + base;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (tags[w] == line_addr)
+            return &meta_[base + w];
+    }
+    return nullptr;
+}
+
+inline Cache::Victim
+Cache::insert(Addr line_addr, Cycle fill_time, Requester who, bool dirty)
+{
+    const size_t base = static_cast<size_t>(setIndex(line_addr)) * assoc_;
+    Addr *tags = tags_ + base;
+
+    // One pass finds the re-fill way, the first invalid way, and the
+    // LRU way (earliest index on stamp ties, matching the old
+    // three-scan selection exactly).
+    uint32_t way = assoc_;
+    uint32_t invalid_way = assoc_;
+    uint32_t lru_way = 0;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (tags[w] == line_addr) {
+            way = w;
+            break;
+        }
+        if (invalid_way == assoc_ && tags[w] == kInvalidTag)
+            invalid_way = w;
+        if (meta_[base + w].lruStamp < meta_[base + lru_way].lruStamp)
+            lru_way = w;
+    }
+    const bool refill = way != assoc_;
+
+    Victim victim;
+    if (!refill) {
+        // Prefer an invalid way; otherwise evict the LRU way.
+        if (invalid_way != assoc_) {
+            way = invalid_way;
+        } else {
+            way = lru_way;
+            victim.valid = true;
+            victim.lineAddr = tags[way];
+            victim.dirty = meta_[base + way].dirty;
+        }
+    }
+
+    CacheLine &l = meta_[base + way];
+    tags[way] = line_addr;
+    l.fillTime = fill_time;
+    l.lruStamp = nextStamp_++;
+    l.dirty = refill ? (l.dirty || dirty) : dirty;
+    l.filledBy = who;
+    l.demandTouched = (who == Requester::kMain);
+    return victim;
+}
 
 } // namespace dvr
 

@@ -1,8 +1,6 @@
 #include "mem/mshr.hh"
 
-#include <algorithm>
-
-#include "common/log.hh"
+#include "common/arena.hh"
 
 namespace dvr {
 
@@ -10,72 +8,7 @@ MshrTracker::MshrTracker(unsigned capacity)
     : capacity_(capacity)
 {
     panicIf(capacity == 0, "MshrTracker: zero capacity");
-}
-
-void
-MshrTracker::expire(Cycle now)
-{
-    while (!ends_.empty() && ends_.top() <= now)
-        ends_.pop();
-}
-
-unsigned
-MshrTracker::effectiveCap(bool low_priority) const
-{
-    return low_priority && capacity_ > kDemandReserve
-               ? capacity_ - kDemandReserve
-               : capacity_;
-}
-
-Cycle
-MshrTracker::acquire(Cycle want, bool low_priority)
-{
-    panicIf(pending_ != 0,
-            "MshrTracker: acquire with an uncommitted reservation "
-            "(acquire/commit must balance)");
-    expire(want);
-    const unsigned cap = effectiveCap(low_priority);
-    Cycle start = want;
-    while (ends_.size() + pending_ >= cap) {
-        // MSHRs busy: wait for the earliest outstanding miss to
-        // complete. Requests can arrive slightly out of time order in
-        // the dependence-based model, so this is an approximation of
-        // a strict per-cycle allocator. Each popped entry ends at or
-        // before the final start, so it is expired — not leaked — by
-        // the time the reservation begins.
-        start = std::max(start, ends_.top());
-        ends_.pop();
-    }
-    ++acquires_;
-    ++pending_;
-    return start;
-}
-
-void
-MshrTracker::commit(Cycle start, Cycle end)
-{
-    panicIf(end < start, "MshrTracker: negative interval");
-    panicIf(pending_ == 0,
-            "MshrTracker: commit without a matching acquire");
-    --pending_;
-    ends_.push(end);
-    busyIntegral_ += static_cast<double>(end - start);
-}
-
-bool
-MshrTracker::tryAcquire(Cycle want, bool low_priority)
-{
-    panicIf(pending_ != 0,
-            "MshrTracker: tryAcquire with an uncommitted reservation "
-            "(acquire/commit must balance)");
-    expire(want);
-    if (ends_.size() + pending_ >= effectiveCap(low_priority)) {
-        ++prefetchDrops_;
-        return false;
-    }
-    ++acquires_;
-    ++pending_;
-    return true;
+    ends_ = Arena::forCurrentThread().allocArray<Cycle>(capacity);
 }
 
 double

@@ -9,10 +9,10 @@
 #ifndef DVR_MEM_MSHR_HH
 #define DVR_MEM_MSHR_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
-#include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace dvr {
@@ -41,14 +41,48 @@ class MshrTracker
      * @return the actual start cycle (>= want; delayed when all MSHRs
      *         are busy at `want`).
      * The caller must then call commit() with the completion time.
+     * Inline (with the heap helpers below): the reservation dance runs
+     * once per cache miss, millions of times per sweep point.
      */
-    Cycle acquire(Cycle want, bool low_priority = false);
+    Cycle
+    acquire(Cycle want, bool low_priority = false)
+    {
+        panicIf(pending_ != 0,
+                "MshrTracker: acquire with an uncommitted reservation "
+                "(acquire/commit must balance)");
+        expire(want);
+        const unsigned cap = effectiveCap(low_priority);
+        Cycle start = want;
+        while (size_ + pending_ >= cap) {
+            // MSHRs busy: wait for the earliest outstanding miss to
+            // complete. Requests can arrive slightly out of time order
+            // in the dependence-based model, so this is an
+            // approximation of a strict per-cycle allocator. Each
+            // popped entry ends at or before the final start, so it is
+            // expired — not leaked — by the time the reservation
+            // begins.
+            start = std::max(start, ends_[0]);
+            popEnd();
+        }
+        ++acquires_;
+        ++pending_;
+        return start;
+    }
 
     /** MSHRs kept free for demand when low-priority requests queue. */
     static constexpr unsigned kDemandReserve = 4;
 
     /** Record the completion time of the most recent acquire(). */
-    void commit(Cycle start, Cycle end);
+    void
+    commit(Cycle start, Cycle end)
+    {
+        panicIf(end < start, "MshrTracker: negative interval");
+        panicIf(pending_ == 0,
+                "MshrTracker: commit without a matching acquire");
+        --pending_;
+        pushEnd(end);
+        busyIntegral_ += static_cast<double>(end - start);
+    }
 
     /**
      * Best-effort reservation for hardware prefetches: returns false
@@ -56,7 +90,21 @@ class MshrTracker
      * Prefetches are low-priority by default and honor the same
      * kDemandReserve cap as queued low-priority acquire()s.
      */
-    bool tryAcquire(Cycle want, bool low_priority = true);
+    bool
+    tryAcquire(Cycle want, bool low_priority = true)
+    {
+        panicIf(pending_ != 0,
+                "MshrTracker: tryAcquire with an uncommitted "
+                "reservation (acquire/commit must balance)");
+        expire(want);
+        if (size_ + pending_ >= effectiveCap(low_priority)) {
+            ++prefetchDrops_;
+            return false;
+        }
+        ++acquires_;
+        ++pending_;
+        return true;
+    }
 
     unsigned capacity() const { return capacity_; }
 
@@ -74,18 +122,70 @@ class MshrTracker
 
   private:
     /** Drop intervals that have completed by `now`. */
-    void expire(Cycle now);
+    void
+    expire(Cycle now)
+    {
+        while (size_ != 0 && ends_[0] <= now)
+            popEnd();
+    }
 
     /** One reservation policy for both acquire paths. */
-    unsigned effectiveCap(bool low_priority) const;
+    unsigned
+    effectiveCap(bool low_priority) const
+    {
+        return low_priority && capacity_ > kDemandReserve
+                   ? capacity_ - kDemandReserve
+                   : capacity_;
+    }
+
+    /** Binary min-heap ops over ends_ (replaces std::priority_queue). */
+    void
+    pushEnd(Cycle end)
+    {
+        panicIf(size_ >= capacity_,
+                "MshrTracker: more in-flight misses than MSHRs");
+        unsigned i = size_++;
+        while (i > 0) {
+            const unsigned p = (i - 1) / 2;
+            if (ends_[p] <= end)
+                break;
+            ends_[i] = ends_[p];
+            i = p;
+        }
+        ends_[i] = end;
+    }
+
+    void
+    popEnd()
+    {
+        const Cycle last = ends_[--size_];
+        unsigned i = 0;
+        while (true) {
+            unsigned c = 2 * i + 1;
+            if (c >= size_)
+                break;
+            if (c + 1 < size_ && ends_[c + 1] < ends_[c])
+                ++c;
+            if (ends_[c] >= last)
+                break;
+            ends_[i] = ends_[c];
+            i = c;
+        }
+        ends_[i] = last;
+    }
 
     unsigned capacity_;
     /** Open reservations awaiting commit(); the model issues one miss
      *  at a time, so anything but 0/1 is a caller bug. */
     unsigned pending_ = 0;
-    /** Min-heap of end cycles of in-flight misses. */
-    std::priority_queue<Cycle, std::vector<Cycle>,
-                        std::greater<Cycle>> ends_;
+    /**
+     * Min-heap of end cycles of in-flight misses, in a fixed arena
+     * array: in-flight misses can never exceed capacity_ (acquire
+     * drains below the cap before commit pushes), so the heap needs no
+     * growth path — and no heap allocation per run.
+     */
+    Cycle *ends_;
+    unsigned size_ = 0;
     double busyIntegral_ = 0.0;
     uint64_t acquires_ = 0;
     uint64_t prefetchDrops_ = 0;

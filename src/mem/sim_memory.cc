@@ -31,10 +31,9 @@ bump(std::atomic<uint64_t> &c, uint64_t n)
 const SimMemory::PagePtr &
 SimMemory::zeroPage()
 {
-    // The static holder keeps the refcount >= 2 for any image that
-    // maps it, so ensureOwned can never see it as exclusively owned
-    // and the zero bytes are immutable by construction.
-    // dvr-lint: allow(hot-alloc) one allocation per process (function-local static)
+    // Never stored in pages_ (zero-backed entries are null there), so
+    // ensureOwned can never see it as exclusively owned and the zero
+    // bytes are immutable by construction.
     static const PagePtr zp = std::make_shared<Page>();
     return zp;
 }
@@ -44,7 +43,12 @@ SimMemory::SimMemory(size_t bytes)
 {
     panicIf(bytes < 2 * kLineBytes, "SimMemory: capacity too small");
     const size_t npages = (bytes + kPageBytes - 1) >> kPageShift;
-    pages_.assign(npages, zeroPage());
+    // Zero-backed pages hold a null PagePtr, not a zeroPage() copy:
+    // a fresh image is then two memsets instead of npages atomic
+    // refcount bumps (and compact()'s trim of the untouched tail is
+    // npages pointer drops instead of refcount releases). Reads never
+    // look at pages_ — raw_ aliases the shared zero bytes.
+    pages_.assign(npages, nullptr);
     raw_.assign(npages, zeroPage()->bytes);
 }
 
@@ -77,10 +81,11 @@ void
 SimMemory::clonePage(size_t idx)
 {
     PagePtr &p = pages_[idx];
-    // A write to the shared all-zero page materializes a fresh zeroed
-    // page: no image bytes are copied (the flat representation had to
-    // memcpy those zeros up front), so it is not clone traffic.
-    const bool zero_backed = p == zeroPage();
+    // A write to zero-backed address space (null PagePtr) materializes
+    // a fresh zeroed page: no image bytes are copied (the flat
+    // representation had to memcpy those zeros up front), so it is not
+    // clone traffic.
+    const bool zero_backed = !p;
     p = zero_backed ? std::make_shared<Page>()  // dvr-lint: allow(hot-alloc) CoW clone:
                     : std::make_shared<Page>(*p);  // once per shared page, amortized
 

@@ -264,8 +264,10 @@ class SimMemory
         // use_count() == 1 proves exclusive ownership: every other
         // holder would keep the count above 1, and no other thread can
         // gain a reference except by copying this image (which this
-        // thread owns). Repeat writes to an owned page take this inline
-        // fast path; the first write clones out of line.
+        // thread owns). Zero-backed pages are null (use_count() == 0)
+        // and take the clone path like any shared page. Repeat writes
+        // to an owned page take this inline fast path; the first write
+        // clones out of line.
         if (pages_[idx].use_count() != 1)
             clonePage(idx);
     }
@@ -277,8 +279,9 @@ class SimMemory
     uint64_t readSplit(Addr a, uint32_t bytes) const;
     void writeSplit(Addr a, uint32_t bytes, uint64_t v);
 
+    /** Owning refs; null = zero-backed (reads come from zeroPage). */
     std::vector<PagePtr> pages_;
-    /** pages_[i]->bytes, cached so reads skip the control block. */
+    /** Byte storage per page, cached so reads skip the control block. */
     std::vector<uint8_t *> raw_;
     Addr brk_;
     size_t capacity_;

@@ -1,34 +1,11 @@
 #include "runahead/reconvergence_stack.hh"
 
-#include "common/log.hh"
-
 namespace dvr {
 
 ReconvergenceStack::ReconvergenceStack(unsigned depth)
     : depth_(depth)
 {
     stack_.reserve(depth);
-}
-
-bool
-ReconvergenceStack::push(InstPc pc, const LaneMask &mask)
-{
-    if (stack_.size() >= depth_) {
-        ++overflowDrops;
-        return false;
-    }
-    stack_.push_back({pc, mask});
-    ++pushes;
-    return true;
-}
-
-ReconvergenceStack::Entry
-ReconvergenceStack::pop()
-{
-    panicIf(stack_.empty(), "ReconvergenceStack: pop on empty stack");
-    Entry e = stack_.back();
-    stack_.pop_back();
-    return e;
 }
 
 } // namespace dvr

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace dvr {
@@ -33,14 +34,33 @@ class ReconvergenceStack
     explicit ReconvergenceStack(unsigned depth = 8);
 
     /**
-     * Push a diverged lane group.
+     * Push a diverged lane group. Inline along with pop(): the
+     * subthread's chain executor churns the stack tens of millions of
+     * times per sweep.
      * @return false when the stack is full (the caller drops the
      *         group: those lanes produce no further prefetches).
      */
-    bool push(InstPc pc, const LaneMask &mask);
+    bool
+    push(InstPc pc, const LaneMask &mask)
+    {
+        if (stack_.size() >= depth_) {
+            ++overflowDrops;
+            return false;
+        }
+        stack_.push_back({pc, mask});
+        ++pushes;
+        return true;
+    }
 
     /** Pop the head; undefined when empty(). */
-    Entry pop();
+    Entry
+    pop()
+    {
+        panicIf(stack_.empty(), "ReconvergenceStack: pop on empty stack");
+        Entry e = stack_.back();
+        stack_.pop_back();
+        return e;
+    }
 
     bool empty() const { return stack_.empty(); }
     size_t size() const { return stack_.size(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/arena.hh"
 #include "common/log.hh"
 #include "mem/sim_memory.hh"
 #include "sim/trace.hh"
@@ -42,6 +43,21 @@ VectorSubthread::VectorSubthread(const SubthreadConfig &cfg,
 {
     panicIf(cfg.maxLanes == 0 || cfg.maxLanes > kMaxLanes,
             "SubthreadConfig: bad lane count");
+    // All lane state and episode scratch comes off the per-thread
+    // arena once, at subthread construction; episodes then run
+    // allocation-free.
+    Arena &arena = Arena::forCurrentThread();
+    constexpr size_t kLaneSlots = size_t(kNumArchRegs) * kMaxLanes;
+    laneVals_ = arena.allocArray<uint64_t>(kLaneSlots);
+    laneReady_ = arena.allocArray<Cycle>(kLaneSlots);
+    chainVals_ = arena.allocArray<uint64_t>(kMaxLanes);
+    chainAddrs_ = arena.allocArray<Addr>(kMaxLanes);
+    chainReady_ = arena.allocArray<Cycle>(kMaxLanes);
+    chainDone_ = arena.allocArray<Cycle>(kMaxLanes);
+    seedAddrs_ = arena.allocArray<Addr>(kMaxLanes);
+    outerOf_ = arena.allocArray<unsigned>(kMaxLanes);
+    expandVals_ = arena.allocArray<uint64_t>(kMaxLanes);
+    expandReady_ = arena.allocArray<Cycle>(kMaxLanes);
 }
 
 void
@@ -81,28 +97,35 @@ VectorSubthread::resetEpisode(unsigned lanes, Cycle spawn)
 }
 
 bool
-VectorSubthread::writeVector(RegId rd, const std::vector<uint64_t> &vals,
-                             const LaneMask &mask,
-                             const std::vector<Cycle> &ready)
+VectorSubthread::writeVector(RegId rd, const uint64_t *vals,
+                             const LaneMask &mask, const Cycle *ready)
 {
     SReg &r = r_[rd];
+    uint64_t *lanes = lanesOf(rd);
+    Cycle *lready = laneReadyArr(rd);
     if (!r.vec) {
         if (!vrat_.vectorize(rd)) {
             st_.vratExhausted = true;
             return false;
         }
         // Broadcast the old scalar into inactive lanes.
-        r.lanes.assign(numLanes_, r.scalar);
-        r.laneReady.assign(numLanes_, r.ready);
+        std::fill(lanes, lanes + numLanes_, r.scalar);
+        std::fill(lready, lready + numLanes_, r.ready);
+        r.fill = numLanes_;
         r.vec = true;
-    } else if (r.lanes.size() != numLanes_) {
-        r.lanes.resize(numLanes_, r.scalar);
-        r.laneReady.resize(numLanes_, r.ready);
+    } else if (r.fill != numLanes_) {
+        // Lane-count change mid-episode: grow appends the current
+        // scalar (vector::resize semantics), shrink truncates.
+        for (uint32_t i = r.fill; i < numLanes_; ++i) {
+            lanes[i] = r.scalar;
+            lready[i] = r.ready;
+        }
+        r.fill = numLanes_;
     }
     for (unsigned i = 0; i < numLanes_; ++i) {
         if (mask.test(i)) {
-            r.lanes[i] = vals[i];
-            r.laneReady[i] = ready[i];
+            lanes[i] = vals[i];
+            lready[i] = ready[i];
         }
     }
     r.valid = true;
@@ -119,8 +142,7 @@ VectorSubthread::writeScalar(RegId rd, uint64_t v, bool valid,
         return false;
     }
     r.vec = false;
-    r.lanes.clear();
-    r.laneReady.clear();
+    r.fill = 0;
     r.scalar = v;
     r.valid = valid;
     r.ready = ready;
@@ -128,12 +150,10 @@ VectorSubthread::writeScalar(RegId rd, uint64_t v, bool valid,
 }
 
 Cycle
-VectorSubthread::issueLaneLoads(const std::vector<Addr> &addrs,
-                                const LaneMask &mask, uint32_t bytes,
-                                Cycle issue_start,
-                                const std::vector<Cycle> &earliest,
-                                std::vector<uint64_t> &vals_out,
-                                std::vector<Cycle> &done_out,
+VectorSubthread::issueLaneLoads(const Addr *addrs, const LaneMask &mask,
+                                uint32_t bytes, Cycle issue_start,
+                                const Cycle *earliest,
+                                uint64_t *vals_out, Cycle *done_out,
                                 LaneMask &fault_out)
 {
     // Vectorized loads are split into scalar accesses in the LSQ and
@@ -171,10 +191,12 @@ VectorSubthread::ChainExit
 VectorSubthread::execChain(const TermSpec &t)
 {
     const uint64_t insts_at_entry = st_.instructions;
-    std::vector<uint64_t> vals(numLanes_);
-    std::vector<Addr> addrs(numLanes_);
-    std::vector<Cycle> lane_ready(numLanes_);
-    std::vector<Cycle> done(numLanes_);
+    // Per-lane scratch: arena-backed members (execChain is never
+    // re-entered), reused across chains with [0, numLanes_) live.
+    uint64_t *const vals = chainVals_;
+    Addr *const addrs = chainAddrs_;
+    Cycle *const lane_ready = chainReady_;
+    Cycle *const done = chainDone_;
 
     auto pop_group = [&]() -> bool {
         while (!stack_.empty()) {
@@ -267,16 +289,16 @@ VectorSubthread::execChain(const TermSpec &t)
             scalar_src_ready = std::max(scalar_src_ready,
                                         r_[inst.rs2].ready);
 
-        std::fill(lane_ready.begin(), lane_ready.end(), Cycle(0));
+        std::fill(lane_ready, lane_ready + numLanes_, Cycle(0));
         Cycle min_src = kCycleNever;
         for (unsigned i = 0; i < numLanes_; ++i) {
             if (!m.test(i))
                 continue;
             Cycle rr = 0;
             if (nsrcs >= 1)
-                rr = std::max(rr, laneReadyOf(r_[inst.rs1], i));
+                rr = std::max(rr, laneReadyOf(inst.rs1, i));
             if (nsrcs >= 2)
-                rr = std::max(rr, laneReadyOf(r_[inst.rs2], i));
+                rr = std::max(rr, laneReadyOf(inst.rs2, i));
             lane_ready[i] = rr;
             min_src = std::min(min_src, rr);
         }
@@ -312,12 +334,11 @@ VectorSubthread::execChain(const TermSpec &t)
             // the stride predictor, not the address register.
             seed_.pending = false;
             LaneMask faults;
-            std::fill(vals.begin(), vals.end(), 0);
-            std::fill(done.begin(), done.end(), issue_start);
-            std::fill(lane_ready.begin(), lane_ready.end(),
-                      issue_start);
+            std::fill(vals, vals + numLanes_, uint64_t(0));
+            std::fill(done, done + numLanes_, issue_start);
+            std::fill(lane_ready, lane_ready + numLanes_, issue_start);
             const Cycle last = issueLaneLoads(
-                seed_.addrs, m, seed_.bytes, issue_start, lane_ready,
+                seedAddrs_, m, seed_.bytes, issue_start, lane_ready,
                 vals, done, faults);
             // In-order VIR: the next instruction is fetched only once
             // all copies of this one have issued (Section 4.2.2).
@@ -342,12 +363,12 @@ VectorSubthread::execChain(const TermSpec &t)
                     }
                 } else {
                     for (unsigned i = 0; i < numLanes_; ++i) {
-                        addrs[i] = laneVal(r_[inst.rs1], i) +
+                        addrs[i] = laneVal(inst.rs1, i) +
                                    static_cast<Addr>(off);
                     }
                 }
-                std::fill(vals.begin(), vals.end(), 0);
-                std::fill(done.begin(), done.end(), issue_start);
+                std::fill(vals, vals + numLanes_, uint64_t(0));
+                std::fill(done, done + numLanes_, issue_start);
                 if (!srcs_ok) {
                     // Vector load with an invalid scalar input: all
                     // lanes produce garbage; skip the access.
@@ -409,9 +430,10 @@ VectorSubthread::execChain(const TermSpec &t)
                 curIssue_ = std::max(curIssue_, max_src + 1);
                 st_.issueEnd = std::max(st_.issueEnd, curIssue_);
                 LaneMask taken;
+                const uint64_t *s1_lanes = lanesOf(inst.rs1);
                 for (unsigned i = 0; i < numLanes_; ++i) {
                     if (m.test(i) &&
-                        branchTaken(inst.op, r_[inst.rs1].lanes[i])) {
+                        branchTaken(inst.op, s1_lanes[i])) {
                         taken.set(i);
                     }
                 }
@@ -464,8 +486,8 @@ VectorSubthread::execChain(const TermSpec &t)
                 unsigned nth = 0;
                 Cycle max_done = issue_start;
                 for (unsigned i = 0; i < numLanes_; ++i) {
-                    vals[i] = evalOp(inst.op, laneVal(r_[inst.rs1], i),
-                                     laneVal(r_[inst.rs2], i), inst.imm);
+                    vals[i] = evalOp(inst.op, laneVal(inst.rs1, i),
+                                     laneVal(inst.rs2, i), inst.imm);
                     // Copy issues when its own inputs are back.
                     const Cycle at = std::max(
                         issue_start + nth / per_cycle, lane_ready[i]);
@@ -568,10 +590,9 @@ VectorSubthread::runVectorized(const DiscoveryResult &d,
     seed_.pc = d.stridePc;
     seed_.dest = d.strideDest;
     seed_.bytes = d.strideBytes;
-    seed_.addrs.assign(numLanes_, 0);
     for (unsigned k = 0; k < numLanes_; ++k) {
-        seed_.addrs[k] = first +
-                         static_cast<Addr>(d.stride * int64_t(k));
+        seedAddrs_[k] = first +
+                        static_cast<Addr>(d.stride * int64_t(k));
     }
     advanceCursor(cursor, first, d.stride, lanes);
 
@@ -672,10 +693,9 @@ VectorSubthread::runNested(const DiscoveryResult &d,
     seed_.pc = outer_pc;
     seed_.dest = outer.rd;
     seed_.bytes = outer.memBytes();
-    seed_.addrs.assign(outer_lanes, 0);
     for (unsigned k = 0; k < outer_lanes; ++k) {
-        seed_.addrs[k] = outer_base +
-                         static_cast<Addr>(oe->stride * int64_t(k));
+        seedAddrs_[k] = outer_base +
+                        static_cast<Addr>(oe->stride * int64_t(k));
     }
 
     TermSpec to_inner;
@@ -704,51 +724,55 @@ VectorSubthread::runNested(const DiscoveryResult &d,
         d.lcr.isImmCompare ? ind
                            : (d.lcr.rs1 == ind ? d.lcr.rs2 : d.lcr.rs1);
 
-    std::vector<Addr> inner_addrs;
-    std::vector<unsigned> outer_of;
-    inner_addrs.reserve(cfg_.maxLanes);
+    // Collect inner seed addresses straight into seedAddrs_ — the
+    // phase-2 (outer) seed was already consumed by execChain above.
+    unsigned n_inner = 0;
     for (unsigned j = 0;
-         j < outer_lanes && inner_addrs.size() < cfg_.maxLanes; ++j) {
+         j < outer_lanes && n_inner < cfg_.maxLanes; ++j) {
         if (!reached.test(j))
             continue;
-        const Addr base = laneVal(r_[inner.rs1], j) +
+        const Addr base = laneVal(inner.rs1, j) +
                           static_cast<Addr>(inner.imm);
-        const uint64_t ind_v = laneVal(r_[ind], j);
+        const uint64_t ind_v = laneVal(ind, j);
         const uint64_t bnd_v = d.lcr.isImmCompare
                                    ? uint64_t(d.lcr.imm)
-                                   : laneVal(r_[bound_reg], j);
+                                   : laneVal(bound_reg, j);
         int64_t n = remainingIterations(d.lcr, ind_v, bnd_v,
                                         d.bound.increment);
         if (n < 0)
             n = 1;
         n = std::min<int64_t>(n, cfg_.maxLanes);
         for (int64_t tt = 0;
-             tt < n && inner_addrs.size() < cfg_.maxLanes; ++tt) {
-            inner_addrs.push_back(
-                base + static_cast<Addr>(d.stride * tt));
-            outer_of.push_back(j);
+             tt < n && n_inner < cfg_.maxLanes; ++tt) {
+            seedAddrs_[n_inner] =
+                base + static_cast<Addr>(d.stride * tt);
+            outerOf_[n_inner] = j;
+            ++n_inner;
         }
     }
-    if (inner_addrs.empty()) {
+    if (n_inner == 0) {
         st_.issueEnd = std::max(st_.issueEnd, curIssue_);
         st_.dataEnd = std::max(dataEnd_, st_.issueEnd);
         return st_;
     }
 
     // Expand registers: vector-by-outer-lane values fan out to the
-    // inner lanes spawned from that outer lane.
-    const unsigned n_inner = static_cast<unsigned>(inner_addrs.size());
-    for (auto &reg : r_) {
+    // inner lanes spawned from that outer lane. outerOf_ is not
+    // monotone relative to the write cursor (one outer lane spawns
+    // many inner lanes), so stage through scratch buffers.
+    for (int rid = 0; rid < kNumArchRegs; ++rid) {
+        SReg &reg = r_[rid];
         if (!reg.vec)
             continue;
-        std::vector<uint64_t> expanded(n_inner);
-        std::vector<Cycle> expanded_ready(n_inner);
+        uint64_t *lanes = lanesOf(static_cast<RegId>(rid));
+        Cycle *lready = laneReadyArr(static_cast<RegId>(rid));
         for (unsigned i = 0; i < n_inner; ++i) {
-            expanded[i] = reg.lanes[outer_of[i]];
-            expanded_ready[i] = reg.laneReady[outer_of[i]];
+            expandVals_[i] = lanes[outerOf_[i]];
+            expandReady_[i] = lready[outerOf_[i]];
         }
-        reg.lanes = std::move(expanded);
-        reg.laneReady = std::move(expanded_ready);
+        std::copy(expandVals_, expandVals_ + n_inner, lanes);
+        std::copy(expandReady_, expandReady_ + n_inner, lready);
+        reg.fill = n_inner;
     }
     numLanes_ = n_inner;
     active_ = fullMask(n_inner);
@@ -763,7 +787,6 @@ VectorSubthread::runNested(const DiscoveryResult &d,
     seed_.pc = d.stridePc;
     seed_.dest = d.strideDest;
     seed_.bytes = d.strideBytes;
-    seed_.addrs = std::move(inner_addrs);
 
     TermSpec t;
     t.flrPc = d.divergentChain ? kInvalidPc : d.flr;
@@ -833,10 +856,9 @@ VectorSubthread::runVrStyle(InstPc start_pc, const RegState &regs,
     seed_.pc = stride_pc;
     seed_.dest = ld.rd;
     seed_.bytes = ld.memBytes();
-    seed_.addrs.assign(numLanes_, 0);
     for (unsigned k = 0; k < numLanes_; ++k) {
-        seed_.addrs[k] = base +
-                         static_cast<Addr>(se->stride * int64_t(k));
+        seedAddrs_[k] = base +
+                        static_cast<Addr>(se->stride * int64_t(k));
     }
 
     TermSpec t;

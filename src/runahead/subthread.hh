@@ -132,15 +132,21 @@ class VectorSubthread
      * carry per-lane readiness times: vector copies issue as their own
      * inputs return (wavefront pipelining across chain levels), rather
      * than barriering every lane on the slowest one.
+     *
+     * Struct-of-arrays: per-lane values/readiness live in the flat
+     * laneVals_/laneReady_ buffers (kMaxLanes stride per register);
+     * the SReg itself is POD bookkeeping. `fill` is the live lane
+     * count — the equivalent of the old per-register vector's size —
+     * and writeVector reproduces vector assign/resize semantics on it
+     * exactly (grow appends the current scalar, shrink truncates).
      */
     struct SReg
     {
         bool vec = false;
         bool valid = true;      ///< scalar-validity (VR invalid regs)
         uint64_t scalar = 0;
-        std::vector<uint64_t> lanes;
         Cycle ready = 0;        ///< scalar readiness
-        std::vector<Cycle> laneReady;
+        uint32_t fill = 0;      ///< live lanes in the lane buffers
     };
 
     /** Chain-walk parameters. */
@@ -187,21 +193,41 @@ class VectorSubthread
     static void advanceCursor(CoverageCursor *cursor, Addr first,
                               int64_t stride, unsigned lanes);
 
-    uint64_t laneVal(const SReg &r, unsigned lane) const
+    /** Lane-value row of a register in the flat SoA buffer. */
+    uint64_t *lanesOf(RegId r)
     {
-        return r.vec ? r.lanes[lane] : r.scalar;
+        return laneVals_ + size_t(r) * kMaxLanes;
+    }
+    const uint64_t *lanesOf(RegId r) const
+    {
+        return laneVals_ + size_t(r) * kMaxLanes;
+    }
+    /** Lane-readiness row of a register. */
+    Cycle *laneReadyArr(RegId r)
+    {
+        return laneReady_ + size_t(r) * kMaxLanes;
+    }
+    const Cycle *laneReadyArr(RegId r) const
+    {
+        return laneReady_ + size_t(r) * kMaxLanes;
+    }
+
+    uint64_t laneVal(RegId rid, unsigned lane) const
+    {
+        const SReg &r = r_[rid];
+        return r.vec ? lanesOf(rid)[lane] : r.scalar;
     }
 
     /** Per-lane readiness of a register (scalar broadcasts). */
-    Cycle laneReadyOf(const SReg &r, unsigned lane) const
+    Cycle laneReadyOf(RegId rid, unsigned lane) const
     {
-        return r.vec ? r.laneReady[lane] : r.ready;
+        const SReg &r = r_[rid];
+        return r.vec ? laneReadyArr(rid)[lane] : r.ready;
     }
 
     /** Broadcast-then-write a lane value set under a mask. */
-    bool writeVector(RegId rd, const std::vector<uint64_t> &vals,
-                     const LaneMask &mask,
-                     const std::vector<Cycle> &ready);
+    bool writeVector(RegId rd, const uint64_t *vals,
+                     const LaneMask &mask, const Cycle *ready);
     bool writeScalar(RegId rd, uint64_t v, bool valid, Cycle ready);
 
     /** Execute from pcv_ until a termination condition; see TermSpec. */
@@ -213,13 +239,10 @@ class VectorSubthread
      * @return the cycle the last copy issued (the in-order VIR
      *         fetches the next instruction only after this).
      */
-    Cycle issueLaneLoads(const std::vector<Addr> &addrs,
-                         const LaneMask &mask, uint32_t bytes,
-                         Cycle issue_start,
-                         const std::vector<Cycle> &earliest,
-                         std::vector<uint64_t> &vals_out,
-                         std::vector<Cycle> &done_out,
-                         LaneMask &fault_out);
+    Cycle issueLaneLoads(const Addr *addrs, const LaneMask &mask,
+                         uint32_t bytes, Cycle issue_start,
+                         const Cycle *earliest, uint64_t *vals_out,
+                         Cycle *done_out, LaneMask &fault_out);
 
     const SubthreadConfig cfg_;
     const Program &prog_;
@@ -227,6 +250,19 @@ class VectorSubthread
     MemorySystem &memsys_;
 
     std::array<SReg, kNumArchRegs> r_;
+    // Flat per-register lane buffers (kNumArchRegs x kMaxLanes) and
+    // episode scratch, all arena-backed and reused across episodes —
+    // an episode performs zero heap allocations.
+    uint64_t *laneVals_;
+    Cycle *laneReady_;
+    uint64_t *chainVals_;       ///< execChain per-lane results
+    Addr *chainAddrs_;          ///< execChain per-lane addresses
+    Cycle *chainReady_;         ///< execChain per-lane input readiness
+    Cycle *chainDone_;          ///< execChain per-lane completion
+    Addr *seedAddrs_;           ///< seed lane addresses (numLanes_ live)
+    unsigned *outerOf_;         ///< inner lane -> outer lane
+    uint64_t *expandVals_;      ///< runNested expansion staging
+    Cycle *expandReady_;
     unsigned numLanes_ = 0;
     LaneMask active_;
     LaneMask faulted_;
@@ -239,14 +275,14 @@ class VectorSubthread
     Cycle dataEnd_ = 0;
     EpisodeStats st_;
 
-    /** One-shot vector seed consumed at its PC (the striding load). */
+    /** One-shot vector seed consumed at its PC (the striding load).
+     *  Lane addresses live in seedAddrs_ ([0, numLanes_) valid). */
     struct Seed
     {
         bool pending = false;
         InstPc pc = kInvalidPc;
         RegId dest = 0;
         uint32_t bytes = 8;
-        std::vector<Addr> addrs;
     } seed_;
 };
 

@@ -69,6 +69,11 @@ PreparedWorkload::PreparedWorkload(std::string label, SimMemory memory,
 SimResult
 PreparedWorkload::run(const SimConfig &cfg) const
 {
+    // Fresh arena epoch per sweep point: the run's frames rewind over
+    // blocks recycled from earlier points on this worker thread, so
+    // after each thread's first run a sweep point costs O(1) heap
+    // allocations.
+    Arena::forCurrentThread().reset();
     // Sampled runs get the cached pre-decode; the exact paths fall
     // through to Simulator::runOn unchanged.
     const bool sampled = cfg.sample.interval > 0;
@@ -136,7 +141,8 @@ BenchReport::BenchReport(std::string figure, unsigned threads)
     : figure_(std::move(figure)), threads_(threads),
       // dvr-lint: allow(wall-clock) bench wall-time report only; never feeds simulated state
       manifest_(figure_), start_(std::chrono::steady_clock::now()),
-      cowStart_(SimMemory::cowStats())
+      cowStart_(SimMemory::cowStats()),
+      arenaStart_(Arena::processStats())
 {
 }
 
@@ -213,6 +219,26 @@ BenchReport::write(std::ostream &echo) const
             << "    \"copy_reduction\": " << std::fixed
             << std::setprecision(1) << reduction << "\n  }";
 
+    // Per-run cost accounting for the arena allocator: how many heap
+    // allocations and bytes the bench's simulations actually paid for,
+    // and the headline allocs-per-kilo-instruction figure the CI
+    // throughput gate budgets (tools/check_throughput.py).
+    const ArenaProcessStats arena =
+        Arena::processStats().since(arenaStart_);
+    const double kinsts = double(instructions_) / 1e3;
+    const double allocsPerKinst =
+        kinsts > 0.0 ? double(arena.allocCalls) / kinsts : 0.0;
+    std::ostringstream arenaJson;
+    arenaJson << "{\n"
+              << "    \"allocs\": " << arena.allocCalls << ",\n"
+              << "    \"bytes\": " << arena.bytesServed << ",\n"
+              << "    \"blocks\": " << arena.blocks << ",\n"
+              << "    \"block_bytes\": " << arena.blockBytes << ",\n"
+              << "    \"resets\": " << arena.resets << ",\n"
+              << "    \"high_water\": " << arena.highWater << ",\n"
+              << "    \"allocs_per_kinst\": " << std::fixed
+              << std::setprecision(3) << allocsPerKinst << "\n  }";
+
     std::ostringstream json;
     json << std::fixed << std::setprecision(3) << "{\n"
          << "  \"figure\": \"" << figure_ << "\",\n"
@@ -224,7 +250,8 @@ BenchReport::write(std::ostream &echo) const
     json << "],\n"
          << "  \"simulated_instructions\": " << instructions_ << ",\n"
          << "  \"simulated_mips\": " << mips << ",\n"
-         << "  \"cow\": " << cowJson.str();
+         << "  \"cow\": " << cowJson.str() << ",\n"
+         << "  \"arena\": " << arenaJson.str();
     for (const auto &[key, extra] : extras_)
         json << ",\n  \"" << key << "\": " << extra;
     json << "\n}\n";
@@ -238,6 +265,7 @@ BenchReport::write(std::ostream &echo) const
         ok = false;
     }
     manifest_.setExtra("cow", cowJson.str());
+    manifest_.setExtra("arena", arenaJson.str());
     for (const auto &[key, extra] : extras_)
         manifest_.setExtra(key, extra);
     for (double s : segments)
@@ -256,6 +284,11 @@ BenchReport::write(std::ostream &echo) const
          << " MiB share-avoided vs "
          << double(cow.bytesCloned) / mib << " MiB cloned ("
          << reduction << "x copy reduction)\n";
+    echo << "[arena] " << arena.allocCalls << " allocs over "
+         << arena.resets << " epochs, " << std::setprecision(1)
+         << double(arena.highWater) / mib << " MiB high water ("
+         << std::setprecision(3) << allocsPerKinst
+         << " allocs/kinst)\n";
     echo.flush();
     return ok ? path : "";
 }

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hh"
 #include "sim/checkpoint.hh"
 #include "sim/manifest.hh"
 #include "sim/simulator.hh"
@@ -180,6 +181,8 @@ class BenchReport
     std::chrono::steady_clock::time_point start_;
     /** Process-wide CoW counters at construction (delta = this bench). */
     CowMemStats cowStart_;
+    /** Process-wide arena counters at construction (delta = this bench). */
+    ArenaProcessStats arenaStart_;
 };
 
 } // namespace dvr

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 
+#include "common/arena.hh"
 #include "common/log.hh"
 #include "runahead/technique.hh"
 #include "sim/functional_core.hh"
@@ -80,6 +81,10 @@ runSampled(const SimConfig &cfgIn, const Workload &w,
         owned_pre = std::make_unique<PredecodedProgram>(w.program);
         pre = owned_pre.get();
     }
+
+    // Per-run arena frame, as in the exact path (simulator.cc): all
+    // simulation state borrowed below is handed back at return.
+    ArenaFrame arenaFrame(Arena::forCurrentThread());
 
     SimMemory mem = image;      // CoW share, as in the exact path
     MemorySystem memsys(cfg.mem, mem);

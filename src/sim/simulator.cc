@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/arena.hh"
 #include "common/log.hh"
 #include "runahead/technique.hh"
 #include "sim/checkpoint.hh"
@@ -28,6 +29,12 @@ runImpl(const SimConfig &cfgIn, const Workload &w,
     SimConfig cfg = cfgIn;
     if (info->prepare)
         info->prepare(cfg);
+
+    // All per-run simulation state (cache tag/meta arrays, MSHR heap,
+    // core rings, predictor tables, subthread lane buffers) comes off
+    // the per-thread arena; the frame hands the storage back when the
+    // run ends, so the next run on this thread reuses it in place.
+    ArenaFrame arenaFrame(Arena::forCurrentThread());
 
     SimMemory mem = image;      // CoW share: techniques reuse the image
     MemorySystem memsys(cfg.mem, mem);

@@ -72,7 +72,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(PortTracker, NeverOverSubscribesASlot)
 {
-    OooCore::PortTracker pt(2, 1);
+    OooCore::PortTracker pt(Arena::forCurrentThread(), 2, 1);
     std::map<Cycle, int> per_cycle;
     Rng rng(17);
     for (int i = 0; i < 5000; ++i) {
@@ -85,7 +85,7 @@ TEST(PortTracker, NeverOverSubscribesASlot)
 
 TEST(PortTracker, GrantsAtOrAfterRequest)
 {
-    OooCore::PortTracker pt(1, 1);
+    OooCore::PortTracker pt(Arena::forCurrentThread(), 1, 1);
     Rng rng(23);
     Cycle horizon = 0;
     for (int i = 0; i < 2000; ++i) {
@@ -98,7 +98,7 @@ TEST(PortTracker, GrantsAtOrAfterRequest)
 
 TEST(PortTracker, UnpipelinedOccupiesLatency)
 {
-    OooCore::PortTracker pt(1, 18);     // divider-like
+    OooCore::PortTracker pt(Arena::forCurrentThread(), 1, 18);     // divider-like
     EXPECT_EQ(pt.reserve(100), 100u);
     // Slot busy for 18 cycles.
     EXPECT_EQ(pt.reserve(101), 118u);

@@ -52,6 +52,21 @@ def main():
               f"{args.floor}", file=sys.stderr)
         failed = True
 
+    # Arena cost accounting: the per-thread bump arena must keep heap
+    # traffic near zero per simulated kilo-instruction (the "arena"
+    # block written by BenchReport). A budget violation means per-run
+    # state slipped off the arena and back onto the heap.
+    max_apk = entry.get("max_allocs_per_kinst")
+    if max_apk is not None:
+        apk = float(bench["arena"]["allocs_per_kinst"])
+        print(f"[throughput] {figure}: arena {apk:.3f} allocs/kinst "
+              f"(budget <= {float(max_apk):.3f})")
+        if apk > float(max_apk):
+            print(f"FAIL: arena allocs_per_kinst {apk:.3f} exceeds the "
+                  f"{float(max_apk):.3f} budget — per-run allocations "
+                  f"regressed off the arena", file=sys.stderr)
+            failed = True
+
     min_red = entry.get("min_copy_reduction")
     if min_red is not None:
         red = float(bench["cow"]["copy_reduction"])

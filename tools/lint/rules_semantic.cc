@@ -89,10 +89,12 @@ checkRelaxedAtomic(const FileIndex &fi, std::vector<Finding> &out)
 {
     // The audited whitelist: process-wide relaxed counters whose only
     // consumer tolerates racy reads (CowMemStats, StatSet strict
-    // flag, the trace-mask hot-path gate).
+    // flag, the trace-mask hot-path gate, the arena's process-wide
+    // allocation accounting).
     static const std::set<std::string> kWhitelist = {
         "src/mem/sim_memory.cc",
         "src/common/stats.cc",
+        "src/common/arena.cc",
         "src/sim/trace.cc",
         "src/sim/trace.hh",
     };
@@ -322,6 +324,12 @@ checkHotAlloc(const ProjectIndex &pi, std::vector<Finding> &out)
         const FunctionDef &fn = pi.fn(id);
         if (!startsWith(fn.file, "src/"))
             continue;   // only simulator code is cycle-critical
+        // The per-thread bump arena IS the sanctioned hot-path
+        // allocator: its out-of-block growth reaches the heap, but
+        // blocks are recycled across runs so that path amortizes to
+        // zero per sweep point.
+        if (fn.cls == "Arena")
+            continue;
         const FileIndex &fi = pi.files[pi.fns[id].file];
         for (const AllocSite &a : fn.allocs) {
             if (onErrorPath(fi, fn, a.tok))
@@ -331,8 +339,9 @@ checkHotAlloc(const ProjectIndex &pi, std::vector<Finding> &out)
                  "allocating construct (" + a.what +
                      ") on a per-cycle path: " +
                      chainTo(pi, via, id) +
-                     " — hoist it out of the cycle loop or waive "
-                     "with a rate argument"});
+                     " — grab the storage up front from "
+                     "Arena::forCurrentThread(), hoist it out of the "
+                     "cycle loop, or waive with a rate argument"});
         }
     }
 }
